@@ -1,0 +1,33 @@
+//! E1/E2 — the full Figure-2 scenario as a benchmark.
+//!
+//! One iteration replays the entire 300-simulated-second hotspot
+//! experiment (600-client crowd, splits, drains, reclaims, second
+//! hotspot). Asserting the paper-shape invariants on every iteration
+//! makes this a regression bench: both the runtime *and* the result are
+//! pinned.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matrix_experiments::fig2;
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("full_scenario", |b| {
+        b.iter(|| {
+            let report = fig2::run(42);
+            // Paper-shape invariants (Figure 2): a handful of servers,
+            // splits and reclaims both happen, and the fleet collapses
+            // back afterwards.
+            assert!(report.peak_servers >= 3 && report.peak_servers <= 6, "{}", report.peak_servers);
+            assert!(report.splits >= 3);
+            assert!(report.reclaims >= 3);
+            assert!(report.servers_in_use.last_value().unwrap_or(99.0) <= 2.0);
+            black_box(report)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

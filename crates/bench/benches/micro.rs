@@ -1,0 +1,118 @@
+//! E4 (micro) — per-message costs of the middleware state machines: the
+//! packet forwarding path, the handoff path, and the fan-out path. These
+//! are the per-packet overheads Matrix adds to a game server's critical
+//! path, which §2.2 demands stay negligible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matrix_core::{
+    ClientId, ClientToGame, CoordReply, GamePacket, GameServerConfig, GameServerNode,
+    GameToMatrix, MatrixConfig, MatrixServer, SpatialTag,
+};
+use matrix_geometry::{build_overlap, Metric, PartitionMap, Point, Rect, ServerId, SplitStrategy};
+use matrix_sim::SimTime;
+use std::hint::black_box;
+
+fn routed_server() -> MatrixServer {
+    let world = Rect::from_coords(0.0, 0.0, 800.0, 800.0);
+    let mut map = PartitionMap::new(world, ServerId(1));
+    map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
+    map.split(ServerId(1), ServerId(3), &SplitStrategy::LongestAxis, &[]).unwrap();
+    let overlap = build_overlap(&map, 100.0, Metric::Euclidean);
+    let mut server = MatrixServer::with_range(
+        ServerId(1),
+        MatrixConfig::default(),
+        map.range_of(ServerId(1)).unwrap(),
+        100.0,
+    );
+    server.on_coord(
+        SimTime::ZERO,
+        CoordReply::Tables {
+            epoch: 1,
+            table: overlap.table_for(ServerId(1)).unwrap().clone(),
+            extra_tables: vec![],
+            map,
+        },
+    );
+    server
+}
+
+fn bench_forward_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward_path");
+    // Interior packet: table lookup says "no peers".
+    group.bench_function("interior_packet", |b| {
+        let mut server = routed_server();
+        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(700.0, 300.0)), 64, 0);
+        b.iter(|| {
+            black_box(server.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone())))
+        })
+    });
+    // Boundary packet: routed to one peer.
+    group.bench_function("boundary_packet", |b| {
+        let mut server = routed_server();
+        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(410.0, 300.0)), 64, 0);
+        b.iter(|| {
+            black_box(server.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone())))
+        })
+    });
+    group.finish();
+}
+
+fn bench_game_server(c: &mut Criterion) {
+    let mut group = c.benchmark_group("game_server");
+    // Move processing with a populated server (fan-out counting).
+    for &clients in &[10usize, 100, 600] {
+        group.bench_function(format!("move_with_{clients}_clients"), |b| {
+            let mut game = GameServerNode::new(ServerId(1), GameServerConfig::default());
+            game.register(Rect::from_coords(0.0, 0.0, 800.0, 800.0), 100.0);
+            for i in 0..clients {
+                let pos = Point::new(
+                    400.0 + 50.0 * ((i % 25) as f64 - 12.0),
+                    400.0 + 50.0 * ((i / 25) as f64 - 12.0),
+                );
+                game.on_client(
+                    SimTime::ZERO,
+                    ClientId(i as u64 + 1),
+                    ClientToGame::Join { pos, state_bytes: 100 },
+                );
+            }
+            b.iter(|| {
+                black_box(game.on_client(
+                    SimTime::ZERO,
+                    ClientId(1),
+                    ClientToGame::Move { pos: Point::new(400.0, 400.0) },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_handoff(c: &mut Criterion) {
+    let mut group = c.benchmark_group("handoff");
+    group.bench_function("redirect_region_100_of_200", |b| {
+        b.iter(|| {
+            let mut game = GameServerNode::new(ServerId(1), GameServerConfig::default());
+            game.register(Rect::from_coords(0.0, 0.0, 800.0, 800.0), 100.0);
+            for i in 0..200u64 {
+                let x = if i < 100 { 100.0 } else { 700.0 };
+                game.on_client(
+                    SimTime::ZERO,
+                    ClientId(i + 1),
+                    ClientToGame::Join { pos: Point::new(x, 400.0), state_bytes: 100 },
+                );
+            }
+            let actions = game.on_matrix(
+                SimTime::ZERO,
+                matrix_core::MatrixToGame::RedirectClients {
+                    region: Rect::from_coords(0.0, 0.0, 400.0, 800.0),
+                    to: ServerId(2),
+                },
+            );
+            black_box(actions)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_forward_path, bench_game_server, bench_handoff);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E5 — coordinator overlap-table recomputation cost.
+//!
+//! §3.2.4: the MC "recomputes and redistributes overlap regions every
+//! time a new Matrix server is used or whenever an existing Matrix server
+//! is reclaimed". This bench prices one recomputation as a function of
+//! fleet size and radius, demonstrating why taking the MC off the
+//! forwarding path keeps it from becoming a bottleneck.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matrix_bench::grid;
+use matrix_geometry::{build_overlap, Metric};
+use std::hint::black_box;
+
+fn bench_overlap_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlap_tables");
+    for &n in &[4u32, 16, 64, 256] {
+        let map = grid(n);
+        group.bench_with_input(BenchmarkId::new("build_all", n), &n, |b, _| {
+            b.iter(|| black_box(build_overlap(&map, 100.0, Metric::Euclidean)))
+        });
+    }
+    for &radius in &[25.0f64, 100.0, 400.0] {
+        let map = grid(64);
+        group.bench_with_input(
+            BenchmarkId::new("build_64_radius", radius as u64),
+            &radius,
+            |b, &r| b.iter(|| black_box(build_overlap(&map, r, Metric::Euclidean))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overlap_build);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E9 — the routing-lookup comparison behind §3.2.4.
+//!
+//! The paper chose precomputed overlap tables (O(1) per packet) over
+//! DHT-style lookups ("usually need O(log N) lookups for N Matrix
+//! servers"). This bench measures, per fleet size: the overlap-table
+//! lookup, the brute-force Equation-1 scan (O(N)), and the number of
+//! Chord hops a DHT would take (each hop being a network round trip —
+//! milliseconds, not nanoseconds, in deployment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matrix_bench::{grid, probes};
+use matrix_core::baseline::DhtDirectory;
+use matrix_geometry::{build_overlap, consistency_set, Metric, PartitionIndex, ServerId};
+use std::hint::black_box;
+
+fn bench_route_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route_lookup");
+    for &n in &[4u32, 16, 64, 256] {
+        let map = grid(n);
+        let overlap = build_overlap(&map, 100.0, Metric::Euclidean);
+        let points = probes(map.world(), 1024);
+
+        // O(1): the Matrix overlap-table path.
+        group.bench_with_input(BenchmarkId::new("overlap_table", n), &n, |b, _| {
+            let owner = ServerId(1);
+            let table = overlap.table_for(owner).unwrap();
+            let mine = map.range_of(owner).unwrap();
+            let local: Vec<_> = points.iter().map(|p| mine.clamp(*p)).collect();
+            let mut i = 0;
+            b.iter(|| {
+                let p = local[i % local.len()];
+                i += 1;
+                black_box(table.lookup(p))
+            });
+        });
+
+        // O(N): brute-force Equation 1 over the directory.
+        group.bench_with_input(BenchmarkId::new("exact_scan", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let p = points[i % points.len()];
+                i += 1;
+                let owner = map.owner_of(p).unwrap();
+                black_box(consistency_set(&map, p, owner, 100.0, Metric::Euclidean))
+            });
+        });
+
+        // O(1) directory lookups via the grid index (owner resolution for
+        // handoffs and non-proximal packets).
+        group.bench_with_input(BenchmarkId::new("grid_index_owner", n), &n, |b, _| {
+            let index = PartitionIndex::build_auto(&map);
+            let mut i = 0;
+            b.iter(|| {
+                let p = points[i % points.len()];
+                i += 1;
+                black_box(index.owner_of(p))
+            });
+        });
+
+        // O(N) linear owner scan, for comparison with the index.
+        group.bench_with_input(BenchmarkId::new("linear_owner", n), &n, |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let p = points[i % points.len()];
+                i += 1;
+                black_box(map.owner_of(p))
+            });
+        });
+
+        // O(log N) network hops: Chord greedy routing (hop count; each
+        // hop is a full network RTT in deployment).
+        group.bench_with_input(BenchmarkId::new("dht_lookup", n), &n, |b, _| {
+            let servers: Vec<ServerId> = (1..=n).map(ServerId).collect();
+            let dht = DhtDirectory::new(&servers, 50.0);
+            let mut i = 0;
+            b.iter(|| {
+                let p = points[i % points.len()];
+                i += 1;
+                black_box(dht.lookup(ServerId(1), p))
+            });
+        });
+    }
+    group.finish();
+
+    // Report mean DHT hop counts once (the latency-relevant number).
+    let world = grid(4).world();
+    println!("\nmean DHT hops (× one network RTT each in deployment):");
+    for &n in &[4u32, 16, 64, 256] {
+        let servers: Vec<ServerId> = (1..=n).map(ServerId).collect();
+        let dht = DhtDirectory::new(&servers, 50.0);
+        println!("  {n:>4} servers: {:.2} hops", dht.mean_hops(world, 256));
+    }
+}
+
+criterion_group!(benches, bench_route_lookup);
+criterion_main!(benches);

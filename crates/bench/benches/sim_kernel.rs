@@ -1,0 +1,69 @@
+//! Substrate benchmarks: the discrete-event kernel must be fast enough
+//! that simulated experiments measure the middleware, not the simulator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use matrix_sim::{EventQueue, ServiceQueue, SimRng, SimTime};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_micros((i * 7919) % 100_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("interleaved_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut out = 0u64;
+            for round in 0..10u64 {
+                for i in 0..100u64 {
+                    q.schedule(SimTime::from_micros(round * 1000 + i), i);
+                }
+                for _ in 0..100 {
+                    if let Some((_, e)) = q.pop() {
+                        out = out.wrapping_add(e);
+                    }
+                }
+            }
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+fn bench_service_queue(c: &mut Criterion) {
+    c.bench_function("service_queue_arrive_drain", |b| {
+        b.iter(|| {
+            let mut q = ServiceQueue::new(1000.0);
+            for i in 0..1000u64 {
+                q.arrive(SimTime::from_millis(i), 1.5);
+            }
+            black_box(q.backlog_at(SimTime::from_secs(2)))
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng_mixed_draws", |b| {
+        let mut rng = SimRng::seed_from_u64(42);
+        b.iter(|| {
+            let a = rng.uniform(0.0, 800.0);
+            let b2 = rng.exponential(0.2);
+            let c2 = rng.normal(10.0, 2.0);
+            let d = rng.chance(0.3);
+            black_box((a, b2, c2, d))
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_service_queue, bench_rng);
+criterion_main!(benches);

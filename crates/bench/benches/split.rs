@@ -1,0 +1,54 @@
+//! A1 (micro) — the cost of one split decision per strategy, and the
+//! partition-map operations underneath the split/reclaim protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matrix_bench::probes;
+use matrix_geometry::{PartitionMap, Point, Rect, ServerId, SplitStrategy};
+use std::hint::black_box;
+
+fn bench_split_strategies(c: &mut Criterion) {
+    let rect = Rect::from_coords(0.0, 0.0, 800.0, 800.0);
+    let clients: Vec<Point> = probes(rect, 600);
+    let mut group = c.benchmark_group("split_strategy");
+    for strategy in
+        [SplitStrategy::SplitToLeft, SplitStrategy::LongestAxis, SplitStrategy::LoadAwareMedian]
+    {
+        group.bench_with_input(
+            BenchmarkId::new("cut", strategy.to_string()),
+            &strategy,
+            |b, s| b.iter(|| black_box(s.split(&rect, &clients))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_partition_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition_map");
+    group.bench_function("split_reclaim_cycle", |b| {
+        b.iter(|| {
+            let world = Rect::from_coords(0.0, 0.0, 800.0, 800.0);
+            let mut map = PartitionMap::new(world, ServerId(1));
+            for i in 2..=16u32 {
+                map.split(ServerId(i - 1), ServerId(i), &SplitStrategy::SplitToLeft, &[]).unwrap();
+            }
+            for i in (2..=16u32).rev() {
+                map.reclaim(ServerId(i - 1), ServerId(i)).unwrap();
+            }
+            black_box(map)
+        })
+    });
+    let map16 = matrix_bench::grid(16);
+    let points = probes(map16.world(), 256);
+    group.bench_function("owner_of_16", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let p = points[i % points.len()];
+            i += 1;
+            black_box(map16.owner_of(p))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_split_strategies, bench_partition_ops);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E3 — Matrix vs static partitioning, benchmarked per game.
+//!
+//! One iteration runs a shortened flash-crowd scenario under each system
+//! and asserts the paper's qualitative outcome: the static deployment
+//! saturates (drops work) while Matrix recruits servers and does not.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matrix_experiments::{Cluster, ClusterConfig};
+use matrix_games::{GameSpec, WorkloadSchedule};
+use matrix_sim::SimTime;
+use std::hint::black_box;
+
+fn flash(spec: &GameSpec) -> WorkloadSchedule {
+    WorkloadSchedule::flash_crowd(spec, 100, 600, SimTime::from_secs(15))
+}
+
+fn bench_versus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("versus");
+    group.sample_size(10);
+    for spec in GameSpec::all() {
+        group.bench_with_input(
+            BenchmarkId::new("matrix", &spec.name),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let mut cfg = ClusterConfig::adaptive(spec.clone());
+                    cfg.seed = 42;
+                    let report = Cluster::new(cfg, flash(spec)).run();
+                    assert!(report.splits >= 1, "{}: Matrix must adapt", spec.name);
+                    assert_eq!(report.dropped_work, 0.0, "{}: Matrix must not drop", spec.name);
+                    black_box(report)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("static2", &spec.name),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let mut cfg = ClusterConfig::static_partition(spec.clone(), 2);
+                    cfg.seed = 42;
+                    let report = Cluster::new(cfg, flash(spec)).run();
+                    assert_eq!(report.splits, 0);
+                    assert!(
+                        report.dropped_work > 0.0,
+                        "{}: the static deployment must saturate",
+                        spec.name
+                    );
+                    black_box(report)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_versus);
+criterion_main!(benches);

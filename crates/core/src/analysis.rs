@@ -1,0 +1,235 @@
+//! The paper's asymptotic scalability analysis (§4.2, experiment E8).
+//!
+//! The paper reports a "simplistic asymptotic analysis" concluding that
+//! (a) Matrix scales past 1,000,000 players on 10,000 servers *only if*
+//! the overlap-region population stays small relative to the total, and
+//! (b) scalability is ultimately bounded by per-server I/O capacity. This
+//! module is that model in closed form, for the E8 sweep to evaluate.
+//!
+//! Geometry: with `s` equal square partitions tiling a square world of
+//! side `L`, each partition has side `ℓ = L/√s`, and the overlap band of
+//! width `R` along its periphery has area `≈ 4ℓR` (ignoring the corner
+//! double-count, capped at the partition area). With uniformly scattered
+//! players, the overlap fraction is therefore `min(1, 4R√s / L)` — it
+//! *grows* with the server count, which is exactly why the analysis puts
+//! a ceiling on useful fleet sizes.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the closed-form scalability model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalabilityModel {
+    /// Side length of the (square) game world, in world units.
+    pub world_side: f64,
+    /// Radius of visibility, world units.
+    pub radius: f64,
+    /// Per-player update rate, packets per second.
+    pub update_rate_hz: f64,
+    /// Mean update size on the wire, bytes.
+    pub update_bytes: f64,
+    /// Per-server I/O capacity, bytes per second (NIC + kernel budget).
+    pub server_io_bytes_per_sec: f64,
+    /// Mean number of peer servers that share each overlap point
+    /// (1 for edge bands; rises towards 3 near corners). Used as the
+    /// fan-out multiplier for overlap traffic.
+    pub overlap_fanout: f64,
+}
+
+impl Default for ScalabilityModel {
+    fn default() -> Self {
+        ScalabilityModel {
+            world_side: 500_000.0,
+            radius: 200.0,
+            update_rate_hz: 10.0,
+            update_bytes: 120.0,
+            server_io_bytes_per_sec: 125_000_000.0, // 1 Gbps
+            overlap_fanout: 1.2,
+        }
+    }
+}
+
+/// Per-server traffic breakdown for one point of the parameter space.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrafficBreakdown {
+    /// Players on this server.
+    pub players_per_server: f64,
+    /// Fraction of the partition area covered by overlap regions.
+    pub overlap_fraction: f64,
+    /// Bytes/s of ordinary client traffic (in + echoed state).
+    pub client_bytes: f64,
+    /// Bytes/s of inter-Matrix-server consistency traffic.
+    pub overlap_bytes: f64,
+    /// Bytes/s of downstream fan-out: every local client receives every
+    /// event within its radius, so this term scales with the *global*
+    /// player density — the dominant I/O cost at scale.
+    pub fanout_bytes: f64,
+    /// Mean number of players visible to one player.
+    pub visible_neighbours: f64,
+    /// Total bytes/s against the I/O budget.
+    pub total_bytes: f64,
+    /// `total_bytes / server_io_bytes_per_sec`.
+    pub io_utilisation: f64,
+}
+
+impl ScalabilityModel {
+    /// Overlap-band fraction of each partition with `servers` equal square
+    /// shards (clamped to 1 when bands swallow whole partitions).
+    pub fn overlap_fraction(&self, servers: u32) -> f64 {
+        if servers <= 1 {
+            return 0.0;
+        }
+        let side = self.world_side / (servers as f64).sqrt();
+        (4.0 * self.radius / side).min(1.0)
+    }
+
+    /// Mean number of players inside one player's radius of visibility,
+    /// assuming a uniform spread.
+    pub fn visible_neighbours(&self, players: u64) -> f64 {
+        let area = self.world_side * self.world_side;
+        let disc = std::f64::consts::PI * self.radius * self.radius;
+        (players as f64 * disc / area).min(players as f64)
+    }
+
+    /// Traffic breakdown for `players` spread uniformly over `servers`.
+    pub fn breakdown(&self, players: u64, servers: u32) -> TrafficBreakdown {
+        let servers = servers.max(1);
+        let per_server = players as f64 / servers as f64;
+        let f = self.overlap_fraction(servers);
+        let per_player_bytes = self.update_rate_hz * self.update_bytes;
+        // Client traffic: receive every local player's updates once.
+        let client_bytes = per_server * per_player_bytes;
+        // Overlap traffic: players inside the band generate updates that
+        // also cross to `overlap_fanout` peers; symmetric inbound applies.
+        let overlap_bytes = 2.0 * per_server * f * per_player_bytes * self.overlap_fanout;
+        // Downstream fan-out: every local player receives every event in
+        // their visibility disc. Grows with global density × R², which is
+        // what ultimately saturates per-server I/O.
+        let neighbours = self.visible_neighbours(players);
+        let fanout_bytes = per_server * neighbours * per_player_bytes;
+        let total = client_bytes + overlap_bytes + fanout_bytes;
+        TrafficBreakdown {
+            players_per_server: per_server,
+            overlap_fraction: f,
+            client_bytes,
+            overlap_bytes,
+            fanout_bytes,
+            visible_neighbours: neighbours,
+            total_bytes: total,
+            io_utilisation: total / self.server_io_bytes_per_sec,
+        }
+    }
+
+    /// Whether the configuration fits inside every server's I/O budget.
+    pub fn feasible(&self, players: u64, servers: u32) -> bool {
+        self.breakdown(players, servers).io_utilisation <= 1.0
+    }
+
+    /// Largest supportable player count with `servers` shards (binary
+    /// search over the monotone feasibility predicate).
+    pub fn max_players(&self, servers: u32) -> u64 {
+        let mut lo = 0u64;
+        let mut hi = 1u64 << 40;
+        while lo < hi {
+            let mid = lo + (hi - lo).div_ceil(2);
+            if self.feasible(mid, servers) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+
+    /// The paper's headline check: can 1M players run on 10k servers?
+    pub fn paper_headline_feasible(&self) -> bool {
+        self.feasible(1_000_000, 10_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_server_has_no_overlap() {
+        let m = ScalabilityModel::default();
+        assert_eq!(m.overlap_fraction(1), 0.0);
+        let b = m.breakdown(1000, 1);
+        assert_eq!(b.overlap_bytes, 0.0);
+    }
+
+    #[test]
+    fn overlap_fraction_grows_with_servers() {
+        let m = ScalabilityModel::default();
+        assert!(m.overlap_fraction(100) < m.overlap_fraction(10_000));
+        assert!(m.overlap_fraction(10_000) < m.overlap_fraction(1_000_000).max(1.0) + 1e-12);
+    }
+
+    #[test]
+    fn overlap_fraction_caps_at_one() {
+        let m = ScalabilityModel { radius: 1e9, ..ScalabilityModel::default() };
+        assert_eq!(m.overlap_fraction(4), 1.0);
+    }
+
+    #[test]
+    fn paper_headline_holds_for_default_parameters() {
+        // 1M players / 10k servers = 100 players per server at ~1.2 KB/s
+        // each: trivially inside a 1 Gbps budget when overlap stays small.
+        let m = ScalabilityModel::default();
+        let b = m.breakdown(1_000_000, 10_000);
+        assert!(b.overlap_fraction < 0.2, "overlap fraction {}", b.overlap_fraction);
+        assert!(m.paper_headline_feasible());
+    }
+
+    #[test]
+    fn huge_radius_breaks_the_headline() {
+        // When the visibility radius is so large that overlap regions
+        // dominate, the paper's precondition fails and scaling collapses.
+        let m = ScalabilityModel {
+            radius: 20_000.0,
+            update_bytes: 50_000.0,
+            ..ScalabilityModel::default()
+        };
+        let b = m.breakdown(1_000_000, 10_000);
+        assert_eq!(b.overlap_fraction, 1.0);
+        assert!(!m.paper_headline_feasible());
+    }
+
+    #[test]
+    fn max_players_is_monotone_in_servers_until_overlap_bites() {
+        let m = ScalabilityModel::default();
+        let p100 = m.max_players(100);
+        let p1000 = m.max_players(1000);
+        assert!(p1000 > p100, "{p1000} vs {p100}");
+    }
+
+    #[test]
+    fn feasibility_is_monotone_in_players() {
+        let m = ScalabilityModel::default();
+        let max = m.max_players(1000);
+        assert!(m.feasible(max, 1000));
+        assert!(!m.feasible(max + max / 10 + 1, 1000));
+    }
+
+    #[test]
+    fn io_bound_is_the_binding_constraint() {
+        // More I/O capacity buys more players. The gain is sublinear
+        // because the fan-out term is quadratic in the population.
+        let m = ScalabilityModel::default();
+        let m2 = ScalabilityModel {
+            server_io_bytes_per_sec: m.server_io_bytes_per_sec * 2.0,
+            ..m
+        };
+        let a = m.max_players(100) as f64;
+        let b = m2.max_players(100) as f64;
+        let ratio = b / a;
+        assert!((1.3..=2.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn fanout_dominates_at_high_density() {
+        let m = ScalabilityModel::default();
+        let b = m.breakdown(100_000_000, 10_000);
+        assert!(b.fanout_bytes > b.client_bytes, "fan-out must dominate dense worlds");
+    }
+}

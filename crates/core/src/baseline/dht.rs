@@ -1,0 +1,251 @@
+//! Chord-style DHT directory: the O(log N) lookup alternative.
+//!
+//! The paper justifies the central coordinator by comparing against DHT
+//! lookups (§3.2.4). This module implements enough of Chord [Stoica et
+//! al. 2001] to measure lookup hop counts honestly: servers sit on a
+//! 64-bit identifier ring, each with a finger table, and point lookups
+//! walk greedily through closest-preceding fingers, exactly like Chord
+//! routing. Benchmark E9 compares these hop counts (× per-hop latency)
+//! with Matrix's O(1) overlap-table lookup.
+
+use matrix_geometry::{Point, Rect, ServerId};
+
+/// Ring position of a server or key.
+type RingId = u64;
+
+/// Number of finger-table entries (bits of the ring).
+const RING_BITS: usize = 64;
+
+/// Fibonacci-style hash spreading server ids over the ring.
+fn hash_server(s: ServerId) -> RingId {
+    (s.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31)
+}
+
+/// Hashes a spatial cell onto the ring. Cell granularity trades routing
+/// precision for table size, as in spatial-DHT gaming proposals.
+fn hash_cell(cx: i64, cy: i64) -> RingId {
+    let x = (cx as u64).wrapping_mul(0xA24B_AED4_963E_E407);
+    let y = (cy as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25);
+    (x ^ y.rotate_left(17)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+#[derive(Debug, Clone)]
+struct DhtNode {
+    server: ServerId,
+    ring: RingId,
+    fingers: Vec<usize>, // indices into the sorted node array
+}
+
+/// A Chord ring over the live Matrix servers, mapping spatial cells to
+/// the server responsible for their ring interval.
+#[derive(Debug, Clone)]
+pub struct DhtDirectory {
+    nodes: Vec<DhtNode>, // sorted by ring id
+    cell_size: f64,
+}
+
+/// Result of a DHT lookup: the answering server and the route taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhtLookup {
+    /// Server responsible for the queried key.
+    pub home: ServerId,
+    /// Number of inter-server hops the query traversed.
+    pub hops: usize,
+}
+
+impl DhtDirectory {
+    /// Builds the ring for the given servers; `cell_size` is the spatial
+    /// granularity of key hashing.
+    pub fn new(servers: &[ServerId], cell_size: f64) -> DhtDirectory {
+        assert!(!servers.is_empty(), "a DHT needs at least one node");
+        assert!(cell_size > 0.0, "cell size must be positive");
+        let mut nodes: Vec<DhtNode> = servers
+            .iter()
+            .map(|&s| DhtNode { server: s, ring: hash_server(s), fingers: Vec::new() })
+            .collect();
+        nodes.sort_by_key(|n| n.ring);
+        nodes.dedup_by_key(|n| n.ring);
+        // Finger i of node n points at the successor of n.ring + 2^i.
+        let rings: Vec<RingId> = nodes.iter().map(|n| n.ring).collect();
+        for node in nodes.iter_mut() {
+            let mut fingers = Vec::with_capacity(RING_BITS);
+            for bit in 0..RING_BITS {
+                let target = node.ring.wrapping_add(1u64.wrapping_shl(bit as u32));
+                fingers.push(Self::successor_index(&rings, target));
+            }
+            fingers.dedup();
+            node.fingers = fingers;
+        }
+        DhtDirectory { nodes, cell_size }
+    }
+
+    /// Index of the first node clockwise from `key` (inclusive).
+    fn successor_index(rings: &[RingId], key: RingId) -> usize {
+        match rings.binary_search(&key) {
+            Ok(i) => i,
+            Err(i) => {
+                if i == rings.len() {
+                    0
+                } else {
+                    i
+                }
+            }
+        }
+    }
+
+    /// Number of ring nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the ring is empty (never true for a constructed ring).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Looks up the home node for a point, starting at `from`, counting
+    /// Chord greedy-routing hops.
+    pub fn lookup(&self, from: ServerId, point: Point) -> DhtLookup {
+        let cx = (point.x / self.cell_size).floor() as i64;
+        let cy = (point.y / self.cell_size).floor() as i64;
+        let key = hash_cell(cx, cy);
+        let rings: Vec<RingId> = self.nodes.iter().map(|n| n.ring).collect();
+        let home_idx = Self::successor_index(&rings, key);
+
+        let mut current = self
+            .nodes
+            .iter()
+            .position(|n| n.server == from)
+            .unwrap_or(0);
+        let mut hops = 0;
+        // Greedy clockwise routing via fingers, bounded by ring size.
+        while current != home_idx && hops < self.nodes.len() {
+            let next = self.closest_preceding(current, key, home_idx);
+            if next == current {
+                break;
+            }
+            current = next;
+            hops += 1;
+        }
+        DhtLookup { home: self.nodes[home_idx].server, hops }
+    }
+
+    /// The finger of `current` that gets closest to `key` without passing
+    /// it (Chord's `closest_preceding_finger`), falling back to the
+    /// immediate successor.
+    fn closest_preceding(&self, current: usize, key: RingId, home_idx: usize) -> usize {
+        let cur_ring = self.nodes[current].ring;
+        let dist_to_key = key.wrapping_sub(cur_ring);
+        let mut best = (current + 1) % self.nodes.len(); // successor fallback
+        let mut best_dist = u64::MAX;
+        for &f in &self.nodes[current].fingers {
+            if f == current {
+                continue;
+            }
+            let fd = self.nodes[f].ring.wrapping_sub(cur_ring);
+            // Fingers past the key overshoot; the home node itself is fine.
+            if fd <= dist_to_key || f == home_idx {
+                let remaining = key.wrapping_sub(self.nodes[f].ring);
+                if remaining < best_dist {
+                    best_dist = remaining;
+                    best = f;
+                }
+            }
+        }
+        if best_dist == u64::MAX {
+            // No finger helps: take the home directly if it is our
+            // successor region, else step to the successor.
+            (current + 1) % self.nodes.len()
+        } else {
+            best
+        }
+    }
+
+    /// Mean hops over a grid of probe points in `world` — the number the
+    /// E9 bench reports against table lookups.
+    pub fn mean_hops(&self, world: Rect, probes: usize) -> f64 {
+        if probes == 0 {
+            return 0.0;
+        }
+        let side = (probes as f64).sqrt().ceil() as usize;
+        let mut total = 0usize;
+        let mut n = 0usize;
+        for i in 0..side {
+            for j in 0..side {
+                let p = Point::new(
+                    world.min().x + world.width() * (i as f64 + 0.5) / side as f64,
+                    world.min().y + world.height() * (j as f64 + 0.5) / side as f64,
+                );
+                let from = self.nodes[(i * side + j) % self.nodes.len()].server;
+                total += self.lookup(from, p).hops;
+                n += 1;
+            }
+        }
+        total as f64 / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn servers(n: u32) -> Vec<ServerId> {
+        (1..=n).map(ServerId).collect()
+    }
+
+    #[test]
+    fn single_node_answers_in_zero_hops() {
+        let d = DhtDirectory::new(&servers(1), 10.0);
+        let r = d.lookup(ServerId(1), Point::new(5.0, 5.0));
+        assert_eq!(r.home, ServerId(1));
+        assert_eq!(r.hops, 0);
+    }
+
+    #[test]
+    fn lookup_from_home_is_free() {
+        let d = DhtDirectory::new(&servers(16), 10.0);
+        let p = Point::new(123.0, 456.0);
+        let r = d.lookup(ServerId(1), p);
+        let again = d.lookup(r.home, p);
+        assert_eq!(again.hops, 0);
+        assert_eq!(again.home, r.home);
+    }
+
+    #[test]
+    fn lookups_terminate_and_agree() {
+        let d = DhtDirectory::new(&servers(64), 10.0);
+        for i in 0..50 {
+            let p = Point::new(i as f64 * 13.7, i as f64 * 7.3);
+            let a = d.lookup(ServerId(1), p);
+            let b = d.lookup(ServerId(40), p);
+            assert_eq!(a.home, b.home, "home must not depend on the start node");
+            assert!(a.hops <= 64);
+        }
+    }
+
+    #[test]
+    fn hops_grow_logarithmically() {
+        let world = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let small = DhtDirectory::new(&servers(8), 10.0).mean_hops(world, 256);
+        let large = DhtDirectory::new(&servers(512), 10.0).mean_hops(world, 256);
+        assert!(large > small, "512 nodes ({large:.2} hops) must beat 8 ({small:.2})");
+        // Chord: ~½·log2(N) hops on average; allow generous slack but keep
+        // the order of magnitude honest.
+        assert!(large < 2.0 * 9.0, "mean hops {large:.2} should be O(log N)");
+        assert!(small >= 0.5, "even 8 nodes need some routing");
+    }
+
+    #[test]
+    fn same_cell_same_home() {
+        let d = DhtDirectory::new(&servers(32), 50.0);
+        let a = d.lookup(ServerId(3), Point::new(10.0, 10.0));
+        let b = d.lookup(ServerId(5), Point::new(40.0, 40.0)); // same 50-cell
+        assert_eq!(a.home, b.home);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_ring_panics() {
+        let _ = DhtDirectory::new(&[], 10.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Comparison systems from the paper's related-work discussion.
+//!
+//! * [`dht`] — a Chord-style O(log N) lookup, the alternative the paper
+//!   rejects for the forwarding path (§3.2.4: "DHT schemes usually need
+//!   O(log N) lookups for N Matrix servers").
+//! * [`replicated`] — the commercial-MMOG approach of tightly-coupled
+//!   fully consistent server groups per partition (§5), whose bandwidth
+//!   blow-up the replication model quantifies.
+//!
+//! The *static partitioning* baseline needs no extra code: it is the
+//! ordinary [`crate::MatrixServer`] with
+//! [`crate::MatrixConfig::static_baseline`] (adaptation disabled) and a
+//! pre-built K-way [`matrix_geometry::PartitionMap::static_grid`].
+
+pub mod dht;
+pub mod replicated;
+
+pub use dht::DhtDirectory;
+pub use replicated::ReplicationModel;

@@ -1,0 +1,120 @@
+//! The tightly-coupled replication model of commercial MMOGs.
+//!
+//! §5: "Commercial MMOG systems ... allocate multiple tightly-coupled
+//! (completely consistent) servers to handle the same partition, an
+//! approach that is neither efficient nor very scalable." This module
+//! quantifies that claim: with `k` fully consistent replicas of one
+//! partition, *every* update must be processed by *every* replica plus a
+//! synchronisation exchange, so adding servers buys fan-out capacity but
+//! no update-processing capacity at all.
+
+use serde::{Deserialize, Serialize};
+
+/// Closed-form cost model of one partition served by `replicas`
+/// tightly-coupled servers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicationModel {
+    /// Number of fully consistent replicas.
+    pub replicas: u32,
+    /// Client update rate (packets per second per client).
+    pub update_rate_hz: f64,
+    /// Mean update size in bytes.
+    pub update_bytes: f64,
+    /// Per-server processing capacity in updates per second.
+    pub server_capacity_ups: f64,
+}
+
+impl ReplicationModel {
+    /// Updates per second each replica must process for `clients` players.
+    ///
+    /// Every replica sees every update (full consistency), so this does
+    /// not fall as replicas are added — the scalability flaw the paper
+    /// points at.
+    pub fn per_replica_update_load(&self, clients: u32) -> f64 {
+        clients as f64 * self.update_rate_hz
+    }
+
+    /// Inter-replica synchronisation traffic in bytes per second: each
+    /// update is echoed to the other `k-1` replicas.
+    pub fn sync_bandwidth_bytes(&self, clients: u32) -> f64 {
+        let updates = self.per_replica_update_load(clients);
+        updates * self.update_bytes * (self.replicas.saturating_sub(1)) as f64
+    }
+
+    /// Maximum clients the group can serve, limited by update processing.
+    ///
+    /// Independent of `replicas` — the headline inefficiency.
+    pub fn max_clients(&self) -> u32 {
+        (self.server_capacity_ups / self.update_rate_hz).floor() as u32
+    }
+
+    /// Maximum clients a *Matrix-style* split of the same hardware could
+    /// serve, assuming the partition divides the client population evenly
+    /// across `replicas` independent shards.
+    pub fn max_clients_if_split(&self) -> u32 {
+        self.max_clients().saturating_mul(self.replicas)
+    }
+
+    /// The efficiency ratio Matrix-style partitioning achieves over
+    /// replication on identical hardware (≥ 1, grows linearly with k).
+    pub fn split_advantage(&self) -> f64 {
+        if self.max_clients() == 0 {
+            return 1.0;
+        }
+        self.max_clients_if_split() as f64 / self.max_clients() as f64
+    }
+}
+
+impl Default for ReplicationModel {
+    fn default() -> Self {
+        ReplicationModel {
+            replicas: 2,
+            update_rate_hz: 10.0,
+            update_bytes: 100.0,
+            server_capacity_ups: 30_000.0 * 10.0, // 30k clients at 10 Hz (§1's per-server limit)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_load_is_independent_of_replica_count() {
+        let one = ReplicationModel { replicas: 1, ..ReplicationModel::default() };
+        let four = ReplicationModel { replicas: 4, ..ReplicationModel::default() };
+        assert_eq!(one.per_replica_update_load(1000), four.per_replica_update_load(1000));
+    }
+
+    #[test]
+    fn sync_bandwidth_grows_with_replicas() {
+        let m2 = ReplicationModel { replicas: 2, ..ReplicationModel::default() };
+        let m4 = ReplicationModel { replicas: 4, ..ReplicationModel::default() };
+        assert!(m4.sync_bandwidth_bytes(1000) > m2.sync_bandwidth_bytes(1000));
+        let m1 = ReplicationModel { replicas: 1, ..ReplicationModel::default() };
+        assert_eq!(m1.sync_bandwidth_bytes(1000), 0.0);
+    }
+
+    #[test]
+    fn max_clients_matches_paper_figure() {
+        // §1: "each server can handle at most 30,000 clients".
+        let m = ReplicationModel::default();
+        assert_eq!(m.max_clients(), 30_000);
+    }
+
+    #[test]
+    fn split_advantage_is_linear_in_group_size() {
+        for k in 1..=8 {
+            let m = ReplicationModel { replicas: k, ..ReplicationModel::default() };
+            assert!((m.split_advantage() - k as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_capacity_is_handled() {
+        let m = ReplicationModel { server_capacity_ups: 0.0, ..ReplicationModel::default() };
+        assert_eq!(m.max_clients(), 0);
+        assert_eq!(m.split_advantage(), 1.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Tunable parameters for the middleware components.
+
+use matrix_geometry::{Metric, SplitStrategy};
+use matrix_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a Matrix server's adaptive behaviour.
+///
+/// Defaults reproduce the paper's Figure-2 deployment: overload at 300
+/// clients, underload below 150, with short hysteresis streaks as the
+/// "simple heuristics to prevent oscillations" (§3.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatrixConfig {
+    /// Whether the server may split and reclaim at all. Disabling this
+    /// turns the identical machinery into the static-partitioning baseline.
+    pub adaptive: bool,
+    /// Client count at which a game server counts as overloaded
+    /// (Figure 2: "a server is overloaded when it has 300+ clients").
+    pub overload_clients: u32,
+    /// Client count below which a server counts as underloaded
+    /// (Figure 2: "underloaded (< 150 clients)").
+    pub underload_clients: u32,
+    /// Receive-queue backlog (work units) that also flags overload, so CPU
+    /// hotspots without many clients still trigger splits ("or via system
+    /// performance measurements", §3.2.3).
+    pub overload_backlog: f64,
+    /// Consecutive overloaded load reports required before splitting.
+    pub overload_streak: u32,
+    /// Consecutive underloaded reports required before reclaiming a child.
+    pub underload_streak: u32,
+    /// A child is only reclaimed when the merged client count stays below
+    /// `overload_clients * reclaim_headroom`, so a reclaim cannot
+    /// immediately bounce back into a split (anti-oscillation heuristic,
+    /// §3.2.3).
+    pub reclaim_headroom: f64,
+    /// Minimum time between adaptive actions on one server; prevents a
+    /// freshly split server from immediately splitting or being reclaimed.
+    pub cooldown: SimDuration,
+    /// How the map is cut on a split.
+    pub split_strategy: SplitStrategy,
+    /// Interval between heartbeats to the coordinator.
+    pub heartbeat_every: SimDuration,
+    /// When true, `WhereIs` point-resolution queries are answered from the
+    /// locally cached partition directory; when false every query goes to
+    /// the coordinator (used by the E5 microbenchmark to measure MC load).
+    pub resolve_locally: bool,
+    /// Distance metric for range verification and exact-set fallbacks.
+    pub metric: Metric,
+}
+
+impl Default for MatrixConfig {
+    fn default() -> Self {
+        MatrixConfig {
+            adaptive: true,
+            overload_clients: 300,
+            underload_clients: 150,
+            overload_backlog: 5_000.0,
+            overload_streak: 2,
+            underload_streak: 3,
+            reclaim_headroom: 0.7,
+            cooldown: SimDuration::from_secs(5),
+            split_strategy: SplitStrategy::SplitToLeft,
+            heartbeat_every: SimDuration::from_secs(1),
+            resolve_locally: true,
+            metric: Metric::Euclidean,
+        }
+    }
+}
+
+impl MatrixConfig {
+    /// The static-partitioning baseline: identical routing, no adaptation.
+    pub fn static_baseline() -> MatrixConfig {
+        MatrixConfig { adaptive: false, ..MatrixConfig::default() }
+    }
+}
+
+/// Configuration of a game-server node (the developer-provided side,
+/// emulated here).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GameServerConfig {
+    /// Game tick interval (load reports and redirect sweeps run on ticks).
+    pub tick: SimDuration,
+    /// Load report sent to Matrix every `report_every_ticks` ticks
+    /// (§3.2.2 "periodically reports its current load").
+    pub report_every_ticks: u32,
+    /// Per-client state transferred on a handoff (position, inventory,
+    /// session), in bytes. The paper calls this "minimal".
+    pub client_state_bytes: u64,
+    /// Dynamic global state transferred to a newly split server (map
+    /// objects such as trees and buildings), in bytes.
+    pub global_state_bytes: u64,
+    /// Whether load reports carry client positions, enabling the
+    /// load-aware split strategy.
+    pub report_positions: bool,
+    /// Roaming hysteresis: a client is only handed off once it strays
+    /// further than this outside the server's range, so crowds jittering
+    /// on a partition boundary do not thrash between servers.
+    pub handoff_margin: f64,
+    /// Metric for in-game distances.
+    pub metric: Metric,
+}
+
+impl Default for GameServerConfig {
+    fn default() -> Self {
+        GameServerConfig {
+            tick: SimDuration::from_millis(100),
+            report_every_ticks: 10,
+            client_state_bytes: 2_048,
+            global_state_bytes: 4_000_000,
+            report_positions: true,
+            handoff_margin: 0.0,
+            metric: Metric::Euclidean,
+        }
+    }
+}
+
+/// Configuration of the Matrix Coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoordinatorConfig {
+    /// A server missing heartbeats for this long is declared dead and its
+    /// partition reassigned.
+    pub heartbeat_timeout: SimDuration,
+    /// Distance metric used when building overlap tables.
+    pub metric: Metric,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            heartbeat_timeout: SimDuration::from_secs(5),
+            metric: Metric::Euclidean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_figure_2_thresholds() {
+        let c = MatrixConfig::default();
+        assert_eq!(c.overload_clients, 300);
+        assert_eq!(c.underload_clients, 150);
+        assert!(c.adaptive);
+    }
+
+    #[test]
+    fn static_baseline_disables_adaptation_only() {
+        let c = MatrixConfig::static_baseline();
+        assert!(!c.adaptive);
+        assert_eq!(c.overload_clients, MatrixConfig::default().overload_clients);
+    }
+
+    #[test]
+    fn hysteresis_requires_multiple_reports() {
+        let c = MatrixConfig::default();
+        assert!(c.overload_streak >= 2, "splits must not fire on a single spike");
+        assert!(c.underload_streak >= 2, "reclaims must not fire on a single dip");
+    }
+}

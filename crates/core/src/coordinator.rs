@@ -1,0 +1,652 @@
+//! The Matrix Coordinator (MC) — §3.2.4.
+//!
+//! The MC owns the authoritative partition directory. On every topology
+//! change (registration, split, reclaim, failure) it recomputes the overlap
+//! regions with axis-aligned bounding-box arithmetic and pushes each server
+//! its table. It is deliberately *off* the latency-critical forwarding
+//! path: packet routing uses the distributed tables, and the MC is only
+//! consulted for rare non-proximal interactions and topology changes —
+//! which is why the paper argues a central MC scales.
+
+use crate::config::CoordinatorConfig;
+use crate::messages::{CoordMsg, CoordReply};
+use matrix_geometry::{
+    build_overlap, consistency_set, OverlapMap, PartitionMap, Rect, ServerId,
+};
+use matrix_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An effect the coordinator asks its driver to carry out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoordAction {
+    /// Send a reply to a Matrix server.
+    Send(ServerId, CoordReply),
+}
+
+/// Counters for the E5 microbenchmark (coordinator overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoordinatorStats {
+    /// Overlap-table recomputations performed.
+    pub recomputes: u64,
+    /// Individual table messages pushed to servers.
+    pub tables_sent: u64,
+    /// Point-resolution queries served.
+    pub resolves: u64,
+    /// Splits recorded.
+    pub splits_seen: u64,
+    /// Reclaims recorded.
+    pub reclaims_seen: u64,
+    /// Servers declared dead after missing heartbeats.
+    pub failures_declared: u64,
+    /// Targeted table re-pushes triggered by stale-epoch heartbeats.
+    pub table_refreshes: u64,
+}
+
+/// The coordinator state machine.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    cfg: CoordinatorConfig,
+    world: Option<Rect>,
+    radius: f64,
+    extra_radii: Vec<f64>,
+    map: Option<PartitionMap>,
+    overlap: Option<OverlapMap>,
+    extra_overlaps: Vec<(f64, OverlapMap)>,
+    epoch: u64,
+    heartbeats: BTreeMap<ServerId, SimTime>,
+    /// Parent relationships learned from splits, used to pick an heir on
+    /// failure.
+    parents: BTreeMap<ServerId, ServerId>,
+    stats: CoordinatorStats,
+}
+
+impl Coordinator {
+    /// Creates an empty coordinator awaiting the first registration.
+    pub fn new(cfg: CoordinatorConfig) -> Coordinator {
+        Coordinator {
+            cfg,
+            world: None,
+            radius: 0.0,
+            extra_radii: Vec::new(),
+            map: None,
+            overlap: None,
+            extra_overlaps: Vec::new(),
+            epoch: 0,
+            heartbeats: BTreeMap::new(),
+            parents: BTreeMap::new(),
+            stats: CoordinatorStats::default(),
+        }
+    }
+
+    /// Bootstraps with a pre-built multi-server map (static baseline and
+    /// test fixtures), immediately producing tables for every server.
+    pub fn with_map(cfg: CoordinatorConfig, map: PartitionMap, radius: f64) -> (Coordinator, Vec<CoordAction>) {
+        let mut c = Coordinator::new(cfg);
+        c.world = Some(map.world());
+        c.radius = radius;
+        c.map = Some(map);
+        let actions = c.recompute();
+        (c, actions)
+    }
+
+    /// Current partition directory.
+    pub fn map(&self) -> Option<&PartitionMap> {
+        self.map.as_ref()
+    }
+
+    /// Current table epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Counters for experiments.
+    pub fn stats(&self) -> &CoordinatorStats {
+        &self.stats
+    }
+
+    /// Number of live servers in the directory.
+    pub fn server_count(&self) -> usize {
+        self.map.as_ref().map_or(0, |m| m.len())
+    }
+
+    /// Handles one message from a Matrix server.
+    pub fn handle(&mut self, now: SimTime, msg: CoordMsg) -> Vec<CoordAction> {
+        match msg {
+            CoordMsg::RegisterWorld { server, world, radius } => {
+                self.heartbeats.insert(server, now);
+                if self.map.is_none() {
+                    self.world = Some(world);
+                    self.radius = radius;
+                    self.map = Some(PartitionMap::new(world, server));
+                }
+                self.recompute()
+            }
+            CoordMsg::RegisterRadius { server: _, radius } => {
+                if !self.extra_radii.iter().any(|r| r.to_bits() == radius.to_bits()) {
+                    self.extra_radii.push(radius);
+                }
+                self.recompute()
+            }
+            CoordMsg::SplitOccurred { parent, child, parent_range, child_range } => {
+                self.stats.splits_seen += 1;
+                self.heartbeats.insert(child, now);
+                self.parents.insert(child, parent);
+                if let Some(map) = &mut self.map {
+                    // Reconstruct the move: the directory must mirror what
+                    // the splitting server decided locally.
+                    let _ = parent_range;
+                    if map.contains_server(parent) && !map.contains_server(child) {
+                        // Apply by direct surgery: shrink parent, add child.
+                        let ok = Self::apply_split(map, parent, child, parent_range, child_range);
+                        if !ok {
+                            #[cfg(debug_assertions)]
+                            eprintln!("DIVERGE split {parent}->{child}: dir={:?} report par={parent_range:?} child={child_range:?}", map.range_of(parent));
+                            self.stats.failures_declared += 1;
+                        }
+                    } else {
+                        #[cfg(debug_assertions)]
+                        eprintln!(
+                            "DIVERGE split skipped {parent}->{child}: parent in dir={} child in dir={}",
+                            map.contains_server(parent),
+                            map.contains_server(child)
+                        );
+                    }
+                }
+                self.recompute()
+            }
+            CoordMsg::ReclaimOccurred { parent, child, merged_range } => {
+                self.stats.reclaims_seen += 1;
+                self.heartbeats.remove(&child);
+                self.parents.remove(&child);
+                if let Some(map) = &mut self.map {
+                    if map.contains_server(child) {
+                        if let Err(_e) = map.reclaim(parent, child) {
+                            #[cfg(debug_assertions)]
+                            eprintln!(
+                                "DIVERGE reclaim {parent}<-{child}: {_e}; dir parent={:?} child={:?} reported merged={merged_range:?}",
+                                map.range_of(parent),
+                                map.range_of(child)
+                            );
+                        }
+                    } else {
+                        #[cfg(debug_assertions)]
+                        eprintln!("DIVERGE reclaim: child {child} not in directory");
+                    }
+                    debug_assert_eq!(map.range_of(parent), Some(merged_range), "reclaim {parent}<-{child}");
+                }
+                self.recompute()
+            }
+            CoordMsg::Heartbeat { server, epoch } => {
+                self.heartbeats.insert(server, now);
+                // Anti-entropy: a server routing with stale tables (a lost
+                // or delayed push) gets a targeted refresh instead of
+                // waiting for the next topology change.
+                if epoch < self.epoch && self.map.as_ref().is_some_and(|m| m.contains_server(server))
+                {
+                    self.stats.table_refreshes += 1;
+                    return self.tables_for(server).into_iter().collect();
+                }
+                Vec::new()
+            }
+            CoordMsg::OrphanRange { parent: _, child, range } => {
+                // The retired child's range needs a mergeable owner. Reuse
+                // the failure-absorption machinery: pick an heir among the
+                // child's mergeable neighbours and instruct it to absorb.
+                self.heartbeats.remove(&child);
+                self.parents.remove(&child);
+                let Some(map) = &mut self.map else {
+                    return Vec::new();
+                };
+                if !map.contains_server(child) {
+                    return Vec::new(); // already reassigned
+                }
+                let heir = map.mergeable_neighbours(child).into_iter().next();
+                let Some(heir) = heir else {
+                    return Vec::new(); // no heir yet; a later topology change will merge it
+                };
+                if map.absorb(heir, child).is_err() {
+                    return Vec::new();
+                }
+                let mut actions =
+                    vec![CoordAction::Send(heir, CoordReply::AbsorbFailed { failed: child, range })];
+                actions.extend(self.recompute());
+                actions
+            }
+            CoordMsg::ResolvePoint { server, client, point, radius } => {
+                self.stats.resolves += 1;
+                let (owner, set) = match &self.map {
+                    Some(map) => {
+                        let owner = map.owner_of(point);
+                        let r = radius.unwrap_or(self.radius);
+                        let me = owner.unwrap_or(ServerId(u32::MAX));
+                        (owner, consistency_set(map, point, me, r, self.cfg.metric))
+                    }
+                    None => (None, Vec::new()),
+                };
+                vec![CoordAction::Send(
+                    server,
+                    CoordReply::Resolved { client, point, owner, set },
+                )]
+            }
+        }
+    }
+
+    /// Applies a split reported by a server onto the directory. Returns
+    /// false when the reported geometry does not match the directory (a
+    /// protocol error, tolerated by resynchronising to the report).
+    fn apply_split(
+        map: &mut PartitionMap,
+        parent: ServerId,
+        child: ServerId,
+        parent_range: Rect,
+        child_range: Rect,
+    ) -> bool {
+        let Some(current) = map.range_of(parent) else {
+            return false;
+        };
+        let expected = parent_range.merges_with(&child_range);
+        if expected != Some(current) {
+            return false;
+        }
+        // Perform the exact same cut the server made. The child gets
+        // `child_range`; the parent keeps `parent_range`. We re-cut the
+        // current rect along the shared edge.
+        let (axis, at) = if parent_range.min().x == child_range.max().x
+            || parent_range.max().x == child_range.min().x
+        {
+            (
+                matrix_geometry::Axis::X,
+                parent_range.min().x.max(child_range.min().x),
+            )
+        } else {
+            (
+                matrix_geometry::Axis::Y,
+                parent_range.min().y.max(child_range.min().y),
+            )
+        };
+        let Some((low, high)) = current.split_at(axis, at) else {
+            return false;
+        };
+        let (child_rect, parent_rect) =
+            if low == child_range { (low, high) } else { (high, low) };
+        debug_assert_eq!(parent_rect, parent_range);
+        // Rebuild the map entry-by-entry (PartitionMap has no raw surgery
+        // API by design; splits go through split(), which needs a strategy.
+        // We use split_at semantics via a custom strategy-free path).
+        let mut rebuilt = Vec::new();
+        for (s, r) in map.iter() {
+            if s == parent {
+                rebuilt.push((parent, parent_rect));
+            } else {
+                rebuilt.push((s, r));
+            }
+        }
+        rebuilt.push((child, child_rect));
+        *map = PartitionMap::from_parts(map.world(), rebuilt)
+            .expect("split surgery preserves partition invariants");
+        true
+    }
+
+    /// Recomputes every server's overlap table and emits the pushes
+    /// (§3.2.4: "recomputes and redistributes overlap regions every time a
+    /// new Matrix server is used or an existing Matrix server is
+    /// reclaimed").
+    pub fn recompute(&mut self) -> Vec<CoordAction> {
+        let Some(map) = &self.map else {
+            return Vec::new();
+        };
+        self.epoch += 1;
+        self.stats.recomputes += 1;
+        let overlap = build_overlap(map, self.radius, self.cfg.metric);
+        self.extra_overlaps = self
+            .extra_radii
+            .iter()
+            .map(|&r| (r, build_overlap(map, r, self.cfg.metric)))
+            .collect();
+        let mut actions = Vec::with_capacity(map.len());
+        for (server, _) in map.iter() {
+            let table = overlap
+                .table_for(server)
+                .expect("every server in the map has a table")
+                .clone();
+            let extra_tables: Vec<(u64, matrix_geometry::OverlapTable)> = self
+                .extra_overlaps
+                .iter()
+                .filter_map(|(r, om)| {
+                    om.table_for(server).map(|t| (r.to_bits(), t.clone()))
+                })
+                .collect();
+            self.stats.tables_sent += 1;
+            actions.push(CoordAction::Send(
+                server,
+                CoordReply::Tables { epoch: self.epoch, table, extra_tables, map: map.clone() },
+            ));
+        }
+        self.overlap = Some(overlap);
+        actions
+    }
+
+    /// Builds the current-epoch table push for one server (no recompute).
+    fn tables_for(&self, server: ServerId) -> Option<CoordAction> {
+        let map = self.map.as_ref()?;
+        let overlap = self.overlap.as_ref()?;
+        let table = overlap.table_for(server)?.clone();
+        let extra_tables: Vec<(u64, matrix_geometry::OverlapTable)> = self
+            .extra_overlaps
+            .iter()
+            .filter_map(|(r, om)| om.table_for(server).map(|t| (r.to_bits(), t.clone())))
+            .collect();
+        Some(CoordAction::Send(
+            server,
+            CoordReply::Tables { epoch: self.epoch, table, extra_tables, map: map.clone() },
+        ))
+    }
+
+    /// Periodic liveness sweep: declares servers with stale heartbeats dead
+    /// and instructs a mergeable neighbour (preferring the parent) to
+    /// absorb the orphaned range. Returns the resulting pushes.
+    pub fn check_liveness(&mut self, now: SimTime) -> Vec<CoordAction> {
+        let Some(map) = &self.map else {
+            return Vec::new();
+        };
+        if map.len() <= 1 {
+            return Vec::new(); // the last server has no heir
+        }
+        let dead: Vec<ServerId> = self
+            .heartbeats
+            .iter()
+            .filter(|(s, t)| {
+                map.contains_server(**s) && now.since(**t) > self.cfg.heartbeat_timeout
+            })
+            .map(|(s, _)| *s)
+            .collect();
+        let mut actions = Vec::new();
+        for failed in dead {
+            let Some(map) = &mut self.map else { break };
+            if map.len() <= 1 {
+                break;
+            }
+            let Some(range) = map.range_of(failed) else { continue };
+            // Prefer the parent as heir, else any mergeable neighbour.
+            let neighbours = map.mergeable_neighbours(failed);
+            let heir = self
+                .parents
+                .get(&failed)
+                .copied()
+                .filter(|p| neighbours.contains(p))
+                .or_else(|| neighbours.first().copied());
+            let Some(heir) = heir else { continue };
+            if map.absorb(heir, failed).is_err() {
+                continue;
+            }
+            #[cfg(debug_assertions)]
+            eprintln!("DECLARE DEAD {failed} heir {heir} at {now}");
+            self.stats.failures_declared += 1;
+            self.heartbeats.remove(&failed);
+            self.parents.remove(&failed);
+            actions.push(CoordAction::Send(heir, CoordReply::AbsorbFailed { failed, range }));
+            actions.extend(self.recompute());
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::ClientId;
+    use matrix_geometry::Point;
+    use matrix_sim::SimDuration;
+
+    fn world() -> Rect {
+        Rect::from_coords(0.0, 0.0, 400.0, 400.0)
+    }
+
+    fn registered() -> (Coordinator, Vec<CoordAction>) {
+        let mut c = Coordinator::new(CoordinatorConfig::default());
+        let actions = c.handle(
+            SimTime::ZERO,
+            CoordMsg::RegisterWorld { server: ServerId(1), world: world(), radius: 50.0 },
+        );
+        (c, actions)
+    }
+
+    #[test]
+    fn registration_produces_first_tables() {
+        let (c, actions) = registered();
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(c.server_count(), 1);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            &actions[0],
+            CoordAction::Send(s, CoordReply::Tables { epoch: 1, .. }) if *s == ServerId(1)
+        ));
+    }
+
+    #[test]
+    fn split_updates_directory_and_pushes_tables() {
+        let (mut c, _) = registered();
+        let actions = c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::SplitOccurred {
+                parent: ServerId(1),
+                child: ServerId(2),
+                parent_range: Rect::from_coords(200.0, 0.0, 400.0, 400.0),
+                child_range: Rect::from_coords(0.0, 0.0, 200.0, 400.0),
+            },
+        );
+        assert_eq!(c.server_count(), 2);
+        assert_eq!(c.map().unwrap().range_of(ServerId(2)), Some(Rect::from_coords(0.0, 0.0, 200.0, 400.0)));
+        c.map().unwrap().validate().unwrap();
+        // One table per live server.
+        assert_eq!(actions.len(), 2);
+        assert_eq!(c.stats().splits_seen, 1);
+    }
+
+    #[test]
+    fn horizontal_split_is_applied() {
+        let (mut c, _) = registered();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::SplitOccurred {
+                parent: ServerId(1),
+                child: ServerId(2),
+                parent_range: Rect::from_coords(0.0, 200.0, 400.0, 400.0),
+                child_range: Rect::from_coords(0.0, 0.0, 400.0, 200.0),
+            },
+        );
+        assert_eq!(c.server_count(), 2);
+        c.map().unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn reclaim_updates_directory() {
+        let (mut c, _) = registered();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::SplitOccurred {
+                parent: ServerId(1),
+                child: ServerId(2),
+                parent_range: Rect::from_coords(200.0, 0.0, 400.0, 400.0),
+                child_range: Rect::from_coords(0.0, 0.0, 200.0, 400.0),
+            },
+        );
+        let actions = c.handle(
+            SimTime::from_secs(2),
+            CoordMsg::ReclaimOccurred {
+                parent: ServerId(1),
+                child: ServerId(2),
+                merged_range: world(),
+            },
+        );
+        assert_eq!(c.server_count(), 1);
+        assert_eq!(c.map().unwrap().range_of(ServerId(1)), Some(world()));
+        assert_eq!(actions.len(), 1);
+        assert_eq!(c.stats().reclaims_seen, 1);
+    }
+
+    #[test]
+    fn resolve_point_returns_owner_and_set() {
+        let (mut c, _) = registered();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::SplitOccurred {
+                parent: ServerId(1),
+                child: ServerId(2),
+                parent_range: Rect::from_coords(200.0, 0.0, 400.0, 400.0),
+                child_range: Rect::from_coords(0.0, 0.0, 200.0, 400.0),
+            },
+        );
+        let actions = c.handle(
+            SimTime::from_secs(2),
+            CoordMsg::ResolvePoint {
+                server: ServerId(1),
+                client: ClientId(9),
+                point: Point::new(190.0, 50.0),
+                radius: None,
+            },
+        );
+        let CoordAction::Send(to, CoordReply::Resolved { owner, set, .. }) = &actions[0] else {
+            panic!("expected resolve reply");
+        };
+        assert_eq!(*to, ServerId(1));
+        assert_eq!(*owner, Some(ServerId(2)));
+        // 190 is within 50 of S1's half.
+        assert!(set.contains(&ServerId(1)), "{set:?}");
+        assert_eq!(c.stats().resolves, 1);
+    }
+
+    #[test]
+    fn epoch_increases_monotonically() {
+        let (mut c, _) = registered();
+        let e1 = c.epoch();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::SplitOccurred {
+                parent: ServerId(1),
+                child: ServerId(2),
+                parent_range: Rect::from_coords(200.0, 0.0, 400.0, 400.0),
+                child_range: Rect::from_coords(0.0, 0.0, 200.0, 400.0),
+            },
+        );
+        assert!(c.epoch() > e1);
+    }
+
+    #[test]
+    fn missed_heartbeats_trigger_absorption() {
+        let (mut c, _) = registered();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::SplitOccurred {
+                parent: ServerId(1),
+                child: ServerId(2),
+                parent_range: Rect::from_coords(200.0, 0.0, 400.0, 400.0),
+                child_range: Rect::from_coords(0.0, 0.0, 200.0, 400.0),
+            },
+        );
+        // S1 keeps heartbeating, S2 goes silent.
+        for s in 1..=20u64 {
+            c.handle(SimTime::from_secs(1) + SimDuration::from_secs(s), CoordMsg::Heartbeat { server: ServerId(1), epoch: 99 });
+        }
+        // At t=24, S1's last heartbeat (t=21) is fresh; S2's (t=1) is stale.
+        let actions = c.check_liveness(SimTime::from_secs(24));
+        assert_eq!(c.stats().failures_declared, 1);
+        assert_eq!(c.server_count(), 1);
+        assert!(actions.iter().any(|a| matches!(a,
+            CoordAction::Send(s, CoordReply::AbsorbFailed { failed, .. })
+                if *s == ServerId(1) && *failed == ServerId(2))));
+        // Fresh tables follow the absorption.
+        assert!(actions.iter().any(|a| matches!(a, CoordAction::Send(_, CoordReply::Tables { .. }))));
+    }
+
+    #[test]
+    fn last_server_is_never_declared_dead() {
+        let (mut c, _) = registered();
+        let actions = c.check_liveness(SimTime::from_secs(1000));
+        assert!(actions.is_empty());
+        assert_eq!(c.server_count(), 1);
+    }
+
+    #[test]
+    fn extra_radius_produces_extra_tables() {
+        let (mut c, _) = registered();
+        let actions = c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::RegisterRadius { server: ServerId(1), radius: 120.0 },
+        );
+        let CoordAction::Send(_, CoordReply::Tables { extra_tables, .. }) = &actions[0] else {
+            panic!("expected tables");
+        };
+        assert_eq!(extra_tables.len(), 1);
+        assert_eq!(extra_tables[0].0, 120.0f64.to_bits());
+    }
+
+    #[test]
+    fn stale_epoch_heartbeat_gets_fresh_tables() {
+        let (mut c, _) = registered();
+        assert_eq!(c.epoch(), 1);
+        // A heartbeat reporting the current epoch gets nothing back.
+        let none = c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::Heartbeat { server: ServerId(1), epoch: 1 },
+        );
+        assert!(none.is_empty());
+        // A heartbeat reporting an older epoch (a lost push) triggers a
+        // targeted refresh at the current epoch.
+        let refreshed = c.handle(
+            SimTime::from_secs(2),
+            CoordMsg::Heartbeat { server: ServerId(1), epoch: 0 },
+        );
+        assert!(matches!(
+            refreshed.as_slice(),
+            [CoordAction::Send(s, CoordReply::Tables { epoch: 1, .. })] if *s == ServerId(1)
+        ));
+        assert_eq!(c.stats().table_refreshes, 1);
+    }
+
+    #[test]
+    fn unknown_server_heartbeat_gets_no_tables() {
+        let (mut c, _) = registered();
+        let actions = c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::Heartbeat { server: ServerId(42), epoch: 0 },
+        );
+        assert!(actions.is_empty(), "retired/unknown servers get no tables");
+    }
+
+    #[test]
+    fn orphan_range_is_absorbed_by_neighbour() {
+        let (mut c, _) = registered();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::SplitOccurred {
+                parent: ServerId(1),
+                child: ServerId(2),
+                parent_range: Rect::from_coords(200.0, 0.0, 400.0, 400.0),
+                child_range: Rect::from_coords(0.0, 0.0, 200.0, 400.0),
+            },
+        );
+        let actions = c.handle(
+            SimTime::from_secs(2),
+            CoordMsg::OrphanRange {
+                parent: ServerId(9),
+                child: ServerId(2),
+                range: Rect::from_coords(0.0, 0.0, 200.0, 400.0),
+            },
+        );
+        assert_eq!(c.server_count(), 1);
+        assert!(actions.iter().any(|a| matches!(a,
+            CoordAction::Send(s, CoordReply::AbsorbFailed { failed, .. })
+                if *s == ServerId(1) && *failed == ServerId(2))));
+    }
+
+    #[test]
+    fn with_map_bootstraps_static_fixture() {
+        let servers: Vec<ServerId> = (1..=4).map(ServerId).collect();
+        let map = PartitionMap::static_grid(world(), &servers).unwrap();
+        let (c, actions) = Coordinator::with_map(CoordinatorConfig::default(), map, 25.0);
+        assert_eq!(c.server_count(), 4);
+        assert_eq!(actions.len(), 4);
+    }
+}

@@ -1,0 +1,608 @@
+//! The game-server node: the developer-provided half of a Matrix
+//! deployment, emulated.
+//!
+//! §3.2.2 defines the contract a game server must fulfil: identify players
+//! globally, forward spatially tagged packets to the local Matrix server,
+//! report load periodically, and obey redirect/state-transfer instructions
+//! during splits and reclaims. [`GameServerNode`] implements exactly that
+//! contract and nothing else — game logic stays in the workload crates,
+//! mirroring how Matrix "supports the distributed operation of various
+//! MMOGs without actually needing to understand the game logic".
+
+use crate::config::GameServerConfig;
+use crate::messages::{ClientToGame, GameToClient, GameToMatrix, LoadReport, MatrixToGame};
+use crate::packet::{ClientId, GamePacket, SpatialTag};
+use bytes::Bytes;
+use matrix_geometry::{Point, Rect, ServerId};
+use matrix_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An effect the game server asks its driver to carry out.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GameAction {
+    /// Send to the co-located Matrix server.
+    ToMatrix(GameToMatrix),
+    /// Send to a connected client.
+    ToClient(ClientId, GameToClient),
+}
+
+/// Counters for experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GameStats {
+    /// Clients that joined (including re-joins after switches).
+    pub joins: u64,
+    /// Clients that left voluntarily.
+    pub leaves: u64,
+    /// Movement packets processed.
+    pub moves: u64,
+    /// Action packets processed.
+    pub actions: u64,
+    /// Updates delivered from peer servers via Matrix.
+    pub remote_updates: u64,
+    /// Client-bound update fan-outs generated (or counted, when fan-out
+    /// emission is disabled).
+    pub updates_fanned: u64,
+    /// Clients redirected away (splits, reclaims, roaming).
+    pub redirects_out: u64,
+    /// Per-client states received ahead of incoming switches.
+    pub client_states_in: u64,
+    /// Bulk state bytes received (split bootstrap).
+    pub state_bytes_in: u64,
+    /// Owner queries sent for roaming clients.
+    pub whereis_queries: u64,
+    /// Joins accepted before the bulk state transfer finished (measures
+    /// the split readiness gap).
+    pub joins_before_ready: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ClientRecord {
+    pos: Point,
+    state_bytes: u64,
+    /// Set while an owner query is in flight so one roaming client does
+    /// not flood WhereIs.
+    resolving: bool,
+}
+
+/// The emulated game server. Drive it with `on_client`, `on_matrix` and
+/// `on_tick`; it never talks to anything but its clients and its local
+/// Matrix server.
+#[derive(Debug, Clone)]
+pub struct GameServerNode {
+    id: ServerId,
+    cfg: GameServerConfig,
+    radius: f64,
+    range: Option<Rect>,
+    clients: BTreeMap<ClientId, ClientRecord>,
+    /// Whether update fan-out to clients is emitted as real messages
+    /// (true in the tokio runtime) or only counted (discrete-event runs).
+    emit_fanout: bool,
+    ready: bool,
+    ticks: u64,
+    seq: u64,
+    stats: GameStats,
+}
+
+impl GameServerNode {
+    /// Creates a node that has not yet registered or received a range.
+    pub fn new(id: ServerId, cfg: GameServerConfig) -> GameServerNode {
+        GameServerNode {
+            id,
+            cfg,
+            radius: 0.0,
+            range: None,
+            clients: BTreeMap::new(),
+            emit_fanout: false,
+            ready: false,
+            ticks: 0,
+            seq: 0,
+            stats: GameStats::default(),
+        }
+    }
+
+    /// Enables per-client update emission (used by the tokio runtime where
+    /// clients are real connections).
+    pub fn with_fanout(mut self) -> GameServerNode {
+        self.emit_fanout = true;
+        self
+    }
+
+    /// Developer API entry point: register the game with Matrix
+    /// (the bootstrap server calls this once at startup).
+    pub fn register(&mut self, world: Rect, radius: f64) -> Vec<GameAction> {
+        self.radius = radius;
+        self.range = Some(world);
+        self.ready = true;
+        vec![GameAction::ToMatrix(GameToMatrix::Register { world, radius })]
+    }
+
+    // -- accessors -----------------------------------------------------------
+
+    /// This node's server id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// Connected client count.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The map range this server manages.
+    pub fn range(&self) -> Option<Rect> {
+        self.range
+    }
+
+    /// Whether bulk state has arrived (fresh split children start false).
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+
+    /// Counters for experiments.
+    pub fn stats(&self) -> &GameStats {
+        &self.stats
+    }
+
+    /// Positions of all connected clients (for tests and load-aware
+    /// experiments).
+    pub fn client_positions(&self) -> Vec<Point> {
+        self.clients.values().map(|c| c.pos).collect()
+    }
+
+    /// Whether a specific client is connected here.
+    pub fn has_client(&self, client: ClientId) -> bool {
+        self.clients.contains_key(&client)
+    }
+
+    // -- client input ----------------------------------------------------------
+
+    /// Handles a message from a game client.
+    pub fn on_client(&mut self, _now: SimTime, client: ClientId, msg: ClientToGame) -> Vec<GameAction> {
+        match msg {
+            ClientToGame::Join { pos, state_bytes } => {
+                self.stats.joins += 1;
+                if !self.ready {
+                    self.stats.joins_before_ready += 1;
+                }
+                self.clients.insert(client, ClientRecord { pos, state_bytes, resolving: false });
+                let mut out = vec![GameAction::ToClient(client, GameToClient::Joined { server: self.id })];
+                out.extend(self.check_roaming(client));
+                out
+            }
+            ClientToGame::Move { pos } => {
+                self.stats.moves += 1;
+                let Some(rec) = self.clients.get_mut(&client) else {
+                    return Vec::new(); // stale packet from a switched client
+                };
+                rec.pos = pos;
+                let mut out = self.forward_event(client, pos, self.cfg_move_bytes());
+                out.extend(self.fan_out(pos, self.cfg_move_bytes(), Some(client)));
+                out.extend(self.check_roaming(client));
+                out
+            }
+            ClientToGame::Action { pos, payload_bytes } => {
+                self.stats.actions += 1;
+                let Some(rec) = self.clients.get_mut(&client) else {
+                    return Vec::new();
+                };
+                rec.pos = pos;
+                let seq = self.seq;
+                let mut out = self.forward_event(client, pos, payload_bytes);
+                out.push(GameAction::ToClient(client, GameToClient::Ack { seq }));
+                out.extend(self.fan_out(pos, payload_bytes, Some(client)));
+                out.extend(self.check_roaming(client));
+                out
+            }
+            ClientToGame::Leave => {
+                if self.clients.remove(&client).is_some() {
+                    self.stats.leaves += 1;
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn cfg_move_bytes(&self) -> usize {
+        32 // position + orientation + velocity
+    }
+
+    /// Spatially tags an event and forwards it to Matrix (§3.1).
+    fn forward_event(&mut self, client: ClientId, pos: Point, payload_bytes: usize) -> Vec<GameAction> {
+        let seq = self.seq;
+        self.seq += 1;
+        let pkt = GamePacket {
+            client: Some(client),
+            tag: SpatialTag::at(pos),
+            payload: Bytes::from(vec![0u8; payload_bytes]),
+            seq,
+        };
+        vec![GameAction::ToMatrix(GameToMatrix::Forward(pkt))]
+    }
+
+    /// Delivers an event to every local client within the radius of
+    /// visibility. Emission is optional; counting is not, because the
+    /// fan-out volume is what loads a hotspot server.
+    fn fan_out(&mut self, origin: Point, payload_bytes: usize, exclude: Option<ClientId>) -> Vec<GameAction> {
+        let mut out = Vec::new();
+        let mut n = 0;
+        for (cid, rec) in &self.clients {
+            if Some(*cid) == exclude {
+                continue;
+            }
+            if rec.pos.distance_by(origin, self.cfg.metric) <= self.radius {
+                n += 1;
+                if self.emit_fanout {
+                    out.push(GameAction::ToClient(
+                        *cid,
+                        GameToClient::Update { origin, payload_bytes },
+                    ));
+                }
+            }
+        }
+        self.stats.updates_fanned += n;
+        out
+    }
+
+    /// Emits an owner query when `client` wandered outside our range.
+    fn check_roaming(&mut self, client: ClientId) -> Vec<GameAction> {
+        let Some(range) = self.range else {
+            return Vec::new();
+        };
+        let Some(rec) = self.clients.get_mut(&client) else {
+            return Vec::new();
+        };
+        let outside_by = range.distance_to(rec.pos, self.cfg.metric);
+        if outside_by <= self.cfg.handoff_margin || rec.resolving {
+            return Vec::new();
+        }
+        rec.resolving = true;
+        self.stats.whereis_queries += 1;
+        vec![GameAction::ToMatrix(GameToMatrix::WhereIs { client, point: rec.pos })]
+    }
+
+    // -- matrix input ------------------------------------------------------------
+
+    /// Handles an instruction from the co-located Matrix server.
+    pub fn on_matrix(&mut self, _now: SimTime, msg: MatrixToGame) -> Vec<GameAction> {
+        match msg {
+            MatrixToGame::SetRange { range, radius } => {
+                self.range = Some(range);
+                if radius > 0.0 {
+                    self.radius = radius;
+                }
+                Vec::new()
+            }
+            MatrixToGame::RedirectClients { region, to } => self.redirect_region(region, to),
+            MatrixToGame::RedirectAll { to } => self.redirect_clients(|_| true, to),
+            MatrixToGame::Deliver(pkt) => {
+                self.stats.remote_updates += 1;
+                let origin = pkt.tag.dest.unwrap_or(pkt.tag.origin);
+                self.fan_out(origin, pkt.payload.len(), None)
+            }
+            MatrixToGame::Owner { client, point: _, owner } => {
+                if let Some(rec) = self.clients.get_mut(&client) {
+                    rec.resolving = false;
+                }
+                match owner {
+                    Some(o) if o != self.id && self.clients.contains_key(&client) => {
+                        self.switch_client(client, o)
+                    }
+                    _ => Vec::new(),
+                }
+            }
+            MatrixToGame::ReceiveState { from: _, bytes } => {
+                self.ready = true;
+                self.stats.state_bytes_in += bytes;
+                Vec::new()
+            }
+            MatrixToGame::ReceiveClient { from: _, client: _, bytes: _ } => {
+                self.stats.client_states_in += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Split shedding: push out everyone inside `region`, plus one bulk
+    /// state transfer to the new server (§3.2.2).
+    fn redirect_region(&mut self, region: Rect, to: ServerId) -> Vec<GameAction> {
+        let mut out = vec![GameAction::ToMatrix(GameToMatrix::TransferState {
+            to,
+            bytes: self.cfg.global_state_bytes,
+        })];
+        out.extend(self.redirect_clients(|rec| region.contains(rec.pos), to));
+        out
+    }
+
+    fn redirect_clients(
+        &mut self,
+        mut pred: impl FnMut(&ClientRecord) -> bool,
+        to: ServerId,
+    ) -> Vec<GameAction> {
+        let moving: Vec<(ClientId, ClientRecord)> = self
+            .clients
+            .iter()
+            .filter(|(_, rec)| pred(rec))
+            .map(|(c, r)| (*c, *r))
+            .collect();
+        let mut out = Vec::with_capacity(moving.len() * 2);
+        for (client, rec) in moving {
+            self.clients.remove(&client);
+            self.stats.redirects_out += 1;
+            out.push(GameAction::ToMatrix(GameToMatrix::TransferClient {
+                to,
+                client,
+                bytes: rec.state_bytes.max(self.cfg.client_state_bytes),
+            }));
+            out.push(GameAction::ToClient(client, GameToClient::SwitchServer { to }));
+        }
+        out
+    }
+
+    fn switch_client(&mut self, client: ClientId, to: ServerId) -> Vec<GameAction> {
+        let Some(rec) = self.clients.remove(&client) else {
+            return Vec::new();
+        };
+        self.stats.redirects_out += 1;
+        vec![
+            GameAction::ToMatrix(GameToMatrix::TransferClient {
+                to,
+                client,
+                bytes: rec.state_bytes.max(self.cfg.client_state_bytes),
+            }),
+            GameAction::ToClient(client, GameToClient::SwitchServer { to }),
+        ]
+    }
+
+    // -- timer input ----------------------------------------------------------------
+
+    /// Game tick. `queue_backlog` is the observed receive-queue backlog
+    /// (measured by the driver, which owns the queue model); it is folded
+    /// into the periodic load report (§3.2.3 "explicit load messages ...
+    /// or system performance measurements").
+    pub fn on_tick(&mut self, _now: SimTime, queue_backlog: f64) -> Vec<GameAction> {
+        self.ticks += 1;
+        let mut out = Vec::new();
+        if self.ticks.is_multiple_of(self.cfg.report_every_ticks.max(1) as u64) {
+            let positions = if self.cfg.report_positions {
+                self.client_positions()
+            } else {
+                Vec::new()
+            };
+            out.push(GameAction::ToMatrix(GameToMatrix::Load(LoadReport {
+                clients: self.clients.len() as u32,
+                queue_backlog,
+                positions,
+            })));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix_sim::SimTime;
+
+    fn world() -> Rect {
+        Rect::from_coords(0.0, 0.0, 400.0, 400.0)
+    }
+
+    fn node() -> GameServerNode {
+        let mut g = GameServerNode::new(ServerId(1), GameServerConfig::default());
+        g.register(world(), 50.0);
+        g
+    }
+
+    fn join(g: &mut GameServerNode, id: u64, pos: Point) {
+        g.on_client(SimTime::ZERO, ClientId(id), ClientToGame::Join { pos, state_bytes: 100 });
+    }
+
+    #[test]
+    fn register_claims_world_and_emits_registration() {
+        let mut g = GameServerNode::new(ServerId(1), GameServerConfig::default());
+        let actions = g.register(world(), 50.0);
+        assert!(matches!(
+            actions.as_slice(),
+            [GameAction::ToMatrix(GameToMatrix::Register { radius, .. })] if *radius == 50.0
+        ));
+        assert!(g.is_ready());
+        assert_eq!(g.range(), Some(world()));
+    }
+
+    #[test]
+    fn join_is_acknowledged() {
+        let mut g = node();
+        let actions = g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Join { pos: Point::new(10.0, 10.0), state_bytes: 64 },
+        );
+        assert!(actions.iter().any(|a| matches!(a,
+            GameAction::ToClient(c, GameToClient::Joined { server })
+                if *c == ClientId(1) && *server == ServerId(1))));
+        assert_eq!(g.client_count(), 1);
+    }
+
+    #[test]
+    fn move_forwards_tagged_packet() {
+        let mut g = node();
+        join(&mut g, 1, Point::new(10.0, 10.0));
+        let actions =
+            g.on_client(SimTime::ZERO, ClientId(1), ClientToGame::Move { pos: Point::new(11.0, 10.0) });
+        let forwarded = actions.iter().find_map(|a| match a {
+            GameAction::ToMatrix(GameToMatrix::Forward(pkt)) => Some(pkt.clone()),
+            _ => None,
+        });
+        let pkt = forwarded.expect("move must forward a packet");
+        assert_eq!(pkt.tag.origin, Point::new(11.0, 10.0));
+        assert_eq!(pkt.client, Some(ClientId(1)));
+    }
+
+    #[test]
+    fn action_is_acked_for_latency_measurement() {
+        let mut g = node();
+        join(&mut g, 1, Point::new(10.0, 10.0));
+        let actions = g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Action { pos: Point::new(10.0, 10.0), payload_bytes: 64 },
+        );
+        assert!(actions.iter().any(|a| matches!(a, GameAction::ToClient(c, GameToClient::Ack { .. }) if *c == ClientId(1))));
+    }
+
+    #[test]
+    fn fanout_counts_only_clients_in_radius() {
+        let mut g = node();
+        join(&mut g, 1, Point::new(100.0, 100.0));
+        join(&mut g, 2, Point::new(110.0, 100.0)); // within 50
+        join(&mut g, 3, Point::new(350.0, 350.0)); // far away
+        g.on_client(SimTime::ZERO, ClientId(1), ClientToGame::Action { pos: Point::new(100.0, 100.0), payload_bytes: 10 });
+        assert_eq!(g.stats().updates_fanned, 1, "only client 2 sees the action");
+    }
+
+    #[test]
+    fn fanout_emission_requires_opt_in() {
+        let mut g = GameServerNode::new(ServerId(1), GameServerConfig::default()).with_fanout();
+        g.register(world(), 50.0);
+        join(&mut g, 1, Point::new(100.0, 100.0));
+        join(&mut g, 2, Point::new(110.0, 100.0));
+        let actions = g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Action { pos: Point::new(100.0, 100.0), payload_bytes: 10 },
+        );
+        assert!(actions.iter().any(|a| matches!(a,
+            GameAction::ToClient(c, GameToClient::Update { .. }) if *c == ClientId(2))));
+    }
+
+    #[test]
+    fn deliver_from_peer_counts_remote_update() {
+        let mut g = node();
+        join(&mut g, 1, Point::new(10.0, 10.0));
+        let pkt = GamePacket::synthetic(ClientId(99), SpatialTag::at(Point::new(20.0, 10.0)), 16, 0);
+        g.on_matrix(SimTime::ZERO, MatrixToGame::Deliver(pkt));
+        assert_eq!(g.stats().remote_updates, 1);
+        assert_eq!(g.stats().updates_fanned, 1);
+    }
+
+    #[test]
+    fn redirect_region_moves_exactly_the_region() {
+        let mut g = node();
+        join(&mut g, 1, Point::new(50.0, 50.0)); // inside region
+        join(&mut g, 2, Point::new(300.0, 300.0)); // outside
+        let region = Rect::from_coords(0.0, 0.0, 200.0, 400.0);
+        let actions = g.on_matrix(SimTime::ZERO, MatrixToGame::RedirectClients { region, to: ServerId(2) });
+        assert!(actions.iter().any(|a| matches!(a,
+            GameAction::ToClient(c, GameToClient::SwitchServer { to })
+                if *c == ClientId(1) && *to == ServerId(2))));
+        assert!(actions.iter().any(|a| matches!(a,
+            GameAction::ToMatrix(GameToMatrix::TransferState { to, .. }) if *to == ServerId(2))));
+        assert!(actions.iter().any(|a| matches!(a,
+            GameAction::ToMatrix(GameToMatrix::TransferClient { client, .. }) if *client == ClientId(1))));
+        assert_eq!(g.client_count(), 1);
+        assert!(g.has_client(ClientId(2)));
+        assert_eq!(g.stats().redirects_out, 1);
+    }
+
+    #[test]
+    fn redirect_all_empties_the_server() {
+        let mut g = node();
+        join(&mut g, 1, Point::new(50.0, 50.0));
+        join(&mut g, 2, Point::new(300.0, 300.0));
+        let actions = g.on_matrix(SimTime::ZERO, MatrixToGame::RedirectAll { to: ServerId(9) });
+        assert_eq!(g.client_count(), 0);
+        let switches = actions
+            .iter()
+            .filter(|a| matches!(a, GameAction::ToClient(_, GameToClient::SwitchServer { .. })))
+            .count();
+        assert_eq!(switches, 2);
+    }
+
+    #[test]
+    fn roaming_client_triggers_single_whereis() {
+        let mut g = node();
+        join(&mut g, 1, Point::new(10.0, 10.0));
+        // Shrink our range so the client is now outside.
+        g.on_matrix(
+            SimTime::ZERO,
+            MatrixToGame::SetRange { range: Rect::from_coords(200.0, 0.0, 400.0, 400.0), radius: 50.0 },
+        );
+        let a1 = g.on_client(SimTime::ZERO, ClientId(1), ClientToGame::Move { pos: Point::new(11.0, 10.0) });
+        assert!(a1.iter().any(|a| matches!(a, GameAction::ToMatrix(GameToMatrix::WhereIs { .. }))));
+        // A second move while resolving must not re-query.
+        let a2 = g.on_client(SimTime::ZERO, ClientId(1), ClientToGame::Move { pos: Point::new(12.0, 10.0) });
+        assert!(!a2.iter().any(|a| matches!(a, GameAction::ToMatrix(GameToMatrix::WhereIs { .. }))));
+        assert_eq!(g.stats().whereis_queries, 1);
+    }
+
+    #[test]
+    fn owner_reply_switches_the_client() {
+        let mut g = node();
+        join(&mut g, 1, Point::new(10.0, 10.0));
+        let actions = g.on_matrix(
+            SimTime::ZERO,
+            MatrixToGame::Owner { client: ClientId(1), point: Point::new(10.0, 10.0), owner: Some(ServerId(3)) },
+        );
+        assert!(actions.iter().any(|a| matches!(a,
+            GameAction::ToClient(c, GameToClient::SwitchServer { to })
+                if *c == ClientId(1) && *to == ServerId(3))));
+        assert_eq!(g.client_count(), 0);
+    }
+
+    #[test]
+    fn owner_reply_naming_self_keeps_client() {
+        let mut g = node();
+        join(&mut g, 1, Point::new(10.0, 10.0));
+        let actions = g.on_matrix(
+            SimTime::ZERO,
+            MatrixToGame::Owner { client: ClientId(1), point: Point::new(10.0, 10.0), owner: Some(ServerId(1)) },
+        );
+        assert!(actions.is_empty());
+        assert_eq!(g.client_count(), 1);
+    }
+
+    #[test]
+    fn load_report_fires_on_schedule() {
+        let mut g = node();
+        join(&mut g, 1, Point::new(10.0, 10.0));
+        let every = GameServerConfig::default().report_every_ticks as u64;
+        let mut reports = 0;
+        for t in 1..=3 * every {
+            let actions = g.on_tick(SimTime::from_millis(t * 100), 42.0);
+            for a in actions {
+                if let GameAction::ToMatrix(GameToMatrix::Load(r)) = a {
+                    reports += 1;
+                    assert_eq!(r.clients, 1);
+                    assert_eq!(r.queue_backlog, 42.0);
+                    assert_eq!(r.positions.len(), 1);
+                }
+            }
+        }
+        assert_eq!(reports, 3);
+    }
+
+    #[test]
+    fn fresh_child_is_not_ready_until_state_arrives() {
+        let mut g = GameServerNode::new(ServerId(7), GameServerConfig::default());
+        g.on_matrix(
+            SimTime::ZERO,
+            MatrixToGame::SetRange { range: Rect::from_coords(0.0, 0.0, 200.0, 400.0), radius: 50.0 },
+        );
+        assert!(!g.is_ready());
+        join(&mut g, 1, Point::new(10.0, 10.0));
+        assert_eq!(g.stats().joins_before_ready, 1);
+        g.on_matrix(SimTime::ZERO, MatrixToGame::ReceiveState { from: ServerId(1), bytes: 1_000_000 });
+        assert!(g.is_ready());
+        assert_eq!(g.stats().state_bytes_in, 1_000_000);
+    }
+
+    #[test]
+    fn stale_packets_from_switched_clients_are_ignored() {
+        let mut g = node();
+        let actions =
+            g.on_client(SimTime::ZERO, ClientId(42), ClientToGame::Move { pos: Point::new(1.0, 1.0) });
+        assert!(actions.is_empty());
+        assert_eq!(g.stats().moves, 1, "counted but not processed");
+    }
+}

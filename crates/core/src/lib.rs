@@ -1,0 +1,82 @@
+//! # matrix-core — the Matrix adaptive game middleware
+//!
+//! A reproduction of the middleware described in *Balan, Ebling, Castro,
+//! Misra: "Matrix: Adaptive Middleware for Distributed Multiplayer Games"*
+//! (Middleware 2005). Matrix scales a massively multiplayer game across a
+//! dynamic fleet of servers by:
+//!
+//! * partitioning the game world into per-server rectangles,
+//! * routing **spatially tagged** packets to each point's *consistency
+//!   set* through O(1) overlap-table lookups ([`MatrixServer`]),
+//! * recomputing those tables centrally on topology changes
+//!   ([`Coordinator`]),
+//! * **splitting** overloaded partitions onto servers drawn from a
+//!   [`ResourcePool`] and **reclaiming** underloaded children, with
+//!   hysteresis against oscillation,
+//! * redirecting clients transparently during splits, reclaims and
+//!   roaming ([`GameServerNode`]).
+//!
+//! Every component is a **sans-io state machine**: handlers take one input
+//! message and return the actions to perform. The discrete-event harness
+//! (`matrix-experiments`) and the tokio runtime (`matrix-rt`) drive the
+//! same code, so simulation results and deployments cannot drift apart.
+//!
+//! # Example
+//!
+//! Route one boundary packet between two servers:
+//!
+//! ```
+//! use matrix_core::{Action, MatrixConfig, MatrixServer, GameToMatrix, PeerMsg};
+//! use matrix_core::{ClientId, GamePacket, SpatialTag, CoordReply};
+//! use matrix_geometry::{build_overlap, Metric, PartitionMap, Point, Rect, ServerId, SplitStrategy};
+//! use matrix_sim::SimTime;
+//!
+//! // Two servers split the world; the coordinator's tables are installed.
+//! let world = Rect::from_coords(0.0, 0.0, 400.0, 400.0);
+//! let mut map = PartitionMap::new(world, ServerId(1));
+//! map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
+//! let overlap = build_overlap(&map, 50.0, Metric::Euclidean);
+//!
+//! let mut s1 = MatrixServer::with_range(
+//!     ServerId(1), MatrixConfig::default(), map.range_of(ServerId(1)).unwrap(), 50.0);
+//! s1.on_coord(SimTime::ZERO, CoordReply::Tables {
+//!     epoch: 1,
+//!     table: overlap.table_for(ServerId(1)).unwrap().clone(),
+//!     extra_tables: vec![],
+//!     map: map.clone(),
+//! });
+//!
+//! // A packet near the boundary is routed to the neighbour.
+//! let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(210.0, 200.0)), 64, 0);
+//! let actions = s1.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt));
+//! assert!(matches!(&actions[0], Action::ToPeer(s, PeerMsg::Update(_)) if *s == ServerId(2)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod baseline;
+mod config;
+mod coordinator;
+mod gameserver;
+mod load;
+mod messages;
+mod packet;
+mod pool;
+mod server;
+
+pub use config::{CoordinatorConfig, GameServerConfig, MatrixConfig};
+pub use coordinator::{CoordAction, Coordinator, CoordinatorStats};
+pub use gameserver::{GameAction, GameServerNode, GameStats};
+pub use load::{Cooldown, LoadTracker};
+pub use messages::{
+    ClientToGame, CoordMsg, CoordReply, Envelope, GameToClient, GameToMatrix, LoadReport,
+    LoadSnapshot, MatrixToGame, PeerMsg, PoolMsg, PoolReply,
+};
+pub use packet::{ClientId, GamePacket, SpatialTag};
+pub use pool::{PoolStats, ResourcePool};
+pub use server::{Action, Lifecycle, MatrixServer, ServerStats};
+
+// Re-export the spatial vocabulary users need at the API boundary.
+pub use matrix_geometry::{Metric, Point, Rect, ServerId, SplitStrategy};

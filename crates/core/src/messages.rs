@@ -1,0 +1,449 @@
+//! Every protocol message exchanged in a Matrix deployment.
+//!
+//! The message taxonomy mirrors Figure 1b of the paper: clients talk to
+//! game servers; game servers talk only to their co-located Matrix server;
+//! Matrix servers talk to peer Matrix servers, the coordinator, and the
+//! resource pool. All messages are plain data so the same protocol runs
+//! under the discrete-event harness and the tokio runtime.
+
+use crate::packet::{ClientId, GamePacket};
+use matrix_geometry::{OverlapTable, PartitionMap, Point, Rect, ServerId};
+use matrix_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Client <-> game server
+// ---------------------------------------------------------------------------
+
+/// Messages a game client sends to its game server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ClientToGame {
+    /// Join the game (or re-attach after a server switch) at a position,
+    /// carrying the client's session state.
+    Join {
+        /// Spawn or current position.
+        pos: Point,
+        /// Serialised per-client state size (bytes) travelling with the
+        /// client on a switch.
+        state_bytes: u64,
+    },
+    /// Position update from normal movement.
+    Move {
+        /// New position.
+        pos: Point,
+    },
+    /// A game action (shot, chat, interaction) at the client's position.
+    Action {
+        /// Position at which the action happens.
+        pos: Point,
+        /// Game payload size in bytes.
+        payload_bytes: usize,
+    },
+    /// Leave the game.
+    Leave,
+}
+
+/// Messages a game server sends to a client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GameToClient {
+    /// The join (or re-join) was accepted.
+    Joined {
+        /// The accepting server.
+        server: ServerId,
+    },
+    /// Acknowledgement of an action — the observable half of response
+    /// latency.
+    Ack {
+        /// Sequence number of the acknowledged action.
+        seq: u64,
+    },
+    /// A nearby event the client should render.
+    Update {
+        /// Where the event happened.
+        origin: Point,
+        /// Payload size in bytes.
+        payload_bytes: usize,
+    },
+    /// Instruction to reconnect to a different game server (§3.2.1: "the
+    /// client is informed of these switches by its current game server and
+    /// is unaware of Matrix").
+    SwitchServer {
+        /// The server to reconnect to.
+        to: ServerId,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Game server <-> local Matrix server
+// ---------------------------------------------------------------------------
+
+/// A game server's load snapshot (§3.2.2: periodic load reports).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Number of connected clients.
+    pub clients: u32,
+    /// Receive-queue backlog in work units (0 if the game server does not
+    /// measure it).
+    pub queue_backlog: f64,
+    /// Client positions, if `GameServerConfig::report_positions` — enables
+    /// the load-aware split strategy.
+    pub positions: Vec<Point>,
+}
+
+/// Messages from the game server to its co-located Matrix server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GameToMatrix {
+    /// First contact: the game registers its world and radius of
+    /// visibility (§3.2.2 "when a game server starts, it sends Matrix the
+    /// visibility radius of clients in the game").
+    Register {
+        /// The full game world (only honoured on the bootstrap server).
+        world: Rect,
+        /// Radius of visibility for ordinary packets.
+        radius: f64,
+    },
+    /// Registers an additional visibility radius for packets carrying a
+    /// `radius_override` (§3.1: distinct overlap-region sets per radius).
+    RegisterRadius {
+        /// The extra radius.
+        radius: f64,
+    },
+    /// A spatially tagged packet to route to whoever needs it.
+    Forward(GamePacket),
+    /// Periodic load report.
+    Load(LoadReport),
+    /// Ask which server owns a point (roaming handoff, §3.2.2: "Matrix
+    /// provides the identity of the appropriate game server").
+    WhereIs {
+        /// The roaming client, echoed back in the reply.
+        client: ClientId,
+        /// The client's new position.
+        point: Point,
+    },
+    /// Bulk game-state transfer to a peer game server during a split
+    /// (routed through Matrix; §3.2.2 "forward all game specific state ...
+    /// to the new game server via Matrix").
+    TransferState {
+        /// Destination server.
+        to: ServerId,
+        /// Size of the state in bytes.
+        bytes: u64,
+    },
+    /// Per-client state pushed ahead of a redirected client.
+    TransferClient {
+        /// Destination server.
+        to: ServerId,
+        /// The client being moved.
+        client: ClientId,
+        /// Serialised state size in bytes.
+        bytes: u64,
+    },
+}
+
+/// Messages from a Matrix server to its co-located game server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MatrixToGame {
+    /// Adopt a map range (sent on bootstrap, splits, and reclaims).
+    SetRange {
+        /// The new range.
+        range: Rect,
+        /// Radius of visibility for the game (forwarded on bootstrap of a
+        /// freshly spawned server).
+        radius: f64,
+    },
+    /// Redirect every client inside `region` to server `to` (split
+    /// shedding).
+    RedirectClients {
+        /// The sub-range being handed off.
+        region: Rect,
+        /// The server taking over the region.
+        to: ServerId,
+    },
+    /// Redirect *all* clients to `to` (the final act of a reclaimed child).
+    RedirectAll {
+        /// The parent server absorbing the clients.
+        to: ServerId,
+    },
+    /// A routed packet from a peer server, to be applied to local state.
+    Deliver(GamePacket),
+    /// Answer to [`GameToMatrix::WhereIs`].
+    Owner {
+        /// The client the query was about.
+        client: ClientId,
+        /// The queried point.
+        point: Point,
+        /// The server owning that point, if any.
+        owner: Option<ServerId>,
+    },
+    /// Bulk state from a splitting parent has arrived.
+    ReceiveState {
+        /// Originating server.
+        from: ServerId,
+        /// Size in bytes.
+        bytes: u64,
+    },
+    /// Per-client state from a peer ahead of a client switch.
+    ReceiveClient {
+        /// Originating server.
+        from: ServerId,
+        /// The client whose state arrived.
+        client: ClientId,
+        /// Size in bytes.
+        bytes: u64,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Matrix server <-> peer Matrix servers
+// ---------------------------------------------------------------------------
+
+/// A child or parent's load, shared for reclaim decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadSnapshot {
+    /// Client count.
+    pub clients: u32,
+    /// Queue backlog.
+    pub queue_backlog: f64,
+    /// Whether this server has live children of its own.
+    pub has_children: bool,
+}
+
+/// Messages between Matrix servers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PeerMsg {
+    /// A routed consistency update for the receiver's game server.
+    Update(GamePacket),
+    /// Hand a partition to a freshly allocated server (split).
+    AdoptPartition {
+        /// The splitting (parent) server.
+        parent: ServerId,
+        /// The range the child now owns.
+        range: Rect,
+        /// Radius of visibility of the game.
+        radius: f64,
+        /// The parent's table epoch at split time.
+        epoch: u64,
+    },
+    /// Child's acknowledgement of adoption.
+    AdoptAck {
+        /// The new child.
+        child: ServerId,
+    },
+    /// Bulk game state routed between game servers (split).
+    StateTransfer {
+        /// Originating server.
+        from: ServerId,
+        /// Size in bytes.
+        bytes: u64,
+    },
+    /// Per-client state routed ahead of a switching client.
+    ClientTransfer {
+        /// Originating server.
+        from: ServerId,
+        /// The client in flight.
+        client: ClientId,
+        /// Size in bytes.
+        bytes: u64,
+    },
+    /// Parent asks an underloaded child to fold back in.
+    ReclaimRequest {
+        /// The requesting parent.
+        parent: ServerId,
+    },
+    /// Child agrees: its clients are being redirected, range returned.
+    ReclaimGrant {
+        /// The folding child.
+        child: ServerId,
+        /// The range being returned.
+        range: Rect,
+        /// Clients that were redirected to the parent.
+        clients: u32,
+    },
+    /// Child refuses (it is loaded or has children of its own).
+    ReclaimDeny {
+        /// The refusing child.
+        child: ServerId,
+    },
+    /// Periodic child → parent load share.
+    LoadStatus(LoadSnapshot),
+}
+
+// ---------------------------------------------------------------------------
+// Matrix server <-> coordinator
+// ---------------------------------------------------------------------------
+
+/// Messages to the Matrix Coordinator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CoordMsg {
+    /// Bootstrap registration of the first server with the game world.
+    RegisterWorld {
+        /// The registering server.
+        server: ServerId,
+        /// The world rectangle.
+        world: Rect,
+        /// Primary radius of visibility.
+        radius: f64,
+    },
+    /// An extra visibility radius needs tables too.
+    RegisterRadius {
+        /// The requesting server.
+        server: ServerId,
+        /// The extra radius.
+        radius: f64,
+    },
+    /// A split happened (parent kept `parent_range`, child got
+    /// `child_range`); the MC must recompute overlap tables (§3.2.4).
+    SplitOccurred {
+        /// The splitting server.
+        parent: ServerId,
+        /// The new server.
+        child: ServerId,
+        /// Parent's retained range.
+        parent_range: Rect,
+        /// Child's new range.
+        child_range: Rect,
+    },
+    /// A reclaim happened; `parent` now owns `merged_range`.
+    ReclaimOccurred {
+        /// The absorbing parent.
+        parent: ServerId,
+        /// The removed child.
+        child: ServerId,
+        /// The parent's merged range.
+        merged_range: Rect,
+    },
+    /// Liveness heartbeat, carrying the sender's installed table epoch
+    /// so the coordinator can detect and repair lost table pushes.
+    Heartbeat {
+        /// The live server.
+        server: ServerId,
+        /// The table epoch the server currently routes with.
+        epoch: u64,
+    },
+    /// A reclaim grant arrived but the returned range no longer tiles with
+    /// the parent's (the child's range changed through crash absorption).
+    /// The coordinator must find the orphaned range a mergeable owner.
+    OrphanRange {
+        /// The parent that failed to merge.
+        parent: ServerId,
+        /// The retired child whose range is orphaned.
+        child: ServerId,
+        /// The orphaned range.
+        range: Rect,
+    },
+    /// Resolve a point to its owner and consistency set (non-proximal
+    /// interactions, §3.2.4).
+    ResolvePoint {
+        /// The asking server.
+        server: ServerId,
+        /// The client the query is on behalf of, echoed through.
+        client: ClientId,
+        /// The point to resolve.
+        point: Point,
+        /// Radius for the consistency set (defaults to the game radius).
+        radius: Option<f64>,
+    },
+}
+
+/// Messages from the coordinator to a Matrix server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CoordReply {
+    /// Fresh overlap tables after a topology change. Each server receives
+    /// its own table plus the partition directory for owner lookups.
+    Tables {
+        /// Monotone epoch of the recomputation.
+        epoch: u64,
+        /// This server's overlap table for the primary radius.
+        table: OverlapTable,
+        /// Tables for additional registered radii, keyed by radius bits.
+        extra_tables: Vec<(u64, OverlapTable)>,
+        /// Snapshot of the full partition map (the directory).
+        map: PartitionMap,
+    },
+    /// Answer to [`CoordMsg::ResolvePoint`].
+    Resolved {
+        /// The client echoed from the query.
+        client: ClientId,
+        /// The queried point.
+        point: Point,
+        /// Owner of the point, if inside the world.
+        owner: Option<ServerId>,
+        /// Consistency set of the point.
+        set: Vec<ServerId>,
+    },
+    /// The coordinator believes a peer died; the receiver must absorb the
+    /// given range (crash recovery).
+    AbsorbFailed {
+        /// The dead server.
+        failed: ServerId,
+        /// The range to absorb.
+        range: Rect,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Matrix server <-> resource pool
+// ---------------------------------------------------------------------------
+
+/// Messages to the resource pool (the paper's "non-Matrix external
+/// entity" that hands out spare servers, §3.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolMsg {
+    /// Request one spare server.
+    Acquire {
+        /// The overloaded requester.
+        requester: ServerId,
+    },
+    /// Return a reclaimed server to the pool.
+    Release {
+        /// The retired server.
+        server: ServerId,
+    },
+}
+
+/// Replies from the resource pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolReply {
+    /// A spare server was allocated.
+    Grant {
+        /// The allocated server id.
+        server: ServerId,
+    },
+    /// No spare capacity — the requester stays overloaded (the situation
+    /// static over-provisioning tries to buy its way out of).
+    Denied,
+}
+
+/// Timestamped envelope used by drivers that need send-time bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope<M> {
+    /// When the message was sent.
+    pub sent_at: SimTime,
+    /// The message.
+    pub msg: M,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_snapshot_is_copy() {
+        let s = LoadSnapshot { clients: 10, queue_backlog: 1.0, has_children: false };
+        let t = s;
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn messages_serialize_round_trip() {
+        let msg = GameToMatrix::WhereIs { client: ClientId(9), point: Point::new(1.0, 2.0) };
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: GameToMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(msg, back);
+
+        let msg = PoolMsg::Acquire { requester: ServerId(1) };
+        let json = serde_json::to_string(&msg).unwrap();
+        let back: PoolMsg = serde_json::from_str(&json).unwrap();
+        assert_eq!(msg, back);
+    }
+}

@@ -1,0 +1,153 @@
+//! The resource pool — the paper's "non-Matrix external entity" that hands
+//! out spare servers (§3.2.3).
+//!
+//! The paper treats server allocation as an oracle; modelling it explicitly
+//! lets experiments study pool exhaustion (what happens when there is no
+//! spare capacity left, i.e. the failure mode static over-provisioning is
+//! meant to prevent).
+
+use crate::messages::{PoolMsg, PoolReply};
+use matrix_geometry::ServerId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Counters describing pool behaviour over a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PoolStats {
+    /// Successful allocations.
+    pub grants: u64,
+    /// Requests refused for lack of capacity.
+    pub denials: u64,
+    /// Servers returned after reclaims.
+    pub releases: u64,
+    /// High-water mark of simultaneously allocated servers.
+    pub peak_allocated: usize,
+}
+
+/// A finite pool of spare server identities.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourcePool {
+    free: BTreeSet<ServerId>,
+    allocated: BTreeSet<ServerId>,
+    stats: PoolStats,
+}
+
+impl ResourcePool {
+    /// Creates a pool holding the given spare server ids.
+    pub fn new(spares: impl IntoIterator<Item = ServerId>) -> ResourcePool {
+        ResourcePool {
+            free: spares.into_iter().collect(),
+            allocated: BTreeSet::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// A pool of `n` spares with ids starting after `first_id`.
+    pub fn with_capacity(first_id: u32, n: u32) -> ResourcePool {
+        ResourcePool::new((0..n).map(|i| ServerId(first_id + i)))
+    }
+
+    /// Spare servers currently available.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Servers currently out in the field.
+    pub fn allocated(&self) -> usize {
+        self.allocated.len()
+    }
+
+    /// Counters for experiments.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Handles an acquire/release message, producing the reply (if any).
+    pub fn handle(&mut self, msg: PoolMsg) -> Option<PoolReply> {
+        match msg {
+            PoolMsg::Acquire { requester: _ } => Some(self.acquire()),
+            PoolMsg::Release { server } => {
+                self.release(server);
+                None
+            }
+        }
+    }
+
+    /// Allocates the lowest-numbered spare, or denies.
+    pub fn acquire(&mut self) -> PoolReply {
+        match self.free.iter().next().copied() {
+            Some(server) => {
+                self.free.remove(&server);
+                self.allocated.insert(server);
+                self.stats.grants += 1;
+                self.stats.peak_allocated = self.stats.peak_allocated.max(self.allocated.len());
+                PoolReply::Grant { server }
+            }
+            None => {
+                self.stats.denials += 1;
+                PoolReply::Denied
+            }
+        }
+    }
+
+    /// Returns a server to the pool. Unknown ids are tolerated (a release
+    /// can race a failure declaration) but not double-counted.
+    pub fn release(&mut self, server: ServerId) {
+        if self.allocated.remove(&server) {
+            self.free.insert(server);
+            self.stats.releases += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_until_exhausted() {
+        let mut pool = ResourcePool::with_capacity(10, 2);
+        assert_eq!(pool.acquire(), PoolReply::Grant { server: ServerId(10) });
+        assert_eq!(pool.acquire(), PoolReply::Grant { server: ServerId(11) });
+        assert_eq!(pool.acquire(), PoolReply::Denied);
+        assert_eq!(pool.stats().grants, 2);
+        assert_eq!(pool.stats().denials, 1);
+        assert_eq!(pool.stats().peak_allocated, 2);
+    }
+
+    #[test]
+    fn release_recycles_servers() {
+        let mut pool = ResourcePool::with_capacity(10, 1);
+        let PoolReply::Grant { server } = pool.acquire() else { panic!() };
+        pool.release(server);
+        assert_eq!(pool.available(), 1);
+        assert_eq!(pool.acquire(), PoolReply::Grant { server });
+    }
+
+    #[test]
+    fn double_release_is_idempotent() {
+        let mut pool = ResourcePool::with_capacity(1, 1);
+        let PoolReply::Grant { server } = pool.acquire() else { panic!() };
+        pool.release(server);
+        pool.release(server);
+        assert_eq!(pool.stats().releases, 1);
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn release_of_unknown_server_is_ignored() {
+        let mut pool = ResourcePool::with_capacity(1, 1);
+        pool.release(ServerId(99));
+        assert_eq!(pool.available(), 1);
+        assert_eq!(pool.stats().releases, 0);
+    }
+
+    #[test]
+    fn handle_maps_messages() {
+        let mut pool = ResourcePool::with_capacity(5, 1);
+        let reply = pool.handle(PoolMsg::Acquire { requester: ServerId(1) });
+        assert_eq!(reply, Some(PoolReply::Grant { server: ServerId(5) }));
+        assert_eq!(pool.handle(PoolMsg::Release { server: ServerId(5) }), None);
+        assert_eq!(pool.available(), 1);
+    }
+}

@@ -1,0 +1,1153 @@
+//! The Matrix server state machine — "the heart of our distributed
+//! middleware" (§3.2.3).
+//!
+//! Each Matrix server is co-located with one game server. It routes
+//! spatially tagged packets to the consistency set of their origin using
+//! the overlap tables pushed by the coordinator, monitors its game
+//! server's load, and makes *purely local* split and reclaim decisions.
+//!
+//! The implementation is sans-io: every handler consumes one input message
+//! and returns the list of [`Action`]s to perform. The discrete-event
+//! harness and the tokio runtime both drive this same type, so simulated
+//! experiments and real deployments exercise identical protocol logic.
+
+use crate::config::MatrixConfig;
+use crate::load::{Cooldown, LoadTracker};
+use crate::messages::{
+    CoordMsg, CoordReply, GameToMatrix, LoadSnapshot, MatrixToGame, PeerMsg, PoolMsg, PoolReply,
+};
+use crate::packet::{ClientId, GamePacket};
+use matrix_geometry::{consistency_set_from_rects, OverlapTable, PartitionIndex, PartitionMap, Point, Rect, ServerId};
+use matrix_sim::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An effect the driver must carry out for the state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Deliver to the co-located game server.
+    ToGame(MatrixToGame),
+    /// Send to a peer Matrix server.
+    ToPeer(ServerId, PeerMsg),
+    /// Send to the Matrix Coordinator.
+    ToCoord(CoordMsg),
+    /// Send to the resource pool.
+    ToPool(PoolMsg),
+}
+
+/// Where the server is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Lifecycle {
+    /// Allocated but not yet managing a partition (fresh from the pool).
+    Idle,
+    /// Managing a partition.
+    Active,
+    /// Reclaimed; drained and awaiting teardown.
+    Retired,
+}
+
+/// Counters exposed for experiments and debugging.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Packets received from the local game server for routing.
+    pub packets_in: u64,
+    /// Peer updates sent (one per destination server).
+    pub peer_updates_out: u64,
+    /// Bytes sent to peer Matrix servers (consistency traffic).
+    pub bytes_to_peers: u64,
+    /// Peer updates received and delivered to the game server.
+    pub peer_updates_in: u64,
+    /// Peer updates dropped because their origin was outside our range of
+    /// interest (stale routes during topology changes).
+    pub misrouted_dropped: u64,
+    /// Packets routed while no overlap table was installed yet (delivered
+    /// to no one — the transient consistency gap after a fresh split).
+    pub routed_without_table: u64,
+    /// Splits this server initiated.
+    pub splits: u64,
+    /// Children this server reclaimed.
+    pub reclaims: u64,
+    /// Pool requests that came back denied.
+    pub pool_denied: u64,
+    /// Point resolutions answered from the local directory cache.
+    pub local_resolves: u64,
+    /// Point resolutions referred to the coordinator.
+    pub coordinator_resolves: u64,
+    /// Packets routed with a per-packet radius override.
+    pub override_routes: u64,
+    /// Failed-peer ranges absorbed during crash recovery.
+    pub absorbs: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PendingResolve {
+    client: ClientId,
+    point: Point,
+    /// Packet to route on resolution (`None` for plain WhereIs queries).
+    packet: Option<GamePacket>,
+}
+
+/// The per-node middleware state machine. See the module docs for the
+/// driving contract.
+#[derive(Debug, Clone)]
+pub struct MatrixServer {
+    id: ServerId,
+    cfg: MatrixConfig,
+    lifecycle: Lifecycle,
+    radius: f64,
+    range: Option<Rect>,
+    parent: Option<ServerId>,
+    children: Vec<ServerId>,
+    child_load: BTreeMap<ServerId, LoadSnapshot>,
+    /// Range handed to each child at split time; a leaf child still owns
+    /// exactly this range, so it doubles as the mergeability check for
+    /// reclaim candidates.
+    child_ranges: BTreeMap<ServerId, Rect>,
+    epoch: u64,
+    table: Option<OverlapTable>,
+    extra_tables: BTreeMap<u64, OverlapTable>,
+    map: Option<PartitionMap>,
+    /// Grid index over `map` for O(1) owner resolution.
+    map_index: Option<PartitionIndex>,
+    load: LoadTracker,
+    cooldown: Cooldown,
+    pending_pool: bool,
+    pending_reclaim: Option<ServerId>,
+    pending_resolves: Vec<PendingResolve>,
+    last_heartbeat: Option<SimTime>,
+    stats: ServerStats,
+}
+
+impl MatrixServer {
+    /// Creates an idle server, as handed out by the resource pool. It
+    /// becomes active when a game server registers with it (bootstrap) or
+    /// a peer hands it a partition (split adoption).
+    pub fn new(id: ServerId, cfg: MatrixConfig) -> MatrixServer {
+        MatrixServer {
+            id,
+            cfg,
+            lifecycle: Lifecycle::Idle,
+            radius: 0.0,
+            range: None,
+            parent: None,
+            children: Vec::new(),
+            child_load: BTreeMap::new(),
+            child_ranges: BTreeMap::new(),
+            epoch: 0,
+            table: None,
+            extra_tables: BTreeMap::new(),
+            map: None,
+            map_index: None,
+            load: LoadTracker::new(),
+            cooldown: Cooldown::new(),
+            pending_pool: false,
+            pending_reclaim: None,
+            pending_resolves: Vec::new(),
+            last_heartbeat: None,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Creates a server that already owns `range` — used to bootstrap the
+    /// static-partitioning baseline and multi-server test fixtures without
+    /// running the registration handshake.
+    pub fn with_range(id: ServerId, cfg: MatrixConfig, range: Rect, radius: f64) -> MatrixServer {
+        let mut s = MatrixServer::new(id, cfg);
+        s.range = Some(range);
+        s.radius = radius;
+        s.lifecycle = Lifecycle::Active;
+        s
+    }
+
+    // -- accessors ----------------------------------------------------------
+
+    /// This server's id.
+    pub fn id(&self) -> ServerId {
+        self.id
+    }
+
+    /// The partition currently managed, if active.
+    pub fn range(&self) -> Option<Rect> {
+        self.range
+    }
+
+    /// Lifecycle state.
+    pub fn lifecycle(&self) -> Lifecycle {
+        self.lifecycle
+    }
+
+    /// The parent that split to create this server, if any.
+    pub fn parent(&self) -> Option<ServerId> {
+        self.parent
+    }
+
+    /// Live children created by splits of this server.
+    pub fn children(&self) -> &[ServerId] {
+        &self.children
+    }
+
+    /// Routing-table epoch currently installed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Counters for experiments.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The game's registered radius of visibility.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// Most recently reported client count (0 before any report).
+    pub fn client_count(&self) -> u32 {
+        self.load.clients()
+    }
+
+    // -- game server input ---------------------------------------------------
+
+    /// Handles a message from the co-located game server.
+    pub fn on_game(&mut self, now: SimTime, msg: GameToMatrix) -> Vec<Action> {
+        match msg {
+            GameToMatrix::Register { world, radius } => self.handle_register(world, radius),
+            GameToMatrix::RegisterRadius { radius } => {
+                vec![Action::ToCoord(CoordMsg::RegisterRadius { server: self.id, radius })]
+            }
+            GameToMatrix::Forward(pkt) => self.route_packet(pkt),
+            GameToMatrix::Load(report) => self.handle_load(now, report),
+            GameToMatrix::WhereIs { client, point } => self.resolve_point(client, point, None),
+            GameToMatrix::TransferState { to, bytes } => {
+                vec![Action::ToPeer(to, PeerMsg::StateTransfer { from: self.id, bytes })]
+            }
+            GameToMatrix::TransferClient { to, client, bytes } => {
+                vec![Action::ToPeer(to, PeerMsg::ClientTransfer { from: self.id, client, bytes })]
+            }
+        }
+    }
+
+    fn handle_register(&mut self, world: Rect, radius: f64) -> Vec<Action> {
+        self.radius = radius;
+        if self.range.is_none() && self.parent.is_none() {
+            // Bootstrap: the very first server owns the whole world.
+            self.range = Some(world);
+            self.lifecycle = Lifecycle::Active;
+            vec![Action::ToCoord(CoordMsg::RegisterWorld { server: self.id, world, radius })]
+        } else {
+            // A re-register on an already-ranged server only refreshes the
+            // radius; tables for it exist already (split path).
+            Vec::new()
+        }
+    }
+
+    fn handle_load(&mut self, now: SimTime, report: crate::messages::LoadReport) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.load.observe(&self.cfg, report);
+        if let Some(parent) = self.parent {
+            out.push(Action::ToPeer(parent, PeerMsg::LoadStatus(self.load_snapshot())));
+        }
+        out.extend(self.maybe_adapt(now));
+        out
+    }
+
+    fn load_snapshot(&self) -> LoadSnapshot {
+        LoadSnapshot {
+            clients: self.load.clients(),
+            queue_backlog: self.load.last().map_or(0.0, |r| r.queue_backlog),
+            has_children: !self.children.is_empty(),
+        }
+    }
+
+    // -- routing -------------------------------------------------------------
+
+    fn route_packet(&mut self, pkt: GamePacket) -> Vec<Action> {
+        self.stats.packets_in += 1;
+        if self.lifecycle != Lifecycle::Active {
+            return Vec::new();
+        }
+        // Non-proximal interaction: the event lands at `dest`, so route by
+        // the destination point (possibly via the coordinator).
+        if let Some(dest) = pkt.tag.dest {
+            return self.route_non_proximal(pkt, dest);
+        }
+        let origin = pkt.tag.origin;
+        let set: Vec<ServerId> = match pkt.tag.radius_override {
+            None => match &self.table {
+                Some(t) => t.lookup(origin).to_vec(),
+                None => {
+                    self.stats.routed_without_table += 1;
+                    Vec::new()
+                }
+            },
+            Some(r) => {
+                self.stats.override_routes += 1;
+                self.set_for_radius(origin, r)
+            }
+        };
+        let mut out = Vec::with_capacity(set.len());
+        for peer in set {
+            if peer == self.id {
+                continue;
+            }
+            self.stats.peer_updates_out += 1;
+            self.stats.bytes_to_peers += pkt.wire_size() as u64;
+            out.push(Action::ToPeer(peer, PeerMsg::Update(pkt.clone())));
+        }
+        out
+    }
+
+    /// Consistency set for a packet with a radius override: served from the
+    /// override's dedicated table when the coordinator built one, otherwise
+    /// computed exactly from the cached directory.
+    fn set_for_radius(&mut self, origin: Point, radius: f64) -> Vec<ServerId> {
+        if let Some(t) = self.extra_tables.get(&radius.to_bits()) {
+            return t.lookup(origin).to_vec();
+        }
+        match &self.map {
+            Some(map) => {
+                let parts: Vec<(ServerId, Rect)> = map.iter().collect();
+                consistency_set_from_rects(
+                    &parts,
+                    origin,
+                    self.id,
+                    radius,
+                    self.cfg.metric,
+                )
+            }
+            // No directory yet: fall back to the primary table. For
+            // overrides below the primary radius this is conservative
+            // (a superset); for larger ones some peers may be missed until
+            // tables arrive.
+            None => self.table.as_ref().map(|t| t.lookup(origin).to_vec()).unwrap_or_default(),
+        }
+    }
+
+    fn route_non_proximal(&mut self, pkt: GamePacket, dest: Point) -> Vec<Action> {
+        let radius = pkt.tag.radius_override.unwrap_or(self.radius);
+        if self.cfg.resolve_locally {
+            if let Some(map) = &self.map {
+                self.stats.local_resolves += 1;
+                let owner = self
+                    .map_index
+                    .as_ref()
+                    .and_then(|i| i.owner_of(dest))
+                    .or_else(|| map.owner_of(dest));
+                let parts: Vec<(ServerId, Rect)> = map.iter().collect();
+                let mut set =
+                    consistency_set_from_rects(&parts, dest, self.id, radius, self.cfg.metric);
+                if let Some(o) = owner {
+                    if o != self.id && !set.contains(&o) {
+                        set.push(o);
+                    }
+                }
+                let mut out = Vec::new();
+                for peer in set {
+                    self.stats.peer_updates_out += 1;
+                    self.stats.bytes_to_peers += pkt.wire_size() as u64;
+                    out.push(Action::ToPeer(peer, PeerMsg::Update(pkt.clone())));
+                }
+                if owner == Some(self.id) {
+                    out.push(Action::ToGame(MatrixToGame::Deliver(pkt)));
+                }
+                return out;
+            }
+        }
+        // Rare path the paper describes: ask the MC for the consistency set
+        // of this particular interaction (§3.2.4).
+        self.stats.coordinator_resolves += 1;
+        let client = pkt.client.unwrap_or_default();
+        self.pending_resolves.push(PendingResolve { client, point: dest, packet: Some(pkt) });
+        vec![Action::ToCoord(CoordMsg::ResolvePoint {
+            server: self.id,
+            client,
+            point: dest,
+            radius: Some(radius),
+        })]
+    }
+
+    fn resolve_point(
+        &mut self,
+        client: ClientId,
+        point: Point,
+        packet: Option<GamePacket>,
+    ) -> Vec<Action> {
+        if self.cfg.resolve_locally {
+            if let Some(index) = &self.map_index {
+                self.stats.local_resolves += 1;
+                return vec![Action::ToGame(MatrixToGame::Owner {
+                    client,
+                    point,
+                    owner: index.owner_of(point),
+                })];
+            }
+        }
+        self.stats.coordinator_resolves += 1;
+        self.pending_resolves.push(PendingResolve { client, point, packet });
+        vec![Action::ToCoord(CoordMsg::ResolvePoint {
+            server: self.id,
+            client,
+            point,
+            radius: None,
+        })]
+    }
+
+    // -- adaptation ----------------------------------------------------------
+
+    fn maybe_adapt(&mut self, now: SimTime) -> Vec<Action> {
+        if !self.cfg.adaptive || self.lifecycle != Lifecycle::Active {
+            return Vec::new();
+        }
+        if !self.cooldown.ready(now) || self.pending_pool || self.pending_reclaim.is_some() {
+            return Vec::new();
+        }
+        if self.load.is_overloaded(&self.cfg) && self.range.is_some() {
+            self.pending_pool = true;
+            return vec![Action::ToPool(PoolMsg::Acquire { requester: self.id })];
+        }
+        if self.load.is_underloaded(&self.cfg) {
+            // Reclaim the youngest child whose load is known, small, and
+            // leaf-like; combined load must stay clearly under the overload
+            // threshold or the merge would immediately re-split.
+            let my_clients = self.load.clients();
+            let my_range = self.range;
+            let candidate = self.children.iter().rev().copied().find(|c| {
+                let merged_limit =
+                    (self.cfg.overload_clients as f64 * self.cfg.reclaim_headroom) as u32;
+                let load_ok = self.child_load.get(c).is_some_and(|l| {
+                    !l.has_children
+                        && l.clients < self.cfg.underload_clients
+                        && my_clients + l.clients < merged_limit
+                });
+                // Only children whose partition still tiles with ours can
+                // fold back in; after further splits of this server, only
+                // the most recent child is adjacent.
+                let geometry_ok = match (my_range, self.child_ranges.get(c)) {
+                    (Some(mine), Some(theirs)) => mine.merges_with(theirs).is_some(),
+                    _ => false,
+                };
+                load_ok && geometry_ok
+            });
+            if let Some(child) = candidate {
+                self.pending_reclaim = Some(child);
+                return vec![Action::ToPeer(child, PeerMsg::ReclaimRequest { parent: self.id })];
+            }
+        }
+        Vec::new()
+    }
+
+    // -- peer input ------------------------------------------------------------
+
+    /// Handles a message from a peer Matrix server.
+    pub fn on_peer(&mut self, now: SimTime, from: ServerId, msg: PeerMsg) -> Vec<Action> {
+        match msg {
+            PeerMsg::Update(pkt) => self.deliver_update(pkt),
+            PeerMsg::AdoptPartition { parent, range, radius, epoch } => {
+                self.adopt(now, parent, range, radius, epoch)
+            }
+            PeerMsg::AdoptAck { child: _ } => Vec::new(),
+            PeerMsg::StateTransfer { from, bytes } => {
+                vec![Action::ToGame(MatrixToGame::ReceiveState { from, bytes })]
+            }
+            PeerMsg::ClientTransfer { from, client, bytes } => {
+                vec![Action::ToGame(MatrixToGame::ReceiveClient { from, client, bytes })]
+            }
+            PeerMsg::ReclaimRequest { parent } => self.handle_reclaim_request(parent),
+            PeerMsg::ReclaimGrant { child, range, clients: _ } => {
+                self.handle_reclaim_grant(now, child, range)
+            }
+            PeerMsg::ReclaimDeny { child } => {
+                if self.pending_reclaim == Some(child) {
+                    self.pending_reclaim = None;
+                    self.cooldown.arm(now, &self.cfg);
+                }
+                Vec::new()
+            }
+            PeerMsg::LoadStatus(snapshot) => {
+                self.child_load.insert(from, snapshot);
+                Vec::new()
+            }
+        }
+    }
+
+    fn deliver_update(&mut self, pkt: GamePacket) -> Vec<Action> {
+        if self.lifecycle != Lifecycle::Active {
+            self.stats.misrouted_dropped += 1;
+            return Vec::new();
+        }
+        // §3.2.3: peers forward the packet "after verifying the packet's
+        // range". Relevant iff the event point is within the radius of
+        // visibility of some point of our partition.
+        let point = pkt.tag.dest.unwrap_or(pkt.tag.origin);
+        let radius = pkt.tag.radius_override.unwrap_or(self.radius);
+        let relevant = self
+            .range
+            .map(|r| r.distance_to(point, self.cfg.metric) <= radius)
+            .unwrap_or(false);
+        if !relevant {
+            self.stats.misrouted_dropped += 1;
+            return Vec::new();
+        }
+        self.stats.peer_updates_in += 1;
+        vec![Action::ToGame(MatrixToGame::Deliver(pkt))]
+    }
+
+    fn adopt(
+        &mut self,
+        now: SimTime,
+        parent: ServerId,
+        range: Rect,
+        radius: f64,
+        epoch: u64,
+    ) -> Vec<Action> {
+        if self.lifecycle == Lifecycle::Active {
+            // Already active: a duplicate adoption is a protocol error from
+            // a stale retry; ignore it.
+            return Vec::new();
+        }
+        // A retired server's id can be handed out again by the pool; wipe
+        // every trace of its previous life before adopting.
+        self.children.clear();
+        self.child_load.clear();
+        self.child_ranges.clear();
+        self.load = LoadTracker::new();
+        self.pending_pool = false;
+        self.pending_reclaim = None;
+        self.pending_resolves.clear();
+        self.table = None;
+        self.extra_tables.clear();
+        self.lifecycle = Lifecycle::Active;
+        self.parent = Some(parent);
+        self.range = Some(range);
+        self.radius = radius;
+        self.epoch = epoch;
+        // A fresh child must not immediately split or be reclaimed.
+        self.cooldown.arm(now, &self.cfg);
+        vec![
+            Action::ToGame(MatrixToGame::SetRange { range, radius }),
+            Action::ToPeer(parent, PeerMsg::AdoptAck { child: self.id }),
+            Action::ToCoord(CoordMsg::Heartbeat { server: self.id, epoch: self.epoch }),
+        ]
+    }
+
+    fn handle_reclaim_request(&mut self, parent: ServerId) -> Vec<Action> {
+        let reclaimable = self.lifecycle == Lifecycle::Active
+            && self.parent == Some(parent)
+            && self.children.is_empty()
+            && !self.load.is_overloaded(&self.cfg)
+            && self.range.is_some();
+        if !reclaimable {
+            return vec![Action::ToPeer(parent, PeerMsg::ReclaimDeny { child: self.id })];
+        }
+        let range = self.range.take().expect("checked above");
+        self.lifecycle = Lifecycle::Retired;
+        vec![
+            Action::ToGame(MatrixToGame::RedirectAll { to: parent }),
+            Action::ToPeer(
+                parent,
+                PeerMsg::ReclaimGrant { child: self.id, range, clients: self.load.clients() },
+            ),
+            Action::ToPool(PoolMsg::Release { server: self.id }),
+        ]
+    }
+
+    fn handle_reclaim_grant(&mut self, now: SimTime, child: ServerId, range: Rect) -> Vec<Action> {
+        self.pending_reclaim = None;
+        self.children.retain(|c| *c != child);
+        self.child_load.remove(&child);
+        self.child_ranges.remove(&child);
+        let Some(mine) = self.range else {
+            return Vec::new();
+        };
+        let Some(merged) = mine.merges_with(&range) else {
+            // The child's range no longer tiles with ours (its range grew
+            // through crash absorption since the split). The retired child
+            // has already shed its clients, so its range must find a new
+            // owner: hand it to the coordinator.
+            return vec![Action::ToCoord(CoordMsg::OrphanRange {
+                parent: self.id,
+                child,
+                range,
+            })];
+        };
+        self.range = Some(merged);
+        self.stats.reclaims += 1;
+        self.cooldown.arm(now, &self.cfg);
+        self.load.reset_streaks();
+        vec![
+            Action::ToGame(MatrixToGame::SetRange { range: merged, radius: self.radius }),
+            Action::ToCoord(CoordMsg::ReclaimOccurred {
+                parent: self.id,
+                child,
+                merged_range: merged,
+            }),
+        ]
+    }
+
+    // -- coordinator input -----------------------------------------------------
+
+    /// Handles a reply from the coordinator.
+    pub fn on_coord(&mut self, _now: SimTime, msg: CoordReply) -> Vec<Action> {
+        match msg {
+            CoordReply::Tables { epoch, table, extra_tables, map } => {
+                if epoch < self.epoch {
+                    return Vec::new(); // stale recomputation in flight
+                }
+                self.epoch = epoch;
+                self.table = Some(table);
+                self.extra_tables = extra_tables.into_iter().collect();
+                self.map_index = Some(PartitionIndex::build_auto(&map));
+                self.map = Some(map);
+                Vec::new()
+            }
+            CoordReply::Resolved { client, point, owner, set } => {
+                self.finish_resolve(client, point, owner, set)
+            }
+            CoordReply::AbsorbFailed { failed, range } => self.absorb_failed(failed, range),
+        }
+    }
+
+    fn finish_resolve(
+        &mut self,
+        client: ClientId,
+        point: Point,
+        owner: Option<ServerId>,
+        set: Vec<ServerId>,
+    ) -> Vec<Action> {
+        let mut out = Vec::new();
+        let mut remaining = Vec::new();
+        for pending in self.pending_resolves.drain(..) {
+            if pending.client == client && pending.point == point {
+                match pending.packet {
+                    Some(pkt) => {
+                        let mut targets = set.clone();
+                        if let Some(o) = owner {
+                            if !targets.contains(&o) {
+                                targets.push(o);
+                            }
+                        }
+                        for peer in targets {
+                            if peer == self.id {
+                                out.push(Action::ToGame(MatrixToGame::Deliver(pkt.clone())));
+                            } else {
+                                self.stats.peer_updates_out += 1;
+                                self.stats.bytes_to_peers += pkt.wire_size() as u64;
+                                out.push(Action::ToPeer(peer, PeerMsg::Update(pkt.clone())));
+                            }
+                        }
+                    }
+                    None => {
+                        out.push(Action::ToGame(MatrixToGame::Owner { client, point, owner }));
+                    }
+                }
+            } else {
+                remaining.push(pending);
+            }
+        }
+        self.pending_resolves = remaining;
+        out
+    }
+
+    fn absorb_failed(&mut self, failed: ServerId, range: Rect) -> Vec<Action> {
+        self.children.retain(|c| *c != failed);
+        self.child_load.remove(&failed);
+        self.child_ranges.remove(&failed);
+        let Some(mine) = self.range else {
+            return Vec::new();
+        };
+        let merged = mine.merges_with(&range).unwrap_or(mine);
+        self.range = Some(merged);
+        self.stats.absorbs += 1;
+        vec![Action::ToGame(MatrixToGame::SetRange { range: merged, radius: self.radius })]
+    }
+
+    // -- pool input --------------------------------------------------------------
+
+    /// Handles a reply from the resource pool.
+    pub fn on_pool(&mut self, now: SimTime, msg: PoolReply) -> Vec<Action> {
+        match msg {
+            PoolReply::Grant { server } => self.perform_split(now, server),
+            PoolReply::Denied => {
+                self.pending_pool = false;
+                self.stats.pool_denied += 1;
+                // Back off; the overload persists and will retry after the
+                // cooldown window.
+                self.cooldown.arm(now, &self.cfg);
+                Vec::new()
+            }
+        }
+    }
+
+    fn perform_split(&mut self, now: SimTime, new_server: ServerId) -> Vec<Action> {
+        self.pending_pool = false;
+        let Some(rect) = self.range else {
+            return vec![Action::ToPool(PoolMsg::Release { server: new_server })];
+        };
+        let positions = self.load.positions().to_vec();
+        let Some((given, kept)) = self.cfg.split_strategy.split(&rect, &positions) else {
+            // Partition too small to split: give the server back.
+            return vec![Action::ToPool(PoolMsg::Release { server: new_server })];
+        };
+        self.range = Some(kept);
+        self.children.push(new_server);
+        self.child_ranges.insert(new_server, given);
+        self.stats.splits += 1;
+        self.cooldown.arm(now, &self.cfg);
+        self.load.reset_streaks();
+        vec![
+            Action::ToPeer(
+                new_server,
+                PeerMsg::AdoptPartition {
+                    parent: self.id,
+                    range: given,
+                    radius: self.radius,
+                    epoch: self.epoch,
+                },
+            ),
+            Action::ToCoord(CoordMsg::SplitOccurred {
+                parent: self.id,
+                child: new_server,
+                parent_range: kept,
+                child_range: given,
+            }),
+            Action::ToGame(MatrixToGame::SetRange { range: kept, radius: self.radius }),
+            Action::ToGame(MatrixToGame::RedirectClients { region: given, to: new_server }),
+        ]
+    }
+
+    // -- timer input ----------------------------------------------------------
+
+    /// Periodic tick: heartbeats, child load pushes, and adaptation checks
+    /// that must not depend on load-report arrival alone.
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<Action> {
+        if self.lifecycle != Lifecycle::Active {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let due = self
+            .last_heartbeat
+            .is_none_or(|t| now.since(t) >= self.cfg.heartbeat_every);
+        if due {
+            self.last_heartbeat = Some(now);
+            out.push(Action::ToCoord(CoordMsg::Heartbeat { server: self.id, epoch: self.epoch }));
+            if let Some(parent) = self.parent {
+                out.push(Action::ToPeer(parent, PeerMsg::LoadStatus(self.load_snapshot())));
+            }
+        }
+        out.extend(self.maybe_adapt(now));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::LoadReport;
+    use crate::packet::SpatialTag;
+    use matrix_geometry::{build_overlap, Metric, PartitionMap, SplitStrategy};
+
+    fn world() -> Rect {
+        Rect::from_coords(0.0, 0.0, 400.0, 400.0)
+    }
+
+    fn cfg() -> MatrixConfig {
+        MatrixConfig { cooldown: matrix_sim::SimDuration::from_secs(1), ..MatrixConfig::default() }
+    }
+
+    fn overloaded_report() -> GameToMatrix {
+        GameToMatrix::Load(LoadReport { clients: 400, queue_backlog: 0.0, positions: Vec::new() })
+    }
+
+    /// Drives a server through registration and table installation against
+    /// a two-partition map.
+    fn active_pair() -> (MatrixServer, MatrixServer, PartitionMap) {
+        let mut map = PartitionMap::new(world(), ServerId(1));
+        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
+        let overlap = build_overlap(&map, 50.0, Metric::Euclidean);
+        let mut s1 = MatrixServer::with_range(ServerId(1), cfg(), map.range_of(ServerId(1)).unwrap(), 50.0);
+        let mut s2 = MatrixServer::with_range(ServerId(2), cfg(), map.range_of(ServerId(2)).unwrap(), 50.0);
+        for s in [&mut s1, &mut s2] {
+            s.on_coord(
+                SimTime::ZERO,
+                CoordReply::Tables {
+                    epoch: 1,
+                    table: overlap.table_for(s.id()).unwrap().clone(),
+                    extra_tables: Vec::new(),
+                    map: map.clone(),
+                },
+            );
+        }
+        (s1, s2, map)
+    }
+
+    #[test]
+    fn bootstrap_register_claims_world() {
+        let mut s = MatrixServer::new(ServerId(1), cfg());
+        let actions = s.on_game(SimTime::ZERO, GameToMatrix::Register { world: world(), radius: 50.0 });
+        assert_eq!(s.range(), Some(world()));
+        assert_eq!(s.lifecycle(), Lifecycle::Active);
+        assert!(matches!(
+            actions.as_slice(),
+            [Action::ToCoord(CoordMsg::RegisterWorld { .. })]
+        ));
+    }
+
+    #[test]
+    fn interior_packet_routes_nowhere() {
+        let (mut s1, _, _) = active_pair();
+        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(390.0, 200.0)), 64, 0);
+        let actions = s1.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt));
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn boundary_packet_routes_to_neighbour() {
+        let (mut s1, _, _) = active_pair();
+        // S1 owns [200,400]; x=210 is within 50 of S2's half.
+        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(210.0, 200.0)), 64, 0);
+        let actions = s1.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone()));
+        assert_eq!(actions, vec![Action::ToPeer(ServerId(2), PeerMsg::Update(pkt))]);
+        assert_eq!(s1.stats().peer_updates_out, 1);
+        assert!(s1.stats().bytes_to_peers > 0);
+    }
+
+    #[test]
+    fn peer_update_is_verified_then_delivered() {
+        let (mut s1, mut s2, _) = active_pair();
+        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(210.0, 200.0)), 64, 0);
+        let actions = s1.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone()));
+        let Action::ToPeer(to, PeerMsg::Update(p)) = &actions[0] else {
+            panic!("expected peer update");
+        };
+        let delivered = s2.on_peer(SimTime::ZERO, s1.id(), PeerMsg::Update(p.clone()));
+        assert_eq!(*to, ServerId(2));
+        assert_eq!(delivered, vec![Action::ToGame(MatrixToGame::Deliver(p.clone()))]);
+        assert_eq!(s2.stats().peer_updates_in, 1);
+    }
+
+    #[test]
+    fn irrelevant_peer_update_is_dropped() {
+        let (_, mut s2, _) = active_pair();
+        // Origin deep inside S1: not within 50 of S2's partition.
+        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(390.0, 200.0)), 64, 0);
+        let actions = s2.on_peer(SimTime::ZERO, ServerId(1), PeerMsg::Update(pkt));
+        assert!(actions.is_empty());
+        assert_eq!(s2.stats().misrouted_dropped, 1);
+    }
+
+    #[test]
+    fn overload_requests_pool_once() {
+        let (mut s1, _, _) = active_pair();
+        let t = SimTime::from_secs(10);
+        assert!(s1.on_game(t, overloaded_report()).is_empty(), "streak of 1 must not act");
+        let actions = s1.on_game(t, overloaded_report());
+        assert_eq!(actions, vec![Action::ToPool(PoolMsg::Acquire { requester: ServerId(1) })]);
+        // Further overload reports while the request is pending do nothing.
+        assert!(s1.on_game(t, overloaded_report()).is_empty());
+    }
+
+    #[test]
+    fn split_hands_left_half_to_grant() {
+        let (mut s1, _, _) = active_pair();
+        let t = SimTime::from_secs(10);
+        s1.on_game(t, overloaded_report());
+        s1.on_game(t, overloaded_report());
+        let actions = s1.on_pool(t, PoolReply::Grant { server: ServerId(7) });
+        // S1 owned [200,400]x[0,400]; split-to-left gives [200,300] away.
+        let given = Rect::from_coords(200.0, 0.0, 300.0, 400.0);
+        let kept = Rect::from_coords(300.0, 0.0, 400.0, 400.0);
+        assert_eq!(s1.range(), Some(kept));
+        assert_eq!(s1.children(), &[ServerId(7)]);
+        assert_eq!(s1.stats().splits, 1);
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToPeer(s, PeerMsg::AdoptPartition { range, .. }) if *s == ServerId(7) && *range == given)));
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToCoord(CoordMsg::SplitOccurred { parent, child, .. })
+                if *parent == ServerId(1) && *child == ServerId(7))));
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToGame(MatrixToGame::RedirectClients { to, .. }) if *to == ServerId(7))));
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToGame(MatrixToGame::SetRange { range, .. }) if *range == kept)));
+    }
+
+    #[test]
+    fn child_adoption_acks_and_heartbeats() {
+        let mut child = MatrixServer::new(ServerId(7), cfg());
+        let actions = child.on_peer(
+            SimTime::from_secs(1),
+            ServerId(1),
+            PeerMsg::AdoptPartition {
+                parent: ServerId(1),
+                range: Rect::from_coords(200.0, 0.0, 300.0, 400.0),
+                radius: 50.0,
+                epoch: 3,
+            },
+        );
+        assert_eq!(child.lifecycle(), Lifecycle::Active);
+        assert_eq!(child.parent(), Some(ServerId(1)));
+        assert!(actions.iter().any(|a| matches!(a, Action::ToGame(MatrixToGame::SetRange { .. }))));
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToPeer(p, PeerMsg::AdoptAck { child: c }) if *p == ServerId(1) && *c == ServerId(7))));
+    }
+
+    #[test]
+    fn pool_denied_backs_off() {
+        let (mut s1, _, _) = active_pair();
+        let t = SimTime::from_secs(10);
+        s1.on_game(t, overloaded_report());
+        s1.on_game(t, overloaded_report());
+        s1.on_pool(t, PoolReply::Denied);
+        assert_eq!(s1.stats().pool_denied, 1);
+        // Still overloaded, but inside the cooldown: no new request.
+        assert!(s1.on_game(t, overloaded_report()).is_empty());
+        // After the cooldown the retry fires on the next overloaded report
+        // (the streak is already long enough).
+        let later = t + matrix_sim::SimDuration::from_secs(2);
+        let actions = s1.on_game(later, overloaded_report());
+        assert_eq!(actions, vec![Action::ToPool(PoolMsg::Acquire { requester: ServerId(1) })]);
+    }
+
+    #[test]
+    fn unsplittable_range_returns_server_to_pool() {
+        let tiny = Rect::from_coords(0.0, 0.0, 0.0, 10.0);
+        // A degenerate strip cannot be split by any strategy.
+        let mut s = MatrixServer::with_range(ServerId(1), cfg(), tiny, 5.0);
+        let t = SimTime::from_secs(10);
+        s.on_game(t, overloaded_report());
+        s.on_game(t, overloaded_report());
+        let actions = s.on_pool(t, PoolReply::Grant { server: ServerId(9) });
+        assert_eq!(actions, vec![Action::ToPool(PoolMsg::Release { server: ServerId(9) })]);
+        assert_eq!(s.stats().splits, 0);
+    }
+
+    #[test]
+    fn full_reclaim_handshake() {
+        let (mut s1, _, _) = active_pair();
+        let t0 = SimTime::from_secs(10);
+        // Split to create child 7.
+        s1.on_game(t0, overloaded_report());
+        s1.on_game(t0, overloaded_report());
+        let actions = s1.on_pool(t0, PoolReply::Grant { server: ServerId(7) });
+        let mut child = MatrixServer::new(ServerId(7), cfg());
+        for a in &actions {
+            if let Action::ToPeer(_, msg) = a {
+                child.on_peer(t0, ServerId(1), msg.clone());
+            }
+        }
+        // Child reports low load to the parent.
+        let t1 = t0 + matrix_sim::SimDuration::from_secs(5);
+        s1.on_peer(
+            t1,
+            ServerId(7),
+            PeerMsg::LoadStatus(LoadSnapshot { clients: 10, queue_backlog: 0.0, has_children: false }),
+        );
+        // Parent underloaded for 3 consecutive reports.
+        let low = || GameToMatrix::Load(LoadReport { clients: 20, queue_backlog: 0.0, positions: vec![] });
+        s1.on_game(t1, low());
+        s1.on_game(t1, low());
+        let actions = s1.on_game(t1, low());
+        assert_eq!(actions, vec![Action::ToPeer(ServerId(7), PeerMsg::ReclaimRequest { parent: ServerId(1) })]);
+        // Child grants, redirecting its clients and releasing itself.
+        let granted = child.on_peer(t1, ServerId(1), PeerMsg::ReclaimRequest { parent: ServerId(1) });
+        assert!(granted.iter().any(|a| matches!(a, Action::ToGame(MatrixToGame::RedirectAll { to }) if *to == ServerId(1))));
+        assert!(granted.iter().any(|a| matches!(a, Action::ToPool(PoolMsg::Release { server }) if *server == ServerId(7))));
+        assert_eq!(child.lifecycle(), Lifecycle::Retired);
+        // Parent merges the range back.
+        let grant = granted
+            .iter()
+            .find_map(|a| match a {
+                Action::ToPeer(_, m @ PeerMsg::ReclaimGrant { .. }) => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let merged_actions = s1.on_peer(t1, ServerId(7), grant);
+        assert_eq!(s1.range(), Some(Rect::from_coords(200.0, 0.0, 400.0, 400.0)));
+        assert_eq!(s1.children(), &[] as &[ServerId]);
+        assert_eq!(s1.stats().reclaims, 1);
+        assert!(merged_actions.iter().any(|a| matches!(a, Action::ToCoord(CoordMsg::ReclaimOccurred { .. }))));
+    }
+
+    #[test]
+    fn loaded_child_denies_reclaim() {
+        let mut child = MatrixServer::with_range(
+            ServerId(7),
+            cfg(),
+            Rect::from_coords(0.0, 0.0, 100.0, 100.0),
+            10.0,
+        );
+        let over = LoadReport { clients: 500, queue_backlog: 0.0, positions: vec![] };
+        child.on_game(SimTime::ZERO, GameToMatrix::Load(over.clone()));
+        child.on_game(SimTime::ZERO, GameToMatrix::Load(over));
+        let actions =
+            child.on_peer(SimTime::ZERO, ServerId(1), PeerMsg::ReclaimRequest { parent: ServerId(1) });
+        assert_eq!(actions, vec![Action::ToPeer(ServerId(1), PeerMsg::ReclaimDeny { child: ServerId(7) })]);
+        assert_eq!(child.lifecycle(), Lifecycle::Active);
+    }
+
+    #[test]
+    fn where_is_resolved_locally_from_directory() {
+        let (mut s1, _, _) = active_pair();
+        let actions = s1.on_game(
+            SimTime::ZERO,
+            GameToMatrix::WhereIs { client: ClientId(5), point: Point::new(50.0, 50.0) },
+        );
+        assert_eq!(
+            actions,
+            vec![Action::ToGame(MatrixToGame::Owner {
+                client: ClientId(5),
+                point: Point::new(50.0, 50.0),
+                owner: Some(ServerId(2)),
+            })]
+        );
+        assert_eq!(s1.stats().local_resolves, 1);
+    }
+
+    #[test]
+    fn where_is_via_coordinator_when_configured() {
+        let mut cfg = cfg();
+        cfg.resolve_locally = false;
+        let mut s = MatrixServer::with_range(ServerId(1), cfg, world(), 50.0);
+        let actions = s.on_game(
+            SimTime::ZERO,
+            GameToMatrix::WhereIs { client: ClientId(5), point: Point::new(50.0, 50.0) },
+        );
+        assert!(matches!(actions.as_slice(), [Action::ToCoord(CoordMsg::ResolvePoint { .. })]));
+        // The reply completes the query.
+        let replies = s.on_coord(
+            SimTime::ZERO,
+            CoordReply::Resolved {
+                client: ClientId(5),
+                point: Point::new(50.0, 50.0),
+                owner: Some(ServerId(1)),
+                set: vec![],
+            },
+        );
+        assert_eq!(
+            replies,
+            vec![Action::ToGame(MatrixToGame::Owner {
+                client: ClientId(5),
+                point: Point::new(50.0, 50.0),
+                owner: Some(ServerId(1)),
+            })]
+        );
+        assert_eq!(s.stats().coordinator_resolves, 1);
+    }
+
+    #[test]
+    fn non_proximal_packet_reaches_destination_owner() {
+        let (mut s1, _, _) = active_pair();
+        // Teleport event landing deep in S2's half.
+        let pkt = GamePacket::synthetic(
+            ClientId(3),
+            SpatialTag::towards(Point::new(390.0, 200.0), Point::new(20.0, 20.0)),
+            64,
+            0,
+        );
+        let actions = s1.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone()));
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToPeer(s, PeerMsg::Update(_)) if *s == ServerId(2))));
+    }
+
+    #[test]
+    fn stale_tables_are_rejected() {
+        let (mut s1, _, map) = active_pair();
+        assert_eq!(s1.epoch(), 1);
+        let overlap = build_overlap(&map, 50.0, Metric::Euclidean);
+        let stale = CoordReply::Tables {
+            epoch: 0,
+            table: overlap.table_for(ServerId(1)).unwrap().clone(),
+            extra_tables: Vec::new(),
+            map: map.clone(),
+        };
+        s1.on_coord(SimTime::ZERO, stale);
+        assert_eq!(s1.epoch(), 1, "older epoch must not overwrite newer tables");
+    }
+
+    #[test]
+    fn tick_emits_heartbeat_once_per_interval() {
+        let (mut s1, _, _) = active_pair();
+        let a1 = s1.on_tick(SimTime::from_millis(100));
+        assert!(a1.iter().any(|a| matches!(a, Action::ToCoord(CoordMsg::Heartbeat { .. }))));
+        let a2 = s1.on_tick(SimTime::from_millis(200));
+        assert!(!a2.iter().any(|a| matches!(a, Action::ToCoord(CoordMsg::Heartbeat { .. }))));
+        let a3 = s1.on_tick(SimTime::from_millis(1200));
+        assert!(a3.iter().any(|a| matches!(a, Action::ToCoord(CoordMsg::Heartbeat { .. }))));
+    }
+
+    #[test]
+    fn static_baseline_never_splits() {
+        let mut s = MatrixServer::with_range(
+            ServerId(1),
+            MatrixConfig::static_baseline(),
+            world(),
+            50.0,
+        );
+        for i in 0..50 {
+            let actions = s.on_game(SimTime::from_secs(i), overloaded_report());
+            assert!(actions.is_empty(), "static server must not adapt");
+        }
+        assert_eq!(s.stats().splits, 0);
+    }
+
+    #[test]
+    fn absorb_failed_peer_extends_range() {
+        let (mut s1, _, _) = active_pair();
+        // S2 ([0,200]) dies; S1 ([200,400]) absorbs it.
+        let actions = s1.on_coord(
+            SimTime::ZERO,
+            CoordReply::AbsorbFailed {
+                failed: ServerId(2),
+                range: Rect::from_coords(0.0, 0.0, 200.0, 400.0),
+            },
+        );
+        assert_eq!(s1.range(), Some(world()));
+        assert_eq!(s1.stats().absorbs, 1);
+        assert!(actions.iter().any(|a| matches!(a, Action::ToGame(MatrixToGame::SetRange { .. }))));
+    }
+
+    #[test]
+    fn reclaim_from_non_parent_is_denied() {
+        let (mut s1, _, _) = active_pair();
+        let actions =
+            s1.on_peer(SimTime::ZERO, ServerId(9), PeerMsg::ReclaimRequest { parent: ServerId(9) });
+        assert_eq!(actions, vec![Action::ToPeer(ServerId(9), PeerMsg::ReclaimDeny { child: ServerId(1) })]);
+        assert_eq!(s1.lifecycle(), Lifecycle::Active);
+    }
+
+    #[test]
+    fn retired_server_drops_everything() {
+        let mut child = MatrixServer::new(ServerId(7), cfg());
+        child.on_peer(
+            SimTime::ZERO,
+            ServerId(1),
+            PeerMsg::AdoptPartition {
+                parent: ServerId(1),
+                range: Rect::from_coords(200.0, 0.0, 300.0, 400.0),
+                radius: 50.0,
+                epoch: 1,
+            },
+        );
+        child.on_peer(SimTime::ZERO, ServerId(1), PeerMsg::ReclaimRequest { parent: ServerId(1) });
+        assert_eq!(child.lifecycle(), Lifecycle::Retired);
+        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(210.0, 200.0)), 64, 0);
+        assert!(child.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone())).is_empty());
+        assert!(child.on_peer(SimTime::ZERO, ServerId(2), PeerMsg::Update(pkt)).is_empty());
+        assert!(child.on_tick(SimTime::from_secs(99)).is_empty());
+    }
+
+    #[test]
+    fn radius_override_routes_exactly() {
+        let (mut s1, _, _) = active_pair();
+        // Origin 120 from the neighbour: the primary radius (50) would not
+        // reach it, an override of 150 must.
+        let pkt = GamePacket {
+            client: Some(ClientId(1)),
+            tag: SpatialTag::at(Point::new(320.0, 200.0)).with_radius(150.0),
+            payload: bytes::Bytes::from_static(&[0u8; 8]),
+            seq: 0,
+        };
+        let actions = s1.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt));
+        assert!(actions.iter().any(|a| matches!(a, Action::ToPeer(s, _) if *s == ServerId(2))));
+        assert_eq!(s1.stats().override_routes, 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! A1/A2 — ablations of Matrix design choices.
+//!
+//! * **A1** split strategy: the paper's simple split-to-left against the
+//!   locality/load-aware alternatives its §5 cites as complementary work.
+//! * **A2** hysteresis: §3.2.3 claims "simple heuristics ... prevent
+//!   oscillations and ensure stability". Disabling the streaks, cooldown
+//!   and reclaim headroom shows the flapping they prevent.
+
+use crate::harness::{Cluster, ClusterConfig, ClusterReport};
+use matrix_games::{GameSpec, WorkloadSchedule};
+use matrix_geometry::SplitStrategy;
+use matrix_metrics::Table;
+use matrix_sim::{SimDuration, SimTime};
+
+/// One ablation row.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Variant label.
+    pub variant: String,
+    /// Splits over the run.
+    pub splits: u64,
+    /// Reclaims over the run.
+    pub reclaims: u64,
+    /// Peak servers.
+    pub peak_servers: usize,
+    /// Handoffs.
+    pub switches: u64,
+    /// Peak queue backlog.
+    pub peak_queue: f64,
+    /// Fraction of responses above 150 ms.
+    pub late_fraction: f64,
+}
+
+fn row(variant: &str, r: &ClusterReport) -> AblationRow {
+    AblationRow {
+        variant: variant.to_string(),
+        splits: r.splits,
+        reclaims: r.reclaims,
+        peak_servers: r.peak_servers,
+        switches: r.switches,
+        peak_queue: r.peak_queue,
+        late_fraction: r.late_fraction,
+    }
+}
+
+/// A1: Figure-2 workload under each split strategy.
+pub fn run_split_strategies(seed: u64) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    for strategy in [
+        SplitStrategy::SplitToLeft,
+        SplitStrategy::LongestAxis,
+        SplitStrategy::LoadAwareMedian,
+    ] {
+        let spec = GameSpec::bzflag();
+        let schedule = WorkloadSchedule::figure2(&spec, 100);
+        let mut cfg = ClusterConfig::adaptive(spec);
+        cfg.seed = seed;
+        cfg.matrix.split_strategy = strategy;
+        let report = Cluster::new(cfg, schedule).run();
+        rows.push(row(&strategy.to_string(), &report));
+    }
+    rows
+}
+
+/// A2: borderline load right at the overload threshold, with and without
+/// the anti-oscillation heuristics.
+///
+/// The flap trap: a dense 280-client crowd generates just over one
+/// (slightly derated) server's capacity, so the server overloads through
+/// its queue backlog rather than the client count. A split halves the
+/// crowd into two ~140-client servers — both under the 150-client
+/// underload bound — so a reclaim is immediately tempting, which rebuilds
+/// the overload, which splits again. The paper's heuristics (streaks,
+/// cooldown, reclaim headroom) are exactly what breaks this cycle.
+pub fn run_hysteresis(seed: u64) -> Vec<AblationRow> {
+    let mut spec = GameSpec::bzflag();
+    spec.server_capacity = 2_500.0;
+    let crowd = matrix_games::Placement::Hotspot {
+        center: spec.hotspot_a(),
+        spread: spec.radius * 0.3,
+    };
+    let schedule = || {
+        WorkloadSchedule::new(SimTime::from_secs(150))
+            .at(
+                SimTime::ZERO,
+                matrix_games::PopulationEvent::Join { n: 10, placement: matrix_games::Placement::Uniform },
+            )
+            .at(SimTime::from_secs(5), matrix_games::PopulationEvent::Join { n: 280, placement: crowd })
+    };
+
+    let mut with = ClusterConfig::adaptive(spec.clone());
+    with.seed = seed;
+    let with_report = Cluster::new(with, schedule()).run();
+
+    let mut without = ClusterConfig::adaptive(spec.clone());
+    without.seed = seed;
+    without.matrix.overload_streak = 1;
+    without.matrix.underload_streak = 1;
+    without.matrix.cooldown = SimDuration::from_millis(0);
+    without.matrix.reclaim_headroom = 1.0;
+    let without_report = Cluster::new(without, schedule()).run();
+
+    vec![row("hysteresis on (paper)", &with_report), row("hysteresis off", &without_report)]
+}
+
+/// Renders an ablation table.
+pub fn table(title: &str, rows: &[AblationRow]) -> Table {
+    let mut t = Table::new(
+        title,
+        &["variant", "splits", "reclaims", "peak servers", "switches", "peak queue", "late >150ms"],
+    );
+    for r in rows {
+        t.push_row(&[
+            r.variant.clone(),
+            r.splits.to_string(),
+            r.reclaims.to_string(),
+            r.peak_servers.to_string(),
+            r.switches.to_string(),
+            format!("{:.0}", r.peak_queue),
+            format!("{:.1}%", r.late_fraction * 100.0),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let rows = vec![AblationRow {
+            variant: "split-to-left".into(),
+            splits: 5,
+            reclaims: 5,
+            peak_servers: 4,
+            switches: 100,
+            peak_queue: 9000.0,
+            late_fraction: 0.1,
+        }];
+        assert!(table("A1", &rows).render().contains("split-to-left"));
+    }
+}

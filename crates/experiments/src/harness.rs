@@ -1,0 +1,994 @@
+//! The discrete-event cluster harness.
+//!
+//! Wires the sans-io state machines of `matrix-core` to the `matrix-sim`
+//! kernel: every protocol message becomes a timestamped event delivered
+//! over modelled links, every game-server node owns a fluid
+//! [`ServiceQueue`] whose backlog is the paper's "receive queue length",
+//! and a scripted [`WorkloadSchedule`] drives clients exactly as §4.1
+//! describes. One [`Cluster::run`] call replays an entire experiment
+//! deterministically for a given seed.
+
+use matrix_core::{
+    Action, ClientId, ClientToGame, CoordAction, CoordMsg, CoordReply, Coordinator,
+    CoordinatorConfig, GameAction, GameServerConfig, GameServerNode, GameToClient,
+    MatrixConfig, MatrixServer, MatrixToGame, PeerMsg, PoolMsg, PoolReply, ResourcePool,
+};
+use matrix_games::{ClientPop, GameSpec, PopulationEvent, WorkloadSchedule};
+use matrix_geometry::{Point, ServerId};
+use matrix_metrics::{Histogram, TimeSeries};
+use matrix_sim::{EventQueue, LinkModel, ServiceQueue, SimDuration, SimRng, SimTime};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Network shape of the deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetConfig {
+    /// Client ↔ game-server link (wide area).
+    pub client_link: LinkModel,
+    /// Matrix-server ↔ Matrix-server link (datacenter).
+    pub server_link: LinkModel,
+    /// Matrix-server ↔ coordinator link (datacenter).
+    pub coord_link: LinkModel,
+    /// Provisioning delay for a pool grant (boot a spare server).
+    pub pool_delay: SimDuration,
+    /// Extra client-side delay to tear down and re-establish a connection
+    /// during a server switch.
+    pub reconnect_delay: SimDuration,
+    /// How long a client takes to notice its server is dead and reconnect
+    /// elsewhere (keepalive timeout).
+    pub crash_detect: SimDuration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            client_link: LinkModel::constant_millis(25),
+            server_link: LinkModel {
+                latency: matrix_sim::LatencyModel::constant_millis(1),
+                loss_probability: 0.0,
+                bandwidth_bytes_per_sec: Some(125_000_000.0), // 1 Gbps
+            },
+            coord_link: LinkModel::constant_millis(1),
+            pool_delay: SimDuration::from_millis(500),
+            reconnect_delay: SimDuration::from_millis(50),
+            crash_detect: SimDuration::from_secs(3),
+        }
+    }
+}
+
+/// Everything configurable about one experiment run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// The game being played.
+    pub spec: GameSpec,
+    /// Matrix-server behaviour (adaptive vs static, thresholds, strategy).
+    pub matrix: MatrixConfig,
+    /// Game-server behaviour.
+    pub game: GameServerConfig,
+    /// Coordinator behaviour.
+    pub coordinator: CoordinatorConfig,
+    /// Network shape.
+    pub net: NetConfig,
+    /// Spare servers in the pool.
+    pub pool_size: u32,
+    /// Initial static servers (1 = adaptive bootstrap; >1 = static grid).
+    pub initial_servers: u32,
+    /// Receive-queue capacity in work units (`None` = unbounded).
+    pub queue_capacity: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Metric sampling interval.
+    pub sample_every: SimDuration,
+    /// Scripted node crashes (time, victim).
+    pub crashes: Vec<(SimTime, ServerId)>,
+}
+
+impl ClusterConfig {
+    /// An adaptive single-bootstrap deployment of `spec` (the paper's
+    /// Matrix configuration).
+    pub fn adaptive(spec: GameSpec) -> ClusterConfig {
+        let matrix = MatrixConfig {
+            split_strategy: matrix_geometry::SplitStrategy::SplitToLeft,
+            metric: spec.metric,
+            ..MatrixConfig::default()
+        };
+        let game = GameServerConfig {
+            client_state_bytes: spec.client_state_bytes,
+            global_state_bytes: spec.global_state_bytes,
+            metric: spec.metric,
+            handoff_margin: spec.radius * 0.15,
+            ..GameServerConfig::default()
+        };
+        ClusterConfig {
+            spec,
+            matrix,
+            game,
+            coordinator: CoordinatorConfig::default(),
+            net: NetConfig::default(),
+            pool_size: 16,
+            initial_servers: 1,
+            queue_capacity: None,
+            seed: 42,
+            sample_every: SimDuration::from_secs(1),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// The static-partitioning baseline with `k` fixed servers.
+    pub fn static_partition(spec: GameSpec, k: u32) -> ClusterConfig {
+        let mut cfg = ClusterConfig::adaptive(spec);
+        cfg.matrix = MatrixConfig { metric: cfg.matrix.metric, ..MatrixConfig::static_baseline() };
+        cfg.initial_servers = k.max(1);
+        cfg.pool_size = 0;
+        // Static servers have finite buffers; when they saturate they drop
+        // ("the static partitioning schemes just fail", §4.2).
+        cfg.queue_capacity = Some(cfg.spec.server_capacity * 5.0);
+        cfg
+    }
+}
+
+/// One co-located game-server + Matrix-server pair.
+struct Node {
+    matrix: MatrixServer,
+    game: GameServerNode,
+    queue: ServiceQueue,
+    alive: bool,
+    clients_series: TimeSeries,
+    queue_series: TimeSeries,
+}
+
+/// Simulation events.
+enum Event {
+    /// A client's periodic update cycle.
+    ClientUpdate(ClientId),
+    /// A scripted population change (index into the schedule).
+    Population(usize),
+    /// A client finishes (re)connecting to a server.
+    ClientJoin(ClientId, ServerId),
+    /// Peer message delivery.
+    Peer { to: ServerId, from: ServerId, msg: PeerMsg },
+    /// Message to the coordinator.
+    Coord(CoordMsg),
+    /// Coordinator reply delivery.
+    CoordReply(ServerId, CoordReply),
+    /// Pool request (requester encoded in the message).
+    Pool(ServerId, PoolMsg),
+    /// Pool reply delivery.
+    PoolReply(ServerId, PoolReply),
+    /// Per-node game tick.
+    NodeTick(ServerId),
+    /// Coordinator liveness sweep.
+    CoordSweep,
+    /// Metrics sampling.
+    Sample,
+    /// Failure injection.
+    Crash(ServerId),
+}
+
+/// One adaptation event for the run timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyEvent {
+    /// `parent` split, handing a range to `child`.
+    Split {
+        /// Splitting server.
+        parent: ServerId,
+        /// New server.
+        child: ServerId,
+    },
+    /// `parent` reclaimed `child`.
+    Reclaim {
+        /// Absorbing parent.
+        parent: ServerId,
+        /// Folded child.
+        child: ServerId,
+    },
+    /// A crashed/orphaned server's range was reassigned.
+    Failure {
+        /// The dead or orphaned server.
+        victim: ServerId,
+    },
+}
+
+impl std::fmt::Display for TopologyEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyEvent::Split { parent, child } => write!(f, "split   {parent} -> {child}"),
+            TopologyEvent::Reclaim { parent, child } => write!(f, "reclaim {parent} <- {child}"),
+            TopologyEvent::Failure { victim } => write!(f, "failure {victim} reassigned"),
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Per-server client counts over time (Figure 2a).
+    pub clients_per_server: Vec<TimeSeries>,
+    /// Per-server receive-queue backlog over time (Figure 2b).
+    pub queue_per_server: Vec<TimeSeries>,
+    /// Number of active servers over time.
+    pub servers_in_use: TimeSeries,
+    /// Client action response latency (µs).
+    pub response_latency_us: Histogram,
+    /// Client switch (handoff) latency (µs).
+    pub switch_latency_us: Histogram,
+    /// Fraction of sampled responses above the 150 ms playability bound.
+    pub late_fraction: f64,
+    /// Total bytes exchanged between Matrix servers.
+    pub inter_server_bytes: u64,
+    /// Total client updates processed by game servers.
+    pub updates_processed: u64,
+    /// Work units dropped at full queues (static-baseline failure mode).
+    pub dropped_work: f64,
+    /// Total client switches (handoffs) completed.
+    pub switches: u64,
+    /// Splits performed across the run.
+    pub splits: u64,
+    /// Reclaims performed across the run.
+    pub reclaims: u64,
+    /// Peak number of simultaneously active servers.
+    pub peak_servers: usize,
+    /// Peak receive-queue backlog across all servers.
+    pub peak_queue: f64,
+    /// Coordinator statistics at the end of the run.
+    pub coordinator: matrix_core::CoordinatorStats,
+    /// Pool statistics at the end of the run.
+    pub pool: matrix_core::PoolStats,
+    /// Total simulated events processed.
+    pub events: u64,
+    /// Time-ordered adaptation timeline (splits, reclaims, failures).
+    pub timeline: Vec<(SimTime, TopologyEvent)>,
+}
+
+impl ClusterReport {
+    /// Peak client count observed on any single server.
+    pub fn peak_clients_on_one_server(&self) -> f64 {
+        self.clients_per_server
+            .iter()
+            .filter_map(|s| s.max_value())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The deterministic cluster simulation.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    pop: ClientPop,
+    schedule: WorkloadSchedule,
+    nodes: BTreeMap<ServerId, Node>,
+    coordinator: Coordinator,
+    pool: ResourcePool,
+    queue: EventQueue<Event>,
+    now: SimTime,
+    rng: SimRng,
+    response_latency: Histogram,
+    switch_latency: Histogram,
+    switch_started: BTreeMap<ClientId, SimTime>,
+    servers_in_use: TimeSeries,
+    late: u64,
+    samples: u64,
+    switches: u64,
+    late_threshold: SimDuration,
+    bootstrap: ServerId,
+    timeline: Vec<(SimTime, TopologyEvent)>,
+}
+
+impl Cluster {
+    /// Builds a cluster for a config and a workload script.
+    pub fn new(cfg: ClusterConfig, schedule: WorkloadSchedule) -> Cluster {
+        let seed = cfg.seed;
+        let spec = cfg.spec.clone();
+        let pop = ClientPop::new(spec, seed);
+        let mut cluster = Cluster {
+            pop,
+            schedule,
+            nodes: BTreeMap::new(),
+            coordinator: Coordinator::new(cfg.coordinator),
+            pool: ResourcePool::with_capacity(cfg.initial_servers + 1, cfg.pool_size),
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: SimRng::seed_from_u64(seed ^ 0xC0FFEE),
+            response_latency: Histogram::new(),
+            switch_latency: Histogram::new(),
+            switch_started: BTreeMap::new(),
+            servers_in_use: TimeSeries::new("servers"),
+            late: 0,
+            samples: 0,
+            switches: 0,
+            late_threshold: SimDuration::from_millis(150),
+            bootstrap: ServerId(1),
+            timeline: Vec::new(),
+            cfg,
+        };
+        cluster.bootstrap();
+        cluster
+    }
+
+    fn make_node(&self, id: ServerId) -> Node {
+        let mut queue = ServiceQueue::new(self.cfg.spec.server_capacity);
+        if let Some(cap) = self.cfg.queue_capacity {
+            queue = queue.with_capacity(cap);
+        }
+        Node {
+            matrix: MatrixServer::new(id, self.cfg.matrix),
+            game: GameServerNode::new(id, self.cfg.game),
+            queue,
+            alive: true,
+            clients_series: TimeSeries::new(format!("{id} clients")),
+            queue_series: TimeSeries::new(format!("{id} queue")),
+        }
+    }
+
+    fn bootstrap(&mut self) {
+        let world = self.cfg.spec.world;
+        let radius = self.cfg.spec.radius;
+        if self.cfg.initial_servers <= 1 {
+            // Adaptive bootstrap: one server registers the world.
+            let id = ServerId(1);
+            self.bootstrap = id;
+            let mut node = self.make_node(id);
+            let actions = node.game.register(world, radius);
+            self.nodes.insert(id, node);
+            self.process_game_actions(id, actions);
+        } else {
+            // Static grid: K servers with fixed ranges, tables pushed once.
+            let servers: Vec<ServerId> = (1..=self.cfg.initial_servers).map(ServerId).collect();
+            self.bootstrap = servers[0];
+            let map = matrix_geometry::PartitionMap::static_grid(world, &servers)
+                .expect("static grid construction");
+            for &s in &servers {
+                let mut node = self.make_node(s);
+                node.matrix =
+                    MatrixServer::with_range(s, self.cfg.matrix, map.range_of(s).unwrap(), radius);
+                let _ = node.game.register(world, radius); // registers radius
+                node.game.on_matrix(
+                    SimTime::ZERO,
+                    MatrixToGame::SetRange { range: map.range_of(s).unwrap(), radius },
+                );
+                self.nodes.insert(s, node);
+            }
+            let (coordinator, actions) =
+                Coordinator::with_map(self.cfg.coordinator, map, radius);
+            self.coordinator = coordinator;
+            for a in actions {
+                let CoordAction::Send(to, reply) = a;
+                self.deliver_coord_reply_now(to, reply);
+            }
+        }
+        // Schedule the script, node ticks, sweeps, samples, crashes.
+        let events: Vec<(SimTime, usize)> = self
+            .schedule
+            .events()
+            .iter()
+            .enumerate()
+            .map(|(i, (t, _))| (*t, i))
+            .collect();
+        for (t, i) in events {
+            self.queue.schedule(t, Event::Population(i));
+        }
+        let node_ids: Vec<ServerId> = self.nodes.keys().copied().collect();
+        for id in node_ids {
+            self.queue.schedule(SimTime::ZERO + self.cfg.game.tick, Event::NodeTick(id));
+        }
+        self.queue.schedule(SimTime::from_secs(1), Event::CoordSweep);
+        self.queue.schedule(SimTime::ZERO + self.cfg.sample_every, Event::Sample);
+        let crashes = self.cfg.crashes.clone();
+        for (t, victim) in crashes {
+            self.queue.schedule(t, Event::Crash(victim));
+        }
+    }
+
+    /// Runs to the schedule horizon and produces the report.
+    pub fn run(mut self) -> ClusterReport {
+        let horizon = self.schedule.horizon;
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            self.now = t;
+            self.handle(ev);
+        }
+        self.report()
+    }
+
+    // -- event handling -------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::ClientUpdate(id) => self.client_update(id),
+            Event::Population(idx) => self.population_event(idx),
+            Event::ClientJoin(id, server) => self.client_join(id, server),
+            Event::Peer { to, from, msg } => {
+                if let Some(node) = self.nodes.get_mut(&to) {
+                    if node.alive {
+                        let actions = node.matrix.on_peer(self.now, from, msg);
+                        self.process_matrix_actions(to, actions);
+                        return;
+                    }
+                }
+                // Unknown target: a fresh pool server being adopted.
+                if let PeerMsg::AdoptPartition { .. } = msg {
+                    let mut node = self.make_node(to);
+                    let actions = node.matrix.on_peer(self.now, from, msg);
+                    self.nodes.insert(to, node);
+                    self.queue
+                        .schedule(self.now + self.cfg.game.tick, Event::NodeTick(to));
+                    self.process_matrix_actions(to, actions);
+                }
+            }
+            Event::Coord(msg) => {
+                match &msg {
+                    CoordMsg::SplitOccurred { parent, child, .. } => self
+                        .timeline
+                        .push((self.now, TopologyEvent::Split { parent: *parent, child: *child })),
+                    CoordMsg::ReclaimOccurred { parent, child, .. } => self
+                        .timeline
+                        .push((self.now, TopologyEvent::Reclaim { parent: *parent, child: *child })),
+                    CoordMsg::OrphanRange { child, .. } => {
+                        self.timeline.push((self.now, TopologyEvent::Failure { victim: *child }))
+                    }
+                    _ => {}
+                }
+                let failures_before = self.coordinator.stats().failures_declared;
+                let actions = self.coordinator.handle(self.now, msg);
+                let _ = failures_before;
+                self.process_coord_actions(actions);
+            }
+            Event::CoordReply(to, reply) => {
+                if let Some(node) = self.nodes.get_mut(&to) {
+                    if node.alive {
+                        let actions = node.matrix.on_coord(self.now, reply);
+                        self.process_matrix_actions(to, actions);
+                    }
+                }
+            }
+            Event::Pool(requester, msg) => {
+                let reply = self.pool.handle(msg);
+                if let Some(reply) = reply {
+                    let at = self.now + self.cfg.net.pool_delay;
+                    self.queue.schedule(at, Event::PoolReply(requester, reply));
+                }
+            }
+            Event::PoolReply(to, reply) => {
+                if let Some(node) = self.nodes.get_mut(&to) {
+                    if node.alive {
+                        let actions = node.matrix.on_pool(self.now, reply);
+                        self.process_matrix_actions(to, actions);
+                    }
+                }
+            }
+            Event::NodeTick(id) => self.node_tick(id),
+            Event::CoordSweep => {
+                let before = self.coordinator.stats().failures_declared;
+                let actions = self.coordinator.check_liveness(self.now);
+                if self.coordinator.stats().failures_declared > before {
+                    for action in &actions {
+                        let CoordAction::Send(_, reply) = action;
+                        if let CoordReply::AbsorbFailed { failed, .. } = reply {
+                            self.timeline
+                                .push((self.now, TopologyEvent::Failure { victim: *failed }));
+                        }
+                    }
+                }
+                self.process_coord_actions(actions);
+                self.queue
+                    .schedule(self.now + SimDuration::from_secs(1), Event::CoordSweep);
+            }
+            Event::Sample => self.sample(),
+            Event::Crash(victim) => {
+                if let Some(node) = self.nodes.get_mut(&victim) {
+                    node.alive = false;
+                }
+            }
+        }
+    }
+
+    fn client_update(&mut self, id: ClientId) {
+        let interval = SimDuration::from_secs_f64(self.pop.spec().update_interval_secs());
+        let Some(client) = self.pop.get(id) else {
+            return; // left the game
+        };
+        if client.switching {
+            // Paused mid-switch; resume on the next cycle.
+            self.queue.schedule(self.now + interval, Event::ClientUpdate(id));
+            return;
+        }
+        let server = client.server;
+        let Some((pos, action)) = self.pop.step(id, interval.as_secs_f64()) else {
+            return;
+        };
+        let spec = self.cfg.spec.clone();
+        let server_alive = self.nodes.get(&server).map(|n| n.alive).unwrap_or(false);
+        if !server_alive {
+            // The client's server is gone: after the keepalive timeout it
+            // reconnects to whoever owns its position now.
+            self.pop.begin_switch(id);
+            self.switch_started.entry(id).or_insert(self.now);
+            let owner = self.owner_of(pos);
+            self.queue
+                .schedule(self.now + self.cfg.net.crash_detect, Event::ClientJoin(id, owner));
+            self.queue.schedule(self.now + interval, Event::ClientUpdate(id));
+            return;
+        }
+        if let Some(node) = self.nodes.get_mut(&server) {
+            if node.alive {
+                // Move packet.
+                let fanned_before = node.game.stats().updates_fanned;
+                let mut actions = node.game.on_client(self.now, id, ClientToGame::Move { pos });
+                if action {
+                    actions.extend(node.game.on_client(
+                        self.now,
+                        id,
+                        ClientToGame::Action { pos, payload_bytes: spec.action_bytes },
+                    ));
+                }
+                let fanned = node.game.stats().updates_fanned - fanned_before;
+                let packets = if action { 2.0 } else { 1.0 };
+                let work = packets * spec.packet_work + spec.fanout_work * fanned as f64;
+                node.queue.arrive(self.now, work);
+                // Response latency sample for actions: uplink + queueing +
+                // downlink.
+                if action {
+                    let mut rng = self.rng.fork();
+                    let up = self.cfg.net.client_link.delay_for(spec.action_bytes, &mut rng);
+                    let down = self.cfg.net.client_link.delay_for(64, &mut rng);
+                    if let (Some(up), Some(down)) = (up, down) {
+                        let queueing = node.queue.drain_time(self.now);
+                        let total = up + queueing + down;
+                        self.response_latency.record(total.as_micros() as f64);
+                        self.samples += 1;
+                        if total >= self.late_threshold {
+                            self.late += 1;
+                        }
+                    }
+                }
+                self.process_game_actions(server, actions);
+            }
+        }
+        self.queue.schedule(self.now + interval, Event::ClientUpdate(id));
+    }
+
+    fn population_event(&mut self, idx: usize) {
+        let (_, event) = self.schedule.events()[idx];
+        match event {
+            PopulationEvent::Join { .. } => {
+                let ids = self.pop.apply(event, self.bootstrap);
+                for id in ids {
+                    let pos = self.pop.get(id).expect("just joined").walker.pos;
+                    let owner = self.owner_of(pos);
+                    self.pop.set_server(id, owner);
+                    self.pop.begin_switch(id); // not connected until the join lands
+                    let mut rng = self.rng.fork();
+                    let delay = self
+                        .cfg
+                        .net
+                        .client_link
+                        .delay_for(256, &mut rng)
+                        .unwrap_or(SimDuration::from_millis(25));
+                    self.queue.schedule(self.now + delay, Event::ClientJoin(id, owner));
+                }
+            }
+            PopulationEvent::Leave { .. } => {
+                let ids = self.pop.apply(event, self.bootstrap);
+                for id in ids {
+                    // Tell the hosting game server.
+                    let hosts: Vec<ServerId> = self
+                        .nodes
+                        .iter()
+                        .filter(|(_, n)| n.game.has_client(id))
+                        .map(|(s, _)| *s)
+                        .collect();
+                    for s in hosts {
+                        if let Some(node) = self.nodes.get_mut(&s) {
+                            let actions = node.game.on_client(self.now, id, ClientToGame::Leave);
+                            self.process_game_actions(s, actions);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn client_join(&mut self, id: ClientId, server: ServerId) {
+        let Some(client) = self.pop.get(id) else {
+            return; // left while connecting
+        };
+        let pos = client.walker.pos;
+        let state_bytes = self.cfg.spec.client_state_bytes;
+        // The target may have retired (reclaim racing the redirect); fall
+        // back to the current owner of the client's position.
+        let target = if self
+            .nodes
+            .get(&server)
+            .map(|n| n.alive && n.matrix.lifecycle() == matrix_core::Lifecycle::Active)
+            .unwrap_or(false)
+        {
+            server
+        } else {
+            self.owner_of(pos)
+        };
+        if let Some(node) = self.nodes.get_mut(&target) {
+            let actions =
+                node.game.on_client(self.now, id, ClientToGame::Join { pos, state_bytes });
+            node.queue.arrive(self.now, self.cfg.spec.packet_work);
+            self.pop.set_server(id, target);
+            self.process_game_actions(target, actions);
+        }
+        // Handoff latency bookkeeping.
+        if let Some(started) = self.switch_started.remove(&id) {
+            let latency = self.now.since(started);
+            self.switch_latency.record(latency.as_micros() as f64);
+            self.switches += 1;
+        } else {
+            // First join: start the update loop.
+            let interval = SimDuration::from_secs_f64(self.pop.spec().update_interval_secs());
+            self.queue.schedule(self.now + interval, Event::ClientUpdate(id));
+        }
+    }
+
+    fn node_tick(&mut self, id: ServerId) {
+        let Some(node) = self.nodes.get_mut(&id) else {
+            return;
+        };
+        if !node.alive {
+            return; // crashed: no more ticks, no more heartbeats
+        }
+        // Retired nodes keep ticking (cheaply, producing no actions): the
+        // pool can hand their id out again, and the resurrected server must
+        // resume load reports and heartbeats immediately.
+        if node.matrix.lifecycle() == matrix_core::Lifecycle::Active {
+            let backlog = node.queue.backlog_at(self.now);
+            let game_actions = node.game.on_tick(self.now, backlog);
+            let matrix_actions = node.matrix.on_tick(self.now);
+            self.process_game_actions(id, game_actions);
+            self.process_matrix_actions(id, matrix_actions);
+        }
+        self.queue.schedule(self.now + self.cfg.game.tick, Event::NodeTick(id));
+    }
+
+    fn sample(&mut self) {
+        let t = self.now.as_secs_f64();
+        let mut active = 0;
+        for node in self.nodes.values_mut() {
+            let is_active =
+                node.alive && node.matrix.lifecycle() == matrix_core::Lifecycle::Active;
+            if is_active {
+                active += 1;
+            }
+            let clients = if node.alive { node.game.client_count() as f64 } else { 0.0 };
+            let backlog = if node.alive { node.queue.backlog_at(self.now) } else { 0.0 };
+            node.clients_series.push(t, clients);
+            node.queue_series.push(t, backlog);
+        }
+        self.servers_in_use.push(t, active as f64);
+        self.queue.schedule(self.now + self.cfg.sample_every, Event::Sample);
+    }
+
+    // -- action dispatch -------------------------------------------------------
+
+    /// Applies game-server actions: local Matrix deliveries are processed
+    /// iteratively; client messages are interpreted by the client driver.
+    fn process_game_actions(&mut self, server: ServerId, actions: Vec<GameAction>) {
+        let mut work: VecDeque<(ServerId, GameAction)> =
+            actions.into_iter().map(|a| (server, a)).collect();
+        while let Some((at, action)) = work.pop_front() {
+            match action {
+                GameAction::ToMatrix(msg) => {
+                    let Some(node) = self.nodes.get_mut(&at) else { continue };
+                    if !node.alive {
+                        continue;
+                    }
+                    let matrix_actions = node.matrix.on_game(self.now, msg);
+                    self.dispatch_matrix(at, matrix_actions, &mut work);
+                }
+                GameAction::ToClient(client, msg) => self.client_message(at, client, msg),
+            }
+        }
+    }
+
+    /// Applies Matrix-server actions (wrapper around the shared dispatcher).
+    fn process_matrix_actions(&mut self, server: ServerId, actions: Vec<Action>) {
+        let mut work: VecDeque<(ServerId, GameAction)> = VecDeque::new();
+        self.dispatch_matrix(server, actions, &mut work);
+        while let Some((at, action)) = work.pop_front() {
+            match action {
+                GameAction::ToMatrix(msg) => {
+                    let Some(node) = self.nodes.get_mut(&at) else { continue };
+                    if !node.alive {
+                        continue;
+                    }
+                    let matrix_actions = node.matrix.on_game(self.now, msg);
+                    self.dispatch_matrix(at, matrix_actions, &mut work);
+                }
+                GameAction::ToClient(client, msg) => self.client_message(at, client, msg),
+            }
+        }
+    }
+
+    /// Routes Matrix actions: local game deliveries are processed
+    /// immediately (same machine, §3.2.2) with queue accounting; remote
+    /// sends become events with link latency.
+    fn dispatch_matrix(
+        &mut self,
+        from: ServerId,
+        actions: Vec<Action>,
+        work: &mut VecDeque<(ServerId, GameAction)>,
+    ) {
+        for action in actions {
+            match action {
+                Action::ToGame(msg) => {
+                    let Some(node) = self.nodes.get_mut(&from) else { continue };
+                    if !node.alive {
+                        continue;
+                    }
+                    // Charge delivered peer updates as receive-queue work.
+                    if let MatrixToGame::Deliver(ref pkt) = msg {
+                        let fanned_before = node.game.stats().updates_fanned;
+                        let spec = &self.cfg.spec;
+                        let ga = node.game.on_matrix(self.now, msg.clone());
+                        let fanned = node.game.stats().updates_fanned - fanned_before;
+                        let w = spec.work_for_remote(fanned as usize);
+                        node.queue.arrive(self.now, w);
+                        let _ = pkt;
+                        for a in ga {
+                            work.push_back((from, a));
+                        }
+                    } else {
+                        let redirect = matches!(
+                            msg,
+                            MatrixToGame::RedirectClients { .. } | MatrixToGame::RedirectAll { .. }
+                        );
+                        let before = node.game.client_count();
+                        let ga = node.game.on_matrix(self.now, msg);
+                        if redirect && before > 0 {
+                            // The buffered work of redirected connections
+                            // leaves with them.
+                            let kept = node.game.client_count() as f64 / before as f64;
+                            node.queue.scale_backlog(self.now, kept);
+                        }
+                        for a in ga {
+                            work.push_back((from, a));
+                        }
+                    }
+                }
+                Action::ToPeer(to, msg) => {
+                    let bytes = peer_msg_bytes(&msg);
+                    let mut rng = self.rng.fork();
+                    if let Some(delay) = self.cfg.net.server_link.delay_for(bytes, &mut rng) {
+                        self.queue.schedule(self.now + delay, Event::Peer { to, from, msg });
+                    }
+                }
+                Action::ToCoord(msg) => {
+                    let mut rng = self.rng.fork();
+                    if let Some(delay) = self.cfg.net.coord_link.delay_for(256, &mut rng) {
+                        self.queue.schedule(self.now + delay, Event::Coord(msg));
+                    }
+                }
+                Action::ToPool(msg) => {
+                    self.queue.schedule(self.now, Event::Pool(from, msg));
+                }
+            }
+        }
+    }
+
+    fn process_coord_actions(&mut self, actions: Vec<CoordAction>) {
+        for CoordAction::Send(to, reply) in actions {
+            let mut rng = self.rng.fork();
+            if let Some(delay) = self.cfg.net.coord_link.delay_for(4096, &mut rng) {
+                self.queue.schedule(self.now + delay, Event::CoordReply(to, reply));
+            }
+        }
+    }
+
+    fn deliver_coord_reply_now(&mut self, to: ServerId, reply: CoordReply) {
+        if let Some(node) = self.nodes.get_mut(&to) {
+            let actions = node.matrix.on_coord(self.now, reply);
+            self.process_matrix_actions(to, actions);
+        }
+    }
+
+    /// Interprets a server-to-client message on the client driver.
+    fn client_message(&mut self, _from: ServerId, client: ClientId, msg: GameToClient) {
+        match msg {
+            GameToClient::Joined { server } => {
+                self.pop.set_server(client, server);
+            }
+            GameToClient::Ack { .. } | GameToClient::Update { .. } => {
+                // Latency accounting happens at the send site; per-client
+                // rendering is out of scope for the cluster harness.
+            }
+            GameToClient::SwitchServer { to } => {
+                if self.pop.get(client).is_none() {
+                    return; // already left
+                }
+                self.pop.begin_switch(client);
+                self.switch_started.entry(client).or_insert(self.now);
+                // The reconnect uploads the client's session state over
+                // the access link, so bigger state and slower links both
+                // stretch the handoff (experiment E4).
+                let state = self.cfg.spec.client_state_bytes as usize + 256;
+                let mut rng = self.rng.fork();
+                let delay = self
+                    .cfg
+                    .net
+                    .client_link
+                    .delay_for(state, &mut rng)
+                    .unwrap_or(SimDuration::from_millis(25))
+                    + self.cfg.net.reconnect_delay;
+                self.queue.schedule(self.now + delay, Event::ClientJoin(client, to));
+            }
+        }
+    }
+
+    /// Ground-truth owner lookup for client placement (the directory the
+    /// coordinator maintains).
+    fn owner_of(&self, pos: Point) -> ServerId {
+        self.coordinator
+            .map()
+            .and_then(|m| m.owner_of(pos))
+            .unwrap_or(self.bootstrap)
+    }
+
+    // -- reporting ---------------------------------------------------------------
+
+    fn report(mut self) -> ClusterReport {
+        let mut clients_per_server = Vec::new();
+        let mut queue_per_server = Vec::new();
+        let mut inter_server_bytes = 0;
+        let mut updates_processed = 0;
+        let mut dropped = 0.0;
+        let mut splits = 0;
+        let mut reclaims = 0;
+        let mut peak_queue: f64 = 0.0;
+        for node in self.nodes.values_mut() {
+            inter_server_bytes += node.matrix.stats().bytes_to_peers;
+            updates_processed += node.game.stats().moves + node.game.stats().actions;
+            dropped += node.queue.total_dropped();
+            splits += node.matrix.stats().splits;
+            reclaims += node.matrix.stats().reclaims;
+            peak_queue = peak_queue.max(node.queue_series.max_value().unwrap_or(0.0));
+            clients_per_server.push(node.clients_series.clone());
+            queue_per_server.push(node.queue_series.clone());
+        }
+        let peak_servers = self
+            .servers_in_use
+            .max_value()
+            .unwrap_or(0.0) as usize;
+        let late_fraction =
+            if self.samples == 0 { 0.0 } else { self.late as f64 / self.samples as f64 };
+        ClusterReport {
+            clients_per_server,
+            queue_per_server,
+            servers_in_use: self.servers_in_use,
+            response_latency_us: self.response_latency,
+            switch_latency_us: self.switch_latency,
+            late_fraction,
+            inter_server_bytes,
+            updates_processed,
+            dropped_work: dropped,
+            switches: self.switches,
+            splits,
+            reclaims,
+            peak_servers,
+            peak_queue,
+            coordinator: *self.coordinator.stats(),
+            pool: *self.pool.stats(),
+            events: self.queue.delivered(),
+            timeline: self.timeline,
+        }
+    }
+}
+
+/// Wire size of a peer message for bandwidth accounting.
+fn peer_msg_bytes(msg: &PeerMsg) -> usize {
+    match msg {
+        PeerMsg::Update(pkt) => pkt.wire_size(),
+        PeerMsg::StateTransfer { bytes, .. } => *bytes as usize,
+        PeerMsg::ClientTransfer { bytes, .. } => *bytes as usize + 64,
+        _ => 128,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix_games::WorkloadSchedule;
+
+    fn small_spec() -> GameSpec {
+        // A scaled-down bzflag so debug-mode tests stay fast.
+        let mut spec = GameSpec::bzflag();
+        spec.update_rate_hz = 2.0;
+        spec.server_capacity = 300.0;
+        spec
+    }
+
+    #[test]
+    fn steady_small_population_stays_on_one_server() {
+        let spec = small_spec();
+        let schedule = WorkloadSchedule::steady(50, SimTime::from_secs(30));
+        let report = Cluster::new(ClusterConfig::adaptive(spec), schedule).run();
+        assert_eq!(report.peak_servers, 1);
+        assert_eq!(report.splits, 0);
+        assert!(report.updates_processed > 1000, "{}", report.updates_processed);
+    }
+
+    #[test]
+    fn hotspot_forces_splits() {
+        let mut spec = small_spec();
+        spec.update_rate_hz = 2.0;
+        let schedule = WorkloadSchedule::flash_crowd(&spec, 20, 500, SimTime::from_secs(5));
+        let mut cfg = ClusterConfig::adaptive(spec);
+        cfg.matrix.overload_clients = 100;
+        cfg.matrix.underload_clients = 50;
+        let report = Cluster::new(cfg, schedule).run();
+        assert!(report.splits >= 1, "hotspot must trigger at least one split");
+        assert!(report.peak_servers >= 2);
+        assert!(report.switches > 0, "splits redirect clients");
+    }
+
+    #[test]
+    fn static_cluster_never_splits_and_drops_under_hotspot() {
+        let spec = small_spec();
+        let schedule = WorkloadSchedule::flash_crowd(&spec, 20, 600, SimTime::from_secs(5));
+        let report =
+            Cluster::new(ClusterConfig::static_partition(spec, 2), schedule).run();
+        assert_eq!(report.splits, 0);
+        assert_eq!(report.peak_servers, 2);
+        assert!(report.dropped_work > 0.0, "saturated static servers must drop");
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_run() {
+        let spec = small_spec();
+        let run = || {
+            let schedule = WorkloadSchedule::flash_crowd(&spec, 10, 200, SimTime::from_secs(5));
+            let mut cfg = ClusterConfig::adaptive(spec.clone());
+            cfg.matrix.overload_clients = 80;
+            let r = Cluster::new(cfg, schedule).run();
+            (r.splits, r.switches, r.updates_processed, r.inter_server_bytes)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clients_are_conserved() {
+        let spec = small_spec();
+        let schedule = WorkloadSchedule::flash_crowd(&spec, 30, 300, SimTime::from_secs(5));
+        let mut cfg = ClusterConfig::adaptive(spec);
+        cfg.matrix.overload_clients = 100;
+        cfg.matrix.underload_clients = 50;
+        let cluster = Cluster::new(cfg, schedule);
+        let report = cluster.run();
+        // At the end every connected client is hosted by exactly one
+        // active server; the series' last samples must sum to the
+        // population.
+        let total: f64 = report
+            .clients_per_server
+            .iter()
+            .filter_map(|s| s.last_value())
+            .sum();
+        assert!(
+            (total - 330.0).abs() <= 5.0,
+            "clients lost or duplicated: {total} hosted at the end"
+        );
+    }
+
+    #[test]
+    fn crash_recovery_absorbs_partition() {
+        let spec = small_spec();
+        let schedule = WorkloadSchedule::flash_crowd(&spec, 20, 300, SimTime::from_secs(5));
+        let mut cfg = ClusterConfig::adaptive(spec);
+        cfg.matrix.overload_clients = 100;
+        cfg.matrix.underload_clients = 10; // never reclaim in this test
+        // Crash whichever child exists at t=40 (the first split child gets
+        // the first pool id, initial_servers + 1 = 2).
+        cfg.crashes = vec![(SimTime::from_secs(40), ServerId(2))];
+        let report = Cluster::new(cfg, schedule).run();
+        assert!(report.splits >= 1, "need a split before the crash");
+        assert!(
+            report.coordinator.failures_declared >= 1,
+            "coordinator must declare the crashed server dead"
+        );
+    }
+}

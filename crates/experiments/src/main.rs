@@ -1,0 +1,171 @@
+//! `matrix-experiments` — regenerate the Matrix paper's tables and figures.
+//!
+//! Run with a subcommand (see `--help`); results print as ASCII charts and
+//! tables, and CSV artefacts land in `./results/`.
+
+use matrix_experiments::{ablation, fig2, micro, scale, sweep, userstudy, versus};
+use std::io::Write;
+
+const HELP: &str = "\
+matrix-experiments — regenerate the Matrix paper's evaluation
+
+USAGE: matrix-experiments [--seed N] <command>
+
+COMMANDS:
+  fig2                 E1/E2: Figure 2a (clients/server) + 2b (queue length)
+  fig2a                E1 only
+  fig2b                E2 only
+  versus               E3: Matrix vs static partitioning (BzFlag, Quake2, Daimonin)
+  micro-switch         E4: client switching latency sweep
+  micro-mc             E5: coordinator overhead (recompute cost + traffic share)
+  micro-traffic        E6: inter-server traffic vs overlap-region size
+  userstudy            E7: latency-perception proxy for the user study
+  scale                E8: asymptotic scalability analysis
+  sweep                E11: adaptivity scaling vs crowd size
+  ablation-split       A1: split-strategy ablation
+  ablation-hysteresis  A2: oscillation-prevention ablation
+  all                  run everything in order
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 42u64;
+    let mut command = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                return;
+            }
+            cmd if command.is_none() => command = Some(cmd.to_string()),
+            other => die(&format!("unexpected argument: {other}")),
+        }
+    }
+    let command = command.unwrap_or_else(|| "all".to_string());
+    std::fs::create_dir_all("results").ok();
+
+    match command.as_str() {
+        "fig2" => run_fig2(seed, true, true),
+        "fig2a" => run_fig2(seed, true, false),
+        "fig2b" => run_fig2(seed, false, true),
+        "versus" => run_versus(seed),
+        "micro-switch" => run_micro_switch(seed),
+        "micro-mc" => run_micro_mc(seed),
+        "micro-traffic" => run_micro_traffic(seed),
+        "userstudy" => run_userstudy(seed),
+        "scale" => run_scale(),
+        "sweep" => run_sweep(seed),
+        "ablation-split" => run_ablation_split(seed),
+        "ablation-hysteresis" => run_ablation_hysteresis(seed),
+        "all" => {
+            run_fig2(seed, true, true);
+            run_versus(seed);
+            run_micro_switch(seed);
+            run_micro_mc(seed);
+            run_micro_traffic(seed);
+            run_userstudy(seed);
+            run_scale();
+            run_sweep(seed);
+            run_ablation_split(seed);
+            run_ablation_hysteresis(seed);
+        }
+        other => die(&format!("unknown command: {other}\n\n{HELP}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+fn save(name: &str, content: &str) {
+    let path = format!("results/{name}");
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(content.as_bytes())) {
+        Ok(()) => println!("[saved {path}]"),
+        Err(e) => eprintln!("could not save {path}: {e}"),
+    }
+}
+
+fn run_fig2(seed: u64, a: bool, b: bool) {
+    let report = fig2::run(seed);
+    if a {
+        println!("{}", fig2::render_2a(&report));
+    }
+    if b {
+        println!("{}", fig2::render_2b(&report));
+    }
+    println!("{}", fig2::summary(&report).render());
+    println!("{}", fig2::timeline(&report));
+    save("fig2.csv", &fig2::to_csv(&report));
+}
+
+fn run_versus(seed: u64) {
+    let rows = versus::run(seed);
+    let table = versus::table(&rows);
+    println!("{}", table.render());
+    save("versus.csv", &table.to_csv());
+}
+
+fn run_micro_switch(seed: u64) {
+    let rows = micro::run_switching(seed);
+    let table = micro::switching_table(&rows);
+    println!("{}", table.render());
+    save("micro_switch.csv", &table.to_csv());
+}
+
+fn run_micro_mc(seed: u64) {
+    let cost = micro::mc_cost_table(&micro::run_mc_cost());
+    println!("{}", cost.render());
+    save("micro_mc_cost.csv", &cost.to_csv());
+    let share = micro::run_mc_share(seed);
+    println!("{}", share.render());
+    save("micro_mc_share.csv", &share.to_csv());
+}
+
+fn run_micro_traffic(seed: u64) {
+    let rows = micro::run_traffic(seed);
+    let table = micro::traffic_table(&rows);
+    println!("{}", table.render());
+    save("micro_traffic.csv", &table.to_csv());
+}
+
+fn run_userstudy(seed: u64) {
+    let rows = userstudy::run(seed);
+    let table = userstudy::table(&rows);
+    println!("{}", table.render());
+    save("userstudy.csv", &table.to_csv());
+}
+
+fn run_sweep(seed: u64) {
+    let rows = sweep::run(seed);
+    let table = sweep::table(&rows);
+    println!("{}", table.render());
+    save("sweep.csv", &table.to_csv());
+}
+
+fn run_scale() {
+    for table in scale::run() {
+        println!("{}", table.render());
+    }
+}
+
+fn run_ablation_split(seed: u64) {
+    let rows = ablation::run_split_strategies(seed);
+    let table = ablation::table("A1 — split-strategy ablation (Figure-2 workload)", &rows);
+    println!("{}", table.render());
+    save("ablation_split.csv", &table.to_csv());
+}
+
+fn run_ablation_hysteresis(seed: u64) {
+    let rows = ablation::run_hysteresis(seed);
+    let table = ablation::table("A2 — oscillation-prevention ablation (borderline 280-client crowd)", &rows);
+    println!("{}", table.render());
+    save("ablation_hysteresis.csv", &table.to_csv());
+}

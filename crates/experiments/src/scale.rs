@@ -1,0 +1,101 @@
+//! E8 — the asymptotic scalability analysis (§4.2).
+//!
+//! Evaluates the closed-form model of `matrix_core::analysis` over the
+//! parameter ranges the paper quotes: ">1,000,000 players and 10,000
+//! servers", feasible "only if the number of players in the overlap
+//! regions is small relative to the total number of game players", with
+//! scalability "ultimately limited by the maximum I/O capacity of
+//! individual servers".
+
+use matrix_core::analysis::ScalabilityModel;
+use matrix_metrics::Table;
+
+/// Sweeps fleet sizes at 100 players/server and reports the model's
+/// traffic breakdown.
+pub fn fleet_table(model: &ScalabilityModel) -> Table {
+    let mut t = Table::new(
+        "E8 — per-server traffic vs fleet size (100 players per server)",
+        &["servers", "players", "overlap frac", "client B/s", "overlap B/s", "fanout B/s", "IO util", "feasible"],
+    );
+    for &servers in &[100u32, 1_000, 10_000, 100_000] {
+        let players = servers as u64 * 100;
+        let b = model.breakdown(players, servers);
+        t.push_row(&[
+            servers.to_string(),
+            players.to_string(),
+            format!("{:.3}", b.overlap_fraction),
+            format!("{:.0}", b.client_bytes),
+            format!("{:.0}", b.overlap_bytes),
+            format!("{:.0}", b.fanout_bytes),
+            format!("{:.4}", b.io_utilisation),
+            if model.feasible(players, servers) { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t
+}
+
+/// The radius sensitivity table: the "only if overlap population is
+/// small" precondition, made quantitative.
+pub fn radius_table() -> Table {
+    let mut t = Table::new(
+        "E8 — headline (1M players / 10k servers) vs radius of visibility",
+        &["radius", "overlap frac", "IO util", "1M/10k feasible"],
+    );
+    for &radius in &[50.0f64, 200.0, 1_000.0, 5_000.0, 10_000.0, 20_000.0] {
+        let model = ScalabilityModel { radius, ..ScalabilityModel::default() };
+        let b = model.breakdown(1_000_000, 10_000);
+        t.push_row(&[
+            format!("{:.0}", radius),
+            format!("{:.3}", b.overlap_fraction),
+            format!("{:.3}", b.io_utilisation),
+            if model.paper_headline_feasible() { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    t
+}
+
+/// The I/O-bound table: max players as a function of per-server I/O.
+pub fn io_table() -> Table {
+    let mut t = Table::new(
+        "E8 — max supportable players on 10k servers vs per-server I/O budget",
+        &["per-server I/O", "max players"],
+    );
+    for &(label, io) in &[
+        ("100 Mbps", 12_500_000.0f64),
+        ("1 Gbps", 125_000_000.0),
+        ("10 Gbps", 1_250_000_000.0),
+    ] {
+        let model = ScalabilityModel { server_io_bytes_per_sec: io, ..ScalabilityModel::default() };
+        t.push_row(&[label.to_string(), model.max_players(10_000).to_string()]);
+    }
+    t
+}
+
+/// Runs all three tables.
+pub fn run() -> Vec<Table> {
+    let model = ScalabilityModel::default();
+    vec![fleet_table(&model), radius_table(), io_table()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_row_is_feasible_by_default() {
+        let tables = run();
+        let fleet = tables[0].render();
+        assert!(fleet.contains("10000"));
+        // The default parameters must reproduce the paper's positive
+        // headline.
+        let radius = tables[1].render();
+        assert!(radius.contains("yes"));
+        assert!(radius.contains("NO"), "huge radii must break the headline");
+    }
+
+    #[test]
+    fn io_table_is_monotone() {
+        let t = io_table();
+        assert_eq!(t.len(), 3);
+    }
+}

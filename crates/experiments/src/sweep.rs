@@ -1,0 +1,98 @@
+//! E11 (our addition) — adaptivity scaling: servers recruited and latency
+//! vs crowd size.
+//!
+//! The paper shows one crowd size (600). This sweep charts *how* Matrix's
+//! response scales with the surprise: crowd sizes from harmless to 2× the
+//! paper's, reporting servers recruited, handoffs, and playability. The
+//! shape to expect: a flat region (no adaptation needed), then a staircase
+//! of recruited servers that keeps the late fraction bounded while the
+//! static baseline's failure grows without bound.
+
+use crate::harness::{Cluster, ClusterConfig, ClusterReport};
+use matrix_games::{GameSpec, WorkloadSchedule};
+use matrix_metrics::Table;
+use matrix_sim::SimTime;
+
+/// One crowd-size point, adaptive vs static.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Hotspot crowd size.
+    pub crowd: u32,
+    /// Peak servers Matrix used.
+    pub matrix_servers: usize,
+    /// Matrix handoffs.
+    pub matrix_switches: u64,
+    /// Matrix late fraction.
+    pub matrix_late: f64,
+    /// Static-2 late fraction.
+    pub static_late: f64,
+    /// Static-2 dropped work.
+    pub static_dropped: f64,
+}
+
+fn run_one(spec: &GameSpec, crowd: u32, seed: u64) -> (ClusterReport, ClusterReport) {
+    let schedule = || WorkloadSchedule::flash_crowd(spec, 100, crowd, SimTime::from_secs(15));
+    let mut adaptive = ClusterConfig::adaptive(spec.clone());
+    adaptive.seed = seed;
+    let a = Cluster::new(adaptive, schedule()).run();
+    let mut st = ClusterConfig::static_partition(spec.clone(), 2);
+    st.seed = seed;
+    let s = Cluster::new(st, schedule()).run();
+    (a, s)
+}
+
+/// Runs the crowd-size sweep on BzFlag.
+pub fn run(seed: u64) -> Vec<SweepRow> {
+    let spec = GameSpec::bzflag();
+    [150u32, 300, 600, 900, 1200]
+        .iter()
+        .map(|&crowd| {
+            let (a, s) = run_one(&spec, crowd, seed);
+            SweepRow {
+                crowd,
+                matrix_servers: a.peak_servers,
+                matrix_switches: a.switches,
+                matrix_late: a.late_fraction,
+                static_late: s.late_fraction,
+                static_dropped: s.dropped_work,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep table.
+pub fn table(rows: &[SweepRow]) -> Table {
+    let mut t = Table::new(
+        "E11 — adaptivity scaling: response to growing flash crowds (BzFlag)",
+        &["crowd", "matrix servers", "matrix switches", "matrix late", "static-2 late", "static-2 dropped"],
+    );
+    for r in rows {
+        t.push_row(&[
+            r.crowd.to_string(),
+            r.matrix_servers.to_string(),
+            r.matrix_switches.to_string(),
+            format!("{:.1}%", r.matrix_late * 100.0),
+            format!("{:.1}%", r.static_late * 100.0),
+            format!("{:.0}", r.static_dropped),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let rows = vec![SweepRow {
+            crowd: 600,
+            matrix_servers: 4,
+            matrix_switches: 2000,
+            matrix_late: 0.15,
+            static_late: 0.6,
+            static_dropped: 1000.0,
+        }];
+        assert!(table(&rows).render().contains("600"));
+    }
+}

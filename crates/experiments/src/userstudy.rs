@@ -1,0 +1,108 @@
+//! E7 — the user study, recast as a measurable latency comparison.
+//!
+//! §4.2: "a simple user study, using Bzflag, showed that Matrix is
+//! completely transparent to real game players. Even under heavy load,
+//! requiring Matrix to add servers, game players did not perceive any
+//! significant Matrix-induced performance degradation."
+//!
+//! We cannot recruit players, so the perceptual question becomes a
+//! measurable one: does the response-latency distribution a client
+//! experiences under Matrix-with-hotspot look like an unloaded server, and
+//! unlike a statically partitioned server under the same hotspot? The
+//! playability threshold is the 150 ms bound the paper cites [Armitage].
+
+use crate::harness::{Cluster, ClusterConfig, ClusterReport};
+use matrix_games::{GameSpec, WorkloadSchedule};
+use matrix_metrics::Table;
+
+/// Latency summary for one deployment.
+#[derive(Debug, Clone)]
+pub struct StudyRow {
+    /// Deployment description.
+    pub system: String,
+    /// Median response latency (ms).
+    pub p50_ms: f64,
+    /// 90th percentile (ms).
+    pub p90_ms: f64,
+    /// 99th percentile (ms).
+    pub p99_ms: f64,
+    /// Fraction of responses above 150 ms.
+    pub late_fraction: f64,
+    /// Peak servers used.
+    pub servers: usize,
+}
+
+fn row(system: &str, report: &ClusterReport) -> StudyRow {
+    StudyRow {
+        system: system.to_string(),
+        p50_ms: report.response_latency_us.p50().unwrap_or(0.0) / 1000.0,
+        p90_ms: report.response_latency_us.quantile(0.90).unwrap_or(0.0) / 1000.0,
+        p99_ms: report.response_latency_us.p99().unwrap_or(0.0) / 1000.0,
+        late_fraction: report.late_fraction,
+        servers: report.peak_servers,
+    }
+}
+
+/// Runs the three deployments of the study.
+pub fn run(seed: u64) -> Vec<StudyRow> {
+    let spec = GameSpec::bzflag();
+
+    // (a) Unloaded reference: 100 wandering clients, one server.
+    let baseline_schedule = WorkloadSchedule::steady(100, matrix_sim::SimTime::from_secs(300));
+    let mut cfg = ClusterConfig::adaptive(spec.clone());
+    cfg.seed = seed;
+    let baseline = Cluster::new(cfg, baseline_schedule).run();
+
+    // (b) Matrix with the full Figure-2 hotspot workload.
+    let mut cfg = ClusterConfig::adaptive(spec.clone());
+    cfg.seed = seed;
+    let matrix = Cluster::new(cfg, WorkloadSchedule::figure2(&spec, 100)).run();
+
+    // (c) Static 2-server deployment under the same hotspots.
+    let mut cfg = ClusterConfig::static_partition(spec.clone(), 2);
+    cfg.seed = seed;
+    let static2 = Cluster::new(cfg, WorkloadSchedule::figure2(&spec, 100)).run();
+
+    vec![
+        row("unloaded single server", &baseline),
+        row("matrix + hotspots", &matrix),
+        row("static-2 + hotspots", &static2),
+    ]
+}
+
+/// Renders the study table.
+pub fn table(rows: &[StudyRow]) -> Table {
+    let mut t = Table::new(
+        "E7 — user-study proxy: response latency under hotspots (150 ms playability bound)",
+        &["system", "p50 (ms)", "p90 (ms)", "p99 (ms)", "late >150ms", "servers"],
+    );
+    for r in rows {
+        t.push_row(&[
+            r.system.clone(),
+            format!("{:.1}", r.p50_ms),
+            format!("{:.1}", r.p90_ms),
+            format!("{:.1}", r.p99_ms),
+            format!("{:.2}%", r.late_fraction * 100.0),
+            r.servers.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let rows = vec![StudyRow {
+            system: "matrix".into(),
+            p50_ms: 51.0,
+            p90_ms: 60.0,
+            p99_ms: 120.0,
+            late_fraction: 0.01,
+            servers: 4,
+        }];
+        assert!(table(&rows).render().contains("matrix"));
+    }
+}

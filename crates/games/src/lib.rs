@@ -1,0 +1,37 @@
+//! Synthetic MMOG workloads for exercising the Matrix middleware.
+//!
+//! The paper validated Matrix with BzFlag, Quake 2 and Daimonin. The
+//! middleware never inspects game logic — it sees spatially tagged
+//! packets, load reports and redirects — so these emulations reproduce
+//! each game's *traffic shape* ([`GameSpec`]), movement behaviour
+//! ([`MovementModel`], [`Walker`]) and the scripted population dynamics of
+//! the evaluation ([`WorkloadSchedule`], including the exact Figure-2
+//! hotspot script).
+//!
+//! # Example
+//!
+//! ```
+//! use matrix_games::{ClientPop, GameSpec, Placement, PopulationEvent, WorkloadSchedule};
+//! use matrix_geometry::ServerId;
+//!
+//! let spec = GameSpec::bzflag();
+//! let schedule = WorkloadSchedule::figure2(&spec, 100);
+//! assert_eq!(schedule.total_joins(), 1300); // 100 background + 2 × 600 hotspot
+//!
+//! let mut pop = ClientPop::new(spec, 42);
+//! pop.apply(PopulationEvent::Join { n: 10, placement: Placement::Uniform }, ServerId(1));
+//! assert_eq!(pop.len(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod movement;
+mod population;
+mod schedule;
+mod spec;
+
+pub use movement::{gaussian_near, uniform_in, MovementModel, Walker};
+pub use population::{ClientPop, ClientSim};
+pub use schedule::{Placement, PopulationEvent, WorkloadSchedule};
+pub use spec::GameSpec;

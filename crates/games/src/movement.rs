@@ -1,0 +1,222 @@
+//! Player movement models.
+
+use matrix_geometry::{Point, Rect};
+use matrix_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// How a simulated player moves between updates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MovementModel {
+    /// Classic random-waypoint: walk to a uniformly chosen target, pick a
+    /// new one on arrival. The steady state spreads players over the map.
+    RandomWaypoint,
+    /// Jitter around a fixed attractor — players crowding a hotspot (the
+    /// town-meeting behaviour of §4.1). `spread` is the standard deviation
+    /// of the crowd around the centre.
+    HotspotAttracted {
+        /// Crowd centre.
+        center: Point,
+        /// Standard deviation of positions around the centre.
+        spread: f64,
+    },
+    /// No movement (camping snipers, vendors, AFK players).
+    Stationary,
+}
+
+/// Mutable movement state of one player.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Walker {
+    /// Current position.
+    pub pos: Point,
+    /// Current waypoint target (meaningful for random-waypoint only).
+    pub target: Point,
+    /// The model driving this walker.
+    pub model: MovementModel,
+}
+
+impl Walker {
+    /// Spawns a walker at a model-appropriate position.
+    pub fn spawn(model: MovementModel, world: Rect, rng: &mut SimRng) -> Walker {
+        let pos = match model {
+            MovementModel::RandomWaypoint | MovementModel::Stationary => uniform_in(world, rng),
+            MovementModel::HotspotAttracted { center, spread } => {
+                gaussian_near(center, spread, world, rng)
+            }
+        };
+        let target = match model {
+            MovementModel::RandomWaypoint => uniform_in(world, rng),
+            _ => pos, // hotspot members treat their spawn point as home
+        };
+        Walker { pos, target, model }
+    }
+
+    /// Advances the walker by `dt` seconds at `speed` world-units/second,
+    /// staying inside `world`.
+    pub fn step(&mut self, speed: f64, dt: f64, world: Rect, rng: &mut SimRng) {
+        match self.model {
+            MovementModel::Stationary => {}
+            MovementModel::RandomWaypoint => {
+                let dist = speed * dt;
+                self.pos = self.pos.step_towards(self.target, dist);
+                if self.pos == self.target {
+                    self.target = uniform_in(world, rng);
+                }
+            }
+            MovementModel::HotspotAttracted { .. } => {
+                // Each crowd member owns a fixed "home" spot (stored in
+                // `target`, drawn around the hotspot centre at spawn or
+                // attraction time) and jitters around it at walking speed.
+                // The crowd's spatial spread is therefore stable over time
+                // — it neither collapses onto the centre nor disperses —
+                // which is what makes hotspots splittable by map
+                // partitioning at all.
+                let step = speed * dt;
+                if self.pos.distance(self.target) > step {
+                    self.pos = self.pos.step_towards(self.target, step);
+                } else {
+                    self.pos = Point::new(
+                        self.target.x + rng.uniform(-step, step),
+                        self.target.y + rng.uniform(-step, step),
+                    );
+                }
+            }
+        }
+        self.pos = world.clamp(self.pos);
+    }
+
+    /// Retargets the walker onto a hotspot (flash-crowd formation): the
+    /// walker picks a personal home spot in the crowd and heads there.
+    pub fn attract_to(&mut self, center: Point, spread: f64, world: Rect, rng: &mut SimRng) {
+        self.model = MovementModel::HotspotAttracted { center, spread };
+        self.target = gaussian_near(center, spread, world, rng);
+    }
+
+    /// Releases the walker back to random-waypoint wandering.
+    pub fn release(&mut self, world: Rect, rng: &mut SimRng) {
+        self.model = MovementModel::RandomWaypoint;
+        self.target = uniform_in(world, rng);
+    }
+}
+
+/// Uniform position inside a rectangle.
+pub fn uniform_in(world: Rect, rng: &mut SimRng) -> Point {
+    Point::new(
+        rng.uniform(world.min().x, world.max().x),
+        rng.uniform(world.min().y, world.max().y),
+    )
+}
+
+/// Gaussian position around `center`, clamped into the world.
+pub fn gaussian_near(center: Point, spread: f64, world: Rect, rng: &mut SimRng) -> Point {
+    // Box–Muller via SimRng::normal is truncated at zero, so sample offsets
+    // symmetrically instead.
+    let dx = rng.normal(spread, spread) - spread;
+    let dy = rng.normal(spread, spread) - spread;
+    let sx = if rng.chance(0.5) { dx } else { -dx };
+    let sy = if rng.chance(0.5) { dy } else { -dy };
+    world.clamp(Point::new(center.x + sx, center.y + sy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect {
+        Rect::from_coords(0.0, 0.0, 800.0, 800.0)
+    }
+
+    #[test]
+    fn walkers_stay_in_world() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let models = [
+            MovementModel::RandomWaypoint,
+            MovementModel::HotspotAttracted { center: Point::new(790.0, 790.0), spread: 100.0 },
+            MovementModel::Stationary,
+        ];
+        for model in models {
+            let mut w = Walker::spawn(model, world(), &mut rng);
+            for _ in 0..500 {
+                w.step(50.0, 0.2, world(), &mut rng);
+                assert!(world().contains_closed(w.pos), "{model:?} escaped at {}", w.pos);
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut w = Walker::spawn(MovementModel::Stationary, world(), &mut rng);
+        let start = w.pos;
+        for _ in 0..50 {
+            w.step(100.0, 1.0, world(), &mut rng);
+        }
+        assert_eq!(w.pos, start);
+    }
+
+    #[test]
+    fn waypoint_walker_reaches_target_and_retargets() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let mut w = Walker::spawn(MovementModel::RandomWaypoint, world(), &mut rng);
+        let first_target = w.target;
+        // Walk long enough to certainly arrive.
+        for _ in 0..200 {
+            w.step(100.0, 1.0, world(), &mut rng);
+        }
+        assert_ne!(w.target, first_target, "a new waypoint must be chosen on arrival");
+    }
+
+    #[test]
+    fn hotspot_crowd_concentrates() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let center = Point::new(480.0, 400.0);
+        let spread = 100.0;
+        let mut positions = Vec::new();
+        for _ in 0..300 {
+            let mut w = Walker::spawn(
+                MovementModel::HotspotAttracted { center, spread },
+                world(),
+                &mut rng,
+            );
+            for _ in 0..20 {
+                w.step(25.0, 0.2, world(), &mut rng);
+            }
+            positions.push(w.pos);
+        }
+        let near = positions.iter().filter(|p| p.distance(center) < 2.5 * spread).count();
+        assert!(near > 250, "crowd must concentrate near the hotspot: {near}/300");
+    }
+
+    #[test]
+    fn attract_and_release_switch_models() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut w = Walker::spawn(MovementModel::RandomWaypoint, world(), &mut rng);
+        w.attract_to(Point::new(100.0, 100.0), 50.0, world(), &mut rng);
+        assert!(matches!(w.model, MovementModel::HotspotAttracted { .. }));
+        w.release(world(), &mut rng);
+        assert!(matches!(w.model, MovementModel::RandomWaypoint));
+    }
+
+    #[test]
+    fn gaussian_near_centres_correctly() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let center = Point::new(400.0, 400.0);
+        let n = 2000;
+        let mut sum = Point::ORIGIN;
+        for _ in 0..n {
+            let p = gaussian_near(center, 50.0, world(), &mut rng);
+            sum = Point::new(sum.x + p.x, sum.y + p.y);
+        }
+        let mean = Point::new(sum.x / n as f64, sum.y / n as f64);
+        assert!(mean.distance(center) < 10.0, "mean {mean} drifted from {center}");
+    }
+
+    #[test]
+    fn spawn_is_deterministic_per_seed() {
+        let spawn = |seed| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            Walker::spawn(MovementModel::RandomWaypoint, world(), &mut rng).pos
+        };
+        assert_eq!(spawn(7), spawn(7));
+        assert_ne!(spawn(7), spawn(8));
+    }
+}

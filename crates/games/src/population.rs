@@ -1,0 +1,298 @@
+//! The simulated client population.
+//!
+//! Each member owns a [`Walker`] (movement), a current game-server
+//! assignment, and send-side state (sequence numbers, pending switches).
+//! The discrete-event harness asks the population who joins and leaves
+//! (from the [`WorkloadSchedule`](crate::WorkloadSchedule)) and, per client
+//! update, where the client has moved and whether an action accompanies
+//! the movement.
+
+use crate::movement::{MovementModel, Walker};
+use crate::schedule::{Placement, PopulationEvent};
+use crate::spec::GameSpec;
+use matrix_core::ClientId;
+use matrix_geometry::{Point, ServerId};
+use matrix_sim::SimRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-client simulation state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClientSim {
+    /// Globally unique id (the paper's callsign requirement).
+    pub id: ClientId,
+    /// Movement state.
+    pub walker: Walker,
+    /// The game server this client is currently connected to.
+    pub server: ServerId,
+    /// Whether the client belongs to the scripted hotspot crowd.
+    pub in_hotspot: bool,
+    /// Whether the client is mid-switch (between SwitchServer and the
+    /// re-join completing).
+    pub switching: bool,
+}
+
+/// The full population, with deterministic membership changes.
+#[derive(Debug, Clone)]
+pub struct ClientPop {
+    spec: GameSpec,
+    rng: SimRng,
+    clients: BTreeMap<ClientId, ClientSim>,
+    next_id: u64,
+}
+
+impl ClientPop {
+    /// Creates an empty population for a game.
+    pub fn new(spec: GameSpec, seed: u64) -> ClientPop {
+        ClientPop { spec, rng: SimRng::seed_from_u64(seed), clients: BTreeMap::new(), next_id: 1 }
+    }
+
+    /// The game spec this population plays.
+    pub fn spec(&self) -> &GameSpec {
+        &self.spec
+    }
+
+    /// Number of connected clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Immutable view of one client.
+    pub fn get(&self, id: ClientId) -> Option<&ClientSim> {
+        self.clients.get(&id)
+    }
+
+    /// Mutable view of one client.
+    pub fn get_mut(&mut self, id: ClientId) -> Option<&mut ClientSim> {
+        self.clients.get_mut(&id)
+    }
+
+    /// All client ids in join order.
+    pub fn ids(&self) -> Vec<ClientId> {
+        self.clients.keys().copied().collect()
+    }
+
+    /// Clients currently assigned to `server`.
+    pub fn on_server(&self, server: ServerId) -> usize {
+        self.clients.values().filter(|c| c.server == server).count()
+    }
+
+    /// Applies a scripted event. Joins are assigned to `initial_server`
+    /// (the driver re-homes them when the middleware redirects). Returns
+    /// the ids that joined or left.
+    pub fn apply(&mut self, event: PopulationEvent, initial_server: ServerId) -> Vec<ClientId> {
+        match event {
+            PopulationEvent::Join { n, placement } => {
+                let mut joined = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let id = ClientId(self.next_id);
+                    self.next_id += 1;
+                    let (model, in_hotspot) = match placement {
+                        Placement::Uniform => (MovementModel::RandomWaypoint, false),
+                        Placement::Hotspot { center, spread } => {
+                            (MovementModel::HotspotAttracted { center, spread }, true)
+                        }
+                    };
+                    let walker = Walker::spawn(model, self.spec.world, &mut self.rng);
+                    self.clients.insert(
+                        id,
+                        ClientSim { id, walker, server: initial_server, in_hotspot, switching: false },
+                    );
+                    joined.push(id);
+                }
+                joined
+            }
+            PopulationEvent::Leave { n, from_hotspot } => {
+                let mut leaving: Vec<ClientId> = if from_hotspot {
+                    self.clients.values().filter(|c| c.in_hotspot).map(|c| c.id).collect()
+                } else {
+                    Vec::new()
+                };
+                if leaving.len() < n as usize {
+                    let extra: Vec<ClientId> = self
+                        .clients
+                        .keys()
+                        .copied()
+                        .filter(|id| !leaving.contains(id))
+                        .collect();
+                    leaving.extend(extra);
+                }
+                leaving.truncate(n as usize);
+                for id in &leaving {
+                    self.clients.remove(id);
+                }
+                leaving
+            }
+        }
+    }
+
+    /// Advances one client by `dt` seconds and returns its new position
+    /// plus whether this update also carries an action packet.
+    pub fn step(&mut self, id: ClientId, dt: f64) -> Option<(Point, bool)> {
+        let spec_speed = self.spec.move_speed;
+        let world = self.spec.world;
+        let p_action = self.spec.action_probability();
+        let client = self.clients.get_mut(&id)?;
+        client.walker.step(spec_speed, dt, world, &mut self.rng);
+        let action = self.rng.chance(p_action);
+        Some((client.walker.pos, action))
+    }
+
+    /// Re-homes a client after a `SwitchServer` instruction.
+    pub fn set_server(&mut self, id: ClientId, server: ServerId) {
+        if let Some(c) = self.clients.get_mut(&id) {
+            c.server = server;
+            c.switching = false;
+        }
+    }
+
+    /// Marks a client as mid-switch.
+    pub fn begin_switch(&mut self, id: ClientId) {
+        if let Some(c) = self.clients.get_mut(&id) {
+            c.switching = true;
+        }
+    }
+
+    /// Count of clients per server, for population snapshots.
+    pub fn per_server_counts(&self) -> BTreeMap<ServerId, usize> {
+        let mut counts = BTreeMap::new();
+        for c in self.clients.values() {
+            *counts.entry(c.server).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix_sim::SimTime;
+
+    fn pop() -> ClientPop {
+        ClientPop::new(GameSpec::bzflag(), 42)
+    }
+
+    #[test]
+    fn joins_assign_fresh_ids() {
+        let mut p = pop();
+        let a = p.apply(
+            PopulationEvent::Join { n: 3, placement: Placement::Uniform },
+            ServerId(1),
+        );
+        let b = p.apply(
+            PopulationEvent::Join { n: 2, placement: Placement::Uniform },
+            ServerId(1),
+        );
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(p.len(), 5);
+        let mut all: Vec<u64> = a.iter().chain(&b).map(|c| c.0).collect();
+        all.dedup();
+        assert_eq!(all.len(), 5, "ids must be unique");
+    }
+
+    #[test]
+    fn hotspot_joiners_cluster() {
+        let mut p = pop();
+        let center = p.spec().hotspot_a();
+        let ids = p.apply(
+            PopulationEvent::Join {
+                n: 200,
+                placement: Placement::Hotspot { center, spread: 100.0 },
+            },
+            ServerId(1),
+        );
+        let near = ids
+            .iter()
+            .filter(|id| p.get(**id).unwrap().walker.pos.distance(center) < 300.0)
+            .count();
+        assert!(near > 180, "hotspot joiners must cluster: {near}/200");
+    }
+
+    #[test]
+    fn hotspot_leaves_drain_the_crowd_first() {
+        let mut p = pop();
+        p.apply(PopulationEvent::Join { n: 50, placement: Placement::Uniform }, ServerId(1));
+        p.apply(
+            PopulationEvent::Join {
+                n: 100,
+                placement: Placement::Hotspot { center: p.spec().hotspot_a(), spread: 50.0 },
+            },
+            ServerId(1),
+        );
+        let left = p.apply(PopulationEvent::Leave { n: 100, from_hotspot: true }, ServerId(1));
+        assert_eq!(left.len(), 100);
+        assert_eq!(p.len(), 50);
+        let hotspot_remaining = p.ids().iter().filter(|id| p.get(**id).unwrap().in_hotspot).count();
+        assert_eq!(hotspot_remaining, 0, "hotspot members leave before background");
+    }
+
+    #[test]
+    fn leave_overflows_into_background() {
+        let mut p = pop();
+        p.apply(PopulationEvent::Join { n: 30, placement: Placement::Uniform }, ServerId(1));
+        let left = p.apply(PopulationEvent::Leave { n: 50, from_hotspot: true }, ServerId(1));
+        assert_eq!(left.len(), 30, "cannot remove more than exist");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn step_moves_and_sometimes_acts() {
+        let mut p = pop();
+        let ids =
+            p.apply(PopulationEvent::Join { n: 1, placement: Placement::Uniform }, ServerId(1));
+        let id = ids[0];
+        let before = p.get(id).unwrap().walker.pos;
+        let mut actions = 0;
+        for _ in 0..100 {
+            let (_, act) = p.step(id, 0.2).unwrap();
+            if act {
+                actions += 1;
+            }
+        }
+        let after = p.get(id).unwrap().walker.pos;
+        assert_ne!(before, after, "waypoint walkers move");
+        // bzflag: action on ~20% of updates.
+        assert!(actions > 5 && actions < 50, "action count {actions}");
+        let _ = SimTime::ZERO;
+    }
+
+    #[test]
+    fn step_unknown_client_is_none() {
+        let mut p = pop();
+        assert!(p.step(ClientId(999), 0.1).is_none());
+    }
+
+    #[test]
+    fn server_reassignment_tracks_counts() {
+        let mut p = pop();
+        let ids =
+            p.apply(PopulationEvent::Join { n: 4, placement: Placement::Uniform }, ServerId(1));
+        p.set_server(ids[0], ServerId(2));
+        p.set_server(ids[1], ServerId(2));
+        assert_eq!(p.on_server(ServerId(1)), 2);
+        assert_eq!(p.on_server(ServerId(2)), 2);
+        let counts = p.per_server_counts();
+        assert_eq!(counts[&ServerId(1)], 2);
+        assert_eq!(counts[&ServerId(2)], 2);
+    }
+
+    #[test]
+    fn same_seed_same_population() {
+        let run = |seed| {
+            let mut p = ClientPop::new(GameSpec::bzflag(), seed);
+            let ids = p.apply(
+                PopulationEvent::Join { n: 10, placement: Placement::Uniform },
+                ServerId(1),
+            );
+            ids.iter().map(|id| p.get(*id).unwrap().walker.pos).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

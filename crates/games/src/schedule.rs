@@ -1,0 +1,185 @@
+//! Workload schedules: scripted population changes over a run.
+//!
+//! §4.1's experiment is a script — "a hotspot of 600 clients ... was
+//! introduced at around the 10 second mark for about 75 seconds, after
+//! which the entire hotspot gradually disappeared (indicated by 200
+//! clients disappearing at fixed intervals). The hotspot was reintroduced
+//! at a different position in the world at 170 seconds, for about 50
+//! seconds, and then gradually removed." [`WorkloadSchedule::figure2`]
+//! encodes exactly that script; other constructors cover steady load and
+//! flash-crowd variants for the remaining experiments.
+
+use crate::spec::GameSpec;
+use matrix_geometry::Point;
+use matrix_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Where scripted joiners appear.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Uniformly over the world, wandering by random waypoint.
+    Uniform,
+    /// Gaussian crowd around a point, attracted to it thereafter.
+    Hotspot {
+        /// Crowd centre.
+        center: Point,
+        /// Standard deviation of the crowd.
+        spread: f64,
+    },
+}
+
+/// One scripted population event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PopulationEvent {
+    /// `n` clients join with the given placement.
+    Join {
+        /// Number of clients joining.
+        n: u32,
+        /// Where they appear.
+        placement: Placement,
+    },
+    /// `n` clients leave; hotspot members leave first when `from_hotspot`
+    /// (the paper's drain pattern).
+    Leave {
+        /// Number of clients leaving.
+        n: u32,
+        /// Prefer draining hotspot members.
+        from_hotspot: bool,
+    },
+}
+
+/// A time-ordered script of population events.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkloadSchedule {
+    events: Vec<(SimTime, PopulationEvent)>,
+    /// When the run ends.
+    pub horizon: SimTime,
+}
+
+impl WorkloadSchedule {
+    /// An empty schedule with the given horizon.
+    pub fn new(horizon: SimTime) -> WorkloadSchedule {
+        WorkloadSchedule { events: Vec::new(), horizon }
+    }
+
+    /// Appends an event (kept sorted by time).
+    pub fn at(mut self, t: SimTime, event: PopulationEvent) -> WorkloadSchedule {
+        self.events.push((t, event));
+        self.events.sort_by_key(|(t, _)| *t);
+        self
+    }
+
+    /// The scripted events in time order.
+    pub fn events(&self) -> &[(SimTime, PopulationEvent)] {
+        &self.events
+    }
+
+    /// Total clients ever joined by the script.
+    pub fn total_joins(&self) -> u32 {
+        self.events
+            .iter()
+            .map(|(_, e)| match e {
+                PopulationEvent::Join { n, .. } => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total clients removed by the script.
+    pub fn total_leaves(&self) -> u32 {
+        self.events
+            .iter()
+            .map(|(_, e)| match e {
+                PopulationEvent::Leave { n, .. } => *n,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The Figure-2 script for a game: `background` wandering clients from
+    /// t=0, a 600-client hotspot at t=10 drained 200-at-a-time from t=75,
+    /// and a second 600-client hotspot elsewhere at t=170 drained from
+    /// t=220.
+    pub fn figure2(spec: &GameSpec, background: u32) -> WorkloadSchedule {
+        let spread = 2.0 * spec.radius; // crowd a couple of visibility radii wide
+        let hotspot = |center| Placement::Hotspot { center, spread };
+        WorkloadSchedule::new(SimTime::from_secs(300))
+            .at(SimTime::ZERO, PopulationEvent::Join { n: background, placement: Placement::Uniform })
+            // First hotspot: 600 clients at A.
+            .at(SimTime::from_secs(10), PopulationEvent::Join { n: 600, placement: hotspot(spec.hotspot_a()) })
+            .at(SimTime::from_secs(75), PopulationEvent::Leave { n: 200, from_hotspot: true })
+            .at(SimTime::from_secs(95), PopulationEvent::Leave { n: 200, from_hotspot: true })
+            .at(SimTime::from_secs(115), PopulationEvent::Leave { n: 200, from_hotspot: true })
+            // Second hotspot: 600 clients at B.
+            .at(SimTime::from_secs(170), PopulationEvent::Join { n: 600, placement: hotspot(spec.hotspot_b()) })
+            .at(SimTime::from_secs(220), PopulationEvent::Leave { n: 200, from_hotspot: true })
+            .at(SimTime::from_secs(235), PopulationEvent::Leave { n: 200, from_hotspot: true })
+            .at(SimTime::from_secs(250), PopulationEvent::Leave { n: 200, from_hotspot: true })
+    }
+
+    /// A steady uniform population, for microbenchmarks and calibration.
+    pub fn steady(n: u32, horizon: SimTime) -> WorkloadSchedule {
+        WorkloadSchedule::new(horizon)
+            .at(SimTime::ZERO, PopulationEvent::Join { n, placement: Placement::Uniform })
+    }
+
+    /// A single flash crowd: `n` clients slam one point at `at` and stay.
+    pub fn flash_crowd(spec: &GameSpec, background: u32, n: u32, at: SimTime) -> WorkloadSchedule {
+        WorkloadSchedule::new(SimTime::from_secs(at.as_secs_f64() as u64 + 120))
+            .at(SimTime::ZERO, PopulationEvent::Join { n: background, placement: Placement::Uniform })
+            .at(
+                at,
+                PopulationEvent::Join {
+                    n,
+                    placement: Placement::Hotspot { center: spec.hotspot_a(), spread: 2.0 * spec.radius },
+                },
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_script_matches_the_paper() {
+        let spec = GameSpec::bzflag();
+        let s = WorkloadSchedule::figure2(&spec, 100);
+        assert_eq!(s.total_joins(), 100 + 600 + 600);
+        assert_eq!(s.total_leaves(), 1200);
+        // Hotspot joins at t=10 and t=170.
+        let hotspot_joins: Vec<u64> = s
+            .events()
+            .iter()
+            .filter(|(_, e)| matches!(e, PopulationEvent::Join { placement: Placement::Hotspot { .. }, .. }))
+            .map(|(t, _)| t.as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(hotspot_joins, vec![10, 170]);
+        assert_eq!(s.horizon, SimTime::from_secs(300));
+    }
+
+    #[test]
+    fn events_are_time_ordered_regardless_of_insertion() {
+        let s = WorkloadSchedule::new(SimTime::from_secs(10))
+            .at(SimTime::from_secs(5), PopulationEvent::Leave { n: 1, from_hotspot: false })
+            .at(SimTime::from_secs(1), PopulationEvent::Join { n: 1, placement: Placement::Uniform });
+        let times: Vec<u64> = s.events().iter().map(|(t, _)| t.as_micros()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn steady_schedule_is_one_join() {
+        let s = WorkloadSchedule::steady(500, SimTime::from_secs(60));
+        assert_eq!(s.events().len(), 1);
+        assert_eq!(s.total_joins(), 500);
+        assert_eq!(s.total_leaves(), 0);
+    }
+
+    #[test]
+    fn flash_crowd_joins_at_requested_time() {
+        let spec = GameSpec::quake2();
+        let s = WorkloadSchedule::flash_crowd(&spec, 50, 400, SimTime::from_secs(30));
+        assert_eq!(s.total_joins(), 450);
+        assert!(s.horizon > SimTime::from_secs(30));
+    }
+}

@@ -1,0 +1,227 @@
+//! Per-game workload parameterisations.
+//!
+//! The paper validated Matrix with three real games — BzFlag (tank
+//! shooter), Quake 2 (FPS) and Daimonin (RPG). We cannot link the real
+//! games, but the middleware only observes their *traffic shape*: world
+//! size, visibility radius, update rates, packet sizes, movement speed and
+//! server work per packet. Each [`GameSpec`] captures that shape; the
+//! values are drawn from the games' public documentation and typical
+//! gameplay, and the experiments sweep around them.
+
+use matrix_geometry::{Metric, Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// Traffic-shape parameters of one game title.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GameSpec {
+    /// Human-readable title.
+    pub name: String,
+    /// The game world rectangle.
+    pub world: Rect,
+    /// Radius of visibility (the `R` of Equation 1).
+    pub radius: f64,
+    /// In-game distance metric.
+    pub metric: Metric,
+    /// Player movement speed, world units per second.
+    pub move_speed: f64,
+    /// Client position-update rate, packets per second.
+    pub update_rate_hz: f64,
+    /// Client action rate (shots, spells, chat), packets per second.
+    pub action_rate_hz: f64,
+    /// Movement packet payload, bytes.
+    pub move_bytes: usize,
+    /// Action packet payload, bytes.
+    pub action_bytes: usize,
+    /// Per-client session state carried across a server switch, bytes.
+    pub client_state_bytes: u64,
+    /// Dynamic global state shipped to a freshly split server, bytes.
+    pub global_state_bytes: u64,
+    /// Game-server processing capacity, work units per second.
+    pub server_capacity: f64,
+    /// Work units charged per processed client packet.
+    pub packet_work: f64,
+    /// Work units charged per consistency update arriving from a peer
+    /// server (applying a remote state delta is much cheaper than
+    /// servicing a client connection).
+    pub remote_work: f64,
+    /// Extra work units per local client that must receive the resulting
+    /// update (the fan-out term that makes hotspots superlinear).
+    pub fanout_work: f64,
+}
+
+impl GameSpec {
+    /// BzFlag: the paper's Figure-2 game. Open 2-D battlefield, fast
+    /// tanks, moderate tick rate, every tank sees a large slice of the
+    /// field.
+    pub fn bzflag() -> GameSpec {
+        GameSpec {
+            name: "bzflag".into(),
+            world: Rect::from_coords(0.0, 0.0, 800.0, 800.0),
+            radius: 100.0,
+            metric: Metric::Euclidean,
+            move_speed: 25.0,
+            update_rate_hz: 5.0,
+            action_rate_hz: 1.0,
+            move_bytes: 32,
+            action_bytes: 90,
+            client_state_bytes: 1_500,
+            global_state_bytes: 2_000_000,
+            server_capacity: 3_000.0,
+            packet_work: 1.0,
+            remote_work: 0.08,
+            fanout_work: 0.004,
+        }
+    }
+
+    /// Quake 2: small arenas, very fast movement, high tick rate, short
+    /// visibility.
+    pub fn quake2() -> GameSpec {
+        GameSpec {
+            name: "quake2".into(),
+            world: Rect::from_coords(0.0, 0.0, 2_000.0, 2_000.0),
+            radius: 250.0,
+            metric: Metric::Euclidean,
+            move_speed: 300.0,
+            update_rate_hz: 10.0,
+            action_rate_hz: 2.0,
+            move_bytes: 40,
+            action_bytes: 60,
+            client_state_bytes: 900,
+            global_state_bytes: 1_000_000,
+            server_capacity: 4_500.0,
+            packet_work: 1.0,
+            remote_work: 0.06,
+            fanout_work: 0.003,
+        }
+    }
+
+    /// Daimonin: tile-based open-world RPG. Huge world, slow movement,
+    /// low update rate, lots of per-client state.
+    pub fn daimonin() -> GameSpec {
+        GameSpec {
+            name: "daimonin".into(),
+            world: Rect::from_coords(0.0, 0.0, 10_000.0, 10_000.0),
+            radius: 350.0,
+            metric: Metric::Chebyshev, // tile-based visibility
+            move_speed: 40.0,
+            update_rate_hz: 2.0,
+            action_rate_hz: 0.5,
+            move_bytes: 24,
+            action_bytes: 200,
+            client_state_bytes: 8_000,
+            global_state_bytes: 12_000_000,
+            server_capacity: 1_200.0,
+            packet_work: 1.0,
+            remote_work: 0.15,
+            fanout_work: 0.006,
+        }
+    }
+
+    /// All three paper games, for per-game sweeps.
+    pub fn all() -> Vec<GameSpec> {
+        vec![GameSpec::bzflag(), GameSpec::quake2(), GameSpec::daimonin()]
+    }
+
+    /// Interval between a client's position updates.
+    pub fn update_interval_secs(&self) -> f64 {
+        1.0 / self.update_rate_hz
+    }
+
+    /// Probability that a given update is accompanied by an action.
+    pub fn action_probability(&self) -> f64 {
+        (self.action_rate_hz / self.update_rate_hz).clamp(0.0, 1.0)
+    }
+
+    /// The work one client packet costs a server hosting
+    /// `local_receivers` clients within visibility range.
+    pub fn work_for_packet(&self, local_receivers: usize) -> f64 {
+        self.packet_work + self.fanout_work * local_receivers as f64
+    }
+
+    /// The work one peer-delivered consistency update costs.
+    pub fn work_for_remote(&self, local_receivers: usize) -> f64 {
+        self.remote_work + self.fanout_work * local_receivers as f64
+    }
+
+    /// A deterministic hotspot location for experiments: offset from the
+    /// world centre so the paper's split-to-left sequence leaves the
+    /// hotspot on the retained (right) side first, as in Figure 2.
+    pub fn hotspot_a(&self) -> Point {
+        let w = self.world;
+        Point::new(w.min().x + w.width() * 0.6, w.min().y + w.height() * 0.5)
+    }
+
+    /// The second hotspot position ("reintroduced at a different position
+    /// in the world", §4.1).
+    pub fn hotspot_b(&self) -> Point {
+        let w = self.world;
+        Point::new(w.min().x + w.width() * 0.2, w.min().y + w.height() * 0.3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_shapes() {
+        for spec in GameSpec::all() {
+            assert!(spec.radius > 0.0, "{}", spec.name);
+            assert!(spec.radius < spec.world.width() / 2.0, "{}: radius dominates world", spec.name);
+            assert!(spec.move_speed > 0.0);
+            assert!(spec.update_rate_hz > 0.0);
+            assert!(spec.server_capacity > 0.0);
+            assert!(spec.world.contains(spec.hotspot_a()));
+            assert!(spec.world.contains(spec.hotspot_b()));
+        }
+    }
+
+    #[test]
+    fn hotspots_are_distinct() {
+        let spec = GameSpec::bzflag();
+        assert!(spec.hotspot_a().distance(spec.hotspot_b()) > spec.radius);
+    }
+
+    #[test]
+    fn hotspot_a_is_right_of_centre() {
+        // Figure 2's narrative requires the first split (left half handed
+        // off) to miss the hotspot.
+        let spec = GameSpec::bzflag();
+        assert!(spec.hotspot_a().x > spec.world.center().x);
+    }
+
+    #[test]
+    fn action_probability_is_a_probability() {
+        for spec in GameSpec::all() {
+            let p = spec.action_probability();
+            assert!((0.0..=1.0).contains(&p), "{}: {p}", spec.name);
+        }
+    }
+
+    #[test]
+    fn fanout_work_makes_hotspots_superlinear() {
+        let spec = GameSpec::bzflag();
+        let sparse = spec.work_for_packet(5);
+        let dense = spec.work_for_packet(600);
+        assert!(dense > 2.0 * sparse);
+    }
+
+    #[test]
+    fn overload_calibration_brackets_300_clients() {
+        // The Figure-2 threshold: ~300 co-located clients must exceed one
+        // server's capacity, while ~150 dispersed clients must not.
+        let spec = GameSpec::bzflag();
+        let rate_300 = 300.0 * spec.update_rate_hz * spec.work_for_packet(300);
+        assert!(
+            rate_300 > spec.server_capacity,
+            "300 hotspot clients must overload: {rate_300} vs {}",
+            spec.server_capacity
+        );
+        let rate_150 = 150.0 * spec.update_rate_hz * spec.work_for_packet(20);
+        assert!(
+            rate_150 < spec.server_capacity,
+            "150 dispersed clients must fit: {rate_150} vs {}",
+            spec.server_capacity
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Uniform-grid spatial index over a partition map.
+//!
+//! [`crate::PartitionMap::owner_of`] scans all partitions (O(N)); fine on
+//! the forwarding path, which never calls it, but the coordinator's
+//! directory and the asymptotic-scale experiments (10k servers) want
+//! constant-time point→owner resolution. [`PartitionIndex`] buckets the
+//! partitions into a uniform grid: each cell lists the partitions touching
+//! it (almost always exactly one), so a lookup is one cell computation
+//! plus a couple of containment tests.
+
+use crate::{PartitionMap, Point, Rect, ServerId};
+
+/// Grid-bucketed point→owner index, built from a [`PartitionMap`]
+/// snapshot. Rebuild after topology changes (the coordinator already
+/// recomputes overlap tables at exactly those moments).
+#[derive(Debug, Clone)]
+pub struct PartitionIndex {
+    world: Rect,
+    nx: usize,
+    ny: usize,
+    cells: Vec<Vec<(ServerId, Rect)>>,
+}
+
+impl PartitionIndex {
+    /// Builds an index with roughly `resolution²` cells (clamped to at
+    /// least one per axis).
+    pub fn build(map: &PartitionMap, resolution: usize) -> PartitionIndex {
+        let world = map.world();
+        let nx = resolution.max(1);
+        let ny = resolution.max(1);
+        let mut cells = vec![Vec::new(); nx * ny];
+        let cw = world.width() / nx as f64;
+        let ch = world.height() / ny as f64;
+        for (server, rect) in map.iter() {
+            // Cells the rect touches (inclusive on the high edge so
+            // boundary-sitting partitions land in the right buckets).
+            let x0 = (((rect.min().x - world.min().x) / cw).floor() as usize).min(nx - 1);
+            let x1 = (((rect.max().x - world.min().x) / cw).ceil() as usize).clamp(1, nx);
+            let y0 = (((rect.min().y - world.min().y) / ch).floor() as usize).min(ny - 1);
+            let y1 = (((rect.max().y - world.min().y) / ch).ceil() as usize).clamp(1, ny);
+            for cy in y0..y1 {
+                for cx in x0..x1 {
+                    cells[cy * nx + cx].push((server, rect));
+                }
+            }
+        }
+        PartitionIndex { world, nx, ny, cells }
+    }
+
+    /// A sensible default resolution: about one cell per partition.
+    pub fn build_auto(map: &PartitionMap) -> PartitionIndex {
+        let resolution = (map.len() as f64).sqrt().ceil() as usize;
+        PartitionIndex::build(map, resolution.max(4))
+    }
+
+    /// The server owning `p`, or `None` outside the world.
+    pub fn owner_of(&self, p: Point) -> Option<ServerId> {
+        if !self.world.contains_closed(p) {
+            return None;
+        }
+        let cw = self.world.width() / self.nx as f64;
+        let ch = self.world.height() / self.ny as f64;
+        let cx = (((p.x - self.world.min().x) / cw) as usize).min(self.nx - 1);
+        let cy = (((p.y - self.world.min().y) / ch) as usize).min(self.ny - 1);
+        let bucket = &self.cells[cy * self.nx + cx];
+        bucket
+            .iter()
+            .find(|(_, r)| r.contains(p))
+            .or_else(|| bucket.iter().find(|(_, r)| r.contains_closed(p)))
+            .map(|(s, _)| *s)
+    }
+
+    /// Number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Mean candidates per non-empty cell (the lookup's constant factor).
+    pub fn mean_bucket_len(&self) -> f64 {
+        let non_empty: Vec<usize> =
+            self.cells.iter().map(|c| c.len()).filter(|l| *l > 0).collect();
+        if non_empty.is_empty() {
+            return 0.0;
+        }
+        non_empty.iter().sum::<usize>() as f64 / non_empty.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitStrategy;
+
+    fn many_way(n: u32) -> PartitionMap {
+        let world = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let servers: Vec<ServerId> = (1..=n).map(ServerId).collect();
+        PartitionMap::static_grid(world, &servers).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_linear_scan_on_grid() {
+        let map = many_way(16);
+        let index = PartitionIndex::build_auto(&map);
+        for i in 0..50 {
+            for j in 0..50 {
+                let p = Point::new(20.0 * i as f64 + 0.5, 20.0 * j as f64 + 0.5);
+                assert_eq!(index.owner_of(p), map.owner_of(p), "at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_after_irregular_splits() {
+        let world = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let mut map = PartitionMap::new(world, ServerId(1));
+        for i in 2..=9u32 {
+            let servers = map.servers();
+            let victim = servers[(i as usize * 7) % servers.len()];
+            let strategy =
+                if i % 2 == 0 { SplitStrategy::SplitToLeft } else { SplitStrategy::LongestAxis };
+            map.split(victim, ServerId(i), &strategy, &[]).unwrap();
+        }
+        let index = PartitionIndex::build(&map, 13); // deliberately odd
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = Point::new(25.0 * i as f64 + 3.3, 25.0 * j as f64 + 7.7);
+                assert_eq!(index.owner_of(p), map.owner_of(p), "at {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn world_boundary_points_resolve() {
+        let map = many_way(4);
+        let index = PartitionIndex::build_auto(&map);
+        assert!(index.owner_of(Point::new(1000.0, 1000.0)).is_some());
+        assert!(index.owner_of(Point::new(0.0, 0.0)).is_some());
+        assert!(index.owner_of(Point::new(1000.0, 0.0)).is_some());
+    }
+
+    #[test]
+    fn outside_world_is_none() {
+        let map = many_way(4);
+        let index = PartitionIndex::build_auto(&map);
+        assert_eq!(index.owner_of(Point::new(-1.0, 500.0)), None);
+        assert_eq!(index.owner_of(Point::new(500.0, 1001.0)), None);
+    }
+
+    #[test]
+    fn buckets_stay_small() {
+        let map = many_way(64);
+        let index = PartitionIndex::build_auto(&map);
+        assert!(
+            index.mean_bucket_len() <= 4.0,
+            "buckets should hold few candidates: {}",
+            index.mean_bucket_len()
+        );
+    }
+
+    #[test]
+    fn single_partition_world() {
+        let world = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let map = PartitionMap::new(world, ServerId(7));
+        let index = PartitionIndex::build(&map, 1);
+        assert_eq!(index.owner_of(Point::new(5.0, 5.0)), Some(ServerId(7)));
+        assert_eq!(index.cell_count(), 1);
+    }
+}

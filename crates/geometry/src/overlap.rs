@@ -1,0 +1,500 @@
+//! Overlap regions and the O(1) consistency-set lookup tables.
+//!
+//! §3.1 of the paper: Matrix "efficiently utilises this sparseness by
+//! forming groups, called *overlap regions*, of all points that have
+//! identical non-empty consistency sets". The Matrix Coordinator computes
+//! these regions with axis-aligned bounding-box arithmetic and distributes
+//! one table per server; the packet-forwarding path then resolves `C(σ)`
+//! with a constant-time table lookup instead of asking anyone.
+//!
+//! # Construction
+//!
+//! For server `i` with partition `Pi` and radius `R`, every other server
+//! `j` contributes the box `Bij = Pi ∩ expand(Pj, R)`: the part of `Pi`
+//! whose points are within `R` of `Pj` (exactly, under the Chebyshev
+//! metric; conservatively, under Euclidean/Manhattan — the same AABB
+//! approximation the paper's coordinator uses). The boundaries of all `Bij`
+//! induce a grid over `Pi` by coordinate compression; each grid cell has a
+//! uniform consistency set. Adjacent cells with identical sets are merged
+//! into maximal rectangles — the overlap regions.
+//!
+//! # Lookup guarantee
+//!
+//! For any point σ in the partition, `lookup(σ)` returns a superset of
+//! `{ j : d(σ, Pj) < R }` under every metric, and exactly
+//! `{ j : d(σ, Pj) ≤ R }` under [`Metric::Chebyshev`] except on the
+//! measure-zero cell boundaries (where the half-open lookup may assign σ
+//! to the cell on its upper-right side). Over-approximation only ever
+//! sends an update to extra servers — never drops a required recipient —
+//! which is the safe direction for consistency.
+
+use crate::{Metric, PartitionMap, Point, Rect, ServerId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A maximal rectangle of points sharing one non-empty consistency set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlapRegion {
+    /// The region's extent (a sub-rectangle of the owner's partition).
+    pub rect: Rect,
+    /// The servers that must be informed of any update inside `rect`,
+    /// sorted by id. Never empty.
+    pub set: Vec<ServerId>,
+}
+
+/// Per-server lookup table mapping points of one partition to consistency
+/// sets in O(1) (two short binary searches over grid breaks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlapTable {
+    server: ServerId,
+    rect: Rect,
+    /// Grid breaks including both partition edges; `xs.len() == nx + 1`.
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Row-major `nx * ny` indices into `sets`.
+    cells: Vec<u32>,
+    /// Interned consistency sets; `sets[0]` is always the empty set.
+    sets: Vec<Vec<ServerId>>,
+    regions: Vec<OverlapRegion>,
+}
+
+impl OverlapTable {
+    /// Builds the table for `server` owning `rect`, against the other
+    /// partitions in `others`.
+    pub fn build(
+        server: ServerId,
+        rect: Rect,
+        others: &[(ServerId, Rect)],
+        radius: f64,
+        _metric: Metric,
+    ) -> OverlapTable {
+        // Bij boxes: parts of this partition within R of each peer.
+        let mut boxes: Vec<(ServerId, Rect)> = Vec::new();
+        for (j, pj) in others {
+            if *j == server {
+                continue;
+            }
+            if let Some(b) = rect.intersection(&pj.expand(radius)) {
+                boxes.push((*j, b));
+            }
+        }
+
+        // Coordinate compression over all box edges.
+        let mut xs = vec![rect.min().x, rect.max().x];
+        let mut ys = vec![rect.min().y, rect.max().y];
+        for (_, b) in &boxes {
+            xs.push(b.min().x);
+            xs.push(b.max().x);
+            ys.push(b.min().y);
+            ys.push(b.max().y);
+        }
+        dedup_sorted(&mut xs);
+        dedup_sorted(&mut ys);
+
+        let nx = xs.len() - 1;
+        let ny = ys.len() - 1;
+        let mut sets: Vec<Vec<ServerId>> = vec![Vec::new()];
+        let mut interned: BTreeMap<Vec<ServerId>, u32> = BTreeMap::new();
+        interned.insert(Vec::new(), 0);
+        let mut cells = vec![0u32; nx * ny];
+
+        for cy in 0..ny {
+            for cx in 0..nx {
+                let center = Point::new((xs[cx] + xs[cx + 1]) / 2.0, (ys[cy] + ys[cy + 1]) / 2.0);
+                let mut set: Vec<ServerId> = boxes
+                    .iter()
+                    .filter(|(_, b)| b.contains(center) || b.contains_closed(center) && b.is_degenerate())
+                    .map(|(j, _)| *j)
+                    .collect();
+                set.sort_unstable();
+                set.dedup();
+                let idx = *interned.entry(set.clone()).or_insert_with(|| {
+                    sets.push(set);
+                    (sets.len() - 1) as u32
+                });
+                cells[cy * nx + cx] = idx;
+            }
+        }
+
+        let regions = merge_regions(&xs, &ys, &cells, &sets, nx, ny);
+        OverlapTable { server, rect, xs, ys, cells, sets, regions }
+    }
+
+    /// The server this table belongs to.
+    pub fn server(&self) -> ServerId {
+        self.server
+    }
+
+    /// The partition the table covers.
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// Consistency set for a point of this partition.
+    ///
+    /// Points outside the partition are clamped onto it first; the game
+    /// server is expected to verify packet ranges (§3.2.3) before asking.
+    pub fn lookup(&self, p: Point) -> &[ServerId] {
+        let p = self.rect.clamp(p);
+        let cx = cell_index(&self.xs, p.x);
+        let cy = cell_index(&self.ys, p.y);
+        let nx = self.xs.len() - 1;
+        let idx = self.cells[cy * nx + cx] as usize;
+        &self.sets[idx]
+    }
+
+    /// The merged overlap regions (non-empty consistency sets only).
+    pub fn regions(&self) -> &[OverlapRegion] {
+        &self.regions
+    }
+
+    /// Total area of the partition covered by overlap regions.
+    ///
+    /// §4.2: "the amount of traffic sent between Matrix servers corresponded
+    /// directly to the size of the overlap regions" — this is the size in
+    /// question.
+    pub fn overlap_area(&self) -> f64 {
+        self.regions.iter().map(|r| r.rect.area()).sum()
+    }
+
+    /// Fraction of the partition's area that lies in overlap regions.
+    pub fn overlap_fraction(&self) -> f64 {
+        let a = self.rect.area();
+        if a == 0.0 {
+            0.0
+        } else {
+            self.overlap_area() / a
+        }
+    }
+
+    /// Number of grid cells backing the table (memory metric).
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of distinct consistency sets, including the empty one.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+/// All servers' overlap tables for one partition map — what the Matrix
+/// Coordinator recomputes and redistributes after every split/reclaim.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverlapMap {
+    radius: f64,
+    metric: Metric,
+    tables: BTreeMap<ServerId, OverlapTable>,
+}
+
+/// Builds overlap tables for every partition in `map` (what the MC does on
+/// registration and after each split/reclaim, §3.2.4).
+pub fn build_overlap(map: &PartitionMap, radius: f64, metric: Metric) -> OverlapMap {
+    let parts: Vec<(ServerId, Rect)> = map.iter().collect();
+    let tables = parts
+        .iter()
+        .map(|(s, r)| (*s, OverlapTable::build(*s, *r, &parts, radius, metric)))
+        .collect();
+    OverlapMap { radius, metric, tables }
+}
+
+impl OverlapMap {
+    /// The radius of visibility the tables were built for.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The distance metric the tables were built for.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// The table for one server.
+    pub fn table_for(&self, server: ServerId) -> Option<&OverlapTable> {
+        self.tables.get(&server)
+    }
+
+    /// Iterates over all `(server, table)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ServerId, &OverlapTable)> {
+        self.tables.iter().map(|(s, t)| (*s, t))
+    }
+
+    /// Number of tables (= number of live servers).
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the map holds no tables.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total number of overlap regions across all servers.
+    pub fn total_regions(&self) -> usize {
+        self.tables.values().map(|t| t.regions().len()).sum()
+    }
+
+    /// World-wide area covered by overlap regions.
+    pub fn total_overlap_area(&self) -> f64 {
+        self.tables.values().map(|t| t.overlap_area()).sum()
+    }
+}
+
+/// Largest `k` with `breaks[k] <= v`, clamped to a valid cell index.
+fn cell_index(breaks: &[f64], v: f64) -> usize {
+    debug_assert!(breaks.len() >= 2);
+    let n_cells = breaks.len() - 1;
+    // Count interior breaks <= v; that is exactly the half-open cell index.
+    let k = breaks[1..breaks.len() - 1].partition_point(|&b| b <= v);
+    k.min(n_cells - 1)
+}
+
+fn dedup_sorted(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("grid breaks must not be NaN"));
+    v.dedup();
+}
+
+/// Greedy maximal-rectangle merge: horizontal runs per row, then vertical
+/// merging of runs with identical x-span and set. Only non-empty sets
+/// produce regions.
+fn merge_regions(
+    xs: &[f64],
+    ys: &[f64],
+    cells: &[u32],
+    sets: &[Vec<ServerId>],
+    nx: usize,
+    ny: usize,
+) -> Vec<OverlapRegion> {
+    #[derive(Clone, PartialEq)]
+    struct Run {
+        cx0: usize,
+        cx1: usize, // exclusive
+        set: u32,
+    }
+    // Horizontal runs per row.
+    let mut rows: Vec<Vec<Run>> = Vec::with_capacity(ny);
+    for cy in 0..ny {
+        let mut row = Vec::new();
+        let mut cx = 0;
+        while cx < nx {
+            let set = cells[cy * nx + cx];
+            let start = cx;
+            while cx < nx && cells[cy * nx + cx] == set {
+                cx += 1;
+            }
+            if set != 0 {
+                row.push(Run { cx0: start, cx1: cx, set });
+            }
+        }
+        rows.push(row);
+    }
+    // Vertical merging.
+    let mut regions = Vec::new();
+    let mut open: Vec<(Run, usize)> = Vec::new(); // (run, start row)
+    for cy in 0..=ny {
+        let empty = Vec::new();
+        let row = if cy < ny { &rows[cy] } else { &empty };
+        let mut next_open: Vec<(Run, usize)> = Vec::new();
+        for run in row {
+            if let Some(pos) = open.iter().position(|(r, _)| r == run) {
+                let (r, y0) = open.remove(pos);
+                next_open.push((r, y0));
+            } else {
+                next_open.push((run.clone(), cy));
+            }
+        }
+        // Anything left open did not continue into this row: emit it.
+        for (r, y0) in open.drain(..) {
+            regions.push(OverlapRegion {
+                rect: Rect::from_coords(xs[r.cx0], ys[y0], xs[r.cx1], ys[cy]),
+                set: sets[r.set as usize].clone(),
+            });
+        }
+        open = next_open;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{consistency_set, SplitStrategy};
+
+    fn three_way() -> PartitionMap {
+        // S2 | S3 / S1 layout over [0,300]²: S2 left half, S1 right-bottom,
+        // S3 right-top.
+        let world = Rect::from_coords(0.0, 0.0, 300.0, 300.0);
+        let mut map = PartitionMap::new(world, ServerId(1));
+        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
+        map.split(ServerId(1), ServerId(3), &SplitStrategy::LongestAxis, &[]).unwrap();
+        map
+    }
+
+    #[test]
+    fn interior_lookup_is_empty() {
+        let map = three_way();
+        let overlap = build_overlap(&map, 20.0, Metric::Euclidean);
+        let t = overlap.table_for(ServerId(2)).unwrap();
+        assert!(t.lookup(Point::new(75.0, 150.0)).is_empty());
+    }
+
+    #[test]
+    fn boundary_lookup_contains_neighbour() {
+        let map = three_way();
+        let overlap = build_overlap(&map, 20.0, Metric::Euclidean);
+        let t = overlap.table_for(ServerId(2)).unwrap();
+        // Near x=150 boundary with S3's bottom-right quadrant.
+        let set = t.lookup(Point::new(140.0, 50.0));
+        assert!(set.contains(&ServerId(3)), "{set:?}");
+    }
+
+    #[test]
+    fn corner_lookup_contains_both_neighbours() {
+        let map = three_way();
+        let overlap = build_overlap(&map, 20.0, Metric::Euclidean);
+        let t = overlap.table_for(ServerId(2)).unwrap();
+        // Near (150, 150): within 20 of both S1 (bottom) and S3 (top).
+        let set = t.lookup(Point::new(140.0, 150.0));
+        assert_eq!(set, &[ServerId(1), ServerId(3)]);
+    }
+
+    #[test]
+    fn single_server_has_no_regions() {
+        let world = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+        let map = PartitionMap::new(world, ServerId(7));
+        let overlap = build_overlap(&map, 30.0, Metric::Euclidean);
+        let t = overlap.table_for(ServerId(7)).unwrap();
+        assert!(t.regions().is_empty());
+        assert_eq!(t.overlap_area(), 0.0);
+        assert!(t.lookup(Point::new(50.0, 50.0)).is_empty());
+    }
+
+    #[test]
+    fn lookup_superset_of_strict_consistency_set() {
+        // The conservativeness guarantee, deterministically probed on a
+        // grid (the proptest in tests/ probes random layouts).
+        let map = three_way();
+        for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            let overlap = build_overlap(&map, 25.0, metric);
+            for (server, rect) in map.iter() {
+                let t = overlap.table_for(server).unwrap();
+                for gx in 0..20 {
+                    for gy in 0..20 {
+                        let p = Point::new(
+                            rect.min().x + rect.width() * (gx as f64 + 0.5) / 20.0,
+                            rect.min().y + rect.height() * (gy as f64 + 0.5) / 20.0,
+                        );
+                        let exact_strict: Vec<ServerId> = map
+                            .iter()
+                            .filter(|(s, r)| *s != server && r.distance_to(p, metric) < 25.0)
+                            .map(|(s, _)| s)
+                            .collect();
+                        let looked = t.lookup(p);
+                        for j in &exact_strict {
+                            assert!(looked.contains(j), "{metric:?} {server} {p} missing {j}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chebyshev_lookup_is_exact_off_boundaries() {
+        let map = three_way();
+        let overlap = build_overlap(&map, 25.0, Metric::Chebyshev);
+        for (server, rect) in map.iter() {
+            let t = overlap.table_for(server).unwrap();
+            for gx in 0..33 {
+                for gy in 0..33 {
+                    let p = Point::new(
+                        rect.min().x + rect.width() * (gx as f64 + 0.137) / 33.0,
+                        rect.min().y + rect.height() * (gy as f64 + 0.411) / 33.0,
+                    );
+                    let exact = consistency_set(&map, p, server, 25.0, Metric::Chebyshev);
+                    assert_eq!(t.lookup(p), exact.as_slice(), "{server} at {p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regions_partition_reported_area() {
+        let map = three_way();
+        let overlap = build_overlap(&map, 25.0, Metric::Chebyshev);
+        let t = overlap.table_for(ServerId(2)).unwrap();
+        // S2 is [0,150]x[0,300]; its overlap band is x in [125,150]
+        // (25 from both quadrants) => area 25 * 300.
+        assert!((t.overlap_area() - 25.0 * 300.0).abs() < 1e-6, "{}", t.overlap_area());
+    }
+
+    #[test]
+    fn regions_do_not_overlap_each_other() {
+        let map = three_way();
+        let overlap = build_overlap(&map, 40.0, Metric::Euclidean);
+        for (_, t) in overlap.iter() {
+            let regs = t.regions();
+            for i in 0..regs.len() {
+                for j in (i + 1)..regs.len() {
+                    assert!(
+                        !regs[i].rect.intersects(&regs[j].rect),
+                        "regions overlap: {:?} vs {:?}",
+                        regs[i],
+                        regs[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_agrees_with_region_membership() {
+        let map = three_way();
+        let overlap = build_overlap(&map, 30.0, Metric::Euclidean);
+        for (_, t) in overlap.iter() {
+            for reg in t.regions() {
+                let c = reg.rect.center();
+                assert_eq!(t.lookup(c), reg.set.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn radius_growth_grows_overlap_area() {
+        let map = three_way();
+        let small = build_overlap(&map, 10.0, Metric::Euclidean);
+        let large = build_overlap(&map, 50.0, Metric::Euclidean);
+        assert!(large.total_overlap_area() > small.total_overlap_area());
+    }
+
+    #[test]
+    fn out_of_partition_lookup_clamps() {
+        let map = three_way();
+        let overlap = build_overlap(&map, 20.0, Metric::Euclidean);
+        let t = overlap.table_for(ServerId(2)).unwrap();
+        // Way outside S2 to the right: clamped to the x=150 edge, which is
+        // in the overlap band next to S3's bottom-right quadrant.
+        let set = t.lookup(Point::new(9999.0, 50.0));
+        assert!(set.contains(&ServerId(3)));
+    }
+
+    #[test]
+    fn huge_radius_covers_whole_partition() {
+        let map = three_way();
+        let overlap = build_overlap(&map, 1000.0, Metric::Euclidean);
+        let t = overlap.table_for(ServerId(1)).unwrap();
+        assert!((t.overlap_fraction() - 1.0).abs() < 1e-9);
+        let set = t.lookup(t.rect().center());
+        assert_eq!(set, &[ServerId(2), ServerId(3)]);
+    }
+
+    #[test]
+    fn table_counts_are_bounded() {
+        let map = three_way();
+        let overlap = build_overlap(&map, 20.0, Metric::Euclidean);
+        for (_, t) in overlap.iter() {
+            assert!(t.cell_count() <= 25, "tiny layouts stay tiny: {}", t.cell_count());
+            assert!(t.set_count() <= 5);
+        }
+    }
+}

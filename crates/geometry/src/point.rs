@@ -1,0 +1,165 @@
+//! Points in the 2-D game world and game-specific distance metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// A position in the game world's 2-D coordinate space.
+///
+/// The paper observes that "all games have some notion of geometric space
+/// that allows distances between game objects to be computed" (§3.1). Matrix
+/// only ever sees these coordinates as spatial tags on game packets.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point::new(0.0, 0.0);
+
+    /// Component-wise addition.
+    pub fn offset(self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Linear interpolation from `self` towards `other`.
+    ///
+    /// `t = 0` returns `self`, `t = 1` returns `other`.
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+
+    /// Distance to `other` under the given metric.
+    pub fn distance_by(self, other: Point, metric: Metric) -> f64 {
+        let dx = (self.x - other.x).abs();
+        let dy = (self.y - other.y).abs();
+        match metric {
+            Metric::Euclidean => (dx * dx + dy * dy).sqrt(),
+            Metric::Manhattan => dx + dy,
+            Metric::Chebyshev => dx.max(dy),
+        }
+    }
+
+    /// Moves `self` a given distance towards `target` (Euclidean).
+    ///
+    /// If `target` is closer than `step`, returns `target` — useful for
+    /// waypoint movement models that must not overshoot.
+    pub fn step_towards(self, target: Point, step: f64) -> Point {
+        let d = self.distance(target);
+        if d <= step || d == 0.0 {
+            target
+        } else {
+            self.lerp(target, step / d)
+        }
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+/// Game-specific distance metric used for visibility computations.
+///
+/// Matrix lets each game define its own notion of distance (§3.1). The
+/// choice affects which peers fall inside a point's radius of visibility
+/// and therefore the shape of the overlap regions:
+///
+/// * [`Metric::Euclidean`] — circular visibility. Overlap regions built from
+///   axis-aligned bounding boxes *over-approximate* the true consistency
+///   set, exactly like the paper's coordinator which uses "well known
+///   axis-aligned bounding box computation algorithms". Over-approximation
+///   is safe (a few extra deliveries), never lossy.
+/// * [`Metric::Chebyshev`] — square visibility (common for tile-based
+///   games). AABB overlap regions are *exact*.
+/// * [`Metric::Manhattan`] — diamond visibility; AABB regions again
+///   over-approximate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Metric {
+    /// Straight-line (L2) distance; circular zone of visibility.
+    #[default]
+    Euclidean,
+    /// Taxicab (L1) distance; diamond zone of visibility.
+    Manhattan,
+    /// Chessboard (L∞) distance; square zone of visibility.
+    Chebyshev,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_by(b, Metric::Euclidean), 5.0);
+    }
+
+    #[test]
+    fn distance_manhattan_and_chebyshev() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, -2.0);
+        assert_eq!(a.distance_by(b, Metric::Manhattan), 7.0);
+        assert_eq!(a.distance_by(b, Metric::Chebyshev), 4.0);
+    }
+
+    #[test]
+    fn metrics_agree_on_axis_aligned_segments() {
+        let a = Point::new(2.0, 5.0);
+        let b = Point::new(9.0, 5.0);
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            assert_eq!(a.distance_by(b, m), 7.0);
+        }
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, 20.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(5.0, 10.0));
+    }
+
+    #[test]
+    fn step_towards_does_not_overshoot() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        let moved = a.step_towards(b, 10.0);
+        assert_eq!(moved, b);
+        let part = a.step_towards(b, 2.5);
+        assert!((part.distance(a) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_towards_zero_distance_is_stable() {
+        let a = Point::new(1.0, 1.0);
+        assert_eq!(a.step_towards(a, 5.0), a);
+    }
+
+    #[test]
+    fn display_formats_compactly() {
+        assert_eq!(Point::new(1.25, 3.0).to_string(), "(1.2, 3.0)");
+    }
+}

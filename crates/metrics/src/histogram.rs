@@ -1,0 +1,238 @@
+//! Log-bucketed histogram for latency distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets per power of two.
+const SUB_BUCKETS: usize = 16;
+/// Number of powers of two covered (1 µs … ~68 s when recording µs).
+const POWERS: usize = 36;
+
+/// A histogram with logarithmic buckets, suitable for latency values
+/// spanning microseconds to minutes. Relative error per bucket is bounded
+/// by `1/SUB_BUCKETS` ≈ 6%, more than enough for p50/p95/p99 reporting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    max: f64,
+    min: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; SUB_BUCKETS * POWERS],
+            total: 0,
+            sum: 0.0,
+            max: f64::NEG_INFINITY,
+            min: f64::INFINITY,
+        }
+    }
+
+    /// Records a non-negative value (negative values clamp to zero).
+    pub fn record(&mut self, value: f64) {
+        let v = value.max(0.0);
+        let idx = Self::bucket_of(v);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    fn bucket_of(v: f64) -> usize {
+        if v < 1.0 {
+            return 0;
+        }
+        let power = v.log2().floor() as usize;
+        let power = power.min(POWERS - 1);
+        let base = 2f64.powi(power as i32);
+        let frac = ((v - base) / base * SUB_BUCKETS as f64) as usize;
+        (power * SUB_BUCKETS + frac.min(SUB_BUCKETS - 1)).min(SUB_BUCKETS * POWERS - 1)
+    }
+
+    /// Representative (lower-bound) value of bucket `idx`.
+    fn bucket_value(idx: usize) -> f64 {
+        let power = idx / SUB_BUCKETS;
+        let frac = idx % SUB_BUCKETS;
+        let base = 2f64.powi(power as i32);
+        base + base * frac as f64 / SUB_BUCKETS as f64
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Arithmetic mean of recorded values.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum / self.total as f64)
+        }
+    }
+
+    /// Largest recorded value (exact).
+    pub fn max(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Smallest recorded value (exact).
+    pub fn min(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, approximated to bucket precision.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::bucket_value(idx).min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Convenience accessors for the standard reporting quantiles.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> Option<f64> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.max(), None);
+    }
+
+    #[test]
+    fn single_value() {
+        let mut h = Histogram::new();
+        h.record(1000.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Some(1000.0));
+        assert_eq!(h.max(), Some(1000.0));
+        let p50 = h.p50().unwrap();
+        assert!((p50 - 1000.0).abs() / 1000.0 < 0.07, "p50 {p50}");
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000 {
+            h.record(v as f64);
+        }
+        let p50 = h.p50().unwrap();
+        let p99 = h.p99().unwrap();
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.08, "p50 {p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.08, "p99 {p99}");
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [2.0, 4.0, 6.0] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn negative_values_clamp_to_zero() {
+        let mut h = Histogram::new();
+        h.record(-5.0);
+        assert_eq!(h.min(), Some(0.0));
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 1..=100 {
+            a.record(v as f64);
+            b.record((v * 100) as f64);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.max(), Some(10_000.0));
+        assert_eq!(a.min(), Some(1.0));
+    }
+
+    #[test]
+    fn quantile_bounds_are_respected() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(42.0);
+        }
+        // Every quantile of a constant distribution is the constant,
+        // up to bucket resolution but never outside [min, max].
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(h.quantile(q), Some(42.0));
+        }
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(1e18);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(0.5).is_some());
+    }
+}

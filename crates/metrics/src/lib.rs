@@ -1,0 +1,33 @@
+//! Metrics, time series and renderers for the Matrix experiments.
+//!
+//! The experiment harness regenerates the paper's figures and tables as
+//! terminal artefacts: [`TimeSeries`] collects samples (e.g. clients per
+//! server over time), [`Histogram`] aggregates latency distributions,
+//! [`Table`] renders aligned result tables, and [`AsciiChart`] draws the
+//! multi-series line plots standing in for Figure 2.
+//!
+//! # Example
+//!
+//! ```
+//! use matrix_metrics::{TimeSeries, AsciiChart};
+//!
+//! let mut s = TimeSeries::new("clients");
+//! for t in 0..10 {
+//!     s.push(t as f64, (t * t) as f64);
+//! }
+//! let chart = AsciiChart::new(40, 10).render(&[&s]);
+//! assert!(chart.contains("clients"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod plot;
+mod series;
+mod table;
+
+pub use histogram::Histogram;
+pub use plot::AsciiChart;
+pub use series::TimeSeries;
+pub use table::Table;

@@ -1,0 +1,162 @@
+//! Terminal line charts — the stand-in for the paper's figures.
+
+use crate::TimeSeries;
+
+/// Glyphs used for the first eight series of a chart.
+const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+/// Renders one or more [`TimeSeries`] as an ASCII line chart with axes,
+/// value labels and a legend.
+///
+/// Charts give the experiment binaries visual output comparable to the
+/// paper's figures without any plotting dependency; the underlying CSV is
+/// also emitted for external tooling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+}
+
+impl AsciiChart {
+    /// Creates a chart canvas of `width × height` characters (plot area,
+    /// excluding labels). Minimum useful size is about 20×5.
+    pub fn new(width: usize, height: usize) -> AsciiChart {
+        AsciiChart { width: width.max(10), height: height.max(3) }
+    }
+
+    /// Renders the chart. Series are overlaid with distinct glyphs; the
+    /// legend maps glyphs to series names.
+    pub fn render(&self, series: &[&TimeSeries]) -> String {
+        let mut t_min = f64::INFINITY;
+        let mut t_max = f64::NEG_INFINITY;
+        let mut v_min: f64 = 0.0; // charts anchor at zero like the paper's
+        let mut v_max = f64::NEG_INFINITY;
+        for s in series {
+            if let Some((a, b)) = s.time_range() {
+                t_min = t_min.min(a);
+                t_max = t_max.max(b);
+            }
+            if let Some(m) = s.max_value() {
+                v_max = v_max.max(m);
+            }
+            if let Some(m) = s.min_value() {
+                v_min = v_min.min(m);
+            }
+        }
+        if !t_min.is_finite() || !t_max.is_finite() || !v_max.is_finite() {
+            return String::from("(no data)\n");
+        }
+        if t_max <= t_min {
+            t_max = t_min + 1.0;
+        }
+        if v_max <= v_min {
+            v_max = v_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, s) in series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(t, v) in s.points() {
+                let x = ((t - t_min) / (t_max - t_min) * (self.width - 1) as f64).round() as usize;
+                let y = ((v - v_min) / (v_max - v_min) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - y.min(self.height - 1);
+                let col = x.min(self.width - 1);
+                // Later series overdraw earlier ones on collisions.
+                grid[row][col] = glyph;
+            }
+        }
+
+        let label_w = 10;
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let frac = 1.0 - i as f64 / (self.height - 1) as f64;
+            let v = v_min + frac * (v_max - v_min);
+            // Label every other row to reduce noise.
+            if i % 2 == 0 {
+                out.push_str(&format!("{:>label_w$.1} |", v));
+            } else {
+                out.push_str(&format!("{:>label_w$} |", ""));
+            }
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>label_w$} +{}\n", "", "-".repeat(self.width)));
+        out.push_str(&format!(
+            "{:>label_w$}  {:<w2$.1}{:>w2$.1}\n",
+            "t(s)",
+            t_min,
+            t_max,
+            w2 = self.width / 2
+        ));
+        for (si, s) in series.iter().enumerate() {
+            out.push_str(&format!("    {} {}\n", GLYPHS[si % GLYPHS.len()], s.name()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_renders_placeholder() {
+        let chart = AsciiChart::new(40, 10);
+        assert_eq!(chart.render(&[]), "(no data)\n");
+        let empty = TimeSeries::new("nothing");
+        assert_eq!(chart.render(&[&empty]), "(no data)\n");
+    }
+
+    #[test]
+    fn single_series_renders_with_legend() {
+        let mut s = TimeSeries::new("load");
+        for t in 0..50 {
+            s.push(t as f64, (t % 10) as f64);
+        }
+        let out = AsciiChart::new(60, 12).render(&[&s]);
+        assert!(out.contains("* load"));
+        assert!(out.contains('|'));
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let mut a = TimeSeries::new("a");
+        let mut b = TimeSeries::new("b");
+        for t in 0..10 {
+            a.push(t as f64, 1.0);
+            b.push(t as f64, 9.0);
+        }
+        let out = AsciiChart::new(30, 8).render(&[&a, &b]);
+        assert!(out.contains("* a"));
+        assert!(out.contains("+ b"));
+        assert!(out.contains('+'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut s = TimeSeries::new("flat");
+        s.push(0.0, 5.0);
+        s.push(1.0, 5.0);
+        let out = AsciiChart::new(20, 5).render(&[&s]);
+        assert!(out.contains("flat"));
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let mut s = TimeSeries::new("dot");
+        s.push(3.0, 4.0);
+        let out = AsciiChart::new(20, 5).render(&[&s]);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn tiny_canvas_is_clamped() {
+        let chart = AsciiChart::new(1, 1);
+        let mut s = TimeSeries::new("x");
+        s.push(0.0, 1.0);
+        s.push(1.0, 2.0);
+        // Must not panic even with a degenerate canvas request.
+        let _ = chart.render(&[&s]);
+    }
+}

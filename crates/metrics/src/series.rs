@@ -1,0 +1,186 @@
+//! Named time series of `(time, value)` samples.
+
+use serde::{Deserialize, Serialize};
+
+/// An append-only series of `(time, value)` samples with a name, used for
+/// every "X vs time" figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> TimeSeries {
+        TimeSeries { name: name.into(), points: Vec::new() }
+    }
+
+    /// The series name (legend label).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample. Samples are expected in non-decreasing time order;
+    /// out-of-order samples are accepted but render poorly.
+    pub fn push(&mut self, time: f64, value: f64) {
+        self.points.push((time, value));
+    }
+
+    /// The raw samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Most recent value.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Largest value in the series.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |m, v| match m {
+            None => Some(v),
+            Some(m) => Some(m.max(v)),
+        })
+    }
+
+    /// Smallest value in the series.
+    pub fn min_value(&self) -> Option<f64> {
+        self.points.iter().map(|&(_, v)| v).fold(None, |m, v| match m {
+            None => Some(v),
+            Some(m) => Some(m.min(v)),
+        })
+    }
+
+    /// Mean of the values (unweighted by time).
+    pub fn mean(&self) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        Some(self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64)
+    }
+
+    /// Time range `(first, last)` covered by the samples.
+    pub fn time_range(&self) -> Option<(f64, f64)> {
+        Some((self.points.first()?.0, self.points.last()?.0))
+    }
+
+    /// Value at `time` by step interpolation (the value of the latest
+    /// sample at or before `time`).
+    pub fn value_at(&self, time: f64) -> Option<f64> {
+        let idx = self.points.partition_point(|&(t, _)| t <= time);
+        if idx == 0 {
+            None
+        } else {
+            Some(self.points[idx - 1].1)
+        }
+    }
+
+    /// Integral of the series over its time range (trapezoidal), e.g. total
+    /// byte-seconds of queue backlog.
+    pub fn integral(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let (t0, v0) = w[0];
+                let (t1, v1) = w[1];
+                (t1 - t0) * (v0 + v1) / 2.0
+            })
+            .sum()
+    }
+
+    /// Fraction of samples whose value is at or above `threshold`.
+    pub fn fraction_at_or_above(&self, threshold: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let n = self.points.iter().filter(|&&(_, v)| v >= threshold).count();
+        n as f64 / self.points.len() as f64
+    }
+
+    /// Serialises as CSV rows `time,value` with a `# name` header comment.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\ntime,value\n", self.name);
+        for (t, v) in &self.points {
+            out.push_str(&format!("{t},{v}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> TimeSeries {
+        let mut s = TimeSeries::new("ramp");
+        for t in 0..=10 {
+            s.push(t as f64, (t * 2) as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = ramp();
+        assert_eq!(s.name(), "ramp");
+        assert_eq!(s.len(), 11);
+        assert_eq!(s.last_value(), Some(20.0));
+        assert_eq!(s.max_value(), Some(20.0));
+        assert_eq!(s.min_value(), Some(0.0));
+        assert_eq!(s.mean(), Some(10.0));
+        assert_eq!(s.time_range(), Some((0.0, 10.0)));
+    }
+
+    #[test]
+    fn empty_series_yields_none() {
+        let s = TimeSeries::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.last_value(), None);
+        assert_eq!(s.max_value(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.value_at(5.0), None);
+        assert_eq!(s.integral(), 0.0);
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let s = ramp();
+        assert_eq!(s.value_at(3.5), Some(6.0));
+        assert_eq!(s.value_at(0.0), Some(0.0));
+        assert_eq!(s.value_at(-1.0), None);
+        assert_eq!(s.value_at(99.0), Some(20.0));
+    }
+
+    #[test]
+    fn integral_of_ramp() {
+        // y = 2t on [0,10]: integral = t² = 100.
+        assert!((ramp().integral() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fraction_at_or_above_threshold() {
+        let s = ramp(); // values 0,2,..,20
+        assert_eq!(s.fraction_at_or_above(10.0), 6.0 / 11.0);
+        assert_eq!(s.fraction_at_or_above(100.0), 0.0);
+        assert_eq!(s.fraction_at_or_above(-1.0), 1.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = ramp().to_csv();
+        assert!(csv.starts_with("# ramp\ntime,value\n"));
+        assert_eq!(csv.lines().count(), 2 + 11);
+    }
+}

@@ -1,0 +1,152 @@
+//! Aligned text tables for experiment results.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple result table rendered as aligned monospace text or CSV —
+/// the format every "Table N" reproduction prints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows
+    /// are truncated to the header width.
+    pub fn push_row(&mut self, cells: &[String]) {
+        let mut row: Vec<String> = cells.iter().take(self.headers.len()).cloned().collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Convenience for building a row from displayable values.
+    pub fn push_display_row(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.push_row(&cells);
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as aligned text with a title line and a rule under the
+    /// header.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:w$}", h, w = widths[i]))
+            .collect();
+        out.push_str(&header.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (title as a `#` comment).
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("# {}\n", self.title);
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Results", &["game", "servers", "peak queue"]);
+        t.push_row(&["bzflag".into(), "4".into(), "123.4".into()]);
+        t.push_row(&["quake2".into(), "3".into(), "99.9".into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_columns() {
+        let text = sample().render();
+        assert!(text.contains("## Results"));
+        let lines: Vec<&str> = text.lines().collect();
+        // header + rule + 2 rows + title line
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("game  "));
+        assert!(lines[3].starts_with("bzflag"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(&["only".into()]);
+        assert_eq!(t.len(), 1);
+        let text = t.render();
+        assert!(text.contains("only"));
+    }
+
+    #[test]
+    fn long_rows_are_truncated() {
+        let mut t = Table::new("t", &["a"]);
+        t.push_row(&["x".into(), "dropped".into()]);
+        assert!(!t.render().contains("dropped"));
+    }
+
+    #[test]
+    fn csv_round_trip_structure() {
+        let csv = sample().to_csv();
+        assert!(csv.starts_with("# Results\n"));
+        assert!(csv.contains("game,servers,peak queue"));
+        assert!(csv.contains("bzflag,4,123.4"));
+    }
+
+    #[test]
+    fn display_row_builder() {
+        let mut t = Table::new("t", &["n", "x"]);
+        t.push_display_row(&[&7, &3.25]);
+        assert!(t.render().contains('7'));
+        assert!(t.render().contains("3.25"));
+    }
+}

@@ -1,0 +1,144 @@
+//! The in-process game client.
+//!
+//! Implements the client side of the paper's contract: clients talk only
+//! to game servers, obey `SwitchServer` instructions by re-joining the
+//! named server, and are otherwise oblivious to Matrix (§3.2.1).
+
+use crate::node::NodeMsg;
+use crate::router::Router;
+use matrix_core::{ClientId, ClientToGame, GameToClient};
+use matrix_geometry::{Point, ServerId};
+use tokio::sync::mpsc;
+
+/// Counters a client accumulates over its session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientCounters {
+    /// Action acknowledgements received.
+    pub acks: u64,
+    /// World updates received.
+    pub updates: u64,
+    /// Server switches performed.
+    pub switches: u64,
+}
+
+/// An in-process client connection.
+pub struct RtClient {
+    id: ClientId,
+    router: Router,
+    rx: mpsc::UnboundedReceiver<GameToClient>,
+    server: ServerId,
+    pos: Point,
+    state_bytes: u64,
+    counters: ClientCounters,
+}
+
+impl RtClient {
+    /// Connects (registers an inbox and sends the initial `Join`).
+    pub(crate) fn connect(router: Router, server: ServerId, pos: Point) -> RtClient {
+        let id = router.allocate_client_id();
+        let (tx, rx) = mpsc::unbounded_channel();
+        router.register_client(id, tx);
+        let client = RtClient {
+            id,
+            router,
+            rx,
+            server,
+            pos,
+            state_bytes: 1_024,
+            counters: ClientCounters::default(),
+        };
+        client.send(ClientToGame::Join { pos, state_bytes: client.state_bytes });
+        client
+    }
+
+    /// This client's globally unique id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// The server currently serving this client.
+    pub fn server(&self) -> ServerId {
+        self.server
+    }
+
+    /// Current position.
+    pub fn pos(&self) -> Point {
+        self.pos
+    }
+
+    /// Session counters.
+    pub fn counters(&self) -> ClientCounters {
+        self.counters
+    }
+
+    fn send(&self, msg: ClientToGame) {
+        self.router.send_node(self.server, NodeMsg::FromClient(self.id, msg));
+    }
+
+    /// Moves to `pos` and tells the server.
+    pub fn move_to(&mut self, pos: Point) {
+        self.pos = pos;
+        self.send(ClientToGame::Move { pos });
+    }
+
+    /// Performs an action at the current position.
+    pub fn action(&mut self, payload_bytes: usize) {
+        self.send(ClientToGame::Action { pos: self.pos, payload_bytes });
+    }
+
+    /// Leaves the game and releases the inbox.
+    pub fn leave(mut self) {
+        self.send(ClientToGame::Leave);
+        self.rx.close();
+        self.router.unregister_client(self.id);
+    }
+
+    /// Receives the next server message, transparently handling switches
+    /// (re-joining the new server, as the paper's clients do).
+    pub async fn recv(&mut self) -> Option<GameToClient> {
+        loop {
+            let msg = self.rx.recv().await?;
+            match &msg {
+                GameToClient::SwitchServer { to } => {
+                    self.counters.switches += 1;
+                    self.server = *to;
+                    self.send(ClientToGame::Join {
+                        pos: self.pos,
+                        state_bytes: self.state_bytes,
+                    });
+                    // The switch itself is invisible to callers.
+                    continue;
+                }
+                GameToClient::Ack { .. } => self.counters.acks += 1,
+                GameToClient::Update { .. } => self.counters.updates += 1,
+                GameToClient::Joined { server } => {
+                    self.server = *server;
+                }
+            }
+            return Some(msg);
+        }
+    }
+
+    /// Drains any immediately available messages without waiting.
+    pub fn drain(&mut self) -> Vec<GameToClient> {
+        let mut out = Vec::new();
+        while let Ok(msg) = self.rx.try_recv() {
+            match &msg {
+                GameToClient::SwitchServer { to } => {
+                    self.counters.switches += 1;
+                    self.server = *to;
+                    self.send(ClientToGame::Join {
+                        pos: self.pos,
+                        state_bytes: self.state_bytes,
+                    });
+                    continue;
+                }
+                GameToClient::Ack { .. } => self.counters.acks += 1,
+                GameToClient::Update { .. } => self.counters.updates += 1,
+                GameToClient::Joined { server } => self.server = *server,
+            }
+            out.push(msg);
+        }
+        out
+    }
+}

@@ -1,0 +1,164 @@
+//! Cluster assembly: coordinator task, pool task, node fleet, clients.
+
+use crate::client::RtClient;
+use crate::node::{spawn_node, NodeHandle, NodeMsg, NodeSnapshot};
+use crate::router::Router;
+use matrix_core::{
+    CoordAction, CoordMsg, Coordinator, CoordinatorConfig, GameServerConfig, MatrixConfig,
+    PoolMsg, ResourcePool,
+};
+use matrix_geometry::{Point, Rect, ServerId};
+use tokio::sync::mpsc;
+
+/// Configuration of an in-process Matrix cluster.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// The game world.
+    pub world: Rect,
+    /// Radius of visibility.
+    pub radius: f64,
+    /// Matrix-server behaviour.
+    pub matrix: MatrixConfig,
+    /// Game-server behaviour.
+    pub game: GameServerConfig,
+    /// Coordinator behaviour.
+    pub coordinator: CoordinatorConfig,
+    /// Number of spare servers in the pool.
+    pub pool_size: u32,
+}
+
+impl Default for RtConfig {
+    fn default() -> Self {
+        RtConfig {
+            world: Rect::from_coords(0.0, 0.0, 800.0, 800.0),
+            radius: 100.0,
+            matrix: MatrixConfig::default(),
+            game: GameServerConfig::default(),
+            coordinator: CoordinatorConfig::default(),
+            pool_size: 8,
+        }
+    }
+}
+
+/// A running in-process Matrix cluster.
+pub struct RtCluster {
+    router: Router,
+    bootstrap: NodeHandle,
+    nodes: Vec<NodeHandle>,
+}
+
+impl RtCluster {
+    /// Starts coordinator, pool, the bootstrap node and `pool_size` spare
+    /// nodes, and registers the game world.
+    pub async fn start(cfg: RtConfig) -> RtCluster {
+        let router = Router::new();
+
+        // Coordinator task.
+        let (coord_tx, coord_rx) = mpsc::unbounded_channel();
+        router.register_coordinator(coord_tx);
+        tokio::spawn(run_coordinator(cfg.coordinator, router.clone(), coord_rx));
+
+        // Pool task.
+        let (pool_tx, pool_rx) = mpsc::unbounded_channel();
+        router.register_pool(pool_tx);
+        let spares: Vec<ServerId> = (2..2 + cfg.pool_size).map(ServerId).collect();
+        tokio::spawn(run_pool(ResourcePool::new(spares.clone()), router.clone(), pool_rx));
+
+        // Bootstrap node plus idle spares (the pool's machines).
+        let bootstrap = spawn_node(ServerId(1), cfg.matrix, cfg.game, router.clone());
+        let mut nodes = vec![bootstrap.clone()];
+        for id in spares {
+            nodes.push(spawn_node(id, cfg.matrix, cfg.game, router.clone()));
+        }
+
+        // Developer bootstrap: register the game on the first node.
+        bootstrap.send(NodeMsg::Register { world: cfg.world, radius: cfg.radius });
+        // Give the registration round-trip a moment to install tables.
+        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+
+        RtCluster { router, bootstrap, nodes }
+    }
+
+    /// The cluster's address book (for gateways and clients).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// The bootstrap node's id.
+    pub fn bootstrap_id(&self) -> ServerId {
+        self.bootstrap.id
+    }
+
+    /// Connects a new client at `pos` (joined to the bootstrap server;
+    /// the middleware redirects as needed).
+    pub fn client(&self, pos: Point) -> RtClient {
+        RtClient::connect(self.router.clone(), self.bootstrap.id, pos)
+    }
+
+    /// Snapshots every node's state.
+    pub async fn snapshots(&self) -> Vec<NodeSnapshot> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            if let Some(s) = node.snapshot().await {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Number of nodes actively managing a partition.
+    pub async fn active_servers(&self) -> usize {
+        self.snapshots()
+            .await
+            .iter()
+            .filter(|s| s.lifecycle == matrix_core::Lifecycle::Active)
+            .count()
+    }
+
+    /// Stops every node task.
+    pub async fn shutdown(self) {
+        for node in &self.nodes {
+            node.send(NodeMsg::Shutdown);
+        }
+    }
+}
+
+async fn run_coordinator(
+    cfg: CoordinatorConfig,
+    router: Router,
+    mut rx: mpsc::UnboundedReceiver<CoordMsg>,
+) {
+    let mut coordinator = Coordinator::new(cfg);
+    let mut sweep = tokio::time::interval(std::time::Duration::from_secs(1));
+    loop {
+        tokio::select! {
+            maybe = rx.recv() => {
+                let Some(msg) = maybe else { break };
+                let actions = coordinator.handle(router.now(), msg);
+                deliver(&router, actions);
+            }
+            _ = sweep.tick() => {
+                let actions = coordinator.check_liveness(router.now());
+                deliver(&router, actions);
+            }
+        }
+    }
+}
+
+fn deliver(router: &Router, actions: Vec<CoordAction>) {
+    for CoordAction::Send(to, reply) in actions {
+        router.send_node(to, NodeMsg::Coord(reply));
+    }
+}
+
+async fn run_pool(
+    mut pool: ResourcePool,
+    router: Router,
+    mut rx: mpsc::UnboundedReceiver<(ServerId, PoolMsg)>,
+) {
+    while let Some((from, msg)) = rx.recv().await {
+        if let Some(reply) = pool.handle(msg) {
+            router.send_node(from, NodeMsg::Pool(reply));
+        }
+    }
+}

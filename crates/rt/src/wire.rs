@@ -1,0 +1,165 @@
+//! TCP gateway: newline-delimited JSON framing for remote game clients.
+//!
+//! Demonstrates the middleware across a real socket: remote clients speak
+//! [`ClientToGame`]/[`GameToClient`] as one JSON object per line; the
+//! gateway bridges each connection onto the in-process cluster, keeping
+//! the client's current server in sync with `SwitchServer` instructions it
+//! relays (so the remote client stays oblivious to topology, §3.2.1).
+
+use crate::node::NodeMsg;
+use crate::router::Router;
+use matrix_core::{ClientToGame, GameToClient};
+use matrix_geometry::ServerId;
+use tokio::io::{AsyncBufReadExt, AsyncWriteExt, BufReader};
+use tokio::net::{TcpListener, TcpStream, ToSocketAddrs};
+use tokio::sync::mpsc;
+
+/// Errors from the TCP layer.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A frame was not valid JSON for the expected message type.
+    BadFrame(serde_json::Error),
+    /// The peer closed the connection.
+    Closed,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::BadFrame(e) => write!(f, "malformed frame: {e}"),
+            WireError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for WireError {
+    fn from(e: serde_json::Error) -> Self {
+        WireError::BadFrame(e)
+    }
+}
+
+/// Binds a TCP gateway in front of a running cluster. Returns the local
+/// address; the accept loop runs until the listener task is dropped.
+///
+/// # Errors
+///
+/// Returns any bind error from the operating system.
+pub async fn spawn_gateway(
+    addr: impl ToSocketAddrs,
+    router: Router,
+    entry: ServerId,
+) -> Result<std::net::SocketAddr, WireError> {
+    let listener = TcpListener::bind(addr).await?;
+    let local = listener.local_addr()?;
+    tokio::spawn(async move {
+        loop {
+            let Ok((stream, _)) = listener.accept().await else {
+                break;
+            };
+            tokio::spawn(serve_connection(stream, router.clone(), entry));
+        }
+    });
+    Ok(local)
+}
+
+async fn serve_connection(stream: TcpStream, router: Router, entry: ServerId) {
+    let client_id = router.allocate_client_id();
+    let (inbox_tx, mut inbox_rx) = mpsc::unbounded_channel::<GameToClient>();
+    router.register_client(client_id, inbox_tx);
+
+    let (read_half, mut write_half) = stream.into_split();
+    let mut lines = BufReader::new(read_half).lines();
+    // The gateway tracks which server currently owns this client so
+    // uploads land at the right node.
+    let mut current = entry;
+
+    loop {
+        tokio::select! {
+            line = lines.next_line() => {
+                match line {
+                    Ok(Some(text)) => {
+                        match serde_json::from_str::<ClientToGame>(&text) {
+                            Ok(msg) => router.send_node(current, NodeMsg::FromClient(client_id, msg)),
+                            Err(_) => break, // corrupt frame: drop the session
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            msg = inbox_rx.recv() => {
+                let Some(msg) = msg else { break };
+                if let GameToClient::SwitchServer { to } = &msg {
+                    current = *to;
+                    // Transparent re-join on the client's behalf; the remote
+                    // end still sees the SwitchServer for observability.
+                    router.send_node(
+                        current,
+                        NodeMsg::FromClient(
+                            client_id,
+                            ClientToGame::Join { pos: matrix_geometry::Point::ORIGIN, state_bytes: 0 },
+                        ),
+                    );
+                }
+                let Ok(mut framed) = serde_json::to_string(&msg) else { break };
+                framed.push('\n');
+                if write_half.write_all(framed.as_bytes()).await.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    router.unregister_client(client_id);
+}
+
+/// A remote TCP game client speaking the JSON-lines protocol.
+pub struct TcpGameClient {
+    reader: tokio::io::Lines<BufReader<tokio::net::tcp::OwnedReadHalf>>,
+    writer: tokio::net::tcp::OwnedWriteHalf,
+}
+
+impl TcpGameClient {
+    /// Connects to a gateway.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection errors from the operating system.
+    pub async fn connect(addr: impl ToSocketAddrs) -> Result<TcpGameClient, WireError> {
+        let stream = TcpStream::connect(addr).await?;
+        let (read_half, write_half) = stream.into_split();
+        Ok(TcpGameClient { reader: BufReader::new(read_half).lines(), writer: write_half })
+    }
+
+    /// Sends one client message.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket errors; serialisation of these types cannot fail.
+    pub async fn send(&mut self, msg: &ClientToGame) -> Result<(), WireError> {
+        let mut framed = serde_json::to_string(msg)?;
+        framed.push('\n');
+        self.writer.write_all(framed.as_bytes()).await?;
+        Ok(())
+    }
+
+    /// Receives the next server message.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Closed`] when the server hangs up, or socket/frame
+    /// errors.
+    pub async fn recv(&mut self) -> Result<GameToClient, WireError> {
+        let line = self.reader.next_line().await?.ok_or(WireError::Closed)?;
+        Ok(serde_json::from_str(&line)?)
+    }
+}

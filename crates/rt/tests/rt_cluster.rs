@@ -1,0 +1,170 @@
+//! End-to-end tests of the tokio runtime: the same middleware protocol
+//! exercised over real async tasks, channels and sockets.
+
+use matrix_core::{ClientToGame, GameToClient, Lifecycle, MatrixConfig};
+use matrix_geometry::Point;
+use matrix_rt::{wire, RtCluster, RtConfig};
+use matrix_sim::SimDuration;
+use std::time::Duration;
+
+fn fast_config() -> RtConfig {
+    let mut cfg = RtConfig {
+        matrix: MatrixConfig {
+            overload_clients: 10,
+            underload_clients: 4,
+            overload_streak: 2,
+            underload_streak: 2,
+            cooldown: SimDuration::from_millis(200),
+            ..MatrixConfig::default()
+        },
+        ..RtConfig::default()
+    };
+    cfg.game.tick = SimDuration::from_millis(20);
+    cfg.game.report_every_ticks = 2;
+    cfg
+}
+
+#[tokio::test]
+async fn join_is_acknowledged() {
+    let cluster = RtCluster::start(RtConfig::default()).await;
+    let mut client = cluster.client(Point::new(100.0, 100.0));
+    let msg = tokio::time::timeout(Duration::from_secs(2), client.recv())
+        .await
+        .expect("join must be answered")
+        .expect("channel open");
+    assert!(matches!(msg, GameToClient::Joined { .. }), "{msg:?}");
+    cluster.shutdown().await;
+}
+
+#[tokio::test]
+async fn action_is_acked() {
+    let cluster = RtCluster::start(RtConfig::default()).await;
+    let mut client = cluster.client(Point::new(100.0, 100.0));
+    let _joined = tokio::time::timeout(Duration::from_secs(2), client.recv()).await.unwrap();
+    client.action(64);
+    let msg = tokio::time::timeout(Duration::from_secs(2), client.recv())
+        .await
+        .expect("ack must arrive")
+        .expect("channel open");
+    assert!(matches!(msg, GameToClient::Ack { .. }), "{msg:?}");
+    assert_eq!(client.counters().acks, 1);
+    cluster.shutdown().await;
+}
+
+#[tokio::test]
+async fn nearby_clients_see_each_other() {
+    let cluster = RtCluster::start(RtConfig::default()).await;
+    let mut alice = cluster.client(Point::new(100.0, 100.0));
+    let mut bob = cluster.client(Point::new(120.0, 100.0));
+    let _ = tokio::time::timeout(Duration::from_secs(2), alice.recv()).await.unwrap();
+    let _ = tokio::time::timeout(Duration::from_secs(2), bob.recv()).await.unwrap();
+
+    alice.action(64);
+    // Bob is within the 100-unit radius: he must receive an update.
+    let msg = tokio::time::timeout(Duration::from_secs(2), bob.recv())
+        .await
+        .expect("update must reach nearby client")
+        .expect("channel open");
+    assert!(matches!(msg, GameToClient::Update { .. }), "{msg:?}");
+    cluster.shutdown().await;
+}
+
+#[tokio::test]
+async fn distant_clients_are_not_updated() {
+    let cluster = RtCluster::start(RtConfig::default()).await;
+    let mut alice = cluster.client(Point::new(100.0, 100.0));
+    let mut bob = cluster.client(Point::new(700.0, 700.0));
+    let _ = tokio::time::timeout(Duration::from_secs(2), alice.recv()).await.unwrap();
+    let _ = tokio::time::timeout(Duration::from_secs(2), bob.recv()).await.unwrap();
+
+    alice.action(64);
+    tokio::time::sleep(Duration::from_millis(200)).await;
+    let extra = bob.drain();
+    assert!(
+        !extra.iter().any(|m| matches!(m, GameToClient::Update { .. })),
+        "700 units away is outside the radius of visibility: {extra:?}"
+    );
+    cluster.shutdown().await;
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn overload_splits_the_cluster_live() {
+    let cluster = RtCluster::start(fast_config()).await;
+    assert_eq!(cluster.active_servers().await, 1);
+
+    // 30 clients >> the 10-client overload threshold.
+    let mut clients = Vec::new();
+    for i in 0..30 {
+        let x = 50.0 + (i as f64 * 23.0) % 700.0;
+        let y = 50.0 + (i as f64 * 37.0) % 700.0;
+        clients.push(cluster.client(Point::new(x, y)));
+    }
+    // Let load reports, the pool round-trip and the split protocol run.
+    let mut active = 1;
+    for _ in 0..50 {
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        active = cluster.active_servers().await;
+        if active >= 2 {
+            break;
+        }
+    }
+    assert!(active >= 2, "the overloaded server must split, got {active}");
+
+    // Every client must still be able to play (possibly after a switch).
+    for client in clients.iter_mut() {
+        client.drain();
+        client.action(32);
+    }
+    tokio::time::sleep(Duration::from_millis(300)).await;
+    let mut acked = 0;
+    for c in clients.iter_mut() {
+        c.drain();
+        if c.counters().acks >= 1 {
+            acked += 1;
+        }
+    }
+    assert!(acked >= 25, "most clients keep playing across the split: {acked}/30");
+    cluster.shutdown().await;
+}
+
+#[tokio::test]
+async fn snapshots_expose_topology() {
+    let cluster = RtCluster::start(RtConfig::default()).await;
+    let snaps = cluster.snapshots().await;
+    let active: Vec<_> = snaps.iter().filter(|s| s.lifecycle == Lifecycle::Active).collect();
+    assert_eq!(active.len(), 1);
+    assert!(active[0].range.is_some());
+    let idle = snaps.iter().filter(|s| s.lifecycle == Lifecycle::Idle).count();
+    assert_eq!(idle, RtConfig::default().pool_size as usize);
+    cluster.shutdown().await;
+}
+
+#[tokio::test]
+async fn tcp_gateway_round_trip() {
+    let cluster = RtCluster::start(RtConfig::default()).await;
+    let addr = wire::spawn_gateway("127.0.0.1:0", cluster.router().clone(), cluster.bootstrap_id())
+        .await
+        .expect("bind gateway");
+
+    let mut remote = wire::TcpGameClient::connect(addr).await.expect("connect");
+    remote
+        .send(&ClientToGame::Join { pos: Point::new(50.0, 50.0), state_bytes: 64 })
+        .await
+        .expect("send join");
+    let msg = tokio::time::timeout(Duration::from_secs(2), remote.recv())
+        .await
+        .expect("join reply within deadline")
+        .expect("valid frame");
+    assert!(matches!(msg, GameToClient::Joined { .. }), "{msg:?}");
+
+    remote
+        .send(&ClientToGame::Action { pos: Point::new(50.0, 50.0), payload_bytes: 32 })
+        .await
+        .expect("send action");
+    let msg = tokio::time::timeout(Duration::from_secs(2), remote.recv())
+        .await
+        .expect("ack within deadline")
+        .expect("valid frame");
+    assert!(matches!(msg, GameToClient::Ack { .. }), "{msg:?}");
+    cluster.shutdown().await;
+}

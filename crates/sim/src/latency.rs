@@ -1,0 +1,187 @@
+//! Network latency, loss and bandwidth models for simulated links.
+
+use crate::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Distribution of one-way message latency on a link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Fixed latency.
+    Constant(SimDuration),
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Lower bound.
+        min: SimDuration,
+        /// Upper bound.
+        max: SimDuration,
+    },
+    /// Normal with the given mean and standard deviation (truncated at 0).
+    Normal {
+        /// Mean latency.
+        mean: SimDuration,
+        /// Standard deviation.
+        std_dev: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// Convenience: a constant latency in milliseconds.
+    pub const fn constant_millis(ms: u64) -> LatencyModel {
+        LatencyModel::Constant(SimDuration::from_millis(ms))
+    }
+
+    /// Draws one latency sample.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                let us = rng.uniform_u64(min.as_micros(), max.as_micros().max(min.as_micros()) + 1);
+                SimDuration::from_micros(us)
+            }
+            LatencyModel::Normal { mean, std_dev } => {
+                let us = rng.normal(mean.as_micros() as f64, std_dev.as_micros() as f64);
+                SimDuration::from_micros(us.round() as u64)
+            }
+        }
+    }
+
+    /// The distribution's mean, used by analytical models.
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                SimDuration::from_micros((min.as_micros() + max.as_micros()) / 2)
+            }
+            LatencyModel::Normal { mean, .. } => mean,
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    /// 1 ms — same-rack datacenter link, matching the paper's deployment of
+    /// game server and Matrix server near each other.
+    fn default() -> Self {
+        LatencyModel::constant_millis(1)
+    }
+}
+
+/// A simulated link: latency distribution, random loss, and optional
+/// serialisation delay from finite bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Per-message propagation latency.
+    pub latency: LatencyModel,
+    /// Probability that a message is silently dropped.
+    pub loss_probability: f64,
+    /// Link capacity in bytes per second; `None` means unconstrained.
+    pub bandwidth_bytes_per_sec: Option<f64>,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            latency: LatencyModel::default(),
+            loss_probability: 0.0,
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+}
+
+impl LinkModel {
+    /// A lossless constant-latency link.
+    pub const fn constant_millis(ms: u64) -> LinkModel {
+        LinkModel {
+            latency: LatencyModel::constant_millis(ms),
+            loss_probability: 0.0,
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+
+    /// Samples the delivery delay for a message of `bytes`, or `None` if
+    /// the message is lost.
+    pub fn delay_for(&self, bytes: usize, rng: &mut SimRng) -> Option<SimDuration> {
+        if rng.chance(self.loss_probability) {
+            return None;
+        }
+        let mut d = self.latency.sample(rng);
+        if let Some(bw) = self.bandwidth_bytes_per_sec {
+            if bw > 0.0 {
+                d += SimDuration::from_secs_f64(bytes as f64 / bw);
+            }
+        }
+        Some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let m = LatencyModel::constant_millis(5);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_millis(5));
+        }
+        assert_eq!(m.mean(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_millis(2),
+            max: SimDuration::from_millis(8),
+        };
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= SimDuration::from_millis(2) && d <= SimDuration::from_millis(8));
+        }
+        assert_eq!(m.mean(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn normal_is_non_negative() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let m = LatencyModel::Normal {
+            mean: SimDuration::from_micros(100),
+            std_dev: SimDuration::from_micros(500),
+        };
+        for _ in 0..1000 {
+            let _ = m.sample(&mut rng); // must not panic / go negative
+        }
+    }
+
+    #[test]
+    fn lossless_link_always_delivers() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let link = LinkModel::constant_millis(1);
+        for _ in 0..100 {
+            assert!(link.delay_for(100, &mut rng).is_some());
+        }
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_p() {
+        let mut rng = SimRng::seed_from_u64(5);
+        let link = LinkModel { loss_probability: 0.25, ..LinkModel::constant_millis(1) };
+        let n = 10_000;
+        let lost = (0..n).filter(|_| link.delay_for(10, &mut rng).is_none()).count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "loss rate {rate}");
+    }
+
+    #[test]
+    fn bandwidth_adds_serialisation_delay() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let link = LinkModel {
+            latency: LatencyModel::constant_millis(1),
+            loss_probability: 0.0,
+            bandwidth_bytes_per_sec: Some(1_000_000.0), // 1 MB/s
+        };
+        // 1 MB payload at 1 MB/s: one extra second on the wire.
+        let d = link.delay_for(1_000_000, &mut rng).unwrap();
+        assert_eq!(d, SimDuration::from_millis(1) + SimDuration::from_secs(1));
+    }
+}

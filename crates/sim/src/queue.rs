@@ -1,0 +1,174 @@
+//! The deterministic event queue at the heart of the simulator.
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A future event: its due time, a tie-breaking sequence number, and the
+/// payload. Ordering is `(time, seq)` so two events scheduled for the same
+/// instant fire in scheduling order — the property that makes runs
+/// reproducible.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A priority queue of timestamped events with FIFO tie-breaking.
+///
+/// The driver loop owns the clock: it pops events in time order and is
+/// expected never to schedule into the past (doing so is tolerated — the
+/// event fires "now" — but indicates a modelling bug, so [`EventQueue::pop`]
+/// never reorders already-popped time).
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, popped: 0 }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Removes and returns the earliest event, with its due time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(s) = self.heap.pop()?;
+        self.popped += 1;
+        Some((s.at, s.event))
+    }
+
+    /// The due time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Number of events still pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events delivered so far (throughput metric).
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), "c");
+        q.schedule(SimTime::from_millis(10), "a");
+        q.schedule(SimTime::from_millis(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), "later");
+        q.schedule(SimTime::from_secs(1), "soon");
+        assert_eq!(q.pop().unwrap().1, "soon");
+        q.schedule(SimTime::from_secs(2), "inserted");
+        assert_eq!(q.pop().unwrap().1, "inserted");
+        assert_eq!(q.pop().unwrap().1, "later");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.len(), 1);
+        q.pop().unwrap();
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn delivered_counts_pops() {
+        let mut q = EventQueue::new();
+        for i in 0..5u64 {
+            q.schedule(SimTime::from_millis(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.delivered(), 5);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        // Determinism witness: two identical schedules drain identically.
+        let build = || {
+            let mut q = EventQueue::new();
+            for i in 0..50u64 {
+                q.schedule(SimTime::from_micros(i % 7), i);
+            }
+            std::iter::from_fn(move || q.pop()).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn supports_relative_scheduling_via_add() {
+        let mut q = EventQueue::new();
+        let now = SimTime::from_secs(10);
+        q.schedule(now + SimDuration::from_millis(1), "x");
+        assert_eq!(q.pop().unwrap().0, SimTime::from_micros(10_001_000));
+    }
+}

@@ -1,0 +1,190 @@
+//! Fluid model of a server's receive queue.
+//!
+//! Figure 2b of the paper plots each game server's *receive queue length*
+//! while a hotspot forms and dissolves. We model the queue as a fluid:
+//! work arrives in discrete lumps (packets), drains at the server's service
+//! rate, and the backlog at any instant is the arrivals minus the drained
+//! amount. A server whose arrival rate exceeds its service rate grows its
+//! queue linearly — exactly the runaway the paper's splits relieve.
+
+use crate::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A work-conserving service queue with a fixed drain rate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceQueue {
+    rate_per_sec: f64,
+    backlog: f64,
+    last: SimTime,
+    total_arrived: f64,
+    total_dropped: f64,
+    capacity: Option<f64>,
+}
+
+impl ServiceQueue {
+    /// Creates a queue draining `rate_per_sec` units of work per second,
+    /// with unlimited buffering.
+    pub fn new(rate_per_sec: f64) -> ServiceQueue {
+        ServiceQueue {
+            rate_per_sec,
+            backlog: 0.0,
+            last: SimTime::ZERO,
+            total_arrived: 0.0,
+            total_dropped: 0.0,
+            capacity: None,
+        }
+    }
+
+    /// Bounds the queue at `capacity` units; arrivals beyond it are dropped
+    /// (and counted), modelling a full kernel receive buffer.
+    pub fn with_capacity(mut self, capacity: f64) -> ServiceQueue {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// The configured drain rate.
+    pub fn rate_per_sec(&self) -> f64 {
+        self.rate_per_sec
+    }
+
+    /// Adds `work` units at time `now`. Returns the amount actually
+    /// enqueued (less than `work` only when a capacity bound drops the
+    /// excess).
+    pub fn arrive(&mut self, now: SimTime, work: f64) -> f64 {
+        self.drain_to(now);
+        self.total_arrived += work;
+        let accepted = match self.capacity {
+            Some(cap) => {
+                let room = (cap - self.backlog).max(0.0);
+                let acc = work.min(room);
+                self.total_dropped += work - acc;
+                acc
+            }
+            None => work,
+        };
+        self.backlog += accepted;
+        accepted
+    }
+
+    /// Queue length (units of pending work) at `now`.
+    pub fn backlog_at(&mut self, now: SimTime) -> f64 {
+        self.drain_to(now);
+        self.backlog
+    }
+
+    /// Time until the current backlog would fully drain, assuming no new
+    /// arrivals. The queueing component of response latency.
+    pub fn drain_time(&mut self, now: SimTime) -> SimDuration {
+        let b = self.backlog_at(now);
+        if self.rate_per_sec <= 0.0 {
+            // A dead server never drains; report an hour as "forever".
+            return SimDuration::from_secs(3600);
+        }
+        SimDuration::from_secs_f64(b / self.rate_per_sec)
+    }
+
+    /// Total work ever offered.
+    pub fn total_arrived(&self) -> f64 {
+        self.total_arrived
+    }
+
+    /// Work dropped at the capacity bound.
+    pub fn total_dropped(&self) -> f64 {
+        self.total_dropped
+    }
+
+    /// Resets the backlog (server restarted / state migrated away).
+    pub fn clear(&mut self, now: SimTime) {
+        self.drain_to(now);
+        self.backlog = 0.0;
+    }
+
+    /// Scales the backlog by `factor` in `[0, 1]` — used when a fraction
+    /// of the connections the queued work belongs to is redirected away
+    /// (their buffered packets go with them or are discarded).
+    pub fn scale_backlog(&mut self, now: SimTime, factor: f64) {
+        self.drain_to(now);
+        self.backlog *= factor.clamp(0.0, 1.0);
+    }
+
+    fn drain_to(&mut self, now: SimTime) {
+        if now <= self.last {
+            return;
+        }
+        let dt = (now - self.last).as_secs_f64();
+        self.backlog = (self.backlog - dt * self.rate_per_sec).max(0.0);
+        self.last = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_at_rate() {
+        let mut q = ServiceQueue::new(100.0);
+        q.arrive(SimTime::ZERO, 100.0);
+        assert_eq!(q.backlog_at(SimTime::from_millis(500)), 50.0);
+        assert_eq!(q.backlog_at(SimTime::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn backlog_never_negative() {
+        let mut q = ServiceQueue::new(1000.0);
+        q.arrive(SimTime::ZERO, 10.0);
+        assert_eq!(q.backlog_at(SimTime::from_secs(100)), 0.0);
+    }
+
+    #[test]
+    fn overload_grows_linearly() {
+        let mut q = ServiceQueue::new(10.0);
+        // 20 units/s arriving against 10/s service: +10/s backlog.
+        // 200 units offered over t=0..9, 100 drained by t=10.
+        for s in 0..10 {
+            q.arrive(SimTime::from_secs(s), 20.0);
+        }
+        let b = q.backlog_at(SimTime::from_secs(10));
+        assert!((b - 100.0).abs() < 1e-9, "backlog {b}");
+    }
+
+    #[test]
+    fn capacity_drops_excess() {
+        let mut q = ServiceQueue::new(1.0).with_capacity(10.0);
+        let accepted = q.arrive(SimTime::ZERO, 25.0);
+        assert_eq!(accepted, 10.0);
+        assert_eq!(q.total_dropped(), 15.0);
+        assert_eq!(q.total_arrived(), 25.0);
+    }
+
+    #[test]
+    fn drain_time_reflects_backlog() {
+        let mut q = ServiceQueue::new(50.0);
+        q.arrive(SimTime::ZERO, 100.0);
+        assert_eq!(q.drain_time(SimTime::ZERO), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn zero_rate_reports_forever() {
+        let mut q = ServiceQueue::new(0.0);
+        q.arrive(SimTime::ZERO, 1.0);
+        assert_eq!(q.drain_time(SimTime::ZERO), SimDuration::from_secs(3600));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = ServiceQueue::new(1.0);
+        q.arrive(SimTime::ZERO, 100.0);
+        q.clear(SimTime::from_secs(1));
+        assert_eq!(q.backlog_at(SimTime::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn time_going_backwards_is_ignored() {
+        let mut q = ServiceQueue::new(10.0);
+        q.arrive(SimTime::from_secs(5), 100.0);
+        // Queries at earlier instants do not rewind the drain.
+        assert_eq!(q.backlog_at(SimTime::from_secs(1)), 100.0);
+        assert_eq!(q.backlog_at(SimTime::from_secs(6)), 90.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Live sharding demo on the tokio runtime: flood a BzFlag-style cluster
+//! with clients and watch Matrix split the world in real time.
+//!
+//! ```sh
+//! cargo run --example bzflag_shard
+//! ```
+
+use matrix_middleware::core::MatrixConfig;
+use matrix_middleware::geometry::Point;
+use matrix_middleware::rt::{RtCluster, RtConfig};
+use matrix_middleware::sim::SimDuration;
+use std::time::Duration;
+
+#[tokio::main]
+async fn main() {
+    // Scaled-down thresholds so the demo splits with dozens (not hundreds)
+    // of clients and finishes in seconds.
+    let mut cfg = RtConfig {
+        matrix: MatrixConfig {
+            overload_clients: 12,
+            underload_clients: 5,
+            overload_streak: 2,
+            underload_streak: 3,
+            cooldown: SimDuration::from_millis(300),
+            ..MatrixConfig::default()
+        },
+        ..RtConfig::default()
+    };
+    cfg.game.tick = SimDuration::from_millis(20);
+    cfg.game.report_every_ticks = 3;
+
+    let cluster = RtCluster::start(cfg).await;
+    println!("t=0.0s  1 server up; streaming 40 tanks onto the field...");
+
+    let mut tanks = Vec::new();
+    for i in 0..40u32 {
+        let x = 40.0 + (i as f64 * 97.0) % 720.0;
+        let y = 40.0 + (i as f64 * 61.0) % 720.0;
+        tanks.push(cluster.client(Point::new(x, y)));
+        tokio::time::sleep(Duration::from_millis(10)).await;
+    }
+
+    let started = std::time::Instant::now();
+    for _ in 0..30 {
+        tokio::time::sleep(Duration::from_millis(200)).await;
+        // Tanks drive and shoot.
+        for (i, tank) in tanks.iter_mut().enumerate() {
+            tank.drain();
+            let t = started.elapsed().as_secs_f64();
+            let x = 400.0 + 300.0 * (t * 0.2 + i as f64).sin();
+            let y = 400.0 + 300.0 * (t * 0.3 + i as f64 * 0.7).cos();
+            tank.move_to(Point::new(x, y));
+            if i % 5 == 0 {
+                tank.action(48);
+            }
+        }
+        let snaps = cluster.snapshots().await;
+        let active: Vec<String> = snaps
+            .iter()
+            .filter(|s| s.lifecycle == matrix_middleware::core::Lifecycle::Active)
+            .map(|s| format!("{}:{}", s.id, s.clients))
+            .collect();
+        println!(
+            "t={:>4.1}s  {} active servers  [{}]",
+            started.elapsed().as_secs_f64(),
+            active.len(),
+            active.join(" ")
+        );
+    }
+
+    let snaps = cluster.snapshots().await;
+    let total_switches: u64 = tanks.iter().map(|t| t.counters().switches).sum();
+    let routed: u64 = snaps.iter().map(|s| s.matrix_stats.peer_updates_out).sum();
+    println!("\nsummary: {total_switches} client switches, {routed} inter-server updates routed");
+    cluster.shutdown().await;
+}

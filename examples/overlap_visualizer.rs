@@ -1,0 +1,67 @@
+//! Figure 1a, regenerated: overlap regions between three Matrix servers.
+//!
+//! Renders the world partition and each point's consistency-set
+//! cardinality as an ASCII heat map: `.` interior points (no consistency
+//! needed), digits = number of peer servers that must be told about an
+//! event there.
+//!
+//! ```sh
+//! cargo run --example overlap_visualizer [radius]
+//! ```
+
+use matrix_middleware::geometry::{
+    build_overlap, Metric, PartitionMap, Point, Rect, ServerId, SplitStrategy,
+};
+
+fn main() {
+    let radius: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40.0);
+
+    // The paper's Figure-1a layout: three servers after two splits.
+    let world = Rect::from_coords(0.0, 0.0, 300.0, 300.0);
+    let mut map = PartitionMap::new(world, ServerId(1));
+    map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
+    map.split(ServerId(1), ServerId(3), &SplitStrategy::LongestAxis, &[]).unwrap();
+
+    println!("partitions (radius of visibility R = {radius}):");
+    for (server, rect) in map.iter() {
+        println!("  {server} owns {rect}");
+    }
+
+    let overlap = build_overlap(&map, radius, Metric::Euclidean);
+
+    // Heat map: consistency-set size at each sample point.
+    let cols = 72usize;
+    let rows = 36usize;
+    println!("\noverlap heat map ('.' = empty consistency set, digit = #peer servers):\n");
+    for row in 0..rows {
+        let mut line = String::with_capacity(cols);
+        for col in 0..cols {
+            let p = Point::new(
+                world.min().x + world.width() * (col as f64 + 0.5) / cols as f64,
+                world.max().y - world.height() * (row as f64 + 0.5) / rows as f64,
+            );
+            let owner = map.owner_of(p).expect("inside world");
+            let set = overlap.table_for(owner).expect("table").lookup(p);
+            let ch = match set.len() {
+                0 => '.',
+                n => char::from_digit(n as u32, 10).unwrap_or('+'),
+            };
+            line.push(ch);
+        }
+        println!("  {line}");
+    }
+
+    println!("\nper-server overlap regions:");
+    for (server, table) in overlap.iter() {
+        println!(
+            "  {server}: {} regions, {:.0} area ({:.1}% of partition)",
+            table.regions().len(),
+            table.overlap_area(),
+            table.overlap_fraction() * 100.0
+        );
+        for region in table.regions() {
+            let peers: Vec<String> = region.set.iter().map(|s| s.to_string()).collect();
+            println!("      {} -> must inform {}", region.rect, peers.join(", "));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: bring up an in-process Matrix cluster, connect two
+//! players, and watch an action propagate between them.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use matrix_middleware::geometry::Point;
+use matrix_middleware::rt::{RtCluster, RtConfig};
+use std::time::Duration;
+
+#[tokio::main]
+async fn main() {
+    // One bootstrap server owning an 800x800 world with a 100-unit radius
+    // of visibility, plus a pool of spare servers Matrix can call on.
+    let cluster = RtCluster::start(RtConfig::default()).await;
+    println!("cluster up; bootstrap server = {}", cluster.bootstrap_id());
+
+    // Two tanks near each other on the battlefield.
+    let mut alice = cluster.client(Point::new(100.0, 100.0));
+    let mut bob = cluster.client(Point::new(130.0, 100.0));
+    println!("alice joined as {}", alice.id());
+    println!("bob   joined as {}", bob.id());
+
+    // Wait for the joins to be acknowledged.
+    let _ = tokio::time::timeout(Duration::from_secs(1), alice.recv()).await;
+    let _ = tokio::time::timeout(Duration::from_secs(1), bob.recv()).await;
+
+    // Alice fires: the game server acks her and fans the event out to
+    // everyone inside the radius of visibility — including Bob.
+    alice.action(64);
+    let ack = tokio::time::timeout(Duration::from_secs(1), alice.recv()).await;
+    println!("alice sees: {ack:?}");
+    let seen = tokio::time::timeout(Duration::from_secs(1), bob.recv()).await;
+    println!("bob   sees: {seen:?}");
+
+    // Movement works the same way; Matrix routes by the packet's spatial
+    // tag, so neither client ever learns how many servers exist.
+    alice.move_to(Point::new(110.0, 105.0));
+    bob.move_to(Point::new(128.0, 102.0));
+    tokio::time::sleep(Duration::from_millis(100)).await;
+    println!("alice counters: {:?}", alice.counters());
+    println!("bob   counters: {:?}", bob.counters());
+
+    let snaps = cluster.snapshots().await;
+    for s in snaps.iter().filter(|s| s.clients > 0) {
+        println!("server {} hosts {} clients over {:?}", s.id, s.clients, s.range);
+    }
+    cluster.shutdown().await;
+}

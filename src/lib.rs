@@ -1,0 +1,48 @@
+//! # matrix-middleware
+//!
+//! Adaptive middleware for distributed multiplayer games — a
+//! production-quality reproduction of *Balan, Ebling, Castro, Misra:
+//! "Matrix: Adaptive Middleware for Distributed Multiplayer Games"*
+//! (ACM/IFIP/USENIX Middleware 2005).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] — the middleware itself: spatially tagged routing, overlap
+//!   tables, split/reclaim adaptation, the coordinator and resource pool.
+//! * [`geometry`] — partitions, consistency sets (Equation 1), overlap
+//!   regions and split strategies.
+//! * [`sim`] / [`metrics`] — the deterministic simulation substrate and
+//!   result tooling used by the experiment harness.
+//! * [`games`] — BzFlag / Quake 2 / Daimonin workload emulations.
+//! * [`rt`] — the tokio runtime (in-process cluster + TCP gateway).
+//! * [`experiments`] — drivers that regenerate every table and figure of
+//!   the paper's evaluation.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use matrix_middleware::rt::{RtCluster, RtConfig};
+//! use matrix_middleware::geometry::Point;
+//!
+//! # async fn demo() {
+//! let cluster = RtCluster::start(RtConfig::default()).await;
+//! let mut player = cluster.client(Point::new(100.0, 100.0));
+//! player.action(64);
+//! println!("{:?}", player.recv().await);
+//! cluster.shutdown().await;
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `matrix-experiments` for the
+//! full evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use matrix_core as core;
+pub use matrix_experiments as experiments;
+pub use matrix_games as games;
+pub use matrix_geometry as geometry;
+pub use matrix_metrics as metrics;
+pub use matrix_rt as rt;
+pub use matrix_sim as sim;

@@ -1,0 +1,161 @@
+//! Property-based tests of the spatial substrate: the invariants that
+//! make localized consistency sound, probed over randomized partition
+//! topologies.
+
+use matrix_middleware::geometry::{
+    build_overlap, consistency_set, Metric, PartitionMap, Point, Rect, ServerId, SplitStrategy,
+};
+use proptest::prelude::*;
+
+/// A random split script: (victim index, strategy selector).
+fn split_script() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec((0u8..16, 0u8..3), 0..12)
+}
+
+fn strategy_of(sel: u8) -> SplitStrategy {
+    match sel % 3 {
+        0 => SplitStrategy::SplitToLeft,
+        1 => SplitStrategy::LongestAxis,
+        _ => SplitStrategy::LoadAwareMedian,
+    }
+}
+
+/// Builds a partition map by replaying a random split script.
+fn build_map(script: &[(u8, u8)]) -> PartitionMap {
+    let world = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+    let mut map = PartitionMap::new(world, ServerId(1));
+    let mut next = 2u32;
+    for (victim, sel) in script {
+        let servers = map.servers();
+        let target = servers[*victim as usize % servers.len()];
+        if map.split(target, ServerId(next), &strategy_of(*sel), &[]).is_ok() {
+            next += 1;
+        }
+    }
+    map
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splits never violate the partition invariants: disjoint interiors,
+    /// exact world coverage.
+    #[test]
+    fn splits_preserve_partition_invariants(script in split_script()) {
+        let map = build_map(&script);
+        prop_assert!(map.validate().is_ok(), "{:?}", map.validate());
+    }
+
+    /// Every interior point has exactly one owner.
+    #[test]
+    fn ownership_is_unique(script in split_script(), x in 0.0..1000.0, y in 0.0..1000.0) {
+        let map = build_map(&script);
+        let p = Point::new(x, y);
+        let holders = map.iter().filter(|(_, r)| r.contains(p)).count();
+        prop_assert_eq!(holders, 1);
+    }
+
+    /// The overlap table is conservative: it never misses a server whose
+    /// partition is strictly within the radius of the point (under any
+    /// metric). Missing one would lose consistency updates; extras only
+    /// cost bandwidth.
+    #[test]
+    fn overlap_lookup_is_conservative(
+        script in split_script(),
+        x in 0.0..1000.0,
+        y in 0.0..1000.0,
+        radius in 10.0..300.0,
+        metric_sel in 0u8..3,
+    ) {
+        let metric = match metric_sel {
+            0 => Metric::Euclidean,
+            1 => Metric::Manhattan,
+            _ => Metric::Chebyshev,
+        };
+        let map = build_map(&script);
+        let overlap = build_overlap(&map, radius, metric);
+        let p = Point::new(x, y);
+        let owner = map.owner_of(p).expect("interior point");
+        let looked = overlap.table_for(owner).expect("table").lookup(p);
+        for (server, rect) in map.iter() {
+            if server != owner && rect.distance_to(p, metric) < radius {
+                prop_assert!(
+                    looked.contains(&server),
+                    "{server} at distance {} < {radius} missing from {looked:?}",
+                    rect.distance_to(p, metric)
+                );
+            }
+        }
+    }
+
+    /// Under the Chebyshev metric the AABB construction is exact: the
+    /// table never includes a server whose partition is farther than the
+    /// radius (allowing the half-open cell boundary slack).
+    #[test]
+    fn chebyshev_lookup_is_tight(
+        script in split_script(),
+        x in 0.0..1000.0,
+        y in 0.0..1000.0,
+        radius in 10.0..300.0,
+    ) {
+        let map = build_map(&script);
+        let overlap = build_overlap(&map, radius, Metric::Chebyshev);
+        let p = Point::new(x, y);
+        let owner = map.owner_of(p).expect("interior point");
+        let looked = overlap.table_for(owner).expect("table").lookup(p);
+        for server in looked {
+            let rect = map.range_of(*server).expect("live server");
+            prop_assert!(
+                rect.distance_to(p, Metric::Chebyshev) <= radius,
+                "{server} included at distance {} > {radius}",
+                rect.distance_to(p, Metric::Chebyshev)
+            );
+        }
+    }
+
+    /// The table agrees with brute-force Equation 1 under Chebyshev for
+    /// cell-interior points (boundaries excluded by nudging the probe).
+    #[test]
+    fn chebyshev_matches_equation_1(
+        script in split_script(),
+        x in 0.0..999.0,
+        y in 0.0..999.0,
+        radius in 10.0..300.0,
+    ) {
+        // Nudge off likely cell boundaries (which sit on rational grid
+        // coordinates) by an irrational offset.
+        let p = Point::new(x + 0.382_217, y + 0.618_033);
+        let map = build_map(&script);
+        let overlap = build_overlap(&map, radius, Metric::Chebyshev);
+        let owner = map.owner_of(p).expect("interior point");
+        let looked = overlap.table_for(owner).expect("table").lookup(p).to_vec();
+        let exact = consistency_set(&map, p, owner, radius, Metric::Chebyshev);
+        prop_assert_eq!(looked, exact);
+    }
+
+    /// Reclaiming children in reverse creation order always collapses the
+    /// tree back to a single world-owning server.
+    #[test]
+    fn lifo_reclaim_collapses_to_world(n_splits in 0u32..10) {
+        let world = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let mut map = PartitionMap::new(world, ServerId(1));
+        // Chain splits: each new server splits from the previous one.
+        for i in 0..n_splits {
+            map.split(ServerId(i + 1), ServerId(i + 2), &SplitStrategy::SplitToLeft, &[]).unwrap();
+        }
+        for i in (0..n_splits).rev() {
+            map.reclaim(ServerId(i + 1), ServerId(i + 2)).unwrap();
+        }
+        prop_assert_eq!(map.len(), 1);
+        prop_assert_eq!(map.range_of(ServerId(1)), Some(world));
+    }
+
+    /// Overlap areas shrink monotonically with the radius.
+    #[test]
+    fn overlap_area_is_monotone_in_radius(script in split_script()) {
+        let map = build_map(&script);
+        let small = build_overlap(&map, 20.0, Metric::Euclidean).total_overlap_area();
+        let large = build_overlap(&map, 120.0, Metric::Euclidean).total_overlap_area();
+        prop_assert!(small <= large + 1e-9, "{small} > {large}");
+    }
+}

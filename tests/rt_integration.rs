@@ -1,0 +1,83 @@
+//! Facade-level tests of the tokio runtime: the public API a downstream
+//! game developer would program against.
+
+use matrix_middleware::core::{GameToClient, MatrixConfig};
+use matrix_middleware::geometry::Point;
+use matrix_middleware::rt::{RtCluster, RtConfig};
+use matrix_middleware::sim::SimDuration;
+use std::time::Duration;
+
+#[tokio::test]
+async fn facade_quickstart_flow() {
+    let cluster = RtCluster::start(RtConfig::default()).await;
+    let mut alice = cluster.client(Point::new(200.0, 200.0));
+    let mut bob = cluster.client(Point::new(220.0, 200.0));
+
+    let joined = tokio::time::timeout(Duration::from_secs(2), alice.recv()).await.unwrap();
+    assert!(matches!(joined, Some(GameToClient::Joined { .. })));
+    let _ = tokio::time::timeout(Duration::from_secs(2), bob.recv()).await.unwrap();
+
+    alice.move_to(Point::new(205.0, 200.0));
+    alice.action(32);
+    // Bob sees both the movement and the action.
+    let mut updates = 0;
+    for _ in 0..2 {
+        if let Ok(Some(GameToClient::Update { .. })) =
+            tokio::time::timeout(Duration::from_secs(2), bob.recv()).await
+        {
+            updates += 1;
+        }
+    }
+    assert!(updates >= 1, "bob must observe alice");
+    cluster.shutdown().await;
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn cluster_grows_and_shrinks_with_population() {
+    let mut cfg = RtConfig {
+        matrix: MatrixConfig {
+            overload_clients: 8,
+            underload_clients: 3,
+            overload_streak: 2,
+            underload_streak: 2,
+            cooldown: SimDuration::from_millis(200),
+            reclaim_headroom: 0.9,
+            ..MatrixConfig::default()
+        },
+        ..RtConfig::default()
+    };
+    cfg.game.tick = SimDuration::from_millis(20);
+    cfg.game.report_every_ticks = 2;
+    let cluster = RtCluster::start(cfg).await;
+
+    // Grow: 24 clients over an 8-client threshold.
+    let mut clients = Vec::new();
+    for i in 0..24 {
+        let x = 100.0 + (i as f64 * 31.0) % 600.0;
+        clients.push(cluster.client(Point::new(x, 400.0)));
+    }
+    let mut grew = 1;
+    for _ in 0..50 {
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        grew = cluster.active_servers().await;
+        if grew >= 2 {
+            break;
+        }
+    }
+    assert!(grew >= 2, "cluster must grow under load");
+
+    // Shrink: everyone leaves.
+    for client in clients.drain(..) {
+        client.leave();
+    }
+    let mut shrank = grew;
+    for _ in 0..100 {
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        shrank = cluster.active_servers().await;
+        if shrank < grew {
+            break;
+        }
+    }
+    assert!(shrank < grew || shrank == 1, "cluster must consolidate: {shrank} vs {grew}");
+    cluster.shutdown().await;
+}

@@ -1,0 +1,189 @@
+//! Cross-crate integration tests: full middleware deployments under the
+//! deterministic simulator.
+
+use matrix_middleware::experiments::{Cluster, ClusterConfig};
+use matrix_middleware::games::{GameSpec, Placement, PopulationEvent, WorkloadSchedule};
+use matrix_middleware::geometry::ServerId;
+use matrix_middleware::sim::SimTime;
+
+/// A scaled-down BzFlag so debug-mode tests finish quickly.
+fn mini_spec() -> GameSpec {
+    let mut spec = GameSpec::bzflag();
+    spec.update_rate_hz = 2.0;
+    spec.server_capacity = 400.0;
+    spec
+}
+
+fn mini_hotspot_schedule(spec: &GameSpec) -> WorkloadSchedule {
+    WorkloadSchedule::new(SimTime::from_secs(120))
+        .at(SimTime::ZERO, PopulationEvent::Join { n: 30, placement: Placement::Uniform })
+        .at(
+            SimTime::from_secs(10),
+            PopulationEvent::Join {
+                n: 200,
+                placement: Placement::Hotspot { center: spec.hotspot_a(), spread: 2.0 * spec.radius },
+            },
+        )
+        .at(SimTime::from_secs(60), PopulationEvent::Leave { n: 100, from_hotspot: true })
+        .at(SimTime::from_secs(75), PopulationEvent::Leave { n: 100, from_hotspot: true })
+}
+
+fn mini_adaptive(spec: GameSpec) -> ClusterConfig {
+    let mut cfg = ClusterConfig::adaptive(spec);
+    cfg.matrix.overload_clients = 80;
+    cfg.matrix.underload_clients = 40;
+    cfg
+}
+
+#[test]
+fn hotspot_lifecycle_splits_then_reclaims() {
+    let spec = mini_spec();
+    let schedule = mini_hotspot_schedule(&spec);
+    let report = Cluster::new(mini_adaptive(spec), schedule).run();
+
+    assert!(report.splits >= 1, "hotspot must trigger splits ({} splits)", report.splits);
+    assert!(report.peak_servers >= 2);
+    assert!(
+        report.reclaims >= 1,
+        "drained hotspot must trigger reclaims ({} reclaims)",
+        report.reclaims
+    );
+    // After the crowd leaves, the fleet consolidates.
+    let final_servers = report.servers_in_use.last_value().unwrap_or(99.0);
+    assert!(final_servers <= 2.0, "fleet must consolidate, got {final_servers}");
+    // No work is ever dropped under the adaptive scheme.
+    assert_eq!(report.dropped_work, 0.0);
+}
+
+#[test]
+fn static_partitioning_fails_where_matrix_does_not() {
+    let spec = mini_spec();
+
+    let adaptive_report =
+        Cluster::new(mini_adaptive(spec.clone()), mini_hotspot_schedule(&spec)).run();
+    let static_report = Cluster::new(
+        {
+            let mut cfg = ClusterConfig::static_partition(spec.clone(), 2);
+            cfg.queue_capacity = Some(spec.server_capacity * 3.0);
+            cfg
+        },
+        mini_hotspot_schedule(&spec),
+    )
+    .run();
+
+    assert_eq!(static_report.splits, 0);
+    assert!(static_report.dropped_work > 0.0, "static deployment must saturate");
+    assert_eq!(adaptive_report.dropped_work, 0.0, "Matrix must not drop");
+    assert!(
+        adaptive_report.peak_servers > static_report.peak_servers,
+        "Matrix recruits extra servers"
+    );
+    // The paper's headline: Matrix keeps latency playable where static
+    // partitioning fails.
+    assert!(
+        adaptive_report.late_fraction < static_report.late_fraction,
+        "adaptive {} vs static {}",
+        adaptive_report.late_fraction,
+        static_report.late_fraction
+    );
+}
+
+#[test]
+fn clients_always_land_on_the_owner_of_their_position() {
+    let spec = mini_spec();
+    let schedule = mini_hotspot_schedule(&spec);
+    let report = Cluster::new(mini_adaptive(spec), schedule).run();
+    // Conservation: the per-server client series must sum to the live
+    // population at the end (30 background + 0 hotspot).
+    let total: f64 = report.clients_per_server.iter().filter_map(|s| s.last_value()).sum();
+    assert!((total - 30.0).abs() <= 3.0, "expected ~30 clients hosted, got {total}");
+}
+
+#[test]
+fn handoffs_have_bounded_latency() {
+    let spec = mini_spec();
+    let schedule = mini_hotspot_schedule(&spec);
+    let report = Cluster::new(mini_adaptive(spec), schedule).run();
+    assert!(report.switches > 0, "splits must redirect clients");
+    let p95 = report.switch_latency_us.p95().unwrap_or(f64::INFINITY);
+    // Switch = notify + reconnect over a 25 ms access link; the paper
+    // calls the state minimal. Anything near a second would be a protocol
+    // bug (e.g. clients bouncing between servers).
+    assert!(p95 < 500_000.0, "p95 switch latency {:.1} ms", p95 / 1000.0);
+}
+
+#[test]
+fn crash_of_a_child_is_absorbed() {
+    let spec = mini_spec();
+    let schedule = mini_hotspot_schedule(&spec);
+    let mut cfg = mini_adaptive(spec);
+    cfg.matrix.underload_clients = 1; // keep children alive (no reclaim)
+    cfg.crashes = vec![(SimTime::from_secs(40), ServerId(2))];
+    let report = Cluster::new(cfg, schedule).run();
+    assert!(report.splits >= 1);
+    assert!(
+        report.coordinator.failures_declared >= 1,
+        "missed heartbeats must declare the crashed server dead"
+    );
+    // The world is still fully owned at the end: remaining clients are
+    // hosted somewhere.
+    let total: f64 = report.clients_per_server.iter().filter_map(|s| s.last_value()).sum();
+    assert!(total > 0.0);
+}
+
+#[test]
+fn lossy_client_links_do_not_wedge_the_run() {
+    let spec = mini_spec();
+    let schedule = WorkloadSchedule::steady(60, SimTime::from_secs(60));
+    let mut cfg = mini_adaptive(spec);
+    cfg.net.client_link = matrix_middleware::sim::LinkModel {
+        latency: matrix_middleware::sim::LatencyModel::constant_millis(25),
+        loss_probability: 0.02,
+        bandwidth_bytes_per_sec: None,
+    };
+    let report = Cluster::new(cfg, schedule).run();
+    assert!(report.updates_processed > 1_000, "{}", report.updates_processed);
+}
+
+#[test]
+fn per_game_specs_all_run_end_to_end() {
+    for spec in GameSpec::all() {
+        let name = spec.name.clone();
+        let schedule = WorkloadSchedule::steady(50, SimTime::from_secs(20));
+        let mut cfg = ClusterConfig::adaptive(spec);
+        cfg.spec.update_rate_hz = cfg.spec.update_rate_hz.min(2.0);
+        let report = Cluster::new(cfg, schedule).run();
+        assert!(report.updates_processed > 100, "{name}: {}", report.updates_processed);
+        assert_eq!(report.peak_servers, 1, "{name}: 50 clients fit one server");
+    }
+}
+
+#[test]
+fn deterministic_across_identical_runs() {
+    let spec = mini_spec();
+    let run = || {
+        let report =
+            Cluster::new(mini_adaptive(spec.clone()), mini_hotspot_schedule(&spec)).run();
+        (
+            report.splits,
+            report.reclaims,
+            report.switches,
+            report.updates_processed,
+            report.inter_server_bytes,
+            report.events,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let spec = mini_spec();
+    let run = |seed| {
+        let mut cfg = mini_adaptive(spec.clone());
+        cfg.seed = seed;
+        let report = Cluster::new(cfg, mini_hotspot_schedule(&spec)).run();
+        report.updates_processed
+    };
+    assert_ne!(run(1), run(2));
+}
