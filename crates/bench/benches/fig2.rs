@@ -19,7 +19,11 @@ fn bench_fig2(c: &mut Criterion) {
             // Paper-shape invariants (Figure 2): a handful of servers,
             // splits and reclaims both happen, and the fleet collapses
             // back afterwards.
-            assert!(report.peak_servers >= 3 && report.peak_servers <= 6, "{}", report.peak_servers);
+            assert!(
+                report.peak_servers >= 3 && report.peak_servers <= 6,
+                "{}",
+                report.peak_servers
+            );
             assert!(report.splits >= 3);
             assert!(report.reclaims >= 3);
             assert!(report.servers_in_use.last_value().unwrap_or(99.0) <= 2.0);

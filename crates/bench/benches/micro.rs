@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use matrix_core::{
-    ClientId, ClientToGame, CoordReply, GamePacket, GameServerConfig, GameServerNode,
-    GameToMatrix, MatrixConfig, MatrixServer, SpatialTag,
+    ClientId, ClientToGame, CoordReply, GamePacket, GameServerConfig, GameServerNode, GameToMatrix,
+    MatrixConfig, MatrixServer, SpatialTag,
 };
 use matrix_geometry::{build_overlap, Metric, PartitionMap, Point, Rect, ServerId, SplitStrategy};
 use matrix_sim::SimTime;
@@ -15,8 +15,10 @@ use std::hint::black_box;
 fn routed_server() -> MatrixServer {
     let world = Rect::from_coords(0.0, 0.0, 800.0, 800.0);
     let mut map = PartitionMap::new(world, ServerId(1));
-    map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
-    map.split(ServerId(1), ServerId(3), &SplitStrategy::LongestAxis, &[]).unwrap();
+    map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[])
+        .unwrap();
+    map.split(ServerId(1), ServerId(3), &SplitStrategy::LongestAxis, &[])
+        .unwrap();
     let overlap = build_overlap(&map, 100.0, Metric::Euclidean);
     let mut server = MatrixServer::with_range(
         ServerId(1),
@@ -41,18 +43,16 @@ fn bench_forward_path(c: &mut Criterion) {
     // Interior packet: table lookup says "no peers".
     group.bench_function("interior_packet", |b| {
         let mut server = routed_server();
-        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(700.0, 300.0)), 64, 0);
-        b.iter(|| {
-            black_box(server.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone())))
-        })
+        let pkt =
+            GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(700.0, 300.0)), 64, 0);
+        b.iter(|| black_box(server.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone()))))
     });
     // Boundary packet: routed to one peer.
     group.bench_function("boundary_packet", |b| {
         let mut server = routed_server();
-        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(410.0, 300.0)), 64, 0);
-        b.iter(|| {
-            black_box(server.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone())))
-        })
+        let pkt =
+            GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(410.0, 300.0)), 64, 0);
+        b.iter(|| black_box(server.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone()))))
     });
     group.finish();
 }
@@ -72,14 +72,19 @@ fn bench_game_server(c: &mut Criterion) {
                 game.on_client(
                     SimTime::ZERO,
                     ClientId(i as u64 + 1),
-                    ClientToGame::Join { pos, state_bytes: 100 },
+                    ClientToGame::Join {
+                        pos,
+                        state_bytes: 100,
+                    },
                 );
             }
             b.iter(|| {
                 black_box(game.on_client(
                     SimTime::ZERO,
                     ClientId(1),
-                    ClientToGame::Move { pos: Point::new(400.0, 400.0) },
+                    ClientToGame::Move {
+                        pos: Point::new(400.0, 400.0),
+                    },
                 ))
             })
         });
@@ -98,7 +103,10 @@ fn bench_handoff(c: &mut Criterion) {
                 game.on_client(
                     SimTime::ZERO,
                     ClientId(i + 1),
-                    ClientToGame::Join { pos: Point::new(x, 400.0), state_bytes: 100 },
+                    ClientToGame::Join {
+                        pos: Point::new(x, 400.0),
+                        state_bytes: 100,
+                    },
                 );
             }
             let actions = game.on_matrix(
@@ -114,5 +122,10 @@ fn bench_handoff(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_forward_path, bench_game_server, bench_handoff);
+criterion_group!(
+    benches,
+    bench_forward_path,
+    bench_game_server,
+    bench_handoff
+);
 criterion_main!(benches);

@@ -10,9 +10,11 @@ fn bench_split_strategies(c: &mut Criterion) {
     let rect = Rect::from_coords(0.0, 0.0, 800.0, 800.0);
     let clients: Vec<Point> = probes(rect, 600);
     let mut group = c.benchmark_group("split_strategy");
-    for strategy in
-        [SplitStrategy::SplitToLeft, SplitStrategy::LongestAxis, SplitStrategy::LoadAwareMedian]
-    {
+    for strategy in [
+        SplitStrategy::SplitToLeft,
+        SplitStrategy::LongestAxis,
+        SplitStrategy::LoadAwareMedian,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("cut", strategy.to_string()),
             &strategy,
@@ -29,7 +31,13 @@ fn bench_partition_ops(c: &mut Criterion) {
             let world = Rect::from_coords(0.0, 0.0, 800.0, 800.0);
             let mut map = PartitionMap::new(world, ServerId(1));
             for i in 2..=16u32 {
-                map.split(ServerId(i - 1), ServerId(i), &SplitStrategy::SplitToLeft, &[]).unwrap();
+                map.split(
+                    ServerId(i - 1),
+                    ServerId(i),
+                    &SplitStrategy::SplitToLeft,
+                    &[],
+                )
+                .unwrap();
             }
             for i in (2..=16u32).rev() {
                 map.reclaim(ServerId(i - 1), ServerId(i)).unwrap();

@@ -18,38 +18,34 @@ fn bench_versus(c: &mut Criterion) {
     let mut group = c.benchmark_group("versus");
     group.sample_size(10);
     for spec in GameSpec::all() {
-        group.bench_with_input(
-            BenchmarkId::new("matrix", &spec.name),
-            &spec,
-            |b, spec| {
-                b.iter(|| {
-                    let mut cfg = ClusterConfig::adaptive(spec.clone());
-                    cfg.seed = 42;
-                    let report = Cluster::new(cfg, flash(spec)).run();
-                    assert!(report.splits >= 1, "{}: Matrix must adapt", spec.name);
-                    assert_eq!(report.dropped_work, 0.0, "{}: Matrix must not drop", spec.name);
-                    black_box(report)
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("static2", &spec.name),
-            &spec,
-            |b, spec| {
-                b.iter(|| {
-                    let mut cfg = ClusterConfig::static_partition(spec.clone(), 2);
-                    cfg.seed = 42;
-                    let report = Cluster::new(cfg, flash(spec)).run();
-                    assert_eq!(report.splits, 0);
-                    assert!(
-                        report.dropped_work > 0.0,
-                        "{}: the static deployment must saturate",
-                        spec.name
-                    );
-                    black_box(report)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("matrix", &spec.name), &spec, |b, spec| {
+            b.iter(|| {
+                let mut cfg = ClusterConfig::adaptive(spec.clone());
+                cfg.seed = 42;
+                let report = Cluster::new(cfg, flash(spec)).run();
+                assert!(report.splits >= 1, "{}: Matrix must adapt", spec.name);
+                assert_eq!(
+                    report.dropped_work, 0.0,
+                    "{}: Matrix must not drop",
+                    spec.name
+                );
+                black_box(report)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("static2", &spec.name), &spec, |b, spec| {
+            b.iter(|| {
+                let mut cfg = ClusterConfig::static_partition(spec.clone(), 2);
+                cfg.seed = 42;
+                let report = Cluster::new(cfg, flash(spec)).run();
+                assert_eq!(report.splits, 0);
+                assert!(
+                    report.dropped_work > 0.0,
+                    "{}: the static deployment must saturate",
+                    spec.name
+                );
+                black_box(report)
+            })
+        });
     }
     group.finish();
 }

@@ -19,7 +19,10 @@ pub fn probes(world: Rect, n: usize) -> Vec<Point> {
         .map(|i| {
             let fx = (i as f64 * 0.7548776662466927) % 1.0;
             let fy = (i as f64 * 0.5698402909980532) % 1.0;
-            Point::new(world.min().x + world.width() * fx, world.min().y + world.height() * fy)
+            Point::new(
+                world.min().x + world.width() * fx,
+                world.min().y + world.height() * fy,
+            )
         })
         .collect()
 }

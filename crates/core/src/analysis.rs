@@ -167,7 +167,10 @@ mod tests {
 
     #[test]
     fn overlap_fraction_caps_at_one() {
-        let m = ScalabilityModel { radius: 1e9, ..ScalabilityModel::default() };
+        let m = ScalabilityModel {
+            radius: 1e9,
+            ..ScalabilityModel::default()
+        };
         assert_eq!(m.overlap_fraction(4), 1.0);
     }
 
@@ -177,7 +180,11 @@ mod tests {
         // each: trivially inside a 1 Gbps budget when overlap stays small.
         let m = ScalabilityModel::default();
         let b = m.breakdown(1_000_000, 10_000);
-        assert!(b.overlap_fraction < 0.2, "overlap fraction {}", b.overlap_fraction);
+        assert!(
+            b.overlap_fraction < 0.2,
+            "overlap fraction {}",
+            b.overlap_fraction
+        );
         assert!(m.paper_headline_feasible());
     }
 
@@ -230,6 +237,9 @@ mod tests {
     fn fanout_dominates_at_high_density() {
         let m = ScalabilityModel::default();
         let b = m.breakdown(100_000_000, 10_000);
-        assert!(b.fanout_bytes > b.client_bytes, "fan-out must dominate dense worlds");
+        assert!(
+            b.fanout_bytes > b.client_bytes,
+            "fan-out must dominate dense worlds"
+        );
     }
 }

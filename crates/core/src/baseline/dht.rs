@@ -18,7 +18,9 @@ const RING_BITS: usize = 64;
 
 /// Fibonacci-style hash spreading server ids over the ring.
 fn hash_server(s: ServerId) -> RingId {
-    (s.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31)
+    (s.0 as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(31)
 }
 
 /// Hashes a spatial cell onto the ring. Cell granularity trades routing
@@ -61,7 +63,11 @@ impl DhtDirectory {
         assert!(cell_size > 0.0, "cell size must be positive");
         let mut nodes: Vec<DhtNode> = servers
             .iter()
-            .map(|&s| DhtNode { server: s, ring: hash_server(s), fingers: Vec::new() })
+            .map(|&s| DhtNode {
+                server: s,
+                ring: hash_server(s),
+                fingers: Vec::new(),
+            })
             .collect();
         nodes.sort_by_key(|n| n.ring);
         nodes.dedup_by_key(|n| n.ring);
@@ -127,7 +133,10 @@ impl DhtDirectory {
             current = next;
             hops += 1;
         }
-        DhtLookup { home: self.nodes[home_idx].server, hops }
+        DhtLookup {
+            home: self.nodes[home_idx].server,
+            hops,
+        }
     }
 
     /// The finger of `current` that gets closest to `key` without passing
@@ -228,7 +237,10 @@ mod tests {
         let world = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
         let small = DhtDirectory::new(&servers(8), 10.0).mean_hops(world, 256);
         let large = DhtDirectory::new(&servers(512), 10.0).mean_hops(world, 256);
-        assert!(large > small, "512 nodes ({large:.2} hops) must beat 8 ({small:.2})");
+        assert!(
+            large > small,
+            "512 nodes ({large:.2} hops) must beat 8 ({small:.2})"
+        );
         // Chord: ~½·log2(N) hops on average; allow generous slack but keep
         // the order of magnitude honest.
         assert!(large < 2.0 * 9.0, "mean hops {large:.2} should be O(log N)");

@@ -82,17 +82,35 @@ mod tests {
 
     #[test]
     fn replica_load_is_independent_of_replica_count() {
-        let one = ReplicationModel { replicas: 1, ..ReplicationModel::default() };
-        let four = ReplicationModel { replicas: 4, ..ReplicationModel::default() };
-        assert_eq!(one.per_replica_update_load(1000), four.per_replica_update_load(1000));
+        let one = ReplicationModel {
+            replicas: 1,
+            ..ReplicationModel::default()
+        };
+        let four = ReplicationModel {
+            replicas: 4,
+            ..ReplicationModel::default()
+        };
+        assert_eq!(
+            one.per_replica_update_load(1000),
+            four.per_replica_update_load(1000)
+        );
     }
 
     #[test]
     fn sync_bandwidth_grows_with_replicas() {
-        let m2 = ReplicationModel { replicas: 2, ..ReplicationModel::default() };
-        let m4 = ReplicationModel { replicas: 4, ..ReplicationModel::default() };
+        let m2 = ReplicationModel {
+            replicas: 2,
+            ..ReplicationModel::default()
+        };
+        let m4 = ReplicationModel {
+            replicas: 4,
+            ..ReplicationModel::default()
+        };
         assert!(m4.sync_bandwidth_bytes(1000) > m2.sync_bandwidth_bytes(1000));
-        let m1 = ReplicationModel { replicas: 1, ..ReplicationModel::default() };
+        let m1 = ReplicationModel {
+            replicas: 1,
+            ..ReplicationModel::default()
+        };
         assert_eq!(m1.sync_bandwidth_bytes(1000), 0.0);
     }
 
@@ -106,14 +124,20 @@ mod tests {
     #[test]
     fn split_advantage_is_linear_in_group_size() {
         for k in 1..=8 {
-            let m = ReplicationModel { replicas: k, ..ReplicationModel::default() };
+            let m = ReplicationModel {
+                replicas: k,
+                ..ReplicationModel::default()
+            };
             assert!((m.split_advantage() - k as f64).abs() < 1e-9);
         }
     }
 
     #[test]
     fn zero_capacity_is_handled() {
-        let m = ReplicationModel { server_capacity_ups: 0.0, ..ReplicationModel::default() };
+        let m = ReplicationModel {
+            server_capacity_ups: 0.0,
+            ..ReplicationModel::default()
+        };
         assert_eq!(m.max_clients(), 0);
         assert_eq!(m.split_advantage(), 1.0);
     }

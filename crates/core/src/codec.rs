@@ -1,0 +1,544 @@
+//! Hand-written JSON-lines codec for the client-facing protocol.
+//!
+//! The TCP gateway frames [`ClientToGame`] / [`GameToClient`] as one JSON
+//! object per line. The codec is written by hand (rather than through a
+//! serde backend) so the workspace builds fully offline; the format is
+//! ordinary JSON, so any client language can speak it.
+//!
+//! Wire shapes:
+//!
+//! ```text
+//! client → game   {"t":"join","x":1.0,"y":2.0,"state":64}
+//!                 {"t":"move","x":1.0,"y":2.0}
+//!                 {"t":"action","x":1.0,"y":2.0,"bytes":90}
+//!                 {"t":"leave"}
+//! game → client   {"t":"joined","server":3}
+//!                 {"t":"ack","seq":17}
+//!                 {"t":"update","x":1.0,"y":2.0,"bytes":90}
+//!                 {"t":"batch","updates":[[1.0,2.0,90],[3.0,4.0,32]]}
+//!                 {"t":"switch","to":4}
+//! ```
+//!
+//! Floats are emitted with Rust's shortest round-trip formatting, so
+//! decode(encode(m)) == m exactly.
+
+use crate::messages::{ClientToGame, GameToClient, UpdateItem};
+use matrix_geometry::{Point, ServerId};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A malformed frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecError {
+    /// What went wrong, for diagnostics.
+    pub reason: String,
+}
+
+impl CodecError {
+    fn new(reason: impl Into<String>) -> CodecError {
+        CodecError {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad frame: {}", self.reason)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value model
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (the subset the protocol uses).
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> CodecError {
+        CodecError::new(format!("{what} at byte {}", self.at))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.at < self.bytes.len() && self.bytes[self.at].is_ascii_whitespace() {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), CodecError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, CodecError> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Value) -> Result<Value, CodecError> {
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, CodecError> {
+        let start = self.at;
+        while self.at < self.bytes.len()
+            && matches!(
+                self.bytes[self.at],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at])
+            .map_err(|_| self.err("non-utf8 number"))?;
+        let value = text.parse::<f64>().map_err(|_| self.err("bad number"))?;
+        // JSON has no Inf/NaN; `"1e999".parse::<f64>()` yields infinity,
+        // which would round-trip into frames no JSON parser accepts —
+        // reject it at the boundary instead of poisoning later encodes.
+        if !value.is_finite() {
+            return Err(self.err("non-finite number"));
+        }
+        Ok(Value::Num(value))
+    }
+
+    fn string(&mut self) -> Result<String, CodecError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.at)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.at += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.at)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        _ => return Err(self.err("unsupported escape")),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the full scalar.
+                    let tail = &self.bytes[self.at - 1..];
+                    let text = std::str::from_utf8(tail).map_err(|_| self.err("non-utf8"))?;
+                    let ch = text.chars().next().ok_or_else(|| self.err("empty char"))?;
+                    out.push(ch);
+                    self.at += ch.len_utf8() - 1;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, CodecError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.at += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, CodecError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.at += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek() {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn parse(text: &str) -> Result<BTreeMap<String, Value>, CodecError> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.at != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    match v {
+        Value::Obj(map) => Ok(map),
+        _ => Err(CodecError::new("frame must be a JSON object")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Field helpers
+// ---------------------------------------------------------------------------
+
+fn field<'v>(obj: &'v BTreeMap<String, Value>, key: &str) -> Result<&'v Value, CodecError> {
+    obj.get(key)
+        .ok_or_else(|| CodecError::new(format!("missing field '{key}'")))
+}
+
+fn num(obj: &BTreeMap<String, Value>, key: &str) -> Result<f64, CodecError> {
+    field(obj, key)?
+        .as_num()
+        .ok_or_else(|| CodecError::new(format!("field '{key}' must be a number")))
+}
+
+fn uint(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, CodecError> {
+    let n = num(obj, key)?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(CodecError::new(format!(
+            "field '{key}' must be a non-negative integer"
+        )));
+    }
+    Ok(n as u64)
+}
+
+fn point(obj: &BTreeMap<String, Value>) -> Result<Point, CodecError> {
+    Ok(Point::new(num(obj, "x")?, num(obj, "y")?))
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // `{:?}` gives the shortest representation that round-trips.
+    let _ = write!(out, "{v:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Encoding / decoding
+// ---------------------------------------------------------------------------
+
+/// Encodes a client→server message as a single JSON line (no newline).
+pub fn encode_client_to_game(msg: &ClientToGame) -> String {
+    let mut s = String::with_capacity(64);
+    match msg {
+        ClientToGame::Join { pos, state_bytes } => {
+            s.push_str("{\"t\":\"join\",\"x\":");
+            push_f64(&mut s, pos.x);
+            s.push_str(",\"y\":");
+            push_f64(&mut s, pos.y);
+            let _ = write!(s, ",\"state\":{state_bytes}}}");
+        }
+        ClientToGame::Move { pos } => {
+            s.push_str("{\"t\":\"move\",\"x\":");
+            push_f64(&mut s, pos.x);
+            s.push_str(",\"y\":");
+            push_f64(&mut s, pos.y);
+            s.push('}');
+        }
+        ClientToGame::Action { pos, payload_bytes } => {
+            s.push_str("{\"t\":\"action\",\"x\":");
+            push_f64(&mut s, pos.x);
+            s.push_str(",\"y\":");
+            push_f64(&mut s, pos.y);
+            let _ = write!(s, ",\"bytes\":{payload_bytes}}}");
+        }
+        ClientToGame::Leave => s.push_str("{\"t\":\"leave\"}"),
+    }
+    s
+}
+
+/// Decodes one client→server JSON line.
+///
+/// # Errors
+///
+/// [`CodecError`] when the frame is not valid JSON or not a known message.
+pub fn decode_client_to_game(line: &str) -> Result<ClientToGame, CodecError> {
+    let obj = parse(line)?;
+    let tag = match field(&obj, "t")? {
+        Value::Str(t) => t.as_str(),
+        _ => return Err(CodecError::new("field 't' must be a string")),
+    };
+    match tag {
+        "join" => Ok(ClientToGame::Join {
+            pos: point(&obj)?,
+            state_bytes: uint(&obj, "state")?,
+        }),
+        "move" => Ok(ClientToGame::Move { pos: point(&obj)? }),
+        "action" => Ok(ClientToGame::Action {
+            pos: point(&obj)?,
+            payload_bytes: uint(&obj, "bytes")? as usize,
+        }),
+        "leave" => Ok(ClientToGame::Leave),
+        other => Err(CodecError::new(format!("unknown client message '{other}'"))),
+    }
+}
+
+/// Encodes a server→client message as a single JSON line (no newline).
+pub fn encode_game_to_client(msg: &GameToClient) -> String {
+    let mut s = String::with_capacity(64);
+    match msg {
+        GameToClient::Joined { server } => {
+            let _ = write!(s, "{{\"t\":\"joined\",\"server\":{}}}", server.0);
+        }
+        GameToClient::Ack { seq } => {
+            let _ = write!(s, "{{\"t\":\"ack\",\"seq\":{seq}}}");
+        }
+        GameToClient::Update {
+            origin,
+            payload_bytes,
+        } => {
+            s.push_str("{\"t\":\"update\",\"x\":");
+            push_f64(&mut s, origin.x);
+            s.push_str(",\"y\":");
+            push_f64(&mut s, origin.y);
+            let _ = write!(s, ",\"bytes\":{payload_bytes}}}");
+        }
+        GameToClient::UpdateBatch { updates } => {
+            s.push_str("{\"t\":\"batch\",\"updates\":[");
+            for (i, u) in updates.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push('[');
+                push_f64(&mut s, u.origin.x);
+                s.push(',');
+                push_f64(&mut s, u.origin.y);
+                let _ = write!(s, ",{}]", u.payload_bytes);
+            }
+            s.push_str("]}");
+        }
+        GameToClient::SwitchServer { to } => {
+            let _ = write!(s, "{{\"t\":\"switch\",\"to\":{}}}", to.0);
+        }
+    }
+    s
+}
+
+/// Decodes one server→client JSON line.
+///
+/// # Errors
+///
+/// [`CodecError`] when the frame is not valid JSON or not a known message.
+pub fn decode_game_to_client(line: &str) -> Result<GameToClient, CodecError> {
+    let obj = parse(line)?;
+    let tag = match field(&obj, "t")? {
+        Value::Str(t) => t.as_str(),
+        _ => return Err(CodecError::new("field 't' must be a string")),
+    };
+    match tag {
+        "joined" => Ok(GameToClient::Joined {
+            server: ServerId(uint(&obj, "server")? as u32),
+        }),
+        "ack" => Ok(GameToClient::Ack {
+            seq: uint(&obj, "seq")?,
+        }),
+        "update" => Ok(GameToClient::Update {
+            origin: point(&obj)?,
+            payload_bytes: uint(&obj, "bytes")? as usize,
+        }),
+        "batch" => {
+            let items = match field(&obj, "updates")? {
+                Value::Arr(items) => items,
+                _ => return Err(CodecError::new("field 'updates' must be an array")),
+            };
+            let mut updates = Vec::with_capacity(items.len());
+            for item in items {
+                let Value::Arr(triple) = item else {
+                    return Err(CodecError::new("batch item must be [x, y, bytes]"));
+                };
+                if triple.len() != 3 {
+                    return Err(CodecError::new("batch item must have 3 elements"));
+                }
+                let get = |i: usize| {
+                    triple[i]
+                        .as_num()
+                        .ok_or_else(|| CodecError::new("batch item fields must be numbers"))
+                };
+                updates.push(UpdateItem {
+                    origin: Point::new(get(0)?, get(1)?),
+                    payload_bytes: get(2)? as usize,
+                });
+            }
+            Ok(GameToClient::UpdateBatch { updates })
+        }
+        "switch" => Ok(GameToClient::SwitchServer {
+            to: ServerId(uint(&obj, "to")? as u32),
+        }),
+        other => Err(CodecError::new(format!("unknown server message '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip_client(msg: ClientToGame) {
+        let line = encode_client_to_game(&msg);
+        assert_eq!(decode_client_to_game(&line).expect(&line), msg, "{line}");
+    }
+
+    fn round_trip_server(msg: GameToClient) {
+        let line = encode_game_to_client(&msg);
+        assert_eq!(decode_game_to_client(&line).expect(&line), msg, "{line}");
+    }
+
+    #[test]
+    fn every_client_variant_round_trips() {
+        round_trip_client(ClientToGame::Join {
+            pos: Point::new(0.0, -0.5),
+            state_bytes: 0,
+        });
+        round_trip_client(ClientToGame::Join {
+            pos: Point::new(123.456789, 1e-9),
+            state_bytes: u64::MAX >> 12,
+        });
+        round_trip_client(ClientToGame::Move {
+            pos: Point::new(-1.25, 7.75),
+        });
+        round_trip_client(ClientToGame::Action {
+            pos: Point::new(3.5, 4.5),
+            payload_bytes: 90,
+        });
+        round_trip_client(ClientToGame::Leave);
+    }
+
+    #[test]
+    fn every_server_variant_round_trips() {
+        round_trip_server(GameToClient::Joined {
+            server: ServerId(7),
+        });
+        round_trip_server(GameToClient::Ack { seq: 123456 });
+        round_trip_server(GameToClient::Update {
+            origin: Point::new(1.0, 2.0),
+            payload_bytes: 3,
+        });
+        round_trip_server(GameToClient::UpdateBatch { updates: vec![] });
+        round_trip_server(GameToClient::UpdateBatch {
+            updates: vec![
+                UpdateItem {
+                    origin: Point::new(10.5, -20.25),
+                    payload_bytes: 64,
+                },
+                UpdateItem {
+                    origin: Point::new(0.0, 0.0),
+                    payload_bytes: 0,
+                },
+            ],
+        });
+        round_trip_server(GameToClient::SwitchServer { to: ServerId(9) });
+    }
+
+    #[test]
+    fn whitespace_and_field_order_are_tolerated() {
+        let msg = decode_client_to_game(
+            " { \"state\" : 64 , \"x\" : 1.0, \"y\": 2.0, \"t\": \"join\" } ",
+        )
+        .unwrap();
+        assert_eq!(
+            msg,
+            ClientToGame::Join {
+                pos: Point::new(1.0, 2.0),
+                state_bytes: 64
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        for bad in [
+            "",
+            "nonsense",
+            "[1,2,3]",
+            "{\"t\":\"join\"}",
+            "{\"t\":\"warp\",\"x\":1,\"y\":2}",
+            "{\"t\":\"join\",\"x\":1.0,\"y\":2.0,\"state\":64} trailing",
+            "{\"t\":\"join\",\"x\":\"NaN\",\"y\":2.0,\"state\":64}",
+            "{\"t\":\"join\",\"x\":1e999,\"y\":2.0,\"state\":64}",
+            "{\"t\":\"move\",\"x\":-1e999,\"y\":0.0}",
+            "{\"t\":\"ack\",\"seq\":-1}",
+        ] {
+            assert!(decode_client_to_game(bad).is_err(), "{bad}");
+        }
+        assert!(decode_game_to_client("{\"t\":\"batch\",\"updates\":[[1,2]]}").is_err());
+    }
+
+    #[test]
+    fn special_floats_round_trip() {
+        // Positions are finite in practice, but the codec must not mangle
+        // extreme magnitudes.
+        round_trip_client(ClientToGame::Move {
+            pos: Point::new(f64::MAX / 2.0, f64::MIN_POSITIVE),
+        });
+    }
+}

@@ -70,7 +70,10 @@ impl Default for MatrixConfig {
 impl MatrixConfig {
     /// The static-partitioning baseline: identical routing, no adaptation.
     pub fn static_baseline() -> MatrixConfig {
-        MatrixConfig { adaptive: false, ..MatrixConfig::default() }
+        MatrixConfig {
+            adaptive: false,
+            ..MatrixConfig::default()
+        }
     }
 }
 
@@ -98,6 +101,23 @@ pub struct GameServerConfig {
     pub handoff_margin: f64,
     /// Metric for in-game distances.
     pub metric: Metric,
+    /// Per-client area-of-interest radius for update fan-out. `0.0`
+    /// inherits the game's registered radius of visibility. Distinct from
+    /// the consistency-set radius: routing between servers must stay
+    /// conservative, but what each *client* renders can be narrower.
+    pub vision_radius: f64,
+    /// How long client-bound updates may coalesce before a
+    /// `GameToClient::UpdateBatch` flush. Zero flushes on every event
+    /// (one-item batches).
+    pub batch_interval: SimDuration,
+    /// Resolution of the interest grid: cells along each axis of the
+    /// server's range. Larger values cut per-query candidates but raise
+    /// per-move bookkeeping slightly.
+    pub cells_per_axis: u32,
+    /// Whether client-bound update fan-out is emitted as real messages
+    /// (true under the runtime, where clients are live connections) or
+    /// only counted (discrete-event runs that model fan-out as load).
+    pub emit_updates: bool,
 }
 
 impl Default for GameServerConfig {
@@ -110,6 +130,10 @@ impl Default for GameServerConfig {
             report_positions: true,
             handoff_margin: 0.0,
             metric: Metric::Euclidean,
+            vision_radius: 0.0,
+            batch_interval: SimDuration::from_millis(50),
+            cells_per_axis: 32,
+            emit_updates: false,
         }
     }
 }
@@ -155,7 +179,13 @@ mod tests {
     #[test]
     fn hysteresis_requires_multiple_reports() {
         let c = MatrixConfig::default();
-        assert!(c.overload_streak >= 2, "splits must not fire on a single spike");
-        assert!(c.underload_streak >= 2, "reclaims must not fire on a single dip");
+        assert!(
+            c.overload_streak >= 2,
+            "splits must not fire on a single spike"
+        );
+        assert!(
+            c.underload_streak >= 2,
+            "reclaims must not fire on a single dip"
+        );
     }
 }

@@ -10,9 +10,7 @@
 
 use crate::config::CoordinatorConfig;
 use crate::messages::{CoordMsg, CoordReply};
-use matrix_geometry::{
-    build_overlap, consistency_set, OverlapMap, PartitionMap, Rect, ServerId,
-};
+use matrix_geometry::{build_overlap, consistency_set, OverlapMap, PartitionMap, Rect, ServerId};
 use matrix_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -81,7 +79,11 @@ impl Coordinator {
 
     /// Bootstraps with a pre-built multi-server map (static baseline and
     /// test fixtures), immediately producing tables for every server.
-    pub fn with_map(cfg: CoordinatorConfig, map: PartitionMap, radius: f64) -> (Coordinator, Vec<CoordAction>) {
+    pub fn with_map(
+        cfg: CoordinatorConfig,
+        map: PartitionMap,
+        radius: f64,
+    ) -> (Coordinator, Vec<CoordAction>) {
         let mut c = Coordinator::new(cfg);
         c.world = Some(map.world());
         c.radius = radius;
@@ -113,7 +115,11 @@ impl Coordinator {
     /// Handles one message from a Matrix server.
     pub fn handle(&mut self, now: SimTime, msg: CoordMsg) -> Vec<CoordAction> {
         match msg {
-            CoordMsg::RegisterWorld { server, world, radius } => {
+            CoordMsg::RegisterWorld {
+                server,
+                world,
+                radius,
+            } => {
                 self.heartbeats.insert(server, now);
                 if self.map.is_none() {
                     self.world = Some(world);
@@ -123,12 +129,21 @@ impl Coordinator {
                 self.recompute()
             }
             CoordMsg::RegisterRadius { server: _, radius } => {
-                if !self.extra_radii.iter().any(|r| r.to_bits() == radius.to_bits()) {
+                if !self
+                    .extra_radii
+                    .iter()
+                    .any(|r| r.to_bits() == radius.to_bits())
+                {
                     self.extra_radii.push(radius);
                 }
                 self.recompute()
             }
-            CoordMsg::SplitOccurred { parent, child, parent_range, child_range } => {
+            CoordMsg::SplitOccurred {
+                parent,
+                child,
+                parent_range,
+                child_range,
+            } => {
                 self.stats.splits_seen += 1;
                 self.heartbeats.insert(child, now);
                 self.parents.insert(child, parent);
@@ -155,7 +170,11 @@ impl Coordinator {
                 }
                 self.recompute()
             }
-            CoordMsg::ReclaimOccurred { parent, child, merged_range } => {
+            CoordMsg::ReclaimOccurred {
+                parent,
+                child,
+                merged_range,
+            } => {
                 self.stats.reclaims_seen += 1;
                 self.heartbeats.remove(&child);
                 self.parents.remove(&child);
@@ -173,7 +192,11 @@ impl Coordinator {
                         #[cfg(debug_assertions)]
                         eprintln!("DIVERGE reclaim: child {child} not in directory");
                     }
-                    debug_assert_eq!(map.range_of(parent), Some(merged_range), "reclaim {parent}<-{child}");
+                    debug_assert_eq!(
+                        map.range_of(parent),
+                        Some(merged_range),
+                        "reclaim {parent}<-{child}"
+                    );
                 }
                 self.recompute()
             }
@@ -182,14 +205,19 @@ impl Coordinator {
                 // Anti-entropy: a server routing with stale tables (a lost
                 // or delayed push) gets a targeted refresh instead of
                 // waiting for the next topology change.
-                if epoch < self.epoch && self.map.as_ref().is_some_and(|m| m.contains_server(server))
+                if epoch < self.epoch
+                    && self.map.as_ref().is_some_and(|m| m.contains_server(server))
                 {
                     self.stats.table_refreshes += 1;
                     return self.tables_for(server).into_iter().collect();
                 }
                 Vec::new()
             }
-            CoordMsg::OrphanRange { parent: _, child, range } => {
+            CoordMsg::OrphanRange {
+                parent: _,
+                child,
+                range,
+            } => {
                 // The retired child's range needs a mergeable owner. Reuse
                 // the failure-absorption machinery: pick an heir among the
                 // child's mergeable neighbours and instruct it to absorb.
@@ -208,12 +236,22 @@ impl Coordinator {
                 if map.absorb(heir, child).is_err() {
                     return Vec::new();
                 }
-                let mut actions =
-                    vec![CoordAction::Send(heir, CoordReply::AbsorbFailed { failed: child, range })];
+                let mut actions = vec![CoordAction::Send(
+                    heir,
+                    CoordReply::AbsorbFailed {
+                        failed: child,
+                        range,
+                    },
+                )];
                 actions.extend(self.recompute());
                 actions
             }
-            CoordMsg::ResolvePoint { server, client, point, radius } => {
+            CoordMsg::ResolvePoint {
+                server,
+                client,
+                point,
+                radius,
+            } => {
                 self.stats.resolves += 1;
                 let (owner, set) = match &self.map {
                     Some(map) => {
@@ -226,7 +264,12 @@ impl Coordinator {
                 };
                 vec![CoordAction::Send(
                     server,
-                    CoordReply::Resolved { client, point, owner, set },
+                    CoordReply::Resolved {
+                        client,
+                        point,
+                        owner,
+                        set,
+                    },
                 )]
             }
         }
@@ -268,8 +311,11 @@ impl Coordinator {
         let Some((low, high)) = current.split_at(axis, at) else {
             return false;
         };
-        let (child_rect, parent_rect) =
-            if low == child_range { (low, high) } else { (high, low) };
+        let (child_rect, parent_rect) = if low == child_range {
+            (low, high)
+        } else {
+            (high, low)
+        };
         debug_assert_eq!(parent_rect, parent_range);
         // Rebuild the map entry-by-entry (PartitionMap has no raw surgery
         // API by design; splits go through split(), which needs a strategy.
@@ -313,14 +359,17 @@ impl Coordinator {
             let extra_tables: Vec<(u64, matrix_geometry::OverlapTable)> = self
                 .extra_overlaps
                 .iter()
-                .filter_map(|(r, om)| {
-                    om.table_for(server).map(|t| (r.to_bits(), t.clone()))
-                })
+                .filter_map(|(r, om)| om.table_for(server).map(|t| (r.to_bits(), t.clone())))
                 .collect();
             self.stats.tables_sent += 1;
             actions.push(CoordAction::Send(
                 server,
-                CoordReply::Tables { epoch: self.epoch, table, extra_tables, map: map.clone() },
+                CoordReply::Tables {
+                    epoch: self.epoch,
+                    table,
+                    extra_tables,
+                    map: map.clone(),
+                },
             ));
         }
         self.overlap = Some(overlap);
@@ -339,7 +388,12 @@ impl Coordinator {
             .collect();
         Some(CoordAction::Send(
             server,
-            CoordReply::Tables { epoch: self.epoch, table, extra_tables, map: map.clone() },
+            CoordReply::Tables {
+                epoch: self.epoch,
+                table,
+                extra_tables,
+                map: map.clone(),
+            },
         ))
     }
 
@@ -367,7 +421,9 @@ impl Coordinator {
             if map.len() <= 1 {
                 break;
             }
-            let Some(range) = map.range_of(failed) else { continue };
+            let Some(range) = map.range_of(failed) else {
+                continue;
+            };
             // Prefer the parent as heir, else any mergeable neighbour.
             let neighbours = map.mergeable_neighbours(failed);
             let heir = self
@@ -385,7 +441,10 @@ impl Coordinator {
             self.stats.failures_declared += 1;
             self.heartbeats.remove(&failed);
             self.parents.remove(&failed);
-            actions.push(CoordAction::Send(heir, CoordReply::AbsorbFailed { failed, range }));
+            actions.push(CoordAction::Send(
+                heir,
+                CoordReply::AbsorbFailed { failed, range },
+            ));
             actions.extend(self.recompute());
         }
         actions
@@ -407,7 +466,11 @@ mod tests {
         let mut c = Coordinator::new(CoordinatorConfig::default());
         let actions = c.handle(
             SimTime::ZERO,
-            CoordMsg::RegisterWorld { server: ServerId(1), world: world(), radius: 50.0 },
+            CoordMsg::RegisterWorld {
+                server: ServerId(1),
+                world: world(),
+                radius: 50.0,
+            },
         );
         (c, actions)
     }
@@ -437,7 +500,10 @@ mod tests {
             },
         );
         assert_eq!(c.server_count(), 2);
-        assert_eq!(c.map().unwrap().range_of(ServerId(2)), Some(Rect::from_coords(0.0, 0.0, 200.0, 400.0)));
+        assert_eq!(
+            c.map().unwrap().range_of(ServerId(2)),
+            Some(Rect::from_coords(0.0, 0.0, 200.0, 400.0))
+        );
         c.map().unwrap().validate().unwrap();
         // One table per live server.
         assert_eq!(actions.len(), 2);
@@ -547,7 +613,13 @@ mod tests {
         );
         // S1 keeps heartbeating, S2 goes silent.
         for s in 1..=20u64 {
-            c.handle(SimTime::from_secs(1) + SimDuration::from_secs(s), CoordMsg::Heartbeat { server: ServerId(1), epoch: 99 });
+            c.handle(
+                SimTime::from_secs(1) + SimDuration::from_secs(s),
+                CoordMsg::Heartbeat {
+                    server: ServerId(1),
+                    epoch: 99,
+                },
+            );
         }
         // At t=24, S1's last heartbeat (t=21) is fresh; S2's (t=1) is stale.
         let actions = c.check_liveness(SimTime::from_secs(24));
@@ -557,7 +629,9 @@ mod tests {
             CoordAction::Send(s, CoordReply::AbsorbFailed { failed, .. })
                 if *s == ServerId(1) && *failed == ServerId(2))));
         // Fresh tables follow the absorption.
-        assert!(actions.iter().any(|a| matches!(a, CoordAction::Send(_, CoordReply::Tables { .. }))));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, CoordAction::Send(_, CoordReply::Tables { .. }))));
     }
 
     #[test]
@@ -573,7 +647,10 @@ mod tests {
         let (mut c, _) = registered();
         let actions = c.handle(
             SimTime::from_secs(1),
-            CoordMsg::RegisterRadius { server: ServerId(1), radius: 120.0 },
+            CoordMsg::RegisterRadius {
+                server: ServerId(1),
+                radius: 120.0,
+            },
         );
         let CoordAction::Send(_, CoordReply::Tables { extra_tables, .. }) = &actions[0] else {
             panic!("expected tables");
@@ -589,14 +666,20 @@ mod tests {
         // A heartbeat reporting the current epoch gets nothing back.
         let none = c.handle(
             SimTime::from_secs(1),
-            CoordMsg::Heartbeat { server: ServerId(1), epoch: 1 },
+            CoordMsg::Heartbeat {
+                server: ServerId(1),
+                epoch: 1,
+            },
         );
         assert!(none.is_empty());
         // A heartbeat reporting an older epoch (a lost push) triggers a
         // targeted refresh at the current epoch.
         let refreshed = c.handle(
             SimTime::from_secs(2),
-            CoordMsg::Heartbeat { server: ServerId(1), epoch: 0 },
+            CoordMsg::Heartbeat {
+                server: ServerId(1),
+                epoch: 0,
+            },
         );
         assert!(matches!(
             refreshed.as_slice(),
@@ -610,7 +693,10 @@ mod tests {
         let (mut c, _) = registered();
         let actions = c.handle(
             SimTime::from_secs(1),
-            CoordMsg::Heartbeat { server: ServerId(42), epoch: 0 },
+            CoordMsg::Heartbeat {
+                server: ServerId(42),
+                epoch: 0,
+            },
         );
         assert!(actions.is_empty(), "retired/unknown servers get no tables");
     }

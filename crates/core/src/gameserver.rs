@@ -10,13 +10,20 @@
 //! MMOGs without actually needing to understand the game logic".
 
 use crate::config::GameServerConfig;
-use crate::messages::{ClientToGame, GameToClient, GameToMatrix, LoadReport, MatrixToGame};
+use crate::messages::{
+    ClientToGame, GameToClient, GameToMatrix, LoadReport, MatrixToGame, UpdateItem,
+};
 use crate::packet::{ClientId, GamePacket, SpatialTag};
 use bytes::Bytes;
 use matrix_geometry::{Point, Rect, ServerId};
+use matrix_interest::{InterestGrid, UpdateBatcher};
 use matrix_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+
+/// Per-batch wire overhead (framing + type tag) beyond the items,
+/// used for bandwidth accounting.
+const BATCH_HEADER_BYTES: u64 = 24;
 
 /// An effect the game server asks its driver to carry out.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,6 +61,16 @@ pub struct GameStats {
     /// Joins accepted before the bulk state transfer finished (measures
     /// the split readiness gap).
     pub joins_before_ready: u64,
+    /// `UpdateBatch` messages flushed to clients.
+    pub batches_flushed: u64,
+    /// Individual updates carried inside those batches.
+    pub updates_batched: u64,
+    /// Estimated bytes of client-bound batch traffic (headers + items +
+    /// payloads) — the bandwidth the interest/batching layer accounts for.
+    pub batch_bytes: u64,
+    /// Updates discarded because their client left or switched away
+    /// before the flush.
+    pub updates_dropped: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,8 +92,14 @@ pub struct GameServerNode {
     radius: f64,
     range: Option<Rect>,
     clients: BTreeMap<ClientId, ClientRecord>,
+    /// Spatial-hash index over client positions: fan-out asks it "who can
+    /// see this point" instead of scanning every client.
+    grid: InterestGrid<ClientId>,
+    /// Client-bound updates coalescing until the next batch flush.
+    batcher: UpdateBatcher<ClientId, UpdateItem>,
+    last_flush: SimTime,
     /// Whether update fan-out to clients is emitted as real messages
-    /// (true in the tokio runtime) or only counted (discrete-event runs).
+    /// (true in the async runtime) or only counted (discrete-event runs).
     emit_fanout: bool,
     ready: bool,
     ticks: u64,
@@ -89,23 +112,55 @@ impl GameServerNode {
     pub fn new(id: ServerId, cfg: GameServerConfig) -> GameServerNode {
         GameServerNode {
             id,
-            cfg,
             radius: 0.0,
             range: None,
             clients: BTreeMap::new(),
-            emit_fanout: false,
+            grid: Self::make_grid(Rect::from_coords(0.0, 0.0, 1.0, 1.0), &cfg),
+            batcher: UpdateBatcher::new(),
+            last_flush: SimTime::ZERO,
+            emit_fanout: cfg.emit_updates,
             ready: false,
             ticks: 0,
             seq: 0,
             stats: GameStats::default(),
+            cfg,
         }
     }
 
-    /// Enables per-client update emission (used by the tokio runtime where
-    /// clients are real connections).
+    /// Enables per-client update emission (used by the async runtime
+    /// where clients are real connections).
     pub fn with_fanout(mut self) -> GameServerNode {
         self.emit_fanout = true;
         self
+    }
+
+    fn make_grid(bounds: Rect, cfg: &GameServerConfig) -> InterestGrid<ClientId> {
+        let cells = cfg.cells_per_axis.max(1);
+        // Hold jittering clients in their cell for a tenth of a cell; the
+        // grid widens queries by the same margin, so results are exact.
+        let margin = 0.1 * (bounds.width() / cells as f64).min(bounds.height() / cells as f64);
+        InterestGrid::new(bounds, cells).with_hysteresis(margin.max(0.0))
+    }
+
+    /// Re-anchors the interest grid to a new managed range, re-indexing
+    /// the connected clients (splits and reclaims are rare; moves are
+    /// not — so the grid is rebuilt here and edited incrementally
+    /// everywhere else).
+    fn rebuild_grid(&mut self, bounds: Rect) {
+        self.grid = Self::make_grid(bounds, &self.cfg);
+        for (cid, rec) in &self.clients {
+            self.grid.insert(*cid, rec.pos);
+        }
+    }
+
+    /// The per-client area-of-interest radius: configured vision radius,
+    /// falling back to the game's registered radius of visibility.
+    fn vision_radius(&self) -> f64 {
+        if self.cfg.vision_radius > 0.0 {
+            self.cfg.vision_radius
+        } else {
+            self.radius
+        }
     }
 
     /// Developer API entry point: register the game with Matrix
@@ -114,7 +169,11 @@ impl GameServerNode {
         self.radius = radius;
         self.range = Some(world);
         self.ready = true;
-        vec![GameAction::ToMatrix(GameToMatrix::Register { world, radius })]
+        self.rebuild_grid(world);
+        vec![GameAction::ToMatrix(GameToMatrix::Register {
+            world,
+            radius,
+        })]
     }
 
     // -- accessors -----------------------------------------------------------
@@ -158,15 +217,31 @@ impl GameServerNode {
     // -- client input ----------------------------------------------------------
 
     /// Handles a message from a game client.
-    pub fn on_client(&mut self, _now: SimTime, client: ClientId, msg: ClientToGame) -> Vec<GameAction> {
+    pub fn on_client(
+        &mut self,
+        now: SimTime,
+        client: ClientId,
+        msg: ClientToGame,
+    ) -> Vec<GameAction> {
         match msg {
             ClientToGame::Join { pos, state_bytes } => {
                 self.stats.joins += 1;
                 if !self.ready {
                     self.stats.joins_before_ready += 1;
                 }
-                self.clients.insert(client, ClientRecord { pos, state_bytes, resolving: false });
-                let mut out = vec![GameAction::ToClient(client, GameToClient::Joined { server: self.id })];
+                self.clients.insert(
+                    client,
+                    ClientRecord {
+                        pos,
+                        state_bytes,
+                        resolving: false,
+                    },
+                );
+                self.grid.insert(client, pos);
+                let mut out = vec![GameAction::ToClient(
+                    client,
+                    GameToClient::Joined { server: self.id },
+                )];
                 out.extend(self.check_roaming(client));
                 out
             }
@@ -176,8 +251,9 @@ impl GameServerNode {
                     return Vec::new(); // stale packet from a switched client
                 };
                 rec.pos = pos;
+                self.grid.update(client, pos);
                 let mut out = self.forward_event(client, pos, self.cfg_move_bytes());
-                out.extend(self.fan_out(pos, self.cfg_move_bytes(), Some(client)));
+                out.extend(self.fan_out(now, pos, self.cfg_move_bytes(), Some(client)));
                 out.extend(self.check_roaming(client));
                 out
             }
@@ -187,16 +263,19 @@ impl GameServerNode {
                     return Vec::new();
                 };
                 rec.pos = pos;
+                self.grid.update(client, pos);
                 let seq = self.seq;
                 let mut out = self.forward_event(client, pos, payload_bytes);
                 out.push(GameAction::ToClient(client, GameToClient::Ack { seq }));
-                out.extend(self.fan_out(pos, payload_bytes, Some(client)));
+                out.extend(self.fan_out(now, pos, payload_bytes, Some(client)));
                 out.extend(self.check_roaming(client));
                 out
             }
             ClientToGame::Leave => {
                 if self.clients.remove(&client).is_some() {
                     self.stats.leaves += 1;
+                    self.grid.remove(client);
+                    self.stats.updates_dropped += self.batcher.forget(client) as u64;
                 }
                 Vec::new()
             }
@@ -208,7 +287,12 @@ impl GameServerNode {
     }
 
     /// Spatially tags an event and forwards it to Matrix (§3.1).
-    fn forward_event(&mut self, client: ClientId, pos: Point, payload_bytes: usize) -> Vec<GameAction> {
+    fn forward_event(
+        &mut self,
+        client: ClientId,
+        pos: Point,
+        payload_bytes: usize,
+    ) -> Vec<GameAction> {
         let seq = self.seq;
         self.seq += 1;
         let pkt = GamePacket {
@@ -220,27 +304,80 @@ impl GameServerNode {
         vec![GameAction::ToMatrix(GameToMatrix::Forward(pkt))]
     }
 
-    /// Delivers an event to every local client within the radius of
-    /// visibility. Emission is optional; counting is not, because the
+    /// Delivers an event to every local client whose area of interest
+    /// contains it. Receivers come from the interest grid (O(cells +
+    /// matches) instead of a scan over all clients); emitted updates are
+    /// coalesced per client and flushed as `UpdateBatch` messages on the
+    /// batch interval. Emission is optional; counting is not, because the
     /// fan-out volume is what loads a hotspot server.
-    fn fan_out(&mut self, origin: Point, payload_bytes: usize, exclude: Option<ClientId>) -> Vec<GameAction> {
-        let mut out = Vec::new();
+    fn fan_out(
+        &mut self,
+        now: SimTime,
+        origin: Point,
+        payload_bytes: usize,
+        exclude: Option<ClientId>,
+    ) -> Vec<GameAction> {
         let mut n = 0;
-        for (cid, rec) in &self.clients {
-            if Some(*cid) == exclude {
+        let emit = self.emit_fanout;
+        let vision = self.vision_radius();
+        let batcher = &mut self.batcher;
+        self.grid.query(origin, vision, self.cfg.metric, |cid, _| {
+            if Some(cid) == exclude {
+                return;
+            }
+            n += 1;
+            if emit {
+                batcher.push(
+                    cid,
+                    UpdateItem {
+                        origin,
+                        payload_bytes,
+                    },
+                );
+            }
+        });
+        self.stats.updates_fanned += n;
+        self.flush_if_due(now)
+    }
+
+    /// Flushes pending batches when the batch interval has elapsed.
+    fn flush_if_due(&mut self, now: SimTime) -> Vec<GameAction> {
+        if self.batcher.is_empty() || now.since(self.last_flush) < self.cfg.batch_interval {
+            return Vec::new();
+        }
+        self.flush_updates(now)
+    }
+
+    /// Flushes every pending client-bound update batch immediately.
+    ///
+    /// Drivers call this from their tick path (both the discrete-event
+    /// harness and the async runtime tick through [`GameServerNode::on_tick`],
+    /// which flushes due batches); exposing it publicly lets a driver
+    /// force a flush on shutdown.
+    pub fn flush_updates(&mut self, now: SimTime) -> Vec<GameAction> {
+        self.last_flush = now;
+        if self.batcher.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (cid, updates) in self.batcher.drain() {
+            // A client may have switched away between queueing and flush.
+            if !self.clients.contains_key(&cid) {
+                self.stats.updates_dropped += updates.len() as u64;
                 continue;
             }
-            if rec.pos.distance_by(origin, self.cfg.metric) <= self.radius {
-                n += 1;
-                if self.emit_fanout {
-                    out.push(GameAction::ToClient(
-                        *cid,
-                        GameToClient::Update { origin, payload_bytes },
-                    ));
-                }
-            }
+            self.stats.batches_flushed += 1;
+            self.stats.updates_batched += updates.len() as u64;
+            self.stats.batch_bytes += BATCH_HEADER_BYTES
+                + updates
+                    .iter()
+                    .map(|u| (UpdateItem::WIRE_BYTES + u.payload_bytes) as u64)
+                    .sum::<u64>();
+            out.push(GameAction::ToClient(
+                cid,
+                GameToClient::UpdateBatch { updates },
+            ));
         }
-        self.stats.updates_fanned += n;
         out
     }
 
@@ -258,19 +395,23 @@ impl GameServerNode {
         }
         rec.resolving = true;
         self.stats.whereis_queries += 1;
-        vec![GameAction::ToMatrix(GameToMatrix::WhereIs { client, point: rec.pos })]
+        vec![GameAction::ToMatrix(GameToMatrix::WhereIs {
+            client,
+            point: rec.pos,
+        })]
     }
 
     // -- matrix input ------------------------------------------------------------
 
     /// Handles an instruction from the co-located Matrix server.
-    pub fn on_matrix(&mut self, _now: SimTime, msg: MatrixToGame) -> Vec<GameAction> {
+    pub fn on_matrix(&mut self, now: SimTime, msg: MatrixToGame) -> Vec<GameAction> {
         match msg {
             MatrixToGame::SetRange { range, radius } => {
                 self.range = Some(range);
                 if radius > 0.0 {
                     self.radius = radius;
                 }
+                self.rebuild_grid(range);
                 Vec::new()
             }
             MatrixToGame::RedirectClients { region, to } => self.redirect_region(region, to),
@@ -278,9 +419,13 @@ impl GameServerNode {
             MatrixToGame::Deliver(pkt) => {
                 self.stats.remote_updates += 1;
                 let origin = pkt.tag.dest.unwrap_or(pkt.tag.origin);
-                self.fan_out(origin, pkt.payload.len(), None)
+                self.fan_out(now, origin, pkt.payload.len(), None)
             }
-            MatrixToGame::Owner { client, point: _, owner } => {
+            MatrixToGame::Owner {
+                client,
+                point: _,
+                owner,
+            } => {
                 if let Some(rec) = self.clients.get_mut(&client) {
                     rec.resolving = false;
                 }
@@ -296,7 +441,11 @@ impl GameServerNode {
                 self.stats.state_bytes_in += bytes;
                 Vec::new()
             }
-            MatrixToGame::ReceiveClient { from: _, client: _, bytes: _ } => {
+            MatrixToGame::ReceiveClient {
+                from: _,
+                client: _,
+                bytes: _,
+            } => {
                 self.stats.client_states_in += 1;
                 Vec::new()
             }
@@ -328,13 +477,18 @@ impl GameServerNode {
         let mut out = Vec::with_capacity(moving.len() * 2);
         for (client, rec) in moving {
             self.clients.remove(&client);
+            self.grid.remove(client);
+            self.stats.updates_dropped += self.batcher.forget(client) as u64;
             self.stats.redirects_out += 1;
             out.push(GameAction::ToMatrix(GameToMatrix::TransferClient {
                 to,
                 client,
                 bytes: rec.state_bytes.max(self.cfg.client_state_bytes),
             }));
-            out.push(GameAction::ToClient(client, GameToClient::SwitchServer { to }));
+            out.push(GameAction::ToClient(
+                client,
+                GameToClient::SwitchServer { to },
+            ));
         }
         out
     }
@@ -343,6 +497,8 @@ impl GameServerNode {
         let Some(rec) = self.clients.remove(&client) else {
             return Vec::new();
         };
+        self.grid.remove(client);
+        self.stats.updates_dropped += self.batcher.forget(client) as u64;
         self.stats.redirects_out += 1;
         vec![
             GameAction::ToMatrix(GameToMatrix::TransferClient {
@@ -359,11 +515,16 @@ impl GameServerNode {
     /// Game tick. `queue_backlog` is the observed receive-queue backlog
     /// (measured by the driver, which owns the queue model); it is folded
     /// into the periodic load report (§3.2.3 "explicit load messages ...
-    /// or system performance measurements").
-    pub fn on_tick(&mut self, _now: SimTime, queue_backlog: f64) -> Vec<GameAction> {
+    /// or system performance measurements"). Ticks also flush any
+    /// client-bound update batches whose interval has elapsed, bounding
+    /// batching latency even when no further events arrive.
+    pub fn on_tick(&mut self, now: SimTime, queue_backlog: f64) -> Vec<GameAction> {
         self.ticks += 1;
-        let mut out = Vec::new();
-        if self.ticks.is_multiple_of(self.cfg.report_every_ticks.max(1) as u64) {
+        let mut out = self.flush_if_due(now);
+        if self
+            .ticks
+            .is_multiple_of(self.cfg.report_every_ticks.max(1) as u64)
+        {
             let positions = if self.cfg.report_positions {
                 self.client_positions()
             } else {
@@ -382,6 +543,7 @@ impl GameServerNode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use matrix_geometry::Metric;
     use matrix_sim::SimTime;
 
     fn world() -> Rect {
@@ -395,7 +557,14 @@ mod tests {
     }
 
     fn join(g: &mut GameServerNode, id: u64, pos: Point) {
-        g.on_client(SimTime::ZERO, ClientId(id), ClientToGame::Join { pos, state_bytes: 100 });
+        g.on_client(
+            SimTime::ZERO,
+            ClientId(id),
+            ClientToGame::Join {
+                pos,
+                state_bytes: 100,
+            },
+        );
     }
 
     #[test]
@@ -416,7 +585,10 @@ mod tests {
         let actions = g.on_client(
             SimTime::ZERO,
             ClientId(1),
-            ClientToGame::Join { pos: Point::new(10.0, 10.0), state_bytes: 64 },
+            ClientToGame::Join {
+                pos: Point::new(10.0, 10.0),
+                state_bytes: 64,
+            },
         );
         assert!(actions.iter().any(|a| matches!(a,
             GameAction::ToClient(c, GameToClient::Joined { server })
@@ -428,8 +600,13 @@ mod tests {
     fn move_forwards_tagged_packet() {
         let mut g = node();
         join(&mut g, 1, Point::new(10.0, 10.0));
-        let actions =
-            g.on_client(SimTime::ZERO, ClientId(1), ClientToGame::Move { pos: Point::new(11.0, 10.0) });
+        let actions = g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Move {
+                pos: Point::new(11.0, 10.0),
+            },
+        );
         let forwarded = actions.iter().find_map(|a| match a {
             GameAction::ToMatrix(GameToMatrix::Forward(pkt)) => Some(pkt.clone()),
             _ => None,
@@ -446,9 +623,14 @@ mod tests {
         let actions = g.on_client(
             SimTime::ZERO,
             ClientId(1),
-            ClientToGame::Action { pos: Point::new(10.0, 10.0), payload_bytes: 64 },
+            ClientToGame::Action {
+                pos: Point::new(10.0, 10.0),
+                payload_bytes: 64,
+            },
         );
-        assert!(actions.iter().any(|a| matches!(a, GameAction::ToClient(c, GameToClient::Ack { .. }) if *c == ClientId(1))));
+        assert!(actions.iter().any(
+            |a| matches!(a, GameAction::ToClient(c, GameToClient::Ack { .. }) if *c == ClientId(1))
+        ));
     }
 
     #[test]
@@ -457,7 +639,14 @@ mod tests {
         join(&mut g, 1, Point::new(100.0, 100.0));
         join(&mut g, 2, Point::new(110.0, 100.0)); // within 50
         join(&mut g, 3, Point::new(350.0, 350.0)); // far away
-        g.on_client(SimTime::ZERO, ClientId(1), ClientToGame::Action { pos: Point::new(100.0, 100.0), payload_bytes: 10 });
+        g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(100.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
         assert_eq!(g.stats().updates_fanned, 1, "only client 2 sees the action");
     }
 
@@ -467,20 +656,202 @@ mod tests {
         g.register(world(), 50.0);
         join(&mut g, 1, Point::new(100.0, 100.0));
         join(&mut g, 2, Point::new(110.0, 100.0));
+        g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(100.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
+        // Updates coalesce until the batch interval elapses; the tick
+        // flushes them as one UpdateBatch per receiver.
+        let actions = g.on_tick(SimTime::from_millis(100), 0.0);
+        assert!(actions.iter().any(|a| matches!(a,
+            GameAction::ToClient(c, GameToClient::UpdateBatch { updates })
+                if *c == ClientId(2) && updates.len() == 1 && updates[0].payload_bytes == 10)));
+        assert_eq!(g.stats().batches_flushed, 1);
+        assert_eq!(g.stats().updates_batched, 1);
+        assert!(g.stats().batch_bytes > 0);
+    }
+
+    #[test]
+    fn without_opt_in_no_batches_are_emitted() {
+        let mut g = node(); // emit_updates defaults to false
+        join(&mut g, 1, Point::new(100.0, 100.0));
+        join(&mut g, 2, Point::new(110.0, 100.0));
+        g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(100.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
+        let actions = g.on_tick(SimTime::from_millis(100), 0.0);
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, GameAction::ToClient(_, GameToClient::UpdateBatch { .. }))));
+        assert_eq!(g.stats().updates_fanned, 1, "counting still happens");
+    }
+
+    #[test]
+    fn batches_coalesce_multiple_events_per_client() {
+        let mut g = GameServerNode::new(ServerId(1), GameServerConfig::default()).with_fanout();
+        g.register(world(), 50.0);
+        join(&mut g, 1, Point::new(100.0, 100.0));
+        join(&mut g, 2, Point::new(110.0, 100.0));
+        join(&mut g, 3, Point::new(120.0, 100.0));
+        // Three events inside the batch interval.
+        for i in 0..3u64 {
+            g.on_client(
+                SimTime::from_millis(i * 10),
+                ClientId(1),
+                ClientToGame::Action {
+                    pos: Point::new(100.0, 100.0),
+                    payload_bytes: 8,
+                },
+            );
+        }
+        let actions = g.on_tick(SimTime::from_millis(100), 0.0);
+        let batches: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                GameAction::ToClient(c, GameToClient::UpdateBatch { updates }) => {
+                    Some((*c, updates.len()))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches, vec![(ClientId(2), 3), (ClientId(3), 3)]);
+        assert_eq!(g.stats().batches_flushed, 2);
+        assert_eq!(g.stats().updates_batched, 6);
+    }
+
+    #[test]
+    fn zero_batch_interval_flushes_immediately() {
+        let cfg = GameServerConfig {
+            batch_interval: matrix_sim::SimDuration::from_millis(0),
+            ..GameServerConfig::default()
+        };
+        let mut g = GameServerNode::new(ServerId(1), cfg).with_fanout();
+        g.register(world(), 50.0);
+        join(&mut g, 1, Point::new(100.0, 100.0));
+        join(&mut g, 2, Point::new(110.0, 100.0));
         let actions = g.on_client(
             SimTime::ZERO,
             ClientId(1),
-            ClientToGame::Action { pos: Point::new(100.0, 100.0), payload_bytes: 10 },
+            ClientToGame::Action {
+                pos: Point::new(100.0, 100.0),
+                payload_bytes: 10,
+            },
         );
         assert!(actions.iter().any(|a| matches!(a,
-            GameAction::ToClient(c, GameToClient::Update { .. }) if *c == ClientId(2))));
+            GameAction::ToClient(c, GameToClient::UpdateBatch { updates })
+                if *c == ClientId(2) && updates.len() == 1)));
+    }
+
+    #[test]
+    fn switched_clients_pending_updates_are_dropped() {
+        let mut g = GameServerNode::new(ServerId(1), GameServerConfig::default()).with_fanout();
+        g.register(world(), 50.0);
+        join(&mut g, 1, Point::new(100.0, 100.0));
+        join(&mut g, 2, Point::new(110.0, 100.0));
+        g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(100.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
+        // Client 2 leaves before the flush: its queued update must die
+        // with it, not leak to a disconnected receiver.
+        g.on_client(SimTime::ZERO, ClientId(2), ClientToGame::Leave);
+        let actions = g.on_tick(SimTime::from_millis(100), 0.0);
+        assert!(!actions.iter().any(|a| matches!(a,
+            GameAction::ToClient(c, _) if *c == ClientId(2))));
+        assert_eq!(g.stats().updates_dropped, 1);
+        assert_eq!(g.stats().batches_flushed, 0);
+    }
+
+    #[test]
+    fn vision_radius_overrides_consistency_radius_for_fanout() {
+        let cfg = GameServerConfig {
+            vision_radius: 15.0,
+            ..GameServerConfig::default()
+        };
+        let mut g = GameServerNode::new(ServerId(1), cfg);
+        g.register(world(), 50.0); // consistency radius stays 50
+        join(&mut g, 1, Point::new(100.0, 100.0));
+        join(&mut g, 2, Point::new(110.0, 100.0)); // within 15
+        join(&mut g, 3, Point::new(130.0, 100.0)); // within 50 but not 15
+        g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(100.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
+        assert_eq!(
+            g.stats().updates_fanned,
+            1,
+            "only the 15-unit neighbour sees it"
+        );
+    }
+
+    #[test]
+    fn grid_fanout_matches_linear_scan_after_moves() {
+        // Drive a small crowd through joins, moves and a range change and
+        // compare the counted receiver set against a brute-force scan.
+        let mut g = node();
+        let positions = [
+            (1, 100.0, 100.0),
+            (2, 110.0, 100.0),
+            (3, 149.9, 100.0),
+            (4, 150.1, 100.0),
+            (5, 350.0, 350.0),
+        ];
+        for (id, x, y) in positions {
+            join(&mut g, id, Point::new(x, y));
+        }
+        // Jitter a client across a cell boundary a few times.
+        for i in 0..5 {
+            let x = if i % 2 == 0 { 199.9 } else { 200.1 };
+            g.on_client(
+                SimTime::ZERO,
+                ClientId(5),
+                ClientToGame::Move {
+                    pos: Point::new(x, 100.0),
+                },
+            );
+        }
+        let before = g.stats().updates_fanned;
+        g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(100.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
+        let counted = g.stats().updates_fanned - before;
+        let expected = g
+            .client_positions()
+            .iter()
+            .filter(|p| p.distance_by(Point::new(100.0, 100.0), Metric::Euclidean) <= 50.0)
+            .count() as u64
+            - 1; // minus the acting client itself
+        assert_eq!(counted, expected);
     }
 
     #[test]
     fn deliver_from_peer_counts_remote_update() {
         let mut g = node();
         join(&mut g, 1, Point::new(10.0, 10.0));
-        let pkt = GamePacket::synthetic(ClientId(99), SpatialTag::at(Point::new(20.0, 10.0)), 16, 0);
+        let pkt =
+            GamePacket::synthetic(ClientId(99), SpatialTag::at(Point::new(20.0, 10.0)), 16, 0);
         g.on_matrix(SimTime::ZERO, MatrixToGame::Deliver(pkt));
         assert_eq!(g.stats().remote_updates, 1);
         assert_eq!(g.stats().updates_fanned, 1);
@@ -492,7 +863,13 @@ mod tests {
         join(&mut g, 1, Point::new(50.0, 50.0)); // inside region
         join(&mut g, 2, Point::new(300.0, 300.0)); // outside
         let region = Rect::from_coords(0.0, 0.0, 200.0, 400.0);
-        let actions = g.on_matrix(SimTime::ZERO, MatrixToGame::RedirectClients { region, to: ServerId(2) });
+        let actions = g.on_matrix(
+            SimTime::ZERO,
+            MatrixToGame::RedirectClients {
+                region,
+                to: ServerId(2),
+            },
+        );
         assert!(actions.iter().any(|a| matches!(a,
             GameAction::ToClient(c, GameToClient::SwitchServer { to })
                 if *c == ClientId(1) && *to == ServerId(2))));
@@ -514,7 +891,12 @@ mod tests {
         assert_eq!(g.client_count(), 0);
         let switches = actions
             .iter()
-            .filter(|a| matches!(a, GameAction::ToClient(_, GameToClient::SwitchServer { .. })))
+            .filter(|a| {
+                matches!(
+                    a,
+                    GameAction::ToClient(_, GameToClient::SwitchServer { .. })
+                )
+            })
             .count();
         assert_eq!(switches, 2);
     }
@@ -526,13 +908,32 @@ mod tests {
         // Shrink our range so the client is now outside.
         g.on_matrix(
             SimTime::ZERO,
-            MatrixToGame::SetRange { range: Rect::from_coords(200.0, 0.0, 400.0, 400.0), radius: 50.0 },
+            MatrixToGame::SetRange {
+                range: Rect::from_coords(200.0, 0.0, 400.0, 400.0),
+                radius: 50.0,
+            },
         );
-        let a1 = g.on_client(SimTime::ZERO, ClientId(1), ClientToGame::Move { pos: Point::new(11.0, 10.0) });
-        assert!(a1.iter().any(|a| matches!(a, GameAction::ToMatrix(GameToMatrix::WhereIs { .. }))));
+        let a1 = g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Move {
+                pos: Point::new(11.0, 10.0),
+            },
+        );
+        assert!(a1
+            .iter()
+            .any(|a| matches!(a, GameAction::ToMatrix(GameToMatrix::WhereIs { .. }))));
         // A second move while resolving must not re-query.
-        let a2 = g.on_client(SimTime::ZERO, ClientId(1), ClientToGame::Move { pos: Point::new(12.0, 10.0) });
-        assert!(!a2.iter().any(|a| matches!(a, GameAction::ToMatrix(GameToMatrix::WhereIs { .. }))));
+        let a2 = g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Move {
+                pos: Point::new(12.0, 10.0),
+            },
+        );
+        assert!(!a2
+            .iter()
+            .any(|a| matches!(a, GameAction::ToMatrix(GameToMatrix::WhereIs { .. }))));
         assert_eq!(g.stats().whereis_queries, 1);
     }
 
@@ -542,7 +943,11 @@ mod tests {
         join(&mut g, 1, Point::new(10.0, 10.0));
         let actions = g.on_matrix(
             SimTime::ZERO,
-            MatrixToGame::Owner { client: ClientId(1), point: Point::new(10.0, 10.0), owner: Some(ServerId(3)) },
+            MatrixToGame::Owner {
+                client: ClientId(1),
+                point: Point::new(10.0, 10.0),
+                owner: Some(ServerId(3)),
+            },
         );
         assert!(actions.iter().any(|a| matches!(a,
             GameAction::ToClient(c, GameToClient::SwitchServer { to })
@@ -556,7 +961,11 @@ mod tests {
         join(&mut g, 1, Point::new(10.0, 10.0));
         let actions = g.on_matrix(
             SimTime::ZERO,
-            MatrixToGame::Owner { client: ClientId(1), point: Point::new(10.0, 10.0), owner: Some(ServerId(1)) },
+            MatrixToGame::Owner {
+                client: ClientId(1),
+                point: Point::new(10.0, 10.0),
+                owner: Some(ServerId(1)),
+            },
         );
         assert!(actions.is_empty());
         assert_eq!(g.client_count(), 1);
@@ -587,12 +996,21 @@ mod tests {
         let mut g = GameServerNode::new(ServerId(7), GameServerConfig::default());
         g.on_matrix(
             SimTime::ZERO,
-            MatrixToGame::SetRange { range: Rect::from_coords(0.0, 0.0, 200.0, 400.0), radius: 50.0 },
+            MatrixToGame::SetRange {
+                range: Rect::from_coords(0.0, 0.0, 200.0, 400.0),
+                radius: 50.0,
+            },
         );
         assert!(!g.is_ready());
         join(&mut g, 1, Point::new(10.0, 10.0));
         assert_eq!(g.stats().joins_before_ready, 1);
-        g.on_matrix(SimTime::ZERO, MatrixToGame::ReceiveState { from: ServerId(1), bytes: 1_000_000 });
+        g.on_matrix(
+            SimTime::ZERO,
+            MatrixToGame::ReceiveState {
+                from: ServerId(1),
+                bytes: 1_000_000,
+            },
+        );
         assert!(g.is_ready());
         assert_eq!(g.stats().state_bytes_in, 1_000_000);
     }
@@ -600,8 +1018,13 @@ mod tests {
     #[test]
     fn stale_packets_from_switched_clients_are_ignored() {
         let mut g = node();
-        let actions =
-            g.on_client(SimTime::ZERO, ClientId(42), ClientToGame::Move { pos: Point::new(1.0, 1.0) });
+        let actions = g.on_client(
+            SimTime::ZERO,
+            ClientId(42),
+            ClientToGame::Move {
+                pos: Point::new(1.0, 1.0),
+            },
+        );
         assert!(actions.is_empty());
         assert_eq!(g.stats().moves, 1, "counted but not processed");
     }

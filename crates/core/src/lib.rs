@@ -14,7 +14,16 @@
 //!   [`ResourcePool`] and **reclaiming** underloaded children, with
 //!   hysteresis against oscillation,
 //! * redirecting clients transparently during splits, reclaims and
-//!   roaming ([`GameServerNode`]).
+//!   roaming ([`GameServerNode`]),
+//! * **interest management** inside each game server: an incremental
+//!   spatial-hash [`InterestGrid`] answers "which local clients can see
+//!   this event" in O(cells + matches) instead of scanning every
+//!   client, with a per-client vision radius
+//!   (`GameServerConfig::vision_radius`) distinct from the
+//!   consistency-set radius, and an [`UpdateBatcher`] that coalesces
+//!   client-bound updates into `GameToClient::UpdateBatch` messages on
+//!   a configurable flush interval (`batch_interval`), with bandwidth
+//!   accounting in [`GameStats`].
 //!
 //! Every component is a **sans-io state machine**: handlers take one input
 //! message and return the actions to perform. The discrete-event harness
@@ -57,6 +66,7 @@
 
 pub mod analysis;
 pub mod baseline;
+pub mod codec;
 mod config;
 mod coordinator;
 mod gameserver;
@@ -72,11 +82,15 @@ pub use gameserver::{GameAction, GameServerNode, GameStats};
 pub use load::{Cooldown, LoadTracker};
 pub use messages::{
     ClientToGame, CoordMsg, CoordReply, Envelope, GameToClient, GameToMatrix, LoadReport,
-    LoadSnapshot, MatrixToGame, PeerMsg, PoolMsg, PoolReply,
+    LoadSnapshot, MatrixToGame, PeerMsg, PoolMsg, PoolReply, UpdateItem,
 };
 pub use packet::{ClientId, GamePacket, SpatialTag};
 pub use pool::{PoolStats, ResourcePool};
 pub use server::{Action, Lifecycle, MatrixServer, ServerStats};
+
+// Re-export the interest-management subsystem at the API boundary: game
+// servers own an `InterestGrid` and drivers may want to query it.
+pub use matrix_interest::{InterestGrid, UpdateBatcher};
 
 // Re-export the spatial vocabulary users need at the API boundary.
 pub use matrix_geometry::{Metric, Point, Rect, ServerId, SplitStrategy};

@@ -70,13 +70,21 @@ impl LoadTracker {
 
     /// Whether the overload condition has persisted long enough to act.
     pub fn is_overloaded(&self, cfg: &MatrixConfig) -> bool {
-        let needed = if cfg.adaptive { cfg.overload_streak.max(1) } else { u32::MAX };
+        let needed = if cfg.adaptive {
+            cfg.overload_streak.max(1)
+        } else {
+            u32::MAX
+        };
         self.overload_streak >= needed
     }
 
     /// Whether the underload condition has persisted long enough to act.
     pub fn is_underloaded(&self, cfg: &MatrixConfig) -> bool {
-        let needed = if cfg.adaptive { cfg.underload_streak.max(1) } else { u32::MAX };
+        let needed = if cfg.adaptive {
+            cfg.underload_streak.max(1)
+        } else {
+            u32::MAX
+        };
         self.underload_streak >= needed
     }
 
@@ -117,7 +125,11 @@ mod tests {
     use super::*;
 
     fn report(clients: u32) -> LoadReport {
-        LoadReport { clients, queue_backlog: 0.0, positions: Vec::new() }
+        LoadReport {
+            clients,
+            queue_backlog: 0.0,
+            positions: Vec::new(),
+        }
     }
 
     #[test]
@@ -147,7 +159,11 @@ mod tests {
         for _ in 0..2 {
             t.observe(
                 &cfg,
-                LoadReport { clients: 10, queue_backlog: 10_000.0, positions: Vec::new() },
+                LoadReport {
+                    clients: 10,
+                    queue_backlog: 10_000.0,
+                    positions: Vec::new(),
+                },
             );
         }
         assert!(t.is_overloaded(&cfg));

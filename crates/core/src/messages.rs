@@ -43,6 +43,21 @@ pub enum ClientToGame {
     Leave,
 }
 
+/// One visible event inside a [`GameToClient::UpdateBatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpdateItem {
+    /// Where the event happened.
+    pub origin: Point,
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+}
+
+impl UpdateItem {
+    /// Per-item overhead on the wire beyond the payload itself
+    /// (coordinates + length), used for bandwidth accounting.
+    pub const WIRE_BYTES: usize = 20;
+}
+
 /// Messages a game server sends to a client.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum GameToClient {
@@ -58,11 +73,22 @@ pub enum GameToClient {
         seq: u64,
     },
     /// A nearby event the client should render.
+    ///
+    /// Emitted for unbatched deliveries; the interest-managed fan-out
+    /// path coalesces events into [`GameToClient::UpdateBatch`] instead.
     Update {
         /// Where the event happened.
         origin: Point,
         /// Payload size in bytes.
         payload_bytes: usize,
+    },
+    /// A coalesced run of nearby events, flushed on the batch interval.
+    ///
+    /// Batching replaces per-update message overhead with per-batch
+    /// overhead; the bytes saved are tracked in `GameStats::batch_bytes`.
+    UpdateBatch {
+        /// The events, oldest first. Never empty.
+        updates: Vec<UpdateItem>,
     },
     /// Instruction to reconnect to a different game server (§3.2.1: "the
     /// client is informed of these switches by its current game server and
@@ -429,21 +455,40 @@ mod tests {
 
     #[test]
     fn load_snapshot_is_copy() {
-        let s = LoadSnapshot { clients: 10, queue_backlog: 1.0, has_children: false };
+        let s = LoadSnapshot {
+            clients: 10,
+            queue_backlog: 1.0,
+            has_children: false,
+        };
         let t = s;
         assert_eq!(s, t);
     }
 
     #[test]
-    fn messages_serialize_round_trip() {
-        let msg = GameToMatrix::WhereIs { client: ClientId(9), point: Point::new(1.0, 2.0) };
-        let json = serde_json::to_string(&msg).unwrap();
-        let back: GameToMatrix = serde_json::from_str(&json).unwrap();
-        assert_eq!(msg, back);
+    fn client_protocol_round_trips_through_codec() {
+        // The client-facing half of the protocol crosses real sockets via
+        // the hand-written JSON codec; every variant must round-trip.
+        use crate::codec;
+        let up = ClientToGame::Join {
+            pos: Point::new(1.5, -2.25),
+            state_bytes: 64,
+        };
+        let line = codec::encode_client_to_game(&up);
+        assert_eq!(codec::decode_client_to_game(&line).unwrap(), up);
 
-        let msg = PoolMsg::Acquire { requester: ServerId(1) };
-        let json = serde_json::to_string(&msg).unwrap();
-        let back: PoolMsg = serde_json::from_str(&json).unwrap();
-        assert_eq!(msg, back);
+        let down = GameToClient::UpdateBatch {
+            updates: vec![
+                UpdateItem {
+                    origin: Point::new(0.1, 0.2),
+                    payload_bytes: 90,
+                },
+                UpdateItem {
+                    origin: Point::new(3.0, 4.0),
+                    payload_bytes: 32,
+                },
+            ],
+        };
+        let line = codec::encode_game_to_client(&down);
+        assert_eq!(codec::decode_game_to_client(&line).unwrap(), down);
     }
 }

@@ -42,12 +42,20 @@ pub struct SpatialTag {
 impl SpatialTag {
     /// Tag for an ordinary proximal event at `origin`.
     pub fn at(origin: Point) -> SpatialTag {
-        SpatialTag { origin, dest: None, radius_override: None }
+        SpatialTag {
+            origin,
+            dest: None,
+            radius_override: None,
+        }
     }
 
     /// Tag for a non-proximal interaction from `origin` to `dest`.
     pub fn towards(origin: Point, dest: Point) -> SpatialTag {
-        SpatialTag { origin, dest: Some(dest), radius_override: None }
+        SpatialTag {
+            origin,
+            dest: Some(dest),
+            radius_override: None,
+        }
     }
 
     /// Applies a visibility-radius override.
@@ -67,7 +75,6 @@ pub struct GamePacket {
     /// Spatial routing tag.
     pub tag: SpatialTag,
     /// Opaque game payload. Matrix never parses it.
-    #[serde(with = "bytes_serde")]
     pub payload: Bytes,
     /// Monotone per-origin sequence number, used for duplicate suppression
     /// in tests and loss accounting in experiments.
@@ -80,7 +87,12 @@ impl GamePacket {
     /// Experiments only need packet *sizes* for bandwidth accounting; real
     /// deployments put actual game data in `payload`.
     pub fn synthetic(client: ClientId, tag: SpatialTag, size: usize, seq: u64) -> GamePacket {
-        GamePacket { client: Some(client), tag, payload: Bytes::from(vec![0u8; size]), seq }
+        GamePacket {
+            client: Some(client),
+            tag,
+            payload: Bytes::from(vec![0u8; size]),
+            seq,
+        }
     }
 
     /// Total size used for bandwidth accounting: payload plus the tag/header
@@ -91,20 +103,6 @@ impl GamePacket {
 
     /// Serialised header overhead: client id, tag, sequence number.
     pub const HEADER_BYTES: usize = 48;
-}
-
-mod bytes_serde {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_bytes(b)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
 }
 
 #[cfg(test)]

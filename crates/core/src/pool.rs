@@ -107,8 +107,18 @@ mod tests {
     #[test]
     fn grants_until_exhausted() {
         let mut pool = ResourcePool::with_capacity(10, 2);
-        assert_eq!(pool.acquire(), PoolReply::Grant { server: ServerId(10) });
-        assert_eq!(pool.acquire(), PoolReply::Grant { server: ServerId(11) });
+        assert_eq!(
+            pool.acquire(),
+            PoolReply::Grant {
+                server: ServerId(10)
+            }
+        );
+        assert_eq!(
+            pool.acquire(),
+            PoolReply::Grant {
+                server: ServerId(11)
+            }
+        );
         assert_eq!(pool.acquire(), PoolReply::Denied);
         assert_eq!(pool.stats().grants, 2);
         assert_eq!(pool.stats().denials, 1);
@@ -118,7 +128,9 @@ mod tests {
     #[test]
     fn release_recycles_servers() {
         let mut pool = ResourcePool::with_capacity(10, 1);
-        let PoolReply::Grant { server } = pool.acquire() else { panic!() };
+        let PoolReply::Grant { server } = pool.acquire() else {
+            panic!()
+        };
         pool.release(server);
         assert_eq!(pool.available(), 1);
         assert_eq!(pool.acquire(), PoolReply::Grant { server });
@@ -127,7 +139,9 @@ mod tests {
     #[test]
     fn double_release_is_idempotent() {
         let mut pool = ResourcePool::with_capacity(1, 1);
-        let PoolReply::Grant { server } = pool.acquire() else { panic!() };
+        let PoolReply::Grant { server } = pool.acquire() else {
+            panic!()
+        };
         pool.release(server);
         pool.release(server);
         assert_eq!(pool.stats().releases, 1);
@@ -145,9 +159,21 @@ mod tests {
     #[test]
     fn handle_maps_messages() {
         let mut pool = ResourcePool::with_capacity(5, 1);
-        let reply = pool.handle(PoolMsg::Acquire { requester: ServerId(1) });
-        assert_eq!(reply, Some(PoolReply::Grant { server: ServerId(5) }));
-        assert_eq!(pool.handle(PoolMsg::Release { server: ServerId(5) }), None);
+        let reply = pool.handle(PoolMsg::Acquire {
+            requester: ServerId(1),
+        });
+        assert_eq!(
+            reply,
+            Some(PoolReply::Grant {
+                server: ServerId(5)
+            })
+        );
+        assert_eq!(
+            pool.handle(PoolMsg::Release {
+                server: ServerId(5)
+            }),
+            None
+        );
         assert_eq!(pool.available(), 1);
     }
 }

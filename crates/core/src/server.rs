@@ -17,7 +17,9 @@ use crate::messages::{
     CoordMsg, CoordReply, GameToMatrix, LoadSnapshot, MatrixToGame, PeerMsg, PoolMsg, PoolReply,
 };
 use crate::packet::{ClientId, GamePacket};
-use matrix_geometry::{consistency_set_from_rects, OverlapTable, PartitionIndex, PartitionMap, Point, Rect, ServerId};
+use matrix_geometry::{
+    consistency_set_from_rects, OverlapTable, PartitionIndex, PartitionMap, Point, Rect, ServerId,
+};
 use matrix_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -213,16 +215,32 @@ impl MatrixServer {
         match msg {
             GameToMatrix::Register { world, radius } => self.handle_register(world, radius),
             GameToMatrix::RegisterRadius { radius } => {
-                vec![Action::ToCoord(CoordMsg::RegisterRadius { server: self.id, radius })]
+                vec![Action::ToCoord(CoordMsg::RegisterRadius {
+                    server: self.id,
+                    radius,
+                })]
             }
             GameToMatrix::Forward(pkt) => self.route_packet(pkt),
             GameToMatrix::Load(report) => self.handle_load(now, report),
             GameToMatrix::WhereIs { client, point } => self.resolve_point(client, point, None),
             GameToMatrix::TransferState { to, bytes } => {
-                vec![Action::ToPeer(to, PeerMsg::StateTransfer { from: self.id, bytes })]
+                vec![Action::ToPeer(
+                    to,
+                    PeerMsg::StateTransfer {
+                        from: self.id,
+                        bytes,
+                    },
+                )]
             }
             GameToMatrix::TransferClient { to, client, bytes } => {
-                vec![Action::ToPeer(to, PeerMsg::ClientTransfer { from: self.id, client, bytes })]
+                vec![Action::ToPeer(
+                    to,
+                    PeerMsg::ClientTransfer {
+                        from: self.id,
+                        client,
+                        bytes,
+                    },
+                )]
             }
         }
     }
@@ -233,7 +251,11 @@ impl MatrixServer {
             // Bootstrap: the very first server owns the whole world.
             self.range = Some(world);
             self.lifecycle = Lifecycle::Active;
-            vec![Action::ToCoord(CoordMsg::RegisterWorld { server: self.id, world, radius })]
+            vec![Action::ToCoord(CoordMsg::RegisterWorld {
+                server: self.id,
+                world,
+                radius,
+            })]
         } else {
             // A re-register on an already-ranged server only refreshes the
             // radius; tables for it exist already (split path).
@@ -245,7 +267,10 @@ impl MatrixServer {
         let mut out = Vec::new();
         self.load.observe(&self.cfg, report);
         if let Some(parent) = self.parent {
-            out.push(Action::ToPeer(parent, PeerMsg::LoadStatus(self.load_snapshot())));
+            out.push(Action::ToPeer(
+                parent,
+                PeerMsg::LoadStatus(self.load_snapshot()),
+            ));
         }
         out.extend(self.maybe_adapt(now));
         out
@@ -307,19 +332,17 @@ impl MatrixServer {
         match &self.map {
             Some(map) => {
                 let parts: Vec<(ServerId, Rect)> = map.iter().collect();
-                consistency_set_from_rects(
-                    &parts,
-                    origin,
-                    self.id,
-                    radius,
-                    self.cfg.metric,
-                )
+                consistency_set_from_rects(&parts, origin, self.id, radius, self.cfg.metric)
             }
             // No directory yet: fall back to the primary table. For
             // overrides below the primary radius this is conservative
             // (a superset); for larger ones some peers may be missed until
             // tables arrive.
-            None => self.table.as_ref().map(|t| t.lookup(origin).to_vec()).unwrap_or_default(),
+            None => self
+                .table
+                .as_ref()
+                .map(|t| t.lookup(origin).to_vec())
+                .unwrap_or_default(),
         }
     }
 
@@ -357,7 +380,11 @@ impl MatrixServer {
         // of this particular interaction (§3.2.4).
         self.stats.coordinator_resolves += 1;
         let client = pkt.client.unwrap_or_default();
-        self.pending_resolves.push(PendingResolve { client, point: dest, packet: Some(pkt) });
+        self.pending_resolves.push(PendingResolve {
+            client,
+            point: dest,
+            packet: Some(pkt),
+        });
         vec![Action::ToCoord(CoordMsg::ResolvePoint {
             server: self.id,
             client,
@@ -383,7 +410,11 @@ impl MatrixServer {
             }
         }
         self.stats.coordinator_resolves += 1;
-        self.pending_resolves.push(PendingResolve { client, point, packet });
+        self.pending_resolves.push(PendingResolve {
+            client,
+            point,
+            packet,
+        });
         vec![Action::ToCoord(CoordMsg::ResolvePoint {
             server: self.id,
             client,
@@ -430,7 +461,10 @@ impl MatrixServer {
             });
             if let Some(child) = candidate {
                 self.pending_reclaim = Some(child);
-                return vec![Action::ToPeer(child, PeerMsg::ReclaimRequest { parent: self.id })];
+                return vec![Action::ToPeer(
+                    child,
+                    PeerMsg::ReclaimRequest { parent: self.id },
+                )];
             }
         }
         Vec::new()
@@ -442,20 +476,33 @@ impl MatrixServer {
     pub fn on_peer(&mut self, now: SimTime, from: ServerId, msg: PeerMsg) -> Vec<Action> {
         match msg {
             PeerMsg::Update(pkt) => self.deliver_update(pkt),
-            PeerMsg::AdoptPartition { parent, range, radius, epoch } => {
-                self.adopt(now, parent, range, radius, epoch)
-            }
+            PeerMsg::AdoptPartition {
+                parent,
+                range,
+                radius,
+                epoch,
+            } => self.adopt(now, parent, range, radius, epoch),
             PeerMsg::AdoptAck { child: _ } => Vec::new(),
             PeerMsg::StateTransfer { from, bytes } => {
                 vec![Action::ToGame(MatrixToGame::ReceiveState { from, bytes })]
             }
-            PeerMsg::ClientTransfer { from, client, bytes } => {
-                vec![Action::ToGame(MatrixToGame::ReceiveClient { from, client, bytes })]
+            PeerMsg::ClientTransfer {
+                from,
+                client,
+                bytes,
+            } => {
+                vec![Action::ToGame(MatrixToGame::ReceiveClient {
+                    from,
+                    client,
+                    bytes,
+                })]
             }
             PeerMsg::ReclaimRequest { parent } => self.handle_reclaim_request(parent),
-            PeerMsg::ReclaimGrant { child, range, clients: _ } => {
-                self.handle_reclaim_grant(now, child, range)
-            }
+            PeerMsg::ReclaimGrant {
+                child,
+                range,
+                clients: _,
+            } => self.handle_reclaim_grant(now, child, range),
             PeerMsg::ReclaimDeny { child } => {
                 if self.pending_reclaim == Some(child) {
                     self.pending_reclaim = None;
@@ -526,7 +573,10 @@ impl MatrixServer {
         vec![
             Action::ToGame(MatrixToGame::SetRange { range, radius }),
             Action::ToPeer(parent, PeerMsg::AdoptAck { child: self.id }),
-            Action::ToCoord(CoordMsg::Heartbeat { server: self.id, epoch: self.epoch }),
+            Action::ToCoord(CoordMsg::Heartbeat {
+                server: self.id,
+                epoch: self.epoch,
+            }),
         ]
     }
 
@@ -537,7 +587,10 @@ impl MatrixServer {
             && !self.load.is_overloaded(&self.cfg)
             && self.range.is_some();
         if !reclaimable {
-            return vec![Action::ToPeer(parent, PeerMsg::ReclaimDeny { child: self.id })];
+            return vec![Action::ToPeer(
+                parent,
+                PeerMsg::ReclaimDeny { child: self.id },
+            )];
         }
         let range = self.range.take().expect("checked above");
         self.lifecycle = Lifecycle::Retired;
@@ -545,7 +598,11 @@ impl MatrixServer {
             Action::ToGame(MatrixToGame::RedirectAll { to: parent }),
             Action::ToPeer(
                 parent,
-                PeerMsg::ReclaimGrant { child: self.id, range, clients: self.load.clients() },
+                PeerMsg::ReclaimGrant {
+                    child: self.id,
+                    range,
+                    clients: self.load.clients(),
+                },
             ),
             Action::ToPool(PoolMsg::Release { server: self.id }),
         ]
@@ -575,7 +632,10 @@ impl MatrixServer {
         self.cooldown.arm(now, &self.cfg);
         self.load.reset_streaks();
         vec![
-            Action::ToGame(MatrixToGame::SetRange { range: merged, radius: self.radius }),
+            Action::ToGame(MatrixToGame::SetRange {
+                range: merged,
+                radius: self.radius,
+            }),
             Action::ToCoord(CoordMsg::ReclaimOccurred {
                 parent: self.id,
                 child,
@@ -589,7 +649,12 @@ impl MatrixServer {
     /// Handles a reply from the coordinator.
     pub fn on_coord(&mut self, _now: SimTime, msg: CoordReply) -> Vec<Action> {
         match msg {
-            CoordReply::Tables { epoch, table, extra_tables, map } => {
+            CoordReply::Tables {
+                epoch,
+                table,
+                extra_tables,
+                map,
+            } => {
                 if epoch < self.epoch {
                     return Vec::new(); // stale recomputation in flight
                 }
@@ -600,9 +665,12 @@ impl MatrixServer {
                 self.map = Some(map);
                 Vec::new()
             }
-            CoordReply::Resolved { client, point, owner, set } => {
-                self.finish_resolve(client, point, owner, set)
-            }
+            CoordReply::Resolved {
+                client,
+                point,
+                owner,
+                set,
+            } => self.finish_resolve(client, point, owner, set),
             CoordReply::AbsorbFailed { failed, range } => self.absorb_failed(failed, range),
         }
     }
@@ -637,7 +705,11 @@ impl MatrixServer {
                         }
                     }
                     None => {
-                        out.push(Action::ToGame(MatrixToGame::Owner { client, point, owner }));
+                        out.push(Action::ToGame(MatrixToGame::Owner {
+                            client,
+                            point,
+                            owner,
+                        }));
                     }
                 }
             } else {
@@ -658,7 +730,10 @@ impl MatrixServer {
         let merged = mine.merges_with(&range).unwrap_or(mine);
         self.range = Some(merged);
         self.stats.absorbs += 1;
-        vec![Action::ToGame(MatrixToGame::SetRange { range: merged, radius: self.radius })]
+        vec![Action::ToGame(MatrixToGame::SetRange {
+            range: merged,
+            radius: self.radius,
+        })]
     }
 
     // -- pool input --------------------------------------------------------------
@@ -710,8 +785,14 @@ impl MatrixServer {
                 parent_range: kept,
                 child_range: given,
             }),
-            Action::ToGame(MatrixToGame::SetRange { range: kept, radius: self.radius }),
-            Action::ToGame(MatrixToGame::RedirectClients { region: given, to: new_server }),
+            Action::ToGame(MatrixToGame::SetRange {
+                range: kept,
+                radius: self.radius,
+            }),
+            Action::ToGame(MatrixToGame::RedirectClients {
+                region: given,
+                to: new_server,
+            }),
         ]
     }
 
@@ -729,9 +810,15 @@ impl MatrixServer {
             .is_none_or(|t| now.since(t) >= self.cfg.heartbeat_every);
         if due {
             self.last_heartbeat = Some(now);
-            out.push(Action::ToCoord(CoordMsg::Heartbeat { server: self.id, epoch: self.epoch }));
+            out.push(Action::ToCoord(CoordMsg::Heartbeat {
+                server: self.id,
+                epoch: self.epoch,
+            }));
             if let Some(parent) = self.parent {
-                out.push(Action::ToPeer(parent, PeerMsg::LoadStatus(self.load_snapshot())));
+                out.push(Action::ToPeer(
+                    parent,
+                    PeerMsg::LoadStatus(self.load_snapshot()),
+                ));
             }
         }
         out.extend(self.maybe_adapt(now));
@@ -751,21 +838,31 @@ mod tests {
     }
 
     fn cfg() -> MatrixConfig {
-        MatrixConfig { cooldown: matrix_sim::SimDuration::from_secs(1), ..MatrixConfig::default() }
+        MatrixConfig {
+            cooldown: matrix_sim::SimDuration::from_secs(1),
+            ..MatrixConfig::default()
+        }
     }
 
     fn overloaded_report() -> GameToMatrix {
-        GameToMatrix::Load(LoadReport { clients: 400, queue_backlog: 0.0, positions: Vec::new() })
+        GameToMatrix::Load(LoadReport {
+            clients: 400,
+            queue_backlog: 0.0,
+            positions: Vec::new(),
+        })
     }
 
     /// Drives a server through registration and table installation against
     /// a two-partition map.
     fn active_pair() -> (MatrixServer, MatrixServer, PartitionMap) {
         let mut map = PartitionMap::new(world(), ServerId(1));
-        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
+        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[])
+            .unwrap();
         let overlap = build_overlap(&map, 50.0, Metric::Euclidean);
-        let mut s1 = MatrixServer::with_range(ServerId(1), cfg(), map.range_of(ServerId(1)).unwrap(), 50.0);
-        let mut s2 = MatrixServer::with_range(ServerId(2), cfg(), map.range_of(ServerId(2)).unwrap(), 50.0);
+        let mut s1 =
+            MatrixServer::with_range(ServerId(1), cfg(), map.range_of(ServerId(1)).unwrap(), 50.0);
+        let mut s2 =
+            MatrixServer::with_range(ServerId(2), cfg(), map.range_of(ServerId(2)).unwrap(), 50.0);
         for s in [&mut s1, &mut s2] {
             s.on_coord(
                 SimTime::ZERO,
@@ -783,7 +880,13 @@ mod tests {
     #[test]
     fn bootstrap_register_claims_world() {
         let mut s = MatrixServer::new(ServerId(1), cfg());
-        let actions = s.on_game(SimTime::ZERO, GameToMatrix::Register { world: world(), radius: 50.0 });
+        let actions = s.on_game(
+            SimTime::ZERO,
+            GameToMatrix::Register {
+                world: world(),
+                radius: 50.0,
+            },
+        );
         assert_eq!(s.range(), Some(world()));
         assert_eq!(s.lifecycle(), Lifecycle::Active);
         assert!(matches!(
@@ -795,7 +898,8 @@ mod tests {
     #[test]
     fn interior_packet_routes_nowhere() {
         let (mut s1, _, _) = active_pair();
-        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(390.0, 200.0)), 64, 0);
+        let pkt =
+            GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(390.0, 200.0)), 64, 0);
         let actions = s1.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt));
         assert!(actions.is_empty());
     }
@@ -804,9 +908,13 @@ mod tests {
     fn boundary_packet_routes_to_neighbour() {
         let (mut s1, _, _) = active_pair();
         // S1 owns [200,400]; x=210 is within 50 of S2's half.
-        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(210.0, 200.0)), 64, 0);
+        let pkt =
+            GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(210.0, 200.0)), 64, 0);
         let actions = s1.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone()));
-        assert_eq!(actions, vec![Action::ToPeer(ServerId(2), PeerMsg::Update(pkt))]);
+        assert_eq!(
+            actions,
+            vec![Action::ToPeer(ServerId(2), PeerMsg::Update(pkt))]
+        );
         assert_eq!(s1.stats().peer_updates_out, 1);
         assert!(s1.stats().bytes_to_peers > 0);
     }
@@ -814,14 +922,18 @@ mod tests {
     #[test]
     fn peer_update_is_verified_then_delivered() {
         let (mut s1, mut s2, _) = active_pair();
-        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(210.0, 200.0)), 64, 0);
+        let pkt =
+            GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(210.0, 200.0)), 64, 0);
         let actions = s1.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone()));
         let Action::ToPeer(to, PeerMsg::Update(p)) = &actions[0] else {
             panic!("expected peer update");
         };
         let delivered = s2.on_peer(SimTime::ZERO, s1.id(), PeerMsg::Update(p.clone()));
         assert_eq!(*to, ServerId(2));
-        assert_eq!(delivered, vec![Action::ToGame(MatrixToGame::Deliver(p.clone()))]);
+        assert_eq!(
+            delivered,
+            vec![Action::ToGame(MatrixToGame::Deliver(p.clone()))]
+        );
         assert_eq!(s2.stats().peer_updates_in, 1);
     }
 
@@ -829,7 +941,8 @@ mod tests {
     fn irrelevant_peer_update_is_dropped() {
         let (_, mut s2, _) = active_pair();
         // Origin deep inside S1: not within 50 of S2's partition.
-        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(390.0, 200.0)), 64, 0);
+        let pkt =
+            GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(390.0, 200.0)), 64, 0);
         let actions = s2.on_peer(SimTime::ZERO, ServerId(1), PeerMsg::Update(pkt));
         assert!(actions.is_empty());
         assert_eq!(s2.stats().misrouted_dropped, 1);
@@ -839,9 +952,17 @@ mod tests {
     fn overload_requests_pool_once() {
         let (mut s1, _, _) = active_pair();
         let t = SimTime::from_secs(10);
-        assert!(s1.on_game(t, overloaded_report()).is_empty(), "streak of 1 must not act");
+        assert!(
+            s1.on_game(t, overloaded_report()).is_empty(),
+            "streak of 1 must not act"
+        );
         let actions = s1.on_game(t, overloaded_report());
-        assert_eq!(actions, vec![Action::ToPool(PoolMsg::Acquire { requester: ServerId(1) })]);
+        assert_eq!(
+            actions,
+            vec![Action::ToPool(PoolMsg::Acquire {
+                requester: ServerId(1)
+            })]
+        );
         // Further overload reports while the request is pending do nothing.
         assert!(s1.on_game(t, overloaded_report()).is_empty());
     }
@@ -852,7 +973,12 @@ mod tests {
         let t = SimTime::from_secs(10);
         s1.on_game(t, overloaded_report());
         s1.on_game(t, overloaded_report());
-        let actions = s1.on_pool(t, PoolReply::Grant { server: ServerId(7) });
+        let actions = s1.on_pool(
+            t,
+            PoolReply::Grant {
+                server: ServerId(7),
+            },
+        );
         // S1 owned [200,400]x[0,400]; split-to-left gives [200,300] away.
         let given = Rect::from_coords(200.0, 0.0, 300.0, 400.0);
         let kept = Rect::from_coords(300.0, 0.0, 400.0, 400.0);
@@ -885,7 +1011,9 @@ mod tests {
         );
         assert_eq!(child.lifecycle(), Lifecycle::Active);
         assert_eq!(child.parent(), Some(ServerId(1)));
-        assert!(actions.iter().any(|a| matches!(a, Action::ToGame(MatrixToGame::SetRange { .. }))));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::ToGame(MatrixToGame::SetRange { .. }))));
         assert!(actions.iter().any(|a| matches!(a,
             Action::ToPeer(p, PeerMsg::AdoptAck { child: c }) if *p == ServerId(1) && *c == ServerId(7))));
     }
@@ -904,7 +1032,12 @@ mod tests {
         // (the streak is already long enough).
         let later = t + matrix_sim::SimDuration::from_secs(2);
         let actions = s1.on_game(later, overloaded_report());
-        assert_eq!(actions, vec![Action::ToPool(PoolMsg::Acquire { requester: ServerId(1) })]);
+        assert_eq!(
+            actions,
+            vec![Action::ToPool(PoolMsg::Acquire {
+                requester: ServerId(1)
+            })]
+        );
     }
 
     #[test]
@@ -915,8 +1048,18 @@ mod tests {
         let t = SimTime::from_secs(10);
         s.on_game(t, overloaded_report());
         s.on_game(t, overloaded_report());
-        let actions = s.on_pool(t, PoolReply::Grant { server: ServerId(9) });
-        assert_eq!(actions, vec![Action::ToPool(PoolMsg::Release { server: ServerId(9) })]);
+        let actions = s.on_pool(
+            t,
+            PoolReply::Grant {
+                server: ServerId(9),
+            },
+        );
+        assert_eq!(
+            actions,
+            vec![Action::ToPool(PoolMsg::Release {
+                server: ServerId(9)
+            })]
+        );
         assert_eq!(s.stats().splits, 0);
     }
 
@@ -927,7 +1070,12 @@ mod tests {
         // Split to create child 7.
         s1.on_game(t0, overloaded_report());
         s1.on_game(t0, overloaded_report());
-        let actions = s1.on_pool(t0, PoolReply::Grant { server: ServerId(7) });
+        let actions = s1.on_pool(
+            t0,
+            PoolReply::Grant {
+                server: ServerId(7),
+            },
+        );
         let mut child = MatrixServer::new(ServerId(7), cfg());
         for a in &actions {
             if let Action::ToPeer(_, msg) = a {
@@ -939,18 +1087,46 @@ mod tests {
         s1.on_peer(
             t1,
             ServerId(7),
-            PeerMsg::LoadStatus(LoadSnapshot { clients: 10, queue_backlog: 0.0, has_children: false }),
+            PeerMsg::LoadStatus(LoadSnapshot {
+                clients: 10,
+                queue_backlog: 0.0,
+                has_children: false,
+            }),
         );
         // Parent underloaded for 3 consecutive reports.
-        let low = || GameToMatrix::Load(LoadReport { clients: 20, queue_backlog: 0.0, positions: vec![] });
+        let low = || {
+            GameToMatrix::Load(LoadReport {
+                clients: 20,
+                queue_backlog: 0.0,
+                positions: vec![],
+            })
+        };
         s1.on_game(t1, low());
         s1.on_game(t1, low());
         let actions = s1.on_game(t1, low());
-        assert_eq!(actions, vec![Action::ToPeer(ServerId(7), PeerMsg::ReclaimRequest { parent: ServerId(1) })]);
+        assert_eq!(
+            actions,
+            vec![Action::ToPeer(
+                ServerId(7),
+                PeerMsg::ReclaimRequest {
+                    parent: ServerId(1)
+                }
+            )]
+        );
         // Child grants, redirecting its clients and releasing itself.
-        let granted = child.on_peer(t1, ServerId(1), PeerMsg::ReclaimRequest { parent: ServerId(1) });
-        assert!(granted.iter().any(|a| matches!(a, Action::ToGame(MatrixToGame::RedirectAll { to }) if *to == ServerId(1))));
-        assert!(granted.iter().any(|a| matches!(a, Action::ToPool(PoolMsg::Release { server }) if *server == ServerId(7))));
+        let granted = child.on_peer(
+            t1,
+            ServerId(1),
+            PeerMsg::ReclaimRequest {
+                parent: ServerId(1),
+            },
+        );
+        assert!(granted.iter().any(
+            |a| matches!(a, Action::ToGame(MatrixToGame::RedirectAll { to }) if *to == ServerId(1))
+        ));
+        assert!(granted.iter().any(
+            |a| matches!(a, Action::ToPool(PoolMsg::Release { server }) if *server == ServerId(7))
+        ));
         assert_eq!(child.lifecycle(), Lifecycle::Retired);
         // Parent merges the range back.
         let grant = granted
@@ -961,10 +1137,15 @@ mod tests {
             })
             .unwrap();
         let merged_actions = s1.on_peer(t1, ServerId(7), grant);
-        assert_eq!(s1.range(), Some(Rect::from_coords(200.0, 0.0, 400.0, 400.0)));
+        assert_eq!(
+            s1.range(),
+            Some(Rect::from_coords(200.0, 0.0, 400.0, 400.0))
+        );
         assert_eq!(s1.children(), &[] as &[ServerId]);
         assert_eq!(s1.stats().reclaims, 1);
-        assert!(merged_actions.iter().any(|a| matches!(a, Action::ToCoord(CoordMsg::ReclaimOccurred { .. }))));
+        assert!(merged_actions
+            .iter()
+            .any(|a| matches!(a, Action::ToCoord(CoordMsg::ReclaimOccurred { .. }))));
     }
 
     #[test]
@@ -975,12 +1156,27 @@ mod tests {
             Rect::from_coords(0.0, 0.0, 100.0, 100.0),
             10.0,
         );
-        let over = LoadReport { clients: 500, queue_backlog: 0.0, positions: vec![] };
+        let over = LoadReport {
+            clients: 500,
+            queue_backlog: 0.0,
+            positions: vec![],
+        };
         child.on_game(SimTime::ZERO, GameToMatrix::Load(over.clone()));
         child.on_game(SimTime::ZERO, GameToMatrix::Load(over));
-        let actions =
-            child.on_peer(SimTime::ZERO, ServerId(1), PeerMsg::ReclaimRequest { parent: ServerId(1) });
-        assert_eq!(actions, vec![Action::ToPeer(ServerId(1), PeerMsg::ReclaimDeny { child: ServerId(7) })]);
+        let actions = child.on_peer(
+            SimTime::ZERO,
+            ServerId(1),
+            PeerMsg::ReclaimRequest {
+                parent: ServerId(1),
+            },
+        );
+        assert_eq!(
+            actions,
+            vec![Action::ToPeer(
+                ServerId(1),
+                PeerMsg::ReclaimDeny { child: ServerId(7) }
+            )]
+        );
         assert_eq!(child.lifecycle(), Lifecycle::Active);
     }
 
@@ -989,7 +1185,10 @@ mod tests {
         let (mut s1, _, _) = active_pair();
         let actions = s1.on_game(
             SimTime::ZERO,
-            GameToMatrix::WhereIs { client: ClientId(5), point: Point::new(50.0, 50.0) },
+            GameToMatrix::WhereIs {
+                client: ClientId(5),
+                point: Point::new(50.0, 50.0),
+            },
         );
         assert_eq!(
             actions,
@@ -1009,9 +1208,15 @@ mod tests {
         let mut s = MatrixServer::with_range(ServerId(1), cfg, world(), 50.0);
         let actions = s.on_game(
             SimTime::ZERO,
-            GameToMatrix::WhereIs { client: ClientId(5), point: Point::new(50.0, 50.0) },
+            GameToMatrix::WhereIs {
+                client: ClientId(5),
+                point: Point::new(50.0, 50.0),
+            },
         );
-        assert!(matches!(actions.as_slice(), [Action::ToCoord(CoordMsg::ResolvePoint { .. })]));
+        assert!(matches!(
+            actions.as_slice(),
+            [Action::ToCoord(CoordMsg::ResolvePoint { .. })]
+        ));
         // The reply completes the query.
         let replies = s.on_coord(
             SimTime::ZERO,
@@ -1067,21 +1272,23 @@ mod tests {
     fn tick_emits_heartbeat_once_per_interval() {
         let (mut s1, _, _) = active_pair();
         let a1 = s1.on_tick(SimTime::from_millis(100));
-        assert!(a1.iter().any(|a| matches!(a, Action::ToCoord(CoordMsg::Heartbeat { .. }))));
+        assert!(a1
+            .iter()
+            .any(|a| matches!(a, Action::ToCoord(CoordMsg::Heartbeat { .. }))));
         let a2 = s1.on_tick(SimTime::from_millis(200));
-        assert!(!a2.iter().any(|a| matches!(a, Action::ToCoord(CoordMsg::Heartbeat { .. }))));
+        assert!(!a2
+            .iter()
+            .any(|a| matches!(a, Action::ToCoord(CoordMsg::Heartbeat { .. }))));
         let a3 = s1.on_tick(SimTime::from_millis(1200));
-        assert!(a3.iter().any(|a| matches!(a, Action::ToCoord(CoordMsg::Heartbeat { .. }))));
+        assert!(a3
+            .iter()
+            .any(|a| matches!(a, Action::ToCoord(CoordMsg::Heartbeat { .. }))));
     }
 
     #[test]
     fn static_baseline_never_splits() {
-        let mut s = MatrixServer::with_range(
-            ServerId(1),
-            MatrixConfig::static_baseline(),
-            world(),
-            50.0,
-        );
+        let mut s =
+            MatrixServer::with_range(ServerId(1), MatrixConfig::static_baseline(), world(), 50.0);
         for i in 0..50 {
             let actions = s.on_game(SimTime::from_secs(i), overloaded_report());
             assert!(actions.is_empty(), "static server must not adapt");
@@ -1102,15 +1309,28 @@ mod tests {
         );
         assert_eq!(s1.range(), Some(world()));
         assert_eq!(s1.stats().absorbs, 1);
-        assert!(actions.iter().any(|a| matches!(a, Action::ToGame(MatrixToGame::SetRange { .. }))));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::ToGame(MatrixToGame::SetRange { .. }))));
     }
 
     #[test]
     fn reclaim_from_non_parent_is_denied() {
         let (mut s1, _, _) = active_pair();
-        let actions =
-            s1.on_peer(SimTime::ZERO, ServerId(9), PeerMsg::ReclaimRequest { parent: ServerId(9) });
-        assert_eq!(actions, vec![Action::ToPeer(ServerId(9), PeerMsg::ReclaimDeny { child: ServerId(1) })]);
+        let actions = s1.on_peer(
+            SimTime::ZERO,
+            ServerId(9),
+            PeerMsg::ReclaimRequest {
+                parent: ServerId(9),
+            },
+        );
+        assert_eq!(
+            actions,
+            vec![Action::ToPeer(
+                ServerId(9),
+                PeerMsg::ReclaimDeny { child: ServerId(1) }
+            )]
+        );
         assert_eq!(s1.lifecycle(), Lifecycle::Active);
     }
 
@@ -1127,11 +1347,22 @@ mod tests {
                 epoch: 1,
             },
         );
-        child.on_peer(SimTime::ZERO, ServerId(1), PeerMsg::ReclaimRequest { parent: ServerId(1) });
+        child.on_peer(
+            SimTime::ZERO,
+            ServerId(1),
+            PeerMsg::ReclaimRequest {
+                parent: ServerId(1),
+            },
+        );
         assert_eq!(child.lifecycle(), Lifecycle::Retired);
-        let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(210.0, 200.0)), 64, 0);
-        assert!(child.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone())).is_empty());
-        assert!(child.on_peer(SimTime::ZERO, ServerId(2), PeerMsg::Update(pkt)).is_empty());
+        let pkt =
+            GamePacket::synthetic(ClientId(1), SpatialTag::at(Point::new(210.0, 200.0)), 64, 0);
+        assert!(child
+            .on_game(SimTime::ZERO, GameToMatrix::Forward(pkt.clone()))
+            .is_empty());
+        assert!(child
+            .on_peer(SimTime::ZERO, ServerId(2), PeerMsg::Update(pkt))
+            .is_empty());
         assert!(child.on_tick(SimTime::from_secs(99)).is_empty());
     }
 
@@ -1147,7 +1378,9 @@ mod tests {
             seq: 0,
         };
         let actions = s1.on_game(SimTime::ZERO, GameToMatrix::Forward(pkt));
-        assert!(actions.iter().any(|a| matches!(a, Action::ToPeer(s, _) if *s == ServerId(2))));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::ToPeer(s, _) if *s == ServerId(2))));
         assert_eq!(s1.stats().override_routes, 1);
     }
 }

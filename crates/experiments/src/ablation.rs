@@ -83,9 +83,18 @@ pub fn run_hysteresis(seed: u64) -> Vec<AblationRow> {
         WorkloadSchedule::new(SimTime::from_secs(150))
             .at(
                 SimTime::ZERO,
-                matrix_games::PopulationEvent::Join { n: 10, placement: matrix_games::Placement::Uniform },
+                matrix_games::PopulationEvent::Join {
+                    n: 10,
+                    placement: matrix_games::Placement::Uniform,
+                },
             )
-            .at(SimTime::from_secs(5), matrix_games::PopulationEvent::Join { n: 280, placement: crowd })
+            .at(
+                SimTime::from_secs(5),
+                matrix_games::PopulationEvent::Join {
+                    n: 280,
+                    placement: crowd,
+                },
+            )
     };
 
     let mut with = ClusterConfig::adaptive(spec.clone());
@@ -100,14 +109,25 @@ pub fn run_hysteresis(seed: u64) -> Vec<AblationRow> {
     without.matrix.reclaim_headroom = 1.0;
     let without_report = Cluster::new(without, schedule()).run();
 
-    vec![row("hysteresis on (paper)", &with_report), row("hysteresis off", &without_report)]
+    vec![
+        row("hysteresis on (paper)", &with_report),
+        row("hysteresis off", &without_report),
+    ]
 }
 
 /// Renders an ablation table.
 pub fn table(title: &str, rows: &[AblationRow]) -> Table {
     let mut t = Table::new(
         title,
-        &["variant", "splits", "reclaims", "peak servers", "switches", "peak queue", "late >150ms"],
+        &[
+            "variant",
+            "splits",
+            "reclaims",
+            "peak servers",
+            "switches",
+            "peak queue",
+            "late >150ms",
+        ],
     );
     for r in rows {
         t.push_row(&[

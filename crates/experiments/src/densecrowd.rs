@@ -1,0 +1,136 @@
+//! E12 — dense-crowd interest management on a single server.
+//!
+//! The paper's split machinery caps how many clients one server hosts,
+//! but the per-server fan-out cost still decides *where* that cap sits:
+//! with a linear receiver scan, one event near a crowd of `n` costs
+//! `O(n)` and a tick of the crowd costs `O(n²)`. This experiment pins the
+//! whole crowd onto one non-adaptive server — thousands of clients, all
+//! attracted to one hotspot — and reports what the interest-managed
+//! fan-out path (spatial-hash grid + update batching) does under the
+//! worst case the middleware can see: receivers per event, batching
+//! coalescing rates, and the client-bound bandwidth the batcher accounts
+//! for. The companion Criterion bench (`benches/fanout.rs`) measures the
+//! grid-vs-scan speedup in isolation; this run shows the subsystem
+//! working end to end under the full protocol.
+
+use crate::harness::{Cluster, ClusterConfig, ClusterReport};
+use matrix_games::{GameSpec, Placement, PopulationEvent, WorkloadSchedule};
+use matrix_metrics::Table;
+use matrix_sim::SimTime;
+
+/// Result of one dense-crowd run.
+#[derive(Debug, Clone)]
+pub struct DenseCrowdRow {
+    /// Crowd size.
+    pub clients: u32,
+    /// Full cluster report.
+    pub report: ClusterReport,
+}
+
+/// Builds the single-server dense-crowd configuration.
+///
+/// Adaptation is disabled (one static server) so the crowd cannot be
+/// split away — the interest layer has to absorb the full fan-out.
+pub fn config(spec: GameSpec, seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig::static_partition(spec, 1);
+    cfg.seed = seed;
+    // The point of the experiment is delivered batches, not queue drops:
+    // give the lone server effectively unbounded capacity and emit real
+    // per-client updates so batching is exercised end to end.
+    cfg.queue_capacity = None;
+    cfg.game.emit_updates = true;
+    cfg
+}
+
+/// Runs the dense-crowd scenario for one crowd size.
+pub fn run_one(spec: &GameSpec, clients: u32, seed: u64) -> DenseCrowdRow {
+    let mut spec = spec.clone();
+    // Keep event volume tractable while still dense: moderate update rate.
+    spec.update_rate_hz = spec.update_rate_hz.min(2.0);
+    let horizon = SimTime::from_secs(20);
+    let schedule = WorkloadSchedule::new(horizon).at(
+        SimTime::from_secs(0),
+        PopulationEvent::Join {
+            n: clients,
+            placement: Placement::Hotspot {
+                center: spec.hotspot_a(),
+                spread: spec.radius * 0.5,
+            },
+        },
+    );
+    let report = Cluster::new(config(spec, seed), schedule).run();
+    DenseCrowdRow { clients, report }
+}
+
+/// Runs the scenario across crowd sizes (2k+ exercises the acceptance
+/// target).
+pub fn run(seed: u64) -> Vec<DenseCrowdRow> {
+    let spec = GameSpec::bzflag();
+    [500, 1000, 2000]
+        .into_iter()
+        .map(|n| run_one(&spec, n, seed))
+        .collect()
+}
+
+/// Renders the results table.
+pub fn table(rows: &[DenseCrowdRow]) -> Table {
+    let mut t = Table::new(
+        "E12 — dense crowd on one server (interest-managed fan-out, batched delivery)",
+        &[
+            "clients",
+            "updates",
+            "fanned",
+            "batches",
+            "batched",
+            "upd/batch",
+            "batch MB",
+            "events",
+        ],
+    );
+    for row in rows {
+        let r = &row.report;
+        let per_batch = if r.update_batches_delivered == 0 {
+            0.0
+        } else {
+            r.batched_updates_delivered as f64 / r.update_batches_delivered as f64
+        };
+        t.push_row(&[
+            format!("{}", row.clients),
+            format!("{}", r.updates_processed),
+            format!("{}", r.updates_fanned),
+            format!("{}", r.update_batches_delivered),
+            format!("{}", r.batched_updates_delivered),
+            format!("{per_batch:.1}"),
+            format!("{:.1}", r.batch_bytes as f64 / 1e6),
+            format!("{}", r.events),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_crowd_delivers_batched_updates_end_to_end() {
+        let spec = GameSpec::bzflag();
+        let row = run_one(&spec, 300, 7);
+        let r = &row.report;
+        assert!(r.update_batches_delivered > 0, "batches must reach clients");
+        assert!(r.batched_updates_delivered >= r.update_batches_delivered);
+        assert!(r.batch_bytes > 0, "bandwidth accounting must tick");
+        assert_eq!(r.splits, 0, "single static server must not split");
+    }
+
+    #[test]
+    fn bigger_crowds_fan_out_more() {
+        let spec = GameSpec::bzflag();
+        let small = run_one(&spec, 100, 11).report.updates_fanned;
+        let large = run_one(&spec, 400, 11).report.updates_fanned;
+        assert!(
+            large > 4 * small,
+            "fan-out grows superlinearly with crowd density: {small} -> {large}"
+        );
+    }
+}

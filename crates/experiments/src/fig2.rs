@@ -49,7 +49,10 @@ pub fn summary(report: &ClusterReport) -> Table {
         "Figure 2 run summary (paper: up to 4 servers, splits at 300+ clients, later reclaimed)",
         &["metric", "value"],
     );
-    t.push_row(&["peak servers in use".into(), report.peak_servers.to_string()]);
+    t.push_row(&[
+        "peak servers in use".into(),
+        report.peak_servers.to_string(),
+    ]);
     t.push_row(&["splits".into(), report.splits.to_string()]);
     t.push_row(&["reclaims".into(), report.reclaims.to_string()]);
     t.push_row(&[
@@ -60,14 +63,29 @@ pub fn summary(report: &ClusterReport) -> Table {
         "peak clients on one server".into(),
         format!("{:.0}", report.peak_clients_on_one_server()),
     ]);
-    t.push_row(&["peak queue backlog (work units)".into(), format!("{:.0}", report.peak_queue)]);
-    t.push_row(&["client switches (handoffs)".into(), report.switches.to_string()]);
-    t.push_row(&["pool grants / denials".into(), format!("{} / {}", report.pool.grants, report.pool.denials)]);
+    t.push_row(&[
+        "peak queue backlog (work units)".into(),
+        format!("{:.0}", report.peak_queue),
+    ]);
+    t.push_row(&[
+        "client switches (handoffs)".into(),
+        report.switches.to_string(),
+    ]);
+    t.push_row(&[
+        "pool grants / denials".into(),
+        format!("{} / {}", report.pool.grants, report.pool.denials),
+    ]);
     t.push_row(&[
         "p95 response latency (ms)".into(),
-        format!("{:.1}", report.response_latency_us.p95().unwrap_or(0.0) / 1000.0),
+        format!(
+            "{:.1}",
+            report.response_latency_us.p95().unwrap_or(0.0) / 1000.0
+        ),
     ]);
-    t.push_row(&["late responses (>150ms)".into(), format!("{:.2}%", report.late_fraction * 100.0)]);
+    t.push_row(&[
+        "late responses (>150ms)".into(),
+        format!("{:.2}%", report.late_fraction * 100.0),
+    ]);
     t
 }
 

@@ -10,8 +10,8 @@
 
 use matrix_core::{
     Action, ClientId, ClientToGame, CoordAction, CoordMsg, CoordReply, Coordinator,
-    CoordinatorConfig, GameAction, GameServerConfig, GameServerNode, GameToClient,
-    MatrixConfig, MatrixServer, MatrixToGame, PeerMsg, PoolMsg, PoolReply, ResourcePool,
+    CoordinatorConfig, GameAction, GameServerConfig, GameServerNode, GameToClient, MatrixConfig,
+    MatrixServer, MatrixToGame, PeerMsg, PoolMsg, PoolReply, ResourcePool,
 };
 use matrix_games::{ClientPop, GameSpec, PopulationEvent, WorkloadSchedule};
 use matrix_geometry::{Point, ServerId};
@@ -97,6 +97,7 @@ impl ClusterConfig {
             global_state_bytes: spec.global_state_bytes,
             metric: spec.metric,
             handoff_margin: spec.radius * 0.15,
+            vision_radius: spec.vision_radius,
             ..GameServerConfig::default()
         };
         ClusterConfig {
@@ -117,7 +118,10 @@ impl ClusterConfig {
     /// The static-partitioning baseline with `k` fixed servers.
     pub fn static_partition(spec: GameSpec, k: u32) -> ClusterConfig {
         let mut cfg = ClusterConfig::adaptive(spec);
-        cfg.matrix = MatrixConfig { metric: cfg.matrix.metric, ..MatrixConfig::static_baseline() };
+        cfg.matrix = MatrixConfig {
+            metric: cfg.matrix.metric,
+            ..MatrixConfig::static_baseline()
+        };
         cfg.initial_servers = k.max(1);
         cfg.pool_size = 0;
         // Static servers have finite buffers; when they saturate they drop
@@ -146,7 +150,11 @@ enum Event {
     /// A client finishes (re)connecting to a server.
     ClientJoin(ClientId, ServerId),
     /// Peer message delivery.
-    Peer { to: ServerId, from: ServerId, msg: PeerMsg },
+    Peer {
+        to: ServerId,
+        from: ServerId,
+        msg: PeerMsg,
+    },
     /// Message to the coordinator.
     Coord(CoordMsg),
     /// Coordinator reply delivery.
@@ -218,10 +226,21 @@ pub struct ClusterReport {
     pub inter_server_bytes: u64,
     /// Total client updates processed by game servers.
     pub updates_processed: u64,
+    /// Total per-receiver update deliveries counted by the interest
+    /// layer (each event counts once per client whose AOI contains it).
+    pub updates_fanned: u64,
+    /// Estimated client-bound batch traffic in bytes (headers + items +
+    /// payloads), as accounted by the game servers' batching layer.
+    pub batch_bytes: u64,
     /// Work units dropped at full queues (static-baseline failure mode).
     pub dropped_work: f64,
     /// Total client switches (handoffs) completed.
     pub switches: u64,
+    /// `UpdateBatch` messages delivered to clients (only non-zero when
+    /// `GameServerConfig::emit_updates` is on).
+    pub update_batches_delivered: u64,
+    /// Individual updates carried inside those batches.
+    pub batched_updates_delivered: u64,
     /// Splits performed across the run.
     pub splits: u64,
     /// Reclaims performed across the run.
@@ -268,6 +287,8 @@ pub struct Cluster {
     late: u64,
     samples: u64,
     switches: u64,
+    update_batches: u64,
+    batched_updates: u64,
     late_threshold: SimDuration,
     bootstrap: ServerId,
     timeline: Vec<(SimTime, TopologyEvent)>,
@@ -295,6 +316,8 @@ impl Cluster {
             late: 0,
             samples: 0,
             switches: 0,
+            update_batches: 0,
+            batched_updates: 0,
             late_threshold: SimDuration::from_millis(150),
             bootstrap: ServerId(1),
             timeline: Vec::new(),
@@ -343,12 +366,14 @@ impl Cluster {
                 let _ = node.game.register(world, radius); // registers radius
                 node.game.on_matrix(
                     SimTime::ZERO,
-                    MatrixToGame::SetRange { range: map.range_of(s).unwrap(), radius },
+                    MatrixToGame::SetRange {
+                        range: map.range_of(s).unwrap(),
+                        radius,
+                    },
                 );
                 self.nodes.insert(s, node);
             }
-            let (coordinator, actions) =
-                Coordinator::with_map(self.cfg.coordinator, map, radius);
+            let (coordinator, actions) = Coordinator::with_map(self.cfg.coordinator, map, radius);
             self.coordinator = coordinator;
             for a in actions {
                 let CoordAction::Send(to, reply) = a;
@@ -368,10 +393,13 @@ impl Cluster {
         }
         let node_ids: Vec<ServerId> = self.nodes.keys().copied().collect();
         for id in node_ids {
-            self.queue.schedule(SimTime::ZERO + self.cfg.game.tick, Event::NodeTick(id));
+            self.queue
+                .schedule(SimTime::ZERO + self.cfg.game.tick, Event::NodeTick(id));
         }
-        self.queue.schedule(SimTime::from_secs(1), Event::CoordSweep);
-        self.queue.schedule(SimTime::ZERO + self.cfg.sample_every, Event::Sample);
+        self.queue
+            .schedule(SimTime::from_secs(1), Event::CoordSweep);
+        self.queue
+            .schedule(SimTime::ZERO + self.cfg.sample_every, Event::Sample);
         let crashes = self.cfg.crashes.clone();
         for (t, victim) in crashes {
             self.queue.schedule(t, Event::Crash(victim));
@@ -419,15 +447,23 @@ impl Cluster {
             }
             Event::Coord(msg) => {
                 match &msg {
-                    CoordMsg::SplitOccurred { parent, child, .. } => self
+                    CoordMsg::SplitOccurred { parent, child, .. } => self.timeline.push((
+                        self.now,
+                        TopologyEvent::Split {
+                            parent: *parent,
+                            child: *child,
+                        },
+                    )),
+                    CoordMsg::ReclaimOccurred { parent, child, .. } => self.timeline.push((
+                        self.now,
+                        TopologyEvent::Reclaim {
+                            parent: *parent,
+                            child: *child,
+                        },
+                    )),
+                    CoordMsg::OrphanRange { child, .. } => self
                         .timeline
-                        .push((self.now, TopologyEvent::Split { parent: *parent, child: *child })),
-                    CoordMsg::ReclaimOccurred { parent, child, .. } => self
-                        .timeline
-                        .push((self.now, TopologyEvent::Reclaim { parent: *parent, child: *child })),
-                    CoordMsg::OrphanRange { child, .. } => {
-                        self.timeline.push((self.now, TopologyEvent::Failure { victim: *child }))
-                    }
+                        .push((self.now, TopologyEvent::Failure { victim: *child })),
                     _ => {}
                 }
                 let failures_before = self.coordinator.stats().failures_declared;
@@ -491,7 +527,8 @@ impl Cluster {
         };
         if client.switching {
             // Paused mid-switch; resume on the next cycle.
-            self.queue.schedule(self.now + interval, Event::ClientUpdate(id));
+            self.queue
+                .schedule(self.now + interval, Event::ClientUpdate(id));
             return;
         }
         let server = client.server;
@@ -506,21 +543,29 @@ impl Cluster {
             self.pop.begin_switch(id);
             self.switch_started.entry(id).or_insert(self.now);
             let owner = self.owner_of(pos);
+            self.queue.schedule(
+                self.now + self.cfg.net.crash_detect,
+                Event::ClientJoin(id, owner),
+            );
             self.queue
-                .schedule(self.now + self.cfg.net.crash_detect, Event::ClientJoin(id, owner));
-            self.queue.schedule(self.now + interval, Event::ClientUpdate(id));
+                .schedule(self.now + interval, Event::ClientUpdate(id));
             return;
         }
         if let Some(node) = self.nodes.get_mut(&server) {
             if node.alive {
                 // Move packet.
                 let fanned_before = node.game.stats().updates_fanned;
-                let mut actions = node.game.on_client(self.now, id, ClientToGame::Move { pos });
+                let mut actions = node
+                    .game
+                    .on_client(self.now, id, ClientToGame::Move { pos });
                 if action {
                     actions.extend(node.game.on_client(
                         self.now,
                         id,
-                        ClientToGame::Action { pos, payload_bytes: spec.action_bytes },
+                        ClientToGame::Action {
+                            pos,
+                            payload_bytes: spec.action_bytes,
+                        },
                     ));
                 }
                 let fanned = node.game.stats().updates_fanned - fanned_before;
@@ -531,7 +576,11 @@ impl Cluster {
                 // downlink.
                 if action {
                     let mut rng = self.rng.fork();
-                    let up = self.cfg.net.client_link.delay_for(spec.action_bytes, &mut rng);
+                    let up = self
+                        .cfg
+                        .net
+                        .client_link
+                        .delay_for(spec.action_bytes, &mut rng);
                     let down = self.cfg.net.client_link.delay_for(64, &mut rng);
                     if let (Some(up), Some(down)) = (up, down) {
                         let queueing = node.queue.drain_time(self.now);
@@ -546,7 +595,8 @@ impl Cluster {
                 self.process_game_actions(server, actions);
             }
         }
-        self.queue.schedule(self.now + interval, Event::ClientUpdate(id));
+        self.queue
+            .schedule(self.now + interval, Event::ClientUpdate(id));
     }
 
     fn population_event(&mut self, idx: usize) {
@@ -566,7 +616,8 @@ impl Cluster {
                         .client_link
                         .delay_for(256, &mut rng)
                         .unwrap_or(SimDuration::from_millis(25));
-                    self.queue.schedule(self.now + delay, Event::ClientJoin(id, owner));
+                    self.queue
+                        .schedule(self.now + delay, Event::ClientJoin(id, owner));
                 }
             }
             PopulationEvent::Leave { .. } => {
@@ -610,7 +661,8 @@ impl Cluster {
         };
         if let Some(node) = self.nodes.get_mut(&target) {
             let actions =
-                node.game.on_client(self.now, id, ClientToGame::Join { pos, state_bytes });
+                node.game
+                    .on_client(self.now, id, ClientToGame::Join { pos, state_bytes });
             node.queue.arrive(self.now, self.cfg.spec.packet_work);
             self.pop.set_server(id, target);
             self.process_game_actions(target, actions);
@@ -623,7 +675,8 @@ impl Cluster {
         } else {
             // First join: start the update loop.
             let interval = SimDuration::from_secs_f64(self.pop.spec().update_interval_secs());
-            self.queue.schedule(self.now + interval, Event::ClientUpdate(id));
+            self.queue
+                .schedule(self.now + interval, Event::ClientUpdate(id));
         }
     }
 
@@ -644,25 +697,34 @@ impl Cluster {
             self.process_game_actions(id, game_actions);
             self.process_matrix_actions(id, matrix_actions);
         }
-        self.queue.schedule(self.now + self.cfg.game.tick, Event::NodeTick(id));
+        self.queue
+            .schedule(self.now + self.cfg.game.tick, Event::NodeTick(id));
     }
 
     fn sample(&mut self) {
         let t = self.now.as_secs_f64();
         let mut active = 0;
         for node in self.nodes.values_mut() {
-            let is_active =
-                node.alive && node.matrix.lifecycle() == matrix_core::Lifecycle::Active;
+            let is_active = node.alive && node.matrix.lifecycle() == matrix_core::Lifecycle::Active;
             if is_active {
                 active += 1;
             }
-            let clients = if node.alive { node.game.client_count() as f64 } else { 0.0 };
-            let backlog = if node.alive { node.queue.backlog_at(self.now) } else { 0.0 };
+            let clients = if node.alive {
+                node.game.client_count() as f64
+            } else {
+                0.0
+            };
+            let backlog = if node.alive {
+                node.queue.backlog_at(self.now)
+            } else {
+                0.0
+            };
             node.clients_series.push(t, clients);
             node.queue_series.push(t, backlog);
         }
         self.servers_in_use.push(t, active as f64);
-        self.queue.schedule(self.now + self.cfg.sample_every, Event::Sample);
+        self.queue
+            .schedule(self.now + self.cfg.sample_every, Event::Sample);
     }
 
     // -- action dispatch -------------------------------------------------------
@@ -675,7 +737,9 @@ impl Cluster {
         while let Some((at, action)) = work.pop_front() {
             match action {
                 GameAction::ToMatrix(msg) => {
-                    let Some(node) = self.nodes.get_mut(&at) else { continue };
+                    let Some(node) = self.nodes.get_mut(&at) else {
+                        continue;
+                    };
                     if !node.alive {
                         continue;
                     }
@@ -694,7 +758,9 @@ impl Cluster {
         while let Some((at, action)) = work.pop_front() {
             match action {
                 GameAction::ToMatrix(msg) => {
-                    let Some(node) = self.nodes.get_mut(&at) else { continue };
+                    let Some(node) = self.nodes.get_mut(&at) else {
+                        continue;
+                    };
                     if !node.alive {
                         continue;
                     }
@@ -718,7 +784,9 @@ impl Cluster {
         for action in actions {
             match action {
                 Action::ToGame(msg) => {
-                    let Some(node) = self.nodes.get_mut(&from) else { continue };
+                    let Some(node) = self.nodes.get_mut(&from) else {
+                        continue;
+                    };
                     if !node.alive {
                         continue;
                     }
@@ -756,7 +824,8 @@ impl Cluster {
                     let bytes = peer_msg_bytes(&msg);
                     let mut rng = self.rng.fork();
                     if let Some(delay) = self.cfg.net.server_link.delay_for(bytes, &mut rng) {
-                        self.queue.schedule(self.now + delay, Event::Peer { to, from, msg });
+                        self.queue
+                            .schedule(self.now + delay, Event::Peer { to, from, msg });
                     }
                 }
                 Action::ToCoord(msg) => {
@@ -776,7 +845,8 @@ impl Cluster {
         for CoordAction::Send(to, reply) in actions {
             let mut rng = self.rng.fork();
             if let Some(delay) = self.cfg.net.coord_link.delay_for(4096, &mut rng) {
-                self.queue.schedule(self.now + delay, Event::CoordReply(to, reply));
+                self.queue
+                    .schedule(self.now + delay, Event::CoordReply(to, reply));
             }
         }
     }
@@ -798,6 +868,13 @@ impl Cluster {
                 // Latency accounting happens at the send site; per-client
                 // rendering is out of scope for the cluster harness.
             }
+            GameToClient::UpdateBatch { updates } => {
+                // Emitted when `GameServerConfig::emit_updates` is on:
+                // count delivery so experiments can verify batching
+                // end-to-end and measure coalescing rates.
+                self.update_batches += 1;
+                self.batched_updates += updates.len() as u64;
+            }
             GameToClient::SwitchServer { to } => {
                 if self.pop.get(client).is_none() {
                     return; // already left
@@ -816,7 +893,8 @@ impl Cluster {
                     .delay_for(state, &mut rng)
                     .unwrap_or(SimDuration::from_millis(25))
                     + self.cfg.net.reconnect_delay;
-                self.queue.schedule(self.now + delay, Event::ClientJoin(client, to));
+                self.queue
+                    .schedule(self.now + delay, Event::ClientJoin(client, to));
             }
         }
     }
@@ -837,6 +915,8 @@ impl Cluster {
         let mut queue_per_server = Vec::new();
         let mut inter_server_bytes = 0;
         let mut updates_processed = 0;
+        let mut updates_fanned = 0;
+        let mut batch_bytes = 0;
         let mut dropped = 0.0;
         let mut splits = 0;
         let mut reclaims = 0;
@@ -844,6 +924,8 @@ impl Cluster {
         for node in self.nodes.values_mut() {
             inter_server_bytes += node.matrix.stats().bytes_to_peers;
             updates_processed += node.game.stats().moves + node.game.stats().actions;
+            updates_fanned += node.game.stats().updates_fanned;
+            batch_bytes += node.game.stats().batch_bytes;
             dropped += node.queue.total_dropped();
             splits += node.matrix.stats().splits;
             reclaims += node.matrix.stats().reclaims;
@@ -851,12 +933,12 @@ impl Cluster {
             clients_per_server.push(node.clients_series.clone());
             queue_per_server.push(node.queue_series.clone());
         }
-        let peak_servers = self
-            .servers_in_use
-            .max_value()
-            .unwrap_or(0.0) as usize;
-        let late_fraction =
-            if self.samples == 0 { 0.0 } else { self.late as f64 / self.samples as f64 };
+        let peak_servers = self.servers_in_use.max_value().unwrap_or(0.0) as usize;
+        let late_fraction = if self.samples == 0 {
+            0.0
+        } else {
+            self.late as f64 / self.samples as f64
+        };
         ClusterReport {
             clients_per_server,
             queue_per_server,
@@ -866,8 +948,12 @@ impl Cluster {
             late_fraction,
             inter_server_bytes,
             updates_processed,
+            updates_fanned,
+            batch_bytes,
             dropped_work: dropped,
             switches: self.switches,
+            update_batches_delivered: self.update_batches,
+            batched_updates_delivered: self.batched_updates,
             splits,
             reclaims,
             peak_servers,
@@ -910,7 +996,11 @@ mod tests {
         let report = Cluster::new(ClusterConfig::adaptive(spec), schedule).run();
         assert_eq!(report.peak_servers, 1);
         assert_eq!(report.splits, 0);
-        assert!(report.updates_processed > 1000, "{}", report.updates_processed);
+        assert!(
+            report.updates_processed > 1000,
+            "{}",
+            report.updates_processed
+        );
     }
 
     #[test]
@@ -922,7 +1012,10 @@ mod tests {
         cfg.matrix.overload_clients = 100;
         cfg.matrix.underload_clients = 50;
         let report = Cluster::new(cfg, schedule).run();
-        assert!(report.splits >= 1, "hotspot must trigger at least one split");
+        assert!(
+            report.splits >= 1,
+            "hotspot must trigger at least one split"
+        );
         assert!(report.peak_servers >= 2);
         assert!(report.switches > 0, "splits redirect clients");
     }
@@ -931,11 +1024,13 @@ mod tests {
     fn static_cluster_never_splits_and_drops_under_hotspot() {
         let spec = small_spec();
         let schedule = WorkloadSchedule::flash_crowd(&spec, 20, 600, SimTime::from_secs(5));
-        let report =
-            Cluster::new(ClusterConfig::static_partition(spec, 2), schedule).run();
+        let report = Cluster::new(ClusterConfig::static_partition(spec, 2), schedule).run();
         assert_eq!(report.splits, 0);
         assert_eq!(report.peak_servers, 2);
-        assert!(report.dropped_work > 0.0, "saturated static servers must drop");
+        assert!(
+            report.dropped_work > 0.0,
+            "saturated static servers must drop"
+        );
     }
 
     #[test]
@@ -946,7 +1041,12 @@ mod tests {
             let mut cfg = ClusterConfig::adaptive(spec.clone());
             cfg.matrix.overload_clients = 80;
             let r = Cluster::new(cfg, schedule).run();
-            (r.splits, r.switches, r.updates_processed, r.inter_server_bytes)
+            (
+                r.splits,
+                r.switches,
+                r.updates_processed,
+                r.inter_server_bytes,
+            )
         };
         assert_eq!(run(), run());
     }
@@ -981,8 +1081,8 @@ mod tests {
         let mut cfg = ClusterConfig::adaptive(spec);
         cfg.matrix.overload_clients = 100;
         cfg.matrix.underload_clients = 10; // never reclaim in this test
-        // Crash whichever child exists at t=40 (the first split child gets
-        // the first pool id, initial_servers + 1 = 2).
+                                           // Crash whichever child exists at t=40 (the first split child gets
+                                           // the first pool id, initial_servers + 1 = 2).
         cfg.crashes = vec![(SimTime::from_secs(40), ServerId(2))];
         let report = Cluster::new(cfg, schedule).run();
         assert!(report.splits >= 1, "need a split before the crash");

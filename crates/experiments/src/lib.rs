@@ -16,6 +16,7 @@
 //! matrix-experiments scale       # E8     asymptotic analysis
 //! matrix-experiments ablation-split      # A1
 //! matrix-experiments ablation-hysteresis # A2
+//! matrix-experiments dense       # E12    dense-crowd interest management
 //! matrix-experiments all         # everything, in order
 //! ```
 
@@ -23,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod densecrowd;
 pub mod fig2;
 pub mod harness;
 pub mod micro;

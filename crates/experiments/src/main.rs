@@ -3,7 +3,7 @@
 //! Run with a subcommand (see `--help`); results print as ASCII charts and
 //! tables, and CSV artefacts land in `./results/`.
 
-use matrix_experiments::{ablation, fig2, micro, scale, sweep, userstudy, versus};
+use matrix_experiments::{ablation, densecrowd, fig2, micro, scale, sweep, userstudy, versus};
 use std::io::Write;
 
 const HELP: &str = "\
@@ -22,6 +22,7 @@ COMMANDS:
   userstudy            E7: latency-perception proxy for the user study
   scale                E8: asymptotic scalability analysis
   sweep                E11: adaptivity scaling vs crowd size
+  dense                E12: dense-crowd interest management (2k clients, one server)
   ablation-split       A1: split-strategy ablation
   ablation-hysteresis  A2: oscillation-prevention ablation
   all                  run everything in order
@@ -62,6 +63,7 @@ fn main() {
         "userstudy" => run_userstudy(seed),
         "scale" => run_scale(),
         "sweep" => run_sweep(seed),
+        "dense" => run_dense(seed),
         "ablation-split" => run_ablation_split(seed),
         "ablation-hysteresis" => run_ablation_hysteresis(seed),
         "all" => {
@@ -73,6 +75,7 @@ fn main() {
             run_userstudy(seed);
             run_scale();
             run_sweep(seed);
+            run_dense(seed);
             run_ablation_split(seed);
             run_ablation_hysteresis(seed);
         }
@@ -150,6 +153,13 @@ fn run_sweep(seed: u64) {
     save("sweep.csv", &table.to_csv());
 }
 
+fn run_dense(seed: u64) {
+    let rows = densecrowd::run(seed);
+    let table = densecrowd::table(&rows);
+    println!("{}", table.render());
+    save("densecrowd.csv", &table.to_csv());
+}
+
 fn run_scale() {
     for table in scale::run() {
         println!("{}", table.render());
@@ -165,7 +175,10 @@ fn run_ablation_split(seed: u64) {
 
 fn run_ablation_hysteresis(seed: u64) {
     let rows = ablation::run_hysteresis(seed);
-    let table = ablation::table("A2 — oscillation-prevention ablation (borderline 280-client crowd)", &rows);
+    let table = ablation::table(
+        "A2 — oscillation-prevention ablation (borderline 280-client crowd)",
+        &rows,
+    );
     println!("{}", table.render());
     save("ablation_hysteresis.csv", &table.to_csv());
 }

@@ -109,11 +109,16 @@ pub fn run_mc_cost() -> Vec<McRow> {
         let servers: Vec<ServerId> = (1..=n).map(ServerId).collect();
         let map = PartitionMap::static_grid(world, &servers).expect("grid");
         let started = std::time::Instant::now();
-        let (mut coordinator, _) = Coordinator::with_map(CoordinatorConfig::default(), map.clone(), radius);
+        let (mut coordinator, _) =
+            Coordinator::with_map(CoordinatorConfig::default(), map.clone(), radius);
         let actions = coordinator.recompute();
         let elapsed = started.elapsed().as_secs_f64() * 1000.0;
         let overlap = build_overlap(&map, radius, matrix_geometry::Metric::Euclidean);
-        rows.push(McRow { servers: n, recompute_ms: elapsed, regions: overlap.total_regions() });
+        rows.push(McRow {
+            servers: n,
+            recompute_ms: elapsed,
+            regions: overlap.total_regions(),
+        });
         drop(actions);
     }
     rows
@@ -126,7 +131,11 @@ pub fn mc_cost_table(rows: &[McRow]) -> Table {
         &["servers", "recompute+distribute (ms)", "overlap regions"],
     );
     for r in rows {
-        t.push_row(&[r.servers.to_string(), format!("{:.3}", r.recompute_ms), r.regions.to_string()]);
+        t.push_row(&[
+            r.servers.to_string(),
+            format!("{:.3}", r.recompute_ms),
+            r.regions.to_string(),
+        ]);
     }
     t
 }
@@ -151,9 +160,18 @@ pub fn run_mc_share(seed: u64) -> Table {
     );
     t.push_row(&["game updates processed".into(), total.to_string()]);
     t.push_row(&["MC messages (all kinds)".into(), mc_msgs.to_string()]);
-    t.push_row(&["MC share".into(), format!("{:.4}%", mc_msgs as f64 / total as f64 * 100.0)]);
-    t.push_row(&["table recomputations".into(), report.coordinator.recomputes.to_string()]);
-    t.push_row(&["point resolutions".into(), report.coordinator.resolves.to_string()]);
+    t.push_row(&[
+        "MC share".into(),
+        format!("{:.4}%", mc_msgs as f64 / total as f64 * 100.0),
+    ]);
+    t.push_row(&[
+        "table recomputations".into(),
+        report.coordinator.recomputes.to_string(),
+    ]);
+    t.push_row(&[
+        "point resolutions".into(),
+        report.coordinator.resolves.to_string(),
+    ]);
     t
 }
 
@@ -205,7 +223,12 @@ pub fn run_traffic(seed: u64) -> Vec<TrafficRow> {
 pub fn traffic_table(rows: &[TrafficRow]) -> Table {
     let mut t = Table::new(
         "E6 — inter-server traffic vs overlap-region size (4 static servers, 400 clients, 60 s)",
-        &["radius", "overlap area", "inter-server bytes", "bytes / area"],
+        &[
+            "radius",
+            "overlap area",
+            "inter-server bytes",
+            "bytes / area",
+        ],
     );
     for r in rows {
         t.push_row(&[
@@ -233,7 +256,13 @@ mod tests {
 
     #[test]
     fn switching_table_renders() {
-        let rows = vec![SwitchRow { state_bytes: 512, link_ms: 10, p50_ms: 1.0, p95_ms: 2.0, switches: 5 }];
+        let rows = vec![SwitchRow {
+            state_bytes: 512,
+            link_ms: 10,
+            p50_ms: 1.0,
+            p95_ms: 2.0,
+            switches: 5,
+        }];
         assert!(switching_table(&rows).render().contains("512"));
     }
 

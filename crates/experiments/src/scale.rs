@@ -15,7 +15,16 @@ use matrix_metrics::Table;
 pub fn fleet_table(model: &ScalabilityModel) -> Table {
     let mut t = Table::new(
         "E8 — per-server traffic vs fleet size (100 players per server)",
-        &["servers", "players", "overlap frac", "client B/s", "overlap B/s", "fanout B/s", "IO util", "feasible"],
+        &[
+            "servers",
+            "players",
+            "overlap frac",
+            "client B/s",
+            "overlap B/s",
+            "fanout B/s",
+            "IO util",
+            "feasible",
+        ],
     );
     for &servers in &[100u32, 1_000, 10_000, 100_000] {
         let players = servers as u64 * 100;
@@ -28,7 +37,11 @@ pub fn fleet_table(model: &ScalabilityModel) -> Table {
             format!("{:.0}", b.overlap_bytes),
             format!("{:.0}", b.fanout_bytes),
             format!("{:.4}", b.io_utilisation),
-            if model.feasible(players, servers) { "yes".into() } else { "NO".into() },
+            if model.feasible(players, servers) {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     t
@@ -42,13 +55,20 @@ pub fn radius_table() -> Table {
         &["radius", "overlap frac", "IO util", "1M/10k feasible"],
     );
     for &radius in &[50.0f64, 200.0, 1_000.0, 5_000.0, 10_000.0, 20_000.0] {
-        let model = ScalabilityModel { radius, ..ScalabilityModel::default() };
+        let model = ScalabilityModel {
+            radius,
+            ..ScalabilityModel::default()
+        };
         let b = model.breakdown(1_000_000, 10_000);
         t.push_row(&[
             format!("{:.0}", radius),
             format!("{:.3}", b.overlap_fraction),
             format!("{:.3}", b.io_utilisation),
-            if model.paper_headline_feasible() { "yes".into() } else { "NO".into() },
+            if model.paper_headline_feasible() {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     t
@@ -65,7 +85,10 @@ pub fn io_table() -> Table {
         ("1 Gbps", 125_000_000.0),
         ("10 Gbps", 1_250_000_000.0),
     ] {
-        let model = ScalabilityModel { server_io_bytes_per_sec: io, ..ScalabilityModel::default() };
+        let model = ScalabilityModel {
+            server_io_bytes_per_sec: io,
+            ..ScalabilityModel::default()
+        };
         t.push_row(&[label.to_string(), model.max_players(10_000).to_string()]);
     }
     t

@@ -64,7 +64,14 @@ pub fn run(seed: u64) -> Vec<SweepRow> {
 pub fn table(rows: &[SweepRow]) -> Table {
     let mut t = Table::new(
         "E11 — adaptivity scaling: response to growing flash crowds (BzFlag)",
-        &["crowd", "matrix servers", "matrix switches", "matrix late", "static-2 late", "static-2 dropped"],
+        &[
+            "crowd",
+            "matrix servers",
+            "matrix switches",
+            "matrix late",
+            "static-2 late",
+            "static-2 dropped",
+        ],
     );
     for r in rows {
         t.push_row(&[

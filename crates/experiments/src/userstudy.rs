@@ -74,7 +74,14 @@ pub fn run(seed: u64) -> Vec<StudyRow> {
 pub fn table(rows: &[StudyRow]) -> Table {
     let mut t = Table::new(
         "E7 — user-study proxy: response latency under hotspots (150 ms playability bound)",
-        &["system", "p50 (ms)", "p90 (ms)", "p99 (ms)", "late >150ms", "servers"],
+        &[
+            "system",
+            "p50 (ms)",
+            "p90 (ms)",
+            "p99 (ms)",
+            "late >150ms",
+            "servers",
+        ],
     );
     for r in rows {
         t.push_row(&[

@@ -70,7 +70,15 @@ pub fn run(seed: u64) -> Vec<VersusRow> {
 pub fn table(rows: &[VersusRow]) -> Table {
     let mut t = Table::new(
         "E3 — Matrix vs static partitioning under a 600-client hotspot (per game)",
-        &["game", "system", "servers", "peak queue", "dropped work", "late >150ms", "p95 (ms)"],
+        &[
+            "game",
+            "system",
+            "servers",
+            "peak queue",
+            "dropped work",
+            "late >150ms",
+            "p95 (ms)",
+        ],
     );
     for r in rows {
         t.push_row(&[

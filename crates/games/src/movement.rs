@@ -130,14 +130,21 @@ mod tests {
         let mut rng = SimRng::seed_from_u64(1);
         let models = [
             MovementModel::RandomWaypoint,
-            MovementModel::HotspotAttracted { center: Point::new(790.0, 790.0), spread: 100.0 },
+            MovementModel::HotspotAttracted {
+                center: Point::new(790.0, 790.0),
+                spread: 100.0,
+            },
             MovementModel::Stationary,
         ];
         for model in models {
             let mut w = Walker::spawn(model, world(), &mut rng);
             for _ in 0..500 {
                 w.step(50.0, 0.2, world(), &mut rng);
-                assert!(world().contains_closed(w.pos), "{model:?} escaped at {}", w.pos);
+                assert!(
+                    world().contains_closed(w.pos),
+                    "{model:?} escaped at {}",
+                    w.pos
+                );
             }
         }
     }
@@ -162,7 +169,10 @@ mod tests {
         for _ in 0..200 {
             w.step(100.0, 1.0, world(), &mut rng);
         }
-        assert_ne!(w.target, first_target, "a new waypoint must be chosen on arrival");
+        assert_ne!(
+            w.target, first_target,
+            "a new waypoint must be chosen on arrival"
+        );
     }
 
     #[test]
@@ -182,8 +192,14 @@ mod tests {
             }
             positions.push(w.pos);
         }
-        let near = positions.iter().filter(|p| p.distance(center) < 2.5 * spread).count();
-        assert!(near > 250, "crowd must concentrate near the hotspot: {near}/300");
+        let near = positions
+            .iter()
+            .filter(|p| p.distance(center) < 2.5 * spread)
+            .count();
+        assert!(
+            near > 250,
+            "crowd must concentrate near the hotspot: {near}/300"
+        );
     }
 
     #[test]
@@ -207,7 +223,10 @@ mod tests {
             sum = Point::new(sum.x + p.x, sum.y + p.y);
         }
         let mean = Point::new(sum.x / n as f64, sum.y / n as f64);
-        assert!(mean.distance(center) < 10.0, "mean {mean} drifted from {center}");
+        assert!(
+            mean.distance(center) < 10.0,
+            "mean {mean} drifted from {center}"
+        );
     }
 
     #[test]

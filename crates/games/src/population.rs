@@ -44,7 +44,12 @@ pub struct ClientPop {
 impl ClientPop {
     /// Creates an empty population for a game.
     pub fn new(spec: GameSpec, seed: u64) -> ClientPop {
-        ClientPop { spec, rng: SimRng::seed_from_u64(seed), clients: BTreeMap::new(), next_id: 1 }
+        ClientPop {
+            spec,
+            rng: SimRng::seed_from_u64(seed),
+            clients: BTreeMap::new(),
+            next_id: 1,
+        }
     }
 
     /// The game spec this population plays.
@@ -101,7 +106,13 @@ impl ClientPop {
                     let walker = Walker::spawn(model, self.spec.world, &mut self.rng);
                     self.clients.insert(
                         id,
-                        ClientSim { id, walker, server: initial_server, in_hotspot, switching: false },
+                        ClientSim {
+                            id,
+                            walker,
+                            server: initial_server,
+                            in_hotspot,
+                            switching: false,
+                        },
                     );
                     joined.push(id);
                 }
@@ -109,7 +120,11 @@ impl ClientPop {
             }
             PopulationEvent::Leave { n, from_hotspot } => {
                 let mut leaving: Vec<ClientId> = if from_hotspot {
-                    self.clients.values().filter(|c| c.in_hotspot).map(|c| c.id).collect()
+                    self.clients
+                        .values()
+                        .filter(|c| c.in_hotspot)
+                        .map(|c| c.id)
+                        .collect()
                 } else {
                     Vec::new()
                 };
@@ -181,11 +196,17 @@ mod tests {
     fn joins_assign_fresh_ids() {
         let mut p = pop();
         let a = p.apply(
-            PopulationEvent::Join { n: 3, placement: Placement::Uniform },
+            PopulationEvent::Join {
+                n: 3,
+                placement: Placement::Uniform,
+            },
             ServerId(1),
         );
         let b = p.apply(
-            PopulationEvent::Join { n: 2, placement: Placement::Uniform },
+            PopulationEvent::Join {
+                n: 2,
+                placement: Placement::Uniform,
+            },
             ServerId(1),
         );
         assert_eq!(a.len(), 3);
@@ -203,7 +224,10 @@ mod tests {
         let ids = p.apply(
             PopulationEvent::Join {
                 n: 200,
-                placement: Placement::Hotspot { center, spread: 100.0 },
+                placement: Placement::Hotspot {
+                    center,
+                    spread: 100.0,
+                },
             },
             ServerId(1),
         );
@@ -217,26 +241,60 @@ mod tests {
     #[test]
     fn hotspot_leaves_drain_the_crowd_first() {
         let mut p = pop();
-        p.apply(PopulationEvent::Join { n: 50, placement: Placement::Uniform }, ServerId(1));
         p.apply(
             PopulationEvent::Join {
-                n: 100,
-                placement: Placement::Hotspot { center: p.spec().hotspot_a(), spread: 50.0 },
+                n: 50,
+                placement: Placement::Uniform,
             },
             ServerId(1),
         );
-        let left = p.apply(PopulationEvent::Leave { n: 100, from_hotspot: true }, ServerId(1));
+        p.apply(
+            PopulationEvent::Join {
+                n: 100,
+                placement: Placement::Hotspot {
+                    center: p.spec().hotspot_a(),
+                    spread: 50.0,
+                },
+            },
+            ServerId(1),
+        );
+        let left = p.apply(
+            PopulationEvent::Leave {
+                n: 100,
+                from_hotspot: true,
+            },
+            ServerId(1),
+        );
         assert_eq!(left.len(), 100);
         assert_eq!(p.len(), 50);
-        let hotspot_remaining = p.ids().iter().filter(|id| p.get(**id).unwrap().in_hotspot).count();
-        assert_eq!(hotspot_remaining, 0, "hotspot members leave before background");
+        let hotspot_remaining = p
+            .ids()
+            .iter()
+            .filter(|id| p.get(**id).unwrap().in_hotspot)
+            .count();
+        assert_eq!(
+            hotspot_remaining, 0,
+            "hotspot members leave before background"
+        );
     }
 
     #[test]
     fn leave_overflows_into_background() {
         let mut p = pop();
-        p.apply(PopulationEvent::Join { n: 30, placement: Placement::Uniform }, ServerId(1));
-        let left = p.apply(PopulationEvent::Leave { n: 50, from_hotspot: true }, ServerId(1));
+        p.apply(
+            PopulationEvent::Join {
+                n: 30,
+                placement: Placement::Uniform,
+            },
+            ServerId(1),
+        );
+        let left = p.apply(
+            PopulationEvent::Leave {
+                n: 50,
+                from_hotspot: true,
+            },
+            ServerId(1),
+        );
         assert_eq!(left.len(), 30, "cannot remove more than exist");
         assert!(p.is_empty());
     }
@@ -244,8 +302,13 @@ mod tests {
     #[test]
     fn step_moves_and_sometimes_acts() {
         let mut p = pop();
-        let ids =
-            p.apply(PopulationEvent::Join { n: 1, placement: Placement::Uniform }, ServerId(1));
+        let ids = p.apply(
+            PopulationEvent::Join {
+                n: 1,
+                placement: Placement::Uniform,
+            },
+            ServerId(1),
+        );
         let id = ids[0];
         let before = p.get(id).unwrap().walker.pos;
         let mut actions = 0;
@@ -271,8 +334,13 @@ mod tests {
     #[test]
     fn server_reassignment_tracks_counts() {
         let mut p = pop();
-        let ids =
-            p.apply(PopulationEvent::Join { n: 4, placement: Placement::Uniform }, ServerId(1));
+        let ids = p.apply(
+            PopulationEvent::Join {
+                n: 4,
+                placement: Placement::Uniform,
+            },
+            ServerId(1),
+        );
         p.set_server(ids[0], ServerId(2));
         p.set_server(ids[1], ServerId(2));
         assert_eq!(p.on_server(ServerId(1)), 2);
@@ -287,10 +355,15 @@ mod tests {
         let run = |seed| {
             let mut p = ClientPop::new(GameSpec::bzflag(), seed);
             let ids = p.apply(
-                PopulationEvent::Join { n: 10, placement: Placement::Uniform },
+                PopulationEvent::Join {
+                    n: 10,
+                    placement: Placement::Uniform,
+                },
                 ServerId(1),
             );
-            ids.iter().map(|id| p.get(*id).unwrap().walker.pos).collect::<Vec<_>>()
+            ids.iter()
+                .map(|id| p.get(*id).unwrap().walker.pos)
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));

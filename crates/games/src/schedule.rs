@@ -59,7 +59,10 @@ pub struct WorkloadSchedule {
 impl WorkloadSchedule {
     /// An empty schedule with the given horizon.
     pub fn new(horizon: SimTime) -> WorkloadSchedule {
-        WorkloadSchedule { events: Vec::new(), horizon }
+        WorkloadSchedule {
+            events: Vec::new(),
+            horizon,
+        }
     }
 
     /// Appends an event (kept sorted by time).
@@ -104,34 +107,102 @@ impl WorkloadSchedule {
         let spread = 2.0 * spec.radius; // crowd a couple of visibility radii wide
         let hotspot = |center| Placement::Hotspot { center, spread };
         WorkloadSchedule::new(SimTime::from_secs(300))
-            .at(SimTime::ZERO, PopulationEvent::Join { n: background, placement: Placement::Uniform })
+            .at(
+                SimTime::ZERO,
+                PopulationEvent::Join {
+                    n: background,
+                    placement: Placement::Uniform,
+                },
+            )
             // First hotspot: 600 clients at A.
-            .at(SimTime::from_secs(10), PopulationEvent::Join { n: 600, placement: hotspot(spec.hotspot_a()) })
-            .at(SimTime::from_secs(75), PopulationEvent::Leave { n: 200, from_hotspot: true })
-            .at(SimTime::from_secs(95), PopulationEvent::Leave { n: 200, from_hotspot: true })
-            .at(SimTime::from_secs(115), PopulationEvent::Leave { n: 200, from_hotspot: true })
+            .at(
+                SimTime::from_secs(10),
+                PopulationEvent::Join {
+                    n: 600,
+                    placement: hotspot(spec.hotspot_a()),
+                },
+            )
+            .at(
+                SimTime::from_secs(75),
+                PopulationEvent::Leave {
+                    n: 200,
+                    from_hotspot: true,
+                },
+            )
+            .at(
+                SimTime::from_secs(95),
+                PopulationEvent::Leave {
+                    n: 200,
+                    from_hotspot: true,
+                },
+            )
+            .at(
+                SimTime::from_secs(115),
+                PopulationEvent::Leave {
+                    n: 200,
+                    from_hotspot: true,
+                },
+            )
             // Second hotspot: 600 clients at B.
-            .at(SimTime::from_secs(170), PopulationEvent::Join { n: 600, placement: hotspot(spec.hotspot_b()) })
-            .at(SimTime::from_secs(220), PopulationEvent::Leave { n: 200, from_hotspot: true })
-            .at(SimTime::from_secs(235), PopulationEvent::Leave { n: 200, from_hotspot: true })
-            .at(SimTime::from_secs(250), PopulationEvent::Leave { n: 200, from_hotspot: true })
+            .at(
+                SimTime::from_secs(170),
+                PopulationEvent::Join {
+                    n: 600,
+                    placement: hotspot(spec.hotspot_b()),
+                },
+            )
+            .at(
+                SimTime::from_secs(220),
+                PopulationEvent::Leave {
+                    n: 200,
+                    from_hotspot: true,
+                },
+            )
+            .at(
+                SimTime::from_secs(235),
+                PopulationEvent::Leave {
+                    n: 200,
+                    from_hotspot: true,
+                },
+            )
+            .at(
+                SimTime::from_secs(250),
+                PopulationEvent::Leave {
+                    n: 200,
+                    from_hotspot: true,
+                },
+            )
     }
 
     /// A steady uniform population, for microbenchmarks and calibration.
     pub fn steady(n: u32, horizon: SimTime) -> WorkloadSchedule {
-        WorkloadSchedule::new(horizon)
-            .at(SimTime::ZERO, PopulationEvent::Join { n, placement: Placement::Uniform })
+        WorkloadSchedule::new(horizon).at(
+            SimTime::ZERO,
+            PopulationEvent::Join {
+                n,
+                placement: Placement::Uniform,
+            },
+        )
     }
 
     /// A single flash crowd: `n` clients slam one point at `at` and stay.
     pub fn flash_crowd(spec: &GameSpec, background: u32, n: u32, at: SimTime) -> WorkloadSchedule {
         WorkloadSchedule::new(SimTime::from_secs(at.as_secs_f64() as u64 + 120))
-            .at(SimTime::ZERO, PopulationEvent::Join { n: background, placement: Placement::Uniform })
+            .at(
+                SimTime::ZERO,
+                PopulationEvent::Join {
+                    n: background,
+                    placement: Placement::Uniform,
+                },
+            )
             .at(
                 at,
                 PopulationEvent::Join {
                     n,
-                    placement: Placement::Hotspot { center: spec.hotspot_a(), spread: 2.0 * spec.radius },
+                    placement: Placement::Hotspot {
+                        center: spec.hotspot_a(),
+                        spread: 2.0 * spec.radius,
+                    },
                 },
             )
     }
@@ -151,7 +222,15 @@ mod tests {
         let hotspot_joins: Vec<u64> = s
             .events()
             .iter()
-            .filter(|(_, e)| matches!(e, PopulationEvent::Join { placement: Placement::Hotspot { .. }, .. }))
+            .filter(|(_, e)| {
+                matches!(
+                    e,
+                    PopulationEvent::Join {
+                        placement: Placement::Hotspot { .. },
+                        ..
+                    }
+                )
+            })
             .map(|(t, _)| t.as_micros() / 1_000_000)
             .collect();
         assert_eq!(hotspot_joins, vec![10, 170]);
@@ -161,8 +240,20 @@ mod tests {
     #[test]
     fn events_are_time_ordered_regardless_of_insertion() {
         let s = WorkloadSchedule::new(SimTime::from_secs(10))
-            .at(SimTime::from_secs(5), PopulationEvent::Leave { n: 1, from_hotspot: false })
-            .at(SimTime::from_secs(1), PopulationEvent::Join { n: 1, placement: Placement::Uniform });
+            .at(
+                SimTime::from_secs(5),
+                PopulationEvent::Leave {
+                    n: 1,
+                    from_hotspot: false,
+                },
+            )
+            .at(
+                SimTime::from_secs(1),
+                PopulationEvent::Join {
+                    n: 1,
+                    placement: Placement::Uniform,
+                },
+            );
         let times: Vec<u64> = s.events().iter().map(|(t, _)| t.as_micros()).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
     }

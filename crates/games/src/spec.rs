@@ -20,6 +20,10 @@ pub struct GameSpec {
     pub world: Rect,
     /// Radius of visibility (the `R` of Equation 1).
     pub radius: f64,
+    /// Per-client area-of-interest radius for update fan-out. Routing
+    /// between servers stays conservative at `radius`; what each client
+    /// actually renders can be narrower. `0.0` means "same as `radius`".
+    pub vision_radius: f64,
     /// In-game distance metric.
     pub metric: Metric,
     /// Player movement speed, world units per second.
@@ -58,6 +62,7 @@ impl GameSpec {
             name: "bzflag".into(),
             world: Rect::from_coords(0.0, 0.0, 800.0, 800.0),
             radius: 100.0,
+            vision_radius: 100.0,
             metric: Metric::Euclidean,
             move_speed: 25.0,
             update_rate_hz: 5.0,
@@ -80,6 +85,7 @@ impl GameSpec {
             name: "quake2".into(),
             world: Rect::from_coords(0.0, 0.0, 2_000.0, 2_000.0),
             radius: 250.0,
+            vision_radius: 250.0,
             metric: Metric::Euclidean,
             move_speed: 300.0,
             update_rate_hz: 10.0,
@@ -102,6 +108,7 @@ impl GameSpec {
             name: "daimonin".into(),
             world: Rect::from_coords(0.0, 0.0, 10_000.0, 10_000.0),
             radius: 350.0,
+            vision_radius: 350.0,
             metric: Metric::Chebyshev, // tile-based visibility
             move_speed: 40.0,
             update_rate_hz: 2.0,
@@ -120,6 +127,15 @@ impl GameSpec {
     /// All three paper games, for per-game sweeps.
     pub fn all() -> Vec<GameSpec> {
         vec![GameSpec::bzflag(), GameSpec::quake2(), GameSpec::daimonin()]
+    }
+
+    /// The effective client vision radius (falls back to `radius`).
+    pub fn effective_vision_radius(&self) -> f64 {
+        if self.vision_radius > 0.0 {
+            self.vision_radius
+        } else {
+            self.radius
+        }
     }
 
     /// Interval between a client's position updates.
@@ -167,7 +183,16 @@ mod tests {
     fn presets_have_sane_shapes() {
         for spec in GameSpec::all() {
             assert!(spec.radius > 0.0, "{}", spec.name);
-            assert!(spec.radius < spec.world.width() / 2.0, "{}: radius dominates world", spec.name);
+            assert!(
+                spec.effective_vision_radius() <= spec.radius,
+                "{}: clients must not see beyond the consistency radius",
+                spec.name
+            );
+            assert!(
+                spec.radius < spec.world.width() / 2.0,
+                "{}: radius dominates world",
+                spec.name
+            );
             assert!(spec.move_speed > 0.0);
             assert!(spec.update_rate_hz > 0.0);
             assert!(spec.server_capacity > 0.0);

@@ -44,7 +44,12 @@ impl PartitionIndex {
                 }
             }
         }
-        PartitionIndex { world, nx, ny, cells }
+        PartitionIndex {
+            world,
+            nx,
+            ny,
+            cells,
+        }
     }
 
     /// A sensible default resolution: about one cell per partition.
@@ -77,8 +82,12 @@ impl PartitionIndex {
 
     /// Mean candidates per non-empty cell (the lookup's constant factor).
     pub fn mean_bucket_len(&self) -> f64 {
-        let non_empty: Vec<usize> =
-            self.cells.iter().map(|c| c.len()).filter(|l| *l > 0).collect();
+        let non_empty: Vec<usize> = self
+            .cells
+            .iter()
+            .map(|c| c.len())
+            .filter(|l| *l > 0)
+            .collect();
         if non_empty.is_empty() {
             return 0.0;
         }
@@ -116,8 +125,11 @@ mod tests {
         for i in 2..=9u32 {
             let servers = map.servers();
             let victim = servers[(i as usize * 7) % servers.len()];
-            let strategy =
-                if i % 2 == 0 { SplitStrategy::SplitToLeft } else { SplitStrategy::LongestAxis };
+            let strategy = if i % 2 == 0 {
+                SplitStrategy::SplitToLeft
+            } else {
+                SplitStrategy::LongestAxis
+            };
             map.split(victim, ServerId(i), &strategy, &[]).unwrap();
         }
         let index = PartitionIndex::build(&map, 13); // deliberately odd

@@ -103,7 +103,9 @@ impl OverlapTable {
                 let center = Point::new((xs[cx] + xs[cx + 1]) / 2.0, (ys[cy] + ys[cy + 1]) / 2.0);
                 let mut set: Vec<ServerId> = boxes
                     .iter()
-                    .filter(|(_, b)| b.contains(center) || b.contains_closed(center) && b.is_degenerate())
+                    .filter(|(_, b)| {
+                        b.contains(center) || b.contains_closed(center) && b.is_degenerate()
+                    })
                     .map(|(j, _)| *j)
                     .collect();
                 set.sort_unstable();
@@ -117,7 +119,15 @@ impl OverlapTable {
         }
 
         let regions = merge_regions(&xs, &ys, &cells, &sets, nx, ny);
-        OverlapTable { server, rect, xs, ys, cells, sets, regions }
+        OverlapTable {
+            server,
+            rect,
+            xs,
+            ys,
+            cells,
+            sets,
+            regions,
+        }
     }
 
     /// The server this table belongs to.
@@ -195,7 +205,11 @@ pub fn build_overlap(map: &PartitionMap, radius: f64, metric: Metric) -> Overlap
         .iter()
         .map(|(s, r)| (*s, OverlapTable::build(*s, *r, &parts, radius, metric)))
         .collect();
-    OverlapMap { radius, metric, tables }
+    OverlapMap {
+        radius,
+        metric,
+        tables,
+    }
 }
 
 impl OverlapMap {
@@ -283,7 +297,11 @@ fn merge_regions(
                 cx += 1;
             }
             if set != 0 {
-                row.push(Run { cx0: start, cx1: cx, set });
+                row.push(Run {
+                    cx0: start,
+                    cx1: cx,
+                    set,
+                });
             }
         }
         rows.push(row);
@@ -325,8 +343,10 @@ mod tests {
         // S3 right-top.
         let world = Rect::from_coords(0.0, 0.0, 300.0, 300.0);
         let mut map = PartitionMap::new(world, ServerId(1));
-        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
-        map.split(ServerId(1), ServerId(3), &SplitStrategy::LongestAxis, &[]).unwrap();
+        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[])
+            .unwrap();
+        map.split(ServerId(1), ServerId(3), &SplitStrategy::LongestAxis, &[])
+            .unwrap();
         map
     }
 
@@ -425,7 +445,11 @@ mod tests {
         let t = overlap.table_for(ServerId(2)).unwrap();
         // S2 is [0,150]x[0,300]; its overlap band is x in [125,150]
         // (25 from both quadrants) => area 25 * 300.
-        assert!((t.overlap_area() - 25.0 * 300.0).abs() < 1e-6, "{}", t.overlap_area());
+        assert!(
+            (t.overlap_area() - 25.0 * 300.0).abs() < 1e-6,
+            "{}",
+            t.overlap_area()
+        );
     }
 
     #[test]
@@ -493,7 +517,11 @@ mod tests {
         let map = three_way();
         let overlap = build_overlap(&map, 20.0, Metric::Euclidean);
         for (_, t) in overlap.iter() {
-            assert!(t.cell_count() <= 25, "tiny layouts stay tiny: {}", t.cell_count());
+            assert!(
+                t.cell_count() <= 25,
+                "tiny layouts stay tiny: {}",
+                t.cell_count()
+            );
             assert!(t.set_count() <= 5);
         }
     }

@@ -130,12 +130,17 @@ impl PartitionMap {
         strategy: &SplitStrategy,
         clients: &[Point],
     ) -> Result<SplitOutcome, GeometryError> {
-        let rect = self.parts.get(&owner).copied().ok_or(GeometryError::UnknownServer(owner))?;
+        let rect = self
+            .parts
+            .get(&owner)
+            .copied()
+            .ok_or(GeometryError::UnknownServer(owner))?;
         if self.parts.contains_key(&new_server) {
             return Err(GeometryError::ServerExists(new_server));
         }
-        let (given, kept) =
-            strategy.split(&rect, clients).ok_or(GeometryError::Unsplittable(owner))?;
+        let (given, kept) = strategy
+            .split(&rect, clients)
+            .ok_or(GeometryError::Unsplittable(owner))?;
         self.parts.insert(owner, kept);
         self.parts.insert(new_server, given);
         Ok(SplitOutcome { given, kept })
@@ -149,9 +154,19 @@ impl PartitionMap {
     /// * [`GeometryError::NotMergeable`] if the two rectangles do not share
     ///   a full edge (their union would not be a rectangle).
     pub fn reclaim(&mut self, parent: ServerId, child: ServerId) -> Result<Rect, GeometryError> {
-        let pr = self.parts.get(&parent).copied().ok_or(GeometryError::UnknownServer(parent))?;
-        let cr = self.parts.get(&child).copied().ok_or(GeometryError::UnknownServer(child))?;
-        let merged = pr.merges_with(&cr).ok_or(GeometryError::NotMergeable(parent, child))?;
+        let pr = self
+            .parts
+            .get(&parent)
+            .copied()
+            .ok_or(GeometryError::UnknownServer(parent))?;
+        let cr = self
+            .parts
+            .get(&child)
+            .copied()
+            .ok_or(GeometryError::UnknownServer(child))?;
+        let merged = pr
+            .merges_with(&cr)
+            .ok_or(GeometryError::NotMergeable(parent, child))?;
         self.parts.remove(&child);
         self.parts.insert(parent, merged);
         Ok(merged)
@@ -196,7 +211,8 @@ impl PartitionMap {
                         .expect("partition areas are finite")
                 })
                 .map(|(s, r)| (*s, *r))?;
-            map.split(widest, s, &SplitStrategy::LongestAxis, &[]).ok()?;
+            map.split(widest, s, &SplitStrategy::LongestAxis, &[])
+                .ok()?;
         }
         Some(map)
     }
@@ -250,7 +266,9 @@ mod tests {
     #[test]
     fn split_to_left_hands_off_left_half() {
         let mut map = PartitionMap::new(world(), ServerId(1));
-        let out = map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
+        let out = map
+            .split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[])
+            .unwrap();
         assert_eq!(out.given, Rect::from_coords(0.0, 0.0, 200.0, 400.0));
         assert_eq!(out.kept, Rect::from_coords(200.0, 0.0, 400.0, 400.0));
         assert_eq!(map.range_of(ServerId(2)), Some(out.given));
@@ -269,7 +287,8 @@ mod tests {
     #[test]
     fn split_into_existing_server_errors() {
         let mut map = PartitionMap::new(world(), ServerId(1));
-        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
+        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[])
+            .unwrap();
         let err = map
             .split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[])
             .unwrap_err();
@@ -279,7 +298,8 @@ mod tests {
     #[test]
     fn reclaim_restores_pre_split_range() {
         let mut map = PartitionMap::new(world(), ServerId(1));
-        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
+        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[])
+            .unwrap();
         let merged = map.reclaim(ServerId(1), ServerId(2)).unwrap();
         assert_eq!(merged, world());
         assert_eq!(map.len(), 1);
@@ -290,8 +310,10 @@ mod tests {
     #[test]
     fn reclaim_non_adjacent_errors() {
         let mut map = PartitionMap::new(world(), ServerId(1));
-        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
-        map.split(ServerId(1), ServerId(3), &SplitStrategy::LongestAxis, &[]).unwrap();
+        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[])
+            .unwrap();
+        map.split(ServerId(1), ServerId(3), &SplitStrategy::LongestAxis, &[])
+            .unwrap();
         // S2 has the left half; S3 has a quarter not sharing a full edge
         // with S2's half.
         let err = map.reclaim(ServerId(2), ServerId(3)).unwrap_err();
@@ -301,12 +323,17 @@ mod tests {
     #[test]
     fn owner_of_is_unique_for_interior_points() {
         let mut map = PartitionMap::new(world(), ServerId(1));
-        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
-        map.split(ServerId(1), ServerId(3), &SplitStrategy::SplitToLeft, &[]).unwrap();
+        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[])
+            .unwrap();
+        map.split(ServerId(1), ServerId(3), &SplitStrategy::SplitToLeft, &[])
+            .unwrap();
         let p = Point::new(250.0, 100.0);
         let owner = map.owner_of(p).unwrap();
-        let holders: Vec<ServerId> =
-            map.iter().filter(|(_, r)| r.contains(p)).map(|(s, _)| s).collect();
+        let holders: Vec<ServerId> = map
+            .iter()
+            .filter(|(_, r)| r.contains(p))
+            .map(|(s, _)| s)
+            .collect();
         assert_eq!(holders, vec![owner]);
     }
 
@@ -338,7 +365,8 @@ mod tests {
     #[test]
     fn mergeable_neighbours_after_splits() {
         let mut map = PartitionMap::new(world(), ServerId(1));
-        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
+        map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[])
+            .unwrap();
         let n1 = map.mergeable_neighbours(ServerId(1));
         assert_eq!(n1, vec![ServerId(2)]);
     }
@@ -352,7 +380,8 @@ mod tests {
                 .iter()
                 .max_by(|a, b| a.1.area().partial_cmp(&b.1.area()).unwrap())
                 .unwrap();
-            map.split(largest, ServerId(i), &SplitStrategy::LongestAxis, &[]).unwrap();
+            map.split(largest, ServerId(i), &SplitStrategy::LongestAxis, &[])
+                .unwrap();
             map.validate().unwrap();
         }
         assert_eq!(map.len(), 16);

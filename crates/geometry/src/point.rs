@@ -33,7 +33,10 @@ impl Point {
     ///
     /// `t = 0` returns `self`, `t = 1` returns `other`.
     pub fn lerp(self, other: Point, t: f64) -> Point {
-        Point::new(self.x + (other.x - self.x) * t, self.y + (other.y - self.y) * t)
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
     }
 
     /// Euclidean distance to `other`.

@@ -94,7 +94,10 @@ impl Rect {
 
     /// Centre point.
     pub fn center(&self) -> Point {
-        Point::new((self.min.x + self.max.x) / 2.0, (self.min.y + self.max.y) / 2.0)
+        Point::new(
+            (self.min.x + self.max.x) / 2.0,
+            (self.min.y + self.max.y) / 2.0,
+        )
     }
 
     /// The axis along which the rectangle is longest (ties go to X).
@@ -128,7 +131,10 @@ impl Rect {
 
     /// Clamps a point into the rectangle (onto the closed boundary).
     pub fn clamp(&self, p: Point) -> Point {
-        Point::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+        Point::new(
+            p.x.clamp(self.min.x, self.max.x),
+            p.y.clamp(self.min.y, self.max.y),
+        )
     }
 
     /// Minimum distance from `p` to the closed rectangle under `metric`.
@@ -226,15 +232,19 @@ impl Rect {
     /// merge.
     pub fn merges_with(&self, other: &Rect) -> Option<Rect> {
         // Share the full vertical edge?
-        if self.min.y == other.min.y && self.max.y == other.max.y
-            && (self.max.x == other.min.x || other.max.x == self.min.x) {
-                return Some(self.union(other));
-            }
+        if self.min.y == other.min.y
+            && self.max.y == other.max.y
+            && (self.max.x == other.min.x || other.max.x == self.min.x)
+        {
+            return Some(self.union(other));
+        }
         // Share the full horizontal edge?
-        if self.min.x == other.min.x && self.max.x == other.max.x
-            && (self.max.y == other.min.y || other.max.y == self.min.y) {
-                return Some(self.union(other));
-            }
+        if self.min.x == other.min.x
+            && self.max.x == other.max.x
+            && (self.max.y == other.min.y || other.max.y == self.min.y)
+        {
+            return Some(self.union(other));
+        }
         None
     }
 }
@@ -306,7 +316,10 @@ mod tests {
         let a = Rect::from_coords(0.0, 0.0, 6.0, 6.0);
         let b = Rect::from_coords(4.0, 2.0, 9.0, 9.0);
         assert_eq!(a.intersection(&b), b.intersection(&a));
-        assert_eq!(a.intersection(&b).unwrap(), Rect::from_coords(4.0, 2.0, 6.0, 6.0));
+        assert_eq!(
+            a.intersection(&b).unwrap(),
+            Rect::from_coords(4.0, 2.0, 6.0, 6.0)
+        );
     }
 
     #[test]
@@ -344,7 +357,10 @@ mod tests {
     #[test]
     fn longest_axis_prefers_x_on_tie() {
         assert_eq!(unit().longest_axis(), Axis::X);
-        assert_eq!(Rect::from_coords(0.0, 0.0, 1.0, 5.0).longest_axis(), Axis::Y);
+        assert_eq!(
+            Rect::from_coords(0.0, 0.0, 1.0, 5.0).longest_axis(),
+            Axis::Y
+        );
     }
 
     #[test]

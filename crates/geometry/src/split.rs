@@ -89,7 +89,10 @@ fn median_cut(rect: &Rect, clients: &[Point], axis: Axis) -> Option<f64> {
     if coords.is_empty() {
         return None;
     }
-    coords.sort_by(|a, b| a.partial_cmp(b).expect("client coordinates must not be NaN"));
+    coords.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .expect("client coordinates must not be NaN")
+    });
     let median = coords[coords.len() / 2];
     let (lo, hi) = match axis {
         Axis::X => (rect.min().x, rect.max().x),
@@ -133,12 +136,17 @@ mod tests {
         let clients: Vec<Point> = (0..10)
             .map(|i| Point::new(if i < 8 { 10.0 + i as f64 } else { 90.0 }, 25.0))
             .collect();
-        let (given, kept) = SplitStrategy::LoadAwareMedian.split(&world(), &clients).unwrap();
+        let (given, kept) = SplitStrategy::LoadAwareMedian
+            .split(&world(), &clients)
+            .unwrap();
         // The median of {10..17, 90, 90} is 15: most clients land left.
         let left_count = clients.iter().filter(|p| given.contains(**p)).count();
         let right_count = clients.iter().filter(|p| kept.contains(**p)).count();
         assert_eq!(left_count + right_count, clients.len());
-        assert!((4..=6).contains(&left_count), "median cut should balance: {left_count}");
+        assert!(
+            (4..=6).contains(&left_count),
+            "median cut should balance: {left_count}"
+        );
     }
 
     #[test]
@@ -152,7 +160,9 @@ mod tests {
         // All clients at the left edge: the median would produce an empty
         // partition, so we halve instead.
         let clients = vec![Point::new(0.0, 1.0); 5];
-        let (given, kept) = SplitStrategy::LoadAwareMedian.split(&world(), &clients).unwrap();
+        let (given, kept) = SplitStrategy::LoadAwareMedian
+            .split(&world(), &clients)
+            .unwrap();
         assert!(!given.is_degenerate());
         assert!(!kept.is_degenerate());
     }

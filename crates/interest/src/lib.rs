@@ -1,0 +1,34 @@
+//! Interest management for the Matrix middleware.
+//!
+//! Matrix routes spatially tagged packets *between* servers through
+//! overlap tables (§3.2.4 of the paper), but within one game server every
+//! event still has to reach the co-located clients that can see it. The
+//! seed implementation did that with a linear scan over all clients —
+//! O(clients) per event, O(clients²) per tick at exactly the hotspots
+//! that trigger splits. This crate provides the standard cure from the
+//! event-dissemination literature (D'Angelo et al., *Adaptive Event
+//! Dissemination for P2P MMOGs*): relevance filtering through a spatial
+//! index plus per-receiver batching.
+//!
+//! * [`InterestGrid`] — an incremental spatial-hash grid over client
+//!   positions. Updated on every move (O(1) amortised), it answers
+//!   "who can see a point" in O(cells touched + matches) instead of
+//!   O(clients). Optional hysteresis keeps clients that jitter on a cell
+//!   boundary from churning between buckets.
+//! * [`UpdateBatcher`] — a coalescing layer that accumulates per-client
+//!   updates and flushes them in batches on an interval, cutting
+//!   per-message overhead and giving the transport large writes.
+//!
+//! Both are deliberately independent of the middleware's message types:
+//! the grid is generic over the subscriber key and the batcher over the
+//! update payload, so the discrete-event harness, the async runtime and
+//! the benchmarks all drive the same code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod grid;
+
+pub use batch::UpdateBatcher;
+pub use grid::InterestGrid;

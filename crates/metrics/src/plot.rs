@@ -21,7 +21,10 @@ impl AsciiChart {
     /// Creates a chart canvas of `width × height` characters (plot area,
     /// excluding labels). Minimum useful size is about 20×5.
     pub fn new(width: usize, height: usize) -> AsciiChart {
-        AsciiChart { width: width.max(10), height: height.max(3) }
+        AsciiChart {
+            width: width.max(10),
+            height: height.max(3),
+        }
     }
 
     /// Renders the chart. Series are overlaid with distinct glyphs; the

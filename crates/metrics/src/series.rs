@@ -13,7 +13,10 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Creates an empty series.
     pub fn new(name: impl Into<String>) -> TimeSeries {
-        TimeSeries { name: name.into(), points: Vec::new() }
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// The series name (legend label).
@@ -49,18 +52,24 @@ impl TimeSeries {
 
     /// Largest value in the series.
     pub fn max_value(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |m, v| match m {
-            None => Some(v),
-            Some(m) => Some(m.max(v)),
-        })
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| match m {
+                None => Some(v),
+                Some(m) => Some(m.max(v)),
+            })
     }
 
     /// Smallest value in the series.
     pub fn min_value(&self) -> Option<f64> {
-        self.points.iter().map(|&(_, v)| v).fold(None, |m, v| match m {
-            None => Some(v),
-            Some(m) => Some(m.min(v)),
-        })
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |m, v| match m {
+                None => Some(v),
+                Some(m) => Some(m.min(v)),
+            })
     }
 
     /// Mean of the values (unweighted by time).

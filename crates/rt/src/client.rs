@@ -15,8 +15,10 @@ use tokio::sync::mpsc;
 pub struct ClientCounters {
     /// Action acknowledgements received.
     pub acks: u64,
-    /// World updates received.
+    /// World updates received (batched updates count individually).
     pub updates: u64,
+    /// `UpdateBatch` messages received.
+    pub batches: u64,
     /// Server switches performed.
     pub switches: u64,
 }
@@ -47,7 +49,10 @@ impl RtClient {
             state_bytes: 1_024,
             counters: ClientCounters::default(),
         };
-        client.send(ClientToGame::Join { pos, state_bytes: client.state_bytes });
+        client.send(ClientToGame::Join {
+            pos,
+            state_bytes: client.state_bytes,
+        });
         client
     }
 
@@ -72,7 +77,8 @@ impl RtClient {
     }
 
     fn send(&self, msg: ClientToGame) {
-        self.router.send_node(self.server, NodeMsg::FromClient(self.id, msg));
+        self.router
+            .send_node(self.server, NodeMsg::FromClient(self.id, msg));
     }
 
     /// Moves to `pos` and tells the server.
@@ -83,7 +89,10 @@ impl RtClient {
 
     /// Performs an action at the current position.
     pub fn action(&mut self, payload_bytes: usize) {
-        self.send(ClientToGame::Action { pos: self.pos, payload_bytes });
+        self.send(ClientToGame::Action {
+            pos: self.pos,
+            payload_bytes,
+        });
     }
 
     /// Leaves the game and releases the inbox.
@@ -111,6 +120,10 @@ impl RtClient {
                 }
                 GameToClient::Ack { .. } => self.counters.acks += 1,
                 GameToClient::Update { .. } => self.counters.updates += 1,
+                GameToClient::UpdateBatch { updates } => {
+                    self.counters.batches += 1;
+                    self.counters.updates += updates.len() as u64;
+                }
                 GameToClient::Joined { server } => {
                     self.server = *server;
                 }
@@ -135,6 +148,10 @@ impl RtClient {
                 }
                 GameToClient::Ack { .. } => self.counters.acks += 1,
                 GameToClient::Update { .. } => self.counters.updates += 1,
+                GameToClient::UpdateBatch { updates } => {
+                    self.counters.batches += 1;
+                    self.counters.updates += updates.len() as u64;
+                }
                 GameToClient::Joined { server } => self.server = *server,
             }
             out.push(msg);

@@ -4,8 +4,8 @@ use crate::client::RtClient;
 use crate::node::{spawn_node, NodeHandle, NodeMsg, NodeSnapshot};
 use crate::router::Router;
 use matrix_core::{
-    CoordAction, CoordMsg, Coordinator, CoordinatorConfig, GameServerConfig, MatrixConfig,
-    PoolMsg, ResourcePool,
+    CoordAction, CoordMsg, Coordinator, CoordinatorConfig, GameServerConfig, MatrixConfig, PoolMsg,
+    ResourcePool,
 };
 use matrix_geometry::{Point, Rect, ServerId};
 use tokio::sync::mpsc;
@@ -62,7 +62,11 @@ impl RtCluster {
         let (pool_tx, pool_rx) = mpsc::unbounded_channel();
         router.register_pool(pool_tx);
         let spares: Vec<ServerId> = (2..2 + cfg.pool_size).map(ServerId).collect();
-        tokio::spawn(run_pool(ResourcePool::new(spares.clone()), router.clone(), pool_rx));
+        tokio::spawn(run_pool(
+            ResourcePool::new(spares.clone()),
+            router.clone(),
+            pool_rx,
+        ));
 
         // Bootstrap node plus idle spares (the pool's machines).
         let bootstrap = spawn_node(ServerId(1), cfg.matrix, cfg.game, router.clone());
@@ -72,11 +76,18 @@ impl RtCluster {
         }
 
         // Developer bootstrap: register the game on the first node.
-        bootstrap.send(NodeMsg::Register { world: cfg.world, radius: cfg.radius });
+        bootstrap.send(NodeMsg::Register {
+            world: cfg.world,
+            radius: cfg.radius,
+        });
         // Give the registration round-trip a moment to install tables.
         tokio::time::sleep(std::time::Duration::from_millis(50)).await;
 
-        RtCluster { router, bootstrap, nodes }
+        RtCluster {
+            router,
+            bootstrap,
+            nodes,
+        }
     }
 
     /// The cluster's address book (for gateways and clients).

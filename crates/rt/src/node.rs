@@ -145,7 +145,14 @@ async fn run_node(
                             game_stats: *game.stats(),
                         });
                     }
-                    NodeMsg::Shutdown => break,
+                    NodeMsg::Shutdown => {
+                        // Deliver what the batcher still holds so a
+                        // graceful stop cannot eat the last interval's
+                        // updates.
+                        let actions = game.flush_updates(now);
+                        dispatch_game(&router, id, &mut matrix, &mut game, actions);
+                        break;
+                    }
                 }
             }
             _ = ticker.tick() => {

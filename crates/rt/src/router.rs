@@ -11,10 +11,9 @@ use crate::node::NodeMsg;
 use matrix_core::{ClientId, CoordMsg, GameToClient, PoolMsg};
 use matrix_geometry::ServerId;
 use matrix_sim::SimTime;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::Instant;
 use tokio::sync::mpsc;
 
@@ -66,61 +65,76 @@ impl Router {
 
     /// Registers a node's inbox.
     pub fn register_node(&self, id: ServerId, tx: mpsc::UnboundedSender<NodeMsg>) {
-        self.inner.nodes.write().insert(id, tx);
+        self.inner
+            .nodes
+            .write()
+            .expect("router lock")
+            .insert(id, tx);
     }
 
     /// Registers a client's inbox.
     pub fn register_client(&self, id: ClientId, tx: mpsc::UnboundedSender<GameToClient>) {
-        self.inner.clients.write().insert(id, tx);
+        self.inner
+            .clients
+            .write()
+            .expect("router lock")
+            .insert(id, tx);
     }
 
     /// Removes a client (disconnect).
     pub fn unregister_client(&self, id: ClientId) {
-        self.inner.clients.write().remove(&id);
+        self.inner.clients.write().expect("router lock").remove(&id);
     }
 
     /// Registers the coordinator's inbox.
     pub fn register_coordinator(&self, tx: mpsc::UnboundedSender<CoordMsg>) {
-        *self.inner.coordinator.write() = Some(tx);
+        *self.inner.coordinator.write().expect("router lock") = Some(tx);
     }
 
     /// Registers the pool's inbox.
     pub fn register_pool(&self, tx: mpsc::UnboundedSender<(ServerId, PoolMsg)>) {
-        *self.inner.pool.write() = Some(tx);
+        *self.inner.pool.write().expect("router lock") = Some(tx);
     }
 
     /// Sends to a node; silently drops if the node is gone (matching the
     /// network's at-most-once delivery to dead hosts).
     pub fn send_node(&self, id: ServerId, msg: NodeMsg) {
-        if let Some(tx) = self.inner.nodes.read().get(&id) {
+        if let Some(tx) = self.inner.nodes.read().expect("router lock").get(&id) {
             let _ = tx.send(msg);
         }
     }
 
     /// Sends to a client.
     pub fn send_client(&self, id: ClientId, msg: GameToClient) {
-        if let Some(tx) = self.inner.clients.read().get(&id) {
+        if let Some(tx) = self.inner.clients.read().expect("router lock").get(&id) {
             let _ = tx.send(msg);
         }
     }
 
     /// Sends to the coordinator.
     pub fn send_coordinator(&self, msg: CoordMsg) {
-        if let Some(tx) = self.inner.coordinator.read().as_ref() {
+        if let Some(tx) = self.inner.coordinator.read().expect("router lock").as_ref() {
             let _ = tx.send(msg);
         }
     }
 
     /// Sends to the pool on behalf of `from`.
     pub fn send_pool(&self, from: ServerId, msg: PoolMsg) {
-        if let Some(tx) = self.inner.pool.read().as_ref() {
+        if let Some(tx) = self.inner.pool.read().expect("router lock").as_ref() {
             let _ = tx.send((from, msg));
         }
     }
 
     /// Ids of all registered nodes.
     pub fn node_ids(&self) -> Vec<ServerId> {
-        let mut ids: Vec<ServerId> = self.inner.nodes.read().keys().copied().collect();
+        let mut ids: Vec<ServerId> = self
+            .inner
+            .nodes
+            .read()
+            .expect("router lock")
+            .keys()
+            .copied()
+            .collect();
         ids.sort_unstable();
         ids
     }

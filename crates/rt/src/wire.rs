@@ -8,6 +8,7 @@
 
 use crate::node::NodeMsg;
 use crate::router::Router;
+use matrix_core::codec::{self, CodecError};
 use matrix_core::{ClientToGame, GameToClient};
 use matrix_geometry::ServerId;
 use tokio::io::{AsyncBufReadExt, AsyncWriteExt, BufReader};
@@ -20,7 +21,7 @@ pub enum WireError {
     /// Socket-level failure.
     Io(std::io::Error),
     /// A frame was not valid JSON for the expected message type.
-    BadFrame(serde_json::Error),
+    BadFrame(CodecError),
     /// The peer closed the connection.
     Closed,
 }
@@ -43,8 +44,8 @@ impl From<std::io::Error> for WireError {
     }
 }
 
-impl From<serde_json::Error> for WireError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<CodecError> for WireError {
+    fn from(e: CodecError) -> Self {
         WireError::BadFrame(e)
     }
 }
@@ -89,7 +90,7 @@ async fn serve_connection(stream: TcpStream, router: Router, entry: ServerId) {
             line = lines.next_line() => {
                 match line {
                     Ok(Some(text)) => {
-                        match serde_json::from_str::<ClientToGame>(&text) {
+                        match codec::decode_client_to_game(&text) {
                             Ok(msg) => router.send_node(current, NodeMsg::FromClient(client_id, msg)),
                             Err(_) => break, // corrupt frame: drop the session
                         }
@@ -111,7 +112,7 @@ async fn serve_connection(stream: TcpStream, router: Router, entry: ServerId) {
                         ),
                     );
                 }
-                let Ok(mut framed) = serde_json::to_string(&msg) else { break };
+                let mut framed = codec::encode_game_to_client(&msg);
                 framed.push('\n');
                 if write_half.write_all(framed.as_bytes()).await.is_err() {
                     break;
@@ -137,7 +138,10 @@ impl TcpGameClient {
     pub async fn connect(addr: impl ToSocketAddrs) -> Result<TcpGameClient, WireError> {
         let stream = TcpStream::connect(addr).await?;
         let (read_half, write_half) = stream.into_split();
-        Ok(TcpGameClient { reader: BufReader::new(read_half).lines(), writer: write_half })
+        Ok(TcpGameClient {
+            reader: BufReader::new(read_half).lines(),
+            writer: write_half,
+        })
     }
 
     /// Sends one client message.
@@ -146,7 +150,7 @@ impl TcpGameClient {
     ///
     /// Returns socket errors; serialisation of these types cannot fail.
     pub async fn send(&mut self, msg: &ClientToGame) -> Result<(), WireError> {
-        let mut framed = serde_json::to_string(msg)?;
+        let mut framed = codec::encode_client_to_game(msg);
         framed.push('\n');
         self.writer.write_all(framed.as_bytes()).await?;
         Ok(())
@@ -160,6 +164,6 @@ impl TcpGameClient {
     /// errors.
     pub async fn recv(&mut self) -> Result<GameToClient, WireError> {
         let line = self.reader.next_line().await?.ok_or(WireError::Closed)?;
-        Ok(serde_json::from_str(&line)?)
+        Ok(codec::decode_game_to_client(&line)?)
     }
 }

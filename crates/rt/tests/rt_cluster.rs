@@ -40,7 +40,9 @@ async fn join_is_acknowledged() {
 async fn action_is_acked() {
     let cluster = RtCluster::start(RtConfig::default()).await;
     let mut client = cluster.client(Point::new(100.0, 100.0));
-    let _joined = tokio::time::timeout(Duration::from_secs(2), client.recv()).await.unwrap();
+    let _joined = tokio::time::timeout(Duration::from_secs(2), client.recv())
+        .await
+        .unwrap();
     client.action(64);
     let msg = tokio::time::timeout(Duration::from_secs(2), client.recv())
         .await
@@ -56,16 +58,29 @@ async fn nearby_clients_see_each_other() {
     let cluster = RtCluster::start(RtConfig::default()).await;
     let mut alice = cluster.client(Point::new(100.0, 100.0));
     let mut bob = cluster.client(Point::new(120.0, 100.0));
-    let _ = tokio::time::timeout(Duration::from_secs(2), alice.recv()).await.unwrap();
-    let _ = tokio::time::timeout(Duration::from_secs(2), bob.recv()).await.unwrap();
+    let _ = tokio::time::timeout(Duration::from_secs(2), alice.recv())
+        .await
+        .unwrap();
+    let _ = tokio::time::timeout(Duration::from_secs(2), bob.recv())
+        .await
+        .unwrap();
 
     alice.action(64);
-    // Bob is within the 100-unit radius: he must receive an update.
+    // Bob is within the 100-unit radius: he must receive the event in
+    // an update batch on the next flush.
     let msg = tokio::time::timeout(Duration::from_secs(2), bob.recv())
         .await
         .expect("update must reach nearby client")
         .expect("channel open");
-    assert!(matches!(msg, GameToClient::Update { .. }), "{msg:?}");
+    match &msg {
+        GameToClient::UpdateBatch { updates } => {
+            assert_eq!(updates.len(), 1, "{msg:?}");
+            assert_eq!(updates[0].payload_bytes, 64);
+        }
+        other => panic!("expected UpdateBatch, got {other:?}"),
+    }
+    assert_eq!(bob.counters().batches, 1);
+    assert_eq!(bob.counters().updates, 1);
     cluster.shutdown().await;
 }
 
@@ -74,14 +89,21 @@ async fn distant_clients_are_not_updated() {
     let cluster = RtCluster::start(RtConfig::default()).await;
     let mut alice = cluster.client(Point::new(100.0, 100.0));
     let mut bob = cluster.client(Point::new(700.0, 700.0));
-    let _ = tokio::time::timeout(Duration::from_secs(2), alice.recv()).await.unwrap();
-    let _ = tokio::time::timeout(Duration::from_secs(2), bob.recv()).await.unwrap();
+    let _ = tokio::time::timeout(Duration::from_secs(2), alice.recv())
+        .await
+        .unwrap();
+    let _ = tokio::time::timeout(Duration::from_secs(2), bob.recv())
+        .await
+        .unwrap();
 
     alice.action(64);
     tokio::time::sleep(Duration::from_millis(200)).await;
     let extra = bob.drain();
     assert!(
-        !extra.iter().any(|m| matches!(m, GameToClient::Update { .. })),
+        !extra.iter().any(|m| matches!(
+            m,
+            GameToClient::Update { .. } | GameToClient::UpdateBatch { .. }
+        )),
         "700 units away is outside the radius of visibility: {extra:?}"
     );
     cluster.shutdown().await;
@@ -108,7 +130,10 @@ async fn overload_splits_the_cluster_live() {
             break;
         }
     }
-    assert!(active >= 2, "the overloaded server must split, got {active}");
+    assert!(
+        active >= 2,
+        "the overloaded server must split, got {active}"
+    );
 
     // Every client must still be able to play (possibly after a switch).
     for client in clients.iter_mut() {
@@ -123,7 +148,10 @@ async fn overload_splits_the_cluster_live() {
             acked += 1;
         }
     }
-    assert!(acked >= 25, "most clients keep playing across the split: {acked}/30");
+    assert!(
+        acked >= 25,
+        "most clients keep playing across the split: {acked}/30"
+    );
     cluster.shutdown().await;
 }
 
@@ -131,10 +159,16 @@ async fn overload_splits_the_cluster_live() {
 async fn snapshots_expose_topology() {
     let cluster = RtCluster::start(RtConfig::default()).await;
     let snaps = cluster.snapshots().await;
-    let active: Vec<_> = snaps.iter().filter(|s| s.lifecycle == Lifecycle::Active).collect();
+    let active: Vec<_> = snaps
+        .iter()
+        .filter(|s| s.lifecycle == Lifecycle::Active)
+        .collect();
     assert_eq!(active.len(), 1);
     assert!(active[0].range.is_some());
-    let idle = snaps.iter().filter(|s| s.lifecycle == Lifecycle::Idle).count();
+    let idle = snaps
+        .iter()
+        .filter(|s| s.lifecycle == Lifecycle::Idle)
+        .count();
     assert_eq!(idle, RtConfig::default().pool_size as usize);
     cluster.shutdown().await;
 }
@@ -142,13 +176,20 @@ async fn snapshots_expose_topology() {
 #[tokio::test]
 async fn tcp_gateway_round_trip() {
     let cluster = RtCluster::start(RtConfig::default()).await;
-    let addr = wire::spawn_gateway("127.0.0.1:0", cluster.router().clone(), cluster.bootstrap_id())
-        .await
-        .expect("bind gateway");
+    let addr = wire::spawn_gateway(
+        "127.0.0.1:0",
+        cluster.router().clone(),
+        cluster.bootstrap_id(),
+    )
+    .await
+    .expect("bind gateway");
 
     let mut remote = wire::TcpGameClient::connect(addr).await.expect("connect");
     remote
-        .send(&ClientToGame::Join { pos: Point::new(50.0, 50.0), state_bytes: 64 })
+        .send(&ClientToGame::Join {
+            pos: Point::new(50.0, 50.0),
+            state_bytes: 64,
+        })
         .await
         .expect("send join");
     let msg = tokio::time::timeout(Duration::from_secs(2), remote.recv())
@@ -158,7 +199,10 @@ async fn tcp_gateway_round_trip() {
     assert!(matches!(msg, GameToClient::Joined { .. }), "{msg:?}");
 
     remote
-        .send(&ClientToGame::Action { pos: Point::new(50.0, 50.0), payload_bytes: 32 })
+        .send(&ClientToGame::Action {
+            pos: Point::new(50.0, 50.0),
+            payload_bytes: 32,
+        })
         .await
         .expect("send action");
     let msg = tokio::time::timeout(Duration::from_secs(2), remote.recv())

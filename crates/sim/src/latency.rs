@@ -165,9 +165,14 @@ mod tests {
     #[test]
     fn lossy_link_drops_roughly_p() {
         let mut rng = SimRng::seed_from_u64(5);
-        let link = LinkModel { loss_probability: 0.25, ..LinkModel::constant_millis(1) };
+        let link = LinkModel {
+            loss_probability: 0.25,
+            ..LinkModel::constant_millis(1)
+        };
         let n = 10_000;
-        let lost = (0..n).filter(|_| link.delay_for(10, &mut rng).is_none()).count();
+        let lost = (0..n)
+            .filter(|_| link.delay_for(10, &mut rng).is_none())
+            .count();
         let rate = lost as f64 / n as f64;
         assert!((rate - 0.25).abs() < 0.02, "loss rate {rate}");
     }

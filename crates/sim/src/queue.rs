@@ -54,7 +54,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> EventQueue<E> {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, popped: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            popped: 0,
+        }
     }
 
     /// Schedules `event` to fire at `at`.

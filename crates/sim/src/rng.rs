@@ -1,29 +1,63 @@
 //! Seeded randomness for reproducible workloads.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A deterministic random source.
 ///
-/// Thin wrapper over a seeded [`StdRng`] exposing exactly the sampling
-/// primitives the workloads need; constructing it from a `u64` seed keeps
-/// experiment configs serialisable and diffable.
+/// Self-contained xoshiro256++ generator (Blackman & Vigna) seeded
+/// through SplitMix64, exposing exactly the sampling primitives the
+/// workloads need; constructing it from a `u64` seed keeps experiment
+/// configs serialisable and diffable, and carrying no external dependency
+/// keeps the workspace building offline.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from an experiment seed.
     pub fn seed_from_u64(seed: u64) -> SimRng {
-        SimRng { inner: StdRng::seed_from_u64(seed) }
+        let mut sm = seed;
+        SimRng {
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The raw 64-bit step of xoshiro256++.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Derives an independent child generator; used to give each client or
     /// server its own stream so adding one consumer does not perturb the
     /// others' draws.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.inner.gen())
+        SimRng::seed_from_u64(self.next_u64())
     }
 
     /// Uniform float in `[lo, hi)`.
@@ -31,7 +65,13 @@ impl SimRng {
         if lo >= hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let v = lo + self.next_f64() * (hi - lo);
+        // Floating rounding can land exactly on `hi`; fold back inside.
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
     }
 
     /// Uniform integer in `[lo, hi)`.
@@ -39,7 +79,12 @@ impl SimRng {
         if lo >= hi {
             return lo;
         }
-        self.inner.gen_range(lo..hi)
+        let span = hi - lo;
+        // Multiply-shift bounded sampling (Lemire); bias is negligible for
+        // the span sizes the workloads use, and determinism is what we
+        // actually need.
+        let hi128 = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + hi128
     }
 
     /// Bernoulli trial.
@@ -49,21 +94,21 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen_bool(p)
+            self.next_f64() < p
         }
     }
 
     /// Exponentially distributed sample with the given mean (inter-arrival
     /// times of a Poisson process).
     pub fn exponential(&mut self, mean: f64) -> f64 {
-        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        let u = self.next_f64().max(f64::EPSILON);
         -mean * u.ln()
     }
 
     /// Normally distributed sample (Box–Muller), truncated at zero.
     pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
-        let u1: f64 = self.inner.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.inner.gen_range(0.0..1.0);
+        let u1 = self.next_f64().max(f64::EPSILON);
+        let u2 = self.next_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         (mean + z * std_dev).max(0.0)
     }
@@ -73,7 +118,7 @@ impl SimRng {
         if items.is_empty() {
             None
         } else {
-            let i = self.inner.gen_range(0..items.len());
+            let i = self.uniform_u64(0, items.len() as u64) as usize;
             Some(&items[i])
         }
     }
@@ -96,7 +141,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SimRng::seed_from_u64(1);
         let mut b = SimRng::seed_from_u64(2);
-        let same = (0..20).filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)).count();
+        let same = (0..20)
+            .filter(|_| a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0))
+            .count();
         assert!(same < 3);
     }
 
@@ -108,6 +155,16 @@ mod tests {
             assert!((5.0..6.0).contains(&v));
         }
         assert_eq!(rng.uniform(3.0, 3.0), 3.0);
+    }
+
+    #[test]
+    fn uniform_u64_respects_bounds() {
+        let mut rng = SimRng::seed_from_u64(17);
+        for _ in 0..1000 {
+            let v = rng.uniform_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+        assert_eq!(rng.uniform_u64(5, 5), 5);
     }
 
     #[test]

@@ -178,7 +178,10 @@ mod tests {
     fn subtraction_saturates() {
         let d = SimTime::from_secs(1) - SimTime::from_secs(5);
         assert_eq!(d, SimDuration::ZERO);
-        assert_eq!(SimTime::from_secs(1).since(SimTime::from_secs(5)), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1).since(SimTime::from_secs(5)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

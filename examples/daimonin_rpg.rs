@@ -24,34 +24,64 @@ fn main() {
     // 250 adventurers spread over the world; at t=30 a town meeting pulls
     // 500 more into the village; the meeting disperses after two minutes.
     let schedule = WorkloadSchedule::new(SimTime::from_secs(240))
-        .at(SimTime::ZERO, PopulationEvent::Join { n: 250, placement: Placement::Uniform })
+        .at(
+            SimTime::ZERO,
+            PopulationEvent::Join {
+                n: 250,
+                placement: Placement::Uniform,
+            },
+        )
         .at(
             SimTime::from_secs(30),
             PopulationEvent::Join {
                 n: 500,
-                placement: Placement::Hotspot { center: town_square, spread: spec.radius * 2.0 },
+                placement: Placement::Hotspot {
+                    center: town_square,
+                    spread: spec.radius * 2.0,
+                },
             },
         )
-        .at(SimTime::from_secs(150), PopulationEvent::Leave { n: 250, from_hotspot: true })
-        .at(SimTime::from_secs(180), PopulationEvent::Leave { n: 250, from_hotspot: true });
+        .at(
+            SimTime::from_secs(150),
+            PopulationEvent::Leave {
+                n: 250,
+                from_hotspot: true,
+            },
+        )
+        .at(
+            SimTime::from_secs(180),
+            PopulationEvent::Leave {
+                n: 250,
+                from_hotspot: true,
+            },
+        );
 
     let mut cfg = ClusterConfig::adaptive(spec);
     cfg.seed = 7;
     let report = Cluster::new(cfg, schedule).run();
 
     println!("servers in use over time:");
-    println!("{}", AsciiChart::new(90, 12).render(&[&report.servers_in_use]));
+    println!(
+        "{}",
+        AsciiChart::new(90, 12).render(&[&report.servers_in_use])
+    );
 
     println!("town meeting handled with:");
     println!("  peak servers        : {}", report.peak_servers);
-    println!("  splits / reclaims   : {} / {}", report.splits, report.reclaims);
+    println!(
+        "  splits / reclaims   : {} / {}",
+        report.splits, report.reclaims
+    );
     println!("  client switches     : {}", report.switches);
     println!("  peak queue backlog  : {:.0}", report.peak_queue);
     println!(
         "  p95 response latency: {:.1} ms",
         report.response_latency_us.p95().unwrap_or(0.0) / 1000.0
     );
-    println!("  late responses      : {:.2}%", report.late_fraction * 100.0);
+    println!(
+        "  late responses      : {:.2}%",
+        report.late_fraction * 100.0
+    );
     println!(
         "  inter-server traffic: {:.2} MB",
         report.inter_server_bytes as f64 / 1e6

@@ -17,27 +17,39 @@ fn main() {
 
     // A 500-tank battle: enough to split the world onto a second server.
     let schedule = WorkloadSchedule::new(SimTime::from_secs(180))
-        .at(SimTime::ZERO, PopulationEvent::Join { n: 100, placement: Placement::Uniform })
+        .at(
+            SimTime::ZERO,
+            PopulationEvent::Join {
+                n: 100,
+                placement: Placement::Uniform,
+            },
+        )
         .at(
             SimTime::from_secs(10),
             PopulationEvent::Join {
                 n: 400,
-                placement: Placement::Hotspot { center: spec.hotspot_a(), spread: 2.0 * spec.radius },
+                placement: Placement::Hotspot {
+                    center: spec.hotspot_a(),
+                    spread: 2.0 * spec.radius,
+                },
             },
         );
 
     let mut cfg = ClusterConfig::adaptive(spec);
     cfg.seed = 11;
     cfg.matrix.underload_clients = 10; // keep the children alive
-    // The first split child (first pool id = initial_servers + 1 = 2)
-    // crashes at t=60.
+                                       // The first split child (first pool id = initial_servers + 1 = 2)
+                                       // crashes at t=60.
     cfg.crashes = vec![(SimTime::from_secs(60), ServerId(2))];
 
     println!("running: 500 tanks, server S2 crashes at t=60s...\n");
     let report = Cluster::new(cfg, schedule).run();
 
     println!("active servers over time (watch the dip at t=60):");
-    println!("{}", AsciiChart::new(90, 10).render(&[&report.servers_in_use]));
+    println!(
+        "{}",
+        AsciiChart::new(90, 10).render(&[&report.servers_in_use])
+    );
 
     println!("adaptation timeline:");
     for (t, event) in &report.timeline {
@@ -45,14 +57,27 @@ fn main() {
     }
 
     println!("\noutcome:");
-    println!("  failures declared by MC : {}", report.coordinator.failures_declared);
-    println!("  splits / reclaims       : {} / {}", report.splits, report.reclaims);
-    let hosted: f64 = report.clients_per_server.iter().filter_map(|s| s.last_value()).sum();
+    println!(
+        "  failures declared by MC : {}",
+        report.coordinator.failures_declared
+    );
+    println!(
+        "  splits / reclaims       : {} / {}",
+        report.splits, report.reclaims
+    );
+    let hosted: f64 = report
+        .clients_per_server
+        .iter()
+        .filter_map(|s| s.last_value())
+        .sum();
     println!("  clients hosted at end   : {hosted:.0} (of 500)");
     println!(
         "  p95 response latency    : {:.1} ms",
         report.response_latency_us.p95().unwrap_or(0.0) / 1000.0
     );
-    assert!(report.coordinator.failures_declared >= 1, "the crash must be detected");
+    assert!(
+        report.coordinator.failures_declared >= 1,
+        "the crash must be detected"
+    );
     println!("\nthe partition of the dead server was absorbed; the game never stopped.");
 }

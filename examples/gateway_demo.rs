@@ -1,0 +1,47 @@
+//! TCP gateway demo: expose an in-process Matrix cluster on a real
+//! socket and serve remote game clients speaking newline-delimited JSON.
+//!
+//! ```sh
+//! cargo run --release --example gateway_demo            # random port
+//! cargo run --release --example gateway_demo -- 4177    # fixed port
+//! ```
+//!
+//! Then, from any language, e.g.:
+//!
+//! ```text
+//! $ nc 127.0.0.1 4177
+//! {"t":"join","x":100.0,"y":100.0,"state":64}
+//! {"t":"joined","server":1}
+//! {"t":"action","x":100.0,"y":100.0,"bytes":32}
+//! {"t":"ack","seq":0}
+//! ```
+//!
+//! The gateway keeps each remote client pinned to whichever server the
+//! middleware redirects it to; nearby clients receive each other's
+//! events as `{"t":"batch",...}` updates.
+
+use matrix_middleware::rt::{wire, RtCluster, RtConfig};
+use std::time::Duration;
+
+#[tokio::main]
+async fn main() {
+    let port: u16 = std::env::args()
+        .nth(1)
+        .and_then(|p| p.parse().ok())
+        .unwrap_or(0);
+    let cluster = RtCluster::start(RtConfig::default()).await;
+    let addr = wire::spawn_gateway(
+        ("127.0.0.1", port),
+        cluster.router().clone(),
+        cluster.bootstrap_id(),
+    )
+    .await
+    .expect("bind gateway");
+    println!("gateway listening on {addr}");
+    println!("speak JSON lines, e.g.: {{\"t\":\"join\",\"x\":100.0,\"y\":100.0,\"state\":64}}");
+
+    // Serve until interrupted.
+    loop {
+        tokio::time::sleep(Duration::from_secs(3600)).await;
+    }
+}

@@ -14,13 +14,18 @@ use matrix_middleware::geometry::{
 };
 
 fn main() {
-    let radius: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40.0);
+    let radius: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40.0);
 
     // The paper's Figure-1a layout: three servers after two splits.
     let world = Rect::from_coords(0.0, 0.0, 300.0, 300.0);
     let mut map = PartitionMap::new(world, ServerId(1));
-    map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[]).unwrap();
-    map.split(ServerId(1), ServerId(3), &SplitStrategy::LongestAxis, &[]).unwrap();
+    map.split(ServerId(1), ServerId(2), &SplitStrategy::SplitToLeft, &[])
+        .unwrap();
+    map.split(ServerId(1), ServerId(3), &SplitStrategy::LongestAxis, &[])
+        .unwrap();
 
     println!("partitions (radius of visibility R = {radius}):");
     for (server, rect) in map.iter() {

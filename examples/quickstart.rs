@@ -44,7 +44,10 @@ async fn main() {
 
     let snaps = cluster.snapshots().await;
     for s in snaps.iter().filter(|s| s.clients > 0) {
-        println!("server {} hosts {} clients over {:?}", s.id, s.clients, s.range);
+        println!(
+            "server {} hosts {} clients over {:?}",
+            s.id, s.clients, s.range
+        );
     }
     cluster.shutdown().await;
 }

@@ -1,0 +1,105 @@
+//! Minimal stand-in for the `bytes` crate, for offline builds.
+//!
+//! Provides the small slice of the `bytes::Bytes` API the middleware
+//! uses: a cheaply cloneable, immutable byte buffer. Backed by
+//! `Arc<[u8]>`, so clones are reference-counted exactly like the real
+//! crate's shallow clones.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes(Arc::from(Vec::new()))
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes(Arc::from(bytes))
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes(Arc::from(data))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(v: &'static [u8]) -> Bytes {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(v: String) -> Bytes {
+        Bytes(Arc::from(v.into_bytes()))
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"{} bytes\"", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_len() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        let c = b.clone();
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn empty() {
+        assert!(Bytes::new().is_empty());
+        assert_eq!(Bytes::default(), Bytes::new());
+    }
+}

@@ -1,0 +1,57 @@
+//! Attribute macros for the vendored `tokio` stand-in.
+//!
+//! `#[tokio::main]` and `#[tokio::test]` rewrite an `async fn` into a
+//! synchronous one whose body runs under the shim's `block_on` executor.
+//! Runtime-flavour arguments (`flavor`, `worker_threads`, ...) are
+//! accepted and ignored: the shim executor is thread-per-task, so every
+//! flavour already runs with real parallelism.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Rewrites `async fn main` to run under the shim executor.
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, false)
+}
+
+/// Rewrites an `async fn` test into a `#[test]` running under the shim
+/// executor.
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, true)
+}
+
+fn rewrite(item: TokenStream, is_test: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    // The function body is the last top-level brace group.
+    let body_idx = tokens
+        .iter()
+        .rposition(|t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace))
+        .expect("#[tokio::main]/#[tokio::test] requires a function with a body");
+    let body = match &tokens[body_idx] {
+        TokenTree::Group(g) => g.stream(),
+        _ => unreachable!(),
+    };
+    // Signature: every token before the body, minus the `async` keyword.
+    let mut sig = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i == body_idx {
+            break;
+        }
+        if let TokenTree::Ident(id) = t {
+            if id.to_string() == "async" {
+                continue;
+            }
+        }
+        sig.push_str(&t.to_string());
+        sig.push(' ');
+    }
+    let test_attr = if is_test {
+        "#[::core::prelude::v1::test]\n"
+    } else {
+        ""
+    };
+    let out =
+        format!("{test_attr}{sig} {{ ::tokio::runtime::block_on(async move {{ {body} }}) }}",);
+    out.parse().expect("generated function must parse")
+}

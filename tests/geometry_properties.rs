@@ -1,16 +1,17 @@
 //! Property-based tests of the spatial substrate: the invariants that
 //! make localized consistency sound, probed over randomized partition
 //! topologies.
+//!
+//! Randomization is driven by the workspace's own seeded [`SimRng`]
+//! (fixed seeds, so failures are reproducible) instead of an external
+//! property-testing framework, keeping the build offline-friendly.
 
 use matrix_middleware::geometry::{
     build_overlap, consistency_set, Metric, PartitionMap, Point, Rect, ServerId, SplitStrategy,
 };
-use proptest::prelude::*;
+use matrix_middleware::sim::SimRng;
 
-/// A random split script: (victim index, strategy selector).
-fn split_script() -> impl Strategy<Value = Vec<(u8, u8)>> {
-    prop::collection::vec((0u8..16, 0u8..3), 0..12)
-}
+const CASES: usize = 64;
 
 fn strategy_of(sel: u8) -> SplitStrategy {
     match sel % 3 {
@@ -18,6 +19,14 @@ fn strategy_of(sel: u8) -> SplitStrategy {
         1 => SplitStrategy::LongestAxis,
         _ => SplitStrategy::LoadAwareMedian,
     }
+}
+
+/// A random split script: (victim selector, strategy selector) pairs.
+fn split_script(rng: &mut SimRng) -> Vec<(u8, u8)> {
+    let n = rng.uniform_u64(0, 12) as usize;
+    (0..n)
+        .map(|_| (rng.uniform_u64(0, 16) as u8, rng.uniform_u64(0, 3) as u8))
+        .collect()
 }
 
 /// Builds a partition map by replaying a random split script.
@@ -28,134 +37,161 @@ fn build_map(script: &[(u8, u8)]) -> PartitionMap {
     for (victim, sel) in script {
         let servers = map.servers();
         let target = servers[*victim as usize % servers.len()];
-        if map.split(target, ServerId(next), &strategy_of(*sel), &[]).is_ok() {
+        if map
+            .split(target, ServerId(next), &strategy_of(*sel), &[])
+            .is_ok()
+        {
             next += 1;
         }
     }
     map
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Splits never violate the partition invariants: disjoint interiors,
-    /// exact world coverage.
-    #[test]
-    fn splits_preserve_partition_invariants(script in split_script()) {
-        let map = build_map(&script);
-        prop_assert!(map.validate().is_ok(), "{:?}", map.validate());
+fn metric_of(sel: u8) -> Metric {
+    match sel % 3 {
+        0 => Metric::Euclidean,
+        1 => Metric::Manhattan,
+        _ => Metric::Chebyshev,
     }
+}
 
-    /// Every interior point has exactly one owner.
-    #[test]
-    fn ownership_is_unique(script in split_script(), x in 0.0..1000.0, y in 0.0..1000.0) {
-        let map = build_map(&script);
-        let p = Point::new(x, y);
-        let holders = map.iter().filter(|(_, r)| r.contains(p)).count();
-        prop_assert_eq!(holders, 1);
+/// Splits never violate the partition invariants: disjoint interiors,
+/// exact world coverage.
+#[test]
+fn splits_preserve_partition_invariants() {
+    let mut rng = SimRng::seed_from_u64(0xA11CE);
+    for case in 0..CASES {
+        let map = build_map(&split_script(&mut rng));
+        assert!(map.validate().is_ok(), "case {case}: {:?}", map.validate());
     }
+}
 
-    /// The overlap table is conservative: it never misses a server whose
-    /// partition is strictly within the radius of the point (under any
-    /// metric). Missing one would lose consistency updates; extras only
-    /// cost bandwidth.
-    #[test]
-    fn overlap_lookup_is_conservative(
-        script in split_script(),
-        x in 0.0..1000.0,
-        y in 0.0..1000.0,
-        radius in 10.0..300.0,
-        metric_sel in 0u8..3,
-    ) {
-        let metric = match metric_sel {
-            0 => Metric::Euclidean,
-            1 => Metric::Manhattan,
-            _ => Metric::Chebyshev,
-        };
-        let map = build_map(&script);
+/// Every interior point has exactly one owner.
+#[test]
+fn ownership_is_unique() {
+    let mut rng = SimRng::seed_from_u64(0xB0B);
+    for case in 0..CASES {
+        let map = build_map(&split_script(&mut rng));
+        for _ in 0..8 {
+            let p = Point::new(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0));
+            let holders = map.iter().filter(|(_, r)| r.contains(p)).count();
+            assert_eq!(holders, 1, "case {case}: {p} has {holders} owners");
+        }
+    }
+}
+
+/// The overlap table is conservative: it never misses a server whose
+/// partition is strictly within the radius of the point (under any
+/// metric). Missing one would lose consistency updates; extras only
+/// cost bandwidth.
+#[test]
+fn overlap_lookup_is_conservative() {
+    let mut rng = SimRng::seed_from_u64(0xC0DE);
+    for case in 0..CASES {
+        let map = build_map(&split_script(&mut rng));
+        let radius = rng.uniform(10.0, 300.0);
+        let metric = metric_of(rng.uniform_u64(0, 3) as u8);
         let overlap = build_overlap(&map, radius, metric);
-        let p = Point::new(x, y);
-        let owner = map.owner_of(p).expect("interior point");
-        let looked = overlap.table_for(owner).expect("table").lookup(p);
-        for (server, rect) in map.iter() {
-            if server != owner && rect.distance_to(p, metric) < radius {
-                prop_assert!(
-                    looked.contains(&server),
-                    "{server} at distance {} < {radius} missing from {looked:?}",
-                    rect.distance_to(p, metric)
+        for _ in 0..4 {
+            let p = Point::new(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0));
+            let owner = map.owner_of(p).expect("interior point");
+            let looked = overlap.table_for(owner).expect("table").lookup(p);
+            for (server, rect) in map.iter() {
+                if server != owner && rect.distance_to(p, metric) < radius {
+                    assert!(
+                        looked.contains(&server),
+                        "case {case}: {server} at distance {} < {radius} missing from {looked:?}",
+                        rect.distance_to(p, metric)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Under the Chebyshev metric the AABB construction is exact: the
+/// table never includes a server whose partition is farther than the
+/// radius (allowing the half-open cell boundary slack).
+#[test]
+fn chebyshev_lookup_is_tight() {
+    let mut rng = SimRng::seed_from_u64(0xD1CE);
+    for case in 0..CASES {
+        let map = build_map(&split_script(&mut rng));
+        let radius = rng.uniform(10.0, 300.0);
+        let overlap = build_overlap(&map, radius, Metric::Chebyshev);
+        for _ in 0..4 {
+            let p = Point::new(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0));
+            let owner = map.owner_of(p).expect("interior point");
+            let looked = overlap.table_for(owner).expect("table").lookup(p);
+            for server in looked {
+                let rect = map.range_of(*server).expect("live server");
+                assert!(
+                    rect.distance_to(p, Metric::Chebyshev) <= radius,
+                    "case {case}: {server} included at distance {} > {radius}",
+                    rect.distance_to(p, Metric::Chebyshev)
                 );
             }
         }
     }
+}
 
-    /// Under the Chebyshev metric the AABB construction is exact: the
-    /// table never includes a server whose partition is farther than the
-    /// radius (allowing the half-open cell boundary slack).
-    #[test]
-    fn chebyshev_lookup_is_tight(
-        script in split_script(),
-        x in 0.0..1000.0,
-        y in 0.0..1000.0,
-        radius in 10.0..300.0,
-    ) {
-        let map = build_map(&script);
+/// The table agrees with brute-force Equation 1 under Chebyshev for
+/// cell-interior points (boundaries excluded by nudging the probe).
+#[test]
+fn chebyshev_matches_equation_1() {
+    let mut rng = SimRng::seed_from_u64(0xE66);
+    for case in 0..CASES {
+        let map = build_map(&split_script(&mut rng));
+        let radius = rng.uniform(10.0, 300.0);
         let overlap = build_overlap(&map, radius, Metric::Chebyshev);
-        let p = Point::new(x, y);
-        let owner = map.owner_of(p).expect("interior point");
-        let looked = overlap.table_for(owner).expect("table").lookup(p);
-        for server in looked {
-            let rect = map.range_of(*server).expect("live server");
-            prop_assert!(
-                rect.distance_to(p, Metric::Chebyshev) <= radius,
-                "{server} included at distance {} > {radius}",
-                rect.distance_to(p, Metric::Chebyshev)
+        for _ in 0..4 {
+            // Nudge off likely cell boundaries (which sit on rational grid
+            // coordinates) by an irrational offset.
+            let p = Point::new(
+                rng.uniform(0.0, 999.0) + 0.382_217,
+                rng.uniform(0.0, 999.0) + 0.618_033,
             );
+            let owner = map.owner_of(p).expect("interior point");
+            let looked = overlap.table_for(owner).expect("table").lookup(p).to_vec();
+            let exact = consistency_set(&map, p, owner, radius, Metric::Chebyshev);
+            assert_eq!(looked, exact, "case {case} at {p} radius {radius}");
         }
     }
+}
 
-    /// The table agrees with brute-force Equation 1 under Chebyshev for
-    /// cell-interior points (boundaries excluded by nudging the probe).
-    #[test]
-    fn chebyshev_matches_equation_1(
-        script in split_script(),
-        x in 0.0..999.0,
-        y in 0.0..999.0,
-        radius in 10.0..300.0,
-    ) {
-        // Nudge off likely cell boundaries (which sit on rational grid
-        // coordinates) by an irrational offset.
-        let p = Point::new(x + 0.382_217, y + 0.618_033);
-        let map = build_map(&script);
-        let overlap = build_overlap(&map, radius, Metric::Chebyshev);
-        let owner = map.owner_of(p).expect("interior point");
-        let looked = overlap.table_for(owner).expect("table").lookup(p).to_vec();
-        let exact = consistency_set(&map, p, owner, radius, Metric::Chebyshev);
-        prop_assert_eq!(looked, exact);
-    }
-
-    /// Reclaiming children in reverse creation order always collapses the
-    /// tree back to a single world-owning server.
-    #[test]
-    fn lifo_reclaim_collapses_to_world(n_splits in 0u32..10) {
+/// Reclaiming children in reverse creation order always collapses the
+/// tree back to a single world-owning server.
+#[test]
+fn lifo_reclaim_collapses_to_world() {
+    for n_splits in 0..10u32 {
         let world = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
         let mut map = PartitionMap::new(world, ServerId(1));
         // Chain splits: each new server splits from the previous one.
         for i in 0..n_splits {
-            map.split(ServerId(i + 1), ServerId(i + 2), &SplitStrategy::SplitToLeft, &[]).unwrap();
+            map.split(
+                ServerId(i + 1),
+                ServerId(i + 2),
+                &SplitStrategy::SplitToLeft,
+                &[],
+            )
+            .unwrap();
         }
         for i in (0..n_splits).rev() {
             map.reclaim(ServerId(i + 1), ServerId(i + 2)).unwrap();
         }
-        prop_assert_eq!(map.len(), 1);
-        prop_assert_eq!(map.range_of(ServerId(1)), Some(world));
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.range_of(ServerId(1)), Some(world));
     }
+}
 
-    /// Overlap areas shrink monotonically with the radius.
-    #[test]
-    fn overlap_area_is_monotone_in_radius(script in split_script()) {
-        let map = build_map(&script);
+/// Overlap areas shrink monotonically with the radius.
+#[test]
+fn overlap_area_is_monotone_in_radius() {
+    let mut rng = SimRng::seed_from_u64(0xF00D);
+    for case in 0..CASES {
+        let map = build_map(&split_script(&mut rng));
         let small = build_overlap(&map, 20.0, Metric::Euclidean).total_overlap_area();
         let large = build_overlap(&map, 120.0, Metric::Euclidean).total_overlap_area();
-        prop_assert!(small <= large + 1e-9, "{small} > {large}");
+        assert!(small <= large + 1e-9, "case {case}: {small} > {large}");
     }
 }

@@ -1,0 +1,277 @@
+//! Receiver-set equivalence: the spatial-hash interest grid must return
+//! exactly the same receivers as a brute-force linear scan, for every
+//! metric, radius, grid resolution and hysteresis setting — including
+//! query origins and subscriber positions sitting exactly on cell
+//! boundaries. Fan-out correctness *is* consistency for a game server;
+//! any divergence between the fast path and the obvious path is a lost
+//! or spurious update.
+//!
+//! Randomization is driven by the workspace's own seeded [`SimRng`]
+//! (fixed seeds, so failures are reproducible).
+
+use matrix_middleware::core::InterestGrid;
+use matrix_middleware::geometry::{Metric, Point, Rect};
+use matrix_middleware::sim::SimRng;
+use std::collections::HashMap;
+
+const METRICS: [Metric; 3] = [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev];
+
+fn metric_of(sel: u64) -> Metric {
+    METRICS[(sel % 3) as usize]
+}
+
+/// Brute-force receiver set over the mirror position map.
+fn linear_scan(
+    positions: &HashMap<u32, Point>,
+    origin: Point,
+    radius: f64,
+    metric: Metric,
+) -> Vec<u32> {
+    let mut out: Vec<u32> = positions
+        .iter()
+        .filter(|(_, p)| p.distance_by(origin, metric) <= radius)
+        .map(|(k, _)| *k)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn assert_equivalent(
+    grid: &InterestGrid<u32>,
+    positions: &HashMap<u32, Point>,
+    origin: Point,
+    radius: f64,
+    metric: Metric,
+    context: &str,
+) {
+    let mut from_grid = grid.query_collect(origin, radius, metric);
+    from_grid.sort_unstable();
+    let from_scan = linear_scan(positions, origin, radius, metric);
+    assert_eq!(
+        from_grid, from_scan,
+        "{context}: grid and linear scan disagree at {origin} r={radius} {metric:?}"
+    );
+}
+
+/// Random crowds, random worlds, random resolutions: the grid and the
+/// linear scan agree on every query.
+#[test]
+fn grid_matches_linear_scan_on_random_crowds() {
+    let mut rng = SimRng::seed_from_u64(0x0121_7E57);
+    for case in 0..60 {
+        // Random world rectangle (varied origin and aspect ratio).
+        let x0 = rng.uniform(-500.0, 500.0);
+        let y0 = rng.uniform(-500.0, 500.0);
+        let w = rng.uniform(10.0, 2000.0);
+        let h = rng.uniform(10.0, 2000.0);
+        let world = Rect::from_coords(x0, y0, x0 + w, y0 + h);
+        let cells = rng.uniform_u64(1, 64) as u32;
+        let hysteresis = if rng.chance(0.5) {
+            0.0
+        } else {
+            rng.uniform(0.0, (w.min(h) / cells as f64) * 0.5)
+        };
+        let mut grid: InterestGrid<u32> =
+            InterestGrid::new(world, cells).with_hysteresis(hysteresis);
+        let mut positions: HashMap<u32, Point> = HashMap::new();
+
+        let n = rng.uniform_u64(0, 400) as u32;
+        for key in 0..n {
+            // Some positions stray outside the world (roaming clients).
+            let p = Point::new(
+                rng.uniform(x0 - 50.0, x0 + w + 50.0),
+                rng.uniform(y0 - 50.0, y0 + h + 50.0),
+            );
+            grid.insert(key, p);
+            positions.insert(key, p);
+        }
+        for _ in 0..6 {
+            // Origins stray outside the world too (events from roaming
+            // clients clamped into edge cells).
+            let origin = Point::new(
+                rng.uniform(x0 - 80.0, x0 + w + 80.0),
+                rng.uniform(y0 - 80.0, y0 + h + 80.0),
+            );
+            let radius = rng.uniform(0.0, w.max(h) * 0.6);
+            let metric = metric_of(rng.uniform_u64(0, 3));
+            assert_equivalent(
+                &grid,
+                &positions,
+                origin,
+                radius,
+                metric,
+                &format!("case {case}"),
+            );
+        }
+    }
+}
+
+/// Incremental updates (moves, removals, re-insertions) keep the grid in
+/// lockstep with the mirror — including hysteresis-heavy jitter across
+/// cell boundaries.
+#[test]
+fn grid_stays_equivalent_under_incremental_moves() {
+    let mut rng = SimRng::seed_from_u64(0x00DD_50CC);
+    for case in 0..40 {
+        let world = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
+        let cells = rng.uniform_u64(2, 40) as u32;
+        let cell = 1000.0 / cells as f64;
+        let mut grid: InterestGrid<u32> =
+            InterestGrid::new(world, cells).with_hysteresis(cell * 0.2);
+        let mut positions: HashMap<u32, Point> = HashMap::new();
+
+        for step in 0..300u32 {
+            let key = rng.uniform_u64(0, 60) as u32;
+            match rng.uniform_u64(0, 10) {
+                // Mostly small jittery moves (boundary crossers).
+                0..=6 => {
+                    let base = positions.get(&key).copied().unwrap_or_else(|| {
+                        Point::new(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0))
+                    });
+                    let p = Point::new(
+                        base.x + rng.uniform(-cell, cell),
+                        base.y + rng.uniform(-cell, cell),
+                    );
+                    grid.update(key, p);
+                    positions.insert(key, p);
+                }
+                // Teleports.
+                7..=8 => {
+                    let p = Point::new(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0));
+                    grid.update(key, p);
+                    positions.insert(key, p);
+                }
+                // Departures.
+                _ => {
+                    let was_tracked = positions.remove(&key).is_some();
+                    assert_eq!(grid.remove(key), was_tracked, "case {case} step {step}");
+                }
+            }
+            assert_eq!(grid.len(), positions.len(), "case {case} step {step}");
+            if step % 10 == 0 {
+                let origin = Point::new(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0));
+                let radius = rng.uniform(0.0, 400.0);
+                let metric = metric_of(rng.uniform_u64(0, 3));
+                assert_equivalent(
+                    &grid,
+                    &positions,
+                    origin,
+                    radius,
+                    metric,
+                    &format!("case {case} step {step}"),
+                );
+            }
+        }
+    }
+}
+
+/// Points exactly on cell boundaries — subscribers *and* query origins —
+/// are where floor/clamp arithmetic goes wrong; pin them down explicitly
+/// at several grid resolutions and radii whose balls end exactly on
+/// boundaries.
+#[test]
+fn exact_cell_boundaries_are_handled() {
+    let world = Rect::from_coords(0.0, 0.0, 100.0, 100.0);
+    for cells in [1u32, 2, 4, 5, 10, 50] {
+        let cell = 100.0 / cells as f64;
+        for hysteresis in [0.0, cell * 0.25] {
+            let mut grid: InterestGrid<u32> =
+                InterestGrid::new(world, cells).with_hysteresis(hysteresis);
+            let mut positions: HashMap<u32, Point> = HashMap::new();
+            let mut key = 0u32;
+            // Subscribers on every cell corner, including the world's own
+            // boundary corners.
+            for i in 0..=cells {
+                for j in 0..=cells {
+                    let p = Point::new(i as f64 * cell, j as f64 * cell);
+                    grid.insert(key, p);
+                    positions.insert(key, p);
+                    key += 1;
+                }
+            }
+            // Query from corners and edge midpoints with radii that are
+            // exact multiples of the cell size (boundary-touching balls).
+            for metric in METRICS {
+                for &origin in &[
+                    Point::new(0.0, 0.0),
+                    Point::new(100.0, 100.0),
+                    Point::new(50.0, 0.0),
+                    Point::new(cell, cell),
+                    Point::new(cell * 1.5, cell),
+                ] {
+                    for radius in [0.0, cell, cell * 2.0, 50.0, 100.0] {
+                        assert_equivalent(
+                            &grid,
+                            &positions,
+                            origin,
+                            radius,
+                            metric,
+                            &format!("cells={cells} hysteresis={hysteresis}"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The grid path must agree with the scan when driven through the real
+/// game-server fan-out (counting mode), across random crowds: this pins
+/// the integration, not just the data structure.
+#[test]
+fn gameserver_fanout_counts_match_linear_scan() {
+    use matrix_middleware::core::{
+        ClientId, ClientToGame, GameServerConfig, GameServerNode, ServerId,
+    };
+    use matrix_middleware::sim::SimTime;
+
+    let mut rng = SimRng::seed_from_u64(0xFA_0FF);
+    for case in 0..20 {
+        let world = Rect::from_coords(0.0, 0.0, 800.0, 800.0);
+        let radius = rng.uniform(20.0, 200.0);
+        let metric = metric_of(rng.uniform_u64(0, 3));
+        let cfg = GameServerConfig {
+            metric,
+            cells_per_axis: rng.uniform_u64(1, 48) as u32,
+            ..GameServerConfig::default()
+        };
+        let mut node = GameServerNode::new(ServerId(1), cfg);
+        node.register(world, radius);
+
+        let n = rng.uniform_u64(2, 200);
+        for id in 0..n {
+            let pos = Point::new(rng.uniform(0.0, 800.0), rng.uniform(0.0, 800.0));
+            node.on_client(
+                SimTime::ZERO,
+                ClientId(id),
+                ClientToGame::Join {
+                    pos,
+                    state_bytes: 0,
+                },
+            );
+        }
+        // A few movement rounds so the incremental index is exercised.
+        for _ in 0..50 {
+            let id = rng.uniform_u64(0, n);
+            let pos = Point::new(rng.uniform(0.0, 800.0), rng.uniform(0.0, 800.0));
+            node.on_client(SimTime::ZERO, ClientId(id), ClientToGame::Move { pos });
+        }
+
+        let actor = ClientId(0);
+        let origin = Point::new(rng.uniform(0.0, 800.0), rng.uniform(0.0, 800.0));
+        let before = node.stats().updates_fanned;
+        node.on_client(SimTime::ZERO, actor, ClientToGame::Move { pos: origin });
+        let counted = node.stats().updates_fanned - before;
+
+        let expected = node
+            .client_positions()
+            .iter()
+            .filter(|p| p.distance_by(origin, metric) <= radius)
+            .count() as u64
+            - 1; // the actor (at `origin`, distance 0) never sees itself
+        assert_eq!(
+            counted, expected,
+            "case {case}: fan-out diverged from linear scan"
+        );
+    }
+}

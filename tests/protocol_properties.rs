@@ -1,21 +1,30 @@
 //! Property-based tests of the middleware protocol: routing correctness
 //! (Equation 1 end to end) and adaptation-protocol safety over random
 //! topologies and packet streams.
+//!
+//! Randomization is driven by the workspace's own seeded [`SimRng`]
+//! (fixed seeds, so failures are reproducible) instead of an external
+//! property-testing framework, keeping the build offline-friendly.
 
 use matrix_middleware::core::{
-    Action, ClientId, CoordReply, GamePacket, GameToMatrix, MatrixConfig, MatrixServer, PeerMsg,
-    SpatialTag,
+    Action, ClientId, CoordMsg, CoordReply, GamePacket, GameToMatrix, LoadReport, MatrixConfig,
+    MatrixServer, PeerMsg, PoolMsg, PoolReply, SpatialTag,
 };
 use matrix_middleware::geometry::{
     build_overlap, Metric, PartitionMap, Point, Rect, ServerId, SplitStrategy,
 };
-use matrix_middleware::sim::SimTime;
-use proptest::prelude::*;
+use matrix_middleware::sim::{SimDuration, SimRng, SimTime};
 use std::collections::BTreeMap;
+
+const CASES: usize = 48;
 
 /// Builds a live fleet: every server holds a partition and the matching
 /// coordinator tables.
-fn fleet(script: &[(u8, u8)], radius: f64, metric: Metric) -> (PartitionMap, BTreeMap<ServerId, MatrixServer>) {
+fn fleet(
+    script: &[(u8, u8)],
+    radius: f64,
+    metric: Metric,
+) -> (PartitionMap, BTreeMap<ServerId, MatrixServer>) {
     let world = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
     let mut map = PartitionMap::new(world, ServerId(1));
     let mut next = 2u32;
@@ -33,7 +42,10 @@ fn fleet(script: &[(u8, u8)], radius: f64, metric: Metric) -> (PartitionMap, BTr
     let overlap = build_overlap(&map, radius, metric);
     let mut servers = BTreeMap::new();
     for (id, rect) in map.iter() {
-        let cfg = MatrixConfig { metric, ..MatrixConfig::default() };
+        let cfg = MatrixConfig {
+            metric,
+            ..MatrixConfig::default()
+        };
         let mut server = MatrixServer::with_range(id, cfg, rect, radius);
         server.on_coord(
             SimTime::ZERO,
@@ -49,23 +61,31 @@ fn fleet(script: &[(u8, u8)], radius: f64, metric: Metric) -> (PartitionMap, BTr
     (map, servers)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn split_script(rng: &mut SimRng, max_len: u64, strategies: u64) -> Vec<(u8, u8)> {
+    let n = rng.uniform_u64(0, max_len) as usize;
+    (0..n)
+        .map(|_| {
+            (
+                rng.uniform_u64(0, 16) as u8,
+                rng.uniform_u64(0, strategies) as u8,
+            )
+        })
+        .collect()
+}
 
-    /// End-to-end routing delivers a packet to every server whose
-    /// partition is strictly within the radius of its origin — Matrix's
-    /// localized-consistency guarantee — and each recipient accepts it
-    /// as relevant.
-    #[test]
-    fn updates_reach_every_required_server(
-        script in prop::collection::vec((0u8..16, 0u8..2), 0..10),
-        x in 0.0..1000.0,
-        y in 0.0..1000.0,
-        radius in 20.0..250.0,
-    ) {
+/// End-to-end routing delivers a packet to every server whose
+/// partition is strictly within the radius of its origin — Matrix's
+/// localized-consistency guarantee — and each recipient accepts it
+/// as relevant.
+#[test]
+fn updates_reach_every_required_server() {
+    let mut rng = SimRng::seed_from_u64(0x5EED);
+    for case in 0..CASES {
         let metric = Metric::Euclidean;
+        let script = split_script(&mut rng, 10, 2);
+        let radius = rng.uniform(20.0, 250.0);
         let (map, mut servers) = fleet(&script, radius, metric);
-        let origin = Point::new(x, y);
+        let origin = Point::new(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0));
         let owner = map.owner_of(origin).expect("interior");
         let pkt = GamePacket::synthetic(ClientId(1), SpatialTag::at(origin), 64, 0);
 
@@ -79,18 +99,21 @@ proptest! {
                 // may legitimately drop an update — but only if its
                 // partition really is beyond the radius.
                 let distance = map.range_of(peer).unwrap().distance_to(origin, metric);
-                let recv_actions =
-                    servers.get_mut(&peer).unwrap().on_peer(SimTime::ZERO, owner, PeerMsg::Update(update));
+                let recv_actions = servers.get_mut(&peer).unwrap().on_peer(
+                    SimTime::ZERO,
+                    owner,
+                    PeerMsg::Update(update),
+                );
                 if distance <= radius {
-                    prop_assert!(
+                    assert!(
                         !recv_actions.is_empty(),
-                        "{peer} (distance {distance} <= {radius}) rejected a relevant update"
+                        "case {case}: {peer} (distance {distance} <= {radius}) rejected a relevant update"
                     );
                     delivered_to.push(peer);
                 } else {
-                    prop_assert!(
+                    assert!(
                         recv_actions.is_empty(),
-                        "{peer} (distance {distance} > {radius}) accepted an irrelevant update"
+                        "case {case}: {peer} (distance {distance} > {radius}) accepted an irrelevant update"
                     );
                 }
             }
@@ -98,22 +121,23 @@ proptest! {
         // Completeness: every strictly-in-range peer got the update.
         for (peer, rect) in map.iter() {
             if peer != owner && rect.distance_to(origin, metric) < radius {
-                prop_assert!(
+                assert!(
                     delivered_to.contains(&peer),
-                    "{peer} (distance {}) missed an update at {origin}",
+                    "case {case}: {peer} (distance {}) missed an update at {origin}",
                     rect.distance_to(origin, metric)
                 );
             }
         }
     }
+}
 
-    /// A split hands off exactly the partition geometry: the pieces tile
-    /// the parent's previous range and the AdoptPartition message matches
-    /// what the coordinator is told.
-    #[test]
-    fn split_reports_consistent_geometry(
-        x_clients in prop::collection::vec((0.0..1000.0, 0.0..1000.0), 0..50),
-    ) {
+/// A split hands off exactly the partition geometry: the pieces tile
+/// the parent's previous range and the AdoptPartition message matches
+/// what the coordinator is told.
+#[test]
+fn split_reports_consistent_geometry() {
+    let mut rng = SimRng::seed_from_u64(0x517);
+    for case in 0..CASES {
         let world = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
         let cfg = MatrixConfig {
             overload_clients: 10,
@@ -121,23 +145,34 @@ proptest! {
             ..MatrixConfig::default()
         };
         let mut server = MatrixServer::with_range(ServerId(1), cfg, world, 50.0);
-        let positions: Vec<Point> = x_clients.iter().map(|(x, y)| Point::new(*x, *y)).collect();
-        let report = matrix_middleware::core::LoadReport {
+        let n = rng.uniform_u64(0, 50) as usize;
+        let positions: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)))
+            .collect();
+        let report = LoadReport {
             clients: 100,
             queue_backlog: 0.0,
             positions,
         };
         let t = SimTime::from_secs(1);
         let actions = server.on_game(t, GameToMatrix::Load(report));
-        prop_assert!(matches!(actions.as_slice(), [Action::ToPool(_)]));
-        let actions = server.on_pool(t, matrix_middleware::core::PoolReply::Grant { server: ServerId(2) });
+        assert!(
+            matches!(actions.as_slice(), [Action::ToPool(_)]),
+            "case {case}"
+        );
+        let actions = server.on_pool(
+            t,
+            PoolReply::Grant {
+                server: ServerId(2),
+            },
+        );
 
         let mut adopted: Option<Rect> = None;
         let mut reported: Option<(Rect, Rect)> = None;
         for action in &actions {
             match action {
                 Action::ToPeer(_, PeerMsg::AdoptPartition { range, .. }) => adopted = Some(*range),
-                Action::ToCoord(matrix_middleware::core::CoordMsg::SplitOccurred {
+                Action::ToCoord(CoordMsg::SplitOccurred {
                     parent_range,
                     child_range,
                     ..
@@ -147,30 +182,40 @@ proptest! {
         }
         let adopted = adopted.expect("child must be given a range");
         let (parent_range, child_range) = reported.expect("MC must be told");
-        prop_assert_eq!(adopted, child_range);
-        prop_assert_eq!(server.range(), Some(parent_range));
-        prop_assert_eq!(parent_range.merges_with(&child_range), Some(world));
+        assert_eq!(adopted, child_range, "case {case}");
+        assert_eq!(server.range(), Some(parent_range), "case {case}");
+        assert_eq!(
+            parent_range.merges_with(&child_range),
+            Some(world),
+            "case {case}"
+        );
     }
+}
 
-    /// Random interleavings of overload/underload reports never produce
-    /// dangling protocol state: at most one pool request is outstanding
-    /// and reclaim targets are always current children.
-    #[test]
-    fn adaptation_state_stays_consistent(loads in prop::collection::vec(0u32..500, 1..40)) {
+/// Random interleavings of overload/underload reports never produce
+/// dangling protocol state: at most one pool request is outstanding
+/// and reclaim targets are always current children.
+#[test]
+fn adaptation_state_stays_consistent() {
+    let mut rng = SimRng::seed_from_u64(0xADA);
+    for case in 0..CASES {
         let world = Rect::from_coords(0.0, 0.0, 1000.0, 1000.0);
         let cfg = MatrixConfig {
-            cooldown: matrix_middleware::sim::SimDuration::from_millis(100),
+            cooldown: SimDuration::from_millis(100),
             ..MatrixConfig::default()
         };
         let mut server = MatrixServer::with_range(ServerId(1), cfg, world, 50.0);
         let mut next_child = 10u32;
         let mut t = SimTime::ZERO;
         let mut outstanding_pool = 0i32;
+        let loads: Vec<u32> = (0..rng.uniform_u64(1, 40))
+            .map(|_| rng.uniform_u64(0, 500) as u32)
+            .collect();
         for clients in loads {
-            t += matrix_middleware::sim::SimDuration::from_millis(500);
+            t += SimDuration::from_millis(500);
             let actions = server.on_game(
                 t,
-                GameToMatrix::Load(matrix_middleware::core::LoadReport {
+                GameToMatrix::Load(LoadReport {
                     clients,
                     queue_backlog: 0.0,
                     positions: vec![],
@@ -178,28 +223,32 @@ proptest! {
             );
             for action in actions {
                 match action {
-                    Action::ToPool(matrix_middleware::core::PoolMsg::Acquire { .. }) => {
+                    Action::ToPool(PoolMsg::Acquire { .. }) => {
                         outstanding_pool += 1;
-                        prop_assert!(outstanding_pool <= 1, "double pool request");
+                        assert!(outstanding_pool <= 1, "case {case}: double pool request");
                         // Grant immediately.
                         let grant_actions = server.on_pool(
                             t,
-                            matrix_middleware::core::PoolReply::Grant { server: ServerId(next_child) },
+                            PoolReply::Grant {
+                                server: ServerId(next_child),
+                            },
                         );
                         next_child += 1;
                         outstanding_pool -= 1;
                         // The split must name a child we just granted.
-                        let split_or_release = grant_actions.iter().any(|a| matches!(
-                            a,
-                            Action::ToPeer(_, PeerMsg::AdoptPartition { .. })
-                                | Action::ToPool(matrix_middleware::core::PoolMsg::Release { .. })
-                        ));
-                        prop_assert!(split_or_release, "grant must split or release");
+                        let split_or_release = grant_actions.iter().any(|a| {
+                            matches!(
+                                a,
+                                Action::ToPeer(_, PeerMsg::AdoptPartition { .. })
+                                    | Action::ToPool(PoolMsg::Release { .. })
+                            )
+                        });
+                        assert!(split_or_release, "case {case}: grant must split or release");
                     }
                     Action::ToPeer(child, PeerMsg::ReclaimRequest { .. }) => {
-                        prop_assert!(
+                        assert!(
                             server.children().contains(&child),
-                            "reclaim request to a non-child {child}"
+                            "case {case}: reclaim request to a non-child {child}"
                         );
                         // Deny to keep the topology simple.
                         server.on_peer(t, child, PeerMsg::ReclaimDeny { child });

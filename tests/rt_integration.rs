@@ -13,22 +13,27 @@ async fn facade_quickstart_flow() {
     let mut alice = cluster.client(Point::new(200.0, 200.0));
     let mut bob = cluster.client(Point::new(220.0, 200.0));
 
-    let joined = tokio::time::timeout(Duration::from_secs(2), alice.recv()).await.unwrap();
+    let joined = tokio::time::timeout(Duration::from_secs(2), alice.recv())
+        .await
+        .unwrap();
     assert!(matches!(joined, Some(GameToClient::Joined { .. })));
-    let _ = tokio::time::timeout(Duration::from_secs(2), bob.recv()).await.unwrap();
+    let _ = tokio::time::timeout(Duration::from_secs(2), bob.recv())
+        .await
+        .unwrap();
 
     alice.move_to(Point::new(205.0, 200.0));
     alice.action(32);
-    // Bob sees both the movement and the action.
+    // Bob sees the movement and the action as coalesced update batches.
     let mut updates = 0;
     for _ in 0..2 {
-        if let Ok(Some(GameToClient::Update { .. })) =
-            tokio::time::timeout(Duration::from_secs(2), bob.recv()).await
-        {
-            updates += 1;
+        match tokio::time::timeout(Duration::from_secs(2), bob.recv()).await {
+            Ok(Some(GameToClient::UpdateBatch { updates: batch })) => updates += batch.len(),
+            Ok(Some(GameToClient::Update { .. })) => updates += 1,
+            _ => {}
         }
     }
     assert!(updates >= 1, "bob must observe alice");
+    assert!(bob.counters().batches >= 1, "updates arrive batched");
     cluster.shutdown().await;
 }
 
@@ -78,6 +83,9 @@ async fn cluster_grows_and_shrinks_with_population() {
             break;
         }
     }
-    assert!(shrank < grew || shrank == 1, "cluster must consolidate: {shrank} vs {grew}");
+    assert!(
+        shrank < grew || shrank == 1,
+        "cluster must consolidate: {shrank} vs {grew}"
+    );
     cluster.shutdown().await;
 }

@@ -16,16 +16,37 @@ fn mini_spec() -> GameSpec {
 
 fn mini_hotspot_schedule(spec: &GameSpec) -> WorkloadSchedule {
     WorkloadSchedule::new(SimTime::from_secs(120))
-        .at(SimTime::ZERO, PopulationEvent::Join { n: 30, placement: Placement::Uniform })
+        .at(
+            SimTime::ZERO,
+            PopulationEvent::Join {
+                n: 30,
+                placement: Placement::Uniform,
+            },
+        )
         .at(
             SimTime::from_secs(10),
             PopulationEvent::Join {
                 n: 200,
-                placement: Placement::Hotspot { center: spec.hotspot_a(), spread: 2.0 * spec.radius },
+                placement: Placement::Hotspot {
+                    center: spec.hotspot_a(),
+                    spread: 2.0 * spec.radius,
+                },
             },
         )
-        .at(SimTime::from_secs(60), PopulationEvent::Leave { n: 100, from_hotspot: true })
-        .at(SimTime::from_secs(75), PopulationEvent::Leave { n: 100, from_hotspot: true })
+        .at(
+            SimTime::from_secs(60),
+            PopulationEvent::Leave {
+                n: 100,
+                from_hotspot: true,
+            },
+        )
+        .at(
+            SimTime::from_secs(75),
+            PopulationEvent::Leave {
+                n: 100,
+                from_hotspot: true,
+            },
+        )
 }
 
 fn mini_adaptive(spec: GameSpec) -> ClusterConfig {
@@ -41,7 +62,11 @@ fn hotspot_lifecycle_splits_then_reclaims() {
     let schedule = mini_hotspot_schedule(&spec);
     let report = Cluster::new(mini_adaptive(spec), schedule).run();
 
-    assert!(report.splits >= 1, "hotspot must trigger splits ({} splits)", report.splits);
+    assert!(
+        report.splits >= 1,
+        "hotspot must trigger splits ({} splits)",
+        report.splits
+    );
     assert!(report.peak_servers >= 2);
     assert!(
         report.reclaims >= 1,
@@ -50,7 +75,10 @@ fn hotspot_lifecycle_splits_then_reclaims() {
     );
     // After the crowd leaves, the fleet consolidates.
     let final_servers = report.servers_in_use.last_value().unwrap_or(99.0);
-    assert!(final_servers <= 2.0, "fleet must consolidate, got {final_servers}");
+    assert!(
+        final_servers <= 2.0,
+        "fleet must consolidate, got {final_servers}"
+    );
     // No work is ever dropped under the adaptive scheme.
     assert_eq!(report.dropped_work, 0.0);
 }
@@ -72,7 +100,10 @@ fn static_partitioning_fails_where_matrix_does_not() {
     .run();
 
     assert_eq!(static_report.splits, 0);
-    assert!(static_report.dropped_work > 0.0, "static deployment must saturate");
+    assert!(
+        static_report.dropped_work > 0.0,
+        "static deployment must saturate"
+    );
     assert_eq!(adaptive_report.dropped_work, 0.0, "Matrix must not drop");
     assert!(
         adaptive_report.peak_servers > static_report.peak_servers,
@@ -95,8 +126,15 @@ fn clients_always_land_on_the_owner_of_their_position() {
     let report = Cluster::new(mini_adaptive(spec), schedule).run();
     // Conservation: the per-server client series must sum to the live
     // population at the end (30 background + 0 hotspot).
-    let total: f64 = report.clients_per_server.iter().filter_map(|s| s.last_value()).sum();
-    assert!((total - 30.0).abs() <= 3.0, "expected ~30 clients hosted, got {total}");
+    let total: f64 = report
+        .clients_per_server
+        .iter()
+        .filter_map(|s| s.last_value())
+        .sum();
+    assert!(
+        (total - 30.0).abs() <= 3.0,
+        "expected ~30 clients hosted, got {total}"
+    );
 }
 
 #[test]
@@ -127,7 +165,11 @@ fn crash_of_a_child_is_absorbed() {
     );
     // The world is still fully owned at the end: remaining clients are
     // hosted somewhere.
-    let total: f64 = report.clients_per_server.iter().filter_map(|s| s.last_value()).sum();
+    let total: f64 = report
+        .clients_per_server
+        .iter()
+        .filter_map(|s| s.last_value())
+        .sum();
     assert!(total > 0.0);
 }
 
@@ -142,7 +184,11 @@ fn lossy_client_links_do_not_wedge_the_run() {
         bandwidth_bytes_per_sec: None,
     };
     let report = Cluster::new(cfg, schedule).run();
-    assert!(report.updates_processed > 1_000, "{}", report.updates_processed);
+    assert!(
+        report.updates_processed > 1_000,
+        "{}",
+        report.updates_processed
+    );
 }
 
 #[test]
@@ -153,7 +199,11 @@ fn per_game_specs_all_run_end_to_end() {
         let mut cfg = ClusterConfig::adaptive(spec);
         cfg.spec.update_rate_hz = cfg.spec.update_rate_hz.min(2.0);
         let report = Cluster::new(cfg, schedule).run();
-        assert!(report.updates_processed > 100, "{name}: {}", report.updates_processed);
+        assert!(
+            report.updates_processed > 100,
+            "{name}: {}",
+            report.updates_processed
+        );
         assert_eq!(report.peak_servers, 1, "{name}: 50 clients fit one server");
     }
 }
@@ -162,8 +212,7 @@ fn per_game_specs_all_run_end_to_end() {
 fn deterministic_across_identical_runs() {
     let spec = mini_spec();
     let run = || {
-        let report =
-            Cluster::new(mini_adaptive(spec.clone()), mini_hotspot_schedule(&spec)).run();
+        let report = Cluster::new(mini_adaptive(spec.clone()), mini_hotspot_schedule(&spec)).run();
         (
             report.splits,
             report.reclaims,
