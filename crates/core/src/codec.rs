@@ -15,14 +15,20 @@
 //! game → client   {"t":"joined","server":3}
 //!                 {"t":"ack","seq":17}
 //!                 {"t":"update","x":1.0,"y":2.0,"bytes":90}
-//!                 {"t":"batch","updates":[[1.0,2.0,90],[3.0,4.0,32]]}
+//!                 {"t":"batch","updates":[[1.0,2.0,90],["d",0.5,-0.25,32]]}
 //!                 {"t":"switch","to":4}
 //! ```
+//!
+//! Batch items come in two shapes: an absolute keyframe `[x, y, bytes]`
+//! and a delta `["d", dx, dy, bytes]` whose origin is the previous
+//! item's reconstructed origin offset by `(dx, dy)` (the first item of a
+//! batch chains off the last origin of the previous batch; see
+//! [`reconstruct_updates`](crate::reconstruct_updates)).
 //!
 //! Floats are emitted with Rust's shortest round-trip formatting, so
 //! decode(encode(m)) == m exactly.
 
-use crate::messages::{ClientToGame, GameToClient, UpdateItem};
+use crate::messages::{BatchItem, ClientToGame, DeltaItem, GameToClient, UpdateItem};
 use matrix_geometry::{Point, ServerId};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -366,15 +372,26 @@ pub fn encode_game_to_client(msg: &GameToClient) -> String {
         }
         GameToClient::UpdateBatch { updates } => {
             s.push_str("{\"t\":\"batch\",\"updates\":[");
-            for (i, u) in updates.iter().enumerate() {
+            for (i, item) in updates.iter().enumerate() {
                 if i > 0 {
                     s.push(',');
                 }
-                s.push('[');
-                push_f64(&mut s, u.origin.x);
-                s.push(',');
-                push_f64(&mut s, u.origin.y);
-                let _ = write!(s, ",{}]", u.payload_bytes);
+                match item {
+                    BatchItem::Absolute(u) => {
+                        s.push('[');
+                        push_f64(&mut s, u.origin.x);
+                        s.push(',');
+                        push_f64(&mut s, u.origin.y);
+                        let _ = write!(s, ",{}]", u.payload_bytes);
+                    }
+                    BatchItem::Delta(d) => {
+                        s.push_str("[\"d\",");
+                        push_f64(&mut s, d.dx);
+                        s.push(',');
+                        push_f64(&mut s, d.dy);
+                        let _ = write!(s, ",{}]", d.payload_bytes);
+                    }
+                }
             }
             s.push_str("]}");
         }
@@ -414,21 +431,43 @@ pub fn decode_game_to_client(line: &str) -> Result<GameToClient, CodecError> {
             };
             let mut updates = Vec::with_capacity(items.len());
             for item in items {
-                let Value::Arr(triple) = item else {
-                    return Err(CodecError::new("batch item must be [x, y, bytes]"));
+                let Value::Arr(fields) = item else {
+                    return Err(CodecError::new(
+                        "batch item must be [x, y, bytes] or [\"d\", dx, dy, bytes]",
+                    ));
                 };
-                if triple.len() != 3 {
-                    return Err(CodecError::new("batch item must have 3 elements"));
-                }
-                let get = |i: usize| {
-                    triple[i]
-                        .as_num()
+                let num_at = |i: usize| {
+                    fields
+                        .get(i)
+                        .and_then(Value::as_num)
                         .ok_or_else(|| CodecError::new("batch item fields must be numbers"))
                 };
-                updates.push(UpdateItem {
-                    origin: Point::new(get(0)?, get(1)?),
-                    payload_bytes: get(2)? as usize,
-                });
+                match fields.first() {
+                    Some(Value::Str(tag)) if tag == "d" => {
+                        if fields.len() != 4 {
+                            return Err(CodecError::new("delta batch item must have 4 elements"));
+                        }
+                        updates.push(BatchItem::Delta(DeltaItem {
+                            dx: num_at(1)?,
+                            dy: num_at(2)?,
+                            payload_bytes: num_at(3)? as usize,
+                        }));
+                    }
+                    Some(Value::Str(_)) => {
+                        return Err(CodecError::new("unknown batch item tag"));
+                    }
+                    _ => {
+                        if fields.len() != 3 {
+                            return Err(CodecError::new(
+                                "absolute batch item must have 3 elements",
+                            ));
+                        }
+                        updates.push(BatchItem::Absolute(UpdateItem {
+                            origin: Point::new(num_at(0)?, num_at(1)?),
+                            payload_bytes: num_at(2)? as usize,
+                        }));
+                    }
+                }
             }
             Ok(GameToClient::UpdateBatch { updates })
         }
@@ -486,14 +525,24 @@ mod tests {
         round_trip_server(GameToClient::UpdateBatch { updates: vec![] });
         round_trip_server(GameToClient::UpdateBatch {
             updates: vec![
-                UpdateItem {
+                BatchItem::Absolute(UpdateItem {
                     origin: Point::new(10.5, -20.25),
                     payload_bytes: 64,
-                },
-                UpdateItem {
+                }),
+                BatchItem::Absolute(UpdateItem {
                     origin: Point::new(0.0, 0.0),
                     payload_bytes: 0,
-                },
+                }),
+                BatchItem::Delta(DeltaItem {
+                    dx: -1.25,
+                    dy: 0.5,
+                    payload_bytes: 32,
+                }),
+                BatchItem::Delta(DeltaItem {
+                    dx: 0.0,
+                    dy: 0.0,
+                    payload_bytes: 0,
+                }),
             ],
         });
         round_trip_server(GameToClient::SwitchServer { to: ServerId(9) });
@@ -531,6 +580,9 @@ mod tests {
             assert!(decode_client_to_game(bad).is_err(), "{bad}");
         }
         assert!(decode_game_to_client("{\"t\":\"batch\",\"updates\":[[1,2]]}").is_err());
+        assert!(decode_game_to_client("{\"t\":\"batch\",\"updates\":[[\"d\",1,2]]}").is_err());
+        assert!(decode_game_to_client("{\"t\":\"batch\",\"updates\":[[\"q\",1,2,3]]}").is_err());
+        assert!(decode_game_to_client("{\"t\":\"batch\",\"updates\":[[1,2,3,4]]}").is_err());
     }
 
     #[test]

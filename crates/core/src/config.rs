@@ -118,6 +118,31 @@ pub struct GameServerConfig {
     /// (true under the runtime, where clients are live connections) or
     /// only counted (discrete-event runs that model fan-out as load).
     pub emit_updates: bool,
+    /// Per-client cap on items per `UpdateBatch` flush (`0` = unlimited).
+    /// When a flush exceeds the cap, the least relevant (farthest)
+    /// items are merged/dropped first, so crowded clients see a staler
+    /// periphery instead of an unbounded queue.
+    pub max_updates_per_flush: u32,
+    /// Per-client byte budget per flush (`0` = unlimited), estimated
+    /// against the absolute item wire size. Enforced in relevance order
+    /// like `max_updates_per_flush`; at least one item always ships.
+    pub client_budget_bytes: u32,
+    /// Delta-compression keyframe interval: force an absolute-origin
+    /// keyframe item at least every this many flushes per client.
+    /// `0` disables delta encoding (every item absolute — the v1 wire
+    /// format); `1` keyframes every flush but still delta-encodes items
+    /// within a batch.
+    pub keyframe_every: u32,
+    /// Fixed-point resolution batch origins are snapped to before
+    /// dissemination (`0.0` = no quantisation). Offsets between lattice
+    /// origins are exact multiples of the quantum, so they genuinely fit
+    /// the compact delta wire frame the byte accounting models; `1/256`
+    /// of a world unit is far below any rendering-relevant precision.
+    /// Use a power of two so the snapping arithmetic is exact in `f64`,
+    /// and keep `quantum × keyframe threshold` within the 3-byte offset
+    /// field (the defaults use 2²¹ of its ±2²³ range). The delta
+    /// encoder's lattice check uses this same value.
+    pub origin_quantum: f64,
 }
 
 impl Default for GameServerConfig {
@@ -134,6 +159,10 @@ impl Default for GameServerConfig {
             batch_interval: SimDuration::from_millis(50),
             cells_per_axis: 32,
             emit_updates: false,
+            max_updates_per_flush: 128,
+            client_budget_bytes: 0,
+            keyframe_every: 8,
+            origin_quantum: 1.0 / 256.0,
         }
     }
 }

@@ -11,12 +11,13 @@
 
 use crate::config::GameServerConfig;
 use crate::messages::{
-    ClientToGame, GameToClient, GameToMatrix, LoadReport, MatrixToGame, UpdateItem,
+    BatchItem, ClientToGame, DeltaItem, GameToClient, GameToMatrix, LoadReport, MatrixToGame,
+    UpdateItem,
 };
 use crate::packet::{ClientId, GamePacket, SpatialTag};
 use bytes::Bytes;
 use matrix_geometry::{Point, Rect, ServerId};
-use matrix_interest::{InterestGrid, UpdateBatcher};
+use matrix_interest::{DeltaEncoder, EncodedOrigin, FlushPolicy, InterestGrid, UpdateBatcher};
 use matrix_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -71,6 +72,17 @@ pub struct GameStats {
     /// Updates discarded because their client left or switched away
     /// before the flush.
     pub updates_dropped: u64,
+    /// Updates merged or dropped by the per-client flush policy
+    /// (`max_updates_per_flush` / `client_budget_bytes`): the graceful
+    /// degradation the rate limiter applied instead of queueing.
+    pub updates_rate_limited: u64,
+    /// Absolute (keyframe) items flushed to clients.
+    pub keyframe_items: u64,
+    /// Delta-encoded items flushed to clients.
+    pub delta_items: u64,
+    /// Bytes saved by delta-encoding item origins, relative to sending
+    /// every item with absolute coordinates (the v1 wire format).
+    pub delta_bytes_saved: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,6 +109,8 @@ pub struct GameServerNode {
     grid: InterestGrid<ClientId>,
     /// Client-bound updates coalescing until the next batch flush.
     batcher: UpdateBatcher<ClientId, UpdateItem>,
+    /// Per-client delta compression of flushed origins.
+    encoder: DeltaEncoder<ClientId>,
     last_flush: SimTime,
     /// Whether update fan-out to clients is emitted as real messages
     /// (true in the async runtime) or only counted (discrete-event runs).
@@ -117,6 +131,11 @@ impl GameServerNode {
             clients: BTreeMap::new(),
             grid: Self::make_grid(Rect::from_coords(0.0, 0.0, 1.0, 1.0), &cfg),
             batcher: UpdateBatcher::new(),
+            // The encoder's lattice check must match the quantum fan_out
+            // snaps origins to, or the two silently diverge and every
+            // item keyframes (0.0 disables both the snapping and the
+            // lattice requirement — see `DeltaEncoder::with_quantum`).
+            encoder: DeltaEncoder::new(cfg.keyframe_every).with_quantum(cfg.origin_quantum),
             last_flush: SimTime::ZERO,
             emit_fanout: cfg.emit_updates,
             ready: false,
@@ -238,6 +257,9 @@ impl GameServerNode {
                     },
                 );
                 self.grid.insert(client, pos);
+                // Resync: a (re)joining client holds no delta base, so
+                // its next flush must start with a keyframe.
+                self.encoder.reset(client);
                 let mut out = vec![GameAction::ToClient(
                     client,
                     GameToClient::Joined { server: self.id },
@@ -276,6 +298,7 @@ impl GameServerNode {
                     self.stats.leaves += 1;
                     self.grid.remove(client);
                     self.stats.updates_dropped += self.batcher.forget(client) as u64;
+                    self.encoder.forget(client);
                 }
                 Vec::new()
             }
@@ -321,6 +344,10 @@ impl GameServerNode {
         let emit = self.emit_fanout;
         let vision = self.vision_radius();
         let batcher = &mut self.batcher;
+        // Receivers are selected against the true origin; what they are
+        // *told* is the lattice-snapped origin, so inter-origin offsets
+        // fit the compact delta frame (see `matrix_interest::quantize`).
+        let wire_origin = matrix_interest::quantize(origin, self.cfg.origin_quantum);
         self.grid.query(origin, vision, self.cfg.metric, |cid, _| {
             if Some(cid) == exclude {
                 return;
@@ -330,7 +357,7 @@ impl GameServerNode {
                 batcher.push(
                     cid,
                     UpdateItem {
-                        origin,
+                        origin: wire_origin,
                         payload_bytes,
                     },
                 );
@@ -348,37 +375,102 @@ impl GameServerNode {
         self.flush_updates(now)
     }
 
-    /// Flushes every pending client-bound update batch immediately.
+    /// Flushes every pending client-bound update batch immediately,
+    /// running the full dissemination pipeline per client:
+    ///
+    /// 1. **priority + rate limiting** ([`FlushPolicy`]) — pending items
+    ///    are ranked nearest-first against the client's position and the
+    ///    farthest are merged/dropped until `max_updates_per_flush` /
+    ///    `client_budget_bytes` fit;
+    /// 2. **delta compression** ([`DeltaEncoder`]) — surviving origins
+    ///    are chained as exact offsets with periodic keyframes, shrinking
+    ///    each item from [`UpdateItem::WIRE_BYTES`] to
+    ///    [`DeltaItem::WIRE_BYTES`] of framing.
     ///
     /// Drivers call this from their tick path (both the discrete-event
     /// harness and the async runtime tick through [`GameServerNode::on_tick`],
     /// which flushes due batches); exposing it publicly lets a driver
-    /// force a flush on shutdown.
+    /// force a flush. On a *graceful stop* use
+    /// [`GameServerNode::shutdown_flush`] instead, which also clears the
+    /// per-client delta bases.
     pub fn flush_updates(&mut self, now: SimTime) -> Vec<GameAction> {
         self.last_flush = now;
         if self.batcher.is_empty() {
             return Vec::new();
         }
+        let policy = FlushPolicy {
+            max_items: self.cfg.max_updates_per_flush as usize,
+            budget_bytes: self.cfg.client_budget_bytes as usize,
+        };
         let mut out = Vec::new();
         for (cid, updates) in self.batcher.drain() {
             // A client may have switched away between queueing and flush.
-            if !self.clients.contains_key(&cid) {
+            let Some(rec) = self.clients.get(&cid) else {
                 self.stats.updates_dropped += updates.len() as u64;
+                self.encoder.forget(cid);
                 continue;
-            }
+            };
+            let selection = policy.select(
+                rec.pos,
+                self.cfg.metric,
+                |u: &UpdateItem| u.origin,
+                |u: &UpdateItem| UpdateItem::WIRE_BYTES + u.payload_bytes,
+                updates,
+            );
+            self.stats.updates_rate_limited += selection.dropped as u64;
+            let origins: Vec<Point> = selection.kept.iter().map(|u| u.origin).collect();
+            let encoded = self.encoder.encode_flush(cid, &origins);
+            let items: Vec<BatchItem> = selection
+                .kept
+                .into_iter()
+                .zip(encoded)
+                .map(|(u, e)| match e {
+                    EncodedOrigin::Absolute(origin) => BatchItem::Absolute(UpdateItem {
+                        origin,
+                        payload_bytes: u.payload_bytes,
+                    }),
+                    EncodedOrigin::Offset { dx, dy } => BatchItem::Delta(DeltaItem {
+                        dx,
+                        dy,
+                        payload_bytes: u.payload_bytes,
+                    }),
+                })
+                .collect();
             self.stats.batches_flushed += 1;
-            self.stats.updates_batched += updates.len() as u64;
-            self.stats.batch_bytes += BATCH_HEADER_BYTES
-                + updates
-                    .iter()
-                    .map(|u| (UpdateItem::WIRE_BYTES + u.payload_bytes) as u64)
-                    .sum::<u64>();
+            self.stats.updates_batched += items.len() as u64;
+            for item in &items {
+                self.stats.batch_bytes += item.wire_bytes() as u64;
+                if item.is_keyframe() {
+                    self.stats.keyframe_items += 1;
+                } else {
+                    self.stats.delta_items += 1;
+                    self.stats.delta_bytes_saved +=
+                        (UpdateItem::WIRE_BYTES - DeltaItem::WIRE_BYTES) as u64;
+                }
+            }
+            self.stats.batch_bytes += BATCH_HEADER_BYTES;
             out.push(GameAction::ToClient(
                 cid,
-                GameToClient::UpdateBatch { updates },
+                GameToClient::UpdateBatch { updates: items },
             ));
         }
         out
+    }
+
+    /// Final flush on a graceful driver stop: delivers what the batcher
+    /// still holds *and* clears every per-client delta base, so a client
+    /// that rejoins a resurrected node gets a keyframe, never a delta
+    /// against a base it lost with the old connection.
+    pub fn shutdown_flush(&mut self, now: SimTime) -> Vec<GameAction> {
+        let out = self.flush_updates(now);
+        self.encoder.clear();
+        out
+    }
+
+    /// Number of clients whose delta stream currently holds a base
+    /// (observability for drivers and tests).
+    pub fn delta_streams(&self) -> usize {
+        self.encoder.streams()
     }
 
     /// Emits an owner query when `client` wandered outside our range.
@@ -479,6 +571,7 @@ impl GameServerNode {
             self.clients.remove(&client);
             self.grid.remove(client);
             self.stats.updates_dropped += self.batcher.forget(client) as u64;
+            self.encoder.forget(client);
             self.stats.redirects_out += 1;
             out.push(GameAction::ToMatrix(GameToMatrix::TransferClient {
                 to,
@@ -499,6 +592,7 @@ impl GameServerNode {
         };
         self.grid.remove(client);
         self.stats.updates_dropped += self.batcher.forget(client) as u64;
+        self.encoder.forget(client);
         self.stats.redirects_out += 1;
         vec![
             GameAction::ToMatrix(GameToMatrix::TransferClient {
@@ -669,10 +763,15 @@ mod tests {
         let actions = g.on_tick(SimTime::from_millis(100), 0.0);
         assert!(actions.iter().any(|a| matches!(a,
             GameAction::ToClient(c, GameToClient::UpdateBatch { updates })
-                if *c == ClientId(2) && updates.len() == 1 && updates[0].payload_bytes == 10)));
+                if *c == ClientId(2) && updates.len() == 1 && updates[0].payload_bytes() == 10)));
         assert_eq!(g.stats().batches_flushed, 1);
         assert_eq!(g.stats().updates_batched, 1);
         assert!(g.stats().batch_bytes > 0);
+        assert_eq!(
+            g.stats().keyframe_items,
+            1,
+            "a fresh client's first item is a keyframe"
+        );
     }
 
     #[test]
@@ -1013,6 +1112,179 @@ mod tests {
         );
         assert!(g.is_ready());
         assert_eq!(g.stats().state_bytes_in, 1_000_000);
+    }
+
+    fn batch_for(actions: &[GameAction], cid: ClientId) -> Option<Vec<BatchItem>> {
+        actions.iter().find_map(|a| match a {
+            GameAction::ToClient(c, GameToClient::UpdateBatch { updates }) if *c == cid => {
+                Some(updates.clone())
+            }
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn second_flush_delta_encodes_against_the_first() {
+        let mut g = GameServerNode::new(ServerId(1), GameServerConfig::default()).with_fanout();
+        g.register(world(), 50.0);
+        join(&mut g, 1, Point::new(100.0, 100.0));
+        join(&mut g, 2, Point::new(110.0, 100.0));
+
+        g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(100.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
+        let first = batch_for(&g.on_tick(SimTime::from_millis(100), 0.0), ClientId(2)).unwrap();
+        assert!(first[0].is_keyframe());
+
+        let mut actions = g.on_client(
+            SimTime::from_millis(150),
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(101.5, 100.0),
+                payload_bytes: 10,
+            },
+        );
+        actions.extend(g.on_tick(SimTime::from_millis(200), 0.0));
+        let second = batch_for(&actions, ClientId(2)).unwrap();
+        assert!(
+            !second[0].is_keyframe(),
+            "nearby follow-up must ship as a delta: {second:?}"
+        );
+        assert_eq!(g.stats().delta_items, 1);
+        assert_eq!(
+            g.stats().delta_bytes_saved,
+            (UpdateItem::WIRE_BYTES - DeltaItem::WIRE_BYTES) as u64
+        );
+
+        // The receiver reconstructs the exact absolute origins.
+        let mut base = None;
+        let a = crate::messages::reconstruct_updates(&mut base, &first).unwrap();
+        assert_eq!(a[0].origin, Point::new(100.0, 100.0));
+        let b = crate::messages::reconstruct_updates(&mut base, &second).unwrap();
+        assert_eq!(b[0].origin, Point::new(101.5, 100.0));
+    }
+
+    #[test]
+    fn rate_limit_keeps_the_nearest_items() {
+        let cfg = GameServerConfig {
+            max_updates_per_flush: 2,
+            ..GameServerConfig::default()
+        };
+        let mut g = GameServerNode::new(ServerId(1), cfg).with_fanout();
+        g.register(world(), 50.0);
+        join(&mut g, 1, Point::new(100.0, 100.0));
+        // Three events at increasing distance from client 1.
+        for (id, x) in [(2u64, 110.0), (3, 130.0), (4, 145.0)] {
+            join(&mut g, id, Point::new(x, 100.0));
+            g.on_client(
+                SimTime::ZERO,
+                ClientId(id),
+                ClientToGame::Action {
+                    pos: Point::new(x, 100.0),
+                    payload_bytes: 10,
+                },
+            );
+        }
+        let batch = batch_for(&g.on_tick(SimTime::from_millis(100), 0.0), ClientId(1)).unwrap();
+        assert_eq!(batch.len(), 2, "capped at max_updates_per_flush");
+        let mut base = None;
+        let items = crate::messages::reconstruct_updates(&mut base, &batch).unwrap();
+        assert_eq!(
+            items.iter().map(|u| u.origin.x).collect::<Vec<_>>(),
+            vec![110.0, 130.0],
+            "the farthest event (145) is dropped first, nearest ships first"
+        );
+        assert!(g.stats().updates_rate_limited >= 1);
+    }
+
+    #[test]
+    fn shutdown_flush_clears_delta_bases_for_rejoin() {
+        // Regression: a flush on driver shutdown must clear per-client
+        // delta state, so a client served again later gets a keyframe
+        // rather than a delta against a base it lost.
+        let mut g = GameServerNode::new(ServerId(1), GameServerConfig::default()).with_fanout();
+        g.register(world(), 50.0);
+        join(&mut g, 1, Point::new(100.0, 100.0));
+        join(&mut g, 2, Point::new(110.0, 100.0));
+        g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(100.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
+        g.on_tick(SimTime::from_millis(100), 0.0);
+        assert!(g.delta_streams() > 0, "flushed clients hold delta bases");
+
+        g.on_client(
+            SimTime::from_millis(120),
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(101.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
+        let final_batch = g.shutdown_flush(SimTime::from_millis(130));
+        assert!(
+            batch_for(&final_batch, ClientId(2)).is_some(),
+            "shutdown still delivers what the batcher holds"
+        );
+        assert_eq!(g.delta_streams(), 0, "shutdown must clear stream state");
+
+        // The same client served again (no rejoin): fresh keyframe.
+        let mut actions = g.on_client(
+            SimTime::from_millis(200),
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(102.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
+        actions.extend(g.on_tick(SimTime::from_millis(300), 0.0));
+        let batch = batch_for(&actions, ClientId(2)).unwrap();
+        assert!(
+            batch[0].is_keyframe(),
+            "post-shutdown stream must restart with a keyframe: {batch:?}"
+        );
+    }
+
+    #[test]
+    fn rejoin_resets_the_delta_stream() {
+        let mut g = GameServerNode::new(ServerId(1), GameServerConfig::default()).with_fanout();
+        g.register(world(), 50.0);
+        join(&mut g, 1, Point::new(100.0, 100.0));
+        join(&mut g, 2, Point::new(110.0, 100.0));
+        for (t, x) in [(0u64, 100.0), (150, 101.0)] {
+            g.on_client(
+                SimTime::from_millis(t),
+                ClientId(1),
+                ClientToGame::Action {
+                    pos: Point::new(x, 100.0),
+                    payload_bytes: 10,
+                },
+            );
+            g.on_tick(SimTime::from_millis(t + 100), 0.0);
+        }
+        assert!(g.stats().delta_items >= 1, "stream warmed up");
+        // Client 2 re-joins (e.g. after a reconnect): its stream resets.
+        join(&mut g, 2, Point::new(110.0, 100.0));
+        let mut actions = g.on_client(
+            SimTime::from_millis(350),
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(102.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
+        actions.extend(g.on_tick(SimTime::from_millis(400), 0.0));
+        let batch = batch_for(&actions, ClientId(2)).unwrap();
+        assert!(batch[0].is_keyframe(), "resync path must keyframe");
     }
 
     #[test]

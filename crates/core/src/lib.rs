@@ -23,7 +23,15 @@
 //!   consistency-set radius, and an [`UpdateBatcher`] that coalesces
 //!   client-bound updates into `GameToClient::UpdateBatch` messages on
 //!   a configurable flush interval (`batch_interval`), with bandwidth
-//!   accounting in [`GameStats`].
+//!   accounting in [`GameStats`],
+//! * **adaptive per-client dissemination** on every batch flush: a
+//!   [`FlushPolicy`] ranks pending items by relevance and merges/drops
+//!   the farthest first to fit the `max_updates_per_flush` /
+//!   `client_budget_bytes` budgets, and a [`DeltaEncoder`] compresses
+//!   item origins into exact deltas ([`BatchItem::Delta`]) with
+//!   periodic keyframes (`keyframe_every`) and resync on join/handover
+//!   — receivers rebuild absolute positions with
+//!   [`reconstruct_updates`].
 //!
 //! Every component is a **sans-io state machine**: handlers take one input
 //! message and return the actions to perform. The discrete-event harness
@@ -81,16 +89,21 @@ pub use coordinator::{CoordAction, Coordinator, CoordinatorStats};
 pub use gameserver::{GameAction, GameServerNode, GameStats};
 pub use load::{Cooldown, LoadTracker};
 pub use messages::{
-    ClientToGame, CoordMsg, CoordReply, Envelope, GameToClient, GameToMatrix, LoadReport,
-    LoadSnapshot, MatrixToGame, PeerMsg, PoolMsg, PoolReply, UpdateItem,
+    reconstruct_updates, BatchItem, ClientToGame, CoordMsg, CoordReply, DeltaItem, Envelope,
+    GameToClient, GameToMatrix, LoadReport, LoadSnapshot, MatrixToGame, PeerMsg, PoolMsg,
+    PoolReply, UpdateItem,
 };
 pub use packet::{ClientId, GamePacket, SpatialTag};
 pub use pool::{PoolStats, ResourcePool};
 pub use server::{Action, Lifecycle, MatrixServer, ServerStats};
 
 // Re-export the interest-management subsystem at the API boundary: game
-// servers own an `InterestGrid` and drivers may want to query it.
-pub use matrix_interest::{InterestGrid, UpdateBatcher};
+// servers own an `InterestGrid` and drivers may want to query it; the
+// delta codec and flush policy are reused by clients and test suites.
+pub use matrix_interest::{
+    quantize, DeltaEncoder, DeltaStream, EncodedOrigin, FlushPolicy, InterestGrid, Selection,
+    UpdateBatcher,
+};
 
 // Re-export the spatial vocabulary users need at the API boundary.
 pub use matrix_geometry::{Metric, Point, Rect, ServerId, SplitStrategy};

@@ -58,6 +58,98 @@ impl UpdateItem {
     pub const WIRE_BYTES: usize = 20;
 }
 
+/// A delta-encoded event inside a [`GameToClient::UpdateBatch`]: its
+/// origin is an offset from the previous item's reconstructed origin
+/// (for the first item of a batch, from the last origin of the previous
+/// batch on the same client stream).
+///
+/// Senders only emit deltas when `base + (dx, dy)` reproduces the
+/// absolute origin bit-for-bit (see
+/// [`DeltaEncoder`](matrix_interest::DeltaEncoder)), so reconstruction
+/// through [`reconstruct_updates`] is exact, never approximate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeltaItem {
+    /// X offset from the base origin.
+    pub dx: f64,
+    /// Y offset from the base origin.
+    pub dy: f64,
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+}
+
+impl DeltaItem {
+    /// Per-item overhead on the wire beyond the payload, used for
+    /// bandwidth accounting. The compact binary framing this models
+    /// carries two 3-byte signed fixed-point offsets plus a 2-byte
+    /// length instead of the keyframe's full coordinates — attainable
+    /// because the encoder only emits deltas that are exact multiples
+    /// of the 1/256 wire quantum within the ±4096 threshold (21 bits
+    /// per axis); anything else ships as an absolute keyframe.
+    pub const WIRE_BYTES: usize = 8;
+}
+
+/// One item of a [`GameToClient::UpdateBatch`]: an absolute keyframe or
+/// a delta against the stream so far.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BatchItem {
+    /// Absolute origin — a keyframe, decodable regardless of receiver
+    /// state.
+    Absolute(UpdateItem),
+    /// Origin offset from the previous reconstructed origin.
+    Delta(DeltaItem),
+}
+
+impl BatchItem {
+    /// Payload size carried by this item.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            BatchItem::Absolute(u) => u.payload_bytes,
+            BatchItem::Delta(d) => d.payload_bytes,
+        }
+    }
+
+    /// Estimated wire size of the item (per-item overhead + payload).
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            BatchItem::Absolute(u) => UpdateItem::WIRE_BYTES + u.payload_bytes,
+            BatchItem::Delta(d) => DeltaItem::WIRE_BYTES + d.payload_bytes,
+        }
+    }
+
+    /// Whether this item is an absolute keyframe.
+    pub fn is_keyframe(&self) -> bool {
+        matches!(self, BatchItem::Absolute(_))
+    }
+}
+
+/// Reconstructs the absolute [`UpdateItem`]s of one batch, threading the
+/// per-stream delta base across calls (`base` is the last origin of the
+/// previous batch; pass a fresh `None` after a join or server switch).
+///
+/// Returns `None` if a delta item arrives with no base — a protocol
+/// violation, since senders keyframe after every resync.
+pub fn reconstruct_updates(
+    base: &mut Option<Point>,
+    items: &[BatchItem],
+) -> Option<Vec<UpdateItem>> {
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let origin = match *item {
+            BatchItem::Absolute(u) => u.origin,
+            BatchItem::Delta(d) => {
+                let b = (*base)?;
+                Point::new(b.x + d.dx, b.y + d.dy)
+            }
+        };
+        *base = Some(origin);
+        out.push(UpdateItem {
+            origin,
+            payload_bytes: item.payload_bytes(),
+        });
+    }
+    Some(out)
+}
+
 /// Messages a game server sends to a client.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum GameToClient {
@@ -85,10 +177,13 @@ pub enum GameToClient {
     /// A coalesced run of nearby events, flushed on the batch interval.
     ///
     /// Batching replaces per-update message overhead with per-batch
-    /// overhead; the bytes saved are tracked in `GameStats::batch_bytes`.
+    /// overhead; items are delta-compressed against the client's stream
+    /// ([`BatchItem`]) and ordered most relevant (nearest the client)
+    /// first, as produced by the flush policy. Traffic is tracked in
+    /// `GameStats::batch_bytes` / `GameStats::delta_bytes_saved`.
     UpdateBatch {
-        /// The events, oldest first. Never empty.
-        updates: Vec<UpdateItem>,
+        /// The events, most relevant first. Never empty.
+        updates: Vec<BatchItem>,
     },
     /// Instruction to reconnect to a different game server (§3.2.1: "the
     /// client is informed of these switches by its current game server and
@@ -478,17 +573,62 @@ mod tests {
 
         let down = GameToClient::UpdateBatch {
             updates: vec![
-                UpdateItem {
+                BatchItem::Absolute(UpdateItem {
                     origin: Point::new(0.1, 0.2),
                     payload_bytes: 90,
-                },
-                UpdateItem {
-                    origin: Point::new(3.0, 4.0),
+                }),
+                BatchItem::Delta(DeltaItem {
+                    dx: 2.9,
+                    dy: 3.8,
                     payload_bytes: 32,
-                },
+                }),
             ],
         };
         let line = codec::encode_game_to_client(&down);
         assert_eq!(codec::decode_game_to_client(&line).unwrap(), down);
+    }
+
+    #[test]
+    fn reconstruction_threads_the_base_across_batches() {
+        let mut base = None;
+        let first = reconstruct_updates(
+            &mut base,
+            &[
+                BatchItem::Absolute(UpdateItem {
+                    origin: Point::new(10.0, 10.0),
+                    payload_bytes: 4,
+                }),
+                BatchItem::Delta(DeltaItem {
+                    dx: 1.5,
+                    dy: -0.5,
+                    payload_bytes: 8,
+                }),
+            ],
+        )
+        .unwrap();
+        assert_eq!(first[1].origin, Point::new(11.5, 9.5));
+        // The next batch's leading delta chains off the threaded base.
+        let second = reconstruct_updates(
+            &mut base,
+            &[BatchItem::Delta(DeltaItem {
+                dx: 0.5,
+                dy: 0.5,
+                payload_bytes: 1,
+            })],
+        )
+        .unwrap();
+        assert_eq!(second[0].origin, Point::new(12.0, 10.0));
+        // A delta with no base is a protocol violation.
+        assert_eq!(
+            reconstruct_updates(
+                &mut None,
+                &[BatchItem::Delta(DeltaItem {
+                    dx: 1.0,
+                    dy: 1.0,
+                    payload_bytes: 0,
+                })]
+            ),
+            None
+        );
     }
 }

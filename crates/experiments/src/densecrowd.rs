@@ -5,12 +5,21 @@
 //! with a linear receiver scan, one event near a crowd of `n` costs
 //! `O(n)` and a tick of the crowd costs `O(n²)`. This experiment pins the
 //! whole crowd onto one non-adaptive server — thousands of clients, all
-//! attracted to one hotspot — and reports what the interest-managed
-//! fan-out path (spatial-hash grid + update batching) does under the
-//! worst case the middleware can see: receivers per event, batching
-//! coalescing rates, and the client-bound bandwidth the batcher accounts
-//! for. The companion Criterion bench (`benches/fanout.rs`) measures the
-//! grid-vs-scan speedup in isolation; this run shows the subsystem
+//! attracted to one hotspot — and reports what the adaptive dissemination
+//! pipeline (spatial-hash grid → update batching → priority/rate
+//! limiting → per-client delta compression) does under the worst case
+//! the middleware can see.
+//!
+//! Alongside the fan-out/batching counters, the report covers
+//! **bandwidth** — client-bound bytes, the share of items shipped as
+//! deltas, and the bytes delta encoding saved versus the absolute-origin
+//! wire format — and **staleness** — the fraction of relevant updates
+//! the per-client rate limiter merged/dropped to keep each flush inside
+//! `max_updates_per_flush` / `client_budget_bytes` (those events are
+//! *deferred*, re-described by a later flush if still relevant, rather
+//! than queued without bound). The companion Criterion benches
+//! (`benches/fanout.rs`, `benches/delta.rs`) measure the grid speedup
+//! and the encoding savings in isolation; this run shows the subsystem
 //! working end to end under the full protocol.
 
 use crate::harness::{Cluster, ClusterConfig, ClusterReport};
@@ -23,6 +32,8 @@ use matrix_sim::SimTime;
 pub struct DenseCrowdRow {
     /// Crowd size.
     pub clients: u32,
+    /// Per-client downlink budget in bytes per flush (0 = unlimited).
+    pub budget_bytes: u32,
     /// Full cluster report.
     pub report: ClusterReport,
 }
@@ -36,17 +47,22 @@ pub fn config(spec: GameSpec, seed: u64) -> ClusterConfig {
     cfg.seed = seed;
     // The point of the experiment is delivered batches, not queue drops:
     // give the lone server effectively unbounded capacity and emit real
-    // per-client updates so batching is exercised end to end.
+    // per-client updates so the dissemination pipeline is exercised end
+    // to end.
     cfg.queue_capacity = None;
     cfg.game.emit_updates = true;
     cfg
 }
 
-/// Runs the dense-crowd scenario for one crowd size.
-pub fn run_one(spec: &GameSpec, clients: u32, seed: u64) -> DenseCrowdRow {
+/// Runs the dense-crowd scenario for one crowd size and per-client
+/// downlink budget (`0` = keep the game preset's own budget).
+pub fn run_one(spec: &GameSpec, clients: u32, budget_bytes: u32, seed: u64) -> DenseCrowdRow {
     let mut spec = spec.clone();
     // Keep event volume tractable while still dense: moderate update rate.
     spec.update_rate_hz = spec.update_rate_hz.min(2.0);
+    if budget_bytes != 0 {
+        spec.client_budget_bytes = budget_bytes;
+    }
     let horizon = SimTime::from_secs(20);
     let schedule = WorkloadSchedule::new(horizon).at(
         SimTime::from_secs(0),
@@ -59,32 +75,42 @@ pub fn run_one(spec: &GameSpec, clients: u32, seed: u64) -> DenseCrowdRow {
         },
     );
     let report = Cluster::new(config(spec, seed), schedule).run();
-    DenseCrowdRow { clients, report }
+    DenseCrowdRow {
+        clients,
+        budget_bytes,
+        report,
+    }
 }
 
 /// Runs the scenario across crowd sizes (2k+ exercises the acceptance
-/// target).
+/// target), plus a tight-downlink variant of the largest crowd showing
+/// the rate limiter degrading gracefully.
 pub fn run(seed: u64) -> Vec<DenseCrowdRow> {
     let spec = GameSpec::bzflag();
-    [500, 1000, 2000]
+    let mut rows: Vec<DenseCrowdRow> = [500, 1000, 2000]
         .into_iter()
-        .map(|n| run_one(&spec, n, seed))
-        .collect()
+        .map(|n| run_one(&spec, n, 0, seed))
+        .collect();
+    // Same 2000-client crowd on a 2 KiB-per-flush client downlink.
+    rows.push(run_one(&spec, 2000, 2048, seed));
+    rows
 }
 
 /// Renders the results table.
 pub fn table(rows: &[DenseCrowdRow]) -> Table {
     let mut t = Table::new(
-        "E12 — dense crowd on one server (interest-managed fan-out, batched delivery)",
+        "E12 — dense crowd on one server (grid → batch → rate-limit → delta pipeline)",
         &[
             "clients",
-            "updates",
+            "budget",
             "fanned",
             "batches",
             "batched",
             "upd/batch",
             "batch MB",
-            "events",
+            "delta%",
+            "saved KB",
+            "stale%",
         ],
     );
     for row in rows {
@@ -94,15 +120,35 @@ pub fn table(rows: &[DenseCrowdRow]) -> Table {
         } else {
             r.batched_updates_delivered as f64 / r.update_batches_delivered as f64
         };
+        let items = r.delta_items + r.keyframe_items;
+        let delta_share = if items == 0 {
+            0.0
+        } else {
+            100.0 * r.delta_items as f64 / items as f64
+        };
+        // Staleness proxy: the fraction of relevant updates deferred by
+        // the per-client budgets instead of delivered in their flush.
+        let relevant = items + r.updates_rate_limited;
+        let stale = if relevant == 0 {
+            0.0
+        } else {
+            100.0 * r.updates_rate_limited as f64 / relevant as f64
+        };
         t.push_row(&[
             format!("{}", row.clients),
-            format!("{}", r.updates_processed),
+            if row.budget_bytes == 0 {
+                "-".into()
+            } else {
+                format!("{}B", row.budget_bytes)
+            },
             format!("{}", r.updates_fanned),
             format!("{}", r.update_batches_delivered),
             format!("{}", r.batched_updates_delivered),
             format!("{per_batch:.1}"),
             format!("{:.1}", r.batch_bytes as f64 / 1e6),
-            format!("{}", r.events),
+            format!("{delta_share:.0}"),
+            format!("{:.0}", r.delta_bytes_saved as f64 / 1e3),
+            format!("{stale:.0}"),
         ]);
     }
     t
@@ -115,22 +161,52 @@ mod tests {
     #[test]
     fn dense_crowd_delivers_batched_updates_end_to_end() {
         let spec = GameSpec::bzflag();
-        let row = run_one(&spec, 300, 7);
+        let row = run_one(&spec, 300, 0, 7);
         let r = &row.report;
         assert!(r.update_batches_delivered > 0, "batches must reach clients");
         assert!(r.batched_updates_delivered >= r.update_batches_delivered);
         assert!(r.batch_bytes > 0, "bandwidth accounting must tick");
         assert_eq!(r.splits, 0, "single static server must not split");
+        assert!(
+            r.delta_items > r.keyframe_items,
+            "a steady crowd stream must be dominated by deltas: {} deltas vs {} keyframes",
+            r.delta_items,
+            r.keyframe_items
+        );
+        assert!(r.delta_bytes_saved > 0, "delta savings must be accounted");
     }
 
     #[test]
     fn bigger_crowds_fan_out_more() {
         let spec = GameSpec::bzflag();
-        let small = run_one(&spec, 100, 11).report.updates_fanned;
-        let large = run_one(&spec, 400, 11).report.updates_fanned;
+        let small = run_one(&spec, 100, 0, 11).report.updates_fanned;
+        let large = run_one(&spec, 400, 0, 11).report.updates_fanned;
         assert!(
             large > 4 * small,
             "fan-out grows superlinearly with crowd density: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn tight_downlink_budget_rate_limits_instead_of_queueing() {
+        let spec = GameSpec::bzflag();
+        let free = run_one(&spec, 300, 0, 13).report;
+        let tight = run_one(&spec, 300, 512, 13).report;
+        assert!(
+            tight.updates_rate_limited > free.updates_rate_limited,
+            "a 512-byte downlink must defer updates: {} vs {}",
+            tight.updates_rate_limited,
+            free.updates_rate_limited
+        );
+        assert!(
+            tight.batch_bytes < free.batch_bytes,
+            "budgeted clients must receive fewer bytes: {} vs {}",
+            tight.batch_bytes,
+            free.batch_bytes
+        );
+        assert!(
+            tight.update_batches_delivered > 0,
+            "degradation must not starve clients"
         );
     }
 }

@@ -98,6 +98,8 @@ impl ClusterConfig {
             metric: spec.metric,
             handoff_margin: spec.radius * 0.15,
             vision_radius: spec.vision_radius,
+            max_updates_per_flush: spec.max_updates_per_flush,
+            client_budget_bytes: spec.client_budget_bytes,
             ..GameServerConfig::default()
         };
         ClusterConfig {
@@ -232,6 +234,16 @@ pub struct ClusterReport {
     /// Estimated client-bound batch traffic in bytes (headers + items +
     /// payloads), as accounted by the game servers' batching layer.
     pub batch_bytes: u64,
+    /// Bytes saved by delta-encoding batch-item origins, relative to the
+    /// absolute-origin wire format.
+    pub delta_bytes_saved: u64,
+    /// Delta-encoded items flushed to clients.
+    pub delta_items: u64,
+    /// Absolute (keyframe) items flushed to clients.
+    pub keyframe_items: u64,
+    /// Updates merged/dropped by the per-client flush policy — the
+    /// staleness the rate limiter traded for bounded downlinks.
+    pub updates_rate_limited: u64,
     /// Work units dropped at full queues (static-baseline failure mode).
     pub dropped_work: f64,
     /// Total client switches (handoffs) completed.
@@ -917,6 +929,10 @@ impl Cluster {
         let mut updates_processed = 0;
         let mut updates_fanned = 0;
         let mut batch_bytes = 0;
+        let mut delta_bytes_saved = 0;
+        let mut delta_items = 0;
+        let mut keyframe_items = 0;
+        let mut updates_rate_limited = 0;
         let mut dropped = 0.0;
         let mut splits = 0;
         let mut reclaims = 0;
@@ -926,6 +942,10 @@ impl Cluster {
             updates_processed += node.game.stats().moves + node.game.stats().actions;
             updates_fanned += node.game.stats().updates_fanned;
             batch_bytes += node.game.stats().batch_bytes;
+            delta_bytes_saved += node.game.stats().delta_bytes_saved;
+            delta_items += node.game.stats().delta_items;
+            keyframe_items += node.game.stats().keyframe_items;
+            updates_rate_limited += node.game.stats().updates_rate_limited;
             dropped += node.queue.total_dropped();
             splits += node.matrix.stats().splits;
             reclaims += node.matrix.stats().reclaims;
@@ -950,6 +970,10 @@ impl Cluster {
             updates_processed,
             updates_fanned,
             batch_bytes,
+            delta_bytes_saved,
+            delta_items,
+            keyframe_items,
+            updates_rate_limited,
             dropped_work: dropped,
             switches: self.switches,
             update_batches_delivered: self.update_batches,

@@ -9,7 +9,8 @@
 //! measurable one: does the response-latency distribution a client
 //! experiences under Matrix-with-hotspot look like an unloaded server, and
 //! unlike a statically partitioned server under the same hotspot? The
-//! playability threshold is the 150 ms bound the paper cites [Armitage].
+//! playability threshold is the 150 ms bound the paper cites (Armitage's
+//! Quake 3 server-selection study).
 
 use crate::harness::{Cluster, ClusterConfig, ClusterReport};
 use matrix_games::{GameSpec, WorkloadSchedule};

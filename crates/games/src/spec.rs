@@ -36,6 +36,12 @@ pub struct GameSpec {
     pub move_bytes: usize,
     /// Action packet payload, bytes.
     pub action_bytes: usize,
+    /// Per-client cap on items per update-batch flush (`0` = unlimited):
+    /// how many events the game is willing to describe to one client per
+    /// flush interval before degrading the periphery.
+    pub max_updates_per_flush: u32,
+    /// Per-client downlink budget in bytes per flush (`0` = unlimited).
+    pub client_budget_bytes: u32,
     /// Per-client session state carried across a server switch, bytes.
     pub client_state_bytes: u64,
     /// Dynamic global state shipped to a freshly split server, bytes.
@@ -69,6 +75,8 @@ impl GameSpec {
             action_rate_hz: 1.0,
             move_bytes: 32,
             action_bytes: 90,
+            max_updates_per_flush: 64,
+            client_budget_bytes: 0,
             client_state_bytes: 1_500,
             global_state_bytes: 2_000_000,
             server_capacity: 3_000.0,
@@ -92,6 +100,8 @@ impl GameSpec {
             action_rate_hz: 2.0,
             move_bytes: 40,
             action_bytes: 60,
+            max_updates_per_flush: 128,
+            client_budget_bytes: 0,
             client_state_bytes: 900,
             global_state_bytes: 1_000_000,
             server_capacity: 4_500.0,
@@ -115,6 +125,8 @@ impl GameSpec {
             action_rate_hz: 0.5,
             move_bytes: 24,
             action_bytes: 200,
+            max_updates_per_flush: 32,
+            client_budget_bytes: 0,
             client_state_bytes: 8_000,
             global_state_bytes: 12_000_000,
             server_capacity: 1_200.0,
@@ -199,6 +211,21 @@ mod tests {
             assert!(spec.world.contains(spec.hotspot_a()));
             assert!(spec.world.contains(spec.hotspot_b()));
         }
+    }
+
+    #[test]
+    fn presets_bound_per_client_dissemination() {
+        for spec in GameSpec::all() {
+            assert!(
+                spec.max_updates_per_flush > 0,
+                "{}: dense crowds need a per-flush cap to degrade gracefully",
+                spec.name
+            );
+        }
+        // Faster-paced games tolerate more items per flush.
+        assert!(
+            GameSpec::quake2().max_updates_per_flush > GameSpec::daimonin().max_updates_per_flush
+        );
     }
 
     #[test]

@@ -18,17 +18,35 @@
 //! * [`UpdateBatcher`] — a coalescing layer that accumulates per-client
 //!   updates and flushes them in batches on an interval, cutting
 //!   per-message overhead and giving the transport large writes.
+//! * [`FlushPolicy`] — priority-aware rate limiting applied at every
+//!   flush: items are ranked by relevance (distance to the receiving
+//!   client), duplicate origins are merged, and the farthest items are
+//!   dropped first until the per-client count/byte budgets fit, so slow
+//!   or crowded clients degrade gracefully instead of queueing
+//!   unboundedly.
+//! * [`DeltaEncoder`] / [`DeltaStream`] — per-client delta compression
+//!   of update origins: each item is encoded as an offset from the
+//!   previous one, with periodic and threshold-triggered absolute
+//!   keyframes plus a resync path for joins and handovers. Offsets are
+//!   only used when reconstruction is bit-exact, so the decoded stream
+//!   always equals what an absolute-only encoder would have sent.
 //!
-//! Both are deliberately independent of the middleware's message types:
-//! the grid is generic over the subscriber key and the batcher over the
-//! update payload, so the discrete-event harness, the async runtime and
-//! the benchmarks all drive the same code.
+//! All of it is deliberately independent of the middleware's message
+//! types: the grid is generic over the subscriber key, the batcher and
+//! policy over the update payload, and the delta codec speaks raw
+//! [`Point`](matrix_geometry::Point)s — so the discrete-event harness,
+//! the async runtime, the property suites and the benchmarks all drive
+//! the same code.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod batch;
+mod delta;
 mod grid;
+mod policy;
 
 pub use batch::UpdateBatcher;
+pub use delta::{quantize, DeltaEncoder, DeltaStream, EncodedOrigin};
 pub use grid::InterestGrid;
+pub use policy::{FlushPolicy, Selection};

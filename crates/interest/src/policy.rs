@@ -1,0 +1,223 @@
+//! Priority-aware per-flush rate limiting.
+//!
+//! Coalescing bounds message *count*; it does not bound message *size*.
+//! A client parked inside a dense crowd accumulates hundreds of relevant
+//! events per flush interval, and shipping all of them either saturates
+//! the downlink or queues unboundedly. [`FlushPolicy`] is the standard
+//! graceful-degradation answer: rank the pending items by relevance to
+//! the receiving client and deliver the best prefix that fits the
+//! configured budgets, merging or dropping the least relevant (farthest)
+//! items first. Dropped items are not lost state — the next flush
+//! re-describes whatever is still relevant — so a budgeted client sees a
+//! slightly staler periphery instead of a growing queue.
+
+use matrix_geometry::{Metric, Point};
+
+/// Per-client, per-flush delivery budgets.
+///
+/// Both limits are *off* at `0`. When either is exceeded the flush is
+/// degraded in relevance order: items are sorted nearest-first (ties
+/// keep arrival order), exact-duplicate origins are merged down to their
+/// most recent item, and the farthest items are dropped until the flush
+/// fits. At least one item is always delivered, so no client starves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlushPolicy {
+    /// Maximum items per client per flush (`0` = unlimited).
+    pub max_items: usize,
+    /// Maximum estimated wire bytes per client per flush
+    /// (`0` = unlimited). Estimated against the caller's `size_of`.
+    pub budget_bytes: usize,
+}
+
+/// Result of applying a [`FlushPolicy`] to one client's pending items.
+#[derive(Debug, Clone)]
+pub struct Selection<U> {
+    /// Items to deliver, most relevant (nearest) first.
+    pub kept: Vec<U>,
+    /// Items merged away or dropped to fit the budgets.
+    pub dropped: usize,
+}
+
+impl FlushPolicy {
+    /// A policy with both limits off.
+    pub fn unlimited() -> FlushPolicy {
+        FlushPolicy::default()
+    }
+
+    /// Whether neither limit is configured.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_items == 0 && self.budget_bytes == 0
+    }
+
+    /// Orders `items` by relevance to a viewer at `viewer` (nearest
+    /// first, ties in arrival order) and enforces the budgets,
+    /// merging/dropping the farthest items first.
+    ///
+    /// `origin_of` and `size_of` project an item's position and its
+    /// estimated wire cost; the policy stays generic over the payload
+    /// type so drivers and tests can reuse it.
+    pub fn select<U>(
+        &self,
+        viewer: Point,
+        metric: Metric,
+        origin_of: impl Fn(&U) -> Point,
+        size_of: impl Fn(&U) -> usize,
+        items: Vec<U>,
+    ) -> Selection<U> {
+        let total = items.len();
+        let mut ranked: Vec<(f64, usize, U)> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, u)| (origin_of(&u).distance_by(viewer, metric), i, u))
+            .collect();
+        // Stable relevance order: distance, then arrival.
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let over_count = self.max_items > 0 && ranked.len() > self.max_items;
+        let over_bytes = self.budget_bytes > 0
+            && ranked.iter().map(|(_, _, u)| size_of(u)).sum::<usize>() > self.budget_bytes;
+        if over_count || over_bytes {
+            // Merge exact-duplicate origins down to the most recent item:
+            // repeated events from one point inside a single flush
+            // interval supersede each other once the flush is degraded.
+            let mut merged: Vec<(f64, usize, U)> = Vec::with_capacity(ranked.len());
+            for (d, i, u) in ranked {
+                match merged.last_mut() {
+                    Some(last) if last.0 == d && origin_of(&last.2) == origin_of(&u) => {
+                        // Same origin sorts adjacently (equal distance,
+                        // arrival order): keep the newest.
+                        *last = (d, i, u);
+                    }
+                    _ => merged.push((d, i, u)),
+                }
+            }
+            ranked = merged;
+        }
+
+        let kept_cap = if self.max_items > 0 {
+            ranked.len().min(self.max_items)
+        } else {
+            ranked.len()
+        };
+        let mut kept = Vec::with_capacity(kept_cap);
+        let mut bytes = 0usize;
+        for (_, _, u) in ranked {
+            if self.max_items > 0 && kept.len() >= self.max_items {
+                break;
+            }
+            let cost = size_of(&u);
+            if self.budget_bytes > 0 && !kept.is_empty() && bytes + cost > self.budget_bytes {
+                break;
+            }
+            bytes += cost;
+            kept.push(u);
+        }
+        Selection {
+            dropped: total - kept.len(),
+            kept,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(x: f64, y: f64, bytes: usize) -> (Point, usize) {
+        (Point::new(x, y), bytes)
+    }
+
+    fn select(
+        policy: FlushPolicy,
+        viewer: Point,
+        items: Vec<(Point, usize)>,
+    ) -> Selection<(Point, usize)> {
+        policy.select(viewer, Metric::Euclidean, |u| u.0, |u| u.1, items)
+    }
+
+    #[test]
+    fn unlimited_policy_keeps_everything_sorted_by_distance() {
+        let viewer = Point::new(0.0, 0.0);
+        let items = vec![item(30.0, 0.0, 8), item(10.0, 0.0, 8), item(20.0, 0.0, 8)];
+        let sel = select(FlushPolicy::unlimited(), viewer, items);
+        assert_eq!(sel.dropped, 0);
+        let xs: Vec<f64> = sel.kept.iter().map(|u| u.0.x).collect();
+        assert_eq!(xs, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn count_cap_drops_the_farthest() {
+        let viewer = Point::new(0.0, 0.0);
+        let items = vec![item(40.0, 0.0, 8), item(10.0, 0.0, 8), item(20.0, 0.0, 8)];
+        let sel = select(
+            FlushPolicy {
+                max_items: 2,
+                budget_bytes: 0,
+            },
+            viewer,
+            items,
+        );
+        assert_eq!(sel.dropped, 1);
+        let xs: Vec<f64> = sel.kept.iter().map(|u| u.0.x).collect();
+        assert_eq!(xs, vec![10.0, 20.0], "the 40-unit item goes first");
+    }
+
+    #[test]
+    fn byte_budget_limits_the_flush_but_never_starves() {
+        let viewer = Point::new(0.0, 0.0);
+        let items = vec![item(10.0, 0.0, 100), item(20.0, 0.0, 100)];
+        let sel = select(
+            FlushPolicy {
+                max_items: 0,
+                budget_bytes: 150,
+            },
+            viewer,
+            items,
+        );
+        assert_eq!(sel.kept.len(), 1);
+        assert_eq!(sel.dropped, 1);
+        // A single oversized item still goes out.
+        let sel = select(
+            FlushPolicy {
+                max_items: 0,
+                budget_bytes: 10,
+            },
+            viewer,
+            vec![item(5.0, 0.0, 100)],
+        );
+        assert_eq!(sel.kept.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_origins_merge_to_most_recent_under_pressure() {
+        let viewer = Point::new(0.0, 0.0);
+        // Three events from the same point (payloads mark arrival order),
+        // plus one farther event; cap forces degradation.
+        let items = vec![
+            item(10.0, 0.0, 1),
+            item(10.0, 0.0, 2),
+            item(10.0, 0.0, 3),
+            item(50.0, 0.0, 9),
+        ];
+        let sel = select(
+            FlushPolicy {
+                max_items: 2,
+                budget_bytes: 0,
+            },
+            viewer,
+            items,
+        );
+        assert_eq!(sel.kept.len(), 2);
+        assert_eq!(sel.kept[0].1, 3, "merged to the newest duplicate");
+        assert_eq!(sel.kept[1].0.x, 50.0, "merging freed room for the far item");
+        assert_eq!(sel.dropped, 2);
+    }
+
+    #[test]
+    fn without_pressure_duplicates_are_preserved() {
+        let viewer = Point::new(0.0, 0.0);
+        let items = vec![item(10.0, 0.0, 1), item(10.0, 0.0, 2)];
+        let sel = select(FlushPolicy::unlimited(), viewer, items);
+        assert_eq!(sel.kept.len(), 2, "two shots are two events");
+    }
+}

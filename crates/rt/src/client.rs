@@ -3,10 +3,17 @@
 //! Implements the client side of the paper's contract: clients talk only
 //! to game servers, obey `SwitchServer` instructions by re-joining the
 //! named server, and are otherwise oblivious to Matrix (§3.2.1).
+//!
+//! The client also mirrors the server's dissemination pipeline on the
+//! receive side: `UpdateBatch` items arrive delta-compressed
+//! ([`matrix_core::BatchItem`]), so the client threads a per-stream base
+//! through [`matrix_core::reconstruct_updates`] and resets it whenever
+//! the stream restarts (join, server switch) — exactly when the server's
+//! encoder keyframes.
 
 use crate::node::NodeMsg;
 use crate::router::Router;
-use matrix_core::{ClientId, ClientToGame, GameToClient};
+use matrix_core::{reconstruct_updates, ClientId, ClientToGame, GameToClient};
 use matrix_geometry::{Point, ServerId};
 use tokio::sync::mpsc;
 
@@ -19,6 +26,10 @@ pub struct ClientCounters {
     pub updates: u64,
     /// `UpdateBatch` messages received.
     pub batches: u64,
+    /// Absolute keyframe items among the batched updates.
+    pub keyframes: u64,
+    /// Delta-encoded items among the batched updates.
+    pub deltas: u64,
     /// Server switches performed.
     pub switches: u64,
 }
@@ -31,6 +42,8 @@ pub struct RtClient {
     server: ServerId,
     pos: Point,
     state_bytes: u64,
+    /// Delta-stream base: the last reconstructed update origin.
+    delta_base: Option<Point>,
     counters: ClientCounters,
 }
 
@@ -47,6 +60,7 @@ impl RtClient {
             server,
             pos,
             state_bytes: 1_024,
+            delta_base: None,
             counters: ClientCounters::default(),
         };
         client.send(ClientToGame::Join {
@@ -76,6 +90,14 @@ impl RtClient {
         self.counters
     }
 
+    /// The origin of the most recent reconstructed *batched* update,
+    /// i.e. this client's delta-stream base. Singleton
+    /// `GameToClient::Update` messages are outside the delta stream and
+    /// do not move it.
+    pub fn last_update_origin(&self) -> Option<Point> {
+        self.delta_base
+    }
+
     fn send(&self, msg: ClientToGame) {
         self.router
             .send_node(self.server, NodeMsg::FromClient(self.id, msg));
@@ -102,33 +124,71 @@ impl RtClient {
         self.router.unregister_client(self.id);
     }
 
+    /// Digests one server message: updates counters, the delta-stream
+    /// base and the current-server bookkeeping. Returns `false` for
+    /// `SwitchServer`, which is handled transparently (re-join) and
+    /// never surfaced to callers.
+    fn digest(&mut self, msg: &GameToClient) -> bool {
+        match msg {
+            GameToClient::SwitchServer { to } => {
+                self.counters.switches += 1;
+                self.server = *to;
+                // The new server's encoder starts our stream fresh.
+                self.delta_base = None;
+                self.send(ClientToGame::Join {
+                    pos: self.pos,
+                    state_bytes: self.state_bytes,
+                });
+                false
+            }
+            GameToClient::Ack { .. } => {
+                self.counters.acks += 1;
+                true
+            }
+            GameToClient::Update { origin: _, .. } => {
+                // Singleton updates are outside the batch pipeline: the
+                // server's encoder does not advance its base for them,
+                // so neither may the client, or the streams desync.
+                self.counters.updates += 1;
+                true
+            }
+            GameToClient::UpdateBatch { updates } => {
+                self.counters.batches += 1;
+                self.counters.updates += updates.len() as u64;
+                for item in updates {
+                    if item.is_keyframe() {
+                        self.counters.keyframes += 1;
+                    } else {
+                        self.counters.deltas += 1;
+                    }
+                }
+                // Reconstruction threads the base forward; the server
+                // keyframes after every resync, so a failure here means
+                // a protocol bug — drop the base and recover on the next
+                // keyframe rather than panicking a live client.
+                match reconstruct_updates(&mut self.delta_base, updates) {
+                    Some(_) => {}
+                    None => self.delta_base = None,
+                }
+                true
+            }
+            GameToClient::Joined { server } => {
+                self.server = *server;
+                // A (re)join restarts the delta stream on the server.
+                self.delta_base = None;
+                true
+            }
+        }
+    }
+
     /// Receives the next server message, transparently handling switches
     /// (re-joining the new server, as the paper's clients do).
     pub async fn recv(&mut self) -> Option<GameToClient> {
         loop {
             let msg = self.rx.recv().await?;
-            match &msg {
-                GameToClient::SwitchServer { to } => {
-                    self.counters.switches += 1;
-                    self.server = *to;
-                    self.send(ClientToGame::Join {
-                        pos: self.pos,
-                        state_bytes: self.state_bytes,
-                    });
-                    // The switch itself is invisible to callers.
-                    continue;
-                }
-                GameToClient::Ack { .. } => self.counters.acks += 1,
-                GameToClient::Update { .. } => self.counters.updates += 1,
-                GameToClient::UpdateBatch { updates } => {
-                    self.counters.batches += 1;
-                    self.counters.updates += updates.len() as u64;
-                }
-                GameToClient::Joined { server } => {
-                    self.server = *server;
-                }
+            if self.digest(&msg) {
+                return Some(msg);
             }
-            return Some(msg);
         }
     }
 
@@ -136,25 +196,9 @@ impl RtClient {
     pub fn drain(&mut self) -> Vec<GameToClient> {
         let mut out = Vec::new();
         while let Ok(msg) = self.rx.try_recv() {
-            match &msg {
-                GameToClient::SwitchServer { to } => {
-                    self.counters.switches += 1;
-                    self.server = *to;
-                    self.send(ClientToGame::Join {
-                        pos: self.pos,
-                        state_bytes: self.state_bytes,
-                    });
-                    continue;
-                }
-                GameToClient::Ack { .. } => self.counters.acks += 1,
-                GameToClient::Update { .. } => self.counters.updates += 1,
-                GameToClient::UpdateBatch { updates } => {
-                    self.counters.batches += 1;
-                    self.counters.updates += updates.len() as u64;
-                }
-                GameToClient::Joined { server } => self.server = *server,
+            if self.digest(&msg) {
+                out.push(msg);
             }
-            out.push(msg);
         }
         out
     }

@@ -148,8 +148,10 @@ async fn run_node(
                     NodeMsg::Shutdown => {
                         // Deliver what the batcher still holds so a
                         // graceful stop cannot eat the last interval's
-                        // updates.
-                        let actions = game.flush_updates(now);
+                        // updates — and clear per-client delta bases so a
+                        // client rejoining a restarted node receives a
+                        // keyframe, never a delta against lost state.
+                        let actions = game.shutdown_flush(now);
                         dispatch_game(&router, id, &mut matrix, &mut game, actions);
                         break;
                     }

@@ -5,6 +5,14 @@
 //! gateway bridges each connection onto the in-process cluster, keeping
 //! the client's current server in sync with `SwitchServer` instructions it
 //! relays (so the remote client stays oblivious to topology, §3.2.1).
+//!
+//! `UpdateBatch` frames arrive delta-compressed (absolute `[x,y,bytes]`
+//! keyframes interleaved with `["d",dx,dy,bytes]` offsets — see
+//! `matrix_core::codec`); the gateway relays them verbatim, and remote
+//! clients rebuild absolute origins with
+//! `matrix_core::reconstruct_updates`, resetting their stream base on
+//! every (re)join exactly as [`TcpGameClient`]'s in-process counterpart
+//! (`RtClient`) does.
 
 use crate::node::NodeMsg;
 use crate::router::Router;

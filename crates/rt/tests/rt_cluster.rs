@@ -75,12 +75,21 @@ async fn nearby_clients_see_each_other() {
     match &msg {
         GameToClient::UpdateBatch { updates } => {
             assert_eq!(updates.len(), 1, "{msg:?}");
-            assert_eq!(updates[0].payload_bytes, 64);
+            assert_eq!(updates[0].payload_bytes(), 64);
+            assert!(
+                updates[0].is_keyframe(),
+                "first item of a fresh stream is absolute"
+            );
         }
         other => panic!("expected UpdateBatch, got {other:?}"),
     }
     assert_eq!(bob.counters().batches, 1);
     assert_eq!(bob.counters().updates, 1);
+    assert_eq!(
+        bob.last_update_origin(),
+        Some(Point::new(100.0, 100.0)),
+        "client reconstructs the event origin"
+    );
     cluster.shutdown().await;
 }
 

@@ -1,10 +1,19 @@
-//! Receiver-set equivalence: the spatial-hash interest grid must return
-//! exactly the same receivers as a brute-force linear scan, for every
-//! metric, radius, grid resolution and hysteresis setting — including
-//! query origins and subscriber positions sitting exactly on cell
-//! boundaries. Fan-out correctness *is* consistency for a game server;
-//! any divergence between the fast path and the obvious path is a lost
-//! or spurious update.
+//! Interest-layer property suites.
+//!
+//! **Receiver-set equivalence**: the spatial-hash interest grid must
+//! return exactly the same receivers as a brute-force linear scan, for
+//! every metric, radius, grid resolution and hysteresis setting —
+//! including query origins and subscriber positions sitting exactly on
+//! cell boundaries. Fan-out correctness *is* consistency for a game
+//! server; any divergence between the fast path and the obvious path is
+//! a lost or spurious update.
+//!
+//! **Delta-stream equivalence**: decode(encode(stream)) must
+//! reconstruct the *exact* absolute positions an absolute-only encoder
+//! would send — across keyframe boundaries, client resyncs, teleports
+//! and extreme magnitudes — and a rate-limited delta stream must stay
+//! exactly decodable while delivering the most relevant subset of each
+//! flush (converging to the absolute stream as budgets allow).
 //!
 //! Randomization is driven by the workspace's own seeded [`SimRng`]
 //! (fixed seeds, so failures are reproducible).
@@ -273,5 +282,305 @@ fn gameserver_fanout_counts_match_linear_scan() {
             counted, expected,
             "case {case}: fan-out diverged from linear scan"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta-stream equivalence
+// ---------------------------------------------------------------------------
+
+/// The delta codec in isolation: for every keyframe interval, resync
+/// pattern and origin distribution (lattice-quantised crowd steps as
+/// the game server produces, off-lattice stragglers, teleports, extreme
+/// magnitudes), decoding reproduces the absolute origins bit-for-bit.
+#[test]
+fn delta_codec_reconstructs_absolute_streams_exactly() {
+    use matrix_middleware::core::{quantize, DeltaEncoder, DeltaStream};
+
+    let quantum = DeltaEncoder::<u32>::DEFAULT_QUANTUM;
+    let mut rng = SimRng::seed_from_u64(0x0DE1_7A57);
+    for case in 0..80 {
+        let keyframe_every = rng.uniform_u64(0, 7) as u32;
+        let mut enc: DeltaEncoder<u32> = DeltaEncoder::new(keyframe_every);
+        let clients = rng.uniform_u64(1, 5) as u32;
+        let mut streams: Vec<DeltaStream> = (0..clients).map(|_| DeltaStream::new()).collect();
+        let mut cursors: Vec<Point> = (0..clients)
+            .map(|_| Point::new(rng.uniform(0.0, 800.0), rng.uniform(0.0, 800.0)))
+            .collect();
+        let mut deltas_seen = 0usize;
+
+        for flush in 0..40 {
+            let cid = rng.uniform_u64(0, clients as u64) as u32;
+            // A resync (join / handover) drops state on both sides.
+            if rng.chance(0.1) {
+                enc.reset(cid);
+                streams[cid as usize].reset();
+            }
+            let n = rng.uniform_u64(1, 9) as usize;
+            let origins: Vec<Point> = (0..n)
+                .map(|_| {
+                    let p = cursors[cid as usize];
+                    let next = match rng.uniform_u64(0, 10) {
+                        // Mostly small correlated steps snapped onto the
+                        // wire lattice, as `GameServerNode::fan_out`
+                        // produces (the crowd case: these must delta).
+                        0..=5 => quantize(
+                            Point::new(p.x + rng.uniform(-5.0, 5.0), p.y + rng.uniform(-5.0, 5.0)),
+                            quantum,
+                        ),
+                        // Off-lattice stragglers: exact, but not
+                        // representable in the compact frame.
+                        6 => Point::new(p.x + rng.uniform(-5.0, 5.0), p.y + rng.uniform(-5.0, 5.0)),
+                        // Teleports past the delta threshold.
+                        7..=8 => Point::new(rng.uniform(-1.0e5, 1.0e5), rng.uniform(-1.0e5, 1.0e5)),
+                        // Extreme magnitudes where f64 deltas cannot
+                        // round-trip: the encoder must keyframe.
+                        _ => Point::new(rng.uniform(-1.0, 1.0) * 1.0e15, rng.uniform(-1.0, 1.0)),
+                    };
+                    cursors[cid as usize] = next;
+                    next
+                })
+                .collect();
+            let encoded = enc.encode_flush(cid, &origins);
+            assert_eq!(encoded.len(), origins.len());
+            deltas_seen += encoded.iter().filter(|e| !e.is_keyframe()).count();
+            let decoded: Vec<Point> = encoded
+                .iter()
+                .map(|&e| {
+                    streams[cid as usize]
+                        .apply(e)
+                        .expect("sender keyframes after every resync")
+                })
+                .collect();
+            assert_eq!(
+                decoded, origins,
+                "case {case} flush {flush} (keyframe_every={keyframe_every}): \
+                 decode(encode(..)) must be exact"
+            );
+            if keyframe_every == 0 {
+                assert!(
+                    encoded.iter().all(|e| e.is_keyframe()),
+                    "keyframe_every=0 disables deltas"
+                );
+            }
+        }
+        if keyframe_every > 0 {
+            assert!(
+                deltas_seen > 0,
+                "case {case}: lattice steps must actually exercise the delta path"
+            );
+        }
+    }
+}
+
+/// The full game-server pipeline: a delta-encoding node's client streams
+/// reconstruct to exactly the item sequences an absolute-origin node
+/// emits for identical inputs, across flush boundaries and client
+/// resyncs — and with rate limiting on, every flush stays exactly
+/// decodable and delivers the nearest subset of the absolute flush.
+#[test]
+fn delta_node_streams_reconstruct_absolute_node_streams() {
+    use matrix_middleware::core::{
+        reconstruct_updates, BatchItem, ClientId, ClientToGame, GameAction, GameServerConfig,
+        GameServerNode, GameToClient, ServerId, UpdateItem,
+    };
+    use matrix_middleware::sim::{SimDuration, SimTime};
+    use std::collections::BTreeMap;
+
+    type Batches = BTreeMap<ClientId, Vec<Vec<BatchItem>>>;
+
+    // One scripted input stream, replayed into differently configured
+    // nodes.
+    #[derive(Clone)]
+    enum Step {
+        Client(u64, ClientId, ClientToGame),
+        Tick(u64),
+    }
+
+    fn replay(cfg: GameServerConfig, world: Rect, radius: f64, script: &[Step]) -> Batches {
+        let mut node = GameServerNode::new(ServerId(1), cfg).with_fanout();
+        node.register(world, radius);
+        let mut batches: Batches = BTreeMap::new();
+        let mut collect = |actions: Vec<GameAction>| {
+            for a in actions {
+                if let GameAction::ToClient(cid, GameToClient::UpdateBatch { updates }) = a {
+                    batches.entry(cid).or_default().push(updates);
+                }
+            }
+        };
+        for step in script {
+            match step {
+                Step::Client(t, cid, msg) => {
+                    collect(node.on_client(SimTime::from_millis(*t), *cid, msg.clone()))
+                }
+                Step::Tick(t) => collect(node.on_tick(SimTime::from_millis(*t), 0.0)),
+            }
+        }
+        batches
+    }
+
+    fn absolutes(items: &[BatchItem]) -> Vec<UpdateItem> {
+        items
+            .iter()
+            .map(|i| match i {
+                BatchItem::Absolute(u) => *u,
+                BatchItem::Delta(_) => panic!("absolute node must never emit deltas"),
+            })
+            .collect()
+    }
+
+    let mut rng = SimRng::seed_from_u64(0x5E0_0E11);
+    for case in 0..12 {
+        let world = Rect::from_coords(0.0, 0.0, 800.0, 800.0);
+        let radius = rng.uniform(40.0, 150.0);
+        let clients = rng.uniform_u64(4, 14);
+        // Script: joins, correlated moves, actions, occasional rejoins,
+        // periodic ticks.
+        let mut script = Vec::new();
+        let mut pos: Vec<Point> = Vec::new();
+        for id in 0..clients {
+            let p = Point::new(rng.uniform(200.0, 600.0), rng.uniform(200.0, 600.0));
+            pos.push(p);
+            script.push(Step::Client(
+                0,
+                ClientId(id),
+                ClientToGame::Join {
+                    pos: p,
+                    state_bytes: 0,
+                },
+            ));
+        }
+        let mut t = 0u64;
+        for _ in 0..60 {
+            t += rng.uniform_u64(5, 30);
+            let id = rng.uniform_u64(0, clients);
+            match rng.uniform_u64(0, 10) {
+                0..=5 => {
+                    let p = Point::new(
+                        (pos[id as usize].x + rng.uniform(-10.0, 10.0)).clamp(0.0, 800.0),
+                        (pos[id as usize].y + rng.uniform(-10.0, 10.0)).clamp(0.0, 800.0),
+                    );
+                    pos[id as usize] = p;
+                    script.push(Step::Client(t, ClientId(id), ClientToGame::Move { pos: p }));
+                }
+                6..=7 => script.push(Step::Client(
+                    t,
+                    ClientId(id),
+                    ClientToGame::Action {
+                        pos: pos[id as usize],
+                        payload_bytes: rng.uniform_u64(0, 200) as usize,
+                    },
+                )),
+                8 => script.push(Step::Tick(t)),
+                // Resync: leave and immediately rejoin elsewhere.
+                _ => {
+                    script.push(Step::Client(t, ClientId(id), ClientToGame::Leave));
+                    let p = Point::new(rng.uniform(200.0, 600.0), rng.uniform(200.0, 600.0));
+                    pos[id as usize] = p;
+                    script.push(Step::Client(
+                        t,
+                        ClientId(id),
+                        ClientToGame::Join {
+                            pos: p,
+                            state_bytes: 0,
+                        },
+                    ));
+                }
+            }
+        }
+        script.push(Step::Tick(t + 100));
+
+        let base_cfg = GameServerConfig {
+            emit_updates: true,
+            batch_interval: SimDuration::from_millis(50),
+            ..GameServerConfig::default()
+        };
+        let absolute_cfg = GameServerConfig {
+            keyframe_every: 0,
+            max_updates_per_flush: 0,
+            client_budget_bytes: 0,
+            ..base_cfg
+        };
+        let delta_cfg = GameServerConfig {
+            keyframe_every: rng.uniform_u64(1, 7) as u32,
+            max_updates_per_flush: 0,
+            client_budget_bytes: 0,
+            ..base_cfg
+        };
+        let capped_cfg = GameServerConfig {
+            keyframe_every: rng.uniform_u64(1, 7) as u32,
+            max_updates_per_flush: rng.uniform_u64(1, 4) as u32,
+            client_budget_bytes: 0,
+            ..base_cfg
+        };
+
+        let reference = replay(absolute_cfg, world, radius, &script);
+        let delta = replay(delta_cfg, world, radius, &script);
+        let capped = replay(capped_cfg, world, radius, &script);
+
+        // Uncapped delta node ≡ absolute node after reconstruction.
+        assert_eq!(
+            reference.keys().collect::<Vec<_>>(),
+            delta.keys().collect::<Vec<_>>(),
+            "case {case}: same receivers"
+        );
+        for (cid, ref_batches) in &reference {
+            let delta_batches = &delta[cid];
+            assert_eq!(
+                ref_batches.len(),
+                delta_batches.len(),
+                "case {case} {cid:?}"
+            );
+            let mut base = None;
+            for (i, (r, d)) in ref_batches.iter().zip(delta_batches).enumerate() {
+                let rebuilt = reconstruct_updates(&mut base, d)
+                    .expect("delta stream must always be decodable in order");
+                assert_eq!(
+                    rebuilt,
+                    absolutes(r),
+                    "case {case} {cid:?} flush {i}: reconstruction must equal \
+                     the absolute-origin stream exactly"
+                );
+            }
+        }
+
+        // Rate-limited node: every flush decodes exactly, is the nearest
+        // subset of the corresponding absolute flush, and respects the cap.
+        let cap = capped_cfg.max_updates_per_flush as usize;
+        for (cid, cap_batches) in &capped {
+            let ref_batches = &reference[cid];
+            assert_eq!(ref_batches.len(), cap_batches.len(), "case {case} {cid:?}");
+            let mut base = None;
+            for (i, (r, c)) in ref_batches.iter().zip(cap_batches).enumerate() {
+                let rebuilt = reconstruct_updates(&mut base, c)
+                    .expect("rate limiting must never corrupt the delta stream");
+                assert!(
+                    rebuilt.len() <= cap && !rebuilt.is_empty(),
+                    "case {case} {cid:?} flush {i}: cap violated"
+                );
+                let full = absolutes(r);
+                // Every delivered item is one of the absolute node's
+                // items for the same flush, reconstructed exactly
+                // (degradation defers events, it never invents or warps
+                // them).
+                for item in &rebuilt {
+                    assert!(
+                        full.contains(item),
+                        "case {case} {cid:?} flush {i}: {item:?} not in the absolute flush"
+                    );
+                }
+                // Without pressure the two flushes are identical; under
+                // pressure the kept items start at the absolute flush's
+                // most relevant (nearest-first) item.
+                if rebuilt.len() == full.len() {
+                    assert_eq!(rebuilt, full, "case {case} {cid:?} flush {i}");
+                } else {
+                    assert_eq!(
+                        rebuilt[0].origin, full[0].origin,
+                        "case {case} {cid:?} flush {i}: must keep the most relevant item"
+                    );
+                }
+            }
+        }
     }
 }
