@@ -44,6 +44,12 @@ pub struct MatrixConfig {
     /// locally cached partition directory; when false every query goes to
     /// the coordinator (used by the E5 microbenchmark to measure MC load).
     pub resolve_locally: bool,
+    /// When true, every active server pairs with a warm standby drawn
+    /// from the resource pool and streams region state to it (see
+    /// `GameServerConfig::replica_interval`); on the primary's liveness
+    /// expiry the coordinator promotes the standby instead of handing
+    /// the orphaned range to a neighbour.
+    pub standby_replication: bool,
     /// Distance metric for range verification and exact-set fallbacks.
     pub metric: Metric,
 }
@@ -62,6 +68,7 @@ impl Default for MatrixConfig {
             split_strategy: SplitStrategy::SplitToLeft,
             heartbeat_every: SimDuration::from_secs(1),
             resolve_locally: true,
+            standby_replication: false,
             metric: Metric::Euclidean,
         }
     }
@@ -143,6 +150,19 @@ pub struct GameServerConfig {
     /// field (the defaults use 2²¹ of its ±2²³ range). The delta
     /// encoder's lattice check uses this same value.
     pub origin_quantum: f64,
+    /// How often region state ships to the warm standby once one is
+    /// assigned (splits the difference between replication overhead and
+    /// how much session state a failover can lose). The first batch —
+    /// and any batch after a standby resync — is a full
+    /// `RegionSnapshot`; subsequent batches carry incremental ops.
+    /// Replication itself is armed per server by
+    /// `MatrixConfig::standby_replication`.
+    pub replica_interval: SimDuration,
+    /// Backlog bound for the replica log: once this many session ops
+    /// queue unshipped, a batch ships immediately regardless of
+    /// `replica_interval` (`0` = interval-only). Caps standby staleness
+    /// under bursty load without shrinking the steady-state interval.
+    pub replica_lag_cap: u32,
 }
 
 impl Default for GameServerConfig {
@@ -163,6 +183,8 @@ impl Default for GameServerConfig {
             client_budget_bytes: 0,
             keyframe_every: 8,
             origin_quantum: 1.0 / 256.0,
+            replica_interval: SimDuration::from_millis(200),
+            replica_lag_cap: 256,
         }
     }
 }
@@ -173,6 +195,11 @@ pub struct CoordinatorConfig {
     /// A server missing heartbeats for this long is declared dead and its
     /// partition reassigned.
     pub heartbeat_timeout: SimDuration,
+    /// Whether a dead server with a registered warm standby is failed
+    /// over (the standby promoted in place, clients kept) rather than
+    /// absorbed by a neighbour. Disable to measure the absorb-only
+    /// baseline with replication still running.
+    pub failover: bool,
     /// Distance metric used when building overlap tables.
     pub metric: Metric,
 }
@@ -181,6 +208,7 @@ impl Default for CoordinatorConfig {
     fn default() -> Self {
         CoordinatorConfig {
             heartbeat_timeout: SimDuration::from_secs(5),
+            failover: true,
             metric: Metric::Euclidean,
         }
     }

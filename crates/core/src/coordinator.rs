@@ -14,6 +14,7 @@ use matrix_geometry::{build_overlap, consistency_set, OverlapMap, PartitionMap, 
 use matrix_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// An effect the coordinator asks its driver to carry out.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,8 +38,50 @@ pub struct CoordinatorStats {
     pub reclaims_seen: u64,
     /// Servers declared dead after missing heartbeats.
     pub failures_declared: u64,
+    /// Failures recovered by promoting a warm standby (a subset of
+    /// `failures_declared`): the region and its clients survived.
+    pub failovers: u64,
+    /// Warm standbys declared dead (their primaries were told to
+    /// re-pair).
+    pub standbys_lost: u64,
+    /// Directory divergences tolerated: a reported split/reclaim did
+    /// not match the directory and the coordinator resynchronised
+    /// instead of failing. Chaos runs watch this counter (and the log
+    /// hook) rather than stderr.
+    pub divergences: u64,
     /// Targeted table re-pushes triggered by stale-epoch heartbeats.
     pub table_refreshes: u64,
+}
+
+/// The shared function type behind a [`CoordLog`] hook.
+type LogFn = Arc<dyn Fn(&str) + Send + Sync>;
+
+/// Diagnostic sink for divergence and failure logs. `None` is silent —
+/// the counters in [`CoordinatorStats`] always record regardless.
+#[derive(Clone, Default)]
+pub struct CoordLog(Option<LogFn>);
+
+impl CoordLog {
+    /// A hook forwarding every diagnostic line to `f`.
+    pub fn new(f: impl Fn(&str) + Send + Sync + 'static) -> CoordLog {
+        CoordLog(Some(Arc::new(f)))
+    }
+
+    fn emit(&self, msg: impl FnOnce() -> String) {
+        if let Some(hook) = &self.0 {
+            hook(&msg());
+        }
+    }
+}
+
+impl std::fmt::Debug for CoordLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "CoordLog(hooked)"
+        } else {
+            "CoordLog(silent)"
+        })
+    }
 }
 
 /// The coordinator state machine.
@@ -56,6 +99,10 @@ pub struct Coordinator {
     /// Parent relationships learned from splits, used to pick an heir on
     /// failure.
     parents: BTreeMap<ServerId, ServerId>,
+    /// Warm-standby pairings (primary → standby) announced by primaries;
+    /// a dead primary with an entry here is failed over, not absorbed.
+    standbys: BTreeMap<ServerId, ServerId>,
+    log: CoordLog,
     stats: CoordinatorStats,
 }
 
@@ -73,8 +120,24 @@ impl Coordinator {
             epoch: 0,
             heartbeats: BTreeMap::new(),
             parents: BTreeMap::new(),
+            standbys: BTreeMap::new(),
+            log: CoordLog::default(),
             stats: CoordinatorStats::default(),
         }
+    }
+
+    /// Installs a diagnostic log hook (divergences, failure
+    /// declarations, failovers). Without one the coordinator is silent;
+    /// the [`CoordinatorStats`] counters record either way.
+    pub fn set_log_hook(&mut self, log: CoordLog) {
+        self.log = log;
+    }
+
+    /// Records a directory divergence: counted, and reported through
+    /// the log hook when one is installed.
+    fn note_divergence(&mut self, msg: impl FnOnce() -> String) {
+        self.stats.divergences += 1;
+        self.log.emit(msg);
     }
 
     /// Bootstraps with a pre-built multi-server map (static baseline and
@@ -155,20 +218,36 @@ impl Coordinator {
                         // Apply by direct surgery: shrink parent, add child.
                         let ok = Self::apply_split(map, parent, child, parent_range, child_range);
                         if !ok {
-                            #[cfg(debug_assertions)]
-                            eprintln!("DIVERGE split {parent}->{child}: dir={:?} report par={parent_range:?} child={child_range:?}", map.range_of(parent));
-                            self.stats.failures_declared += 1;
+                            let dir = map.range_of(parent);
+                            self.note_divergence(|| {
+                                format!(
+                                    "split {parent}->{child}: dir={dir:?} report \
+                                     par={parent_range:?} child={child_range:?}"
+                                )
+                            });
                         }
                     } else {
-                        #[cfg(debug_assertions)]
-                        eprintln!(
-                            "DIVERGE split skipped {parent}->{child}: parent in dir={} child in dir={}",
-                            map.contains_server(parent),
-                            map.contains_server(child)
-                        );
+                        let (p, c) = (map.contains_server(parent), map.contains_server(child));
+                        self.note_divergence(|| {
+                            format!(
+                                "split skipped {parent}->{child}: parent in dir={p} \
+                                 child in dir={c}"
+                            )
+                        });
                     }
                 }
                 self.recompute()
+            }
+            CoordMsg::StandbyAssigned { primary, standby } => {
+                self.standbys.insert(primary, standby);
+                // Watch the standby's liveness from the moment of the
+                // pairing (its own heartbeats refresh this). A plain
+                // insert, not or_insert: the server id may carry a stale
+                // heartbeat from a previous life, and starting the watch
+                // in the past would declare the fresh pairing dead on
+                // the next sweep.
+                self.heartbeats.insert(standby, now);
+                Vec::new()
             }
             CoordMsg::ReclaimOccurred {
                 parent,
@@ -178,25 +257,32 @@ impl Coordinator {
                 self.stats.reclaims_seen += 1;
                 self.heartbeats.remove(&child);
                 self.parents.remove(&child);
+                self.standbys.remove(&child);
                 if let Some(map) = &mut self.map {
                     if map.contains_server(child) {
-                        if let Err(_e) = map.reclaim(parent, child) {
-                            #[cfg(debug_assertions)]
-                            eprintln!(
-                                "DIVERGE reclaim {parent}<-{child}: {_e}; dir parent={:?} child={:?} reported merged={merged_range:?}",
-                                map.range_of(parent),
-                                map.range_of(child)
-                            );
+                        if let Err(e) = map.reclaim(parent, child) {
+                            let (p, c) = (map.range_of(parent), map.range_of(child));
+                            self.note_divergence(|| {
+                                format!(
+                                    "reclaim {parent}<-{child}: {e}; dir parent={p:?} \
+                                     child={c:?} reported merged={merged_range:?}"
+                                )
+                            });
                         }
                     } else {
-                        #[cfg(debug_assertions)]
-                        eprintln!("DIVERGE reclaim: child {child} not in directory");
+                        self.note_divergence(|| format!("reclaim: child {child} not in directory"));
                     }
-                    debug_assert_eq!(
-                        map.range_of(parent),
-                        Some(merged_range),
-                        "reclaim {parent}<-{child}"
-                    );
+                    let merged = self.map.as_ref().and_then(|m| m.range_of(parent));
+                    if merged != Some(merged_range) {
+                        // Tolerated, like every divergence: the directory
+                        // resynchronises on the next topology report.
+                        self.note_divergence(|| {
+                            format!(
+                                "reclaim {parent}<-{child}: dir merged={merged:?} \
+                                 reported={merged_range:?}"
+                            )
+                        });
+                    }
                 }
                 self.recompute()
             }
@@ -223,6 +309,7 @@ impl Coordinator {
                 // child's mergeable neighbours and instruct it to absorb.
                 self.heartbeats.remove(&child);
                 self.parents.remove(&child);
+                self.standbys.remove(&child);
                 let Some(map) = &mut self.map else {
                     return Vec::new();
                 };
@@ -397,56 +484,164 @@ impl Coordinator {
         ))
     }
 
-    /// Periodic liveness sweep: declares servers with stale heartbeats dead
-    /// and instructs a mergeable neighbour (preferring the parent) to
-    /// absorb the orphaned range. Returns the resulting pushes.
+    /// Periodic liveness sweep. Servers with stale heartbeats are
+    /// declared dead and handled by the best available recovery:
+    ///
+    /// * a dead **primary with a warm standby** is *failed over* — the
+    ///   standby is promoted in place under the directory's surgery, so
+    ///   its clients survive on their replicated sessions;
+    /// * a dead server **without** a standby is *absorbed* — a
+    ///   mergeable neighbour (preferring the parent) adopts the
+    ///   orphaned range, and that node's sessions are lost;
+    /// * a dead **standby** costs nothing but its pairing — the primary
+    ///   is told to draw a replacement from the pool.
+    ///
+    /// Returns the resulting pushes.
     pub fn check_liveness(&mut self, now: SimTime) -> Vec<CoordAction> {
-        let Some(map) = &self.map else {
+        if self.map.is_none() {
+            return Vec::new();
+        }
+        let dead: Vec<ServerId> = self
+            .heartbeats
+            .iter()
+            .filter(|(_, t)| now.since(**t) > self.cfg.heartbeat_timeout)
+            .filter(|(s, _)| {
+                let in_map = self.map.as_ref().is_some_and(|m| m.contains_server(**s));
+                let is_standby = self.standbys.values().any(|sb| sb == *s);
+                in_map || is_standby
+            })
+            .map(|(s, _)| *s)
+            .collect();
+        let dead_set: std::collections::BTreeSet<ServerId> = dead.iter().copied().collect();
+        let mut actions = Vec::new();
+        for failed in dead {
+            let in_map = self.map.as_ref().is_some_and(|m| m.contains_server(failed));
+            if !in_map {
+                // A dead standby: tell its primary to re-pair. (If the
+                // primary died in the same sweep, its own handling below
+                // already dropped the pairing — nothing left to do.)
+                let Some(primary) = self
+                    .standbys
+                    .iter()
+                    .find(|(_, sb)| **sb == failed)
+                    .map(|(p, _)| *p)
+                else {
+                    self.heartbeats.remove(&failed);
+                    continue;
+                };
+                self.standbys.remove(&primary);
+                self.heartbeats.remove(&failed);
+                self.stats.standbys_lost += 1;
+                self.log
+                    .emit(|| format!("standby {failed} of {primary} dead at {now}"));
+                actions.push(CoordAction::Send(
+                    primary,
+                    CoordReply::StandbyLost { standby: failed },
+                ));
+                continue;
+            }
+            if self.cfg.failover {
+                if let Some(standby) = self.standbys.get(&failed).copied() {
+                    // Promoting onto a node that is dead in this very
+                    // sweep would hand the region to a corpse; a shared
+                    // failure domain takes the absorb path instead.
+                    if !dead_set.contains(&standby) {
+                        actions.extend(self.promote_standby(now, failed, standby));
+                        continue;
+                    }
+                    self.standbys.remove(&failed);
+                    self.heartbeats.remove(&standby);
+                    self.stats.standbys_lost += 1;
+                    self.log.emit(|| {
+                        format!("standby {standby} died with its primary {failed} at {now}")
+                    });
+                }
+            }
+            actions.extend(self.absorb_dead(now, failed));
+        }
+        actions
+    }
+
+    /// Fast failover: rewrite the directory so `standby` owns the dead
+    /// primary's range under its own id, instruct it to promote, and
+    /// push fresh tables everywhere. Works even for the last server in
+    /// the map — unlike absorption, promotion needs no neighbour.
+    fn promote_standby(
+        &mut self,
+        now: SimTime,
+        failed: ServerId,
+        standby: ServerId,
+    ) -> Vec<CoordAction> {
+        let Some(map) = &mut self.map else {
+            return Vec::new();
+        };
+        let Some(range) = map.range_of(failed) else {
+            self.standbys.remove(&failed);
+            return Vec::new();
+        };
+        let rebuilt: Vec<(ServerId, Rect)> = map
+            .iter()
+            .map(|(s, r)| if s == failed { (standby, r) } else { (s, r) })
+            .collect();
+        *map = PartitionMap::from_parts(map.world(), rebuilt)
+            .expect("renaming one owner preserves partition invariants");
+        self.stats.failures_declared += 1;
+        self.stats.failovers += 1;
+        self.heartbeats.remove(&failed);
+        self.heartbeats.insert(standby, now);
+        self.parents.remove(&failed);
+        self.standbys.remove(&failed);
+        self.log
+            .emit(|| format!("failover {failed} -> {standby} at {now}"));
+        let mut actions = vec![CoordAction::Send(
+            standby,
+            CoordReply::Promote {
+                failed,
+                range,
+                radius: self.radius,
+            },
+        )];
+        actions.extend(self.recompute());
+        actions
+    }
+
+    /// Legacy recovery for a dead server without a standby: a mergeable
+    /// neighbour absorbs the orphaned range (its sessions are lost).
+    fn absorb_dead(&mut self, now: SimTime, failed: ServerId) -> Vec<CoordAction> {
+        let Some(map) = &mut self.map else {
             return Vec::new();
         };
         if map.len() <= 1 {
             return Vec::new(); // the last server has no heir
         }
-        let dead: Vec<ServerId> = self
-            .heartbeats
-            .iter()
-            .filter(|(s, t)| {
-                map.contains_server(**s) && now.since(**t) > self.cfg.heartbeat_timeout
-            })
-            .map(|(s, _)| *s)
-            .collect();
-        let mut actions = Vec::new();
-        for failed in dead {
-            let Some(map) = &mut self.map else { break };
-            if map.len() <= 1 {
-                break;
-            }
-            let Some(range) = map.range_of(failed) else {
-                continue;
-            };
-            // Prefer the parent as heir, else any mergeable neighbour.
-            let neighbours = map.mergeable_neighbours(failed);
-            let heir = self
-                .parents
-                .get(&failed)
-                .copied()
-                .filter(|p| neighbours.contains(p))
-                .or_else(|| neighbours.first().copied());
-            let Some(heir) = heir else { continue };
-            if map.absorb(heir, failed).is_err() {
-                continue;
-            }
-            #[cfg(debug_assertions)]
-            eprintln!("DECLARE DEAD {failed} heir {heir} at {now}");
-            self.stats.failures_declared += 1;
-            self.heartbeats.remove(&failed);
-            self.parents.remove(&failed);
-            actions.push(CoordAction::Send(
-                heir,
-                CoordReply::AbsorbFailed { failed, range },
-            ));
-            actions.extend(self.recompute());
+        let Some(range) = map.range_of(failed) else {
+            return Vec::new();
+        };
+        // Prefer the parent as heir, else any mergeable neighbour.
+        let neighbours = map.mergeable_neighbours(failed);
+        let heir = self
+            .parents
+            .get(&failed)
+            .copied()
+            .filter(|p| neighbours.contains(p))
+            .or_else(|| neighbours.first().copied());
+        let Some(heir) = heir else {
+            return Vec::new();
+        };
+        if map.absorb(heir, failed).is_err() {
+            return Vec::new();
         }
+        self.stats.failures_declared += 1;
+        self.heartbeats.remove(&failed);
+        self.parents.remove(&failed);
+        self.standbys.remove(&failed);
+        self.log
+            .emit(|| format!("declare dead {failed} heir {heir} at {now}"));
+        let mut actions = vec![CoordAction::Send(
+            heir,
+            CoordReply::AbsorbFailed { failed, range },
+        )];
+        actions.extend(self.recompute());
         actions
     }
 }
@@ -725,6 +920,255 @@ mod tests {
         assert!(actions.iter().any(|a| matches!(a,
             CoordAction::Send(s, CoordReply::AbsorbFailed { failed, .. })
                 if *s == ServerId(1) && *failed == ServerId(2))));
+    }
+
+    fn split_pair() -> Coordinator {
+        let (mut c, _) = registered();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::SplitOccurred {
+                parent: ServerId(1),
+                child: ServerId(2),
+                parent_range: Rect::from_coords(200.0, 0.0, 400.0, 400.0),
+                child_range: Rect::from_coords(0.0, 0.0, 200.0, 400.0),
+            },
+        );
+        c
+    }
+
+    fn keep_alive(c: &mut Coordinator, server: ServerId, until_secs: u64) {
+        for s in 1..=until_secs {
+            c.handle(
+                SimTime::from_secs(s),
+                CoordMsg::Heartbeat { server, epoch: 99 },
+            );
+        }
+    }
+
+    #[test]
+    fn dead_primary_with_standby_is_failed_over_not_absorbed() {
+        let mut c = split_pair();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::StandbyAssigned {
+                primary: ServerId(2),
+                standby: ServerId(9),
+            },
+        );
+        // S1 and the standby stay alive; S2 goes silent.
+        keep_alive(&mut c, ServerId(1), 20);
+        keep_alive(&mut c, ServerId(9), 20);
+        let actions = c.check_liveness(SimTime::from_secs(24));
+        assert_eq!(c.stats().failures_declared, 1);
+        assert_eq!(c.stats().failovers, 1);
+        // The standby inherits the range under its own id.
+        assert_eq!(
+            c.map().unwrap().range_of(ServerId(9)),
+            Some(Rect::from_coords(0.0, 0.0, 200.0, 400.0))
+        );
+        assert!(!c.map().unwrap().contains_server(ServerId(2)));
+        c.map().unwrap().validate().unwrap();
+        assert!(actions.iter().any(|a| matches!(a,
+            CoordAction::Send(s, CoordReply::Promote { failed, radius, .. })
+                if *s == ServerId(9) && *failed == ServerId(2) && *radius == 50.0)));
+        // Fresh tables follow, including for the promoted server.
+        assert!(actions.iter().any(|a| matches!(a,
+            CoordAction::Send(s, CoordReply::Tables { .. }) if *s == ServerId(9))));
+        // No absorb was sent: the region survived.
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, CoordAction::Send(_, CoordReply::AbsorbFailed { .. }))));
+    }
+
+    #[test]
+    fn even_the_last_server_fails_over_when_it_has_a_standby() {
+        let (mut c, _) = registered();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::StandbyAssigned {
+                primary: ServerId(1),
+                standby: ServerId(9),
+            },
+        );
+        keep_alive(&mut c, ServerId(9), 20);
+        let actions = c.check_liveness(SimTime::from_secs(24));
+        assert_eq!(c.stats().failovers, 1);
+        assert_eq!(c.map().unwrap().range_of(ServerId(9)), Some(world()));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, CoordAction::Send(_, CoordReply::Promote { .. }))));
+    }
+
+    #[test]
+    fn failover_disabled_falls_back_to_absorption() {
+        let cfg = CoordinatorConfig {
+            failover: false,
+            ..CoordinatorConfig::default()
+        };
+        let mut c = Coordinator::new(cfg);
+        c.handle(
+            SimTime::ZERO,
+            CoordMsg::RegisterWorld {
+                server: ServerId(1),
+                world: world(),
+                radius: 50.0,
+            },
+        );
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::SplitOccurred {
+                parent: ServerId(1),
+                child: ServerId(2),
+                parent_range: Rect::from_coords(200.0, 0.0, 400.0, 400.0),
+                child_range: Rect::from_coords(0.0, 0.0, 200.0, 400.0),
+            },
+        );
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::StandbyAssigned {
+                primary: ServerId(2),
+                standby: ServerId(9),
+            },
+        );
+        keep_alive(&mut c, ServerId(1), 20);
+        keep_alive(&mut c, ServerId(9), 20);
+        let actions = c.check_liveness(SimTime::from_secs(24));
+        assert_eq!(c.stats().failovers, 0);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, CoordAction::Send(_, CoordReply::AbsorbFailed { .. }))));
+    }
+
+    #[test]
+    fn dead_standby_triggers_repair_notice() {
+        let mut c = split_pair();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::StandbyAssigned {
+                primary: ServerId(2),
+                standby: ServerId(9),
+            },
+        );
+        // Both actives stay fresh; the standby never heartbeats again.
+        keep_alive(&mut c, ServerId(1), 20);
+        keep_alive(&mut c, ServerId(2), 20);
+        let actions = c.check_liveness(SimTime::from_secs(24));
+        assert_eq!(c.stats().standbys_lost, 1);
+        assert_eq!(c.stats().failures_declared, 0, "no region was lost");
+        assert_eq!(
+            actions,
+            vec![CoordAction::Send(
+                ServerId(2),
+                CoordReply::StandbyLost {
+                    standby: ServerId(9)
+                }
+            )]
+        );
+        // A later primary death now takes the absorb path.
+        let actions = c.check_liveness(SimTime::from_secs(40));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, CoordAction::Send(_, CoordReply::AbsorbFailed { .. }))));
+    }
+
+    #[test]
+    fn repairing_clears_a_stale_heartbeat_from_a_previous_life() {
+        // Regression: a recycled server id may carry an old heartbeat
+        // timestamp; the pairing must restart its liveness watch at
+        // `now`, or the next sweep declares the fresh standby dead.
+        let mut c = split_pair();
+        // ServerId(9) heartbeat ages far into the past (an earlier life).
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::Heartbeat {
+                server: ServerId(9),
+                epoch: 0,
+            },
+        );
+        keep_alive(&mut c, ServerId(1), 30);
+        keep_alive(&mut c, ServerId(2), 30);
+        c.handle(
+            SimTime::from_secs(30),
+            CoordMsg::StandbyAssigned {
+                primary: ServerId(2),
+                standby: ServerId(9),
+            },
+        );
+        // Sweep right after the pairing: the standby must NOT be lost.
+        let actions = c.check_liveness(SimTime::from_secs(31));
+        assert_eq!(c.stats().standbys_lost, 0, "{actions:?}");
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn primary_and_standby_dying_together_fall_back_to_absorb() {
+        // Regression: promoting onto a node that is dead in the same
+        // sweep would hand the region to a corpse. A shared failure
+        // domain must take the absorb path (and count one failure).
+        let mut c = split_pair();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::StandbyAssigned {
+                primary: ServerId(2),
+                standby: ServerId(9),
+            },
+        );
+        // Only S1 stays alive; S2 and its standby both go silent.
+        keep_alive(&mut c, ServerId(1), 20);
+        let actions = c.check_liveness(SimTime::from_secs(24));
+        assert_eq!(c.stats().failovers, 0, "no corpse promotion");
+        assert_eq!(c.stats().failures_declared, 1, "one physical failure");
+        assert_eq!(c.stats().standbys_lost, 1);
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, CoordAction::Send(_, CoordReply::Promote { .. }))));
+        assert!(actions.iter().any(|a| matches!(a,
+            CoordAction::Send(s, CoordReply::AbsorbFailed { failed, .. })
+                if *s == ServerId(1) && *failed == ServerId(2))));
+        // The dead pair is fully forgotten: a later sweep is quiet.
+        assert!(c.check_liveness(SimTime::from_secs(60)).is_empty());
+    }
+
+    #[test]
+    fn divergences_count_and_reach_the_log_hook() {
+        use std::sync::{Arc, Mutex};
+        let lines: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = lines.clone();
+        let (mut c, _) = registered();
+        c.set_log_hook(CoordLog::new(move |msg| {
+            sink.lock().unwrap().push(msg.to_string());
+        }));
+        // A reclaim for a child the directory never saw: a divergence.
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::ReclaimOccurred {
+                parent: ServerId(1),
+                child: ServerId(42),
+                merged_range: world(),
+            },
+        );
+        assert!(c.stats().divergences >= 1);
+        let lines = lines.lock().unwrap();
+        assert!(
+            lines.iter().any(|l| l.contains("not in directory")),
+            "{lines:?}"
+        );
+    }
+
+    #[test]
+    fn divergences_are_silent_without_a_hook() {
+        // No hook installed: only the counter records (chaos runs must
+        // not spam stderr).
+        let (mut c, _) = registered();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::ReclaimOccurred {
+                parent: ServerId(1),
+                child: ServerId(42),
+                merged_range: world(),
+            },
+        );
+        assert_eq!(c.stats().divergences, 1);
     }
 
     #[test]

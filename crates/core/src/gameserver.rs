@@ -12,12 +12,13 @@
 use crate::config::GameServerConfig;
 use crate::messages::{
     BatchItem, ClientToGame, DeltaItem, GameToClient, GameToMatrix, LoadReport, MatrixToGame,
-    UpdateItem,
+    RegionSnapshot, ReplicaOp, UpdateItem,
 };
 use crate::packet::{ClientId, GamePacket, SpatialTag};
 use bytes::Bytes;
 use matrix_geometry::{Point, Rect, ServerId};
 use matrix_interest::{DeltaEncoder, EncodedOrigin, FlushPolicy, InterestGrid, UpdateBatcher};
+use matrix_replication::{PendingUpdate, ReplicaLog, ReplicaReceiver, SessionState, StreamBase};
 use matrix_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -83,6 +84,23 @@ pub struct GameStats {
     /// Bytes saved by delta-encoding item origins, relative to sending
     /// every item with absolute coordinates (the v1 wire format).
     pub delta_bytes_saved: u64,
+    /// Replication batches shipped to the warm standby.
+    pub replica_batches_out: u64,
+    /// Estimated bytes of replication traffic shipped — the overhead
+    /// fault tolerance costs on the server link.
+    pub replica_bytes_out: u64,
+    /// Replication acks received from the standby.
+    pub replica_acks_in: u64,
+    /// Replication batches applied while standing by for a primary.
+    pub replica_batches_in: u64,
+    /// Resyncs this node requested as a standby (sequence gaps).
+    pub replica_resyncs: u64,
+    /// Promotions performed: this node took over a dead primary's
+    /// region from its replicated snapshot.
+    pub promotions: u64,
+    /// Client sessions restored from replicated snapshots during
+    /// promotions (these clients kept their connection).
+    pub clients_restored: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,6 +129,13 @@ pub struct GameServerNode {
     batcher: UpdateBatcher<ClientId, UpdateItem>,
     /// Per-client delta compression of flushed origins.
     encoder: DeltaEncoder<ClientId>,
+    /// Warm standby this region replicates to, once the Matrix server
+    /// paired one from the pool.
+    standby: Option<ServerId>,
+    /// Primary-side replica shipping policy and backlog.
+    replica: ReplicaLog<ClientId>,
+    /// Standby-side replica state (this node mirroring a peer).
+    receiver: ReplicaReceiver<ClientId>,
     last_flush: SimTime,
     /// Whether update fan-out to clients is emitted as real messages
     /// (true in the async runtime) or only counted (discrete-event runs).
@@ -136,6 +161,9 @@ impl GameServerNode {
             // item keyframes (0.0 disables both the snapping and the
             // lattice requirement — see `DeltaEncoder::with_quantum`).
             encoder: DeltaEncoder::new(cfg.keyframe_every).with_quantum(cfg.origin_quantum),
+            standby: None,
+            replica: ReplicaLog::new(cfg.replica_interval, cfg.replica_lag_cap),
+            receiver: ReplicaReceiver::new(),
             last_flush: SimTime::ZERO,
             emit_fanout: cfg.emit_updates,
             ready: false,
@@ -189,10 +217,23 @@ impl GameServerNode {
         self.range = Some(world);
         self.ready = true;
         self.rebuild_grid(world);
+        self.replicate(ReplicaOp::Range {
+            range: world,
+            radius,
+        });
         vec![GameAction::ToMatrix(GameToMatrix::Register {
             world,
             radius,
         })]
+    }
+
+    /// Records one session op for the warm standby (a no-op until a
+    /// standby is paired: the pairing's first batch is a full snapshot,
+    /// which supersedes anything recorded before it).
+    fn replicate(&mut self, op: ReplicaOp) {
+        if self.standby.is_some() {
+            self.replica.record(op);
+        }
     }
 
     // -- accessors -----------------------------------------------------------
@@ -228,6 +269,12 @@ impl GameServerNode {
         self.clients.values().map(|c| c.pos).collect()
     }
 
+    /// Ids of all connected clients (failure probes snapshot the victim's
+    /// population with this).
+    pub fn client_ids(&self) -> Vec<ClientId> {
+        self.clients.keys().copied().collect()
+    }
+
     /// Whether a specific client is connected here.
     pub fn has_client(&self, client: ClientId) -> bool {
         self.clients.contains_key(&client)
@@ -260,6 +307,11 @@ impl GameServerNode {
                 // Resync: a (re)joining client holds no delta base, so
                 // its next flush must start with a keyframe.
                 self.encoder.reset(client);
+                self.replicate(ReplicaOp::Join {
+                    client,
+                    pos,
+                    state_bytes,
+                });
                 let mut out = vec![GameAction::ToClient(
                     client,
                     GameToClient::Joined { server: self.id },
@@ -274,8 +326,9 @@ impl GameServerNode {
                 };
                 rec.pos = pos;
                 self.grid.update(client, pos);
+                self.replicate(ReplicaOp::Move { client, pos });
                 let mut out = self.forward_event(client, pos, self.cfg_move_bytes());
-                out.extend(self.fan_out(now, pos, self.cfg_move_bytes(), Some(client)));
+                out.extend(self.fan_out(now, pos, self.cfg_move_bytes(), Some(client), client.0));
                 out.extend(self.check_roaming(client));
                 out
             }
@@ -286,10 +339,11 @@ impl GameServerNode {
                 };
                 rec.pos = pos;
                 self.grid.update(client, pos);
+                self.replicate(ReplicaOp::Move { client, pos });
                 let seq = self.seq;
                 let mut out = self.forward_event(client, pos, payload_bytes);
                 out.push(GameAction::ToClient(client, GameToClient::Ack { seq }));
-                out.extend(self.fan_out(now, pos, payload_bytes, Some(client)));
+                out.extend(self.fan_out(now, pos, payload_bytes, Some(client), client.0));
                 out.extend(self.check_roaming(client));
                 out
             }
@@ -299,6 +353,7 @@ impl GameServerNode {
                     self.grid.remove(client);
                     self.stats.updates_dropped += self.batcher.forget(client) as u64;
                     self.encoder.forget(client);
+                    self.replicate(ReplicaOp::Leave { client });
                 }
                 Vec::new()
             }
@@ -339,6 +394,7 @@ impl GameServerNode {
         origin: Point,
         payload_bytes: usize,
         exclude: Option<ClientId>,
+        entity: u64,
     ) -> Vec<GameAction> {
         let mut n = 0;
         let emit = self.emit_fanout;
@@ -359,6 +415,7 @@ impl GameServerNode {
                     UpdateItem {
                         origin: wire_origin,
                         payload_bytes,
+                        entity,
                     },
                 );
             }
@@ -414,6 +471,7 @@ impl GameServerNode {
                 rec.pos,
                 self.cfg.metric,
                 |u: &UpdateItem| u.origin,
+                |u: &UpdateItem| u.entity,
                 |u: &UpdateItem| UpdateItem::WIRE_BYTES + u.payload_bytes,
                 updates,
             );
@@ -428,11 +486,13 @@ impl GameServerNode {
                     EncodedOrigin::Absolute(origin) => BatchItem::Absolute(UpdateItem {
                         origin,
                         payload_bytes: u.payload_bytes,
+                        entity: u.entity,
                     }),
                     EncodedOrigin::Offset { dx, dy } => BatchItem::Delta(DeltaItem {
                         dx,
                         dy,
                         payload_bytes: u.payload_bytes,
+                        entity: u.entity,
                     }),
                 })
                 .collect();
@@ -473,6 +533,44 @@ impl GameServerNode {
         self.encoder.streams()
     }
 
+    /// Ships the next replication batch to the warm standby when one is
+    /// due: a full snapshot until the standby acknowledges one (and
+    /// after any resync request), incremental ops otherwise.
+    fn ship_replica(&mut self, now: SimTime) -> Vec<GameAction> {
+        let Some(standby) = self.standby else {
+            return Vec::new();
+        };
+        if !self.replica.due(now) {
+            return Vec::new();
+        }
+        let batch = if self.replica.needs_full() {
+            let snapshot = self.snapshot();
+            Some(self.replica.ship_full(now, snapshot))
+        } else {
+            self.replica.ship_ops(now)
+        };
+        let Some(batch) = batch else {
+            return Vec::new(); // idle region, nothing to say
+        };
+        self.stats.replica_batches_out += 1;
+        self.stats.replica_bytes_out += batch.wire_bytes() as u64;
+        vec![GameAction::ToMatrix(GameToMatrix::Replica {
+            to: standby,
+            batch,
+        })]
+    }
+
+    /// The warm standby currently paired with this region, if any.
+    pub fn standby(&self) -> Option<ServerId> {
+        self.standby
+    }
+
+    /// Whether this node holds a peer's replicated snapshot (it is a
+    /// warm standby ready for promotion).
+    pub fn is_warm_standby(&self) -> bool {
+        self.receiver.is_warm()
+    }
+
     /// Emits an owner query when `client` wandered outside our range.
     fn check_roaming(&mut self, client: ClientId) -> Vec<GameAction> {
         let Some(range) = self.range else {
@@ -504,6 +602,7 @@ impl GameServerNode {
                     self.radius = radius;
                 }
                 self.rebuild_grid(range);
+                self.replicate(ReplicaOp::Range { range, radius });
                 Vec::new()
             }
             MatrixToGame::RedirectClients { region, to } => self.redirect_region(region, to),
@@ -511,7 +610,8 @@ impl GameServerNode {
             MatrixToGame::Deliver(pkt) => {
                 self.stats.remote_updates += 1;
                 let origin = pkt.tag.dest.unwrap_or(pkt.tag.origin);
-                self.fan_out(now, origin, pkt.payload.len(), None)
+                let entity = pkt.client.map_or(0, |c| c.0);
+                self.fan_out(now, origin, pkt.payload.len(), None, entity)
             }
             MatrixToGame::Owner {
                 client,
@@ -540,6 +640,163 @@ impl GameServerNode {
             } => {
                 self.stats.client_states_in += 1;
                 Vec::new()
+            }
+            MatrixToGame::SetStandby { standby } => {
+                self.standby = Some(standby);
+                // A fresh pairing starts from sequence 1 with a full
+                // snapshot on the next tick.
+                self.replica.reset();
+                Vec::new()
+            }
+            MatrixToGame::ReplicaReset => {
+                self.standby = None;
+                self.replica.reset();
+                self.receiver.clear();
+                Vec::new()
+            }
+            MatrixToGame::ReplicaBatch { from, batch } => {
+                self.stats.replica_batches_in += 1;
+                let ack = self.receiver.apply(batch);
+                if ack.resync {
+                    self.stats.replica_resyncs += 1;
+                }
+                vec![GameAction::ToMatrix(GameToMatrix::ReplicaAck {
+                    to: from,
+                    seq: ack.seq,
+                    resync: ack.resync,
+                })]
+            }
+            MatrixToGame::ReplicaAck { seq, resync } => {
+                self.stats.replica_acks_in += 1;
+                self.replica.ack(seq, resync);
+                Vec::new()
+            }
+            MatrixToGame::Promote { range, radius } => self.promote(range, radius),
+        }
+    }
+
+    /// Failover: adopt a dead primary's region from the replicated
+    /// snapshot. The restored clients stay connected — each gets a
+    /// `SwitchServer` pointing here, and their delta streams resync
+    /// through the ordinary keyframe-on-handover machinery (the
+    /// snapshot's encoder bases may trail what the clients last
+    /// reconstructed, so every stream restarts with a keyframe).
+    fn promote(&mut self, range: Rect, radius: f64) -> Vec<GameAction> {
+        if let Some(snapshot) = self.receiver.take() {
+            self.stats.clients_restored += snapshot.client_count() as u64;
+            self.restore(snapshot);
+        }
+        self.range = Some(range);
+        if radius > 0.0 {
+            self.radius = radius;
+        }
+        self.ready = true;
+        self.rebuild_grid(range);
+        // The snapshot's flush-pipeline state describes the *pairing*
+        // moment, not the crash: the primary kept flushing afterwards,
+        // so the captured delta bases trail what clients last decoded
+        // and the captured pending updates were almost certainly
+        // delivered long ago. Drop both — streams resync through
+        // keyframes, and fresh events refill the batcher immediately.
+        self.encoder.clear();
+        self.batcher = UpdateBatcher::new();
+        self.stats.promotions += 1;
+        let clients: Vec<ClientId> = self.clients.keys().copied().collect();
+        clients
+            .into_iter()
+            .map(|cid| GameAction::ToClient(cid, GameToClient::SwitchServer { to: self.id }))
+            .collect()
+    }
+
+    // -- region snapshots --------------------------------------------------------
+
+    /// Captures the region as a transferable [`RegionSnapshot`]:
+    /// clients and positions, per-client delta-stream bases and the
+    /// pending (unflushed) updates. [`GameServerNode::restore`] of the
+    /// result reproduces the region observably — same client set, same
+    /// receiver sets, same next flush.
+    pub fn snapshot(&self) -> RegionSnapshot {
+        let mut snap = RegionSnapshot {
+            range: self.range,
+            radius: self.radius,
+            ready: self.ready,
+            seq: self.seq,
+            last_flush: self.last_flush,
+            ..RegionSnapshot::default()
+        };
+        for (cid, rec) in &self.clients {
+            snap.clients.insert(
+                *cid,
+                SessionState {
+                    pos: rec.pos,
+                    state_bytes: rec.state_bytes,
+                },
+            );
+        }
+        for (cid, base, countdown) in self.encoder.export_streams() {
+            snap.streams.insert(cid, StreamBase { base, countdown });
+        }
+        for (cid, items) in self.batcher.peek() {
+            snap.pending.insert(
+                *cid,
+                items
+                    .iter()
+                    .map(|u| PendingUpdate {
+                        origin: u.origin,
+                        payload_bytes: u.payload_bytes,
+                        entity: u.entity,
+                    })
+                    .collect(),
+            );
+        }
+        snap
+    }
+
+    /// Rebuilds the region from a snapshot: client records, the
+    /// interest grid, delta-stream bases and pending batches. The
+    /// node's own config (vision radius, budgets, quantum) is kept.
+    pub fn restore(&mut self, snap: RegionSnapshot) {
+        self.range = snap.range;
+        if snap.radius > 0.0 {
+            self.radius = snap.radius;
+        }
+        self.ready = snap.ready;
+        self.seq = self.seq.max(snap.seq);
+        self.last_flush = snap.last_flush;
+        self.clients = snap
+            .clients
+            .iter()
+            .map(|(cid, s)| {
+                (
+                    *cid,
+                    ClientRecord {
+                        pos: s.pos,
+                        state_bytes: s.state_bytes,
+                        resolving: false,
+                    },
+                )
+            })
+            .collect();
+        let bounds = snap.range.unwrap_or(self.grid.bounds());
+        self.rebuild_grid(bounds);
+        self.encoder =
+            DeltaEncoder::new(self.cfg.keyframe_every).with_quantum(self.cfg.origin_quantum);
+        self.encoder.import_streams(
+            snap.streams
+                .into_iter()
+                .map(|(cid, s)| (cid, s.base, s.countdown)),
+        );
+        self.batcher = UpdateBatcher::new();
+        for (cid, items) in snap.pending {
+            for u in items {
+                self.batcher.push(
+                    cid,
+                    UpdateItem {
+                        origin: u.origin,
+                        payload_bytes: u.payload_bytes,
+                        entity: u.entity,
+                    },
+                );
             }
         }
     }
@@ -572,6 +829,7 @@ impl GameServerNode {
             self.grid.remove(client);
             self.stats.updates_dropped += self.batcher.forget(client) as u64;
             self.encoder.forget(client);
+            self.replicate(ReplicaOp::Leave { client });
             self.stats.redirects_out += 1;
             out.push(GameAction::ToMatrix(GameToMatrix::TransferClient {
                 to,
@@ -593,6 +851,7 @@ impl GameServerNode {
         self.grid.remove(client);
         self.stats.updates_dropped += self.batcher.forget(client) as u64;
         self.encoder.forget(client);
+        self.replicate(ReplicaOp::Leave { client });
         self.stats.redirects_out += 1;
         vec![
             GameAction::ToMatrix(GameToMatrix::TransferClient {
@@ -615,6 +874,7 @@ impl GameServerNode {
     pub fn on_tick(&mut self, now: SimTime, queue_backlog: f64) -> Vec<GameAction> {
         self.ticks += 1;
         let mut out = self.flush_if_due(now);
+        out.extend(self.ship_replica(now));
         if self
             .ticks
             .is_multiple_of(self.cfg.report_every_ticks.max(1) as u64)
@@ -1285,6 +1545,269 @@ mod tests {
         actions.extend(g.on_tick(SimTime::from_millis(400), 0.0));
         let batch = batch_for(&actions, ClientId(2)).unwrap();
         assert!(batch[0].is_keyframe(), "resync path must keyframe");
+    }
+
+    #[test]
+    fn snapshot_restore_reproduces_the_region() {
+        let mut g = GameServerNode::new(ServerId(1), GameServerConfig::default()).with_fanout();
+        g.register(world(), 50.0);
+        join(&mut g, 1, Point::new(100.0, 100.0));
+        join(&mut g, 2, Point::new(110.0, 100.0));
+        // Warm the delta streams with a flushed batch, then queue one
+        // pending (unflushed) update.
+        g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(100.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
+        g.on_tick(SimTime::from_millis(100), 0.0);
+        g.on_client(
+            SimTime::from_millis(120),
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(101.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
+
+        let snap = g.snapshot();
+        let mut restored =
+            GameServerNode::new(ServerId(1), GameServerConfig::default()).with_fanout();
+        restored.restore(snap);
+
+        assert_eq!(restored.client_count(), g.client_count());
+        assert_eq!(restored.client_positions(), g.client_positions());
+        assert_eq!(restored.delta_streams(), g.delta_streams());
+        assert_eq!(restored.range(), g.range());
+        assert!(restored.is_ready());
+        // The next flush is byte-identical: same receivers, same items,
+        // same keyframe/delta decisions.
+        let a = g.flush_updates(SimTime::from_millis(200));
+        let b = restored.flush_updates(SimTime::from_millis(200));
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "the pending update must flush");
+    }
+
+    #[test]
+    fn primary_ships_full_snapshot_then_ops() {
+        let mut g = node();
+        join(&mut g, 1, Point::new(10.0, 10.0));
+        g.on_matrix(
+            SimTime::ZERO,
+            MatrixToGame::SetStandby {
+                standby: ServerId(9),
+            },
+        );
+        let actions = g.on_tick(SimTime::from_millis(100), 0.0);
+        let batch = actions
+            .iter()
+            .find_map(|a| match a {
+                GameAction::ToMatrix(GameToMatrix::Replica { to, batch }) => {
+                    assert_eq!(*to, ServerId(9));
+                    Some(batch.clone())
+                }
+                _ => None,
+            })
+            .expect("first due tick ships a replica batch");
+        assert!(batch.is_full(), "pairing starts with a full snapshot");
+        assert_eq!(g.stats().replica_batches_out, 1);
+        assert!(g.stats().replica_bytes_out > 0);
+
+        // Ack the snapshot; subsequent session changes ship as ops.
+        g.on_matrix(
+            SimTime::from_millis(110),
+            MatrixToGame::ReplicaAck {
+                seq: batch.seq,
+                resync: false,
+            },
+        );
+        g.on_client(
+            SimTime::from_millis(120),
+            ClientId(1),
+            ClientToGame::Move {
+                pos: Point::new(11.0, 10.0),
+            },
+        );
+        let actions = g.on_tick(SimTime::from_millis(400), 0.0);
+        let batch = actions
+            .iter()
+            .find_map(|a| match a {
+                GameAction::ToMatrix(GameToMatrix::Replica { batch, .. }) => Some(batch.clone()),
+                _ => None,
+            })
+            .expect("ops batch due");
+        assert!(!batch.is_full(), "synced standby receives ops: {batch:?}");
+    }
+
+    #[test]
+    fn standby_applies_batches_and_promotes_without_reconnects() {
+        // Primary with two clients ships its snapshot...
+        let mut primary =
+            GameServerNode::new(ServerId(1), GameServerConfig::default()).with_fanout();
+        primary.register(world(), 50.0);
+        join(&mut primary, 1, Point::new(100.0, 100.0));
+        join(&mut primary, 2, Point::new(110.0, 100.0));
+        primary.on_matrix(
+            SimTime::ZERO,
+            MatrixToGame::SetStandby {
+                standby: ServerId(9),
+            },
+        );
+        let actions = primary.on_tick(SimTime::from_millis(100), 0.0);
+        let batch = actions
+            .iter()
+            .find_map(|a| match a {
+                GameAction::ToMatrix(GameToMatrix::Replica { batch, .. }) => Some(batch.clone()),
+                _ => None,
+            })
+            .unwrap();
+
+        // ...the standby applies it and acks...
+        let mut standby =
+            GameServerNode::new(ServerId(9), GameServerConfig::default()).with_fanout();
+        let ack = standby.on_matrix(
+            SimTime::from_millis(101),
+            MatrixToGame::ReplicaBatch {
+                from: ServerId(1),
+                batch,
+            },
+        );
+        assert!(ack.iter().any(|a| matches!(a,
+            GameAction::ToMatrix(GameToMatrix::ReplicaAck { to, resync: false, .. })
+                if *to == ServerId(1))));
+        assert!(standby.is_warm_standby());
+
+        // ...and promotion restores every session and re-points the
+        // clients here, with no Join required.
+        let actions = standby.on_matrix(
+            SimTime::from_secs(6),
+            MatrixToGame::Promote {
+                range: world(),
+                radius: 50.0,
+            },
+        );
+        assert_eq!(standby.client_count(), 2);
+        assert_eq!(standby.stats().promotions, 1);
+        assert_eq!(standby.stats().clients_restored, 2);
+        for cid in [ClientId(1), ClientId(2)] {
+            assert!(actions.iter().any(|a| matches!(a,
+                GameAction::ToClient(c, GameToClient::SwitchServer { to })
+                    if *c == cid && *to == ServerId(9))));
+        }
+        // The promoted region keeps serving: an event near client 2
+        // reaches it, starting with a keyframe (streams resynced).
+        let mut actions = standby.on_client(
+            SimTime::from_secs(7),
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(100.0, 100.0),
+                payload_bytes: 10,
+            },
+        );
+        actions.extend(standby.on_tick(SimTime::from_secs(8), 0.0));
+        let batch = batch_for(&actions, ClientId(2)).expect("updates keep flowing");
+        assert!(batch[0].is_keyframe(), "post-failover streams resync");
+    }
+
+    #[test]
+    fn sequence_gap_forces_standby_resync() {
+        let mut primary = node();
+        join(&mut primary, 1, Point::new(10.0, 10.0));
+        primary.on_matrix(
+            SimTime::ZERO,
+            MatrixToGame::SetStandby {
+                standby: ServerId(9),
+            },
+        );
+        let first = primary.on_tick(SimTime::from_millis(100), 0.0);
+        let full = first
+            .iter()
+            .find_map(|a| match a {
+                GameAction::ToMatrix(GameToMatrix::Replica { batch, .. }) => Some(batch.clone()),
+                _ => None,
+            })
+            .unwrap();
+        primary.on_matrix(
+            SimTime::from_millis(110),
+            MatrixToGame::ReplicaAck {
+                seq: full.seq,
+                resync: false,
+            },
+        );
+        // Two ops batches; the first is "lost" in transit.
+        primary.on_client(
+            SimTime::from_millis(120),
+            ClientId(1),
+            ClientToGame::Move {
+                pos: Point::new(11.0, 10.0),
+            },
+        );
+        let lost = primary.on_tick(SimTime::from_millis(400), 0.0);
+        assert!(lost
+            .iter()
+            .any(|a| matches!(a, GameAction::ToMatrix(GameToMatrix::Replica { .. }))));
+        primary.on_client(
+            SimTime::from_millis(420),
+            ClientId(1),
+            ClientToGame::Move {
+                pos: Point::new(12.0, 10.0),
+            },
+        );
+        let second = primary
+            .on_tick(SimTime::from_millis(700), 0.0)
+            .iter()
+            .find_map(|a| match a {
+                GameAction::ToMatrix(GameToMatrix::Replica { batch, .. }) => Some(batch.clone()),
+                _ => None,
+            })
+            .unwrap();
+
+        // The standby saw the full snapshot but not the first ops batch:
+        // the gap triggers a resync request...
+        let mut standby = GameServerNode::new(ServerId(9), GameServerConfig::default());
+        standby.on_matrix(
+            SimTime::from_millis(101),
+            MatrixToGame::ReplicaBatch {
+                from: ServerId(1),
+                batch: full,
+            },
+        );
+        let ack = standby.on_matrix(
+            SimTime::from_millis(701),
+            MatrixToGame::ReplicaBatch {
+                from: ServerId(1),
+                batch: second,
+            },
+        );
+        let (seq, resync) = ack
+            .iter()
+            .find_map(|a| match a {
+                GameAction::ToMatrix(GameToMatrix::ReplicaAck { seq, resync, .. }) => {
+                    Some((*seq, *resync))
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert!(resync, "gap must request a resync");
+        assert_eq!(standby.stats().replica_resyncs, 1);
+
+        // ...and the primary's next ship is a fresh full snapshot.
+        primary.on_matrix(
+            SimTime::from_millis(710),
+            MatrixToGame::ReplicaAck { seq, resync },
+        );
+        let again = primary
+            .on_tick(SimTime::from_millis(1000), 0.0)
+            .iter()
+            .find_map(|a| match a {
+                GameAction::ToMatrix(GameToMatrix::Replica { batch, .. }) => Some(batch.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(again.is_full(), "resync restarts from a snapshot");
     }
 
     #[test]

@@ -85,13 +85,13 @@ mod pool;
 mod server;
 
 pub use config::{CoordinatorConfig, GameServerConfig, MatrixConfig};
-pub use coordinator::{CoordAction, Coordinator, CoordinatorStats};
+pub use coordinator::{CoordAction, CoordLog, Coordinator, CoordinatorStats};
 pub use gameserver::{GameAction, GameServerNode, GameStats};
 pub use load::{Cooldown, LoadTracker};
 pub use messages::{
     reconstruct_updates, BatchItem, ClientToGame, CoordMsg, CoordReply, DeltaItem, Envelope,
     GameToClient, GameToMatrix, LoadReport, LoadSnapshot, MatrixToGame, PeerMsg, PoolMsg,
-    PoolReply, UpdateItem,
+    PoolPurpose, PoolReply, RegionSnapshot, ReplicaBatch, ReplicaOp, UpdateItem,
 };
 pub use packet::{ClientId, GamePacket, SpatialTag};
 pub use pool::{PoolStats, ResourcePool};
@@ -102,7 +102,15 @@ pub use server::{Action, Lifecycle, MatrixServer, ServerStats};
 // delta codec and flush policy are reused by clients and test suites.
 pub use matrix_interest::{
     quantize, DeltaEncoder, DeltaStream, EncodedOrigin, FlushPolicy, InterestGrid, Selection,
-    UpdateBatcher,
+    UpdateBatcher, ANON_ENTITY,
+};
+
+// Re-export the replication subsystem's moving parts: drivers inspect
+// batches and snapshots, and the standby/primary state machines are
+// reused by the runtime and the property suites.
+pub use matrix_replication::{
+    PendingUpdate, ReplicaApply, ReplicaLog, ReplicaLogStats, ReplicaPayload, ReplicaReceiver,
+    SessionState, StreamBase,
 };
 
 // Re-export the spatial vocabulary users need at the API boundary.

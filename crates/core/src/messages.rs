@@ -11,6 +11,18 @@ use matrix_geometry::{OverlapTable, PartitionMap, Point, Rect, ServerId};
 use matrix_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
+/// The replication batch type the protocol ships, instantiated with the
+/// middleware's client key (see [`matrix_replication::ReplicaBatch`]).
+pub type ReplicaBatch = matrix_replication::ReplicaBatch<ClientId>;
+
+/// The region snapshot type the protocol ships (see
+/// [`matrix_replication::RegionSnapshot`]).
+pub type RegionSnapshot = matrix_replication::RegionSnapshot<ClientId>;
+
+/// The incremental replication op type (see
+/// [`matrix_replication::ReplicaOp`]).
+pub type ReplicaOp = matrix_replication::ReplicaOp<ClientId>;
+
 // ---------------------------------------------------------------------------
 // Client <-> game server
 // ---------------------------------------------------------------------------
@@ -50,12 +62,18 @@ pub struct UpdateItem {
     pub origin: Point,
     /// Payload size in bytes.
     pub payload_bytes: usize,
+    /// Source entity id ([`ANON_ENTITY`](matrix_interest::ANON_ENTITY)
+    /// = anonymous): the client whose move/action produced the event.
+    /// Receivers use it to attribute updates; the flush policy uses it
+    /// to merge superseded per-entity position updates under pressure.
+    pub entity: u64,
 }
 
 impl UpdateItem {
     /// Per-item overhead on the wire beyond the payload itself
-    /// (coordinates + length), used for bandwidth accounting.
-    pub const WIRE_BYTES: usize = 20;
+    /// (coordinates + length + entity tag), used for bandwidth
+    /// accounting.
+    pub const WIRE_BYTES: usize = 24;
 }
 
 /// A delta-encoded event inside a [`GameToClient::UpdateBatch`]: its
@@ -75,17 +93,21 @@ pub struct DeltaItem {
     pub dy: f64,
     /// Payload size in bytes.
     pub payload_bytes: usize,
+    /// Source entity id (`0` = anonymous), same as
+    /// [`UpdateItem::entity`].
+    pub entity: u64,
 }
 
 impl DeltaItem {
     /// Per-item overhead on the wire beyond the payload, used for
     /// bandwidth accounting. The compact binary framing this models
-    /// carries two 3-byte signed fixed-point offsets plus a 2-byte
-    /// length instead of the keyframe's full coordinates — attainable
-    /// because the encoder only emits deltas that are exact multiples
-    /// of the 1/256 wire quantum within the ±4096 threshold (21 bits
-    /// per axis); anything else ships as an absolute keyframe.
-    pub const WIRE_BYTES: usize = 8;
+    /// carries two 3-byte signed fixed-point offsets, a 2-byte length
+    /// and a 4-byte entity tag instead of the keyframe's full
+    /// coordinates — attainable because the encoder only emits deltas
+    /// that are exact multiples of the 1/256 wire quantum within the
+    /// ±4096 threshold (21 bits per axis); anything else ships as an
+    /// absolute keyframe.
+    pub const WIRE_BYTES: usize = 12;
 }
 
 /// One item of a [`GameToClient::UpdateBatch`]: an absolute keyframe or
@@ -120,6 +142,14 @@ impl BatchItem {
     pub fn is_keyframe(&self) -> bool {
         matches!(self, BatchItem::Absolute(_))
     }
+
+    /// Source entity id carried by this item (`0` = anonymous).
+    pub fn entity(&self) -> u64 {
+        match self {
+            BatchItem::Absolute(u) => u.entity,
+            BatchItem::Delta(d) => d.entity,
+        }
+    }
 }
 
 /// Reconstructs the absolute [`UpdateItem`]s of one batch, threading the
@@ -145,6 +175,7 @@ pub fn reconstruct_updates(
         out.push(UpdateItem {
             origin,
             payload_bytes: item.payload_bytes(),
+            entity: item.entity(),
         });
     }
     Some(out)
@@ -259,6 +290,25 @@ pub enum GameToMatrix {
         /// Serialised state size in bytes.
         bytes: u64,
     },
+    /// A replication batch (snapshot or incremental ops) bound for this
+    /// region's warm standby, routed through Matrix like every other
+    /// inter-server transfer.
+    Replica {
+        /// The standby server.
+        to: ServerId,
+        /// The batch.
+        batch: ReplicaBatch,
+    },
+    /// A standby's acknowledgement of a replication batch, bound for
+    /// the primary it mirrors.
+    ReplicaAck {
+        /// The primary server.
+        to: ServerId,
+        /// Acknowledged batch sequence number.
+        seq: u64,
+        /// Whether the standby needs a fresh full snapshot.
+        resync: bool,
+    },
 }
 
 /// Messages from a Matrix server to its co-located game server.
@@ -311,6 +361,42 @@ pub enum MatrixToGame {
         client: ClientId,
         /// Size in bytes.
         bytes: u64,
+    },
+    /// Start (or re-target) warm-standby replication: ship region
+    /// snapshots and ops to `standby` from now on.
+    SetStandby {
+        /// The standby server granted by the pool.
+        standby: ServerId,
+    },
+    /// Drop all replication state, both roles: the primary-side log and
+    /// standby target, and any received standby snapshot. Sent when a
+    /// pairing ends (release, retirement) and when a recycled server id
+    /// starts a fresh life (adoption).
+    ReplicaReset,
+    /// A replication batch from the primary this node stands by for.
+    ReplicaBatch {
+        /// The primary server.
+        from: ServerId,
+        /// The batch.
+        batch: ReplicaBatch,
+    },
+    /// The standby's acknowledgement of a replication batch this node
+    /// shipped.
+    ReplicaAck {
+        /// Acknowledged batch sequence number.
+        seq: u64,
+        /// Whether the standby needs a fresh full snapshot.
+        resync: bool,
+    },
+    /// Take over a dead primary's region (failover): restore the
+    /// replicated snapshot, adopt the range, and re-point the affected
+    /// clients here with `SwitchServer` — their sessions survive, their
+    /// delta streams resync through the keyframe-on-handover machinery.
+    Promote {
+        /// The range the dead primary managed.
+        range: Rect,
+        /// Radius of visibility of the game.
+        radius: f64,
     },
 }
 
@@ -387,6 +473,40 @@ pub enum PeerMsg {
     },
     /// Periodic child → parent load share.
     LoadStatus(LoadSnapshot),
+    /// The sender designates the receiver as its warm standby (the
+    /// receiver stays idle but starts heartbeating and accepting
+    /// replica batches).
+    StandbyAssign {
+        /// The primary being mirrored.
+        primary: ServerId,
+        /// The primary's current range (observability; the snapshot is
+        /// authoritative).
+        range: Rect,
+        /// Radius of visibility of the game.
+        radius: f64,
+    },
+    /// The pairing ended without promotion (the primary retired): the
+    /// receiver drops its replica state.
+    StandbyRelease {
+        /// The releasing primary.
+        primary: ServerId,
+    },
+    /// A replication batch, primary → standby.
+    Replica {
+        /// The shipping primary.
+        from: ServerId,
+        /// The batch.
+        batch: ReplicaBatch,
+    },
+    /// A replication acknowledgement, standby → primary.
+    ReplicaAck {
+        /// The acking standby.
+        from: ServerId,
+        /// Acknowledged batch sequence number.
+        seq: u64,
+        /// Whether the standby needs a fresh full snapshot.
+        resync: bool,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -452,6 +572,15 @@ pub enum CoordMsg {
         /// The orphaned range.
         range: Rect,
     },
+    /// A primary paired with a warm standby; on the primary's liveness
+    /// expiry the coordinator promotes the standby instead of handing
+    /// the range to a neighbour.
+    StandbyAssigned {
+        /// The replicating primary.
+        primary: ServerId,
+        /// Its warm standby.
+        standby: ServerId,
+    },
     /// Resolve a point to its owner and consistency set (non-proximal
     /// interactions, §3.2.4).
     ResolvePoint {
@@ -500,11 +629,37 @@ pub enum CoordReply {
         /// The range to absorb.
         range: Rect,
     },
+    /// The receiver — a warm standby — must take over its dead
+    /// primary's region (fast failover).
+    Promote {
+        /// The dead primary.
+        failed: ServerId,
+        /// The range to adopt.
+        range: Rect,
+        /// Radius of visibility of the game.
+        radius: f64,
+    },
+    /// The receiver's warm standby died; replication must re-pair.
+    StandbyLost {
+        /// The dead standby.
+        standby: ServerId,
+    },
 }
 
 // ---------------------------------------------------------------------------
 // Matrix server <-> resource pool
 // ---------------------------------------------------------------------------
+
+/// Why a server is being drawn from the pool. Echoed in the grant so a
+/// requester with a split and a standby acquisition in flight can tell
+/// the replies apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PoolPurpose {
+    /// Split target: the server will adopt a partition immediately.
+    Split,
+    /// Warm standby: the server mirrors a region for fast failover.
+    Standby,
+}
 
 /// Messages to the resource pool (the paper's "non-Matrix external
 /// entity" that hands out spare servers, §3.2.3).
@@ -512,8 +667,10 @@ pub enum CoordReply {
 pub enum PoolMsg {
     /// Request one spare server.
     Acquire {
-        /// The overloaded requester.
+        /// The requester (overloaded, or seeking a standby).
         requester: ServerId,
+        /// What the server is for.
+        purpose: PoolPurpose,
     },
     /// Return a reclaimed server to the pool.
     Release {
@@ -529,10 +686,15 @@ pub enum PoolReply {
     Grant {
         /// The allocated server id.
         server: ServerId,
+        /// The purpose echoed from the request.
+        purpose: PoolPurpose,
     },
     /// No spare capacity — the requester stays overloaded (the situation
     /// static over-provisioning tries to buy its way out of).
-    Denied,
+    Denied {
+        /// The purpose echoed from the request.
+        purpose: PoolPurpose,
+    },
 }
 
 /// Timestamped envelope used by drivers that need send-time bookkeeping.
@@ -576,11 +738,13 @@ mod tests {
                 BatchItem::Absolute(UpdateItem {
                     origin: Point::new(0.1, 0.2),
                     payload_bytes: 90,
+                    entity: 7,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 2.9,
                     dy: 3.8,
                     payload_bytes: 32,
+                    entity: 0,
                 }),
             ],
         };
@@ -597,11 +761,13 @@ mod tests {
                 BatchItem::Absolute(UpdateItem {
                     origin: Point::new(10.0, 10.0),
                     payload_bytes: 4,
+                    entity: 3,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 1.5,
                     dy: -0.5,
                     payload_bytes: 8,
+                    entity: 4,
                 }),
             ],
         )
@@ -614,6 +780,7 @@ mod tests {
                 dx: 0.5,
                 dy: 0.5,
                 payload_bytes: 1,
+                entity: 3,
             })],
         )
         .unwrap();
@@ -626,6 +793,7 @@ mod tests {
                     dx: 1.0,
                     dy: 1.0,
                     payload_bytes: 0,
+                    entity: 0,
                 })]
             ),
             None

@@ -6,7 +6,7 @@
 //! spare capacity left, i.e. the failure mode static over-provisioning is
 //! meant to prevent).
 
-use crate::messages::{PoolMsg, PoolReply};
+use crate::messages::{PoolMsg, PoolPurpose, PoolReply};
 use matrix_geometry::ServerId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -16,6 +16,10 @@ use std::collections::BTreeSet;
 pub struct PoolStats {
     /// Successful allocations.
     pub grants: u64,
+    /// Allocations that went to warm standbys (a subset of `grants`) —
+    /// the capacity replication spends on availability instead of
+    /// throughput.
+    pub standby_grants: u64,
     /// Requests refused for lack of capacity.
     pub denials: u64,
     /// Servers returned after reclaims.
@@ -65,7 +69,10 @@ impl ResourcePool {
     /// Handles an acquire/release message, producing the reply (if any).
     pub fn handle(&mut self, msg: PoolMsg) -> Option<PoolReply> {
         match msg {
-            PoolMsg::Acquire { requester: _ } => Some(self.acquire()),
+            PoolMsg::Acquire {
+                requester: _,
+                purpose,
+            } => Some(self.acquire_for(purpose)),
             PoolMsg::Release { server } => {
                 self.release(server);
                 None
@@ -73,19 +80,29 @@ impl ResourcePool {
         }
     }
 
-    /// Allocates the lowest-numbered spare, or denies.
+    /// Allocates the lowest-numbered spare for a split, or denies.
     pub fn acquire(&mut self) -> PoolReply {
+        self.acquire_for(PoolPurpose::Split)
+    }
+
+    /// Allocates the lowest-numbered spare for `purpose`, or denies.
+    /// The purpose is echoed in the reply so a requester with both a
+    /// split and a standby acquisition in flight can tell them apart.
+    pub fn acquire_for(&mut self, purpose: PoolPurpose) -> PoolReply {
         match self.free.iter().next().copied() {
             Some(server) => {
                 self.free.remove(&server);
                 self.allocated.insert(server);
                 self.stats.grants += 1;
+                if purpose == PoolPurpose::Standby {
+                    self.stats.standby_grants += 1;
+                }
                 self.stats.peak_allocated = self.stats.peak_allocated.max(self.allocated.len());
-                PoolReply::Grant { server }
+                PoolReply::Grant { server, purpose }
             }
             None => {
                 self.stats.denials += 1;
-                PoolReply::Denied
+                PoolReply::Denied { purpose }
             }
         }
     }
@@ -110,17 +127,25 @@ mod tests {
         assert_eq!(
             pool.acquire(),
             PoolReply::Grant {
-                server: ServerId(10)
+                server: ServerId(10),
+                purpose: PoolPurpose::Split,
+            }
+        );
+        assert_eq!(
+            pool.acquire_for(PoolPurpose::Standby),
+            PoolReply::Grant {
+                server: ServerId(11),
+                purpose: PoolPurpose::Standby,
             }
         );
         assert_eq!(
             pool.acquire(),
-            PoolReply::Grant {
-                server: ServerId(11)
+            PoolReply::Denied {
+                purpose: PoolPurpose::Split
             }
         );
-        assert_eq!(pool.acquire(), PoolReply::Denied);
         assert_eq!(pool.stats().grants, 2);
+        assert_eq!(pool.stats().standby_grants, 1);
         assert_eq!(pool.stats().denials, 1);
         assert_eq!(pool.stats().peak_allocated, 2);
     }
@@ -128,18 +153,24 @@ mod tests {
     #[test]
     fn release_recycles_servers() {
         let mut pool = ResourcePool::with_capacity(10, 1);
-        let PoolReply::Grant { server } = pool.acquire() else {
+        let PoolReply::Grant { server, .. } = pool.acquire() else {
             panic!()
         };
         pool.release(server);
         assert_eq!(pool.available(), 1);
-        assert_eq!(pool.acquire(), PoolReply::Grant { server });
+        assert_eq!(
+            pool.acquire(),
+            PoolReply::Grant {
+                server,
+                purpose: PoolPurpose::Split
+            }
+        );
     }
 
     #[test]
     fn double_release_is_idempotent() {
         let mut pool = ResourcePool::with_capacity(1, 1);
-        let PoolReply::Grant { server } = pool.acquire() else {
+        let PoolReply::Grant { server, .. } = pool.acquire() else {
             panic!()
         };
         pool.release(server);
@@ -161,11 +192,13 @@ mod tests {
         let mut pool = ResourcePool::with_capacity(5, 1);
         let reply = pool.handle(PoolMsg::Acquire {
             requester: ServerId(1),
+            purpose: PoolPurpose::Split,
         });
         assert_eq!(
             reply,
             Some(PoolReply::Grant {
-                server: ServerId(5)
+                server: ServerId(5),
+                purpose: PoolPurpose::Split,
             })
         );
         assert_eq!(

@@ -14,7 +14,8 @@
 use crate::config::MatrixConfig;
 use crate::load::{Cooldown, LoadTracker};
 use crate::messages::{
-    CoordMsg, CoordReply, GameToMatrix, LoadSnapshot, MatrixToGame, PeerMsg, PoolMsg, PoolReply,
+    CoordMsg, CoordReply, GameToMatrix, LoadSnapshot, MatrixToGame, PeerMsg, PoolMsg, PoolPurpose,
+    PoolReply,
 };
 use crate::packet::{ClientId, GamePacket};
 use matrix_geometry::{
@@ -79,6 +80,10 @@ pub struct ServerStats {
     pub override_routes: u64,
     /// Failed-peer ranges absorbed during crash recovery.
     pub absorbs: u64,
+    /// Warm standbys this server paired with (as primary).
+    pub standbys_acquired: u64,
+    /// Promotions: this server took over a dead primary's region.
+    pub promotions: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -117,6 +122,15 @@ pub struct MatrixServer {
     pending_reclaim: Option<ServerId>,
     pending_resolves: Vec<PendingResolve>,
     last_heartbeat: Option<SimTime>,
+    /// Warm standby paired with this region (primary role).
+    standby: Option<ServerId>,
+    /// A standby acquisition is in flight at the pool.
+    pending_standby: bool,
+    /// Earliest time to retry a denied standby acquisition.
+    standby_retry_at: Option<SimTime>,
+    /// The primary this idle server stands by for (standby role) —
+    /// standbys heartbeat so the coordinator can detect their death.
+    standby_for: Option<ServerId>,
     stats: ServerStats,
 }
 
@@ -146,6 +160,10 @@ impl MatrixServer {
             pending_reclaim: None,
             pending_resolves: Vec::new(),
             last_heartbeat: None,
+            standby: None,
+            pending_standby: false,
+            standby_retry_at: None,
+            standby_for: None,
             stats: ServerStats::default(),
         }
     }
@@ -208,6 +226,16 @@ impl MatrixServer {
         self.load.clients()
     }
 
+    /// The warm standby paired with this region, if any.
+    pub fn standby(&self) -> Option<ServerId> {
+        self.standby
+    }
+
+    /// The primary this server stands by for, if it is a warm standby.
+    pub fn standby_for(&self) -> Option<ServerId> {
+        self.standby_for
+    }
+
     // -- game server input ---------------------------------------------------
 
     /// Handles a message from the co-located game server.
@@ -239,6 +267,25 @@ impl MatrixServer {
                         from: self.id,
                         client,
                         bytes,
+                    },
+                )]
+            }
+            GameToMatrix::Replica { to, batch } => {
+                vec![Action::ToPeer(
+                    to,
+                    PeerMsg::Replica {
+                        from: self.id,
+                        batch,
+                    },
+                )]
+            }
+            GameToMatrix::ReplicaAck { to, seq, resync } => {
+                vec![Action::ToPeer(
+                    to,
+                    PeerMsg::ReplicaAck {
+                        from: self.id,
+                        seq,
+                        resync,
                     },
                 )]
             }
@@ -434,7 +481,10 @@ impl MatrixServer {
         }
         if self.load.is_overloaded(&self.cfg) && self.range.is_some() {
             self.pending_pool = true;
-            return vec![Action::ToPool(PoolMsg::Acquire { requester: self.id })];
+            return vec![Action::ToPool(PoolMsg::Acquire {
+                requester: self.id,
+                purpose: PoolPurpose::Split,
+            })];
         }
         if self.load.is_underloaded(&self.cfg) {
             // Reclaim the youngest child whose load is known, small, and
@@ -514,6 +564,44 @@ impl MatrixServer {
                 self.child_load.insert(from, snapshot);
                 Vec::new()
             }
+            PeerMsg::StandbyAssign {
+                primary,
+                range: _,
+                radius: _,
+            } => {
+                if self.lifecycle == Lifecycle::Active {
+                    // An active server cannot mirror a peer; the primary
+                    // will re-pair when its batches go unacked.
+                    return Vec::new();
+                }
+                self.standby_for = Some(primary);
+                // Start with a clean slate and announce liveness: the
+                // coordinator watches standby heartbeats too.
+                vec![
+                    Action::ToGame(MatrixToGame::ReplicaReset),
+                    Action::ToCoord(CoordMsg::Heartbeat {
+                        server: self.id,
+                        epoch: self.epoch,
+                    }),
+                ]
+            }
+            PeerMsg::StandbyRelease { primary } => {
+                if self.standby_for == Some(primary) {
+                    self.standby_for = None;
+                    return vec![Action::ToGame(MatrixToGame::ReplicaReset)];
+                }
+                Vec::new()
+            }
+            PeerMsg::Replica { from, batch } => {
+                vec![Action::ToGame(MatrixToGame::ReplicaBatch { from, batch })]
+            }
+            PeerMsg::ReplicaAck {
+                from: _,
+                seq,
+                resync,
+            } => {
+                vec![Action::ToGame(MatrixToGame::ReplicaAck { seq, resync })]
+            }
         }
     }
 
@@ -563,6 +651,10 @@ impl MatrixServer {
         self.pending_resolves.clear();
         self.table = None;
         self.extra_tables.clear();
+        self.standby = None;
+        self.pending_standby = false;
+        self.standby_retry_at = None;
+        self.standby_for = None;
         self.lifecycle = Lifecycle::Active;
         self.parent = Some(parent);
         self.range = Some(range);
@@ -571,6 +663,7 @@ impl MatrixServer {
         // A fresh child must not immediately split or be reclaimed.
         self.cooldown.arm(now, &self.cfg);
         vec![
+            Action::ToGame(MatrixToGame::ReplicaReset),
             Action::ToGame(MatrixToGame::SetRange { range, radius }),
             Action::ToPeer(parent, PeerMsg::AdoptAck { child: self.id }),
             Action::ToCoord(CoordMsg::Heartbeat {
@@ -594,7 +687,19 @@ impl MatrixServer {
         }
         let range = self.range.take().expect("checked above");
         self.lifecycle = Lifecycle::Retired;
-        vec![
+        let mut out = Vec::new();
+        // The pairing ends with the region: release the standby back to
+        // the pool and have both sides drop their replication state.
+        if let Some(standby) = self.standby.take() {
+            out.push(Action::ToPeer(
+                standby,
+                PeerMsg::StandbyRelease { primary: self.id },
+            ));
+            out.push(Action::ToPool(PoolMsg::Release { server: standby }));
+            out.push(Action::ToGame(MatrixToGame::ReplicaReset));
+        }
+        self.pending_standby = false;
+        out.extend([
             Action::ToGame(MatrixToGame::RedirectAll { to: parent }),
             Action::ToPeer(
                 parent,
@@ -605,7 +710,8 @@ impl MatrixServer {
                 },
             ),
             Action::ToPool(PoolMsg::Release { server: self.id }),
-        ]
+        ]);
+        out
     }
 
     fn handle_reclaim_grant(&mut self, now: SimTime, child: ServerId, range: Rect) -> Vec<Action> {
@@ -672,7 +778,45 @@ impl MatrixServer {
                 set,
             } => self.finish_resolve(client, point, owner, set),
             CoordReply::AbsorbFailed { failed, range } => self.absorb_failed(failed, range),
+            CoordReply::Promote {
+                failed: _,
+                range,
+                radius,
+            } => self.promote_self(_now, range, radius),
+            CoordReply::StandbyLost { standby } => {
+                if self.standby == Some(standby) {
+                    self.standby = None;
+                    self.standby_retry_at = None;
+                    // Drop the log; a replacement pairs on the next tick.
+                    return vec![Action::ToGame(MatrixToGame::ReplicaReset)];
+                }
+                Vec::new()
+            }
         }
+    }
+
+    /// Failover: this warm standby becomes the active owner of its dead
+    /// primary's range. The co-located game server restores the
+    /// replicated snapshot and re-points the surviving clients here.
+    fn promote_self(&mut self, now: SimTime, range: Rect, radius: f64) -> Vec<Action> {
+        if self.lifecycle == Lifecycle::Active {
+            return Vec::new(); // duplicate promotion from a stale sweep
+        }
+        self.lifecycle = Lifecycle::Active;
+        self.range = Some(range);
+        self.radius = radius;
+        self.parent = None;
+        self.standby_for = None;
+        self.stats.promotions += 1;
+        // A freshly promoted server must not immediately split.
+        self.cooldown.arm(now, &self.cfg);
+        vec![
+            Action::ToGame(MatrixToGame::Promote { range, radius }),
+            Action::ToCoord(CoordMsg::Heartbeat {
+                server: self.id,
+                epoch: self.epoch,
+            }),
+        ]
     }
 
     fn finish_resolve(
@@ -741,8 +885,17 @@ impl MatrixServer {
     /// Handles a reply from the resource pool.
     pub fn on_pool(&mut self, now: SimTime, msg: PoolReply) -> Vec<Action> {
         match msg {
-            PoolReply::Grant { server } => self.perform_split(now, server),
-            PoolReply::Denied => {
+            PoolReply::Grant {
+                server,
+                purpose: PoolPurpose::Split,
+            } => self.perform_split(now, server),
+            PoolReply::Grant {
+                server,
+                purpose: PoolPurpose::Standby,
+            } => self.pair_standby(server),
+            PoolReply::Denied {
+                purpose: PoolPurpose::Split,
+            } => {
                 self.pending_pool = false;
                 self.stats.pool_denied += 1;
                 // Back off; the overload persists and will retry after the
@@ -750,7 +903,43 @@ impl MatrixServer {
                 self.cooldown.arm(now, &self.cfg);
                 Vec::new()
             }
+            PoolReply::Denied {
+                purpose: PoolPurpose::Standby,
+            } => {
+                self.pending_standby = false;
+                self.stats.pool_denied += 1;
+                // Splits outrank availability for spare capacity: retry
+                // only after a full cooldown window.
+                self.standby_retry_at = Some(now + self.cfg.cooldown);
+                Vec::new()
+            }
         }
+    }
+
+    /// Pairs a pool-granted server as this region's warm standby.
+    fn pair_standby(&mut self, server: ServerId) -> Vec<Action> {
+        self.pending_standby = false;
+        let Some(range) = self.range else {
+            // No longer active: give the server straight back.
+            return vec![Action::ToPool(PoolMsg::Release { server })];
+        };
+        self.standby = Some(server);
+        self.stats.standbys_acquired += 1;
+        vec![
+            Action::ToPeer(
+                server,
+                PeerMsg::StandbyAssign {
+                    primary: self.id,
+                    range,
+                    radius: self.radius,
+                },
+            ),
+            Action::ToCoord(CoordMsg::StandbyAssigned {
+                primary: self.id,
+                standby: server,
+            }),
+            Action::ToGame(MatrixToGame::SetStandby { standby: server }),
+        ]
     }
 
     fn perform_split(&mut self, now: SimTime, new_server: ServerId) -> Vec<Action> {
@@ -798,10 +987,25 @@ impl MatrixServer {
 
     // -- timer input ----------------------------------------------------------
 
-    /// Periodic tick: heartbeats, child load pushes, and adaptation checks
-    /// that must not depend on load-report arrival alone.
+    /// Periodic tick: heartbeats, child load pushes, standby pairing and
+    /// adaptation checks that must not depend on load-report arrival
+    /// alone.
     pub fn on_tick(&mut self, now: SimTime) -> Vec<Action> {
         if self.lifecycle != Lifecycle::Active {
+            // Idle standbys heartbeat too: the coordinator must notice a
+            // dead standby so the primary can re-pair.
+            if self.standby_for.is_some() {
+                let due = self
+                    .last_heartbeat
+                    .is_none_or(|t| now.since(t) >= self.cfg.heartbeat_every);
+                if due {
+                    self.last_heartbeat = Some(now);
+                    return vec![Action::ToCoord(CoordMsg::Heartbeat {
+                        server: self.id,
+                        epoch: self.epoch,
+                    })];
+                }
+            }
             return Vec::new();
         }
         let mut out = Vec::new();
@@ -820,6 +1024,18 @@ impl MatrixServer {
                     PeerMsg::LoadStatus(self.load_snapshot()),
                 ));
             }
+        }
+        if self.cfg.standby_replication
+            && self.standby.is_none()
+            && !self.pending_standby
+            && self.range.is_some()
+            && self.standby_retry_at.is_none_or(|t| now >= t)
+        {
+            self.pending_standby = true;
+            out.push(Action::ToPool(PoolMsg::Acquire {
+                requester: self.id,
+                purpose: PoolPurpose::Standby,
+            }));
         }
         out.extend(self.maybe_adapt(now));
         out
@@ -960,7 +1176,8 @@ mod tests {
         assert_eq!(
             actions,
             vec![Action::ToPool(PoolMsg::Acquire {
-                requester: ServerId(1)
+                requester: ServerId(1),
+                purpose: PoolPurpose::Split,
             })]
         );
         // Further overload reports while the request is pending do nothing.
@@ -977,6 +1194,7 @@ mod tests {
             t,
             PoolReply::Grant {
                 server: ServerId(7),
+                purpose: PoolPurpose::Split,
             },
         );
         // S1 owned [200,400]x[0,400]; split-to-left gives [200,300] away.
@@ -1024,7 +1242,12 @@ mod tests {
         let t = SimTime::from_secs(10);
         s1.on_game(t, overloaded_report());
         s1.on_game(t, overloaded_report());
-        s1.on_pool(t, PoolReply::Denied);
+        s1.on_pool(
+            t,
+            PoolReply::Denied {
+                purpose: PoolPurpose::Split,
+            },
+        );
         assert_eq!(s1.stats().pool_denied, 1);
         // Still overloaded, but inside the cooldown: no new request.
         assert!(s1.on_game(t, overloaded_report()).is_empty());
@@ -1035,7 +1258,8 @@ mod tests {
         assert_eq!(
             actions,
             vec![Action::ToPool(PoolMsg::Acquire {
-                requester: ServerId(1)
+                requester: ServerId(1),
+                purpose: PoolPurpose::Split,
             })]
         );
     }
@@ -1052,6 +1276,7 @@ mod tests {
             t,
             PoolReply::Grant {
                 server: ServerId(9),
+                purpose: PoolPurpose::Split,
             },
         );
         assert_eq!(
@@ -1074,6 +1299,7 @@ mod tests {
             t0,
             PoolReply::Grant {
                 server: ServerId(7),
+                purpose: PoolPurpose::Split,
             },
         );
         let mut child = MatrixServer::new(ServerId(7), cfg());
@@ -1364,6 +1590,237 @@ mod tests {
             .on_peer(SimTime::ZERO, ServerId(2), PeerMsg::Update(pkt))
             .is_empty());
         assert!(child.on_tick(SimTime::from_secs(99)).is_empty());
+    }
+
+    #[test]
+    fn standby_replication_pairs_through_the_pool() {
+        let mut cfg = cfg();
+        cfg.standby_replication = true;
+        let mut s = MatrixServer::with_range(ServerId(1), cfg, world(), 50.0);
+        let t = SimTime::from_millis(100);
+        let actions = s.on_tick(t);
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToPool(PoolMsg::Acquire { requester, purpose: PoolPurpose::Standby })
+                if *requester == ServerId(1))));
+        // A second tick must not double-request while one is in flight.
+        assert!(!s
+            .on_tick(SimTime::from_millis(200))
+            .iter()
+            .any(|a| matches!(a, Action::ToPool(_))));
+        let actions = s.on_pool(
+            t,
+            PoolReply::Grant {
+                server: ServerId(9),
+                purpose: PoolPurpose::Standby,
+            },
+        );
+        assert_eq!(s.standby(), Some(ServerId(9)));
+        assert_eq!(s.stats().standbys_acquired, 1);
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToPeer(p, PeerMsg::StandbyAssign { primary, .. })
+                if *p == ServerId(9) && *primary == ServerId(1))));
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToCoord(CoordMsg::StandbyAssigned { primary, standby })
+                if *primary == ServerId(1) && *standby == ServerId(9))));
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToGame(MatrixToGame::SetStandby { standby }) if *standby == ServerId(9))));
+    }
+
+    #[test]
+    fn standby_denial_backs_off_a_cooldown() {
+        let mut cfg = cfg();
+        cfg.standby_replication = true;
+        let mut s = MatrixServer::with_range(ServerId(1), cfg, world(), 50.0);
+        let t = SimTime::from_millis(100);
+        s.on_tick(t);
+        s.on_pool(
+            t,
+            PoolReply::Denied {
+                purpose: PoolPurpose::Standby,
+            },
+        );
+        assert_eq!(s.stats().pool_denied, 1);
+        // Inside the cooldown: no retry.
+        assert!(!s
+            .on_tick(t + matrix_sim::SimDuration::from_millis(500))
+            .iter()
+            .any(|a| matches!(a, Action::ToPool(_))));
+        // After it: the pairing is retried.
+        assert!(s
+            .on_tick(t + matrix_sim::SimDuration::from_secs(2))
+            .iter()
+            .any(|a| matches!(
+                a,
+                Action::ToPool(PoolMsg::Acquire {
+                    purpose: PoolPurpose::Standby,
+                    ..
+                })
+            )));
+    }
+
+    #[test]
+    fn assigned_standby_heartbeats_and_relays_replica_traffic() {
+        let mut s = MatrixServer::new(ServerId(9), cfg());
+        let actions = s.on_peer(
+            SimTime::ZERO,
+            ServerId(1),
+            PeerMsg::StandbyAssign {
+                primary: ServerId(1),
+                range: world(),
+                radius: 50.0,
+            },
+        );
+        assert_eq!(s.standby_for(), Some(ServerId(1)));
+        assert_eq!(s.lifecycle(), Lifecycle::Idle, "standing by is not active");
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::ToGame(MatrixToGame::ReplicaReset))));
+        // Idle standbys heartbeat so their own death is detectable.
+        let ticked = s.on_tick(SimTime::from_secs(2));
+        assert!(ticked
+            .iter()
+            .any(|a| matches!(a, Action::ToCoord(CoordMsg::Heartbeat { .. }))));
+        // Replica batches route to the co-located game node; acks route
+        // back to the primary.
+        let batch = crate::messages::ReplicaBatch {
+            seq: 1,
+            payload: crate::ReplicaPayload::Ops(Vec::new()),
+        };
+        let actions = s.on_peer(
+            SimTime::from_secs(2),
+            ServerId(1),
+            PeerMsg::Replica {
+                from: ServerId(1),
+                batch: batch.clone(),
+            },
+        );
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::ToGame(MatrixToGame::ReplicaBatch { .. }))));
+        let actions = s.on_game(
+            SimTime::from_secs(2),
+            GameToMatrix::ReplicaAck {
+                to: ServerId(1),
+                seq: 1,
+                resync: true,
+            },
+        );
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToPeer(p, PeerMsg::ReplicaAck { seq: 1, resync: true, .. })
+                if *p == ServerId(1))));
+    }
+
+    #[test]
+    fn promotion_activates_an_idle_standby() {
+        let mut s = MatrixServer::new(ServerId(9), cfg());
+        s.on_peer(
+            SimTime::ZERO,
+            ServerId(1),
+            PeerMsg::StandbyAssign {
+                primary: ServerId(1),
+                range: world(),
+                radius: 50.0,
+            },
+        );
+        let actions = s.on_coord(
+            SimTime::from_secs(6),
+            CoordReply::Promote {
+                failed: ServerId(1),
+                range: world(),
+                radius: 50.0,
+            },
+        );
+        assert_eq!(s.lifecycle(), Lifecycle::Active);
+        assert_eq!(s.range(), Some(world()));
+        assert_eq!(s.standby_for(), None);
+        assert_eq!(s.stats().promotions, 1);
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToGame(MatrixToGame::Promote { range, radius })
+                if *range == world() && *radius == 50.0)));
+        // A duplicate promotion from a stale sweep is ignored.
+        assert!(s
+            .on_coord(
+                SimTime::from_secs(7),
+                CoordReply::Promote {
+                    failed: ServerId(1),
+                    range: world(),
+                    radius: 50.0,
+                },
+            )
+            .is_empty());
+    }
+
+    #[test]
+    fn retirement_releases_the_standby_pairing() {
+        let mut cfg = cfg();
+        cfg.standby_replication = true;
+        let mut child = MatrixServer::new(ServerId(7), cfg);
+        child.on_peer(
+            SimTime::ZERO,
+            ServerId(1),
+            PeerMsg::AdoptPartition {
+                parent: ServerId(1),
+                range: Rect::from_coords(200.0, 0.0, 300.0, 400.0),
+                radius: 50.0,
+                epoch: 1,
+            },
+        );
+        child.on_tick(SimTime::from_millis(100));
+        child.on_pool(
+            SimTime::from_millis(200),
+            PoolReply::Grant {
+                server: ServerId(9),
+                purpose: PoolPurpose::Standby,
+            },
+        );
+        assert_eq!(child.standby(), Some(ServerId(9)));
+        let actions = child.on_peer(
+            SimTime::from_secs(10),
+            ServerId(1),
+            PeerMsg::ReclaimRequest {
+                parent: ServerId(1),
+            },
+        );
+        assert_eq!(child.lifecycle(), Lifecycle::Retired);
+        assert_eq!(child.standby(), None);
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToPeer(p, PeerMsg::StandbyRelease { primary })
+                if *p == ServerId(9) && *primary == ServerId(7))));
+        assert!(actions.iter().any(|a| matches!(a,
+            Action::ToPool(PoolMsg::Release { server }) if *server == ServerId(9))));
+    }
+
+    #[test]
+    fn standby_lost_triggers_repair_and_repairing() {
+        let mut cfg = cfg();
+        cfg.standby_replication = true;
+        let mut s = MatrixServer::with_range(ServerId(1), cfg, world(), 50.0);
+        s.on_tick(SimTime::from_millis(100));
+        s.on_pool(
+            SimTime::from_millis(200),
+            PoolReply::Grant {
+                server: ServerId(9),
+                purpose: PoolPurpose::Standby,
+            },
+        );
+        let actions = s.on_coord(
+            SimTime::from_secs(10),
+            CoordReply::StandbyLost {
+                standby: ServerId(9),
+            },
+        );
+        assert_eq!(s.standby(), None);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::ToGame(MatrixToGame::ReplicaReset))));
+        // The next tick re-pairs.
+        assert!(s.on_tick(SimTime::from_secs(11)).iter().any(|a| matches!(
+            a,
+            Action::ToPool(PoolMsg::Acquire {
+                purpose: PoolPurpose::Standby,
+                ..
+            })
+        )));
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! E13 — fault tolerance: region snapshots, warm standbys, fast failover.
+//!
+//! The paper's liveness machinery *detects* a dead server and hands its
+//! range to a neighbour — but every session on the dead node is lost,
+//! and its clients reconnect from scratch after a keepalive timeout.
+//! This experiment measures what the replication subsystem buys instead:
+//! each region streams snapshots + incremental ops to a warm standby
+//! drawn from the resource pool, and on liveness expiry the coordinator
+//! promotes the standby in place. The dead server's clients are
+//! re-pointed with `SwitchServer` and *resume* — no reconnect, no state
+//! transfer — with their delta streams resyncing through the ordinary
+//! keyframe-on-handover machinery.
+//!
+//! Reported per mode (replication on/off, same topology, same workload,
+//! same crash):
+//!
+//! * **recovery** — crash → first post-failover `UpdateBatch` delivered
+//!   to one of the victim's clients (the full dark window, dominated by
+//!   the heartbeat timeout), and promotion → first delivery (the part
+//!   replication is responsible for; the acceptance bound is one
+//!   `batch_interval` + one `replica_interval`);
+//! * **continuity** — resumes vs. full disconnect/reconnects;
+//! * **overhead** — replication bytes/sec on the server link, and its
+//!   share of all inter-server traffic.
+
+use crate::harness::{Cluster, ClusterConfig, ClusterReport};
+use matrix_games::{GameSpec, Placement, PopulationEvent, WorkloadSchedule};
+use matrix_geometry::ServerId;
+use matrix_metrics::Table;
+use matrix_sim::{SimDuration, SimTime};
+
+/// Scenario scale: the full run and a CI smoke variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Clients per hotspot (two hotspots, one per partition).
+    pub crowd: u32,
+    /// Run horizon in seconds.
+    pub horizon_secs: u64,
+    /// Crash time in seconds.
+    pub crash_at_secs: u64,
+}
+
+impl Scale {
+    /// The full experiment.
+    pub fn full() -> Scale {
+        Scale {
+            crowd: 250,
+            horizon_secs: 40,
+            crash_at_secs: 15,
+        }
+    }
+
+    /// A fast variant for CI (`matrix-experiments failover --smoke`).
+    pub fn smoke() -> Scale {
+        Scale {
+            crowd: 60,
+            horizon_secs: 20,
+            crash_at_secs: 8,
+        }
+    }
+}
+
+/// Result of one failover run.
+#[derive(Debug, Clone)]
+pub struct FailoverRow {
+    /// Whether warm-standby replication was armed.
+    pub replication: bool,
+    /// Seconds simulated (for bytes/sec).
+    pub horizon_secs: u64,
+    /// Full cluster report.
+    pub report: ClusterReport,
+}
+
+/// Two static partitions (so the comparison is topology-for-topology),
+/// each hosting one hotspot crowd placed away from the boundary; server
+/// 1 is killed mid-run. Replication mode arms a warm standby per
+/// region; baseline mode recovers by absorb + client reconnect.
+pub fn config(spec: GameSpec, replication: bool, seed: u64, scale: Scale) -> ClusterConfig {
+    let mut cfg = ClusterConfig::static_partition(spec, 2);
+    cfg.seed = seed;
+    cfg.queue_capacity = None;
+    cfg.game.emit_updates = true;
+    cfg.matrix.standby_replication = replication;
+    if replication {
+        cfg.pool_size = 4; // standbys come from spare capacity
+    }
+    // Detection beats the keepalive: clients only give up and reconnect
+    // when no failover resume reaches them first.
+    cfg.coordinator.heartbeat_timeout = SimDuration::from_secs(2);
+    cfg.net.crash_detect = SimDuration::from_secs(8);
+    cfg.crashes = vec![(SimTime::from_secs(scale.crash_at_secs), ServerId(1))];
+    cfg
+}
+
+/// Runs one mode of the scenario.
+pub fn run_one(spec: &GameSpec, replication: bool, seed: u64, scale: Scale) -> FailoverRow {
+    let mut spec = spec.clone();
+    spec.update_rate_hz = spec.update_rate_hz.min(2.0);
+    let schedule = WorkloadSchedule::new(SimTime::from_secs(scale.horizon_secs))
+        .at(
+            SimTime::ZERO,
+            PopulationEvent::Join {
+                n: scale.crowd,
+                placement: Placement::Hotspot {
+                    center: spec.hotspot_a(),
+                    spread: spec.radius * 0.3,
+                },
+            },
+        )
+        .at(
+            SimTime::ZERO,
+            PopulationEvent::Join {
+                n: scale.crowd,
+                placement: Placement::Hotspot {
+                    center: spec.hotspot_b(),
+                    spread: spec.radius * 0.3,
+                },
+            },
+        );
+    let report = Cluster::new(config(spec, replication, seed, scale), schedule).run();
+    FailoverRow {
+        replication,
+        horizon_secs: scale.horizon_secs,
+        report,
+    }
+}
+
+/// Runs both modes.
+pub fn run(seed: u64, scale: Scale) -> Vec<FailoverRow> {
+    let spec = GameSpec::bzflag();
+    vec![
+        run_one(&spec, false, seed, scale),
+        run_one(&spec, true, seed, scale),
+    ]
+}
+
+/// Renders the comparison table.
+pub fn table(rows: &[FailoverRow]) -> Table {
+    let mut table = Table::new(
+        "E13 — failover: kill one of two region servers mid-run",
+        &[
+            "mode",
+            "failovers",
+            "resumes",
+            "disconnects",
+            "recovery ms",
+            "post-promo ms",
+            "replica B/s",
+            "replica share",
+            "divergences",
+        ],
+    );
+    for row in rows {
+        let r = &row.report;
+        let recovery = r
+            .recoveries
+            .first()
+            .map(|rec| format!("{:.0}", rec.dark.as_micros() as f64 / 1000.0))
+            .unwrap_or_else(|| "—".into());
+        let post = r
+            .recoveries
+            .first()
+            .and_then(|rec| rec.post_promotion)
+            .map(|d| format!("{:.1}", d.as_micros() as f64 / 1000.0))
+            .unwrap_or_else(|| "—".into());
+        let replica_rate = r.replica_bytes as f64 / row.horizon_secs as f64;
+        let share = if r.inter_server_bytes > 0 {
+            format!(
+                "{:.1}%",
+                100.0 * r.replica_bytes as f64 / r.inter_server_bytes as f64
+            )
+        } else {
+            "—".into()
+        };
+        table.push_row(&[
+            if row.replication {
+                "matrix+replication".into()
+            } else {
+                "matrix (absorb)".into()
+            },
+            r.coordinator.failovers.to_string(),
+            r.resumes.to_string(),
+            r.disconnects.to_string(),
+            recovery,
+            post,
+            format!("{replica_rate:.0}"),
+            share,
+            r.coordinator.divergences.to_string(),
+        ]);
+    }
+    table
+}
+
+/// One-line verdict against the acceptance bounds, printed under the
+/// table (and asserted by the smoke runner in CI).
+pub fn verdict(
+    rows: &[FailoverRow],
+    game: &matrix_core::GameServerConfig,
+) -> Result<String, String> {
+    let with = rows
+        .iter()
+        .find(|r| r.replication)
+        .ok_or("no replication row")?;
+    let r = &with.report;
+    if r.coordinator.failovers == 0 {
+        return Err("no failover happened".into());
+    }
+    if r.disconnects != 0 {
+        return Err(format!("{} clients disconnected", r.disconnects));
+    }
+    let post = r
+        .recoveries
+        .first()
+        .and_then(|rec| rec.post_promotion)
+        .ok_or("no post-promotion recovery measured")?;
+    let bound = game.batch_interval + game.replica_interval;
+    // One client-link delivery rides on top of the server-side bound.
+    let bound = bound + SimDuration::from_millis(100);
+    if post > bound {
+        return Err(format!("post-promotion recovery {post} exceeds {bound}"));
+    }
+    Ok(format!(
+        "failover OK: {} resumes, 0 disconnects, first delivery {post} after promotion \
+         (bound {bound}), replication {} B/s",
+        r.resumes,
+        r.replica_bytes / with.horizon_secs
+    ))
+}
+
+/// CSV artefact.
+pub fn to_csv(rows: &[FailoverRow]) -> String {
+    let mut out = String::from(
+        "mode,failovers,resumes,disconnects,recovery_ms,post_promotion_ms,replica_bytes,\
+         replica_bytes_per_sec,inter_server_bytes,divergences\n",
+    );
+    for row in rows {
+        let r = &row.report;
+        let recovery = r
+            .recoveries
+            .first()
+            .map(|rec| (rec.dark.as_micros() as f64 / 1000.0).to_string())
+            .unwrap_or_default();
+        let post = r
+            .recoveries
+            .first()
+            .and_then(|rec| rec.post_promotion)
+            .map(|d| (d.as_micros() as f64 / 1000.0).to_string())
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{:.0},{},{}\n",
+            if row.replication {
+                "replication"
+            } else {
+                "absorb"
+            },
+            r.coordinator.failovers,
+            r.resumes,
+            r.disconnects,
+            recovery,
+            post,
+            r.replica_bytes,
+            r.replica_bytes as f64 / row.horizon_secs as f64,
+            r.inter_server_bytes,
+            r.coordinator.divergences,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_meets_the_acceptance_bounds() {
+        let rows = run(42, Scale::smoke());
+        let game = config(GameSpec::bzflag(), true, 42, Scale::smoke()).game;
+        let verdict = verdict(&rows, &game).expect("failover acceptance");
+        assert!(verdict.contains("failover OK"));
+        // The baseline pays with real disconnects; replication does not.
+        let baseline = rows.iter().find(|r| !r.replication).unwrap();
+        assert!(baseline.report.disconnects > 0);
+        assert_eq!(baseline.report.resumes, 0);
+        assert_eq!(baseline.report.replica_bytes, 0);
+    }
+}

@@ -173,6 +173,9 @@ enum Event {
     Sample,
     /// Failure injection.
     Crash(ServerId),
+    /// A client's keepalive on a dead server expired without a failover
+    /// resume: it gives up and reconnects from scratch.
+    KeepaliveExpire(ClientId),
 }
 
 /// One adaptation event for the run timeline.
@@ -197,6 +200,13 @@ pub enum TopologyEvent {
         /// The dead or orphaned server.
         victim: ServerId,
     },
+    /// A crashed server's warm standby was promoted in its place.
+    Failover {
+        /// The dead primary.
+        failed: ServerId,
+        /// The promoted standby.
+        standby: ServerId,
+    },
 }
 
 impl std::fmt::Display for TopologyEvent {
@@ -205,8 +215,38 @@ impl std::fmt::Display for TopologyEvent {
             TopologyEvent::Split { parent, child } => write!(f, "split   {parent} -> {child}"),
             TopologyEvent::Reclaim { parent, child } => write!(f, "reclaim {parent} <- {child}"),
             TopologyEvent::Failure { victim } => write!(f, "failure {victim} reassigned"),
+            TopologyEvent::Failover { failed, standby } => {
+                write!(f, "failover {failed} -> {standby}")
+            }
         }
     }
+}
+
+/// Tracks one crashed server's clients from the crash to their first
+/// post-failover delivery, measuring recovery as the client experiences
+/// it.
+#[derive(Debug, Clone)]
+struct FailureProbe {
+    victim: ServerId,
+    crashed_at: SimTime,
+    affected: Vec<ClientId>,
+    promoted_at: Option<SimTime>,
+    first_delivery: Option<SimTime>,
+}
+
+/// One crashed server's recovery, as its clients experienced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recovery {
+    /// The crashed server.
+    pub victim: ServerId,
+    /// Crash → first `UpdateBatch` delivered to one of its clients: the
+    /// full dark window, dominated by liveness detection.
+    pub dark: SimDuration,
+    /// Standby promotion → first delivery (`None` when recovery went
+    /// through absorb + reconnect instead of failover). This is the
+    /// part replication is responsible for; detection latency is the
+    /// heartbeat timeout's business.
+    pub post_promotion: Option<SimDuration>,
 }
 
 /// Aggregated results of one run.
@@ -248,6 +288,24 @@ pub struct ClusterReport {
     pub dropped_work: f64,
     /// Total client switches (handoffs) completed.
     pub switches: u64,
+    /// Switches resolved by *resume*: the target server already held the
+    /// client's replicated session, so no reconnect or state transfer
+    /// was needed (failover promotions).
+    pub resumes: u64,
+    /// Clients whose keepalive on a dead server expired before any
+    /// failover resume reached them — each one is a full disconnect and
+    /// reconnect. Zero when failover beats the keepalive.
+    pub disconnects: u64,
+    /// Client update cycles that first found their server dead — each
+    /// affected client detects once, then pauses until a failover
+    /// resume or its keepalive expiry.
+    pub updates_to_dead: u64,
+    /// Estimated bytes of replication traffic between primaries and
+    /// standbys — the steady-state overhead fault tolerance costs.
+    pub replica_bytes: u64,
+    /// Per-victim recovery timings (crash → delivery, and promotion →
+    /// delivery when a failover happened).
+    pub recoveries: Vec<Recovery>,
     /// `UpdateBatch` messages delivered to clients (only non-zero when
     /// `GameServerConfig::emit_updates` is on).
     pub update_batches_delivered: u64,
@@ -295,15 +353,25 @@ pub struct Cluster {
     response_latency: Histogram,
     switch_latency: Histogram,
     switch_started: BTreeMap<ClientId, SimTime>,
+    /// Clients currently dark on a dead server, keyed to their pending
+    /// keepalive deadline. Cleared on resume or reconnect, so a stale
+    /// `KeepaliveExpire` event cannot hit a client that long since
+    /// recovered and merely happens to be mid-switch again.
+    keepalive_deadline: BTreeMap<ClientId, SimTime>,
     servers_in_use: TimeSeries,
     late: u64,
     samples: u64,
     switches: u64,
+    resumes: u64,
+    disconnects: u64,
+    updates_to_dead: u64,
+    replica_bytes: u64,
     update_batches: u64,
     batched_updates: u64,
     late_threshold: SimDuration,
     bootstrap: ServerId,
     timeline: Vec<(SimTime, TopologyEvent)>,
+    probes: Vec<FailureProbe>,
 }
 
 impl Cluster {
@@ -324,15 +392,21 @@ impl Cluster {
             response_latency: Histogram::new(),
             switch_latency: Histogram::new(),
             switch_started: BTreeMap::new(),
+            keepalive_deadline: BTreeMap::new(),
             servers_in_use: TimeSeries::new("servers"),
             late: 0,
             samples: 0,
             switches: 0,
+            resumes: 0,
+            disconnects: 0,
+            updates_to_dead: 0,
+            replica_bytes: 0,
             update_batches: 0,
             batched_updates: 0,
             late_threshold: SimDuration::from_millis(150),
             bootstrap: ServerId(1),
             timeline: Vec::new(),
+            probes: Vec::new(),
             cfg,
         };
         cluster.bootstrap();
@@ -447,8 +521,12 @@ impl Cluster {
                         return;
                     }
                 }
-                // Unknown target: a fresh pool server being adopted.
-                if let PeerMsg::AdoptPartition { .. } = msg {
+                // Unknown target: a fresh pool server being adopted for a
+                // split, or armed as a warm standby.
+                if matches!(
+                    msg,
+                    PeerMsg::AdoptPartition { .. } | PeerMsg::StandbyAssign { .. }
+                ) {
                     let mut node = self.make_node(to);
                     let actions = node.matrix.on_peer(self.now, from, msg);
                     self.nodes.insert(to, node);
@@ -512,10 +590,27 @@ impl Cluster {
                 let actions = self.coordinator.check_liveness(self.now);
                 if self.coordinator.stats().failures_declared > before {
                     for action in &actions {
-                        let CoordAction::Send(_, reply) = action;
-                        if let CoordReply::AbsorbFailed { failed, .. } = reply {
-                            self.timeline
-                                .push((self.now, TopologyEvent::Failure { victim: *failed }));
+                        let CoordAction::Send(to, reply) = action;
+                        match reply {
+                            CoordReply::AbsorbFailed { failed, .. } => {
+                                self.timeline
+                                    .push((self.now, TopologyEvent::Failure { victim: *failed }));
+                            }
+                            CoordReply::Promote { failed, .. } => {
+                                self.timeline.push((
+                                    self.now,
+                                    TopologyEvent::Failover {
+                                        failed: *failed,
+                                        standby: *to,
+                                    },
+                                ));
+                                for probe in &mut self.probes {
+                                    if probe.victim == *failed && probe.promoted_at.is_none() {
+                                        probe.promoted_at = Some(self.now);
+                                    }
+                                }
+                            }
+                            _ => {}
                         }
                     }
                 }
@@ -527,6 +622,33 @@ impl Cluster {
             Event::Crash(victim) => {
                 if let Some(node) = self.nodes.get_mut(&victim) {
                     node.alive = false;
+                    // Snapshot the victim's population: the failure probe
+                    // reports how long these clients went dark.
+                    self.probes.push(FailureProbe {
+                        victim,
+                        crashed_at: self.now,
+                        affected: node.game.client_ids(),
+                        promoted_at: None,
+                        first_delivery: None,
+                    });
+                }
+            }
+            Event::KeepaliveExpire(id) => {
+                // Only a client still dark from the episode this event
+                // belongs to gives up and reconnects from scratch; a
+                // client resumed (or reconnected) since had its deadline
+                // cleared, even if it is now mid-switch for an ordinary
+                // handover.
+                let expired = self
+                    .keepalive_deadline
+                    .get(&id)
+                    .is_some_and(|deadline| *deadline <= self.now);
+                if expired && self.pop.get(id).is_some_and(|c| c.switching) {
+                    self.keepalive_deadline.remove(&id);
+                    self.disconnects += 1;
+                    let pos = self.pop.get(id).expect("checked").walker.pos;
+                    let owner = self.owner_of(pos);
+                    self.client_join(id, owner);
                 }
             }
         }
@@ -550,14 +672,18 @@ impl Cluster {
         let spec = self.cfg.spec.clone();
         let server_alive = self.nodes.get(&server).map(|n| n.alive).unwrap_or(false);
         if !server_alive {
-            // The client's server is gone: after the keepalive timeout it
-            // reconnects to whoever owns its position now.
+            // The client's server is gone. It keeps trying (these uplink
+            // packets are the staleness window) until either a failover
+            // resume re-points it — no reconnect — or the keepalive
+            // expires and it reconnects to whoever owns its position.
+            self.updates_to_dead += 1;
             self.pop.begin_switch(id);
             self.switch_started.entry(id).or_insert(self.now);
-            let owner = self.owner_of(pos);
+            self.keepalive_deadline
+                .insert(id, self.now + self.cfg.net.crash_detect);
             self.queue.schedule(
                 self.now + self.cfg.net.crash_detect,
-                Event::ClientJoin(id, owner),
+                Event::KeepaliveExpire(id),
             );
             self.queue
                 .schedule(self.now + interval, Event::ClientUpdate(id));
@@ -671,6 +797,7 @@ impl Cluster {
         } else {
             self.owner_of(pos)
         };
+        self.keepalive_deadline.remove(&id);
         if let Some(node) = self.nodes.get_mut(&target) {
             let actions =
                 node.game
@@ -701,12 +828,15 @@ impl Cluster {
         }
         // Retired nodes keep ticking (cheaply, producing no actions): the
         // pool can hand their id out again, and the resurrected server must
-        // resume load reports and heartbeats immediately.
+        // resume load reports and heartbeats immediately. Idle nodes tick
+        // their Matrix side too — warm standbys heartbeat while idle.
         if node.matrix.lifecycle() == matrix_core::Lifecycle::Active {
             let backlog = node.queue.backlog_at(self.now);
             let game_actions = node.game.on_tick(self.now, backlog);
-            let matrix_actions = node.matrix.on_tick(self.now);
             self.process_game_actions(id, game_actions);
+        }
+        if let Some(node) = self.nodes.get_mut(&id) {
+            let matrix_actions = node.matrix.on_tick(self.now);
             self.process_matrix_actions(id, matrix_actions);
         }
         self.queue
@@ -834,6 +964,9 @@ impl Cluster {
                 }
                 Action::ToPeer(to, msg) => {
                     let bytes = peer_msg_bytes(&msg);
+                    if matches!(msg, PeerMsg::Replica { .. } | PeerMsg::ReplicaAck { .. }) {
+                        self.replica_bytes += bytes as u64;
+                    }
                     let mut rng = self.rng.fork();
                     if let Some(delay) = self.cfg.net.server_link.delay_for(bytes, &mut rng) {
                         self.queue
@@ -886,10 +1019,36 @@ impl Cluster {
                 // end-to-end and measure coalescing rates.
                 self.update_batches += 1;
                 self.batched_updates += updates.len() as u64;
+                // Failure probes: the first delivery to a crashed
+                // server's client marks the end of its dark window.
+                for probe in &mut self.probes {
+                    if probe.first_delivery.is_none() && probe.affected.contains(&client) {
+                        probe.first_delivery = Some(self.now);
+                    }
+                }
             }
             GameToClient::SwitchServer { to } => {
                 if self.pop.get(client).is_none() {
                     return; // already left
+                }
+                // Resume: the target already holds this client's session
+                // (a promoted standby restored it from the replica). The
+                // client just re-points its uplink — no reconnect, no
+                // state transfer, no Join round-trip.
+                if self
+                    .nodes
+                    .get(&to)
+                    .is_some_and(|n| n.alive && n.game.has_client(client))
+                {
+                    self.pop.set_server(client, to);
+                    self.keepalive_deadline.remove(&client);
+                    self.resumes += 1;
+                    if let Some(started) = self.switch_started.remove(&client) {
+                        self.switch_latency
+                            .record(self.now.since(started).as_micros() as f64);
+                        self.switches += 1;
+                    }
+                    return;
                 }
                 self.pop.begin_switch(client);
                 self.switch_started.entry(client).or_insert(self.now);
@@ -976,6 +1135,21 @@ impl Cluster {
             updates_rate_limited,
             dropped_work: dropped,
             switches: self.switches,
+            resumes: self.resumes,
+            disconnects: self.disconnects,
+            updates_to_dead: self.updates_to_dead,
+            replica_bytes: self.replica_bytes,
+            recoveries: self
+                .probes
+                .iter()
+                .filter_map(|p| {
+                    p.first_delivery.map(|t| Recovery {
+                        victim: p.victim,
+                        dark: t.since(p.crashed_at),
+                        post_promotion: p.promoted_at.map(|at| t.since(at)),
+                    })
+                })
+                .collect(),
             update_batches_delivered: self.update_batches,
             batched_updates_delivered: self.batched_updates,
             splits,
@@ -996,6 +1170,8 @@ fn peer_msg_bytes(msg: &PeerMsg) -> usize {
         PeerMsg::Update(pkt) => pkt.wire_size(),
         PeerMsg::StateTransfer { bytes, .. } => *bytes as usize,
         PeerMsg::ClientTransfer { bytes, .. } => *bytes as usize + 64,
+        PeerMsg::Replica { batch, .. } => batch.wire_bytes(),
+        PeerMsg::ReplicaAck { .. } => 32,
         _ => 128,
     }
 }
@@ -1003,7 +1179,7 @@ fn peer_msg_bytes(msg: &PeerMsg) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use matrix_games::WorkloadSchedule;
+    use matrix_games::{Placement, WorkloadSchedule};
 
     fn small_spec() -> GameSpec {
         // A scaled-down bzflag so debug-mode tests stay fast.
@@ -1096,6 +1272,79 @@ mod tests {
             (total - 330.0).abs() <= 5.0,
             "clients lost or duplicated: {total} hosted at the end"
         );
+    }
+
+    #[test]
+    fn failover_keeps_clients_connected_without_reconnects() {
+        // Two static servers, each paired with a warm standby; one dies.
+        // Its clients must keep receiving updates through the promoted
+        // standby with zero reconnects — the keepalive never expires.
+        let mut spec = small_spec();
+        spec.update_rate_hz = 2.0;
+        let mut cfg = ClusterConfig::static_partition(spec, 2);
+        cfg.queue_capacity = None;
+        cfg.game.emit_updates = true;
+        cfg.matrix.standby_replication = true;
+        cfg.pool_size = 4;
+        cfg.coordinator.heartbeat_timeout = SimDuration::from_secs(2);
+        cfg.net.crash_detect = SimDuration::from_secs(8);
+        cfg.crashes = vec![(SimTime::from_secs(10), ServerId(1))];
+        // Two stable crowds away from the partition boundary, so no one
+        // is mid-roam when the crash hits (a client switching *into* a
+        // dying server is genuinely unrecoverable — its session never
+        // reached the replica).
+        let spec = cfg.spec.clone();
+        let schedule = WorkloadSchedule::new(SimTime::from_secs(25))
+            .at(
+                SimTime::ZERO,
+                PopulationEvent::Join {
+                    n: 60,
+                    placement: Placement::Hotspot {
+                        center: spec.hotspot_a(),
+                        spread: spec.radius * 0.3,
+                    },
+                },
+            )
+            .at(
+                SimTime::ZERO,
+                PopulationEvent::Join {
+                    n: 60,
+                    placement: Placement::Hotspot {
+                        center: spec.hotspot_b(),
+                        spread: spec.radius * 0.3,
+                    },
+                },
+            );
+        let report = Cluster::new(cfg, schedule).run();
+
+        assert_eq!(report.coordinator.failovers, 1, "{:?}", report.timeline);
+        assert_eq!(report.disconnects, 0, "no client waited out its keepalive");
+        assert!(report.resumes > 0, "victim clients resumed on the standby");
+        assert!(report.replica_bytes > 0, "replication actually streamed");
+        let recovery = report
+            .recoveries
+            .iter()
+            .find(|r| r.victim == ServerId(1))
+            .expect("the victim's clients must recover");
+        let post = recovery
+            .post_promotion
+            .expect("recovery must go through a promotion");
+        // First post-failover delivery within one batch interval plus
+        // one replica interval of the promotion (plus client link).
+        let bound = GameServerConfig::default().batch_interval
+            + GameServerConfig::default().replica_interval
+            + SimDuration::from_millis(100);
+        assert!(
+            post <= bound,
+            "post-promotion recovery {post} exceeds {bound}"
+        );
+        // End-to-end population sanity: everyone is still hosted.
+        let total: f64 = report
+            .clients_per_server
+            .iter()
+            .filter_map(|s| s.last_value())
+            .sum();
+        assert!((total - 120.0).abs() <= 2.0, "clients lost: {total}");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! matrix-experiments ablation-split      # A1
 //! matrix-experiments ablation-hysteresis # A2
 //! matrix-experiments dense       # E12    dense-crowd interest management
+//! matrix-experiments failover    # E13    warm-standby failover
 //! matrix-experiments all         # everything, in order
 //! ```
 
@@ -25,6 +26,7 @@
 
 pub mod ablation;
 pub mod densecrowd;
+pub mod failover;
 pub mod fig2;
 pub mod harness;
 pub mod micro;

@@ -3,13 +3,15 @@
 //! Run with a subcommand (see `--help`); results print as ASCII charts and
 //! tables, and CSV artefacts land in `./results/`.
 
-use matrix_experiments::{ablation, densecrowd, fig2, micro, scale, sweep, userstudy, versus};
+use matrix_experiments::{
+    ablation, densecrowd, failover, fig2, micro, scale, sweep, userstudy, versus,
+};
 use std::io::Write;
 
 const HELP: &str = "\
 matrix-experiments — regenerate the Matrix paper's evaluation
 
-USAGE: matrix-experiments [--seed N] <command>
+USAGE: matrix-experiments [--seed N] [--smoke] <command>
 
 COMMANDS:
   fig2                 E1/E2: Figure 2a (clients/server) + 2b (queue length)
@@ -23,6 +25,7 @@ COMMANDS:
   scale                E8: asymptotic scalability analysis
   sweep                E11: adaptivity scaling vs crowd size
   dense                E12: dense-crowd interest management (2k clients, one server)
+  failover [--smoke]   E13: warm-standby failover (kill a region server mid-run)
   ablation-split       A1: split-strategy ablation
   ablation-hysteresis  A2: oscillation-prevention ablation
   all                  run everything in order
@@ -31,6 +34,7 @@ COMMANDS:
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 42u64;
+    let mut smoke = false;
     let mut command = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -41,6 +45,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
+            "--smoke" => smoke = true,
             "--help" | "-h" => {
                 println!("{HELP}");
                 return;
@@ -64,6 +69,7 @@ fn main() {
         "scale" => run_scale(),
         "sweep" => run_sweep(seed),
         "dense" => run_dense(seed),
+        "failover" => run_failover(seed, smoke),
         "ablation-split" => run_ablation_split(seed),
         "ablation-hysteresis" => run_ablation_hysteresis(seed),
         "all" => {
@@ -76,6 +82,7 @@ fn main() {
             run_scale();
             run_sweep(seed);
             run_dense(seed);
+            run_failover(seed, false);
             run_ablation_split(seed);
             run_ablation_hysteresis(seed);
         }
@@ -158,6 +165,25 @@ fn run_dense(seed: u64) {
     let table = densecrowd::table(&rows);
     println!("{}", table.render());
     save("densecrowd.csv", &table.to_csv());
+}
+
+fn run_failover(seed: u64, smoke: bool) {
+    let scale = if smoke {
+        failover::Scale::smoke()
+    } else {
+        failover::Scale::full()
+    };
+    let rows = failover::run(seed, scale);
+    println!("{}", failover::table(&rows).render());
+    let game = failover::config(matrix_games::GameSpec::bzflag(), true, seed, scale).game;
+    match failover::verdict(&rows, &game) {
+        Ok(line) => println!("{line}"),
+        Err(why) => {
+            eprintln!("FAILOVER ACCEPTANCE FAILED: {why}");
+            std::process::exit(1);
+        }
+    }
+    save("failover.csv", &failover::to_csv(&rows));
 }
 
 fn run_scale() {

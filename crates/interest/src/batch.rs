@@ -66,6 +66,12 @@ impl<K: Ord + Copy, U> UpdateBatcher<K, U> {
         self.queued = 0;
         std::mem::take(&mut self.pending).into_iter().collect()
     }
+
+    /// Visits every queued batch without consuming it, in receiver
+    /// order — the region-snapshot path reads pending updates this way.
+    pub fn peek(&self) -> impl Iterator<Item = (&K, &[U])> {
+        self.pending.iter().map(|(k, v)| (k, v.as_slice()))
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +102,17 @@ mod tests {
         assert_eq!(b.forget(1), 0);
         assert_eq!(b.queued(), 1);
         assert_eq!(b.drain(), vec![(2, vec![2])]);
+    }
+
+    #[test]
+    fn peek_reads_without_consuming() {
+        let mut b: UpdateBatcher<u32, u8> = UpdateBatcher::new();
+        b.push(2, 9);
+        b.push(1, 7);
+        let seen: Vec<(u32, Vec<u8>)> = b.peek().map(|(k, v)| (*k, v.to_vec())).collect();
+        assert_eq!(seen, vec![(1, vec![7]), (2, vec![9])]);
+        assert_eq!(b.queued(), 2, "peek leaves the queue intact");
+        assert_eq!(b.drain(), vec![(1, vec![7]), (2, vec![9])]);
     }
 
     #[test]

@@ -223,6 +223,34 @@ impl<K: Ord + Copy> DeltaEncoder<K> {
         out
     }
 
+    /// Exports every stream's state as `(client, base, countdown)`
+    /// triples, in key order — the region-snapshot form used by the
+    /// replication layer. Importing the result into a fresh encoder
+    /// (same `keyframe_every`) reproduces the next flush exactly.
+    pub fn export_streams(&self) -> Vec<(K, Point, u32)> {
+        self.streams
+            .iter()
+            .map(|(k, s)| (*k, s.base, s.flushes_until_keyframe))
+            .collect()
+    }
+
+    /// Replaces the stream table with previously exported state (the
+    /// restore half of [`DeltaEncoder::export_streams`]).
+    pub fn import_streams(&mut self, streams: impl IntoIterator<Item = (K, Point, u32)>) {
+        self.streams = streams
+            .into_iter()
+            .map(|(k, base, flushes_until_keyframe)| {
+                (
+                    k,
+                    StreamState {
+                        base,
+                        flushes_until_keyframe,
+                    },
+                )
+            })
+            .collect();
+    }
+
     /// Resync: the receiver may have lost its base (join, re-join,
     /// handover) — its next flush starts with a keyframe.
     pub fn reset(&mut self, client: K) {
@@ -419,6 +447,23 @@ mod tests {
         enc.clear();
         assert_eq!(enc.streams(), 0);
         assert!(enc.encode_flush(1, &[Point::new(1.5, 1.0)])[0].is_keyframe());
+    }
+
+    #[test]
+    fn exported_streams_restore_into_an_equivalent_encoder() {
+        let mut enc: DeltaEncoder<u32> = DeltaEncoder::new(3);
+        enc.encode_flush(1, &[Point::new(1.0, 2.0)]);
+        enc.encode_flush(1, &[Point::new(1.5, 2.0)]);
+        enc.encode_flush(2, &[Point::new(9.0, 9.0)]);
+
+        let mut restored: DeltaEncoder<u32> = DeltaEncoder::new(3);
+        restored.import_streams(enc.export_streams());
+        assert_eq!(restored.streams(), 2);
+        // Both encoders produce identical items for the same next flush.
+        let next = [Point::new(2.0, 2.0)];
+        assert_eq!(enc.encode_flush(1, &next), restored.encode_flush(1, &next));
+        let far = [Point::new(9.5, 9.0)];
+        assert_eq!(enc.encode_flush(2, &far), restored.encode_flush(2, &far));
     }
 
     #[test]

@@ -49,4 +49,4 @@ mod policy;
 pub use batch::UpdateBatcher;
 pub use delta::{quantize, DeltaEncoder, DeltaStream, EncodedOrigin};
 pub use grid::InterestGrid;
-pub use policy::{FlushPolicy, Selection};
+pub use policy::{FlushPolicy, Selection, ANON_ENTITY};

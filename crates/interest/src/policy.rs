@@ -12,6 +12,11 @@
 //! slightly staler periphery instead of a growing queue.
 
 use matrix_geometry::{Metric, Point};
+use std::collections::BTreeMap;
+
+/// Entity id marking an item as anonymous: no per-entity superseding is
+/// applied to it (only the exact-duplicate-origin merge).
+pub const ANON_ENTITY: u64 = 0;
 
 /// Per-client, per-flush delivery budgets.
 ///
@@ -53,14 +58,17 @@ impl FlushPolicy {
     /// first, ties in arrival order) and enforces the budgets,
     /// merging/dropping the farthest items first.
     ///
-    /// `origin_of` and `size_of` project an item's position and its
-    /// estimated wire cost; the policy stays generic over the payload
-    /// type so drivers and tests can reuse it.
+    /// `origin_of`, `entity_of` and `size_of` project an item's
+    /// position, source entity and estimated wire cost; the policy
+    /// stays generic over the payload type so drivers and tests can
+    /// reuse it. Pass [`ANON_ENTITY`] from `entity_of` to opt an item
+    /// out of per-entity superseding.
     pub fn select<U>(
         &self,
         viewer: Point,
         metric: Metric,
         origin_of: impl Fn(&U) -> Point,
+        entity_of: impl Fn(&U) -> u64,
         size_of: impl Fn(&U) -> usize,
         items: Vec<U>,
     ) -> Selection<U> {
@@ -77,6 +85,24 @@ impl FlushPolicy {
         let over_bytes = self.budget_bytes > 0
             && ranked.iter().map(|(_, _, u)| size_of(u)).sum::<usize>() > self.budget_bytes;
         if over_count || over_bytes {
+            // Supersede per entity: repeated same-sized updates from one
+            // moving entity inside a flush interval re-describe the same
+            // state, so only the newest needs to ship once the flush is
+            // degraded. Size-equality keeps distinct events (an action
+            // with a different payload) from merging with position
+            // updates, since items carry no finer type information here.
+            let mut newest: BTreeMap<(u64, usize), usize> = BTreeMap::new();
+            for (_, i, u) in &ranked {
+                let entity = entity_of(u);
+                if entity != ANON_ENTITY {
+                    let slot = newest.entry((entity, size_of(u))).or_insert(*i);
+                    *slot = (*slot).max(*i);
+                }
+            }
+            ranked.retain(|(_, i, u)| {
+                let entity = entity_of(u);
+                entity == ANON_ENTITY || newest[&(entity, size_of(u))] == *i
+            });
             // Merge exact-duplicate origins down to the most recent item:
             // repeated events from one point inside a single flush
             // interval supersede each other once the flush is degraded.
@@ -132,7 +158,14 @@ mod tests {
         viewer: Point,
         items: Vec<(Point, usize)>,
     ) -> Selection<(Point, usize)> {
-        policy.select(viewer, Metric::Euclidean, |u| u.0, |u| u.1, items)
+        policy.select(
+            viewer,
+            Metric::Euclidean,
+            |u| u.0,
+            |_| ANON_ENTITY,
+            |u| u.1,
+            items,
+        )
     }
 
     #[test]
@@ -211,6 +244,51 @@ mod tests {
         assert_eq!(sel.kept[0].1, 3, "merged to the newest duplicate");
         assert_eq!(sel.kept[1].0.x, 50.0, "merging freed room for the far item");
         assert_eq!(sel.dropped, 2);
+    }
+
+    #[test]
+    fn entity_updates_supersede_under_pressure() {
+        // Items: (origin, bytes, entity). Entity 7 walks away from the
+        // viewer; its three position updates are superseded states, so
+        // only the newest survives degradation even though the origins
+        // differ. The anonymous item and the different-sized item from
+        // the same entity (an action, not a position update) survive.
+        let viewer = Point::new(0.0, 0.0);
+        let items: Vec<(Point, usize, u64)> = vec![
+            (Point::new(10.0, 0.0), 8, 7),
+            (Point::new(12.0, 0.0), 8, 7),
+            (Point::new(14.0, 0.0), 8, 7),
+            (Point::new(13.0, 0.0), 64, 7), // action payload: kept apart
+            (Point::new(30.0, 0.0), 8, ANON_ENTITY),
+        ];
+        let sel = FlushPolicy {
+            max_items: 3,
+            budget_bytes: 0,
+        }
+        .select(viewer, Metric::Euclidean, |u| u.0, |u| u.2, |u| u.1, items);
+        assert_eq!(sel.dropped, 2);
+        let kept: Vec<(f64, usize)> = sel.kept.iter().map(|u| (u.0.x, u.1)).collect();
+        assert_eq!(
+            kept,
+            vec![(13.0, 64), (14.0, 8), (30.0, 8)],
+            "newest position per entity, the action, and the anonymous item"
+        );
+    }
+
+    #[test]
+    fn without_pressure_entity_history_is_preserved() {
+        let viewer = Point::new(0.0, 0.0);
+        let items: Vec<(Point, usize, u64)> =
+            vec![(Point::new(10.0, 0.0), 8, 7), (Point::new(12.0, 0.0), 8, 7)];
+        let sel = FlushPolicy::unlimited().select(
+            viewer,
+            Metric::Euclidean,
+            |u| u.0,
+            |u| u.2,
+            |u| u.1,
+            items,
+        );
+        assert_eq!(sel.kept.len(), 2, "no budget pressure, no superseding");
     }
 
     #[test]

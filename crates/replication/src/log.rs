@@ -1,0 +1,300 @@
+//! The primary-side replica log: what to ship to the standby, and when.
+
+use crate::snapshot::{RegionSnapshot, ReplicaOp};
+use matrix_sim::{SimDuration, SimTime};
+
+/// The payload of one replication batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplicaPayload<K: Ord> {
+    /// A full region snapshot — the standby replaces its state.
+    Full(RegionSnapshot<K>),
+    /// Incremental ops since the previous batch, in order.
+    Ops(Vec<ReplicaOp<K>>),
+}
+
+/// One numbered replication batch shipped primary → standby.
+///
+/// Sequence numbers are contiguous per primary/standby pairing; the
+/// receiver acks each batch and requests a resync (a fresh `Full`) on
+/// any gap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaBatch<K: Ord> {
+    /// Batch sequence number (1-based, contiguous).
+    pub seq: u64,
+    /// Snapshot or ops.
+    pub payload: ReplicaPayload<K>,
+}
+
+impl<K: Ord + Copy> ReplicaBatch<K> {
+    /// Estimated wire size in bytes for replication-overhead accounting.
+    pub fn wire_bytes(&self) -> usize {
+        let header = 24; // framing, seq, payload tag
+        header
+            + match &self.payload {
+                ReplicaPayload::Full(s) => s.wire_bytes(),
+                ReplicaPayload::Ops(ops) => ops.iter().map(ReplicaOp::wire_bytes).sum(),
+            }
+    }
+
+    /// Whether this batch carries a full snapshot.
+    pub fn is_full(&self) -> bool {
+        matches!(self.payload, ReplicaPayload::Full(_))
+    }
+}
+
+/// Counters describing a primary's replication stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicaLogStats {
+    /// Full snapshots shipped.
+    pub snapshots_shipped: u64,
+    /// Incremental ops shipped.
+    pub ops_shipped: u64,
+    /// Batches forced out early because the unshipped backlog hit the
+    /// lag cap.
+    pub lag_forced_ships: u64,
+    /// Resync requests received from the standby.
+    pub resyncs: u64,
+    /// Estimated bytes shipped.
+    pub bytes_shipped: u64,
+}
+
+/// The primary-side shipping policy for one warm standby.
+///
+/// The log records session-state ops as they happen and decides, each
+/// tick, whether a batch is due: the first batch (and any batch after a
+/// resync request) is a full snapshot; once a full snapshot has been
+/// acked, ops ship on the configured interval, or immediately when the
+/// backlog exceeds the lag cap — bounding how far the standby can fall
+/// behind regardless of interval.
+#[derive(Debug, Clone)]
+pub struct ReplicaLog<K: Ord> {
+    interval: SimDuration,
+    lag_cap: u32,
+    next_seq: u64,
+    /// Seq of the full snapshot most recently shipped, if its ack is
+    /// still outstanding.
+    unacked_full: Option<u64>,
+    /// Whether the standby holds an acked full snapshot to apply ops on.
+    synced: bool,
+    pending: Vec<ReplicaOp<K>>,
+    last_ship: Option<SimTime>,
+    stats: ReplicaLogStats,
+}
+
+impl<K: Ord + Copy> ReplicaLog<K> {
+    /// Creates a log shipping on `interval`, force-shipping at
+    /// `lag_cap` backlogged ops (`0` disables the cap).
+    pub fn new(interval: SimDuration, lag_cap: u32) -> ReplicaLog<K> {
+        ReplicaLog {
+            interval,
+            lag_cap,
+            next_seq: 1,
+            unacked_full: None,
+            synced: false,
+            pending: Vec::new(),
+            last_ship: None,
+            stats: ReplicaLogStats::default(),
+        }
+    }
+
+    /// Counters for experiments.
+    pub fn stats(&self) -> &ReplicaLogStats {
+        &self.stats
+    }
+
+    /// Ops recorded but not yet shipped.
+    pub fn backlog(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the standby has acknowledged a full snapshot (ops are
+    /// meaningful to it).
+    pub fn is_synced(&self) -> bool {
+        self.synced
+    }
+
+    /// Records one session-state op.
+    pub fn record(&mut self, op: ReplicaOp<K>) {
+        self.pending.push(op);
+    }
+
+    /// Whether a ship is due at `now`: the interval elapsed since the
+    /// last ship (or nothing was ever shipped), or the backlog hit the
+    /// lag cap.
+    pub fn due(&self, now: SimTime) -> bool {
+        let interval_due = match self.last_ship {
+            None => true,
+            Some(t) => now.since(t) >= self.interval,
+        };
+        let lag_due = self.lag_cap > 0 && self.pending.len() as u32 >= self.lag_cap;
+        interval_due || lag_due
+    }
+
+    /// Whether the next batch must be a full snapshot (nothing acked
+    /// yet, or the standby asked for a resync).
+    pub fn needs_full(&self) -> bool {
+        !self.synced && self.unacked_full.is_none()
+    }
+
+    /// Ships a full snapshot (the caller produces it only when
+    /// [`ReplicaLog::needs_full`] says so). Clears the backlog: the
+    /// snapshot supersedes every pending op.
+    pub fn ship_full(&mut self, now: SimTime, snapshot: RegionSnapshot<K>) -> ReplicaBatch<K> {
+        self.pending.clear();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.unacked_full = Some(seq);
+        self.last_ship = Some(now);
+        let batch = ReplicaBatch {
+            seq,
+            payload: ReplicaPayload::Full(snapshot),
+        };
+        self.stats.snapshots_shipped += 1;
+        self.stats.bytes_shipped += batch.wire_bytes() as u64;
+        batch
+    }
+
+    /// Ships the backlogged ops, or `None` when there is nothing to say
+    /// (an idle region produces no traffic).
+    pub fn ship_ops(&mut self, now: SimTime) -> Option<ReplicaBatch<K>> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        if self.lag_cap > 0 && self.pending.len() as u32 >= self.lag_cap {
+            self.stats.lag_forced_ships += 1;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.last_ship = Some(now);
+        let ops = std::mem::take(&mut self.pending);
+        self.stats.ops_shipped += ops.len() as u64;
+        let batch = ReplicaBatch {
+            seq,
+            payload: ReplicaPayload::Ops(ops),
+        };
+        self.stats.bytes_shipped += batch.wire_bytes() as u64;
+        Some(batch)
+    }
+
+    /// Handles the standby's acknowledgement of batch `seq`. A resync
+    /// ack means the standby saw a gap (or lost its state): the next
+    /// batch is a fresh full snapshot.
+    pub fn ack(&mut self, seq: u64, resync: bool) {
+        if resync {
+            self.stats.resyncs += 1;
+            self.synced = false;
+            self.unacked_full = None;
+            return;
+        }
+        if self.unacked_full == Some(seq) {
+            self.unacked_full = None;
+            self.synced = true;
+        }
+    }
+
+    /// Forgets everything (the standby was released or replaced): the
+    /// next pairing starts from a fresh full snapshot.
+    pub fn reset(&mut self) {
+        self.next_seq = 1;
+        self.unacked_full = None;
+        self.synced = false;
+        self.pending.clear();
+        self.last_ship = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix_geometry::Point;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    fn log() -> ReplicaLog<u64> {
+        ReplicaLog::new(SimDuration::from_millis(100), 4)
+    }
+
+    #[test]
+    fn first_ship_is_a_full_snapshot_then_ops() {
+        let mut log = log();
+        assert!(log.due(t(0)) && log.needs_full());
+        let full = log.ship_full(t(0), RegionSnapshot::default());
+        assert_eq!(full.seq, 1);
+        assert!(full.is_full());
+        // The full is in flight: the log neither resends one nor counts
+        // as synced until the ack lands.
+        assert!(!log.needs_full() && !log.is_synced());
+        log.ack(1, false);
+        assert!(log.is_synced() && !log.needs_full());
+
+        log.record(ReplicaOp::Move {
+            client: 1,
+            pos: Point::new(1.0, 1.0),
+        });
+        assert!(!log.due(t(50)), "inside the interval");
+        assert!(log.due(t(100)));
+        let ops = log.ship_ops(t(100)).expect("backlog present");
+        assert_eq!(ops.seq, 2);
+        assert!(!ops.is_full());
+        assert_eq!(log.backlog(), 0);
+    }
+
+    #[test]
+    fn idle_region_ships_nothing() {
+        let mut log = log();
+        log.ship_full(t(0), RegionSnapshot::default());
+        log.ack(1, false);
+        assert!(log.due(t(200)));
+        assert_eq!(log.ship_ops(t(200)), None);
+    }
+
+    #[test]
+    fn lag_cap_forces_an_early_ship() {
+        let mut log = log();
+        log.ship_full(t(0), RegionSnapshot::default());
+        log.ack(1, false);
+        for i in 0..4 {
+            log.record(ReplicaOp::Leave { client: i });
+        }
+        assert!(log.due(t(1)), "4 ops hit the cap inside the interval");
+        log.ship_ops(t(1)).unwrap();
+        assert_eq!(log.stats().lag_forced_ships, 1);
+    }
+
+    #[test]
+    fn resync_ack_reverts_to_full_snapshots() {
+        let mut log = log();
+        log.ship_full(t(0), RegionSnapshot::default());
+        log.ack(1, false);
+        log.record(ReplicaOp::Leave { client: 1 });
+        let b = log.ship_ops(t(100)).unwrap();
+        log.ack(b.seq, true); // standby lost state
+        assert!(log.needs_full());
+        assert_eq!(log.stats().resyncs, 1);
+        let again = log.ship_full(t(200), RegionSnapshot::default());
+        assert!(again.is_full());
+    }
+
+    #[test]
+    fn full_snapshot_supersedes_the_backlog() {
+        let mut log = log();
+        log.record(ReplicaOp::Leave { client: 1 });
+        log.record(ReplicaOp::Leave { client: 2 });
+        let full = log.ship_full(t(0), RegionSnapshot::default());
+        assert!(full.is_full());
+        assert_eq!(log.backlog(), 0, "ops before the snapshot are moot");
+    }
+
+    #[test]
+    fn reset_starts_a_fresh_pairing() {
+        let mut log = log();
+        log.ship_full(t(0), RegionSnapshot::default());
+        log.ack(1, false);
+        log.reset();
+        assert!(log.needs_full());
+        let b = log.ship_full(t(1), RegionSnapshot::default());
+        assert_eq!(b.seq, 1, "sequence restarts with the pairing");
+    }
+}

@@ -1,0 +1,174 @@
+//! The standby-side replica receiver.
+
+use crate::log::{ReplicaBatch, ReplicaPayload};
+use crate::snapshot::RegionSnapshot;
+
+/// What the receiver tells the primary after applying one batch: the
+/// acknowledgement to send back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaApply {
+    /// The sequence number being acknowledged.
+    pub seq: u64,
+    /// Whether the standby needs a fresh full snapshot (sequence gap or
+    /// ops arriving before any snapshot).
+    pub resync: bool,
+}
+
+/// The warm standby's half of the replication stream: holds the most
+/// recent region snapshot, applies incremental batches in sequence, and
+/// hands the snapshot over at promotion time.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaReceiver<K: Ord> {
+    state: Option<RegionSnapshot<K>>,
+    last_seq: u64,
+    /// Batches applied (snapshots + op batches).
+    pub batches_applied: u64,
+    /// Resyncs requested.
+    pub resyncs_requested: u64,
+}
+
+impl<K: Ord + Copy> ReplicaReceiver<K> {
+    /// An empty receiver awaiting its first snapshot.
+    pub fn new() -> ReplicaReceiver<K> {
+        ReplicaReceiver {
+            state: None,
+            last_seq: 0,
+            batches_applied: 0,
+            resyncs_requested: 0,
+        }
+    }
+
+    /// Whether a snapshot is held (the standby is warm).
+    pub fn is_warm(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// The held snapshot, if any (for observability).
+    pub fn snapshot(&self) -> Option<&RegionSnapshot<K>> {
+        self.state.as_ref()
+    }
+
+    /// Applies one batch and returns the ack to send. Full snapshots
+    /// replace the state and re-anchor the sequence; op batches must
+    /// arrive in contiguous sequence on top of a snapshot, otherwise the
+    /// batch is dropped and a resync requested.
+    pub fn apply(&mut self, batch: ReplicaBatch<K>) -> ReplicaApply {
+        match batch.payload {
+            ReplicaPayload::Full(snapshot) => {
+                self.state = Some(snapshot);
+                self.last_seq = batch.seq;
+                self.batches_applied += 1;
+                ReplicaApply {
+                    seq: batch.seq,
+                    resync: false,
+                }
+            }
+            ReplicaPayload::Ops(ops) => {
+                let in_sequence = self.state.is_some() && batch.seq == self.last_seq + 1;
+                if !in_sequence {
+                    self.resyncs_requested += 1;
+                    return ReplicaApply {
+                        seq: batch.seq,
+                        resync: true,
+                    };
+                }
+                let state = self.state.as_mut().expect("checked in_sequence");
+                for op in &ops {
+                    state.apply(op);
+                }
+                self.last_seq = batch.seq;
+                self.batches_applied += 1;
+                ReplicaApply {
+                    seq: batch.seq,
+                    resync: false,
+                }
+            }
+        }
+    }
+
+    /// Surrenders the snapshot for promotion, leaving the receiver
+    /// empty (a later re-pairing starts from a fresh snapshot).
+    pub fn take(&mut self) -> Option<RegionSnapshot<K>> {
+        self.last_seq = 0;
+        self.state.take()
+    }
+
+    /// Drops any held state (the pairing ended without promotion).
+    pub fn clear(&mut self) {
+        self.state = None;
+        self.last_seq = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::ReplicaOp;
+    use matrix_geometry::Point;
+
+    fn full(seq: u64) -> ReplicaBatch<u64> {
+        ReplicaBatch {
+            seq,
+            payload: ReplicaPayload::Full(RegionSnapshot::default()),
+        }
+    }
+
+    fn ops(seq: u64, ops: Vec<ReplicaOp<u64>>) -> ReplicaBatch<u64> {
+        ReplicaBatch {
+            seq,
+            payload: ReplicaPayload::Ops(ops),
+        }
+    }
+
+    #[test]
+    fn snapshot_then_contiguous_ops_apply() {
+        let mut rx: ReplicaReceiver<u64> = ReplicaReceiver::new();
+        assert!(!rx.is_warm());
+        assert_eq!(
+            rx.apply(full(1)),
+            ReplicaApply {
+                seq: 1,
+                resync: false
+            }
+        );
+        assert!(rx.is_warm());
+        let a = rx.apply(ops(
+            2,
+            vec![ReplicaOp::Join {
+                client: 7,
+                pos: Point::new(1.0, 2.0),
+                state_bytes: 8,
+            }],
+        ));
+        assert!(!a.resync);
+        assert_eq!(rx.snapshot().unwrap().client_count(), 1);
+    }
+
+    #[test]
+    fn ops_before_any_snapshot_request_resync() {
+        let mut rx: ReplicaReceiver<u64> = ReplicaReceiver::new();
+        let a = rx.apply(ops(1, vec![ReplicaOp::Leave { client: 1 }]));
+        assert!(a.resync);
+        assert!(!rx.is_warm());
+    }
+
+    #[test]
+    fn sequence_gap_requests_resync_and_drops_the_batch() {
+        let mut rx: ReplicaReceiver<u64> = ReplicaReceiver::new();
+        rx.apply(full(1));
+        let a = rx.apply(ops(3, vec![ReplicaOp::Leave { client: 1 }]));
+        assert!(a.resync);
+        // A fresh full snapshot re-anchors the sequence.
+        assert!(!rx.apply(full(4)).resync);
+        assert!(!rx.apply(ops(5, vec![])).resync);
+    }
+
+    #[test]
+    fn take_empties_the_receiver() {
+        let mut rx: ReplicaReceiver<u64> = ReplicaReceiver::new();
+        rx.apply(full(1));
+        assert!(rx.take().is_some());
+        assert!(!rx.is_warm());
+        assert!(rx.take().is_none());
+    }
+}

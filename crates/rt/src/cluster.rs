@@ -132,6 +132,14 @@ impl RtCluster {
             node.send(NodeMsg::Shutdown);
         }
     }
+
+    /// Kills one node as a crashed process would die: no flush, no
+    /// goodbye — its heartbeats simply stop, and the coordinator's
+    /// liveness sweep takes it from there (failover when the node had a
+    /// warm standby).
+    pub fn crash(&self, id: ServerId) {
+        self.router.send_node(id, NodeMsg::Crash);
+    }
 }
 
 async fn run_coordinator(
@@ -140,7 +148,11 @@ async fn run_coordinator(
     mut rx: mpsc::UnboundedReceiver<CoordMsg>,
 ) {
     let mut coordinator = Coordinator::new(cfg);
-    let mut sweep = tokio::time::interval(std::time::Duration::from_secs(1));
+    // Sweep at half the heartbeat timeout (bounded to [100ms, 1s]) so a
+    // short timeout — as failover tests configure — is honoured without
+    // waiting for a fixed one-second cadence.
+    let sweep_every = (cfg.heartbeat_timeout.as_micros() / 2).clamp(100_000, 1_000_000);
+    let mut sweep = tokio::time::interval(std::time::Duration::from_micros(sweep_every));
     loop {
         tokio::select! {
             maybe = rx.recv() => {

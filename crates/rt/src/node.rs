@@ -41,6 +41,10 @@ pub enum NodeMsg {
     Snapshot(oneshot::Sender<NodeSnapshot>),
     /// Graceful stop.
     Shutdown,
+    /// Simulated process death (failover tests): the task exits
+    /// immediately — no final flush, no goodbye, heartbeats just stop,
+    /// exactly as a crashed machine would look to the cluster.
+    Crash,
 }
 
 /// Observable state of a node.
@@ -155,6 +159,7 @@ async fn run_node(
                         dispatch_game(&router, id, &mut matrix, &mut game, actions);
                         break;
                     }
+                    NodeMsg::Crash => break,
                 }
             }
             _ = ticker.tick() => {
@@ -164,9 +169,12 @@ async fn run_node(
                     // the real queue and client counts drive adaptation.
                     let game_actions = game.on_tick(now, 0.0);
                     dispatch_game(&router, id, &mut matrix, &mut game, game_actions);
-                    let matrix_actions = matrix.on_tick(now);
-                    dispatch_matrix(&router, id, &mut matrix, &mut game, matrix_actions);
                 }
+                // The Matrix side ticks in every lifecycle: idle warm
+                // standbys heartbeat so the coordinator can tell a live
+                // standby from a dead one.
+                let matrix_actions = matrix.on_tick(now);
+                dispatch_matrix(&router, id, &mut matrix, &mut game, matrix_actions);
             }
         }
     }

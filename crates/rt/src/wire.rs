@@ -131,6 +131,91 @@ async fn serve_connection(stream: TcpStream, router: Router, entry: ServerId) {
     router.unregister_client(client_id);
 }
 
+/// A replication stream over a real TCP socket: newline-delimited,
+/// versioned JSON frames (`matrix_core::codec::encode_replica_batch` /
+/// `encode_replica_ack`).
+///
+/// The in-process cluster ships replica batches over the router; this
+/// endpoint carries the same batches between *machines* — a primary
+/// connects to its standby's listener (or vice versa; the framing is
+/// symmetric) and streams snapshots + ops one frame per line, reading
+/// acks off the same socket. Version mismatches surface as
+/// [`WireError::BadFrame`] before any state is adopted.
+pub struct ReplicaStream {
+    reader: tokio::io::Lines<BufReader<tokio::net::tcp::OwnedReadHalf>>,
+    writer: tokio::net::tcp::OwnedWriteHalf,
+}
+
+impl ReplicaStream {
+    /// Wraps an accepted or established socket.
+    pub fn new(stream: TcpStream) -> ReplicaStream {
+        let (read_half, write_half) = stream.into_split();
+        ReplicaStream {
+            reader: BufReader::new(read_half).lines(),
+            writer: write_half,
+        }
+    }
+
+    /// Connects to a listening peer.
+    ///
+    /// # Errors
+    ///
+    /// Returns connection errors from the operating system.
+    pub async fn connect(addr: impl ToSocketAddrs) -> Result<ReplicaStream, WireError> {
+        Ok(ReplicaStream::new(TcpStream::connect(addr).await?))
+    }
+
+    async fn send_line(&mut self, mut line: String) -> Result<(), WireError> {
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).await?;
+        Ok(())
+    }
+
+    async fn recv_line(&mut self) -> Result<String, WireError> {
+        self.reader.next_line().await?.ok_or(WireError::Closed)
+    }
+
+    /// Ships one replication batch (snapshot or ops).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors; encoding cannot fail.
+    pub async fn send_batch(&mut self, batch: &matrix_core::ReplicaBatch) -> Result<(), WireError> {
+        self.send_line(codec::encode_replica_batch(batch)).await
+    }
+
+    /// Receives the next replication batch.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Closed`] on hangup; [`WireError::BadFrame`] for
+    /// malformed frames or an unsupported replication format version.
+    pub async fn recv_batch(&mut self) -> Result<matrix_core::ReplicaBatch, WireError> {
+        let line = self.recv_line().await?;
+        Ok(codec::decode_replica_batch(&line)?)
+    }
+
+    /// Acknowledges a batch (`resync` requests a fresh full snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors; encoding cannot fail.
+    pub async fn send_ack(&mut self, seq: u64, resync: bool) -> Result<(), WireError> {
+        self.send_line(codec::encode_replica_ack(seq, resync)).await
+    }
+
+    /// Receives the next acknowledgement as `(seq, resync)`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Closed`] on hangup; [`WireError::BadFrame`] for
+    /// malformed or version-mismatched frames.
+    pub async fn recv_ack(&mut self) -> Result<(u64, bool), WireError> {
+        let line = self.recv_line().await?;
+        Ok(codec::decode_replica_ack(&line)?)
+    }
+}
+
 /// A remote TCP game client speaking the JSON-lines protocol.
 pub struct TcpGameClient {
     reader: tokio::io::Lines<BufReader<tokio::net::tcp::OwnedReadHalf>>,

@@ -182,6 +182,140 @@ async fn snapshots_expose_topology() {
     cluster.shutdown().await;
 }
 
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn killed_node_fails_over_to_its_warm_standby() {
+    // Tight timings so detection + promotion complete in test time.
+    let mut cfg = RtConfig::default();
+    cfg.matrix.standby_replication = true;
+    cfg.matrix.heartbeat_every = SimDuration::from_millis(100);
+    cfg.coordinator.heartbeat_timeout = SimDuration::from_millis(500);
+    cfg.game.tick = SimDuration::from_millis(20);
+    cfg.game.replica_interval = SimDuration::from_millis(100);
+    let cluster = RtCluster::start(cfg).await;
+
+    let mut alice = cluster.client(Point::new(100.0, 100.0));
+    let mut bob = cluster.client(Point::new(120.0, 100.0));
+    let _ = tokio::time::timeout(Duration::from_secs(2), alice.recv())
+        .await
+        .unwrap();
+    let _ = tokio::time::timeout(Duration::from_secs(2), bob.recv())
+        .await
+        .unwrap();
+    // Let the standby pairing and at least one replica snapshot ship.
+    tokio::time::sleep(Duration::from_millis(400)).await;
+
+    // Kill the bootstrap node mid-game: no flush, no goodbye.
+    cluster.crash(cluster.bootstrap_id());
+
+    // The coordinator's sweep declares it dead and promotes the warm
+    // standby; both clients are re-pointed without reconnecting their
+    // channel. Wait for the promoted server to become active again.
+    let mut promoted = None;
+    for _ in 0..40 {
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        let snaps = cluster.snapshots().await;
+        if let Some(s) = snaps
+            .iter()
+            .find(|s| s.lifecycle == Lifecycle::Active && s.game_stats.promotions > 0)
+        {
+            promoted = Some(s.id);
+            break;
+        }
+    }
+    let promoted = promoted.expect("a standby must promote");
+    assert_ne!(promoted, cluster.bootstrap_id());
+
+    // Drain the switch notifications, then keep playing: an action from
+    // alice must still reach bob through the promoted server.
+    tokio::time::sleep(Duration::from_millis(200)).await;
+    alice.drain();
+    bob.drain();
+    assert_eq!(alice.server(), promoted, "client re-pointed, not dropped");
+    let batches_before = bob.counters().batches;
+    alice.action(64);
+    let mut got_update = false;
+    for _ in 0..20 {
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        bob.drain();
+        if bob.counters().batches > batches_before {
+            got_update = true;
+            break;
+        }
+    }
+    assert!(got_update, "updates keep flowing after the failover");
+    // The promoted node restored the sessions from the replica.
+    let snaps = cluster.snapshots().await;
+    let node = snaps.iter().find(|s| s.id == promoted).unwrap();
+    assert!(node.game_stats.clients_restored >= 2, "{node:?}");
+    cluster.shutdown().await;
+}
+
+#[tokio::test]
+async fn replica_batches_cross_a_real_tcp_socket() {
+    use matrix_core::{ReplicaPayload, ReplicaReceiver};
+
+    // A primary-shaped snapshot travels the wire and lands in a standby
+    // receiver on the other end, which acks back over the same socket.
+    let listener = tokio::net::TcpListener::bind("127.0.0.1:0")
+        .await
+        .expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let standby = tokio::spawn(async move {
+        let (stream, _) = listener.accept().await.expect("accept");
+        let mut link = wire::ReplicaStream::new(stream);
+        let mut receiver: ReplicaReceiver<matrix_core::ClientId> = ReplicaReceiver::new();
+        // Snapshot, then one ops batch.
+        for _ in 0..2 {
+            let batch = link.recv_batch().await.expect("batch");
+            let ack = receiver.apply(batch);
+            link.send_ack(ack.seq, ack.resync).await.expect("ack");
+        }
+        receiver
+    });
+
+    let mut link = wire::ReplicaStream::connect(addr).await.expect("connect");
+    let mut snapshot = matrix_core::RegionSnapshot {
+        range: Some(matrix_geometry::Rect::from_coords(0.0, 0.0, 800.0, 800.0)),
+        radius: 100.0,
+        ready: true,
+        ..matrix_core::RegionSnapshot::default()
+    };
+    snapshot.clients.insert(
+        matrix_core::ClientId(7),
+        matrix_core::SessionState {
+            pos: Point::new(10.0, 20.0),
+            state_bytes: 512,
+        },
+    );
+    link.send_batch(&matrix_core::ReplicaBatch {
+        seq: 1,
+        payload: ReplicaPayload::Full(snapshot),
+    })
+    .await
+    .expect("send snapshot");
+    assert_eq!(link.recv_ack().await.expect("ack"), (1, false));
+
+    link.send_batch(&matrix_core::ReplicaBatch {
+        seq: 2,
+        payload: ReplicaPayload::Ops(vec![matrix_core::ReplicaOp::Move {
+            client: matrix_core::ClientId(7),
+            pos: Point::new(11.0, 20.0),
+        }]),
+    })
+    .await
+    .expect("send ops");
+    assert_eq!(link.recv_ack().await.expect("ack"), (2, false));
+
+    let receiver = standby.await.expect("standby task");
+    let snap = receiver.snapshot().expect("warm");
+    assert_eq!(
+        snap.clients[&matrix_core::ClientId(7)].pos,
+        Point::new(11.0, 20.0),
+        "the op applied on the far side of the socket"
+    );
+}
+
 #[tokio::test]
 async fn tcp_gateway_round_trip() {
     let cluster = RtCluster::start(RtConfig::default()).await;

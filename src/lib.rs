@@ -14,6 +14,8 @@
 //! * [`sim`] / [`metrics`] — the deterministic simulation substrate and
 //!   result tooling used by the experiment harness.
 //! * [`games`] — BzFlag / Quake 2 / Daimonin workload emulations.
+//! * [`replication`] — fault tolerance: region snapshots, the
+//!   warm-standby replica log and the failover receiver.
 //! * [`rt`] — the tokio runtime (in-process cluster + TCP gateway).
 //! * [`experiments`] — drivers that regenerate every table and figure of
 //!   the paper's evaluation.
@@ -44,5 +46,6 @@ pub use matrix_experiments as experiments;
 pub use matrix_games as games;
 pub use matrix_geometry as geometry;
 pub use matrix_metrics as metrics;
+pub use matrix_replication as replication;
 pub use matrix_rt as rt;
 pub use matrix_sim as sim;

@@ -8,7 +8,7 @@
 
 use matrix_middleware::core::{
     Action, ClientId, CoordMsg, CoordReply, GamePacket, GameToMatrix, LoadReport, MatrixConfig,
-    MatrixServer, PeerMsg, PoolMsg, PoolReply, SpatialTag,
+    MatrixServer, PeerMsg, PoolMsg, PoolPurpose, PoolReply, SpatialTag,
 };
 use matrix_middleware::geometry::{
     build_overlap, Metric, PartitionMap, Point, Rect, ServerId, SplitStrategy,
@@ -164,6 +164,7 @@ fn split_reports_consistent_geometry() {
             t,
             PoolReply::Grant {
                 server: ServerId(2),
+                purpose: PoolPurpose::Split,
             },
         );
 
@@ -231,6 +232,7 @@ fn adaptation_state_stays_consistent() {
                             t,
                             PoolReply::Grant {
                                 server: ServerId(next_child),
+                                purpose: PoolPurpose::Split,
                             },
                         );
                         next_child += 1;
