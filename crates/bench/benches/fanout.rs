@@ -34,10 +34,18 @@
 //! Uniform placement reaches 11–18× vs the btree scan; `grid_update`
 //! (the incremental reposition cost the scan does not pay) stays flat at
 //! ~65 ns regardless of n.
+//!
+//! PR 4 adds `interest_grid_autotuned`: the same query on a grid sized
+//! by the density tuner's steady state (`AutoTunerConfig::cells_for`)
+//! instead of the static 32. Recorded on the PR-4 machine (ns/iter,
+//! hotspot): 195 → 111 at n=100 and 289 → 171 at n=500 (the tuner
+//! coarsens a sparse grid, cutting empty-cell walks ~1.7×), converging
+//! with the static resolution once the crowd justifies 32+ cells
+//! (735 → 674 at 2000, parity at 8000).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use matrix_geometry::{Metric, Point, Rect};
-use matrix_interest::InterestGrid;
+use matrix_interest::{AutoTunerConfig, InterestGrid};
 use matrix_sim::SimRng;
 use std::collections::BTreeMap;
 use std::hint::black_box;
@@ -165,6 +173,31 @@ fn bench_fanout(c: &mut Criterion) {
                     black_box(hits)
                 });
             });
+
+            // The same query on a grid whose resolution the density
+            // auto-tuner would steady-state at for this population
+            // (`AutoTunerConfig::cells_for`), instead of the static 32:
+            // coarser for sparse crowds (fewer empty-cell walks), finer
+            // for dense ones (fewer candidates per cell).
+            let tuned_cells = AutoTunerConfig::enabled().cells_for(n);
+            let mut tuned: InterestGrid<u32> = InterestGrid::new(world(), tuned_cells);
+            for (k, p) in positions.iter().enumerate() {
+                tuned.insert(k as u32, *p);
+            }
+            group.bench_with_input(
+                BenchmarkId::new("interest_grid_autotuned", n),
+                &n,
+                |b, _| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let origin = probes[i % probes.len()];
+                        i += 1;
+                        let mut hits = 0u32;
+                        tuned.query(origin, RADIUS, Metric::Euclidean, |_, _| hits += 1);
+                        black_box(hits)
+                    });
+                },
+            );
 
             // Steady-state upkeep: the incremental reposition the grid
             // pays per client move (the scan pays nothing here — its

@@ -20,13 +20,15 @@
 //! ```
 //!
 //! Batch items come in two shapes: an absolute keyframe
-//! `[x, y, bytes, entity?]` and a delta `["d", dx, dy, bytes, entity?]`
-//! whose origin is the previous item's reconstructed origin offset by
-//! `(dx, dy)` (the first item of a batch chains off the last origin of
-//! the previous batch; see
+//! `[x, y, bytes, entity?, ring?]` and a delta
+//! `["d", dx, dy, bytes, entity?, ring?]` whose origin is the previous
+//! item's reconstructed origin offset by `(dx, dy)` (the first item of a
+//! batch chains off the last origin of the previous batch; see
 //! [`reconstruct_updates`](crate::reconstruct_updates)). The trailing
-//! source-entity tag is omitted for anonymous items and tolerated as
-//! absent on decode, so pre-entity frames still parse.
+//! source-entity and vision-ring tags are omitted when zero (anonymous
+//! item / near ring) and tolerated as absent on decode, so pre-entity
+//! and pre-ring frames still parse; a non-zero ring forces the entity
+//! tag to be present as its positional placeholder.
 //!
 //! The replication layer adds three frames, all carrying an explicit
 //! format version (`"v"`) so incompatible peers fail loudly instead of
@@ -54,7 +56,7 @@ use crate::messages::{
 };
 use crate::packet::ClientId;
 use matrix_geometry::{Point, Rect, ServerId};
-use matrix_replication::{PendingUpdate, ReplicaPayload, SessionState, StreamBase};
+use matrix_replication::{PendingUpdate, ReplicaPayload, SessionState, StreamBase, TunerState};
 use matrix_sim::SimTime;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -409,8 +411,11 @@ pub fn encode_game_to_client(msg: &GameToClient) -> String {
                         s.push(',');
                         push_f64(&mut s, u.origin.y);
                         let _ = write!(s, ",{}", u.payload_bytes);
-                        if u.entity != 0 {
+                        if u.entity != 0 || u.ring != 0 {
                             let _ = write!(s, ",{}", u.entity);
+                        }
+                        if u.ring != 0 {
+                            let _ = write!(s, ",{}", u.ring);
                         }
                         s.push(']');
                     }
@@ -420,8 +425,11 @@ pub fn encode_game_to_client(msg: &GameToClient) -> String {
                         s.push(',');
                         push_f64(&mut s, d.dy);
                         let _ = write!(s, ",{}", d.payload_bytes);
-                        if d.entity != 0 {
+                        if d.entity != 0 || d.ring != 0 {
                             let _ = write!(s, ",{}", d.entity);
+                        }
+                        if d.ring != 0 {
+                            let _ = write!(s, ",{}", d.ring);
                         }
                         s.push(']');
                     }
@@ -478,13 +486,18 @@ pub fn decode_game_to_client(line: &str) -> Result<GameToClient, CodecError> {
                 };
                 match fields.first() {
                     Some(Value::Str(tag)) if tag == "d" => {
-                        if fields.len() != 4 && fields.len() != 5 {
+                        if !(4..=6).contains(&fields.len()) {
                             return Err(CodecError::new(
-                                "delta batch item must have 4 or 5 elements",
+                                "delta batch item must have 4 to 6 elements",
                             ));
                         }
-                        let entity = if fields.len() == 5 {
+                        let entity = if fields.len() >= 5 {
                             num_at(4)? as u64
+                        } else {
+                            0
+                        };
+                        let ring = if fields.len() == 6 {
+                            num_at(5)? as u8
                         } else {
                             0
                         };
@@ -493,19 +506,25 @@ pub fn decode_game_to_client(line: &str) -> Result<GameToClient, CodecError> {
                             dy: num_at(2)?,
                             payload_bytes: num_at(3)? as usize,
                             entity,
+                            ring,
                         }));
                     }
                     Some(Value::Str(_)) => {
                         return Err(CodecError::new("unknown batch item tag"));
                     }
                     _ => {
-                        if fields.len() != 3 && fields.len() != 4 {
+                        if !(3..=5).contains(&fields.len()) {
                             return Err(CodecError::new(
-                                "absolute batch item must have 3 or 4 elements",
+                                "absolute batch item must have 3 to 5 elements",
                             ));
                         }
-                        let entity = if fields.len() == 4 {
+                        let entity = if fields.len() >= 4 {
                             num_at(3)? as u64
+                        } else {
+                            0
+                        };
+                        let ring = if fields.len() == 5 {
+                            num_at(4)? as u8
                         } else {
                             0
                         };
@@ -513,6 +532,7 @@ pub fn decode_game_to_client(line: &str) -> Result<GameToClient, CodecError> {
                             origin: Point::new(num_at(0)?, num_at(1)?),
                             payload_bytes: num_at(2)? as usize,
                             entity,
+                            ring,
                         }));
                     }
                 }
@@ -596,6 +616,17 @@ fn push_snapshot_body(s: &mut String, snap: &RegionSnapshot) {
     s.push_str(",\"radius\":");
     push_f64(s, snap.radius);
     let _ = write!(s, ",\"flushed_us\":{}", snap.last_flush.as_micros());
+    if let Some(t) = &snap.tuner {
+        // Optional, omitted when the primary runs a static grid: old
+        // decoders never see it, new decoders tolerate its absence.
+        // The third element (the in-flight streak's target) is itself
+        // omitted when idle.
+        if t.pending != 0 {
+            let _ = write!(s, ",\"tuner\":[{},{},{}]", t.cells, t.streak, t.pending);
+        } else {
+            let _ = write!(s, ",\"tuner\":[{},{}]", t.cells, t.streak);
+        }
+    }
     s.push_str(",\"clients\":[");
     for (i, (id, c)) in snap.clients.iter().enumerate() {
         if i > 0 {
@@ -632,7 +663,11 @@ fn push_snapshot_body(s: &mut String, snap: &RegionSnapshot) {
             push_f64(s, u.origin.x);
             s.push(',');
             push_f64(s, u.origin.y);
-            let _ = write!(s, ",{},{}]", u.payload_bytes, u.entity);
+            let _ = write!(s, ",{},{}", u.payload_bytes, u.entity);
+            if u.ring != 0 {
+                let _ = write!(s, ",{}", u.ring);
+            }
+            s.push(']');
         }
         s.push_str("]]");
     }
@@ -646,12 +681,29 @@ fn snapshot_from_obj(obj: &BTreeMap<String, Value>) -> Result<RegionSnapshot, Co
         Value::Arr(fields) if fields.len() == 4 => Some(rect_from(&nums(fields, "range")?)),
         _ => return Err(CodecError::new("field 'range' must be null or 4 numbers")),
     };
+    let tuner = match obj.get("tuner") {
+        None => None,
+        Some(Value::Arr(fields)) if fields.len() == 2 || fields.len() == 3 => {
+            let f = nums(fields, "tuner")?;
+            Some(TunerState {
+                cells: f[0] as u32,
+                streak: f[1] as u32,
+                pending: f.get(2).copied().unwrap_or(0.0) as u32,
+            })
+        }
+        Some(_) => {
+            return Err(CodecError::new(
+                "field 'tuner' must be [cells, streak, pending?]",
+            ))
+        }
+    };
     let mut snap = RegionSnapshot {
         range,
         radius: num(obj, "radius")?,
         ready: bool_field(obj, "ready")?,
         seq: uint(obj, "seq")?,
         last_flush: SimTime::from_micros(uint(obj, "flushed_us")?),
+        tuner,
         ..RegionSnapshot::default()
     };
     for entry in arr_field(obj, "clients")? {
@@ -705,15 +757,16 @@ fn snapshot_from_obj(obj: &BTreeMap<String, Value>) -> Result<RegionSnapshot, Co
                 return Err(CodecError::new("pending item must be an array"));
             };
             let f = nums(fields, "pending item")?;
-            if f.len() != 4 {
+            if f.len() != 4 && f.len() != 5 {
                 return Err(CodecError::new(
-                    "pending item must be [x, y, bytes, entity]",
+                    "pending item must be [x, y, bytes, entity, ring?]",
                 ));
             }
             updates.push(PendingUpdate {
                 origin: Point::new(f[0], f[1]),
                 payload_bytes: f[2] as usize,
                 entity: f[3] as u64,
+                ring: f.get(4).copied().unwrap_or(0.0) as u8,
             });
         }
         snap.pending.insert(ClientId(id as u64), updates);
@@ -941,23 +994,27 @@ mod tests {
                     origin: Point::new(10.5, -20.25),
                     payload_bytes: 64,
                     entity: 9,
+                    ring: 0,
                 }),
                 BatchItem::Absolute(UpdateItem {
                     origin: Point::new(0.0, 0.0),
                     payload_bytes: 0,
                     entity: 0,
+                    ring: 0,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: -1.25,
                     dy: 0.5,
                     payload_bytes: 32,
                     entity: 9,
+                    ring: 0,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 0.0,
                     dy: 0.0,
                     payload_bytes: 0,
                     entity: 0,
+                    ring: 0,
                 }),
             ],
         });
@@ -998,9 +1055,9 @@ mod tests {
         assert!(decode_game_to_client("{\"t\":\"batch\",\"updates\":[[1,2]]}").is_err());
         assert!(decode_game_to_client("{\"t\":\"batch\",\"updates\":[[\"d\",1,2]]}").is_err());
         assert!(decode_game_to_client("{\"t\":\"batch\",\"updates\":[[\"q\",1,2,3]]}").is_err());
-        assert!(decode_game_to_client("{\"t\":\"batch\",\"updates\":[[1,2,3,4,5]]}").is_err());
+        assert!(decode_game_to_client("{\"t\":\"batch\",\"updates\":[[1,2,3,4,5,6]]}").is_err());
         assert!(
-            decode_game_to_client("{\"t\":\"batch\",\"updates\":[[\"d\",1,2,3,4,5]]}").is_err()
+            decode_game_to_client("{\"t\":\"batch\",\"updates\":[[\"d\",1,2,3,4,5,6]]}").is_err()
         );
     }
 
@@ -1011,6 +1068,63 @@ mod tests {
         round_trip_client(ClientToGame::Move {
             pos: Point::new(f64::MAX / 2.0, f64::MIN_POSITIVE),
         });
+    }
+
+    #[test]
+    fn ring_tagged_items_round_trip_and_omit_zero() {
+        // Ring tags travel as the optional trailing element; a non-zero
+        // ring forces the entity placeholder. Near-ring (0) items encode
+        // exactly as pre-ring frames did.
+        let far = GameToClient::UpdateBatch {
+            updates: vec![
+                BatchItem::Absolute(UpdateItem {
+                    origin: Point::new(1.0, 2.0),
+                    payload_bytes: 8,
+                    entity: 0,
+                    ring: 2,
+                }),
+                BatchItem::Delta(DeltaItem {
+                    dx: 0.5,
+                    dy: -0.5,
+                    payload_bytes: 4,
+                    entity: 9,
+                    ring: 1,
+                }),
+            ],
+        };
+        let line = encode_game_to_client(&far);
+        assert!(line.contains("[1.0,2.0,8,0,2]"), "{line}");
+        assert!(line.contains("[\"d\",0.5,-0.5,4,9,1]"), "{line}");
+        assert_eq!(decode_game_to_client(&line).unwrap(), far);
+
+        let near = GameToClient::UpdateBatch {
+            updates: vec![BatchItem::Absolute(UpdateItem {
+                origin: Point::new(1.0, 2.0),
+                payload_bytes: 8,
+                entity: 7,
+                ring: 0,
+            })],
+        };
+        let line = encode_game_to_client(&near);
+        assert!(line.contains("[1.0,2.0,8,7]"), "ring 0 omitted: {line}");
+        assert_eq!(decode_game_to_client(&line).unwrap(), near);
+    }
+
+    #[test]
+    fn tuner_state_round_trips_and_is_omitted_when_absent() {
+        let mut snap = sample_snapshot();
+        assert!(
+            !encode_region_snapshot(&snap).contains("tuner"),
+            "static-grid snapshots stay byte-identical to pre-tuner frames"
+        );
+        snap.tuner = Some(TunerState {
+            cells: 64,
+            streak: 2,
+            pending: 0,
+        });
+        let line = encode_region_snapshot(&snap);
+        assert!(line.contains("\"tuner\":[64,2]"), "{line}");
+        assert_eq!(decode_region_snapshot(&line).unwrap(), snap);
     }
 
     #[test]
@@ -1055,6 +1169,7 @@ mod tests {
                 origin: Point::new(11.0, -3.0),
                 payload_bytes: 64,
                 entity: 9,
+                ring: 0,
             }],
         );
         snap
@@ -1148,6 +1263,13 @@ mod tests {
             snap.ready = next() % 2 == 0;
             snap.seq = next() % 1_000_000;
             snap.last_flush = SimTime::from_micros(next() % 10_000_000);
+            if next() % 3 == 0 {
+                snap.tuner = Some(TunerState {
+                    cells: (next() % 256) as u32 + 1,
+                    streak: (next() % 8) as u32,
+                    pending: (next() % 3 == 0) as u32 * ((next() % 256) as u32 + 1),
+                });
+            }
             for _ in 0..next() % 20 {
                 let id = ClientId(next() % 10_000);
                 let pos = Point::new(
@@ -1179,6 +1301,7 @@ mod tests {
                             ),
                             payload_bytes: (next() % 512) as usize,
                             entity: next() % 10_000,
+                            ring: (next() % 4) as u8,
                         })
                         .collect();
                     snap.pending.insert(id, items);

@@ -119,8 +119,27 @@ pub struct GameServerConfig {
     pub batch_interval: SimDuration,
     /// Resolution of the interest grid: cells along each axis of the
     /// server's range. Larger values cut per-query candidates but raise
-    /// per-move bookkeeping slightly.
+    /// per-move bookkeeping slightly. With `grid_autotune` on this is
+    /// only the starting point — the tuner re-picks it from observed
+    /// client density.
     pub cells_per_axis: u32,
+    /// Concentric vision-ring boundaries (world units, ascending; `0.0`
+    /// entries unused). When any radius is set, the rings *replace* the
+    /// binary `vision_radius`: the outermost ring is the effective
+    /// area-of-interest radius and each receiver is graded into the
+    /// innermost ring containing its distance to the event. All zero
+    /// (the default) keeps the single binary radius.
+    pub ring_radii: [f64; matrix_interest::MAX_RINGS],
+    /// Per-ring sampling rates parallel to `ring_radii`: a receiver in
+    /// ring *i* gets every `ring_sample_rates[i]`-th event (1 = every
+    /// event). The innermost ring is always delivered in full — near
+    /// means every event — regardless of this entry.
+    pub ring_sample_rates: [u32; matrix_interest::MAX_RINGS],
+    /// Density-driven grid resolution auto-tuning: re-pick
+    /// `cells_per_axis` from the observed client count (ratio
+    /// hysteresis + observation streak guard against thrash; the tuned
+    /// value replicates to warm standbys inside region snapshots).
+    pub grid_autotune: bool,
     /// Whether client-bound update fan-out is emitted as real messages
     /// (true under the runtime, where clients are live connections) or
     /// only counted (discrete-event runs that model fan-out as load).
@@ -178,6 +197,9 @@ impl Default for GameServerConfig {
             vision_radius: 0.0,
             batch_interval: SimDuration::from_millis(50),
             cells_per_axis: 32,
+            ring_radii: [0.0; matrix_interest::MAX_RINGS],
+            ring_sample_rates: [1; matrix_interest::MAX_RINGS],
+            grid_autotune: false,
             emit_updates: false,
             max_updates_per_flush: 128,
             client_budget_bytes: 0,
@@ -186,6 +208,26 @@ impl Default for GameServerConfig {
             replica_interval: SimDuration::from_millis(200),
             replica_lag_cap: 256,
         }
+    }
+}
+
+impl GameServerConfig {
+    /// Copies ring tiers from slice form (as game specs carry them) into
+    /// the fixed-size config arrays, truncating to
+    /// [`matrix_interest::MAX_RINGS`] tiers. Missing rates default to 1.
+    pub fn set_rings(&mut self, radii: &[f64], rates: &[u32]) {
+        self.ring_radii = [0.0; matrix_interest::MAX_RINGS];
+        self.ring_sample_rates = [1; matrix_interest::MAX_RINGS];
+        for (i, r) in radii.iter().take(matrix_interest::MAX_RINGS).enumerate() {
+            self.ring_radii[i] = *r;
+            self.ring_sample_rates[i] = rates.get(i).copied().unwrap_or(1).max(1);
+        }
+    }
+
+    /// Whether multi-ring AOI tiering is configured (any ring radius
+    /// set).
+    pub fn rings_configured(&self) -> bool {
+        self.ring_radii.iter().any(|r| *r > 0.0)
     }
 }
 
@@ -231,6 +273,22 @@ mod tests {
         let c = MatrixConfig::static_baseline();
         assert!(!c.adaptive);
         assert_eq!(c.overload_clients, MatrixConfig::default().overload_clients);
+    }
+
+    #[test]
+    fn rings_default_off_and_copy_from_slices() {
+        let mut c = GameServerConfig::default();
+        assert!(!c.rings_configured(), "binary radius by default");
+        c.set_rings(&[35.0, 65.0, 100.0], &[1, 2]);
+        assert!(c.rings_configured());
+        assert_eq!(c.ring_radii[..3], [35.0, 65.0, 100.0]);
+        assert_eq!(
+            c.ring_sample_rates[..3],
+            [1, 2, 1],
+            "missing rates default to every-event"
+        );
+        c.set_rings(&[], &[]);
+        assert!(!c.rings_configured(), "clearing restores the binary path");
     }
 
     #[test]

@@ -589,7 +589,18 @@ impl Coordinator {
         self.stats.failovers += 1;
         self.heartbeats.remove(&failed);
         self.heartbeats.insert(standby, now);
-        self.parents.remove(&failed);
+        // Re-parent the family tree: the promoted standby inherits the
+        // dead primary's parent (so an underloaded heir can still be
+        // reclaimed upward) and adopts its children (so they reclaim
+        // into the survivor instead of pointing at a ghost forever).
+        if let Some(parent) = self.parents.remove(&failed) {
+            self.parents.insert(standby, parent);
+        }
+        for parent in self.parents.values_mut() {
+            if *parent == failed {
+                *parent = standby;
+            }
+        }
         self.standbys.remove(&failed);
         self.log
             .emit(|| format!("failover {failed} -> {standby} at {now}"));
@@ -1037,6 +1048,67 @@ mod tests {
         assert!(actions
             .iter()
             .any(|a| matches!(a, CoordAction::Send(_, CoordReply::AbsorbFailed { .. }))));
+    }
+
+    #[test]
+    fn failover_reparents_children_onto_the_promoted_standby() {
+        // 1 splits to 2 (parent: 2 -> 1); 1 is replicated to standby 9.
+        // When 1 dies and 9 promotes, 2's parent link must be rewritten
+        // to 9 — so when 2 later dies without a standby, the absorb
+        // machinery's parent preference picks 9, not whatever neighbour
+        // happens to sort first.
+        let mut c = split_pair();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::StandbyAssigned {
+                primary: ServerId(1),
+                standby: ServerId(9),
+            },
+        );
+        keep_alive(&mut c, ServerId(2), 20);
+        keep_alive(&mut c, ServerId(9), 20);
+        let actions = c.check_liveness(SimTime::from_secs(24));
+        assert_eq!(c.stats().failovers, 1, "{actions:?}");
+        assert!(c.map().unwrap().contains_server(ServerId(9)));
+
+        // Now the split child dies with no standby of its own.
+        keep_alive(&mut c, ServerId(9), 39);
+        let actions = c.check_liveness(SimTime::from_secs(40));
+        assert!(
+            actions.iter().any(|a| matches!(a,
+                CoordAction::Send(heir, CoordReply::AbsorbFailed { failed, .. })
+                    if *heir == ServerId(9) && *failed == ServerId(2))),
+            "the re-parented standby absorbs its adopted child: {actions:?}"
+        );
+        assert_eq!(c.map().unwrap().range_of(ServerId(9)), Some(world()));
+    }
+
+    #[test]
+    fn promoted_standby_inherits_the_dead_primarys_parent() {
+        // 1 splits to 2 (parent: 2 -> 1); 2 is replicated to standby 9.
+        // When 2 dies and 9 promotes, 9 inherits 2's parent link — so a
+        // later death of 9 absorbs into 1 via the parent preference.
+        let mut c = split_pair();
+        c.handle(
+            SimTime::from_secs(1),
+            CoordMsg::StandbyAssigned {
+                primary: ServerId(2),
+                standby: ServerId(9),
+            },
+        );
+        keep_alive(&mut c, ServerId(1), 20);
+        keep_alive(&mut c, ServerId(9), 20);
+        c.check_liveness(SimTime::from_secs(24));
+        assert_eq!(c.stats().failovers, 1);
+
+        keep_alive(&mut c, ServerId(1), 40);
+        let actions = c.check_liveness(SimTime::from_secs(44));
+        assert!(
+            actions.iter().any(|a| matches!(a,
+                CoordAction::Send(heir, CoordReply::AbsorbFailed { failed, .. })
+                    if *heir == ServerId(1) && *failed == ServerId(9))),
+            "the inherited parent absorbs the promoted standby: {actions:?}"
+        );
     }
 
     #[test]

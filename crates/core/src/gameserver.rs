@@ -17,8 +17,13 @@ use crate::messages::{
 use crate::packet::{ClientId, GamePacket, SpatialTag};
 use bytes::Bytes;
 use matrix_geometry::{Point, Rect, ServerId};
-use matrix_interest::{DeltaEncoder, EncodedOrigin, FlushPolicy, InterestGrid, UpdateBatcher};
-use matrix_replication::{PendingUpdate, ReplicaLog, ReplicaReceiver, SessionState, StreamBase};
+use matrix_interest::{
+    AutoTunerConfig, DisseminationPipeline, EncodedOrigin, FlushPolicy, PipelineConfig, RingSet,
+    MAX_RINGS,
+};
+use matrix_replication::{
+    PendingUpdate, ReplicaLog, ReplicaReceiver, SessionState, StreamBase, TunerState,
+};
 use matrix_sim::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -101,6 +106,16 @@ pub struct GameStats {
     /// Client sessions restored from replicated snapshots during
     /// promotions (these clients kept their connection).
     pub clients_restored: u64,
+    /// Candidate receivers inside the AOI whose outer vision ring
+    /// sampled an event out (multi-tier AOI: far rings deliver every
+    /// N-th event instead of all of them).
+    pub updates_sampled_out: u64,
+    /// Delivered batch items per vision ring (index 0 = near ring; with
+    /// rings disabled everything lands in ring 0).
+    pub ring_items: [u64; MAX_RINGS],
+    /// Times the density-driven auto-tuner re-picked `cells_per_axis`
+    /// and rebuilt the interest grid.
+    pub grid_retunes: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -122,13 +137,11 @@ pub struct GameServerNode {
     radius: f64,
     range: Option<Rect>,
     clients: BTreeMap<ClientId, ClientRecord>,
-    /// Spatial-hash index over client positions: fan-out asks it "who can
-    /// see this point" instead of scanning every client.
-    grid: InterestGrid<ClientId>,
-    /// Client-bound updates coalescing until the next batch flush.
-    batcher: UpdateBatcher<ClientId, UpdateItem>,
-    /// Per-client delta compression of flushed origins.
-    encoder: DeltaEncoder<ClientId>,
+    /// The composable dissemination pipeline: interest grid → ring
+    /// tiering → entity merge → budget policy → delta encoding, plus the
+    /// density-driven grid auto-tuner. Owns all per-client send-path
+    /// state (spatial index, pending batches, delta streams).
+    pipeline: DisseminationPipeline<ClientId, UpdateItem>,
     /// Warm standby this region replicates to, once the Matrix server
     /// paired one from the pool.
     standby: Option<ServerId>,
@@ -154,13 +167,7 @@ impl GameServerNode {
             radius: 0.0,
             range: None,
             clients: BTreeMap::new(),
-            grid: Self::make_grid(Rect::from_coords(0.0, 0.0, 1.0, 1.0), &cfg),
-            batcher: UpdateBatcher::new(),
-            // The encoder's lattice check must match the quantum fan_out
-            // snaps origins to, or the two silently diverge and every
-            // item keyframes (0.0 disables both the snapping and the
-            // lattice requirement — see `DeltaEncoder::with_quantum`).
-            encoder: DeltaEncoder::new(cfg.keyframe_every).with_quantum(cfg.origin_quantum),
+            pipeline: Self::make_pipeline(Rect::from_coords(0.0, 0.0, 1.0, 1.0), &cfg, 0.0),
             standby: None,
             replica: ReplicaLog::new(cfg.replica_interval, cfg.replica_lag_cap),
             receiver: ReplicaReceiver::new(),
@@ -181,33 +188,63 @@ impl GameServerNode {
         self
     }
 
-    fn make_grid(bounds: Rect, cfg: &GameServerConfig) -> InterestGrid<ClientId> {
-        let cells = cfg.cells_per_axis.max(1);
-        // Hold jittering clients in their cell for a tenth of a cell; the
-        // grid widens queries by the same margin, so results are exact.
-        let margin = 0.1 * (bounds.width() / cells as f64).min(bounds.height() / cells as f64);
-        InterestGrid::new(bounds, cells).with_hysteresis(margin.max(0.0))
+    fn make_pipeline(
+        bounds: Rect,
+        cfg: &GameServerConfig,
+        registered_radius: f64,
+    ) -> DisseminationPipeline<ClientId, UpdateItem> {
+        DisseminationPipeline::new(
+            bounds,
+            cfg.cells_per_axis.max(1),
+            Self::ring_set_for(cfg, registered_radius),
+            PipelineConfig {
+                metric: cfg.metric,
+                policy: FlushPolicy {
+                    max_items: cfg.max_updates_per_flush as usize,
+                    budget_bytes: cfg.client_budget_bytes as usize,
+                },
+                // The encoder's lattice check must match the quantum
+                // fan_out snaps origins to, or the two silently diverge
+                // and every item keyframes (0.0 disables both the
+                // snapping and the lattice requirement).
+                keyframe_every: cfg.keyframe_every,
+                origin_quantum: cfg.origin_quantum,
+                autotune: if cfg.grid_autotune {
+                    AutoTunerConfig::enabled()
+                } else {
+                    AutoTunerConfig::default()
+                },
+            },
+        )
     }
 
-    /// Re-anchors the interest grid to a new managed range, re-indexing
-    /// the connected clients (splits and reclaims are rare; moves are
-    /// not — so the grid is rebuilt here and edited incrementally
-    /// everywhere else).
-    fn rebuild_grid(&mut self, bounds: Rect) {
-        self.grid = Self::make_grid(bounds, &self.cfg);
-        for (cid, rec) in &self.clients {
-            self.grid.insert(*cid, rec.pos);
-        }
-    }
-
-    /// The per-client area-of-interest radius: configured vision radius,
-    /// falling back to the game's registered radius of visibility.
-    fn vision_radius(&self) -> f64 {
-        if self.cfg.vision_radius > 0.0 {
-            self.cfg.vision_radius
+    /// The AOI tiers for a config: the configured concentric rings, or
+    /// the single binary vision radius when none are set.
+    fn ring_set_for(cfg: &GameServerConfig, registered_radius: f64) -> RingSet {
+        if cfg.rings_configured() {
+            RingSet::from_tiers(&cfg.ring_radii, &cfg.ring_sample_rates)
         } else {
-            self.radius
+            let vision = if cfg.vision_radius > 0.0 {
+                cfg.vision_radius
+            } else {
+                registered_radius
+            };
+            RingSet::single(vision)
         }
+    }
+
+    /// Re-anchors the pipeline's interest grid to a new managed range,
+    /// re-indexing the connected clients, and refreshes the ring tiers
+    /// (the registered radius may have changed with the range). Splits
+    /// and reclaims are rare; moves are not — so the grid is rebuilt
+    /// here and edited incrementally everywhere else.
+    fn rebuild_grid(&mut self, bounds: Rect) {
+        self.pipeline.reset(
+            bounds,
+            self.clients.iter().map(|(cid, rec)| (*cid, rec.pos)),
+        );
+        self.pipeline
+            .set_rings(Self::ring_set_for(&self.cfg, self.radius));
     }
 
     /// Developer API entry point: register the game with Matrix
@@ -303,10 +340,9 @@ impl GameServerNode {
                         resolving: false,
                     },
                 );
-                self.grid.insert(client, pos);
-                // Resync: a (re)joining client holds no delta base, so
-                // its next flush must start with a keyframe.
-                self.encoder.reset(client);
+                // Subscribe also resyncs the delta stream: a (re)joining
+                // client holds no base, so its next flush keyframes.
+                self.pipeline.subscribe(client, pos);
                 self.replicate(ReplicaOp::Join {
                     client,
                     pos,
@@ -325,7 +361,7 @@ impl GameServerNode {
                     return Vec::new(); // stale packet from a switched client
                 };
                 rec.pos = pos;
-                self.grid.update(client, pos);
+                self.pipeline.reposition(client, pos);
                 self.replicate(ReplicaOp::Move { client, pos });
                 let mut out = self.forward_event(client, pos, self.cfg_move_bytes());
                 out.extend(self.fan_out(now, pos, self.cfg_move_bytes(), Some(client), client.0));
@@ -338,7 +374,7 @@ impl GameServerNode {
                     return Vec::new();
                 };
                 rec.pos = pos;
-                self.grid.update(client, pos);
+                self.pipeline.reposition(client, pos);
                 self.replicate(ReplicaOp::Move { client, pos });
                 let seq = self.seq;
                 let mut out = self.forward_event(client, pos, payload_bytes);
@@ -350,9 +386,7 @@ impl GameServerNode {
             ClientToGame::Leave => {
                 if self.clients.remove(&client).is_some() {
                     self.stats.leaves += 1;
-                    self.grid.remove(client);
-                    self.stats.updates_dropped += self.batcher.forget(client) as u64;
-                    self.encoder.forget(client);
+                    self.stats.updates_dropped += self.pipeline.unsubscribe(client) as u64;
                     self.replicate(ReplicaOp::Leave { client });
                 }
                 Vec::new()
@@ -383,11 +417,14 @@ impl GameServerNode {
     }
 
     /// Delivers an event to every local client whose area of interest
-    /// contains it. Receivers come from the interest grid (O(cells +
-    /// matches) instead of a scan over all clients); emitted updates are
-    /// coalesced per client and flushed as `UpdateBatch` messages on the
-    /// batch interval. Emission is optional; counting is not, because the
-    /// fan-out volume is what loads a hotspot server.
+    /// contains it, through the pipeline's query + tiering stages:
+    /// receivers come from the interest grid (O(cells + matches) instead
+    /// of a scan over all clients), each is graded into its vision ring
+    /// by distance, and outer rings deterministically sample (near =
+    /// every event). Admitted updates coalesce per client and flush as
+    /// `UpdateBatch` messages on the batch interval. Emission is
+    /// optional; counting is not, because the fan-out volume is what
+    /// loads a hotspot server.
     fn fan_out(
         &mut self,
         now: SimTime,
@@ -396,53 +433,41 @@ impl GameServerNode {
         exclude: Option<ClientId>,
         entity: u64,
     ) -> Vec<GameAction> {
-        let mut n = 0;
-        let emit = self.emit_fanout;
-        let vision = self.vision_radius();
-        let batcher = &mut self.batcher;
         // Receivers are selected against the true origin; what they are
         // *told* is the lattice-snapped origin, so inter-origin offsets
         // fit the compact delta frame (see `matrix_interest::quantize`).
         let wire_origin = matrix_interest::quantize(origin, self.cfg.origin_quantum);
-        self.grid.query(origin, vision, self.cfg.metric, |cid, _| {
-            if Some(cid) == exclude {
-                return;
-            }
-            n += 1;
-            if emit {
-                batcher.push(
-                    cid,
-                    UpdateItem {
-                        origin: wire_origin,
-                        payload_bytes,
-                        entity,
-                    },
-                );
-            }
-        });
-        self.stats.updates_fanned += n;
+        let stats = self
+            .pipeline
+            .disseminate(origin, exclude, self.emit_fanout, |ring| UpdateItem {
+                origin: wire_origin,
+                payload_bytes,
+                entity,
+                ring,
+            });
+        self.stats.updates_fanned += stats.delivered;
+        self.stats.updates_sampled_out += stats.sampled_out;
         self.flush_if_due(now)
     }
 
     /// Flushes pending batches when the batch interval has elapsed.
     fn flush_if_due(&mut self, now: SimTime) -> Vec<GameAction> {
-        if self.batcher.is_empty() || now.since(self.last_flush) < self.cfg.batch_interval {
+        if !self.pipeline.has_pending() || now.since(self.last_flush) < self.cfg.batch_interval {
             return Vec::new();
         }
         self.flush_updates(now)
     }
 
-    /// Flushes every pending client-bound update batch immediately,
-    /// running the full dissemination pipeline per client:
-    ///
-    /// 1. **priority + rate limiting** ([`FlushPolicy`]) — pending items
-    ///    are ranked nearest-first against the client's position and the
-    ///    farthest are merged/dropped until `max_updates_per_flush` /
-    ///    `client_budget_bytes` fit;
-    /// 2. **delta compression** ([`DeltaEncoder`]) — surviving origins
-    ///    are chained as exact offsets with periodic keyframes, shrinking
-    ///    each item from [`UpdateItem::WIRE_BYTES`] to
-    ///    [`DeltaItem::WIRE_BYTES`] of framing.
+    /// Flushes every pending client-bound update batch immediately
+    /// through the pipeline's merge → budget → encode stages
+    /// ([`matrix_interest::DisseminationPipeline::flush`]): pending
+    /// items are ranked nearest-first against each client's position,
+    /// per-entity duplicates superseded and the farthest merged/dropped
+    /// until `max_updates_per_flush` / `client_budget_bytes` fit, then
+    /// surviving origins are chained as exact delta offsets with
+    /// periodic keyframes, shrinking each item from
+    /// [`UpdateItem::WIRE_BYTES`] to [`DeltaItem::WIRE_BYTES`] of
+    /// framing.
     ///
     /// Drivers call this from their tick path (both the discrete-event
     /// harness and the async runtime tick through [`GameServerNode::on_tick`],
@@ -452,54 +477,37 @@ impl GameServerNode {
     /// per-client delta bases.
     pub fn flush_updates(&mut self, now: SimTime) -> Vec<GameAction> {
         self.last_flush = now;
-        if self.batcher.is_empty() {
+        if !self.pipeline.has_pending() {
             return Vec::new();
         }
-        let policy = FlushPolicy {
-            max_items: self.cfg.max_updates_per_flush as usize,
-            budget_bytes: self.cfg.client_budget_bytes as usize,
-        };
-        let mut out = Vec::new();
-        for (cid, updates) in self.batcher.drain() {
-            // A client may have switched away between queueing and flush.
-            let Some(rec) = self.clients.get(&cid) else {
-                self.stats.updates_dropped += updates.len() as u64;
-                self.encoder.forget(cid);
-                continue;
-            };
-            let selection = policy.select(
-                rec.pos,
-                self.cfg.metric,
-                |u: &UpdateItem| u.origin,
-                |u: &UpdateItem| u.entity,
-                |u: &UpdateItem| UpdateItem::WIRE_BYTES + u.payload_bytes,
-                updates,
-            );
-            self.stats.updates_rate_limited += selection.dropped as u64;
-            let origins: Vec<Point> = selection.kept.iter().map(|u| u.origin).collect();
-            let encoded = self.encoder.encode_flush(cid, &origins);
-            let items: Vec<BatchItem> = selection
-                .kept
-                .into_iter()
-                .zip(encoded)
-                .map(|(u, e)| match e {
-                    EncodedOrigin::Absolute(origin) => BatchItem::Absolute(UpdateItem {
-                        origin,
-                        payload_bytes: u.payload_bytes,
-                        entity: u.entity,
-                    }),
+        // A client may have switched away between queueing and flush:
+        // the pipeline orphans its items instead of delivering them.
+        let clients = &self.clients;
+        let outcome = self
+            .pipeline
+            .flush(|cid| clients.get(&cid).map(|rec| rec.pos));
+        self.stats.updates_dropped += outcome.orphaned;
+        let mut out = Vec::with_capacity(outcome.batches.len());
+        for batch in outcome.batches {
+            self.stats.updates_rate_limited += batch.rate_limited;
+            self.stats.batches_flushed += 1;
+            self.stats.updates_batched += batch.items.len() as u64;
+            let mut items = Vec::with_capacity(batch.items.len());
+            for (u, encoded) in batch.items.into_iter().zip(batch.origins) {
+                let item = match encoded {
+                    EncodedOrigin::Absolute(origin) => {
+                        BatchItem::Absolute(UpdateItem { origin, ..u })
+                    }
                     EncodedOrigin::Offset { dx, dy } => BatchItem::Delta(DeltaItem {
                         dx,
                         dy,
                         payload_bytes: u.payload_bytes,
                         entity: u.entity,
+                        ring: u.ring,
                     }),
-                })
-                .collect();
-            self.stats.batches_flushed += 1;
-            self.stats.updates_batched += items.len() as u64;
-            for item in &items {
+                };
                 self.stats.batch_bytes += item.wire_bytes() as u64;
+                self.stats.ring_items[(u.ring as usize).min(MAX_RINGS - 1)] += 1;
                 if item.is_keyframe() {
                     self.stats.keyframe_items += 1;
                 } else {
@@ -507,10 +515,11 @@ impl GameServerNode {
                     self.stats.delta_bytes_saved +=
                         (UpdateItem::WIRE_BYTES - DeltaItem::WIRE_BYTES) as u64;
                 }
+                items.push(item);
             }
             self.stats.batch_bytes += BATCH_HEADER_BYTES;
             out.push(GameAction::ToClient(
-                cid,
+                batch.receiver,
                 GameToClient::UpdateBatch { updates: items },
             ));
         }
@@ -523,14 +532,21 @@ impl GameServerNode {
     /// against a base it lost with the old connection.
     pub fn shutdown_flush(&mut self, now: SimTime) -> Vec<GameAction> {
         let out = self.flush_updates(now);
-        self.encoder.clear();
+        self.pipeline.clear_streams();
         out
     }
 
     /// Number of clients whose delta stream currently holds a base
     /// (observability for drivers and tests).
     pub fn delta_streams(&self) -> usize {
-        self.encoder.streams()
+        self.pipeline.streams()
+    }
+
+    /// The interest grid's current resolution (cells per axis) — the
+    /// configured value, or whatever the density-driven auto-tuner last
+    /// picked when `grid_autotune` is on.
+    pub fn grid_cells_per_axis(&self) -> u32 {
+        self.pipeline.cells_per_axis()
     }
 
     /// Ships the next replication batch to the warm standby when one is
@@ -698,8 +714,10 @@ impl GameServerNode {
         // and the captured pending updates were almost certainly
         // delivered long ago. Drop both — streams resync through
         // keyframes, and fresh events refill the batcher immediately.
-        self.encoder.clear();
-        self.batcher = UpdateBatcher::new();
+        // (The tuner state restored above survives: the promoted grid
+        // keeps the dead primary's tuned resolution.)
+        self.pipeline.clear_streams();
+        self.pipeline.clear_pending();
         self.stats.promotions += 1;
         let clients: Vec<ClientId> = self.clients.keys().copied().collect();
         clients
@@ -733,10 +751,10 @@ impl GameServerNode {
                 },
             );
         }
-        for (cid, base, countdown) in self.encoder.export_streams() {
+        for (cid, base, countdown) in self.pipeline.export_streams() {
             snap.streams.insert(cid, StreamBase { base, countdown });
         }
-        for (cid, items) in self.batcher.peek() {
+        for (cid, items) in self.pipeline.pending() {
             snap.pending.insert(
                 *cid,
                 items
@@ -745,9 +763,23 @@ impl GameServerNode {
                         origin: u.origin,
                         payload_bytes: u.payload_bytes,
                         entity: u.entity,
+                        ring: u.ring,
                     })
                     .collect(),
             );
+        }
+        // Ship the tuner state whenever there is something to inherit:
+        // the tuner is live, or an earlier inheritance moved the grid
+        // off the configured resolution.
+        if self.pipeline.autotune_enabled()
+            || self.pipeline.cells_per_axis() != self.cfg.cells_per_axis.max(1)
+        {
+            let (cells, streak, pending) = self.pipeline.tuner_state();
+            snap.tuner = Some(TunerState {
+                cells,
+                streak,
+                pending,
+            });
         }
         snap
     }
@@ -777,24 +809,33 @@ impl GameServerNode {
                 )
             })
             .collect();
-        let bounds = snap.range.unwrap_or(self.grid.bounds());
+        let bounds = snap.range.unwrap_or(self.pipeline.grid().bounds());
+        if let Some(t) = snap.tuner {
+            // Inherit the primary's tuned resolution *before* the grid
+            // rebuild below, so the restored population is indexed once
+            // at the final resolution (on a fresh standby the pipeline
+            // is empty here, making this adoption free).
+            self.pipeline.restore_tuner(t.cells, t.streak, t.pending);
+        }
         self.rebuild_grid(bounds);
-        self.encoder =
-            DeltaEncoder::new(self.cfg.keyframe_every).with_quantum(self.cfg.origin_quantum);
-        self.encoder.import_streams(
+        self.pipeline.clear_streams();
+        self.pipeline.import_streams(
             snap.streams
                 .into_iter()
                 .map(|(cid, s)| (cid, s.base, s.countdown)),
         );
-        self.batcher = UpdateBatcher::new();
+        self.pipeline.clear_pending();
         for (cid, items) in snap.pending {
             for u in items {
-                self.batcher.push(
+                // Already admitted by the primary's ring sampler: queue
+                // directly, bypassing re-sampling.
+                self.pipeline.enqueue(
                     cid,
                     UpdateItem {
                         origin: u.origin,
                         payload_bytes: u.payload_bytes,
                         entity: u.entity,
+                        ring: u.ring,
                     },
                 );
             }
@@ -826,9 +867,7 @@ impl GameServerNode {
         let mut out = Vec::with_capacity(moving.len() * 2);
         for (client, rec) in moving {
             self.clients.remove(&client);
-            self.grid.remove(client);
-            self.stats.updates_dropped += self.batcher.forget(client) as u64;
-            self.encoder.forget(client);
+            self.stats.updates_dropped += self.pipeline.unsubscribe(client) as u64;
             self.replicate(ReplicaOp::Leave { client });
             self.stats.redirects_out += 1;
             out.push(GameAction::ToMatrix(GameToMatrix::TransferClient {
@@ -848,9 +887,7 @@ impl GameServerNode {
         let Some(rec) = self.clients.remove(&client) else {
             return Vec::new();
         };
-        self.grid.remove(client);
-        self.stats.updates_dropped += self.batcher.forget(client) as u64;
-        self.encoder.forget(client);
+        self.stats.updates_dropped += self.pipeline.unsubscribe(client) as u64;
         self.replicate(ReplicaOp::Leave { client });
         self.stats.redirects_out += 1;
         vec![
@@ -874,6 +911,11 @@ impl GameServerNode {
     pub fn on_tick(&mut self, now: SimTime, queue_backlog: f64) -> Vec<GameAction> {
         self.ticks += 1;
         let mut out = self.flush_if_due(now);
+        // Density-driven grid auto-tuning: one observation per tick;
+        // the pipeline rebuilds its grid when the tuner decides.
+        if self.pipeline.maybe_retune().is_some() {
+            self.stats.grid_retunes += 1;
+        }
         out.extend(self.ship_replica(now));
         if self
             .ticks

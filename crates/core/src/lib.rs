@@ -20,18 +20,24 @@
 //!   this event" in O(cells + matches) instead of scanning every
 //!   client, with a per-client vision radius
 //!   (`GameServerConfig::vision_radius`) distinct from the
-//!   consistency-set radius, and an [`UpdateBatcher`] that coalesces
-//!   client-bound updates into `GameToClient::UpdateBatch` messages on
-//!   a configurable flush interval (`batch_interval`), with bandwidth
-//!   accounting in [`GameStats`],
-//! * **adaptive per-client dissemination** on every batch flush: a
+//!   consistency-set radius — or a multi-tier AOI of concentric
+//!   [`RingSet`] vision rings (`ring_radii` / `ring_sample_rates`:
+//!   near = every event, outer tiers deterministically sampled) — and
+//!   an [`UpdateBatcher`] that coalesces client-bound updates into
+//!   `GameToClient::UpdateBatch` messages on a configurable flush
+//!   interval (`batch_interval`), with bandwidth accounting in
+//!   [`GameStats`],
+//! * **adaptive per-client dissemination** on every batch flush,
+//!   composed as an explicit [`DisseminationPipeline`]: a
 //!   [`FlushPolicy`] ranks pending items by relevance and merges/drops
 //!   the farthest first to fit the `max_updates_per_flush` /
 //!   `client_budget_bytes` budgets, and a [`DeltaEncoder`] compresses
 //!   item origins into exact deltas ([`BatchItem::Delta`]) with
 //!   periodic keyframes (`keyframe_every`) and resync on join/handover
 //!   — receivers rebuild absolute positions with
-//!   [`reconstruct_updates`].
+//!   [`reconstruct_updates`]. A density-driven [`AutoTuner`]
+//!   (`grid_autotune`) re-picks the grid resolution as regions fill
+//!   and drain, and replicates its learned state to warm standbys.
 //!
 //! Every component is a **sans-io state machine**: handlers take one input
 //! message and return the actions to perform. The discrete-event harness
@@ -101,8 +107,9 @@ pub use server::{Action, Lifecycle, MatrixServer, ServerStats};
 // servers own an `InterestGrid` and drivers may want to query it; the
 // delta codec and flush policy are reused by clients and test suites.
 pub use matrix_interest::{
-    quantize, DeltaEncoder, DeltaStream, EncodedOrigin, FlushPolicy, InterestGrid, Selection,
-    UpdateBatcher, ANON_ENTITY,
+    quantize, AutoTuner, AutoTunerConfig, DeltaEncoder, DeltaStream, Disseminated,
+    DisseminationPipeline, EncodedOrigin, FlushPolicy, InterestGrid, PipelineConfig, RingSampler,
+    RingSet, Selection, UpdateBatcher, ANON_ENTITY, MAX_RINGS,
 };
 
 // Re-export the replication subsystem's moving parts: drivers inspect

@@ -67,12 +67,18 @@ pub struct UpdateItem {
     /// Receivers use it to attribute updates; the flush policy uses it
     /// to merge superseded per-entity position updates under pressure.
     pub entity: u64,
+    /// The vision ring the receiver saw this event through (`0` = the
+    /// near ring, delivered in full; higher tiers are sampled). Clients
+    /// use it to grade rendering fidelity — a far-ring entity is known
+    /// to update at a fraction of the rate.
+    pub ring: u8,
 }
 
 impl UpdateItem {
     /// Per-item overhead on the wire beyond the payload itself
     /// (coordinates + length + entity tag), used for bandwidth
-    /// accounting.
+    /// accounting. The ring tier rides in two spare bits of the entity
+    /// tag's header byte, so it costs no extra wire bytes.
     pub const WIRE_BYTES: usize = 24;
 }
 
@@ -96,6 +102,9 @@ pub struct DeltaItem {
     /// Source entity id (`0` = anonymous), same as
     /// [`UpdateItem::entity`].
     pub entity: u64,
+    /// The vision ring the receiver saw this event through, same as
+    /// [`UpdateItem::ring`].
+    pub ring: u8,
 }
 
 impl DeltaItem {
@@ -106,7 +115,8 @@ impl DeltaItem {
     /// coordinates — attainable because the encoder only emits deltas
     /// that are exact multiples of the 1/256 wire quantum within the
     /// ±4096 threshold (21 bits per axis); anything else ships as an
-    /// absolute keyframe.
+    /// absolute keyframe. The ring tier rides in two spare bits of the
+    /// entity tag's header byte, so it costs no extra wire bytes.
     pub const WIRE_BYTES: usize = 12;
 }
 
@@ -150,6 +160,14 @@ impl BatchItem {
             BatchItem::Delta(d) => d.entity,
         }
     }
+
+    /// The vision ring the receiver saw this event through (`0` = near).
+    pub fn ring(&self) -> u8 {
+        match self {
+            BatchItem::Absolute(u) => u.ring,
+            BatchItem::Delta(d) => d.ring,
+        }
+    }
 }
 
 /// Reconstructs the absolute [`UpdateItem`]s of one batch, threading the
@@ -176,9 +194,31 @@ pub fn reconstruct_updates(
             origin,
             payload_bytes: item.payload_bytes(),
             entity: item.entity(),
+            ring: item.ring(),
         });
     }
     Some(out)
+}
+
+/// The pipeline's view of an [`UpdateItem`]: origin, source entity and
+/// absolute wire cost (item framing + payload), as the budget policy
+/// estimates it.
+impl matrix_interest::Disseminated for UpdateItem {
+    fn origin(&self) -> Point {
+        self.origin
+    }
+
+    fn entity(&self) -> u64 {
+        self.entity
+    }
+
+    fn wire_bytes(&self) -> usize {
+        UpdateItem::WIRE_BYTES + self.payload_bytes
+    }
+
+    fn ring(&self) -> u8 {
+        self.ring
+    }
 }
 
 /// Messages a game server sends to a client.
@@ -739,12 +779,14 @@ mod tests {
                     origin: Point::new(0.1, 0.2),
                     payload_bytes: 90,
                     entity: 7,
+                    ring: 0,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 2.9,
                     dy: 3.8,
                     payload_bytes: 32,
                     entity: 0,
+                    ring: 0,
                 }),
             ],
         };
@@ -762,12 +804,14 @@ mod tests {
                     origin: Point::new(10.0, 10.0),
                     payload_bytes: 4,
                     entity: 3,
+                    ring: 0,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 1.5,
                     dy: -0.5,
                     payload_bytes: 8,
                     entity: 4,
+                    ring: 0,
                 }),
             ],
         )
@@ -781,6 +825,7 @@ mod tests {
                 dy: 0.5,
                 payload_bytes: 1,
                 entity: 3,
+                ring: 0,
             })],
         )
         .unwrap();
@@ -794,6 +839,7 @@ mod tests {
                     dy: 1.0,
                     payload_bytes: 0,
                     entity: 0,
+                    ring: 0,
                 })]
             ),
             None

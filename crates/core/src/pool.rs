@@ -5,11 +5,17 @@
 //! lets experiments study pool exhaustion (what happens when there is no
 //! spare capacity left, i.e. the failure mode static over-provisioning is
 //! meant to prevent).
+//!
+//! Servers may carry **zone tags** (rack / availability-zone ids). A
+//! standby acquisition then prefers a spare in a *different* zone from
+//! the requesting primary, so a single failure domain cannot take out a
+//! region and its replica together — falling back to any spare when no
+//! cross-zone one is free (a co-located standby still beats none).
 
 use crate::messages::{PoolMsg, PoolPurpose, PoolReply};
 use matrix_geometry::ServerId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Counters describing pool behaviour over a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -26,6 +32,10 @@ pub struct PoolStats {
     pub releases: u64,
     /// High-water mark of simultaneously allocated servers.
     pub peak_allocated: usize,
+    /// Standby grants placed in a different zone from their primary (a
+    /// subset of `standby_grants`; only counted when both zones are
+    /// known).
+    pub cross_zone_grants: u64,
 }
 
 /// A finite pool of spare server identities.
@@ -33,6 +43,9 @@ pub struct PoolStats {
 pub struct ResourcePool {
     free: BTreeSet<ServerId>,
     allocated: BTreeSet<ServerId>,
+    /// Optional failure-domain tags (rack / availability zone) per
+    /// server — spares and active servers alike may be tagged.
+    zones: BTreeMap<ServerId, u32>,
     stats: PoolStats,
 }
 
@@ -42,6 +55,7 @@ impl ResourcePool {
         ResourcePool {
             free: spares.into_iter().collect(),
             allocated: BTreeSet::new(),
+            zones: BTreeMap::new(),
             stats: PoolStats::default(),
         }
     }
@@ -49,6 +63,23 @@ impl ResourcePool {
     /// A pool of `n` spares with ids starting after `first_id`.
     pub fn with_capacity(first_id: u32, n: u32) -> ResourcePool {
         ResourcePool::new((0..n).map(|i| ServerId(first_id + i)))
+    }
+
+    /// Tags servers with failure-domain (zone) ids. Tags survive
+    /// acquire/release cycles; untagged servers have an unknown zone.
+    pub fn with_zones(mut self, zones: impl IntoIterator<Item = (ServerId, u32)>) -> ResourcePool {
+        self.zones.extend(zones);
+        self
+    }
+
+    /// Tags (or re-tags) one server's zone.
+    pub fn set_zone(&mut self, server: ServerId, zone: u32) {
+        self.zones.insert(server, zone);
+    }
+
+    /// The zone a server is tagged with, if any.
+    pub fn zone_of(&self, server: ServerId) -> Option<u32> {
+        self.zones.get(&server).copied()
     }
 
     /// Spare servers currently available.
@@ -67,12 +98,13 @@ impl ResourcePool {
     }
 
     /// Handles an acquire/release message, producing the reply (if any).
+    /// Standby acquisitions use the requester's zone tag (when known)
+    /// to prefer a spare in a different failure domain.
     pub fn handle(&mut self, msg: PoolMsg) -> Option<PoolReply> {
         match msg {
-            PoolMsg::Acquire {
-                requester: _,
-                purpose,
-            } => Some(self.acquire_for(purpose)),
+            PoolMsg::Acquire { requester, purpose } => {
+                Some(self.acquire_placed(purpose, Some(requester)))
+            }
             PoolMsg::Release { server } => {
                 self.release(server);
                 None
@@ -82,20 +114,51 @@ impl ResourcePool {
 
     /// Allocates the lowest-numbered spare for a split, or denies.
     pub fn acquire(&mut self) -> PoolReply {
-        self.acquire_for(PoolPurpose::Split)
+        self.acquire_placed(PoolPurpose::Split, None)
     }
 
-    /// Allocates the lowest-numbered spare for `purpose`, or denies.
-    /// The purpose is echoed in the reply so a requester with both a
-    /// split and a standby acquisition in flight can tell them apart.
+    /// Allocates the lowest-numbered spare for `purpose`, or denies —
+    /// with no placement preference (requester unknown). The purpose is
+    /// echoed in the reply so a requester with both a split and a
+    /// standby acquisition in flight can tell them apart.
     pub fn acquire_for(&mut self, purpose: PoolPurpose) -> PoolReply {
-        match self.free.iter().next().copied() {
+        self.acquire_placed(purpose, None)
+    }
+
+    /// Allocates a spare for `purpose`, applying the standby placement
+    /// policy: when the requester's zone is known, a standby grant
+    /// prefers the lowest-numbered spare *not* provably in that zone
+    /// (untagged spares qualify — they cannot be shown co-located),
+    /// falling back to any spare. Splits always take the lowest id:
+    /// a split target serves live load next to its parent anyway.
+    pub fn acquire_placed(
+        &mut self,
+        purpose: PoolPurpose,
+        requester: Option<ServerId>,
+    ) -> PoolReply {
+        let primary_zone = match (purpose, requester) {
+            (PoolPurpose::Standby, Some(r)) => self.zone_of(r),
+            _ => None,
+        };
+        let preferred = primary_zone.and_then(|zone| {
+            self.free
+                .iter()
+                .find(|s| self.zones.get(s) != Some(&zone))
+                .copied()
+        });
+        let picked = preferred.or_else(|| self.free.iter().next().copied());
+        match picked {
             Some(server) => {
                 self.free.remove(&server);
                 self.allocated.insert(server);
                 self.stats.grants += 1;
                 if purpose == PoolPurpose::Standby {
                     self.stats.standby_grants += 1;
+                    if let (Some(pz), Some(sz)) = (primary_zone, self.zone_of(server)) {
+                        if pz != sz {
+                            self.stats.cross_zone_grants += 1;
+                        }
+                    }
                 }
                 self.stats.peak_allocated = self.stats.peak_allocated.max(self.allocated.len());
                 PoolReply::Grant { server, purpose }
@@ -185,6 +248,115 @@ mod tests {
         pool.release(ServerId(99));
         assert_eq!(pool.available(), 1);
         assert_eq!(pool.stats().releases, 0);
+    }
+
+    #[test]
+    fn standby_acquisition_prefers_a_different_zone() {
+        // Spares 10 (zone 0) and 11 (zone 1); the primary sits in zone 0.
+        let mut pool = ResourcePool::with_capacity(10, 2).with_zones([
+            (ServerId(1), 0),
+            (ServerId(10), 0),
+            (ServerId(11), 1),
+        ]);
+        let reply = pool.handle(PoolMsg::Acquire {
+            requester: ServerId(1),
+            purpose: PoolPurpose::Standby,
+        });
+        assert_eq!(
+            reply,
+            Some(PoolReply::Grant {
+                server: ServerId(11),
+                purpose: PoolPurpose::Standby,
+            }),
+            "the zone-1 spare is preferred over the lower-numbered zone-0 one"
+        );
+        assert_eq!(pool.stats().cross_zone_grants, 1);
+
+        // Only the co-zoned spare remains: fall back rather than deny.
+        let reply = pool.handle(PoolMsg::Acquire {
+            requester: ServerId(1),
+            purpose: PoolPurpose::Standby,
+        });
+        assert_eq!(
+            reply,
+            Some(PoolReply::Grant {
+                server: ServerId(10),
+                purpose: PoolPurpose::Standby,
+            }),
+            "a co-located standby still beats none"
+        );
+        assert_eq!(pool.stats().cross_zone_grants, 1);
+        assert_eq!(pool.stats().standby_grants, 2);
+    }
+
+    #[test]
+    fn split_acquisition_ignores_zones() {
+        let mut pool = ResourcePool::with_capacity(10, 2).with_zones([
+            (ServerId(1), 0),
+            (ServerId(10), 0),
+            (ServerId(11), 1),
+        ]);
+        let reply = pool.handle(PoolMsg::Acquire {
+            requester: ServerId(1),
+            purpose: PoolPurpose::Split,
+        });
+        assert_eq!(
+            reply,
+            Some(PoolReply::Grant {
+                server: ServerId(10),
+                purpose: PoolPurpose::Split,
+            }),
+            "splits take the lowest id regardless of zones"
+        );
+    }
+
+    #[test]
+    fn untagged_spares_qualify_as_cross_zone_candidates() {
+        // Spare 10 shares the primary's zone; spare 11 is untagged. The
+        // untagged one cannot be proven co-located, so it is preferred —
+        // but not counted as a confirmed cross-zone placement.
+        let mut pool =
+            ResourcePool::with_capacity(10, 2).with_zones([(ServerId(1), 3), (ServerId(10), 3)]);
+        let reply = pool.handle(PoolMsg::Acquire {
+            requester: ServerId(1),
+            purpose: PoolPurpose::Standby,
+        });
+        assert_eq!(
+            reply,
+            Some(PoolReply::Grant {
+                server: ServerId(11),
+                purpose: PoolPurpose::Standby,
+            })
+        );
+        assert_eq!(
+            pool.stats().cross_zone_grants,
+            0,
+            "zone unknown, not counted"
+        );
+        // An untagged primary gets no preference at all.
+        pool.release(ServerId(11));
+        let reply = pool.handle(PoolMsg::Acquire {
+            requester: ServerId(99),
+            purpose: PoolPurpose::Standby,
+        });
+        assert_eq!(
+            reply,
+            Some(PoolReply::Grant {
+                server: ServerId(10),
+                purpose: PoolPurpose::Standby,
+            })
+        );
+    }
+
+    #[test]
+    fn zone_tags_survive_release_cycles() {
+        let mut pool = ResourcePool::with_capacity(10, 1);
+        pool.set_zone(ServerId(10), 7);
+        let PoolReply::Grant { server, .. } = pool.acquire() else {
+            panic!()
+        };
+        pool.release(server);
+        assert_eq!(pool.zone_of(ServerId(10)), Some(7));
     }
 
     #[test]

@@ -92,7 +92,7 @@ impl ClusterConfig {
             metric: spec.metric,
             ..MatrixConfig::default()
         };
-        let game = GameServerConfig {
+        let mut game = GameServerConfig {
             client_state_bytes: spec.client_state_bytes,
             global_state_bytes: spec.global_state_bytes,
             metric: spec.metric,
@@ -100,8 +100,10 @@ impl ClusterConfig {
             vision_radius: spec.vision_radius,
             max_updates_per_flush: spec.max_updates_per_flush,
             client_budget_bytes: spec.client_budget_bytes,
+            grid_autotune: spec.grid_autotune,
             ..GameServerConfig::default()
         };
+        game.set_rings(&spec.ring_radii, &spec.ring_sample_rates);
         ClusterConfig {
             spec,
             matrix,
@@ -284,6 +286,15 @@ pub struct ClusterReport {
     /// Updates merged/dropped by the per-client flush policy — the
     /// staleness the rate limiter traded for bounded downlinks.
     pub updates_rate_limited: u64,
+    /// Candidate receivers whose outer vision ring sampled an event out
+    /// (multi-tier AOI periphery decimation).
+    pub updates_sampled_out: u64,
+    /// Delivered batch items per vision ring (index 0 = near; with
+    /// rings disabled everything is ring 0).
+    pub ring_items: [u64; matrix_core::MAX_RINGS],
+    /// Interest-grid resolution retunes performed by the density-driven
+    /// auto-tuner.
+    pub grid_retunes: u64,
     /// Work units dropped at full queues (static-baseline failure mode).
     pub dropped_work: f64,
     /// Total client switches (handoffs) completed.
@@ -1092,6 +1103,9 @@ impl Cluster {
         let mut delta_items = 0;
         let mut keyframe_items = 0;
         let mut updates_rate_limited = 0;
+        let mut updates_sampled_out = 0;
+        let mut ring_items = [0u64; matrix_core::MAX_RINGS];
+        let mut grid_retunes = 0;
         let mut dropped = 0.0;
         let mut splits = 0;
         let mut reclaims = 0;
@@ -1105,6 +1119,11 @@ impl Cluster {
             delta_items += node.game.stats().delta_items;
             keyframe_items += node.game.stats().keyframe_items;
             updates_rate_limited += node.game.stats().updates_rate_limited;
+            updates_sampled_out += node.game.stats().updates_sampled_out;
+            for (total, per_node) in ring_items.iter_mut().zip(node.game.stats().ring_items) {
+                *total += per_node;
+            }
+            grid_retunes += node.game.stats().grid_retunes;
             dropped += node.queue.total_dropped();
             splits += node.matrix.stats().splits;
             reclaims += node.matrix.stats().reclaims;
@@ -1133,6 +1152,9 @@ impl Cluster {
             delta_items,
             keyframe_items,
             updates_rate_limited,
+            updates_sampled_out,
+            ring_items,
+            grid_retunes,
             dropped_work: dropped,
             switches: self.switches,
             resumes: self.resumes,

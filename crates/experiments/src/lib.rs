@@ -30,6 +30,7 @@ pub mod failover;
 pub mod fig2;
 pub mod harness;
 pub mod micro;
+pub mod rings;
 pub mod scale;
 pub mod sweep;
 pub mod userstudy;

@@ -4,7 +4,7 @@
 //! tables, and CSV artefacts land in `./results/`.
 
 use matrix_experiments::{
-    ablation, densecrowd, failover, fig2, micro, scale, sweep, userstudy, versus,
+    ablation, densecrowd, failover, fig2, micro, rings, scale, sweep, userstudy, versus,
 };
 use std::io::Write;
 
@@ -26,6 +26,7 @@ COMMANDS:
   sweep                E11: adaptivity scaling vs crowd size
   dense                E12: dense-crowd interest management (2k clients, one server)
   failover [--smoke]   E13: warm-standby failover (kill a region server mid-run)
+  rings [--smoke]      E14: multi-ring AOI + grid auto-tuning vs the binary radius
   ablation-split       A1: split-strategy ablation
   ablation-hysteresis  A2: oscillation-prevention ablation
   all                  run everything in order
@@ -70,6 +71,7 @@ fn main() {
         "sweep" => run_sweep(seed),
         "dense" => run_dense(seed),
         "failover" => run_failover(seed, smoke),
+        "rings" => run_rings(seed, smoke),
         "ablation-split" => run_ablation_split(seed),
         "ablation-hysteresis" => run_ablation_hysteresis(seed),
         "all" => {
@@ -83,6 +85,7 @@ fn main() {
             run_sweep(seed);
             run_dense(seed);
             run_failover(seed, false);
+            run_rings(seed, false);
             run_ablation_split(seed);
             run_ablation_hysteresis(seed);
         }
@@ -184,6 +187,24 @@ fn run_failover(seed: u64, smoke: bool) {
         }
     }
     save("failover.csv", &failover::to_csv(&rows));
+}
+
+fn run_rings(seed: u64, smoke: bool) {
+    let scale = if smoke {
+        rings::Scale::smoke()
+    } else {
+        rings::Scale::full()
+    };
+    let rows = rings::run(seed, scale);
+    println!("{}", rings::table(&rows).render());
+    match rings::verdict(&rows) {
+        Ok(line) => println!("{line}"),
+        Err(why) => {
+            eprintln!("RINGS ACCEPTANCE FAILED: {why}");
+            std::process::exit(1);
+        }
+    }
+    save("rings.csv", &rings::to_csv(&rows));
 }
 
 fn run_scale() {

@@ -24,6 +24,16 @@ pub struct GameSpec {
     /// between servers stays conservative at `radius`; what each client
     /// actually renders can be narrower. `0.0` means "same as `radius`".
     pub vision_radius: f64,
+    /// Concentric vision-ring boundaries (ascending, world units; empty
+    /// = single binary `vision_radius`). When set, the outermost ring is
+    /// the effective AOI and outer tiers are sampled per
+    /// `ring_sample_rates`.
+    pub ring_radii: Vec<f64>,
+    /// Per-ring sampling rates parallel to `ring_radii` (1 = every
+    /// event; the innermost ring always delivers in full).
+    pub ring_sample_rates: Vec<u32>,
+    /// Density-driven interest-grid resolution auto-tuning.
+    pub grid_autotune: bool,
     /// In-game distance metric.
     pub metric: Metric,
     /// Player movement speed, world units per second.
@@ -69,6 +79,9 @@ impl GameSpec {
             world: Rect::from_coords(0.0, 0.0, 800.0, 800.0),
             radius: 100.0,
             vision_radius: 100.0,
+            ring_radii: Vec::new(),
+            ring_sample_rates: Vec::new(),
+            grid_autotune: false,
             metric: Metric::Euclidean,
             move_speed: 25.0,
             update_rate_hz: 5.0,
@@ -94,6 +107,9 @@ impl GameSpec {
             world: Rect::from_coords(0.0, 0.0, 2_000.0, 2_000.0),
             radius: 250.0,
             vision_radius: 250.0,
+            ring_radii: Vec::new(),
+            ring_sample_rates: Vec::new(),
+            grid_autotune: false,
             metric: Metric::Euclidean,
             move_speed: 300.0,
             update_rate_hz: 10.0,
@@ -119,6 +135,9 @@ impl GameSpec {
             world: Rect::from_coords(0.0, 0.0, 10_000.0, 10_000.0),
             radius: 350.0,
             vision_radius: 350.0,
+            ring_radii: Vec::new(),
+            ring_sample_rates: Vec::new(),
+            grid_autotune: false,
             metric: Metric::Chebyshev, // tile-based visibility
             move_speed: 40.0,
             update_rate_hz: 2.0,
@@ -142,12 +161,45 @@ impl GameSpec {
     }
 
     /// The effective client vision radius (falls back to `radius`).
+    /// With rings configured, the outermost ring takes this role.
     pub fn effective_vision_radius(&self) -> f64 {
+        if let Some(outer) = self.ring_radii.last() {
+            return *outer;
+        }
         if self.vision_radius > 0.0 {
             self.vision_radius
         } else {
             self.radius
         }
+    }
+
+    /// The recommended ring tiers for this game: near (full fidelity) at
+    /// 35% of the vision radius, mid at 65% sampled 1-in-2, far at the
+    /// full radius sampled 1-in-4. The receiver set is identical to the
+    /// binary radius — only the outer tiers' update *rate* drops, which
+    /// is where a dense crowd's periphery bytes go.
+    pub fn ring_tiers(&self) -> (Vec<f64>, Vec<u32>) {
+        let vision = if self.vision_radius > 0.0 {
+            self.vision_radius
+        } else {
+            self.radius
+        };
+        (vec![vision * 0.35, vision * 0.65, vision], vec![1, 2, 4])
+    }
+
+    /// This spec with the recommended ring tiers enabled (used by the
+    /// `rings` experiment; presets default to the binary radius).
+    pub fn with_rings(mut self) -> GameSpec {
+        let (radii, rates) = self.ring_tiers();
+        self.ring_radii = radii;
+        self.ring_sample_rates = rates;
+        self
+    }
+
+    /// This spec with density-driven grid auto-tuning enabled.
+    pub fn with_grid_autotune(mut self) -> GameSpec {
+        self.grid_autotune = true;
+        self
     }
 
     /// Interval between a client's position updates.
@@ -226,6 +278,42 @@ mod tests {
         assert!(
             GameSpec::quake2().max_updates_per_flush > GameSpec::daimonin().max_updates_per_flush
         );
+    }
+
+    #[test]
+    fn ring_tiers_are_ascending_and_preserve_the_aoi() {
+        for spec in GameSpec::all() {
+            let binary_vision = spec.effective_vision_radius();
+            let ringed = spec.clone().with_rings();
+            let (radii, rates) = (ringed.ring_radii.clone(), ringed.ring_sample_rates.clone());
+            assert_eq!(radii.len(), rates.len(), "{}", spec.name);
+            assert!(
+                radii.windows(2).all(|w| w[0] < w[1]),
+                "{}: tiers ascend",
+                spec.name
+            );
+            assert_eq!(
+                ringed.effective_vision_radius(),
+                binary_vision,
+                "{}: the outermost ring preserves the AOI, so the \
+                 receiver set is unchanged — only fidelity tiers",
+                spec.name
+            );
+            assert_eq!(rates[0], 1, "{}: near ring delivers in full", spec.name);
+            assert!(
+                rates.windows(2).all(|w| w[0] <= w[1]),
+                "{}: farther rings sample at least as hard",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn presets_default_to_the_binary_radius() {
+        for spec in GameSpec::all() {
+            assert!(spec.ring_radii.is_empty(), "{}", spec.name);
+            assert!(!spec.grid_autotune, "{}", spec.name);
+        }
     }
 
     #[test]

@@ -332,6 +332,16 @@ impl<K: Copy + Eq + Hash> InterestGrid<K> {
         }
     }
 
+    /// Iterates every tracked subscriber with its exact stored position,
+    /// in unspecified order. The dissemination pipeline uses this to
+    /// re-index the population when the auto-tuner re-picks the grid
+    /// resolution.
+    pub fn subscribers(&self) -> impl Iterator<Item = (K, Point)> + '_ {
+        self.index
+            .iter()
+            .map(|(k, e)| (*k, self.cells[e.cell as usize].positions[e.slot as usize]))
+    }
+
     /// Collects the keys within `radius` of `origin` (test/bench helper).
     pub fn query_collect(&self, origin: Point, radius: f64, metric: Metric) -> Vec<K> {
         let mut out = Vec::new();

@@ -30,10 +30,22 @@
 //!   keyframes plus a resync path for joins and handovers. Offsets are
 //!   only used when reconstruction is bit-exact, so the decoded stream
 //!   always equals what an absolute-only encoder would have sent.
+//! * [`RingSet`] / [`RingSampler`] — multi-tier areas of interest:
+//!   concentric vision rings with per-ring sampling rates (near = every
+//!   event, far = a deterministic sample), replacing the single binary
+//!   vision radius.
+//! * [`AutoTuner`] — density-driven grid resolution: re-picks
+//!   `cells_per_axis` from the observed subscriber count with ratio
+//!   hysteresis and streak guards, instead of trusting a static knob.
+//! * [`DisseminationPipeline`] — the composed send path with one seam
+//!   per stage: interest query → ring tiering → entity merge →
+//!   budget/relevance policy → delta encoding. Both drivers (the
+//!   discrete-event harness and the async runtime) flush through it.
 //!
 //! All of it is deliberately independent of the middleware's message
 //! types: the grid is generic over the subscriber key, the batcher and
-//! policy over the update payload, and the delta codec speaks raw
+//! policy over the update payload, the pipeline over anything
+//! implementing [`Disseminated`], and the delta codec speaks raw
 //! [`Point`](matrix_geometry::Point)s — so the discrete-event harness,
 //! the async runtime, the property suites and the benchmarks all drive
 //! the same code.
@@ -44,9 +56,17 @@
 mod batch;
 mod delta;
 mod grid;
+mod pipeline;
 mod policy;
+mod rings;
+mod tuner;
 
 pub use batch::UpdateBatcher;
 pub use delta::{quantize, DeltaEncoder, DeltaStream, EncodedOrigin};
 pub use grid::InterestGrid;
+pub use pipeline::{
+    DisseminateStats, Disseminated, DisseminationPipeline, FlushBatch, FlushOutcome, PipelineConfig,
+};
 pub use policy::{FlushPolicy, Selection, ANON_ENTITY};
+pub use rings::{RingSampler, RingSet, MAX_RINGS};
+pub use tuner::{AutoTuner, AutoTunerConfig};

@@ -1,0 +1,565 @@
+//! The composable per-client dissemination pipeline.
+//!
+//! Earlier revisions hand-wired the dissemination stages inside the game
+//! server's flush path: the interest grid was queried in one method, the
+//! batcher filled inline, and the flush loop called the policy and the
+//! delta encoder back to back with bespoke glue. Every new stage meant
+//! editing that monolith in two drivers. [`DisseminationPipeline`] makes
+//! the stages an explicit, reusable component with one seam per stage:
+//!
+//! 1. **interest query** — the [`InterestGrid`](crate::InterestGrid)
+//!    answers "who can see this point" within the outermost ring;
+//! 2. **ring tiering** — [`RingSet`](crate::RingSet) grades each
+//!    receiver by distance and [`RingSampler`](crate::RingSampler)
+//!    deterministically samples the outer tiers (near = every event);
+//! 3. **entity merge + budget policy** —
+//!    [`FlushPolicy`](crate::FlushPolicy) ranks the queued items by
+//!    relevance, supersedes per-entity duplicates under pressure and
+//!    enforces the count/byte budgets;
+//! 4. **delta encoding** — [`DeltaEncoder`](crate::DeltaEncoder) turns
+//!    surviving origins into exact offsets with periodic keyframes.
+//!
+//! A density-driven [`AutoTuner`](crate::AutoTuner) re-picks the grid
+//! resolution as the subscriber count drifts (stage 1's only tunable),
+//! rebuilding the index in place.
+//!
+//! The pipeline is deliberately payload-agnostic: anything implementing
+//! [`Disseminated`] flows through, so the middleware's update items, the
+//! property suites' synthetic payloads and the benches all drive the
+//! same code. With rings untiered and the tuner disabled, the pipeline's
+//! output is **byte-identical** to the hand-wired v2 flush path — a
+//! property test in `tests/interest_properties.rs` pins that equivalence
+//! down, which is what makes this refactor safe to sit under both the
+//! discrete-event harness and the async runtime.
+
+use crate::delta::{DeltaEncoder, EncodedOrigin};
+use crate::grid::InterestGrid;
+use crate::policy::FlushPolicy;
+use crate::rings::{RingSampler, RingSet};
+use crate::tuner::{AutoTuner, AutoTunerConfig};
+use crate::UpdateBatcher;
+use matrix_geometry::{Metric, Point, Rect};
+use std::hash::Hash;
+
+/// What the pipeline needs to know about a payload to rank, merge,
+/// budget and account for it.
+pub trait Disseminated {
+    /// Where the event happened (already quantised by the producer if a
+    /// wire lattice is in effect).
+    fn origin(&self) -> Point;
+    /// Source entity id (`0` = anonymous, exempt from per-entity
+    /// superseding).
+    fn entity(&self) -> u64;
+    /// Estimated absolute wire cost, used by the byte budget.
+    fn wire_bytes(&self) -> usize;
+    /// The vision ring this item was admitted under (`0` = near). The
+    /// producer's `make` callback receives the ring and embeds it in
+    /// the payload (it usually travels to the receiver as a fidelity
+    /// tag), so the pipeline queues no side-band tier state.
+    fn ring(&self) -> u8 {
+        0
+    }
+}
+
+/// Static configuration of a pipeline (everything except the grid
+/// geometry, which arrives via [`DisseminationPipeline::reset`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineConfig {
+    /// Distance metric for interest queries and relevance ranking.
+    pub metric: Metric,
+    /// Per-client, per-flush delivery budgets (stage 3).
+    pub policy: FlushPolicy,
+    /// Delta keyframe interval (stage 4; `0` = absolute-only).
+    pub keyframe_every: u32,
+    /// Fixed-point lattice the delta encoder verifies offsets against
+    /// (`0.0` = no lattice requirement).
+    pub origin_quantum: f64,
+    /// Grid resolution auto-tuning (stage 1's knob).
+    pub autotune: AutoTunerConfig,
+}
+
+/// One receiver's flushed batch. `items` and `origins` are parallel —
+/// handing back the two vectors the policy and encoder stages already
+/// produced keeps the flush hot path free of intermediate copies (the
+/// caller zips them while assembling its wire messages).
+#[derive(Debug, Clone)]
+pub struct FlushBatch<K, U> {
+    /// The receiving subscriber.
+    pub receiver: K,
+    /// Kept payloads, most relevant first. Never empty. Each carries
+    /// its ring tag ([`Disseminated::ring`]).
+    pub items: Vec<U>,
+    /// How each item's origin travels on the wire (parallel to
+    /// `items`).
+    pub origins: Vec<EncodedOrigin>,
+    /// Items merged or dropped by the budget policy for this receiver.
+    pub rate_limited: u64,
+}
+
+/// Everything one flush produced.
+#[derive(Debug, Clone, Default)]
+pub struct FlushOutcome<K, U> {
+    /// Per-receiver batches, in receiver order.
+    pub batches: Vec<FlushBatch<K, U>>,
+    /// Queued items discarded because their receiver vanished between
+    /// enqueue and flush.
+    pub orphaned: u64,
+}
+
+/// What one dissemination (stage 1+2) did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DisseminateStats {
+    /// Receivers the event was delivered to (queued, or counted when
+    /// emission is off).
+    pub delivered: u64,
+    /// Receivers inside the AOI whose ring sampled this event out.
+    pub sampled_out: u64,
+}
+
+/// The composed dissemination pipeline (see the module docs for the
+/// stage walk-through).
+#[derive(Debug, Clone)]
+pub struct DisseminationPipeline<K: Ord + Copy + Eq + Hash, U> {
+    metric: Metric,
+    policy: FlushPolicy,
+    rings: RingSet,
+    grid: InterestGrid<K>,
+    sampler: RingSampler<K>,
+    batcher: UpdateBatcher<K, U>,
+    encoder: DeltaEncoder<K>,
+    tuner: AutoTuner,
+}
+
+impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
+    /// Builds a pipeline over `bounds` at `cells_per_axis`, with the
+    /// given ring tiers.
+    pub fn new(
+        bounds: Rect,
+        cells_per_axis: u32,
+        rings: RingSet,
+        cfg: PipelineConfig,
+    ) -> DisseminationPipeline<K, U> {
+        let cells = cells_per_axis.max(1);
+        DisseminationPipeline {
+            metric: cfg.metric,
+            policy: cfg.policy,
+            rings,
+            grid: Self::make_grid(bounds, cells),
+            sampler: RingSampler::new(),
+            batcher: UpdateBatcher::new(),
+            encoder: DeltaEncoder::new(cfg.keyframe_every).with_quantum(cfg.origin_quantum),
+            tuner: AutoTuner::new(cfg.autotune, cells),
+        }
+    }
+
+    /// Hold jittering subscribers in their cell for a tenth of a cell;
+    /// the grid widens queries by the same margin, so results are exact.
+    fn make_grid(bounds: Rect, cells: u32) -> InterestGrid<K> {
+        let margin = 0.1 * (bounds.width() / cells as f64).min(bounds.height() / cells as f64);
+        InterestGrid::new(bounds, cells).with_hysteresis(margin.max(0.0))
+    }
+
+    // -- subscribers (stage 1 state) -----------------------------------------
+
+    /// Adds or re-adds a subscriber, resetting its delta stream (a
+    /// (re)joining receiver holds no base, so its next flush keyframes).
+    pub fn subscribe(&mut self, key: K, pos: Point) {
+        self.grid.insert(key, pos);
+        self.encoder.reset(key);
+    }
+
+    /// Repositions a subscriber.
+    pub fn reposition(&mut self, key: K, pos: Point) {
+        self.grid.update(key, pos);
+    }
+
+    /// Removes a subscriber, dropping its queued updates, delta stream
+    /// and sampling state. Returns how many queued updates died with it.
+    pub fn unsubscribe(&mut self, key: K) -> usize {
+        self.grid.remove(key);
+        self.encoder.forget(key);
+        self.sampler.forget(key);
+        self.batcher.forget(key)
+    }
+
+    /// Re-anchors the grid to a new range with the given subscriber set
+    /// (splits, reclaims, promotions — rare), keeping the tuned
+    /// resolution, streams and pending batches.
+    pub fn reset(&mut self, bounds: Rect, subscribers: impl IntoIterator<Item = (K, Point)>) {
+        self.grid = Self::make_grid(bounds, self.tuner.current());
+        for (key, pos) in subscribers {
+            self.grid.insert(key, pos);
+        }
+    }
+
+    /// Replaces the ring tiers (the registered radius changed).
+    pub fn set_rings(&mut self, rings: RingSet) {
+        self.rings = rings;
+    }
+
+    /// The current ring tiers.
+    pub fn rings(&self) -> &RingSet {
+        &self.rings
+    }
+
+    /// The interest grid (drivers query it for observability).
+    pub fn grid(&self) -> &InterestGrid<K> {
+        &self.grid
+    }
+
+    /// The grid resolution currently in effect.
+    pub fn cells_per_axis(&self) -> u32 {
+        self.grid.cells_per_axis()
+    }
+
+    // -- stages 1+2: query, tier, sample, queue ------------------------------
+
+    /// Disseminates one event: queries the grid within the outermost
+    /// ring, grades each receiver's ring by distance, samples the outer
+    /// tiers, and (when `emit`) queues one item per admitted receiver.
+    /// `make` produces the payload per admitted receiver, embedding the
+    /// ring it was admitted under. An untiered ring set skips the
+    /// distance grading entirely — the hot path then costs exactly what
+    /// the binary-radius fan-out did.
+    pub fn disseminate(
+        &mut self,
+        origin: Point,
+        exclude: Option<K>,
+        emit: bool,
+        mut make: impl FnMut(u8) -> U,
+    ) -> DisseminateStats {
+        let mut stats = DisseminateStats::default();
+        let metric = self.metric;
+        let rings = self.rings;
+        let tiered = rings.is_tiered();
+        let sampler = &mut self.sampler;
+        let batcher = &mut self.batcher;
+        self.grid
+            .query(origin, rings.outer_radius(), metric, |key, pos| {
+                if Some(key) == exclude {
+                    return;
+                }
+                let ring = if tiered {
+                    // The grid's Euclidean filter compares squared
+                    // distances while `ring_of` compares the rooted
+                    // one; at the outer boundary the two can disagree
+                    // by an ulp, so a receiver the query admitted is
+                    // clamped into the outermost ring rather than
+                    // silently dropped.
+                    let ring = rings
+                        .ring_of(pos.distance_by(origin, metric))
+                        .unwrap_or((rings.len() - 1) as u8);
+                    if !sampler.admit(&rings, key, ring) {
+                        stats.sampled_out += 1;
+                        return;
+                    }
+                    ring
+                } else {
+                    0
+                };
+                stats.delivered += 1;
+                if emit {
+                    batcher.push(key, make(ring));
+                }
+            });
+        stats
+    }
+
+    /// Queues one already-admitted item directly (snapshot restore: the
+    /// item passed sampling on the primary; it must not be re-sampled).
+    pub fn enqueue(&mut self, key: K, item: U) {
+        self.batcher.push(key, item);
+    }
+
+    /// Whether any updates are queued.
+    pub fn has_pending(&self) -> bool {
+        !self.batcher.is_empty()
+    }
+
+    /// Visits every queued batch without consuming it (snapshots).
+    pub fn pending(&self) -> impl Iterator<Item = (&K, &[U])> {
+        self.batcher.peek()
+    }
+
+    /// Drops every queued update and all sampling phase (promotions:
+    /// the captured pending set describes the pairing moment, not the
+    /// crash).
+    pub fn clear_pending(&mut self) {
+        self.batcher = UpdateBatcher::new();
+        self.sampler.clear();
+    }
+
+    // -- stages 3+4: merge, budget, encode -----------------------------------
+
+    /// Flushes every queued batch through the policy and the encoder.
+    /// `viewer_of` resolves a receiver's current position; `None` means
+    /// the receiver vanished between enqueue and flush (its items are
+    /// discarded and counted in [`FlushOutcome::orphaned`]).
+    pub fn flush(&mut self, viewer_of: impl Fn(K) -> Option<Point>) -> FlushOutcome<K, U> {
+        let mut outcome = FlushOutcome {
+            batches: Vec::new(),
+            orphaned: 0,
+        };
+        for (receiver, queued) in self.batcher.drain() {
+            let Some(viewer) = viewer_of(receiver) else {
+                outcome.orphaned += queued.len() as u64;
+                self.encoder.forget(receiver);
+                continue;
+            };
+            let selection = self.policy.select(
+                viewer,
+                self.metric,
+                |u: &U| u.origin(),
+                |u: &U| u.entity(),
+                |u: &U| u.wire_bytes(),
+                queued,
+            );
+            let kept_origins: Vec<Point> = selection.kept.iter().map(|u| u.origin()).collect();
+            let origins = self.encoder.encode_flush(receiver, &kept_origins);
+            outcome.batches.push(FlushBatch {
+                receiver,
+                items: selection.kept,
+                origins,
+                rate_limited: selection.dropped as u64,
+            });
+        }
+        outcome
+    }
+
+    // -- delta-stream bookkeeping --------------------------------------------
+
+    /// Marks a receiver's delta stream dirty (next flush keyframes).
+    pub fn reset_stream(&mut self, key: K) {
+        self.encoder.reset(key);
+    }
+
+    /// Wipes every delta stream (driver shutdown, promotions).
+    pub fn clear_streams(&mut self) {
+        self.encoder.clear();
+    }
+
+    /// Number of receivers currently holding a delta base.
+    pub fn streams(&self) -> usize {
+        self.encoder.streams()
+    }
+
+    /// Exports every delta stream as `(key, base, countdown)` (region
+    /// snapshots).
+    pub fn export_streams(&self) -> Vec<(K, Point, u32)> {
+        self.encoder.export_streams()
+    }
+
+    /// Replaces the delta-stream table with exported state.
+    pub fn import_streams(&mut self, streams: impl IntoIterator<Item = (K, Point, u32)>) {
+        self.encoder.import_streams(streams);
+    }
+
+    // -- auto-tuning ---------------------------------------------------------
+
+    /// Feeds the tuner one density observation; when it decides on a new
+    /// resolution, the grid is rebuilt in place (subscribers, streams
+    /// and pending batches all survive) and the new value returned.
+    pub fn maybe_retune(&mut self) -> Option<u32> {
+        let cells = self.tuner.observe(self.grid.len())?;
+        let bounds = self.grid.bounds();
+        let subscribers: Vec<(K, Point)> = self.grid.subscribers().collect();
+        self.grid = Self::make_grid(bounds, cells);
+        for (key, pos) in subscribers {
+            self.grid.insert(key, pos);
+        }
+        Some(cells)
+    }
+
+    /// Exports the tuner state as `(cells, streak, pending)` (region
+    /// snapshots).
+    pub fn tuner_state(&self) -> (u32, u32, u32) {
+        self.tuner.state()
+    }
+
+    /// Whether the auto-tuner is enabled.
+    pub fn autotune_enabled(&self) -> bool {
+        self.tuner.is_enabled()
+    }
+
+    /// Adopts a replicated tuner state (promotions), rebuilding the
+    /// grid if the inherited resolution differs from the current one —
+    /// a promoted standby starts with the primary's tuned grid instead
+    /// of re-learning the density.
+    pub fn restore_tuner(&mut self, cells: u32, streak: u32, pending: u32) {
+        self.tuner.restore(cells, streak, pending);
+        if self.tuner.current() != self.grid.cells_per_axis() {
+            let bounds = self.grid.bounds();
+            let subscribers: Vec<(K, Point)> = self.grid.subscribers().collect();
+            self.grid = Self::make_grid(bounds, self.tuner.current());
+            for (key, pos) in subscribers {
+                self.grid.insert(key, pos);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal payload for the unit suite.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Ev {
+        at: Point,
+        entity: u64,
+        bytes: usize,
+        ring: u8,
+    }
+
+    impl Disseminated for Ev {
+        fn origin(&self) -> Point {
+            self.at
+        }
+        fn entity(&self) -> u64 {
+            self.entity
+        }
+        fn wire_bytes(&self) -> usize {
+            self.bytes
+        }
+        fn ring(&self) -> u8 {
+            self.ring
+        }
+    }
+
+    fn cfg() -> PipelineConfig {
+        PipelineConfig {
+            metric: Metric::Euclidean,
+            policy: FlushPolicy::unlimited(),
+            keyframe_every: 8,
+            origin_quantum: 0.0,
+            autotune: AutoTunerConfig::default(),
+        }
+    }
+
+    fn world() -> Rect {
+        Rect::from_coords(0.0, 0.0, 400.0, 400.0)
+    }
+
+    fn pipe(rings: RingSet) -> DisseminationPipeline<u32, Ev> {
+        DisseminationPipeline::new(world(), 16, rings, cfg())
+    }
+
+    fn ev(at: Point, ring: u8) -> Ev {
+        Ev {
+            at,
+            entity: 1,
+            bytes: 8,
+            ring,
+        }
+    }
+
+    #[test]
+    fn untiered_pipeline_delivers_to_everyone_in_radius() {
+        let mut p = pipe(RingSet::single(50.0));
+        p.subscribe(1, Point::new(100.0, 100.0));
+        p.subscribe(2, Point::new(130.0, 100.0));
+        p.subscribe(3, Point::new(300.0, 300.0));
+        let origin = Point::new(100.0, 100.0);
+        let stats = p.disseminate(origin, Some(1), true, |ring| ev(origin, ring));
+        assert_eq!(stats.delivered, 1, "only subscriber 2 is in radius");
+        assert_eq!(stats.sampled_out, 0);
+        let out = p.flush(|_| Some(Point::new(130.0, 100.0)));
+        assert_eq!(out.batches.len(), 1);
+        assert_eq!(out.batches[0].receiver, 2);
+        assert_eq!(out.batches[0].items[0].ring, 0);
+        assert!(out.batches[0].origins[0].is_keyframe());
+    }
+
+    #[test]
+    fn outer_rings_sample_and_tag_items() {
+        let rings = RingSet::from_tiers(&[20.0, 100.0], &[1, 2]);
+        let mut p = pipe(rings);
+        p.subscribe(1, Point::new(100.0, 100.0)); // near
+        p.subscribe(2, Point::new(180.0, 100.0)); // far ring, rate 2
+        let origin = Point::new(100.0, 100.0);
+        for _ in 0..4 {
+            p.disseminate(origin, None, true, |ring| ev(origin, ring));
+        }
+        let out = p.flush(|k| {
+            Some(if k == 1 {
+                Point::new(100.0, 100.0)
+            } else {
+                Point::new(180.0, 100.0)
+            })
+        });
+        let near = out.batches.iter().find(|b| b.receiver == 1).unwrap();
+        let far = out.batches.iter().find(|b| b.receiver == 2).unwrap();
+        assert_eq!(near.items.len(), 4, "near ring gets every event");
+        assert!(near.items.iter().all(|i| i.ring == 0));
+        assert_eq!(near.origins.len(), 4);
+        assert_eq!(far.items.len(), 2, "far ring at rate 2 gets half");
+        assert!(far.items.iter().all(|i| i.ring == 1));
+    }
+
+    #[test]
+    fn vanished_receivers_are_orphaned_not_flushed() {
+        let mut p = pipe(RingSet::single(50.0));
+        p.subscribe(1, Point::new(100.0, 100.0));
+        let origin = Point::new(110.0, 100.0);
+        p.disseminate(origin, None, true, |ring| ev(origin, ring));
+        let out = p.flush(|_| None);
+        assert!(out.batches.is_empty());
+        assert_eq!(out.orphaned, 1);
+        assert_eq!(p.streams(), 0, "orphaning clears the delta stream");
+    }
+
+    #[test]
+    fn retune_preserves_subscribers_and_query_results() {
+        let mut p = DisseminationPipeline::<u32, Ev>::new(
+            world(),
+            8,
+            RingSet::single(50.0),
+            PipelineConfig {
+                autotune: AutoTunerConfig::enabled(),
+                ..cfg()
+            },
+        );
+        for i in 0..2000u32 {
+            p.subscribe(i, Point::new((i % 40) as f64 * 10.0, (i / 40) as f64 * 8.0));
+        }
+        // 2000 subscribers at 4/cell want ~22 → pow2 16; wait out the streak.
+        let mut retuned = None;
+        for _ in 0..AutoTunerConfig::default().streak {
+            retuned = p.maybe_retune();
+        }
+        assert_eq!(retuned, Some(16));
+        assert_eq!(p.cells_per_axis(), 16);
+        assert_eq!(p.grid().len(), 2000, "rebuild keeps every subscriber");
+        let stats = p.disseminate(Point::new(100.0, 100.0), None, false, |ring| {
+            ev(Point::new(100.0, 100.0), ring)
+        });
+        assert!(stats.delivered > 0);
+    }
+
+    #[test]
+    fn tuner_state_round_trips_through_restore() {
+        let p = DisseminationPipeline::<u32, Ev>::new(
+            world(),
+            64,
+            RingSet::single(50.0),
+            PipelineConfig {
+                autotune: AutoTunerConfig::enabled(),
+                ..cfg()
+            },
+        );
+        let (cells, streak, pending) = p.tuner_state();
+        let mut q = DisseminationPipeline::<u32, Ev>::new(
+            world(),
+            8,
+            RingSet::single(50.0),
+            PipelineConfig {
+                autotune: AutoTunerConfig::enabled(),
+                ..cfg()
+            },
+        );
+        q.subscribe(1, Point::new(10.0, 10.0));
+        q.restore_tuner(cells, streak, pending);
+        assert_eq!(q.cells_per_axis(), 64, "promoted grid inherits the tuning");
+        assert_eq!(q.grid().len(), 1);
+    }
+}

@@ -42,4 +42,6 @@ mod snapshot;
 
 pub use log::{ReplicaBatch, ReplicaLog, ReplicaLogStats, ReplicaPayload};
 pub use receiver::{ReplicaApply, ReplicaReceiver};
-pub use snapshot::{PendingUpdate, RegionSnapshot, ReplicaOp, SessionState, StreamBase};
+pub use snapshot::{
+    PendingUpdate, RegionSnapshot, ReplicaOp, SessionState, StreamBase, TunerState,
+};

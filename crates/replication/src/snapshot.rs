@@ -32,6 +32,24 @@ pub struct PendingUpdate {
     pub payload_bytes: usize,
     /// Source entity id (`0` = anonymous).
     pub entity: u64,
+    /// The vision ring the receiver was graded into when the update was
+    /// admitted (`0` = near). Preserved so a restored node flushes the
+    /// identical ring-tagged items the primary would have.
+    pub ring: u8,
+}
+
+/// The interest-grid auto-tuner's learned state, replicated so a
+/// promoted standby inherits the tuned resolution instead of re-learning
+/// the region's density from the configured default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunerState {
+    /// The resolution (cells per axis) the tuner currently stands
+    /// behind.
+    pub cells: u32,
+    /// Consecutive observations agreeing on the pending retune.
+    pub streak: u32,
+    /// The resolution the in-flight streak agrees on (`0` = none).
+    pub pending: u32,
 }
 
 /// A versioned, restorable image of one region: everything a standby
@@ -56,6 +74,10 @@ pub struct RegionSnapshot<K: Ord> {
     pub seq: u64,
     /// When the last batch flush ran.
     pub last_flush: SimTime,
+    /// The grid auto-tuner's learned state (`None` when the primary
+    /// runs a static grid; the wire form omits it then, keeping
+    /// static-grid frames identical to pre-tuner ones).
+    pub tuner: Option<TunerState>,
     /// Connected clients and their sessions.
     pub clients: BTreeMap<K, SessionState>,
     /// Per-client delta-encoder stream state.
@@ -72,6 +94,7 @@ impl<K: Ord> Default for RegionSnapshot<K> {
             ready: false,
             seq: 0,
             last_flush: SimTime::ZERO,
+            tuner: None,
             clients: BTreeMap::new(),
             streams: BTreeMap::new(),
             pending: BTreeMap::new(),
@@ -80,8 +103,11 @@ impl<K: Ord> Default for RegionSnapshot<K> {
 }
 
 impl<K: Ord + Copy> RegionSnapshot<K> {
-    /// Wire-format version of the snapshot codec. Bumped on any change
-    /// to the snapshot's field set; decoders reject other versions.
+    /// Wire-format version of the snapshot codec. Bumped on any
+    /// incompatible change to the snapshot's field set; decoders reject
+    /// other versions. Optional, default-omitted extensions (the tuner
+    /// state, per-item ring tags) stay within a version — frames without
+    /// them decode to the defaults, and defaults encode without them.
     pub const VERSION: u32 = 1;
 
     /// Connected client count.
@@ -247,6 +273,7 @@ mod tests {
                 origin: Point::new(1.0, 1.0),
                 payload_bytes: 8,
                 entity: 2,
+                ring: 0,
             }],
         );
         s.streams.insert(

@@ -30,6 +30,9 @@ pub struct ClientCounters {
     pub keyframes: u64,
     /// Delta-encoded items among the batched updates.
     pub deltas: u64,
+    /// Items that arrived through an outer vision ring (ring > 0):
+    /// sampled periphery the client should render at reduced fidelity.
+    pub far_items: u64,
     /// Server switches performed.
     pub switches: u64,
 }
@@ -160,6 +163,9 @@ impl RtClient {
                         self.counters.keyframes += 1;
                     } else {
                         self.counters.deltas += 1;
+                    }
+                    if item.ring() > 0 {
+                        self.counters.far_items += 1;
                     }
                 }
                 // Reconstruction threads the base forward; the server

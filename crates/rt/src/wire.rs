@@ -82,6 +82,49 @@ pub async fn spawn_gateway(
     Ok(local)
 }
 
+/// The gateway's per-connection view of the remote client's session:
+/// the last position and state size it uploaded, carried into the
+/// transparent re-join the gateway performs on `SwitchServer` — exactly
+/// what the in-process `RtClient` does for itself. Re-joining with the
+/// *real* position keeps the restored session where the player actually
+/// is (a promoted standby already holds it there from the replica), so
+/// no corrective move is needed after a failover.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RemoteSession {
+    pos: matrix_geometry::Point,
+    state_bytes: u64,
+}
+
+impl RemoteSession {
+    fn new() -> RemoteSession {
+        RemoteSession {
+            pos: matrix_geometry::Point::ORIGIN,
+            state_bytes: 0,
+        }
+    }
+
+    /// Folds one upload into the tracked session.
+    fn observe(&mut self, msg: &ClientToGame) {
+        match msg {
+            ClientToGame::Join { pos, state_bytes } => {
+                self.pos = *pos;
+                self.state_bytes = *state_bytes;
+            }
+            ClientToGame::Move { pos } | ClientToGame::Action { pos, .. } => self.pos = *pos,
+            ClientToGame::Leave => {}
+        }
+    }
+
+    /// The re-join the gateway sends on the client's behalf after a
+    /// `SwitchServer`.
+    fn rejoin(&self) -> ClientToGame {
+        ClientToGame::Join {
+            pos: self.pos,
+            state_bytes: self.state_bytes,
+        }
+    }
+}
+
 async fn serve_connection(stream: TcpStream, router: Router, entry: ServerId) {
     let client_id = router.allocate_client_id();
     let (inbox_tx, mut inbox_rx) = mpsc::unbounded_channel::<GameToClient>();
@@ -90,8 +133,10 @@ async fn serve_connection(stream: TcpStream, router: Router, entry: ServerId) {
     let (read_half, mut write_half) = stream.into_split();
     let mut lines = BufReader::new(read_half).lines();
     // The gateway tracks which server currently owns this client so
-    // uploads land at the right node.
+    // uploads land at the right node, and the client's last position so
+    // a transparent re-join lands where the player actually is.
     let mut current = entry;
+    let mut session = RemoteSession::new();
 
     loop {
         tokio::select! {
@@ -99,7 +144,10 @@ async fn serve_connection(stream: TcpStream, router: Router, entry: ServerId) {
                 match line {
                     Ok(Some(text)) => {
                         match codec::decode_client_to_game(&text) {
-                            Ok(msg) => router.send_node(current, NodeMsg::FromClient(client_id, msg)),
+                            Ok(msg) => {
+                                session.observe(&msg);
+                                router.send_node(current, NodeMsg::FromClient(client_id, msg));
+                            }
                             Err(_) => break, // corrupt frame: drop the session
                         }
                     }
@@ -110,14 +158,12 @@ async fn serve_connection(stream: TcpStream, router: Router, entry: ServerId) {
                 let Some(msg) = msg else { break };
                 if let GameToClient::SwitchServer { to } = &msg {
                     current = *to;
-                    // Transparent re-join on the client's behalf; the remote
+                    // Transparent re-join on the client's behalf, at the
+                    // client's real position and state size; the remote
                     // end still sees the SwitchServer for observability.
                     router.send_node(
                         current,
-                        NodeMsg::FromClient(
-                            client_id,
-                            ClientToGame::Join { pos: matrix_geometry::Point::ORIGIN, state_bytes: 0 },
-                        ),
+                        NodeMsg::FromClient(client_id, session.rejoin()),
                     );
                 }
                 let mut framed = codec::encode_game_to_client(&msg);
@@ -258,5 +304,43 @@ impl TcpGameClient {
     pub async fn recv(&mut self) -> Result<GameToClient, WireError> {
         let line = self.reader.next_line().await?.ok_or(WireError::Closed)?;
         Ok(codec::decode_game_to_client(&line)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matrix_geometry::Point;
+
+    #[test]
+    fn remote_session_tracks_the_last_uploaded_position() {
+        let mut s = RemoteSession::new();
+        assert_eq!(
+            s.rejoin(),
+            ClientToGame::Join {
+                pos: Point::ORIGIN,
+                state_bytes: 0
+            }
+        );
+        s.observe(&ClientToGame::Join {
+            pos: Point::new(100.0, 100.0),
+            state_bytes: 512,
+        });
+        s.observe(&ClientToGame::Move {
+            pos: Point::new(110.0, 105.0),
+        });
+        s.observe(&ClientToGame::Action {
+            pos: Point::new(112.0, 105.0),
+            payload_bytes: 64,
+        });
+        s.observe(&ClientToGame::Leave);
+        assert_eq!(
+            s.rejoin(),
+            ClientToGame::Join {
+                pos: Point::new(112.0, 105.0),
+                state_bytes: 512,
+            },
+            "the transparent re-join carries the real position and state"
+        );
     }
 }

@@ -250,6 +250,96 @@ async fn killed_node_fails_over_to_its_warm_standby() {
     cluster.shutdown().await;
 }
 
+#[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+async fn gateway_client_resumes_at_its_real_position_after_failover() {
+    // A TCP client plays at (100, 100) through the gateway. When its
+    // server dies and the warm standby promotes, the gateway performs
+    // the transparent re-join on the client's behalf — carrying the
+    // client's *real* position, as RtClient does. Were it to re-join at
+    // the origin (the old behaviour), the restored session would be
+    // yanked across the map and the client would stop seeing events
+    // near its actual position until its next upload.
+    let mut cfg = RtConfig::default();
+    cfg.matrix.standby_replication = true;
+    cfg.matrix.heartbeat_every = SimDuration::from_millis(100);
+    cfg.coordinator.heartbeat_timeout = SimDuration::from_millis(500);
+    cfg.game.tick = SimDuration::from_millis(20);
+    cfg.game.replica_interval = SimDuration::from_millis(100);
+    let cluster = RtCluster::start(cfg).await;
+    let addr = wire::spawn_gateway(
+        "127.0.0.1:0",
+        cluster.router().clone(),
+        cluster.bootstrap_id(),
+    )
+    .await
+    .expect("bind gateway");
+
+    let mut remote = wire::TcpGameClient::connect(addr).await.expect("connect");
+    remote
+        .send(&ClientToGame::Join {
+            pos: Point::new(100.0, 100.0),
+            state_bytes: 64,
+        })
+        .await
+        .expect("send join");
+    let msg = tokio::time::timeout(Duration::from_secs(2), remote.recv())
+        .await
+        .expect("join reply")
+        .expect("valid frame");
+    assert!(matches!(msg, GameToClient::Joined { .. }), "{msg:?}");
+
+    // A nearby in-process client whose actions the remote one observes.
+    let mut alice = cluster.client(Point::new(110.0, 100.0));
+    let _ = tokio::time::timeout(Duration::from_secs(2), alice.recv())
+        .await
+        .unwrap();
+    // Let the standby pairing and at least one replica snapshot ship.
+    tokio::time::sleep(Duration::from_millis(400)).await;
+
+    cluster.crash(cluster.bootstrap_id());
+
+    // Wait for the promotion, draining the remote client's inbox (it
+    // sees Joined/SwitchServer relays along the way).
+    let mut promoted = None;
+    for _ in 0..40 {
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        let snaps = cluster.snapshots().await;
+        if let Some(s) = snaps
+            .iter()
+            .find(|s| s.lifecycle == Lifecycle::Active && s.game_stats.promotions > 0)
+        {
+            promoted = Some(s.id);
+            break;
+        }
+    }
+    assert!(promoted.is_some(), "a standby must promote");
+    tokio::time::sleep(Duration::from_millis(300)).await;
+
+    // The remote client — without uploading anything since the crash —
+    // must observe alice's action: its restored session is still at
+    // (100, 100), inside the 100-unit radius of alice.
+    alice.drain();
+    alice.action(64);
+    let deadline = std::time::Instant::now() + Duration::from_secs(3);
+    let mut saw_update = false;
+    while std::time::Instant::now() < deadline {
+        match tokio::time::timeout(Duration::from_millis(500), remote.recv()).await {
+            Ok(Ok(GameToClient::UpdateBatch { .. })) => {
+                saw_update = true;
+                break;
+            }
+            Ok(Ok(_)) => {}
+            _ => break,
+        }
+    }
+    assert!(
+        saw_update,
+        "the re-joined session must stay at the client's real position \
+         and keep receiving nearby events"
+    );
+    cluster.shutdown().await;
+}
+
 #[tokio::test]
 async fn replica_batches_cross_a_real_tcp_socket() {
     use matrix_core::{ReplicaPayload, ReplicaReceiver};
@@ -353,5 +443,56 @@ async fn tcp_gateway_round_trip() {
         .expect("ack within deadline")
         .expect("valid frame");
     assert!(matches!(msg, GameToClient::Ack { .. }), "{msg:?}");
+    cluster.shutdown().await;
+}
+
+#[tokio::test]
+async fn ring_tagged_updates_cross_the_real_wire() {
+    // Multi-ring AOI over the TCP gateway: a mid-ring observer's frames
+    // carry the ring tag (`[x,y,bytes,entity,ring]`), and the in-process
+    // client's counters attribute them as far items.
+    let mut cfg = RtConfig::default();
+    // Rings over the 100-unit vision radius: near 35, mid 65, far 100.
+    cfg.game.set_rings(&[35.0, 65.0, 100.0], &[1, 2, 4]);
+    let cluster = RtCluster::start(cfg).await;
+    let addr = wire::spawn_gateway(
+        "127.0.0.1:0",
+        cluster.router().clone(),
+        cluster.bootstrap_id(),
+    )
+    .await
+    .expect("bind gateway");
+
+    // Remote observer ~50 units from the actor: the mid ring (rate 2).
+    let mut remote = wire::TcpGameClient::connect(addr).await.expect("connect");
+    remote
+        .send(&ClientToGame::Join {
+            pos: Point::new(150.0, 100.0),
+            state_bytes: 64,
+        })
+        .await
+        .expect("send join");
+    let msg = tokio::time::timeout(Duration::from_secs(2), remote.recv())
+        .await
+        .expect("join reply")
+        .expect("valid frame");
+    assert!(matches!(msg, GameToClient::Joined { .. }), "{msg:?}");
+
+    let mut alice = cluster.client(Point::new(100.0, 100.0));
+    let _ = tokio::time::timeout(Duration::from_secs(2), alice.recv())
+        .await
+        .unwrap();
+    // Rate 2 on the mid ring: of two actions, exactly one ships.
+    alice.action(64);
+    alice.action(64);
+    let msg = tokio::time::timeout(Duration::from_secs(2), remote.recv())
+        .await
+        .expect("update within deadline")
+        .expect("valid frame");
+    let GameToClient::UpdateBatch { updates } = &msg else {
+        panic!("expected UpdateBatch, got {msg:?}");
+    };
+    assert_eq!(updates.len(), 1, "mid ring at rate 2 samples one of two");
+    assert_eq!(updates[0].ring(), 1, "mid-ring tag survives the codec");
     cluster.shutdown().await;
 }
