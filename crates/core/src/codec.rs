@@ -20,15 +20,19 @@
 //! ```
 //!
 //! Batch items come in two shapes: an absolute keyframe
-//! `[x, y, bytes, entity?, ring?]` and a delta
-//! `["d", dx, dy, bytes, entity?, ring?]` whose origin is the previous
-//! item's reconstructed origin offset by `(dx, dy)` (the first item of a
-//! batch chains off the last origin of the previous batch; see
-//! [`reconstruct_updates`](crate::reconstruct_updates)). The trailing
-//! source-entity and vision-ring tags are omitted when zero (anonymous
-//! item / near ring) and tolerated as absent on decode, so pre-entity
-//! and pre-ring frames still parse; a non-zero ring forces the entity
-//! tag to be present as its positional placeholder.
+//! `[x, y, bytes, entity?, ring?, vx?, vy?]` and a delta
+//! `["d", dx, dy, bytes, entity?, ring?, vx?, vy?]` whose origin is the
+//! previous item's reconstructed origin offset by `(dx, dy)` (the first
+//! item of a batch chains off the last origin of the previous batch;
+//! see [`reconstruct_updates`](crate::reconstruct_updates)). The
+//! trailing source-entity and vision-ring tags are omitted when zero
+//! (anonymous item / near ring) and tolerated as absent on decode, so
+//! pre-entity and pre-ring frames still parse; a non-zero ring forces
+//! the entity tag to be present as its positional placeholder. The
+//! dead-reckoning velocity `vx, vy` (world units/second) travels as a
+//! trailing *pair* — both present or both absent — and forces the
+//! entity and ring placeholders; a zero velocity is omitted, keeping
+//! prediction-off frames byte-identical to pre-prediction ones.
 //!
 //! The replication layer adds three frames, all carrying an explicit
 //! format version (`"v"`) so incompatible peers fail loudly instead of
@@ -40,7 +44,8 @@
 //!                  "flushed_us":120000,
 //!                  "clients":[[7,1.0,2.0,64]],
 //!                  "streams":[[7,1.0,2.0,3]],
-//!                  "pending":[[7,[[1.0,2.0,32,9]]]]}
+//!                  "pending":[[7,[[1.0,2.0,32,9]]]],
+//!                  "bases":[[7,[[9,1.0,2.0,12.5,-3.0,4.2]]]]}   (optional)
 //! replica batch   {"t":"replica","v":1,"seq":4,"snapshot":{...}}
 //!                 {"t":"replica","v":1,"seq":5,"ops":[["j",7,1.0,2.0,64],
 //!                  ["m",7,1.5,2.0],["l",7],["r",0.0,0.0,400.0,400.0,50.0]]}
@@ -56,7 +61,9 @@ use crate::messages::{
 };
 use crate::packet::ClientId;
 use matrix_geometry::{Point, Rect, ServerId};
-use matrix_replication::{PendingUpdate, ReplicaPayload, SessionState, StreamBase, TunerState};
+use matrix_replication::{
+    PendingUpdate, PredictBasis, ReplicaPayload, SessionState, StreamBase, TunerState,
+};
 use matrix_sim::SimTime;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -406,30 +413,44 @@ pub fn encode_game_to_client(msg: &GameToClient) -> String {
                 }
                 match item {
                     BatchItem::Absolute(u) => {
+                        let vel = u.has_velocity();
                         s.push('[');
                         push_f64(&mut s, u.origin.x);
                         s.push(',');
                         push_f64(&mut s, u.origin.y);
                         let _ = write!(s, ",{}", u.payload_bytes);
-                        if u.entity != 0 || u.ring != 0 {
+                        if u.entity != 0 || u.ring != 0 || vel {
                             let _ = write!(s, ",{}", u.entity);
                         }
-                        if u.ring != 0 {
+                        if u.ring != 0 || vel {
                             let _ = write!(s, ",{}", u.ring);
+                        }
+                        if vel {
+                            s.push(',');
+                            push_f64(&mut s, u.vx);
+                            s.push(',');
+                            push_f64(&mut s, u.vy);
                         }
                         s.push(']');
                     }
                     BatchItem::Delta(d) => {
+                        let vel = d.has_velocity();
                         s.push_str("[\"d\",");
                         push_f64(&mut s, d.dx);
                         s.push(',');
                         push_f64(&mut s, d.dy);
                         let _ = write!(s, ",{}", d.payload_bytes);
-                        if d.entity != 0 || d.ring != 0 {
+                        if d.entity != 0 || d.ring != 0 || vel {
                             let _ = write!(s, ",{}", d.entity);
                         }
-                        if d.ring != 0 {
+                        if d.ring != 0 || vel {
                             let _ = write!(s, ",{}", d.ring);
+                        }
+                        if vel {
+                            s.push(',');
+                            push_f64(&mut s, d.vx);
+                            s.push(',');
+                            push_f64(&mut s, d.vy);
                         }
                         s.push(']');
                     }
@@ -486,9 +507,11 @@ pub fn decode_game_to_client(line: &str) -> Result<GameToClient, CodecError> {
                 };
                 match fields.first() {
                     Some(Value::Str(tag)) if tag == "d" => {
-                        if !(4..=6).contains(&fields.len()) {
+                        // 4–6 elements, or 8 with the trailing velocity
+                        // pair (7 would be a dangling vx).
+                        if !(4..=6).contains(&fields.len()) && fields.len() != 8 {
                             return Err(CodecError::new(
-                                "delta batch item must have 4 to 6 elements",
+                                "delta batch item must have 4 to 6 or 8 elements",
                             ));
                         }
                         let entity = if fields.len() >= 5 {
@@ -496,10 +519,15 @@ pub fn decode_game_to_client(line: &str) -> Result<GameToClient, CodecError> {
                         } else {
                             0
                         };
-                        let ring = if fields.len() == 6 {
+                        let ring = if fields.len() >= 6 {
                             num_at(5)? as u8
                         } else {
                             0
+                        };
+                        let (vx, vy) = if fields.len() == 8 {
+                            (num_at(6)?, num_at(7)?)
+                        } else {
+                            (0.0, 0.0)
                         };
                         updates.push(BatchItem::Delta(DeltaItem {
                             dx: num_at(1)?,
@@ -507,15 +535,19 @@ pub fn decode_game_to_client(line: &str) -> Result<GameToClient, CodecError> {
                             payload_bytes: num_at(3)? as usize,
                             entity,
                             ring,
+                            vx,
+                            vy,
                         }));
                     }
                     Some(Value::Str(_)) => {
                         return Err(CodecError::new("unknown batch item tag"));
                     }
                     _ => {
-                        if !(3..=5).contains(&fields.len()) {
+                        // 3–5 elements, or 7 with the trailing velocity
+                        // pair (6 would be a dangling vx).
+                        if !(3..=5).contains(&fields.len()) && fields.len() != 7 {
                             return Err(CodecError::new(
-                                "absolute batch item must have 3 to 5 elements",
+                                "absolute batch item must have 3 to 5 or 7 elements",
                             ));
                         }
                         let entity = if fields.len() >= 4 {
@@ -523,16 +555,23 @@ pub fn decode_game_to_client(line: &str) -> Result<GameToClient, CodecError> {
                         } else {
                             0
                         };
-                        let ring = if fields.len() == 5 {
+                        let ring = if fields.len() >= 5 {
                             num_at(4)? as u8
                         } else {
                             0
+                        };
+                        let (vx, vy) = if fields.len() == 7 {
+                            (num_at(5)?, num_at(6)?)
+                        } else {
+                            (0.0, 0.0)
                         };
                         updates.push(BatchItem::Absolute(UpdateItem {
                             origin: Point::new(num_at(0)?, num_at(1)?),
                             payload_bytes: num_at(2)? as usize,
                             entity,
                             ring,
+                            vx,
+                            vy,
                         }));
                     }
                 }
@@ -659,19 +698,56 @@ fn push_snapshot_body(s: &mut String, snap: &RegionSnapshot) {
             if j > 0 {
                 s.push(',');
             }
+            let vel = u.vx != 0.0 || u.vy != 0.0;
             s.push('[');
             push_f64(s, u.origin.x);
             s.push(',');
             push_f64(s, u.origin.y);
             let _ = write!(s, ",{},{}", u.payload_bytes, u.entity);
-            if u.ring != 0 {
+            if u.ring != 0 || vel {
                 let _ = write!(s, ",{}", u.ring);
+            }
+            if vel {
+                s.push(',');
+                push_f64(s, u.vx);
+                s.push(',');
+                push_f64(s, u.vy);
             }
             s.push(']');
         }
         s.push_str("]]");
     }
-    s.push_str("]}");
+    s.push(']');
+    // Dead-reckoning bases, omitted when prediction is off: frames from
+    // (and for) prediction-free peers stay byte-identical.
+    if !snap.bases.is_empty() {
+        s.push_str(",\"bases\":[");
+        for (i, (id, bases)) in snap.bases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{},[", id.0);
+            for (j, b) in bases.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[{},", b.entity);
+                push_f64(s, b.pos.x);
+                s.push(',');
+                push_f64(s, b.pos.y);
+                s.push(',');
+                push_f64(s, b.vx);
+                s.push(',');
+                push_f64(s, b.vy);
+                s.push(',');
+                push_f64(s, b.time_secs);
+                s.push(']');
+            }
+            s.push_str("]]");
+        }
+        s.push(']');
+    }
+    s.push('}');
 }
 
 fn snapshot_from_obj(obj: &BTreeMap<String, Value>) -> Result<RegionSnapshot, CodecError> {
@@ -757,9 +833,10 @@ fn snapshot_from_obj(obj: &BTreeMap<String, Value>) -> Result<RegionSnapshot, Co
                 return Err(CodecError::new("pending item must be an array"));
             };
             let f = nums(fields, "pending item")?;
-            if f.len() != 4 && f.len() != 5 {
+            // 4–5 numbers, or 7 with the trailing velocity pair.
+            if f.len() != 4 && f.len() != 5 && f.len() != 7 {
                 return Err(CodecError::new(
-                    "pending item must be [x, y, bytes, entity, ring?]",
+                    "pending item must be [x, y, bytes, entity, ring?, vx?, vy?]",
                 ));
             }
             updates.push(PendingUpdate {
@@ -767,9 +844,46 @@ fn snapshot_from_obj(obj: &BTreeMap<String, Value>) -> Result<RegionSnapshot, Co
                 payload_bytes: f[2] as usize,
                 entity: f[3] as u64,
                 ring: f.get(4).copied().unwrap_or(0.0) as u8,
+                vx: f.get(5).copied().unwrap_or(0.0),
+                vy: f.get(6).copied().unwrap_or(0.0),
             });
         }
         snap.pending.insert(ClientId(id as u64), updates);
+    }
+    if let Some(value) = obj.get("bases") {
+        let Value::Arr(entries) = value else {
+            return Err(CodecError::new("field 'bases' must be an array"));
+        };
+        for entry in entries {
+            let Value::Arr(fields) = entry else {
+                return Err(CodecError::new("bases entry must be an array"));
+            };
+            let (Some(id), Some(Value::Arr(items)), 2) = (
+                fields.first().and_then(Value::as_num),
+                fields.get(1),
+                fields.len(),
+            ) else {
+                return Err(CodecError::new("bases entry must be [id, [bases]]"));
+            };
+            let mut bases = Vec::with_capacity(items.len());
+            for item in items {
+                let Value::Arr(fields) = item else {
+                    return Err(CodecError::new("basis must be an array"));
+                };
+                let f = nums(fields, "basis")?;
+                if f.len() != 6 {
+                    return Err(CodecError::new("basis must be [entity, x, y, vx, vy, t]"));
+                }
+                bases.push(PredictBasis {
+                    entity: f[0] as u64,
+                    pos: Point::new(f[1], f[2]),
+                    vx: f[3],
+                    vy: f[4],
+                    time_secs: f[5],
+                });
+            }
+            snap.bases.insert(ClientId(id as u64), bases);
+        }
     }
     Ok(snap)
 }
@@ -995,12 +1109,16 @@ mod tests {
                     payload_bytes: 64,
                     entity: 9,
                     ring: 0,
+                    vx: 0.0,
+                    vy: 0.0,
                 }),
                 BatchItem::Absolute(UpdateItem {
                     origin: Point::new(0.0, 0.0),
                     payload_bytes: 0,
                     entity: 0,
                     ring: 0,
+                    vx: 0.0,
+                    vy: 0.0,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: -1.25,
@@ -1008,6 +1126,8 @@ mod tests {
                     payload_bytes: 32,
                     entity: 9,
                     ring: 0,
+                    vx: 0.0,
+                    vy: 0.0,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 0.0,
@@ -1015,6 +1135,8 @@ mod tests {
                     payload_bytes: 0,
                     entity: 0,
                     ring: 0,
+                    vx: 0.0,
+                    vy: 0.0,
                 }),
             ],
         });
@@ -1082,6 +1204,8 @@ mod tests {
                     payload_bytes: 8,
                     entity: 0,
                     ring: 2,
+                    vx: 0.0,
+                    vy: 0.0,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 0.5,
@@ -1089,6 +1213,8 @@ mod tests {
                     payload_bytes: 4,
                     entity: 9,
                     ring: 1,
+                    vx: 0.0,
+                    vy: 0.0,
                 }),
             ],
         };
@@ -1103,6 +1229,8 @@ mod tests {
                 payload_bytes: 8,
                 entity: 7,
                 ring: 0,
+                vx: 0.0,
+                vy: 0.0,
             })],
         };
         let line = encode_game_to_client(&near);
@@ -1124,6 +1252,113 @@ mod tests {
         });
         let line = encode_region_snapshot(&snap);
         assert!(line.contains("\"tuner\":[64,2]"), "{line}");
+        assert_eq!(decode_region_snapshot(&line).unwrap(), snap);
+    }
+
+    #[test]
+    fn velocity_tagged_items_round_trip_and_omit_zero() {
+        // Velocities travel as a trailing pair, forcing the entity and
+        // ring placeholders; zero velocity encodes exactly like a
+        // pre-prediction frame.
+        let msg = GameToClient::UpdateBatch {
+            updates: vec![
+                BatchItem::Absolute(UpdateItem {
+                    origin: Point::new(1.0, 2.0),
+                    payload_bytes: 8,
+                    entity: 0,
+                    ring: 0,
+                    vx: 12.5,
+                    vy: -3.25,
+                }),
+                BatchItem::Delta(DeltaItem {
+                    dx: 0.5,
+                    dy: -0.5,
+                    payload_bytes: 4,
+                    entity: 9,
+                    ring: 2,
+                    vx: -0.25,
+                    vy: 1.0,
+                }),
+            ],
+        };
+        let line = encode_game_to_client(&msg);
+        assert!(line.contains("[1.0,2.0,8,0,0,12.5,-3.25]"), "{line}");
+        assert!(line.contains("[\"d\",0.5,-0.5,4,9,2,-0.25,1.0]"), "{line}");
+        assert_eq!(decode_game_to_client(&line).unwrap(), msg);
+
+        let still = GameToClient::UpdateBatch {
+            updates: vec![BatchItem::Absolute(UpdateItem {
+                origin: Point::new(1.0, 2.0),
+                payload_bytes: 8,
+                entity: 7,
+                ring: 0,
+                vx: 0.0,
+                vy: 0.0,
+            })],
+        };
+        let line = encode_game_to_client(&still);
+        assert!(
+            line.contains("[1.0,2.0,8,7]"),
+            "zero velocity stays off the wire: {line}"
+        );
+        assert_eq!(decode_game_to_client(&line).unwrap(), still);
+    }
+
+    #[test]
+    fn dangling_velocity_components_are_rejected() {
+        // A lone vx with no vy is not a valid frame in either shape.
+        assert!(decode_game_to_client("{\"t\":\"batch\",\"updates\":[[1,2,3,4,5,6]]}").is_err());
+        assert!(
+            decode_game_to_client("{\"t\":\"batch\",\"updates\":[[\"d\",1,2,3,4,5,6]]}").is_err()
+        );
+    }
+
+    #[test]
+    fn snapshot_bases_round_trip_and_are_omitted_when_empty() {
+        let mut snap = sample_snapshot();
+        assert!(
+            !encode_region_snapshot(&snap).contains("bases"),
+            "prediction-free snapshots stay byte-identical to pre-prediction frames"
+        );
+        snap.bases.insert(
+            ClientId(7),
+            vec![
+                PredictBasis {
+                    entity: 9,
+                    pos: Point::new(10.5, -3.0),
+                    vx: 12.5,
+                    vy: -3.25,
+                    time_secs: 4.2,
+                },
+                PredictBasis {
+                    entity: 11,
+                    pos: Point::new(0.0, 0.0),
+                    vx: 0.0,
+                    vy: 0.0,
+                    time_secs: 0.0,
+                },
+            ],
+        );
+        snap.pending.insert(
+            ClientId(8),
+            vec![PendingUpdate {
+                origin: Point::new(1.0, 2.0),
+                payload_bytes: 8,
+                entity: 9,
+                ring: 1,
+                vx: 2.5,
+                vy: -1.5,
+            }],
+        );
+        let line = encode_region_snapshot(&snap);
+        assert!(
+            line.contains("\"bases\":[[7,[[9,10.5,-3.0,12.5,-3.25,4.2]"),
+            "{line}"
+        );
+        assert!(
+            line.contains("[1.0,2.0,8,9,1,2.5,-1.5]"),
+            "pending items carry their velocity: {line}"
+        );
         assert_eq!(decode_region_snapshot(&line).unwrap(), snap);
     }
 
@@ -1170,6 +1405,8 @@ mod tests {
                 payload_bytes: 64,
                 entity: 9,
                 ring: 0,
+                vx: 0.0,
+                vy: 0.0,
             }],
         );
         snap
@@ -1302,6 +1539,8 @@ mod tests {
                             payload_bytes: (next() % 512) as usize,
                             entity: next() % 10_000,
                             ring: (next() % 4) as u8,
+                            vx: 0.0,
+                            vy: 0.0,
                         })
                         .collect();
                     snap.pending.insert(id, items);

@@ -140,6 +140,26 @@ pub struct GameServerConfig {
     /// hysteresis + observation streak guard against thrash; the tuned
     /// value replicates to warm standbys inside region snapshots).
     pub grid_autotune: bool,
+    /// Dead-reckoning suppression (predictive dissemination): model
+    /// each entity's velocity, ship it on batch items, and *suppress*
+    /// updates for receivers whose extrapolation stays within the
+    /// per-ring `error_budgets`. Off (the default) keeps the wire
+    /// byte-identical to the prediction-free pipeline.
+    pub predict: bool,
+    /// Per-ring receiver error budgets in world units, parallel to
+    /// `ring_radii` (`0.0` = never suppress in that ring). The near
+    /// ring is pinned to `0.0` regardless — near means every event,
+    /// preserving the rings' delivery guarantee. Only meaningful with
+    /// `predict` on.
+    pub error_budgets: [f64; matrix_interest::MAX_RINGS],
+    /// Sliding-window length (observations) of the per-entity velocity
+    /// estimator feeding prediction; clamped to ≥ 2.
+    pub motion_window: u32,
+    /// Ring index from which batch items ship position-only (payload
+    /// stripped, origin and velocity kept); `0` disables payload
+    /// degradation. A far-ring entity's whereabouts matter for
+    /// rendering, its full state rarely does.
+    pub position_only_ring: u8,
     /// Whether client-bound update fan-out is emitted as real messages
     /// (true under the runtime, where clients are live connections) or
     /// only counted (discrete-event runs that model fan-out as load).
@@ -200,6 +220,10 @@ impl Default for GameServerConfig {
             ring_radii: [0.0; matrix_interest::MAX_RINGS],
             ring_sample_rates: [1; matrix_interest::MAX_RINGS],
             grid_autotune: false,
+            predict: false,
+            error_budgets: [0.0; matrix_interest::MAX_RINGS],
+            motion_window: 4,
+            position_only_ring: 0,
             emit_updates: false,
             max_updates_per_flush: 128,
             client_budget_bytes: 0,
@@ -228,6 +252,17 @@ impl GameServerConfig {
     /// set).
     pub fn rings_configured(&self) -> bool {
         self.ring_radii.iter().any(|r| *r > 0.0)
+    }
+
+    /// Copies per-ring error budgets from slice form (as game specs
+    /// carry them) into the fixed-size config array, truncating to
+    /// [`matrix_interest::MAX_RINGS`]. Missing entries stay `0.0`
+    /// (never suppress).
+    pub fn set_error_budgets(&mut self, budgets: &[f64]) {
+        self.error_budgets = [0.0; matrix_interest::MAX_RINGS];
+        for (slot, b) in self.error_budgets.iter_mut().zip(budgets) {
+            *slot = b.max(0.0);
+        }
     }
 }
 
@@ -289,6 +324,22 @@ mod tests {
         );
         c.set_rings(&[], &[]);
         assert!(!c.rings_configured(), "clearing restores the binary path");
+    }
+
+    #[test]
+    fn predict_defaults_off_and_budgets_copy_from_slices() {
+        let mut c = GameServerConfig::default();
+        assert!(!c.predict, "prediction is opt-in");
+        assert_eq!(c.error_budgets, [0.0; matrix_interest::MAX_RINGS]);
+        assert_eq!(c.position_only_ring, 0, "payload degradation is opt-in");
+        c.set_error_budgets(&[0.0, 2.0, 4.0]);
+        assert_eq!(c.error_budgets[..3], [0.0, 2.0, 4.0]);
+        c.set_error_budgets(&[-1.0]);
+        assert_eq!(
+            c.error_budgets,
+            [0.0; matrix_interest::MAX_RINGS],
+            "negative budgets clamp to never-suppress and the rest clears"
+        );
     }
 
     #[test]

@@ -18,11 +18,11 @@ use crate::packet::{ClientId, GamePacket, SpatialTag};
 use bytes::Bytes;
 use matrix_geometry::{Point, Rect, ServerId};
 use matrix_interest::{
-    AutoTunerConfig, DisseminationPipeline, EncodedOrigin, FlushPolicy, PipelineConfig, RingSet,
-    MAX_RINGS,
+    AutoTunerConfig, Basis, DisseminationPipeline, EncodedOrigin, FlushPolicy, PipelineConfig,
+    PredictorConfig, RingSet, MAX_RINGS,
 };
 use matrix_replication::{
-    PendingUpdate, ReplicaLog, ReplicaReceiver, SessionState, StreamBase, TunerState,
+    PendingUpdate, PredictBasis, ReplicaLog, ReplicaReceiver, SessionState, StreamBase, TunerState,
 };
 use matrix_sim::SimTime;
 use serde::{Deserialize, Serialize};
@@ -116,6 +116,21 @@ pub struct GameStats {
     /// Times the density-driven auto-tuner re-picked `cells_per_axis`
     /// and rebuilt the interest grid.
     pub grid_retunes: u64,
+    /// Candidate deliveries suppressed by dead reckoning: the
+    /// receiver's extrapolation held the event within its ring's error
+    /// budget, so nothing was transmitted (predictive dissemination).
+    pub updates_suppressed: u64,
+    /// Batch items degraded to position-only by the per-ring payload
+    /// policy (`position_only_ring`).
+    pub payloads_stripped: u64,
+    /// Sum of the simulated receiver prediction errors over all
+    /// suppressed deliveries, world units —
+    /// `pred_error_sum / updates_suppressed` is the mean error the
+    /// predictions absorbed in place of a transmission.
+    pub pred_error_sum: f64,
+    /// Largest simulated receiver prediction error among the suppressed
+    /// deliveries (bounded by the largest configured ring budget).
+    pub pred_error_max: f64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -214,6 +229,15 @@ impl GameServerNode {
                 } else {
                     AutoTunerConfig::default()
                 },
+                predict: if cfg.predict {
+                    PredictorConfig {
+                        motion_window: cfg.motion_window,
+                        ..PredictorConfig::with_budgets(&cfg.error_budgets)
+                    }
+                } else {
+                    PredictorConfig::default()
+                },
+                position_only_ring: cfg.position_only_ring,
             },
         )
     }
@@ -364,7 +388,16 @@ impl GameServerNode {
                 self.pipeline.reposition(client, pos);
                 self.replicate(ReplicaOp::Move { client, pos });
                 let mut out = self.forward_event(client, pos, self.cfg_move_bytes());
-                out.extend(self.fan_out(now, pos, self.cfg_move_bytes(), Some(client), client.0));
+                out.extend(self.fan_out(
+                    now,
+                    pos,
+                    self.cfg_move_bytes(),
+                    Some(client),
+                    client.0,
+                    // A pure position update: receivers reconstruct it
+                    // by extrapolation, so prediction may suppress it.
+                    true,
+                ));
                 out.extend(self.check_roaming(client));
                 out
             }
@@ -379,7 +412,16 @@ impl GameServerNode {
                 let seq = self.seq;
                 let mut out = self.forward_event(client, pos, payload_bytes);
                 out.push(GameAction::ToClient(client, GameToClient::Ack { seq }));
-                out.extend(self.fan_out(now, pos, payload_bytes, Some(client), client.0));
+                out.extend(self.fan_out(
+                    now,
+                    pos,
+                    payload_bytes,
+                    Some(client),
+                    client.0,
+                    // An action's payload cannot be extrapolated:
+                    // never suppressed (it still rebases predictions).
+                    false,
+                ));
                 out.extend(self.check_roaming(client));
                 out
             }
@@ -387,6 +429,9 @@ impl GameServerNode {
                 if self.clients.remove(&client).is_some() {
                     self.stats.leaves += 1;
                     self.stats.updates_dropped += self.pipeline.unsubscribe(client) as u64;
+                    // The client is also an entity: drop its motion
+                    // track and every receiver's prediction basis for it.
+                    self.pipeline.forget_entity(client.0);
                     self.replicate(ReplicaOp::Leave { client });
                 }
                 Vec::new()
@@ -417,14 +462,16 @@ impl GameServerNode {
     }
 
     /// Delivers an event to every local client whose area of interest
-    /// contains it, through the pipeline's query + tiering stages:
-    /// receivers come from the interest grid (O(cells + matches) instead
-    /// of a scan over all clients), each is graded into its vision ring
-    /// by distance, and outer rings deterministically sample (near =
-    /// every event). Admitted updates coalesce per client and flush as
-    /// `UpdateBatch` messages on the batch interval. Emission is
-    /// optional; counting is not, because the fan-out volume is what
-    /// loads a hotspot server.
+    /// contains it, through the pipeline's query + tiering + prediction
+    /// stages: receivers come from the interest grid (O(cells + matches)
+    /// instead of a scan over all clients), each is graded into its
+    /// vision ring by distance, outer rings deterministically sample
+    /// (near = every event), and — with `predict` on — receivers whose
+    /// dead-reckoning extrapolation holds the event within the ring's
+    /// error budget are *suppressed* entirely. Admitted updates coalesce
+    /// per client and flush as `UpdateBatch` messages on the batch
+    /// interval. Emission is optional; counting is not, because the
+    /// fan-out volume is what loads a hotspot server.
     fn fan_out(
         &mut self,
         now: SimTime,
@@ -432,21 +479,38 @@ impl GameServerNode {
         payload_bytes: usize,
         exclude: Option<ClientId>,
         entity: u64,
+        suppressible: bool,
     ) -> Vec<GameAction> {
         // Receivers are selected against the true origin; what they are
         // *told* is the lattice-snapped origin, so inter-origin offsets
         // fit the compact delta frame (see `matrix_interest::quantize`).
+        // Prediction bases live in the same wire coordinates, which is
+        // what makes the sender's error simulation equal the receiver's
+        // real extrapolation error.
         let wire_origin = matrix_interest::quantize(origin, self.cfg.origin_quantum);
-        let stats = self
-            .pipeline
-            .disseminate(origin, exclude, self.emit_fanout, |ring| UpdateItem {
+        let stats = self.pipeline.disseminate(
+            origin,
+            wire_origin,
+            entity,
+            now.as_secs_f64(),
+            suppressible,
+            exclude,
+            self.emit_fanout,
+            |ring, (vx, vy)| UpdateItem {
                 origin: wire_origin,
                 payload_bytes,
                 entity,
                 ring,
-            });
+                vx,
+                vy,
+            },
+        );
         self.stats.updates_fanned += stats.delivered;
         self.stats.updates_sampled_out += stats.sampled_out;
+        self.stats.updates_suppressed += stats.suppressed;
+        self.stats.payloads_stripped += stats.stripped;
+        self.stats.pred_error_sum += stats.pred_error_sum;
+        self.stats.pred_error_max = self.stats.pred_error_max.max(stats.pred_error_max);
         self.flush_if_due(now)
     }
 
@@ -504,6 +568,8 @@ impl GameServerNode {
                         payload_bytes: u.payload_bytes,
                         entity: u.entity,
                         ring: u.ring,
+                        vx: u.vx,
+                        vy: u.vy,
                     }),
                 };
                 self.stats.batch_bytes += item.wire_bytes() as u64;
@@ -533,7 +599,16 @@ impl GameServerNode {
     pub fn shutdown_flush(&mut self, now: SimTime) -> Vec<GameAction> {
         let out = self.flush_updates(now);
         self.pipeline.clear_streams();
+        // Reconnecting clients extrapolate from nothing, so the
+        // sender-side mirror must restart empty too.
+        self.pipeline.clear_bases();
         out
+    }
+
+    /// Number of clients currently holding at least one dead-reckoning
+    /// prediction basis (observability for drivers and tests).
+    pub fn prediction_receivers(&self) -> usize {
+        self.pipeline.prediction_receivers()
     }
 
     /// Number of clients whose delta stream currently holds a base
@@ -627,7 +702,11 @@ impl GameServerNode {
                 self.stats.remote_updates += 1;
                 let origin = pkt.tag.dest.unwrap_or(pkt.tag.origin);
                 let entity = pkt.client.map_or(0, |c| c.0);
-                self.fan_out(now, origin, pkt.payload.len(), None, entity)
+                // Remote deliveries carry opaque payloads the local
+                // server cannot classify: conservatively never
+                // suppressed (cross-server prediction would need the
+                // peer's motion history anyway).
+                self.fan_out(now, origin, pkt.payload.len(), None, entity, false)
             }
             MatrixToGame::Owner {
                 client,
@@ -715,7 +794,14 @@ impl GameServerNode {
         // delivered long ago. Drop both — streams resync through
         // keyframes, and fresh events refill the batcher immediately.
         // (The tuner state restored above survives: the promoted grid
-        // keeps the dead primary's tuned resolution.)
+        // keeps the dead primary's tuned resolution. The dead-reckoning
+        // bases survive too: unlike a delta base, a trailing prediction
+        // basis cannot corrupt decode — it only mis-estimates error
+        // toward the budget — and keeping it means the promoted region
+        // suppresses consistently instead of retransmitting every
+        // visible entity in its first flushes. Any client that does
+        // reconnect resets its bases through the ordinary subscribe
+        // path.)
         self.pipeline.clear_streams();
         self.pipeline.clear_pending();
         self.stats.promotions += 1;
@@ -764,6 +850,27 @@ impl GameServerNode {
                         payload_bytes: u.payload_bytes,
                         entity: u.entity,
                         ring: u.ring,
+                        vx: u.vx,
+                        vy: u.vy,
+                    })
+                    .collect(),
+            );
+        }
+        // Dead-reckoning bases: what each receiver extrapolates each
+        // entity from. Shipped so a promoted standby keeps suppressing
+        // consistently with the receivers' actual state instead of
+        // rebasing (and retransmitting) every visible entity.
+        for (cid, bases) in self.pipeline.export_bases() {
+            snap.bases.insert(
+                cid,
+                bases
+                    .into_iter()
+                    .map(|(entity, b)| PredictBasis {
+                        entity,
+                        pos: b.pos,
+                        vx: b.vel.0,
+                        vy: b.vel.1,
+                        time_secs: b.time,
                     })
                     .collect(),
             );
@@ -824,6 +931,26 @@ impl GameServerNode {
                 .into_iter()
                 .map(|(cid, s)| (cid, s.base, s.countdown)),
         );
+        self.pipeline.clear_bases();
+        self.pipeline
+            .import_bases(snap.bases.into_iter().map(|(cid, bases)| {
+                (
+                    cid,
+                    bases
+                        .into_iter()
+                        .map(|b| {
+                            (
+                                b.entity,
+                                Basis {
+                                    pos: b.pos,
+                                    vel: (b.vx, b.vy),
+                                    time: b.time_secs,
+                                },
+                            )
+                        })
+                        .collect(),
+                )
+            }));
         self.pipeline.clear_pending();
         for (cid, items) in snap.pending {
             for u in items {
@@ -836,6 +963,8 @@ impl GameServerNode {
                         payload_bytes: u.payload_bytes,
                         entity: u.entity,
                         ring: u.ring,
+                        vx: u.vx,
+                        vy: u.vy,
                     },
                 );
             }
@@ -868,6 +997,7 @@ impl GameServerNode {
         for (client, rec) in moving {
             self.clients.remove(&client);
             self.stats.updates_dropped += self.pipeline.unsubscribe(client) as u64;
+            self.pipeline.forget_entity(client.0);
             self.replicate(ReplicaOp::Leave { client });
             self.stats.redirects_out += 1;
             out.push(GameAction::ToMatrix(GameToMatrix::TransferClient {
@@ -888,6 +1018,7 @@ impl GameServerNode {
             return Vec::new();
         };
         self.stats.updates_dropped += self.pipeline.unsubscribe(client) as u64;
+        self.pipeline.forget_entity(client.0);
         self.replicate(ReplicaOp::Leave { client });
         self.stats.redirects_out += 1;
         vec![
@@ -1850,6 +1981,195 @@ mod tests {
             })
             .unwrap();
         assert!(again.is_full(), "resync restarts from a snapshot");
+    }
+
+    /// A predicting node: two rings (20 / 200), outer budget 2 world
+    /// units, per-event flushes so suppression decisions are observable
+    /// one by one.
+    fn predicting_node() -> GameServerNode {
+        let mut cfg = GameServerConfig {
+            predict: true,
+            emit_updates: true,
+            batch_interval: matrix_sim::SimDuration::from_millis(0),
+            ..GameServerConfig::default()
+        };
+        cfg.set_rings(&[20.0, 200.0], &[1, 1]);
+        cfg.set_error_budgets(&[0.0, 2.0]);
+        let mut g = GameServerNode::new(ServerId(1), cfg).with_fanout();
+        g.register(world(), 200.0);
+        g
+    }
+
+    /// Drives client 1 on a straight 10 u/s run past client 2 (outer
+    /// ring) starting at `t0_ms`, returning the emitted batches for
+    /// client 2.
+    fn straight_run(g: &mut GameServerNode, t0_ms: u64, steps: u64) -> Vec<Vec<BatchItem>> {
+        let mut batches = Vec::new();
+        for i in 0..steps {
+            let actions = g.on_client(
+                SimTime::from_millis(t0_ms + i * 100),
+                ClientId(1),
+                ClientToGame::Move {
+                    pos: Point::new(50.0 + i as f64, 200.0),
+                },
+            );
+            batches.extend(batch_for(&actions, ClientId(2)));
+        }
+        batches
+    }
+
+    #[test]
+    fn prediction_suppresses_linear_motion_and_ships_velocity() {
+        let mut g = predicting_node();
+        join(&mut g, 1, Point::new(50.0, 200.0));
+        join(&mut g, 2, Point::new(150.0, 300.0)); // outer ring of the run
+        let batches = straight_run(&mut g, 0, 20);
+        assert!(
+            g.stats().updates_suppressed >= 15,
+            "linear motion must be suppressed: {:?}",
+            g.stats()
+        );
+        assert!(
+            (batches.len() as u64) < 20,
+            "most events never reached the wire: {} batches",
+            batches.len()
+        );
+        assert!(
+            g.stats().pred_error_max <= 2.0,
+            "suppression never exceeds the ring budget: {}",
+            g.stats().pred_error_max
+        );
+        // Once the motion model locks on, transmitted items carry the
+        // 10 u/s velocity for the receiver to extrapolate with.
+        assert!(
+            batches.iter().flatten().any(|item| item.velocity().0 > 5.0),
+            "rebasing items must ship the estimated velocity: {batches:?}"
+        );
+        assert!(g.prediction_receivers() > 0);
+    }
+
+    #[test]
+    fn actions_are_never_suppressed_and_rebase_predictions() {
+        let mut g = predicting_node();
+        join(&mut g, 1, Point::new(50.0, 200.0));
+        join(&mut g, 2, Point::new(150.0, 300.0)); // outer ring
+                                                   // A stationary client firing actions: extrapolation reproduces
+                                                   // its position perfectly, but the payloads are new information
+                                                   // every time — all of them must ship.
+        for i in 0..10u64 {
+            let actions = g.on_client(
+                SimTime::from_millis(i * 100),
+                ClientId(1),
+                ClientToGame::Action {
+                    pos: Point::new(50.0, 200.0),
+                    payload_bytes: 64,
+                },
+            );
+            assert!(
+                batch_for(&actions, ClientId(2)).is_some(),
+                "action {i} must reach the observer"
+            );
+        }
+        assert_eq!(
+            g.stats().updates_suppressed,
+            0,
+            "payload-carrying events are not suppressible"
+        );
+        // Moves between actions still suppress: the actions rebased the
+        // prediction, and the position stream remains predictable.
+        let batches = straight_run(&mut g, 2000, 10);
+        assert!(g.stats().updates_suppressed > 0, "{:?}", g.stats());
+        assert!((batches.len() as u64) < 10);
+    }
+
+    #[test]
+    fn prediction_off_keeps_the_wire_velocity_free() {
+        let mut cfg = GameServerConfig {
+            emit_updates: true,
+            batch_interval: matrix_sim::SimDuration::from_millis(0),
+            ..GameServerConfig::default()
+        };
+        cfg.set_rings(&[20.0, 200.0], &[1, 1]);
+        let mut g = GameServerNode::new(ServerId(1), cfg).with_fanout();
+        g.register(world(), 200.0);
+        join(&mut g, 1, Point::new(50.0, 200.0));
+        join(&mut g, 2, Point::new(150.0, 300.0));
+        let batches = straight_run(&mut g, 0, 10);
+        assert_eq!(g.stats().updates_suppressed, 0);
+        assert_eq!(batches.len(), 10, "every event ships");
+        assert!(
+            batches.iter().flatten().all(|i| !i.has_velocity()),
+            "prediction off ⇒ no velocity fields on the wire"
+        );
+        assert_eq!(g.prediction_receivers(), 0);
+    }
+
+    #[test]
+    fn snapshot_carries_prediction_bases_and_restore_reproduces_suppression() {
+        let mut g = predicting_node();
+        join(&mut g, 1, Point::new(50.0, 200.0));
+        join(&mut g, 2, Point::new(150.0, 300.0));
+        straight_run(&mut g, 0, 10);
+        let snap = g.snapshot();
+        assert!(
+            snap.bases.values().any(|b| !b.is_empty()),
+            "snapshot must carry the prediction bases"
+        );
+
+        // A fresh standby with the same config adopts the snapshot.
+        let mut restored = predicting_node();
+        restored.restore(snap);
+        assert!(
+            restored.prediction_receivers() > 0,
+            "restore must import the bases"
+        );
+        // The same on-track continuation is suppressed on both nodes:
+        // the admit decision is basis-driven, and the bases replicated.
+        let before_g = g.stats().updates_suppressed;
+        let before_r = restored.stats().updates_suppressed;
+        for node in [&mut g, &mut restored] {
+            node.on_client(
+                SimTime::from_millis(1000),
+                ClientId(1),
+                ClientToGame::Move {
+                    pos: Point::new(60.0, 200.0),
+                },
+            );
+        }
+        assert_eq!(
+            g.stats().updates_suppressed - before_g,
+            restored.stats().updates_suppressed - before_r,
+            "replicated bases must reproduce the suppression decision"
+        );
+    }
+
+    #[test]
+    fn position_only_ring_strips_far_payloads() {
+        let mut cfg = GameServerConfig {
+            emit_updates: true,
+            batch_interval: matrix_sim::SimDuration::from_millis(0),
+            position_only_ring: 1,
+            ..GameServerConfig::default()
+        };
+        cfg.set_rings(&[20.0, 200.0], &[1, 1]);
+        let mut g = GameServerNode::new(ServerId(1), cfg).with_fanout();
+        g.register(world(), 200.0);
+        join(&mut g, 1, Point::new(100.0, 100.0));
+        join(&mut g, 2, Point::new(110.0, 100.0)); // near: full payload
+        join(&mut g, 3, Point::new(250.0, 100.0)); // far: position-only
+        let actions = g.on_client(
+            SimTime::ZERO,
+            ClientId(1),
+            ClientToGame::Action {
+                pos: Point::new(100.0, 100.0),
+                payload_bytes: 64,
+            },
+        );
+        let near = batch_for(&actions, ClientId(2)).unwrap();
+        let far = batch_for(&actions, ClientId(3)).unwrap();
+        assert_eq!(near[0].payload_bytes(), 64);
+        assert_eq!(far[0].payload_bytes(), 0, "far ring ships position-only");
+        assert_eq!(g.stats().payloads_stripped, 1);
     }
 
     #[test]

@@ -112,12 +112,20 @@ pub use matrix_interest::{
     RingSet, Selection, UpdateBatcher, ANON_ENTITY, MAX_RINGS,
 };
 
+// Re-export the dead-reckoning subsystem: receivers run an
+// `Extrapolator` between flushes, and the sender-side pieces are reused
+// by the property suites and the predict experiment.
+pub use matrix_interest::{
+    extrapolate, quantize_velocity, Admission, Basis, Extrapolator, MotionModel, PredictedStream,
+    PredictorConfig,
+};
+
 // Re-export the replication subsystem's moving parts: drivers inspect
 // batches and snapshots, and the standby/primary state machines are
 // reused by the runtime and the property suites.
 pub use matrix_replication::{
-    PendingUpdate, ReplicaApply, ReplicaLog, ReplicaLogStats, ReplicaPayload, ReplicaReceiver,
-    SessionState, StreamBase,
+    PendingUpdate, PredictBasis, ReplicaApply, ReplicaLog, ReplicaLogStats, ReplicaPayload,
+    ReplicaReceiver, SessionState, StreamBase,
 };
 
 // Re-export the spatial vocabulary users need at the API boundary.

@@ -72,6 +72,14 @@ pub struct UpdateItem {
     /// use it to grade rendering fidelity — a far-ring entity is known
     /// to update at a fraction of the rate.
     pub ring: u8,
+    /// The entity's estimated velocity (world units/second, x axis) at
+    /// transmission time — the dead-reckoning basis the receiver
+    /// extrapolates from between updates. `(0.0, 0.0)` when prediction
+    /// is off; omitted from the wire then, keeping pre-prediction
+    /// frames byte-identical.
+    pub vx: f64,
+    /// Estimated velocity, y axis (see [`UpdateItem::vx`]).
+    pub vy: f64,
 }
 
 impl UpdateItem {
@@ -80,6 +88,20 @@ impl UpdateItem {
     /// accounting. The ring tier rides in two spare bits of the entity
     /// tag's header byte, so it costs no extra wire bytes.
     pub const WIRE_BYTES: usize = 24;
+
+    /// Extra wire cost of a velocity-carrying item: two 3-byte signed
+    /// fixed-point components on the same 1/256 lattice as delta
+    /// offsets (velocities are quantised before transmission). Charged
+    /// only when a velocity is present.
+    pub const VELOCITY_WIRE_BYTES: usize = 6;
+
+    /// Whether this item carries a dead-reckoning velocity. A true zero
+    /// velocity carries no information — extrapolating it reproduces
+    /// the hold-position rendering receivers already do — so zero means
+    /// "none" and stays off the wire.
+    pub fn has_velocity(&self) -> bool {
+        self.vx != 0.0 || self.vy != 0.0
+    }
 }
 
 /// A delta-encoded event inside a [`GameToClient::UpdateBatch`]: its
@@ -105,9 +127,18 @@ pub struct DeltaItem {
     /// The vision ring the receiver saw this event through, same as
     /// [`UpdateItem::ring`].
     pub ring: u8,
+    /// Dead-reckoning velocity, x axis, same as [`UpdateItem::vx`].
+    pub vx: f64,
+    /// Dead-reckoning velocity, y axis, same as [`UpdateItem::vy`].
+    pub vy: f64,
 }
 
 impl DeltaItem {
+    /// Whether this item carries a dead-reckoning velocity (see
+    /// [`UpdateItem::has_velocity`]).
+    pub fn has_velocity(&self) -> bool {
+        self.vx != 0.0 || self.vy != 0.0
+    }
     /// Per-item overhead on the wire beyond the payload, used for
     /// bandwidth accounting. The compact binary framing this models
     /// carries two 3-byte signed fixed-point offsets, a 2-byte length
@@ -140,9 +171,15 @@ impl BatchItem {
         }
     }
 
-    /// Estimated wire size of the item (per-item overhead + payload).
+    /// Estimated wire size of the item (per-item overhead + payload +
+    /// velocity tag when present).
     pub fn wire_bytes(&self) -> usize {
-        match self {
+        let vel = if self.has_velocity() {
+            UpdateItem::VELOCITY_WIRE_BYTES
+        } else {
+            0
+        };
+        vel + match self {
             BatchItem::Absolute(u) => UpdateItem::WIRE_BYTES + u.payload_bytes,
             BatchItem::Delta(d) => DeltaItem::WIRE_BYTES + d.payload_bytes,
         }
@@ -168,6 +205,20 @@ impl BatchItem {
             BatchItem::Delta(d) => d.ring,
         }
     }
+
+    /// The dead-reckoning velocity carried by this item (`(0.0, 0.0)` =
+    /// none).
+    pub fn velocity(&self) -> (f64, f64) {
+        match self {
+            BatchItem::Absolute(u) => (u.vx, u.vy),
+            BatchItem::Delta(d) => (d.vx, d.vy),
+        }
+    }
+
+    /// Whether this item carries a dead-reckoning velocity.
+    pub fn has_velocity(&self) -> bool {
+        self.velocity() != (0.0, 0.0)
+    }
 }
 
 /// Reconstructs the absolute [`UpdateItem`]s of one batch, threading the
@@ -190,19 +241,22 @@ pub fn reconstruct_updates(
             }
         };
         *base = Some(origin);
+        let (vx, vy) = item.velocity();
         out.push(UpdateItem {
             origin,
             payload_bytes: item.payload_bytes(),
             entity: item.entity(),
             ring: item.ring(),
+            vx,
+            vy,
         });
     }
     Some(out)
 }
 
 /// The pipeline's view of an [`UpdateItem`]: origin, source entity and
-/// absolute wire cost (item framing + payload), as the budget policy
-/// estimates it.
+/// absolute wire cost (item framing + payload + velocity tag), as the
+/// budget policy estimates it.
 impl matrix_interest::Disseminated for UpdateItem {
     fn origin(&self) -> Point {
         self.origin
@@ -213,11 +267,20 @@ impl matrix_interest::Disseminated for UpdateItem {
     }
 
     fn wire_bytes(&self) -> usize {
-        UpdateItem::WIRE_BYTES + self.payload_bytes
+        let vel = if self.has_velocity() {
+            UpdateItem::VELOCITY_WIRE_BYTES
+        } else {
+            0
+        };
+        UpdateItem::WIRE_BYTES + self.payload_bytes + vel
     }
 
     fn ring(&self) -> u8 {
         self.ring
+    }
+
+    fn strip_payload(&mut self) {
+        self.payload_bytes = 0;
     }
 }
 
@@ -780,6 +843,8 @@ mod tests {
                     payload_bytes: 90,
                     entity: 7,
                     ring: 0,
+                    vx: 0.0,
+                    vy: 0.0,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 2.9,
@@ -787,6 +852,8 @@ mod tests {
                     payload_bytes: 32,
                     entity: 0,
                     ring: 0,
+                    vx: 0.0,
+                    vy: 0.0,
                 }),
             ],
         };
@@ -805,6 +872,8 @@ mod tests {
                     payload_bytes: 4,
                     entity: 3,
                     ring: 0,
+                    vx: 0.0,
+                    vy: 0.0,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 1.5,
@@ -812,6 +881,8 @@ mod tests {
                     payload_bytes: 8,
                     entity: 4,
                     ring: 0,
+                    vx: 0.0,
+                    vy: 0.0,
                 }),
             ],
         )
@@ -826,6 +897,8 @@ mod tests {
                 payload_bytes: 1,
                 entity: 3,
                 ring: 0,
+                vx: 0.0,
+                vy: 0.0,
             })],
         )
         .unwrap();
@@ -840,6 +913,8 @@ mod tests {
                     payload_bytes: 0,
                     entity: 0,
                     ring: 0,
+                    vx: 0.0,
+                    vy: 0.0,
                 })]
             ),
             None

@@ -81,6 +81,11 @@ pub struct ClusterConfig {
     pub sample_every: SimDuration,
     /// Scripted node crashes (time, victim).
     pub crashes: Vec<(SimTime, ServerId)>,
+    /// Deployment failure-domain (rack / availability-zone) tags per
+    /// server id, threaded into `ResourcePool::with_zones`: standby
+    /// acquisitions then prefer a spare outside the requesting
+    /// primary's zone. Empty (the default) leaves every zone unknown.
+    pub zones: Vec<(ServerId, u32)>,
 }
 
 impl ClusterConfig {
@@ -101,9 +106,13 @@ impl ClusterConfig {
             max_updates_per_flush: spec.max_updates_per_flush,
             client_budget_bytes: spec.client_budget_bytes,
             grid_autotune: spec.grid_autotune,
+            predict: spec.predict,
+            motion_window: spec.motion_window,
+            position_only_ring: spec.position_only_ring,
             ..GameServerConfig::default()
         };
         game.set_rings(&spec.ring_radii, &spec.ring_sample_rates);
+        game.set_error_budgets(&spec.error_budgets);
         ClusterConfig {
             spec,
             matrix,
@@ -116,6 +125,7 @@ impl ClusterConfig {
             seed: 42,
             sample_every: SimDuration::from_secs(1),
             crashes: Vec::new(),
+            zones: Vec::new(),
         }
     }
 
@@ -132,6 +142,16 @@ impl ClusterConfig {
         // ("the static partitioning schemes just fail", §4.2).
         cfg.queue_capacity = Some(cfg.spec.server_capacity * 5.0);
         cfg
+    }
+
+    /// Stripes every server id this deployment can ever use (the
+    /// initial servers and the pool spares) across `n` zones
+    /// round-robin — consecutive machine ids land in different racks,
+    /// so standby placement has a cross-zone spare to prefer.
+    pub fn with_zone_stripes(mut self, n: u32) -> ClusterConfig {
+        let last = self.initial_servers + 1 + self.pool_size;
+        self.zones = (1..=last).map(|id| (ServerId(id), id % n.max(1))).collect();
+        self
     }
 }
 
@@ -295,6 +315,20 @@ pub struct ClusterReport {
     /// Interest-grid resolution retunes performed by the density-driven
     /// auto-tuner.
     pub grid_retunes: u64,
+    /// Candidate deliveries suppressed by dead reckoning (predictive
+    /// dissemination: the receiver's extrapolation stood in for the
+    /// transmission).
+    pub updates_suppressed: u64,
+    /// Batch items degraded to position-only by the per-ring payload
+    /// policy.
+    pub payloads_stripped: u64,
+    /// Sum of simulated receiver prediction errors over suppressed
+    /// deliveries (world units; divide by `updates_suppressed` for the
+    /// mean).
+    pub pred_error_sum: f64,
+    /// Largest simulated receiver prediction error among suppressed
+    /// deliveries.
+    pub pred_error_max: f64,
     /// Work units dropped at full queues (static-baseline failure mode).
     pub dropped_work: f64,
     /// Total client switches (handoffs) completed.
@@ -396,7 +430,8 @@ impl Cluster {
             schedule,
             nodes: BTreeMap::new(),
             coordinator: Coordinator::new(cfg.coordinator),
-            pool: ResourcePool::with_capacity(cfg.initial_servers + 1, cfg.pool_size),
+            pool: ResourcePool::with_capacity(cfg.initial_servers + 1, cfg.pool_size)
+                .with_zones(cfg.zones.clone()),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             rng: SimRng::seed_from_u64(seed ^ 0xC0FFEE),
@@ -1106,6 +1141,10 @@ impl Cluster {
         let mut updates_sampled_out = 0;
         let mut ring_items = [0u64; matrix_core::MAX_RINGS];
         let mut grid_retunes = 0;
+        let mut updates_suppressed = 0;
+        let mut payloads_stripped = 0;
+        let mut pred_error_sum = 0.0;
+        let mut pred_error_max = 0.0f64;
         let mut dropped = 0.0;
         let mut splits = 0;
         let mut reclaims = 0;
@@ -1124,6 +1163,10 @@ impl Cluster {
                 *total += per_node;
             }
             grid_retunes += node.game.stats().grid_retunes;
+            updates_suppressed += node.game.stats().updates_suppressed;
+            payloads_stripped += node.game.stats().payloads_stripped;
+            pred_error_sum += node.game.stats().pred_error_sum;
+            pred_error_max = pred_error_max.max(node.game.stats().pred_error_max);
             dropped += node.queue.total_dropped();
             splits += node.matrix.stats().splits;
             reclaims += node.matrix.stats().reclaims;
@@ -1155,6 +1198,10 @@ impl Cluster {
             updates_sampled_out,
             ring_items,
             grid_retunes,
+            updates_suppressed,
+            payloads_stripped,
+            pred_error_sum,
+            pred_error_max,
             dropped_work: dropped,
             switches: self.switches,
             resumes: self.resumes,
@@ -1367,6 +1414,31 @@ mod tests {
             .filter_map(|s| s.last_value())
             .sum();
         assert!((total - 120.0).abs() <= 2.0, "clients lost: {total}");
+    }
+
+    #[test]
+    fn zone_striped_deployments_place_standbys_cross_zone() {
+        // Deployment config assigns rack ids; the pool must then prefer
+        // standbys outside the primary's failure domain (the PR 4
+        // follow-on: drivers now *assign* zones, not just tests).
+        let mut spec = small_spec();
+        spec.update_rate_hz = 2.0;
+        let mut cfg = ClusterConfig::static_partition(spec, 2).with_zone_stripes(2);
+        cfg.matrix.standby_replication = true;
+        cfg.pool_size = 4;
+        assert!(!cfg.zones.is_empty(), "stripes must produce tags");
+        let schedule = WorkloadSchedule::steady(20, SimTime::from_secs(8));
+        let report = Cluster::new(cfg, schedule).run();
+        assert!(
+            report.pool.standby_grants >= 2,
+            "both primaries pair: {:?}",
+            report.pool
+        );
+        assert!(
+            report.pool.cross_zone_grants >= 1,
+            "zone-aware placement must land at least one standby off-rack: {:?}",
+            report.pool
+        );
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! matrix-experiments ablation-hysteresis # A2
 //! matrix-experiments dense       # E12    dense-crowd interest management
 //! matrix-experiments failover    # E13    warm-standby failover
+//! matrix-experiments rings       # E14    multi-ring AOI + grid auto-tuning
+//! matrix-experiments predict     # E15    dead-reckoning suppression
 //! matrix-experiments all         # everything, in order
 //! ```
 
@@ -30,6 +32,7 @@ pub mod failover;
 pub mod fig2;
 pub mod harness;
 pub mod micro;
+pub mod predict;
 pub mod rings;
 pub mod scale;
 pub mod sweep;

@@ -4,7 +4,7 @@
 //! tables, and CSV artefacts land in `./results/`.
 
 use matrix_experiments::{
-    ablation, densecrowd, failover, fig2, micro, rings, scale, sweep, userstudy, versus,
+    ablation, densecrowd, failover, fig2, micro, predict, rings, scale, sweep, userstudy, versus,
 };
 use std::io::Write;
 
@@ -27,6 +27,7 @@ COMMANDS:
   dense                E12: dense-crowd interest management (2k clients, one server)
   failover [--smoke]   E13: warm-standby failover (kill a region server mid-run)
   rings [--smoke]      E14: multi-ring AOI + grid auto-tuning vs the binary radius
+  predict [--smoke]    E15: dead-reckoning suppression vs the sampled-rings pipeline
   ablation-split       A1: split-strategy ablation
   ablation-hysteresis  A2: oscillation-prevention ablation
   all                  run everything in order
@@ -72,6 +73,7 @@ fn main() {
         "dense" => run_dense(seed),
         "failover" => run_failover(seed, smoke),
         "rings" => run_rings(seed, smoke),
+        "predict" => run_predict(seed, smoke),
         "ablation-split" => run_ablation_split(seed),
         "ablation-hysteresis" => run_ablation_hysteresis(seed),
         "all" => {
@@ -86,6 +88,7 @@ fn main() {
             run_dense(seed);
             run_failover(seed, false);
             run_rings(seed, false);
+            run_predict(seed, false);
             run_ablation_split(seed);
             run_ablation_hysteresis(seed);
         }
@@ -205,6 +208,24 @@ fn run_rings(seed: u64, smoke: bool) {
         }
     }
     save("rings.csv", &rings::to_csv(&rows));
+}
+
+fn run_predict(seed: u64, smoke: bool) {
+    let scale = if smoke {
+        predict::Scale::smoke()
+    } else {
+        predict::Scale::full()
+    };
+    let rows = predict::run(seed, scale);
+    println!("{}", predict::table(&rows).render());
+    match predict::verdict(&rows, &matrix_games::GameSpec::racer()) {
+        Ok(line) => println!("{line}"),
+        Err(why) => {
+            eprintln!("PREDICT ACCEPTANCE FAILED: {why}");
+            std::process::exit(1);
+        }
+    }
+    save("predict.csv", &predict::to_csv(&rows));
 }
 
 fn run_scale() {

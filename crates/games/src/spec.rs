@@ -34,6 +34,19 @@ pub struct GameSpec {
     pub ring_sample_rates: Vec<u32>,
     /// Density-driven interest-grid resolution auto-tuning.
     pub grid_autotune: bool,
+    /// Dead-reckoning suppression: ship per-entity velocities and skip
+    /// updates while receivers can extrapolate within `error_budgets`.
+    pub predict: bool,
+    /// Per-ring receiver error budgets (world units) parallel to
+    /// `ring_radii`; `0.0` = never suppress in that ring. The near ring
+    /// is always pinned to 0 (every event).
+    pub error_budgets: Vec<f64>,
+    /// Sliding-window length of the velocity estimator feeding
+    /// prediction.
+    pub motion_window: u32,
+    /// Ring index from which updates ship position-only (`0` = full
+    /// payloads everywhere).
+    pub position_only_ring: u8,
     /// In-game distance metric.
     pub metric: Metric,
     /// Player movement speed, world units per second.
@@ -82,6 +95,10 @@ impl GameSpec {
             ring_radii: Vec::new(),
             ring_sample_rates: Vec::new(),
             grid_autotune: false,
+            predict: false,
+            error_budgets: Vec::new(),
+            motion_window: 4,
+            position_only_ring: 0,
             metric: Metric::Euclidean,
             move_speed: 25.0,
             update_rate_hz: 5.0,
@@ -110,6 +127,10 @@ impl GameSpec {
             ring_radii: Vec::new(),
             ring_sample_rates: Vec::new(),
             grid_autotune: false,
+            predict: false,
+            error_budgets: Vec::new(),
+            motion_window: 4,
+            position_only_ring: 0,
             metric: Metric::Euclidean,
             move_speed: 300.0,
             update_rate_hz: 10.0,
@@ -138,6 +159,10 @@ impl GameSpec {
             ring_radii: Vec::new(),
             ring_sample_rates: Vec::new(),
             grid_autotune: false,
+            predict: false,
+            error_budgets: Vec::new(),
+            motion_window: 4,
+            position_only_ring: 0,
             metric: Metric::Chebyshev, // tile-based visibility
             move_speed: 40.0,
             update_rate_hz: 2.0,
@@ -155,7 +180,45 @@ impl GameSpec {
         }
     }
 
-    /// All three paper games, for per-game sweeps.
+    /// Racer: a synthetic high-velocity workload that stresses the
+    /// motion model — fast vehicles on long straight runs (waypoint
+    /// movement at speed), high update rate, compact world so everyone
+    /// is inside everyone's outer ring. Not one of the paper's games;
+    /// it exists because dead reckoning's payoff is proportional to how
+    /// *predictable* motion is, and racing traffic is the canonical
+    /// best case the E15 experiment measures against.
+    pub fn racer() -> GameSpec {
+        GameSpec {
+            name: "racer".into(),
+            world: Rect::from_coords(0.0, 0.0, 600.0, 600.0),
+            radius: 150.0,
+            vision_radius: 150.0,
+            ring_radii: Vec::new(),
+            ring_sample_rates: Vec::new(),
+            grid_autotune: false,
+            predict: false,
+            error_budgets: Vec::new(),
+            motion_window: 4,
+            position_only_ring: 0,
+            metric: Metric::Euclidean,
+            move_speed: 120.0,
+            update_rate_hz: 10.0,
+            action_rate_hz: 0.2,
+            move_bytes: 24,
+            action_bytes: 40,
+            max_updates_per_flush: 128,
+            client_budget_bytes: 0,
+            client_state_bytes: 600,
+            global_state_bytes: 500_000,
+            server_capacity: 6_000.0,
+            packet_work: 1.0,
+            remote_work: 0.05,
+            fanout_work: 0.002,
+        }
+    }
+
+    /// All three paper games, for per-game sweeps (the synthetic racer
+    /// stays out: it models no real title).
     pub fn all() -> Vec<GameSpec> {
         vec![GameSpec::bzflag(), GameSpec::quake2(), GameSpec::daimonin()]
     }
@@ -199,6 +262,34 @@ impl GameSpec {
     /// This spec with density-driven grid auto-tuning enabled.
     pub fn with_grid_autotune(mut self) -> GameSpec {
         self.grid_autotune = true;
+        self
+    }
+
+    /// The recommended per-ring error budgets for this game's ring
+    /// tiers: 0 for the near ring (every event), and 5% of each outer
+    /// ring's radius beyond it — an error far below what that ring's
+    /// own sampling rate already tolerates, scaled to how closely the
+    /// player scrutinises each tier.
+    pub fn recommended_error_budgets(&self) -> Vec<f64> {
+        let (radii, _) = self.ring_tiers();
+        radii
+            .iter()
+            .enumerate()
+            .map(|(i, r)| if i == 0 { 0.0 } else { r * 0.05 })
+            .collect()
+    }
+
+    /// This spec with predictive dissemination enabled on the
+    /// recommended ring tiers and error budgets (used by the `predict`
+    /// experiment; presets default to prediction off). Rings are
+    /// enabled too if they were not already — prediction's budgets are
+    /// per ring.
+    pub fn with_predict(mut self) -> GameSpec {
+        if self.ring_radii.is_empty() {
+            self = self.with_rings();
+        }
+        self.predict = true;
+        self.error_budgets = self.recommended_error_budgets();
         self
     }
 
@@ -313,7 +404,44 @@ mod tests {
         for spec in GameSpec::all() {
             assert!(spec.ring_radii.is_empty(), "{}", spec.name);
             assert!(!spec.grid_autotune, "{}", spec.name);
+            assert!(!spec.predict, "{}: prediction is opt-in", spec.name);
         }
+    }
+
+    #[test]
+    fn racer_is_a_sane_high_velocity_workload() {
+        let spec = GameSpec::racer();
+        assert!(
+            spec.move_speed > GameSpec::bzflag().move_speed * 2.0,
+            "racers must be fast enough to stress the motion model"
+        );
+        assert!(spec.update_rate_hz >= 10.0);
+        assert!(spec.world.contains(spec.hotspot_a()));
+        assert!(spec.effective_vision_radius() <= spec.radius);
+        assert!(!GameSpec::all().iter().any(|s| s.name == "racer"));
+    }
+
+    #[test]
+    fn with_predict_enables_rings_and_pins_the_near_budget() {
+        let spec = GameSpec::racer().with_predict();
+        assert!(spec.predict);
+        assert_eq!(spec.error_budgets.len(), spec.ring_radii.len());
+        assert_eq!(spec.error_budgets[0], 0.0, "near ring: every event");
+        assert!(
+            spec.error_budgets[1..].iter().all(|b| *b > 0.0),
+            "outer rings get real budgets: {:?}",
+            spec.error_budgets
+        );
+        // Budgets stay far below the ring radii they grade.
+        for (b, r) in spec.error_budgets.iter().zip(&spec.ring_radii) {
+            assert!(b < r, "budget {b} must be small against ring {r}");
+        }
+        // Rings already configured are kept.
+        let custom = GameSpec::bzflag().with_rings().with_predict();
+        assert_eq!(
+            custom.ring_radii,
+            GameSpec::bzflag().with_rings().ring_radii
+        );
     }
 
     #[test]

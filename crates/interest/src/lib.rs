@@ -37,10 +37,17 @@
 //! * [`AutoTuner`] — density-driven grid resolution: re-picks
 //!   `cells_per_axis` from the observed subscriber count with ratio
 //!   hysteresis and streak guards, instead of trusting a static knob.
+//! * **Dead reckoning** (via [`matrix_predict`]) — a sender-side
+//!   [`MotionModel`] estimates per-entity velocity, a
+//!   [`PredictedStream`] simulates each receiver's extrapolation and
+//!   suppresses events while the predicted error stays within the
+//!   ring's budget ([`PredictorConfig`]), and the receiver-side
+//!   [`Extrapolator`] advances entities between updates.
 //! * [`DisseminationPipeline`] — the composed send path with one seam
-//!   per stage: interest query → ring tiering → entity merge →
-//!   budget/relevance policy → delta encoding. Both drivers (the
-//!   discrete-event harness and the async runtime) flush through it.
+//!   per stage: interest query → ring tiering → prediction →
+//!   entity merge → budget/relevance policy → delta encoding. Both
+//!   drivers (the discrete-event harness and the async runtime) flush
+//!   through it.
 //!
 //! All of it is deliberately independent of the middleware's message
 //! types: the grid is generic over the subscriber key, the batcher and
@@ -64,8 +71,12 @@ mod tuner;
 pub use batch::UpdateBatcher;
 pub use delta::{quantize, DeltaEncoder, DeltaStream, EncodedOrigin};
 pub use grid::InterestGrid;
+pub use matrix_predict::{
+    extrapolate, quantize_velocity, Admission, Basis, Extrapolator, MotionModel, PredictedStream,
+};
 pub use pipeline::{
-    DisseminateStats, Disseminated, DisseminationPipeline, FlushBatch, FlushOutcome, PipelineConfig,
+    DisseminateStats, Disseminated, DisseminationPipeline, FlushBatch, FlushOutcome,
+    PipelineConfig, PredictorConfig,
 };
 pub use policy::{FlushPolicy, Selection, ANON_ENTITY};
 pub use rings::{RingSampler, RingSet, MAX_RINGS};

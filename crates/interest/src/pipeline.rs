@@ -12,11 +12,20 @@
 //! 2. **ring tiering** — [`RingSet`](crate::RingSet) grades each
 //!    receiver by distance and [`RingSampler`](crate::RingSampler)
 //!    deterministically samples the outer tiers (near = every event);
-//! 3. **entity merge + budget policy** —
+//! 3. **prediction** — a [`MotionModel`](matrix_predict::MotionModel)
+//!    estimates each entity's velocity and a
+//!    [`PredictedStream`](matrix_predict::PredictedStream) simulates
+//!    every receiver's dead-reckoning extrapolation, *suppressing* the
+//!    event for receivers whose prediction stays within the ring's
+//!    error budget (the near ring's budget is pinned to 0 — near means
+//!    every event, preserving the delivery guarantee). Outer-ring items
+//!    can additionally ship position-only
+//!    ([`Disseminated::strip_payload`]);
+//! 4. **entity merge + budget policy** —
 //!    [`FlushPolicy`](crate::FlushPolicy) ranks the queued items by
 //!    relevance, supersedes per-entity duplicates under pressure and
 //!    enforces the count/byte budgets;
-//! 4. **delta encoding** — [`DeltaEncoder`](crate::DeltaEncoder) turns
+//! 5. **delta encoding** — [`DeltaEncoder`](crate::DeltaEncoder) turns
 //!    surviving origins into exact offsets with periodic keyframes.
 //!
 //! A density-driven [`AutoTuner`](crate::AutoTuner) re-picks the grid
@@ -34,11 +43,12 @@
 
 use crate::delta::{DeltaEncoder, EncodedOrigin};
 use crate::grid::InterestGrid;
-use crate::policy::FlushPolicy;
-use crate::rings::{RingSampler, RingSet};
+use crate::policy::{FlushPolicy, ANON_ENTITY};
+use crate::rings::{RingSampler, RingSet, MAX_RINGS};
 use crate::tuner::{AutoTuner, AutoTunerConfig};
 use crate::UpdateBatcher;
 use matrix_geometry::{Metric, Point, Rect};
+use matrix_predict::{quantize_velocity, Admission, Basis, MotionModel, PredictedStream};
 use std::hash::Hash;
 
 /// What the pipeline needs to know about a payload to rank, merge,
@@ -59,6 +69,77 @@ pub trait Disseminated {
     fn ring(&self) -> u8 {
         0
     }
+    /// Degrades this item to position-only: strip the game payload,
+    /// keep the origin (and velocity). Applied by the pipeline to items
+    /// admitted through rings at or beyond
+    /// [`PipelineConfig::position_only_ring`] — a far-ring entity's
+    /// whereabouts matter for rendering, its full state rarely does.
+    /// The default is a no-op for payloads with nothing to strip.
+    fn strip_payload(&mut self) {}
+}
+
+/// Configuration of the pipeline's dead-reckoning stage.
+///
+/// The error budget is an exact bound on the receiver's extrapolation
+/// error *at admission*: suppression simulates the receiver with the
+/// receiver's own arithmetic, so a suppressed event is one the
+/// receiver provably reconstructs within budget. Downstream of this
+/// stage the ordinary batching semantics apply — an admitted rebase
+/// waits out the batch interval like any item, and under count/byte
+/// cap pressure ([`FlushPolicy`]) it can be deferred to a later flush
+/// with the same staleness the rate limiter always traded. The
+/// configurations whose end-to-end error bound is verified (E15, the
+/// property suites) therefore run per-event flushes with the caps off;
+/// production deployments that cap flushes should read the budget as
+/// an admission-time bound, not a render-time one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictorConfig {
+    /// Master switch. Off (the default) keeps the pipeline byte-identical
+    /// to the pre-prediction send path: no velocities on the wire, no
+    /// suppression, no motion bookkeeping.
+    pub enabled: bool,
+    /// Per-ring receiver error budgets in world units, parallel to the
+    /// ring set (`0.0` = never suppress). The near ring (index 0) is
+    /// pinned to `0.0` regardless of this entry — near means every
+    /// event.
+    pub error_budgets: [f64; MAX_RINGS],
+    /// Sliding-window length of the per-entity velocity estimator
+    /// (observations; clamped to ≥ 2).
+    pub motion_window: u32,
+}
+
+impl Default for PredictorConfig {
+    fn default() -> Self {
+        PredictorConfig {
+            enabled: false,
+            error_budgets: [0.0; MAX_RINGS],
+            motion_window: 4,
+        }
+    }
+}
+
+impl PredictorConfig {
+    /// An enabled predictor with the given per-ring budgets (missing
+    /// entries stay `0.0` = never suppress).
+    pub fn with_budgets(budgets: &[f64]) -> PredictorConfig {
+        let mut cfg = PredictorConfig {
+            enabled: true,
+            ..PredictorConfig::default()
+        };
+        for (slot, b) in cfg.error_budgets.iter_mut().zip(budgets) {
+            *slot = b.max(0.0);
+        }
+        cfg
+    }
+
+    /// The effective budget for a ring: entry clamped into the array,
+    /// with the near ring pinned to 0 (every event).
+    pub fn budget_for(&self, ring: u8) -> f64 {
+        if ring == 0 {
+            return 0.0;
+        }
+        self.error_budgets[(ring as usize).min(MAX_RINGS - 1)]
+    }
 }
 
 /// Static configuration of a pipeline (everything except the grid
@@ -72,10 +153,17 @@ pub struct PipelineConfig {
     /// Delta keyframe interval (stage 4; `0` = absolute-only).
     pub keyframe_every: u32,
     /// Fixed-point lattice the delta encoder verifies offsets against
-    /// (`0.0` = no lattice requirement).
+    /// (`0.0` = no lattice requirement). Shipped velocities are snapped
+    /// to the same lattice.
     pub origin_quantum: f64,
     /// Grid resolution auto-tuning (stage 1's knob).
     pub autotune: AutoTunerConfig,
+    /// Dead-reckoning suppression (stage 3's knob).
+    pub predict: PredictorConfig,
+    /// Ring index from which items ship position-only
+    /// ([`Disseminated::strip_payload`]); `0` disables payload
+    /// degradation (the near ring always ships in full).
+    pub position_only_ring: u8,
 }
 
 /// One receiver's flushed batch. `items` and `origins` are parallel —
@@ -106,14 +194,26 @@ pub struct FlushOutcome<K, U> {
     pub orphaned: u64,
 }
 
-/// What one dissemination (stage 1+2) did.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// What one dissemination (stages 1–3) did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DisseminateStats {
     /// Receivers the event was delivered to (queued, or counted when
     /// emission is off).
     pub delivered: u64,
     /// Receivers inside the AOI whose ring sampled this event out.
     pub sampled_out: u64,
+    /// Receivers whose dead-reckoning extrapolation held this event
+    /// within the ring's error budget — nothing was queued; the
+    /// receiver's prediction stands in for the transmission.
+    pub suppressed: u64,
+    /// Items degraded to position-only by the per-ring payload policy.
+    pub stripped: u64,
+    /// Sum of the simulated receiver errors over the suppressed
+    /// deliveries (world units) — `sum / suppressed` is the mean error
+    /// the predictions absorbed.
+    pub pred_error_sum: f64,
+    /// Largest simulated receiver error among the suppressed deliveries.
+    pub pred_error_max: f64,
 }
 
 /// The composed dissemination pipeline (see the module docs for the
@@ -128,6 +228,11 @@ pub struct DisseminationPipeline<K: Ord + Copy + Eq + Hash, U> {
     batcher: UpdateBatcher<K, U>,
     encoder: DeltaEncoder<K>,
     tuner: AutoTuner,
+    predict: PredictorConfig,
+    position_only_ring: u8,
+    quantum: f64,
+    motion: MotionModel,
+    predicted: PredictedStream<K>,
 }
 
 impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
@@ -149,6 +254,11 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
             batcher: UpdateBatcher::new(),
             encoder: DeltaEncoder::new(cfg.keyframe_every).with_quantum(cfg.origin_quantum),
             tuner: AutoTuner::new(cfg.autotune, cells),
+            predict: cfg.predict,
+            position_only_ring: cfg.position_only_ring,
+            quantum: cfg.origin_quantum,
+            motion: MotionModel::new(cfg.predict.motion_window),
+            predicted: PredictedStream::new(),
         }
     }
 
@@ -162,10 +272,13 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
     // -- subscribers (stage 1 state) -----------------------------------------
 
     /// Adds or re-adds a subscriber, resetting its delta stream (a
-    /// (re)joining receiver holds no base, so its next flush keyframes).
+    /// (re)joining receiver holds no base, so its next flush keyframes)
+    /// and its prediction bases (a fresh connection extrapolates from
+    /// nothing, so the sender's mirror must be empty too).
     pub fn subscribe(&mut self, key: K, pos: Point) {
         self.grid.insert(key, pos);
         self.encoder.reset(key);
+        self.predicted.forget_receiver(key);
     }
 
     /// Repositions a subscriber.
@@ -173,13 +286,24 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
         self.grid.update(key, pos);
     }
 
-    /// Removes a subscriber, dropping its queued updates, delta stream
-    /// and sampling state. Returns how many queued updates died with it.
+    /// Removes a subscriber, dropping its queued updates, delta stream,
+    /// sampling and prediction state. Returns how many queued updates
+    /// died with it.
     pub fn unsubscribe(&mut self, key: K) -> usize {
         self.grid.remove(key);
         self.encoder.forget(key);
         self.sampler.forget(key);
+        self.predicted.forget_receiver(key);
         self.batcher.forget(key)
+    }
+
+    /// Drops every trace of a departed *entity* (motion track and every
+    /// receiver's prediction basis for it). Distinct from
+    /// [`DisseminationPipeline::unsubscribe`], which removes a
+    /// *receiver*: a client is usually both.
+    pub fn forget_entity(&mut self, entity: u64) {
+        self.motion.forget(entity);
+        self.predicted.forget_entity(entity);
     }
 
     /// Re-anchors the grid to a new range with the given subscriber set
@@ -212,28 +336,63 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
         self.grid.cells_per_axis()
     }
 
-    // -- stages 1+2: query, tier, sample, queue ------------------------------
+    // -- stages 1–3: query, tier, sample, predict, queue ---------------------
 
     /// Disseminates one event: queries the grid within the outermost
     /// ring, grades each receiver's ring by distance, samples the outer
-    /// tiers, and (when `emit`) queues one item per admitted receiver.
+    /// tiers, runs dead-reckoning suppression against each receiver's
+    /// prediction basis, and (when `emit`) queues one item per admitted
+    /// receiver. `origin` is the true event position (AOI distances);
+    /// `wire_origin` is the lattice-snapped position receivers
+    /// reconstruct — prediction bases are kept in wire coordinates so
+    /// the sender's error simulation matches the receiver bit-for-bit.
     /// `make` produces the payload per admitted receiver, embedding the
-    /// ring it was admitted under. An untiered ring set skips the
-    /// distance grading entirely — the hot path then costs exactly what
-    /// the binary-radius fan-out did.
+    /// ring it was admitted under and the velocity shipped with the
+    /// item (`(0.0, 0.0)` whenever prediction is off). An untiered ring
+    /// set with prediction off costs exactly what the binary-radius
+    /// fan-out did.
+    ///
+    /// `suppressible` marks events whose content a receiver can
+    /// reconstruct by extrapolation — pure position updates. Events
+    /// carrying payloads a prediction cannot reproduce (actions,
+    /// chat, remote deliveries) must pass `false`: they still feed the
+    /// motion model and *rebase* every receiver's prediction (the item
+    /// carries origin + velocity like any other), but they are never
+    /// suppressed — losing an action is a gameplay bug, not graceful
+    /// degradation.
+    #[allow(clippy::too_many_arguments)] // one seam per stage input, by design
     pub fn disseminate(
         &mut self,
         origin: Point,
+        wire_origin: Point,
+        entity: u64,
+        now_secs: f64,
+        suppressible: bool,
         exclude: Option<K>,
         emit: bool,
-        mut make: impl FnMut(u8) -> U,
+        mut make: impl FnMut(u8, (f64, f64)) -> U,
     ) -> DisseminateStats {
         let mut stats = DisseminateStats::default();
         let metric = self.metric;
         let rings = self.rings;
         let tiered = rings.is_tiered();
+        // Anonymous events carry no entity identity to model or to
+        // extrapolate, so they bypass the prediction stage entirely.
+        let predicting = self.predict.enabled && entity != ANON_ENTITY;
+        let vel = if predicting {
+            // The model observes every event — suppressed or not — so
+            // the velocity estimate tracks the true trajectory. The
+            // shipped velocity sits on the wire lattice like origins do.
+            self.motion.observe(entity, wire_origin, now_secs);
+            quantize_velocity(self.motion.velocity(entity), self.quantum)
+        } else {
+            (0.0, 0.0)
+        };
+        let predict = &self.predict;
+        let position_only_ring = self.position_only_ring;
         let sampler = &mut self.sampler;
         let batcher = &mut self.batcher;
+        let predicted = &mut self.predicted;
         self.grid
             .query(origin, rings.outer_radius(), metric, |key, pos| {
                 if Some(key) == exclude {
@@ -257,9 +416,36 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
                 } else {
                     0
                 };
+                if predicting {
+                    // Non-suppressible events admit with budget 0:
+                    // always transmitted, and the transmission rebases
+                    // the receiver's prediction like any other.
+                    let budget = if suppressible {
+                        predict.budget_for(ring)
+                    } else {
+                        0.0
+                    };
+                    match predicted.admit(key, entity, wire_origin, vel, now_secs, budget) {
+                        Admission::Suppress { error } => {
+                            stats.suppressed += 1;
+                            stats.pred_error_sum += error;
+                            stats.pred_error_max = stats.pred_error_max.max(error);
+                            return;
+                        }
+                        Admission::Send => {}
+                    }
+                }
                 stats.delivered += 1;
+                let strip = position_only_ring > 0 && ring >= position_only_ring;
+                if strip {
+                    stats.stripped += 1;
+                }
                 if emit {
-                    batcher.push(key, make(ring));
+                    let mut item = make(ring, vel);
+                    if strip {
+                        item.strip_payload();
+                    }
+                    batcher.push(key, item);
                 }
             });
         stats
@@ -304,6 +490,10 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
             let Some(viewer) = viewer_of(receiver) else {
                 outcome.orphaned += queued.len() as u64;
                 self.encoder.forget(receiver);
+                // The prediction mirror dies with the stream: these
+                // queued rebases never reached the receiver, so bases
+                // recorded for them describe state nobody holds.
+                self.predicted.forget_receiver(receiver);
                 continue;
             };
             let selection = self.policy.select(
@@ -352,6 +542,36 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
     /// Replaces the delta-stream table with exported state.
     pub fn import_streams(&mut self, streams: impl IntoIterator<Item = (K, Point, u32)>) {
         self.encoder.import_streams(streams);
+    }
+
+    // -- prediction bases ----------------------------------------------------
+
+    /// Exports every prediction basis as `(receiver, [(entity, basis)])`
+    /// in key order (region snapshots): what each receiver currently
+    /// extrapolates each entity from.
+    pub fn export_bases(&self) -> Vec<(K, Vec<(u64, Basis)>)> {
+        self.predicted.export()
+    }
+
+    /// Replaces the prediction-basis table with exported state. A
+    /// promoted standby importing the primary's bases keeps suppressing
+    /// consistently with what the receivers actually hold, instead of
+    /// rebasing (and retransmitting) every entity at failover.
+    pub fn import_bases(&mut self, bases: impl IntoIterator<Item = (K, Vec<(u64, Basis)>)>) {
+        self.predicted.import(bases);
+    }
+
+    /// Wipes every prediction basis and motion track (driver shutdown:
+    /// reconnecting receivers start extrapolating from nothing).
+    pub fn clear_bases(&mut self) {
+        self.predicted.clear();
+        self.motion.clear();
+    }
+
+    /// Number of receivers currently holding at least one prediction
+    /// basis (observability for drivers and tests).
+    pub fn prediction_receivers(&self) -> usize {
+        self.predicted.receivers()
     }
 
     // -- auto-tuning ---------------------------------------------------------
@@ -424,6 +644,9 @@ mod tests {
         fn ring(&self) -> u8 {
             self.ring
         }
+        fn strip_payload(&mut self) {
+            self.bytes = 0;
+        }
     }
 
     fn cfg() -> PipelineConfig {
@@ -433,6 +656,8 @@ mod tests {
             keyframe_every: 8,
             origin_quantum: 0.0,
             autotune: AutoTunerConfig::default(),
+            predict: PredictorConfig::default(),
+            position_only_ring: 0,
         }
     }
 
@@ -460,9 +685,12 @@ mod tests {
         p.subscribe(2, Point::new(130.0, 100.0));
         p.subscribe(3, Point::new(300.0, 300.0));
         let origin = Point::new(100.0, 100.0);
-        let stats = p.disseminate(origin, Some(1), true, |ring| ev(origin, ring));
+        let stats = p.disseminate(origin, origin, 1, 0.0, true, Some(1), true, |ring, _| {
+            ev(origin, ring)
+        });
         assert_eq!(stats.delivered, 1, "only subscriber 2 is in radius");
         assert_eq!(stats.sampled_out, 0);
+        assert_eq!(stats.suppressed, 0);
         let out = p.flush(|_| Some(Point::new(130.0, 100.0)));
         assert_eq!(out.batches.len(), 1);
         assert_eq!(out.batches[0].receiver, 2);
@@ -478,7 +706,9 @@ mod tests {
         p.subscribe(2, Point::new(180.0, 100.0)); // far ring, rate 2
         let origin = Point::new(100.0, 100.0);
         for _ in 0..4 {
-            p.disseminate(origin, None, true, |ring| ev(origin, ring));
+            p.disseminate(origin, origin, 1, 0.0, true, None, true, |ring, _| {
+                ev(origin, ring)
+            });
         }
         let out = p.flush(|k| {
             Some(if k == 1 {
@@ -501,7 +731,9 @@ mod tests {
         let mut p = pipe(RingSet::single(50.0));
         p.subscribe(1, Point::new(100.0, 100.0));
         let origin = Point::new(110.0, 100.0);
-        p.disseminate(origin, None, true, |ring| ev(origin, ring));
+        p.disseminate(origin, origin, 1, 0.0, true, None, true, |ring, _| {
+            ev(origin, ring)
+        });
         let out = p.flush(|_| None);
         assert!(out.batches.is_empty());
         assert_eq!(out.orphaned, 1);
@@ -530,9 +762,8 @@ mod tests {
         assert_eq!(retuned, Some(16));
         assert_eq!(p.cells_per_axis(), 16);
         assert_eq!(p.grid().len(), 2000, "rebuild keeps every subscriber");
-        let stats = p.disseminate(Point::new(100.0, 100.0), None, false, |ring| {
-            ev(Point::new(100.0, 100.0), ring)
-        });
+        let at = Point::new(100.0, 100.0);
+        let stats = p.disseminate(at, at, 1, 0.0, true, None, false, |ring, _| ev(at, ring));
         assert!(stats.delivered > 0);
     }
 
@@ -561,5 +792,157 @@ mod tests {
         q.restore_tuner(cells, streak, pending);
         assert_eq!(q.cells_per_axis(), 64, "promoted grid inherits the tuning");
         assert_eq!(q.grid().len(), 1);
+    }
+
+    /// A predicting pipeline over one far-ring receiver watching entity
+    /// 9 move linearly at 10 u/s (events every 100 ms).
+    fn predicting_pipe(budget: f64) -> DisseminationPipeline<u32, Ev> {
+        let rings = RingSet::from_tiers(&[20.0, 200.0], &[1, 1]);
+        let mut p: DisseminationPipeline<u32, Ev> = DisseminationPipeline::new(
+            world(),
+            16,
+            rings,
+            PipelineConfig {
+                predict: PredictorConfig::with_budgets(&[0.0, budget]),
+                ..cfg()
+            },
+        );
+        p.subscribe(1, Point::new(100.0, 300.0)); // far ring from the track below
+        p
+    }
+
+    fn drive_linear(p: &mut DisseminationPipeline<u32, Ev>, steps: u32) -> DisseminateStats {
+        let mut total = DisseminateStats::default();
+        for i in 0..steps {
+            let at = Point::new(100.0 + i as f64, 200.0);
+            let s = p.disseminate(at, at, 9, i as f64 * 0.1, true, None, true, |ring, _| {
+                ev(at, ring)
+            });
+            total.delivered += s.delivered;
+            total.suppressed += s.suppressed;
+            total.pred_error_max = total.pred_error_max.max(s.pred_error_max);
+        }
+        total
+    }
+
+    #[test]
+    fn linear_motion_is_suppressed_within_budget() {
+        let mut p = predicting_pipe(2.0);
+        let stats = drive_linear(&mut p, 20);
+        // The first two events establish the basis and the velocity
+        // estimate; once the secant locks on, the extrapolation is exact
+        // and everything else is suppressed.
+        assert!(
+            stats.suppressed >= 16,
+            "linear motion must be suppressed: {stats:?}"
+        );
+        assert!(stats.pred_error_max <= 2.0, "{stats:?}");
+        assert!(p.prediction_receivers() > 0);
+        // Only the transmitted events were queued.
+        let out = p.flush(|_| Some(Point::new(100.0, 300.0)));
+        assert_eq!(out.batches[0].items.len() as u64, stats.delivered);
+    }
+
+    #[test]
+    fn prediction_off_or_zero_budget_delivers_everything() {
+        // Budget 0 on every ring: nothing suppressed even with predict on.
+        let mut p = predicting_pipe(0.0);
+        let stats = drive_linear(&mut p, 10);
+        assert_eq!(stats.suppressed, 0);
+        assert_eq!(stats.delivered, 10);
+        // Predict off entirely: identical delivery, no bases kept.
+        let rings = RingSet::from_tiers(&[20.0, 200.0], &[1, 1]);
+        let mut q: DisseminationPipeline<u32, Ev> =
+            DisseminationPipeline::new(world(), 16, rings, cfg());
+        q.subscribe(1, Point::new(100.0, 300.0));
+        let stats = drive_linear(&mut q, 10);
+        assert_eq!(stats.suppressed, 0);
+        assert_eq!(q.prediction_receivers(), 0);
+    }
+
+    #[test]
+    fn near_ring_budget_is_pinned_to_zero() {
+        let rings = RingSet::from_tiers(&[50.0, 200.0], &[1, 1]);
+        let mut p: DisseminationPipeline<u32, Ev> = DisseminationPipeline::new(
+            world(),
+            16,
+            rings,
+            PipelineConfig {
+                // A (misconfigured) near budget must be ignored.
+                predict: PredictorConfig::with_budgets(&[100.0, 100.0]),
+                ..cfg()
+            },
+        );
+        p.subscribe(1, Point::new(110.0, 200.0)); // near ring
+        let stats = drive_linear(&mut p, 10);
+        assert_eq!(stats.suppressed, 0, "near means every event");
+        assert_eq!(stats.delivered, 10);
+    }
+
+    #[test]
+    fn rejoin_resets_the_receivers_prediction_bases() {
+        let mut p = predicting_pipe(2.0);
+        drive_linear(&mut p, 10);
+        assert!(p.prediction_receivers() > 0);
+        p.subscribe(1, Point::new(100.0, 300.0)); // rejoin
+        assert_eq!(
+            p.prediction_receivers(),
+            0,
+            "a fresh connection extrapolates from nothing"
+        );
+        // The next event transmits (no basis to suppress against).
+        let at = Point::new(120.0, 200.0);
+        let s = p.disseminate(at, at, 9, 2.0, true, None, true, |ring, _| ev(at, ring));
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.suppressed, 0);
+    }
+
+    #[test]
+    fn exported_bases_reproduce_suppression_on_import() {
+        let mut p = predicting_pipe(2.0);
+        drive_linear(&mut p, 10);
+        let mut q = predicting_pipe(2.0);
+        q.import_bases(p.export_bases());
+        // Both pipelines make the same decision on the same next event —
+        // but q's motion model is cold, so feed both the same history
+        // first via the bases alone: the decision is basis-driven.
+        let at = Point::new(110.0, 200.0);
+        let sp = p.disseminate(at, at, 9, 1.0, true, None, false, |ring, _| ev(at, ring));
+        let sq = q.disseminate(at, at, 9, 1.0, true, None, false, |ring, _| ev(at, ring));
+        assert_eq!(sp.suppressed, sq.suppressed);
+        assert_eq!(sp.delivered, sq.delivered);
+        assert_eq!(p.export_bases(), q.export_bases());
+    }
+
+    #[test]
+    fn outer_ring_items_ship_position_only() {
+        let rings = RingSet::from_tiers(&[20.0, 100.0], &[1, 1]);
+        let mut p: DisseminationPipeline<u32, Ev> = DisseminationPipeline::new(
+            world(),
+            16,
+            rings,
+            PipelineConfig {
+                position_only_ring: 1,
+                ..cfg()
+            },
+        );
+        p.subscribe(1, Point::new(100.0, 100.0)); // near
+        p.subscribe(2, Point::new(180.0, 100.0)); // far
+        let origin = Point::new(100.0, 100.0);
+        let stats = p.disseminate(origin, origin, 9, 0.0, true, None, true, |ring, _| {
+            ev(origin, ring)
+        });
+        assert_eq!(stats.stripped, 1, "only the far item degrades");
+        let out = p.flush(|k| {
+            Some(if k == 1 {
+                Point::new(100.0, 100.0)
+            } else {
+                Point::new(180.0, 100.0)
+            })
+        });
+        let near = out.batches.iter().find(|b| b.receiver == 1).unwrap();
+        let far = out.batches.iter().find(|b| b.receiver == 2).unwrap();
+        assert_eq!(near.items[0].bytes, 8, "near ships the full payload");
+        assert_eq!(far.items[0].bytes, 0, "far ships position-only");
     }
 }

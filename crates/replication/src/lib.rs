@@ -43,5 +43,5 @@ mod snapshot;
 pub use log::{ReplicaBatch, ReplicaLog, ReplicaLogStats, ReplicaPayload};
 pub use receiver::{ReplicaApply, ReplicaReceiver};
 pub use snapshot::{
-    PendingUpdate, RegionSnapshot, ReplicaOp, SessionState, StreamBase, TunerState,
+    PendingUpdate, PredictBasis, RegionSnapshot, ReplicaOp, SessionState, StreamBase, TunerState,
 };

@@ -36,6 +36,30 @@ pub struct PendingUpdate {
     /// admitted (`0` = near). Preserved so a restored node flushes the
     /// identical ring-tagged items the primary would have.
     pub ring: u8,
+    /// Dead-reckoning velocity shipped with the item, x axis
+    /// (`0.0, 0.0` = none; prediction off).
+    pub vx: f64,
+    /// Dead-reckoning velocity, y axis.
+    pub vy: f64,
+}
+
+/// One dead-reckoning basis: what a receiver extrapolates one entity
+/// from — the last transmitted position, velocity and instant.
+/// Replicated so a promoted standby keeps suppressing consistently with
+/// what the receivers actually hold, instead of rebasing (and
+/// retransmitting) every visible entity at failover.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictBasis {
+    /// The extrapolated entity.
+    pub entity: u64,
+    /// Last transmitted (wire) position.
+    pub pos: Point,
+    /// Transmitted velocity, x axis (world units/second).
+    pub vx: f64,
+    /// Transmitted velocity, y axis.
+    pub vy: f64,
+    /// Transmission instant, in seconds.
+    pub time_secs: f64,
 }
 
 /// The interest-grid auto-tuner's learned state, replicated so a
@@ -84,6 +108,10 @@ pub struct RegionSnapshot<K: Ord> {
     pub streams: BTreeMap<K, StreamBase>,
     /// Per-client pending (queued, unflushed) updates.
     pub pending: BTreeMap<K, Vec<PendingUpdate>>,
+    /// Per-client dead-reckoning bases, one per visible entity (empty
+    /// when prediction is off; the wire form omits it then, keeping
+    /// prediction-free frames identical to pre-prediction ones).
+    pub bases: BTreeMap<K, Vec<PredictBasis>>,
 }
 
 impl<K: Ord> Default for RegionSnapshot<K> {
@@ -98,6 +126,7 @@ impl<K: Ord> Default for RegionSnapshot<K> {
             clients: BTreeMap::new(),
             streams: BTreeMap::new(),
             pending: BTreeMap::new(),
+            bases: BTreeMap::new(),
         }
     }
 }
@@ -133,8 +162,11 @@ impl<K: Ord + Copy> RegionSnapshot<K> {
             } => {
                 self.clients
                     .insert(client, SessionState { pos, state_bytes });
-                // A (re)join resets the client's delta stream.
+                // A (re)join resets the client's delta stream and its
+                // dead-reckoning bases (a fresh connection extrapolates
+                // from nothing).
                 self.streams.remove(&client);
+                self.bases.remove(&client);
             }
             ReplicaOp::Move { client, pos } => {
                 if let Some(s) = self.clients.get_mut(&client) {
@@ -145,6 +177,7 @@ impl<K: Ord + Copy> RegionSnapshot<K> {
                 self.clients.remove(&client);
                 self.streams.remove(&client);
                 self.pending.remove(&client);
+                self.bases.remove(&client);
             }
             ReplicaOp::Range { range, radius } => {
                 self.range = Some(range);
@@ -164,7 +197,9 @@ impl<K: Ord + Copy> RegionSnapshot<K> {
         let clients = self.clients.len() * 32; // id + pos + state size
         let streams = self.streams.len() * 28; // id + base + countdown
         let pending: usize = self.pending.values().map(|v| 16 + v.len() * 32).sum();
-        header + clients + streams + pending
+        // id + per basis: entity + pos + vel + time
+        let bases: usize = self.bases.values().map(|v| 16 + v.len() * 48).sum();
+        header + clients + streams + pending + bases
     }
 }
 
@@ -274,6 +309,8 @@ mod tests {
                 payload_bytes: 8,
                 entity: 2,
                 ring: 0,
+                vx: 0.0,
+                vy: 0.0,
             }],
         );
         s.streams.insert(

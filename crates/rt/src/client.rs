@@ -10,11 +10,20 @@
 //! through [`matrix_core::reconstruct_updates`] and resets it whenever
 //! the stream restarts (join, server switch) — exactly when the server's
 //! encoder keyframes.
+//!
+//! Velocity-tagged items additionally feed a dead-reckoning
+//! [`Extrapolator`]: between flushes the client can render every
+//! visible entity at its *extrapolated* position
+//! ([`RtClient::extrapolated`]) instead of its last reported one — the
+//! receiver half of predictive dissemination, whose server half
+//! suppresses updates while this extrapolation stays within the ring's
+//! error budget.
 
 use crate::node::NodeMsg;
 use crate::router::Router;
-use matrix_core::{reconstruct_updates, ClientId, ClientToGame, GameToClient};
+use matrix_core::{reconstruct_updates, ClientId, ClientToGame, Extrapolator, GameToClient};
 use matrix_geometry::{Point, ServerId};
+use matrix_sim::SimTime;
 use tokio::sync::mpsc;
 
 /// Counters a client accumulates over its session.
@@ -33,6 +42,9 @@ pub struct ClientCounters {
     /// Items that arrived through an outer vision ring (ring > 0):
     /// sampled periphery the client should render at reduced fidelity.
     pub far_items: u64,
+    /// Items that carried a dead-reckoning velocity — each one rebased
+    /// this client's extrapolation for its entity.
+    pub velocity_items: u64,
     /// Server switches performed.
     pub switches: u64,
 }
@@ -47,6 +59,9 @@ pub struct RtClient {
     state_bytes: u64,
     /// Delta-stream base: the last reconstructed update origin.
     delta_base: Option<Point>,
+    /// Dead-reckoning state: the last received basis per visible
+    /// entity, advanced on demand between flushes.
+    extrap: Extrapolator,
     counters: ClientCounters,
 }
 
@@ -64,6 +79,7 @@ impl RtClient {
             pos,
             state_bytes: 1_024,
             delta_base: None,
+            extrap: Extrapolator::new(),
             counters: ClientCounters::default(),
         };
         client.send(ClientToGame::Join {
@@ -101,6 +117,29 @@ impl RtClient {
         self.delta_base
     }
 
+    /// Where this client currently renders `entity`: its dead-reckoning
+    /// extrapolation at `at`, or `None` before any velocity-tagged
+    /// update arrived for it. Between flushes this is how a predicted
+    /// entity keeps moving on screen while the server suppresses
+    /// updates.
+    pub fn extrapolated(&self, entity: u64, at: SimTime) -> Option<Point> {
+        self.extrap.predict(entity, at.as_secs_f64())
+    }
+
+    /// Number of entities this client holds a dead-reckoning basis for.
+    pub fn extrapolated_entities(&self) -> usize {
+        self.extrap.tracked()
+    }
+
+    /// Culls dead-reckoning bases last rebased before `cutoff`,
+    /// returning how many were dropped. Call periodically from the
+    /// render loop: an entity silent that long has left the area of
+    /// interest (or the game) and must stop being extrapolated — there
+    /// is no explicit departure message for mere AOI exits.
+    pub fn prune_extrapolations(&mut self, cutoff: SimTime) -> usize {
+        self.extrap.prune_older_than(cutoff.as_secs_f64())
+    }
+
     fn send(&self, msg: ClientToGame) {
         self.router
             .send_node(self.server, NodeMsg::FromClient(self.id, msg));
@@ -136,8 +175,10 @@ impl RtClient {
             GameToClient::SwitchServer { to } => {
                 self.counters.switches += 1;
                 self.server = *to;
-                // The new server's encoder starts our stream fresh.
+                // The new server's encoder starts our stream fresh, and
+                // so does its prediction mirror.
                 self.delta_base = None;
+                self.extrap.reset();
                 self.send(ClientToGame::Join {
                     pos: self.pos,
                     state_bytes: self.state_bytes,
@@ -173,15 +214,35 @@ impl RtClient {
                 // a protocol bug — drop the base and recover on the next
                 // keyframe rather than panicking a live client.
                 match reconstruct_updates(&mut self.delta_base, updates) {
-                    Some(_) => {}
+                    Some(items) => {
+                        // EVERY attributed item rebases the extrapolator,
+                        // exactly as the sender's mirror rebases on every
+                        // transmission: a velocity-tagged item keeps the
+                        // entity moving between flushes, and a
+                        // velocity-free one pins it at the reported
+                        // position (an entity that stopped must stop on
+                        // screen too — its zero velocity is *information*,
+                        // it just travels as the omitted default).
+                        let now = self.router.now().as_secs_f64();
+                        for u in items {
+                            if u.has_velocity() {
+                                self.counters.velocity_items += 1;
+                            }
+                            if u.entity != 0 {
+                                self.extrap.update(u.entity, u.origin, (u.vx, u.vy), now);
+                            }
+                        }
+                    }
                     None => self.delta_base = None,
                 }
                 true
             }
             GameToClient::Joined { server } => {
                 self.server = *server;
-                // A (re)join restarts the delta stream on the server.
+                // A (re)join restarts the delta stream on the server —
+                // and the prediction stream with it.
                 self.delta_base = None;
+                self.extrap.reset();
                 true
             }
         }

@@ -25,6 +25,11 @@ pub struct RtConfig {
     pub coordinator: CoordinatorConfig,
     /// Number of spare servers in the pool.
     pub pool_size: u32,
+    /// Deployment failure-domain (rack / availability-zone) tags per
+    /// server id, handed to [`ResourcePool::with_zones`]: standby
+    /// acquisitions then prefer a spare outside the requesting
+    /// primary's zone. Empty (the default) leaves every zone unknown.
+    pub zones: Vec<(ServerId, u32)>,
 }
 
 impl Default for RtConfig {
@@ -36,7 +41,20 @@ impl Default for RtConfig {
             game: GameServerConfig::default(),
             coordinator: CoordinatorConfig::default(),
             pool_size: 8,
+            zones: Vec::new(),
         }
+    }
+}
+
+impl RtConfig {
+    /// Stripes every server id (the bootstrap node and the pool spares)
+    /// across `n` zones round-robin — the simplest deployment shape
+    /// where consecutive machine ids land in different racks.
+    pub fn with_zone_stripes(mut self, n: u32) -> RtConfig {
+        self.zones = (1..2 + self.pool_size)
+            .map(|id| (ServerId(id), id % n.max(1)))
+            .collect();
+        self
     }
 }
 
@@ -63,7 +81,7 @@ impl RtCluster {
         router.register_pool(pool_tx);
         let spares: Vec<ServerId> = (2..2 + cfg.pool_size).map(ServerId).collect();
         tokio::spawn(run_pool(
-            ResourcePool::new(spares.clone()),
+            ResourcePool::new(spares.clone()).with_zones(cfg.zones.clone()),
             router.clone(),
             pool_rx,
         ));

@@ -19,17 +19,37 @@
 //! The gateway keeps each remote client pinned to whichever server the
 //! middleware redirects it to; nearby clients receive each other's
 //! events as `{"t":"batch",...}` updates.
+//!
+//! Pass `--predict` to enable the dead-reckoning pipeline (vision
+//! rings + per-ring error budgets, per-event flushes): outer-ring
+//! receivers then see velocity-tagged items
+//! (`[x,y,bytes,entity,ring,vx,vy]`) and straight-line movement is
+//! suppressed on the wire while their extrapolation stays within the
+//! ring's budget.
 
 use matrix_middleware::rt::{wire, RtCluster, RtConfig};
+use matrix_middleware::sim::SimDuration;
 use std::time::Duration;
 
 #[tokio::main]
 async fn main() {
-    let port: u16 = std::env::args()
-        .nth(1)
-        .and_then(|p| p.parse().ok())
-        .unwrap_or(0);
-    let cluster = RtCluster::start(RtConfig::default()).await;
+    let mut port: u16 = 0;
+    let mut predict = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--predict" => predict = true,
+            p => port = p.parse().expect("args: [port] [--predict]"),
+        }
+    }
+    let mut cfg = RtConfig::default();
+    if predict {
+        cfg.game.batch_interval = SimDuration::from_millis(0);
+        cfg.game.predict = true;
+        cfg.game.set_rings(&[30.0, 150.0], &[1, 1]);
+        cfg.game.set_error_budgets(&[0.0, 5.0]);
+        println!("dead reckoning ON: rings 30/150, outer error budget 5.0");
+    }
+    let cluster = RtCluster::start(cfg).await;
     let addr = wire::spawn_gateway(
         ("127.0.0.1", port),
         cluster.router().clone(),

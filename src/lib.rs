@@ -13,7 +13,10 @@
 //!   regions and split strategies.
 //! * [`sim`] / [`metrics`] — the deterministic simulation substrate and
 //!   result tooling used by the experiment harness.
-//! * [`games`] — BzFlag / Quake 2 / Daimonin workload emulations.
+//! * [`games`] — BzFlag / Quake 2 / Daimonin workload emulations (plus
+//!   the synthetic high-velocity racer that stresses dead reckoning).
+//! * [`predict`] — dead reckoning: motion models, sender-side
+//!   suppression and receiver-side extrapolation.
 //! * [`replication`] — fault tolerance: region snapshots, the
 //!   warm-standby replica log and the failover receiver.
 //! * [`rt`] — the tokio runtime (in-process cluster + TCP gateway).
@@ -46,6 +49,7 @@ pub use matrix_experiments as experiments;
 pub use matrix_games as games;
 pub use matrix_geometry as geometry;
 pub use matrix_metrics as metrics;
+pub use matrix_predict as predict;
 pub use matrix_replication as replication;
 pub use matrix_rt as rt;
 pub use matrix_sim as sim;

@@ -710,6 +710,8 @@ fn pipeline_is_byte_identical_to_the_hand_wired_flush_path() {
                         payload_bytes: payload,
                         entity: cid.0,
                         ring: 0,
+                        vx: 0.0,
+                        vy: 0.0,
                     },
                 );
             });
@@ -756,6 +758,8 @@ fn pipeline_is_byte_identical_to_the_hand_wired_flush_path() {
                                 payload_bytes: u.payload_bytes,
                                 entity: u.entity,
                                 ring: 0,
+                                vx: 0.0,
+                                vy: 0.0,
                             })
                         }
                         matrix_middleware::core::EncodedOrigin::Offset { dx, dy } => {
@@ -765,6 +769,8 @@ fn pipeline_is_byte_identical_to_the_hand_wired_flush_path() {
                                 payload_bytes: u.payload_bytes,
                                 entity: u.entity,
                                 ring: 0,
+                                vx: 0.0,
+                                vy: 0.0,
                             })
                         }
                     })
@@ -942,6 +948,8 @@ fn ring_membership_and_sampling_are_exact() {
                 keyframe_every: rng.uniform_u64(0, 5) as u32,
                 origin_quantum: 0.0,
                 autotune: AutoTunerConfig::default(),
+                predict: matrix_middleware::core::PredictorConfig::default(),
+                position_only_ring: 0,
             },
         );
 
@@ -964,11 +972,15 @@ fn ring_membership_and_sampling_are_exact() {
             .collect();
         for e in 0..events {
             let origin = origins[(e % 3) as usize];
-            pipe.disseminate(origin, None, true, |ring| UpdateItem {
-                origin,
-                payload_bytes: 8,
-                entity: 1,
-                ring,
+            pipe.disseminate(origin, origin, 1, 0.0, true, None, true, |ring, _| {
+                UpdateItem {
+                    origin,
+                    payload_bytes: 8,
+                    entity: 1,
+                    ring,
+                    vx: 0.0,
+                    vy: 0.0,
+                }
             });
             for (k, p) in positions.iter().enumerate() {
                 if let Some(ring) = rings.ring_of(p.distance_by(origin, metric)) {

@@ -89,3 +89,52 @@ async fn cluster_grows_and_shrinks_with_population() {
     );
     cluster.shutdown().await;
 }
+
+#[tokio::test]
+async fn predicted_entities_extrapolate_between_updates() {
+    use matrix_middleware::sim::SimTime;
+
+    // Dead reckoning end-to-end over the runtime: the server ships
+    // velocity-tagged items for a linearly moving entity, the observing
+    // client rebases its extrapolator from them, and suppressed events
+    // are rendered from extrapolation instead of the wire.
+    let mut cfg = RtConfig::default();
+    cfg.game.batch_interval = SimDuration::from_millis(0);
+    cfg.game.predict = true;
+    cfg.game.set_rings(&[30.0, 150.0], &[1, 1]);
+    cfg.game.set_error_budgets(&[0.0, 5.0]);
+    let cluster = RtCluster::start(cfg).await;
+    let mut mover = cluster.client(Point::new(200.0, 200.0));
+    let mut observer = cluster.client(Point::new(200.0, 300.0)); // outer ring
+    let _ = tokio::time::timeout(Duration::from_secs(2), mover.recv()).await;
+    let _ = tokio::time::timeout(Duration::from_secs(2), observer.recv()).await;
+
+    // A straight run past the observer; per-event flushes keep the
+    // timeline simple.
+    for i in 1..=15 {
+        mover.move_to(Point::new(200.0 + i as f64 * 4.0, 200.0));
+        tokio::time::sleep(Duration::from_millis(20)).await;
+    }
+    tokio::time::sleep(Duration::from_millis(200)).await;
+    let _ = observer.drain();
+
+    let counters = observer.counters();
+    assert!(
+        counters.updates >= 1,
+        "the run must be observed: {counters:?}"
+    );
+    assert!(
+        counters.velocity_items >= 1,
+        "rebasing items must carry the velocity: {counters:?}"
+    );
+    assert_eq!(observer.extrapolated_entities(), 1);
+    let entity = mover.id().0;
+    let predicted = observer
+        .extrapolated(entity, SimTime::from_secs(3600))
+        .expect("a basis for the mover");
+    assert!(
+        predicted.x > 200.0,
+        "extrapolation must continue the run, not freeze: {predicted}"
+    );
+    cluster.shutdown().await;
+}
