@@ -1,0 +1,146 @@
+//! Telemetry overhead gate (ISSUE 6): the instrumented hot path must
+//! cost at most 2% more flush CPU than the telemetry-off build.
+//!
+//! With `GameServerConfig::telemetry` off, the spans/histograms are
+//! no-op sinks — one branch, zero clock reads. This bench proves that
+//! claim on the real dissemination hot path: a dense hotspot crowd
+//! (2000 clients on one server) moving every tick, with batching and
+//! the full pipeline (query → tier → predict → policy → delta) flushing
+//! on the tick cadence. It runs the identical workload with telemetry
+//! off and on in alternating rounds, takes the best round of each (the
+//! usual min-of-N noise filter), and **exits non-zero** when
+//! `(on - off) / off` exceeds the budget — so CI fails the build on an
+//! overhead regression, not a human reading a report.
+//!
+//! Not a criterion bench on purpose: the verdict needs a process exit
+//! code, and the two arms must interleave in one process to share
+//! thermal/cache conditions.
+
+use matrix_core::{ClientId, ClientToGame, GameServerConfig, GameServerNode};
+use matrix_geometry::{Point, Rect, ServerId};
+use matrix_sim::{SimRng, SimTime};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WORLD: f64 = 800.0;
+const RADIUS: f64 = 100.0;
+/// Hotspot crowd spread (σ), same shape as the fanout bench.
+const SPREAD: f64 = 150.0;
+const CLIENTS: usize = 2000;
+const TICKS: usize = 20;
+/// Rounds always run, even on a quiet machine.
+const MIN_ROUNDS: usize = 4;
+/// Extra rounds allowed before a breach is final: scheduler noise on a
+/// busy host inflates single rounds by more than the budget, and
+/// min-of-N only converges to the true floor with enough N. A real
+/// regression stays over budget no matter how many rounds run.
+const MAX_ROUNDS: usize = 12;
+/// The hard budget: telemetry-on flush CPU within 2% of telemetry-off.
+const BUDGET: f64 = 0.02;
+
+fn config(telemetry: bool) -> GameServerConfig {
+    GameServerConfig {
+        telemetry,
+        emit_updates: true,
+        ..GameServerConfig::default()
+    }
+}
+
+fn hotspot_positions(n: usize) -> Vec<Point> {
+    let mut rng = SimRng::seed_from_u64(0x7E1E);
+    let center = Point::new(WORLD * 0.6, WORLD * 0.5);
+    (0..n)
+        .map(|_| {
+            Point::new(
+                rng.normal(center.x, SPREAD).clamp(0.0, WORLD),
+                rng.normal(center.y, SPREAD).clamp(0.0, WORLD),
+            )
+        })
+        .collect()
+}
+
+/// One timed round: every client moves each tick, the server ticks (and
+/// flushes) after. Join/build cost stays outside the timed section.
+fn run_round(telemetry: bool, positions: &[Point]) -> Duration {
+    let world = Rect::from_coords(0.0, 0.0, WORLD, WORLD);
+    let cfg = config(telemetry);
+    let tick = cfg.tick;
+    let mut game = GameServerNode::new(ServerId(1), cfg);
+    game.register(world, RADIUS);
+    for (k, p) in positions.iter().enumerate() {
+        game.on_client(
+            SimTime::ZERO,
+            ClientId(k as u64),
+            ClientToGame::Join {
+                pos: *p,
+                state_bytes: 256,
+            },
+        );
+    }
+    // One untimed warm-up tick settles grids and batch state.
+    let mut now = SimTime::ZERO + tick;
+    black_box(game.on_tick(now, 0.0));
+
+    let t0 = Instant::now();
+    let mut sink = 0usize;
+    for step in 0..TICKS {
+        for (k, p) in positions.iter().enumerate() {
+            let jitter = ((step + k) % 7) as f64 - 3.0;
+            let pos = Point::new(
+                (p.x + jitter).clamp(0.0, WORLD),
+                (p.y - jitter).clamp(0.0, WORLD),
+            );
+            sink += game
+                .on_client(now, ClientId(k as u64), ClientToGame::Move { pos })
+                .len();
+        }
+        now += tick;
+        sink += game.on_tick(now, 0.0).len();
+    }
+    black_box(sink);
+    t0.elapsed()
+}
+
+fn main() {
+    let positions = hotspot_positions(CLIENTS);
+    // Alternate the arms so drift (thermal, cache, scheduler) hits both.
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    let mut overhead = f64::INFINITY;
+    for round in 0..MAX_ROUNDS {
+        let off = run_round(false, &positions);
+        let on = run_round(true, &positions);
+        best_off = best_off.min(off);
+        best_on = best_on.min(on);
+        println!(
+            "round {round}: off {:>8.3} ms   on {:>8.3} ms",
+            off.as_secs_f64() * 1e3,
+            on.as_secs_f64() * 1e3
+        );
+        overhead = (best_on.as_secs_f64() - best_off.as_secs_f64()) / best_off.as_secs_f64();
+        if round + 1 >= MIN_ROUNDS && overhead <= BUDGET {
+            break;
+        }
+    }
+    let off = best_off.as_secs_f64();
+    let on = best_on.as_secs_f64();
+    println!(
+        "telemetry overhead: best-off {:.3} ms, best-on {:.3} ms => {:+.2}% (budget {:.0}%)",
+        off * 1e3,
+        on * 1e3,
+        overhead * 100.0,
+        BUDGET * 100.0
+    );
+    if overhead > BUDGET {
+        matrix_core::emit_diag(
+            "bench",
+            "telemetry_overhead_exceeded",
+            &[
+                ("overhead", &format!("{:.4}", overhead)),
+                ("budget", &format!("{:.4}", BUDGET)),
+            ],
+        );
+        std::process::exit(1);
+    }
+    println!("telemetry overhead within budget");
+}

@@ -38,6 +38,16 @@
 //! format version (`"v"`) so incompatible peers fail loudly instead of
 //! mis-decoding state they are about to adopt a region from:
 //!
+//! The telemetry plane adds a versioned stats query/reply pair spoken on
+//! the runtime's stats endpoint (legacy frames above are untouched):
+//!
+//! ```text
+//! stats query     {"t":"stats","v":1,"fmt":"json"}        ("json" | "prom")
+//! stats reply     {"t":"stats-reply","v":1,"nodes":[[3,{"counters":[["joins",5]],
+//!                  "hists":[["flush_us",10,123.5,1.0,50.0,[[96,3],[97,7]]]],
+//!                  "dropped":0,"seen":7}]]}
+//! ```
+//!
 //! ```text
 //! region snapshot {"t":"snapshot","v":1,"seq":9,"ready":true,
 //!                  "range":[0.0,0.0,400.0,400.0],"radius":50.0,
@@ -65,6 +75,7 @@ use matrix_replication::{
     PendingUpdate, PredictBasis, ReplicaPayload, SessionState, StreamBase, TunerState,
 };
 use matrix_sim::SimTime;
+use matrix_telemetry::{HistSnapshot, TelemetrySnapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -1057,6 +1068,217 @@ pub fn decode_replica_ack(line: &str) -> Result<(u64, bool), CodecError> {
     Ok((uint(&obj, "seq")?, bool_field(&obj, "resync")?))
 }
 
+// ---------------------------------------------------------------------------
+// Live stats frames (versioned)
+// ---------------------------------------------------------------------------
+
+/// Format version of the stats query/reply frames. Versioned separately
+/// from the replication frames: the stats endpoint and the replication
+/// link evolve independently.
+pub const STATS_VERSION: u32 = 1;
+
+/// The exposition format a stats query asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// Structured JSON reply (machine-readable, decodable with
+    /// [`decode_stats_reply`]).
+    Json,
+    /// Prometheus-style text exposition
+    /// ([`matrix_telemetry::render_prometheus`]).
+    Prom,
+}
+
+fn check_stats_version(obj: &BTreeMap<String, Value>) -> Result<(), CodecError> {
+    let v = uint(obj, "v")? as u32;
+    if v != STATS_VERSION {
+        return Err(CodecError::new(format!(
+            "unsupported stats format version {v} (expected {STATS_VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            _ => out.push(ch),
+        }
+    }
+    out.push('"');
+}
+
+/// Encodes a live-stats query as a single JSON line (no newline):
+/// `{"t":"stats","v":1,"fmt":"json"|"prom"}`.
+pub fn encode_stats_query(fmt: StatsFormat) -> String {
+    let fmt = match fmt {
+        StatsFormat::Json => "json",
+        StatsFormat::Prom => "prom",
+    };
+    format!("{{\"t\":\"stats\",\"v\":{STATS_VERSION},\"fmt\":\"{fmt}\"}}")
+}
+
+/// Decodes one stats-query JSON line into the requested format.
+///
+/// # Errors
+///
+/// [`CodecError`] when the frame is malformed, carries an unsupported
+/// version, or names an unknown format.
+pub fn decode_stats_query(line: &str) -> Result<StatsFormat, CodecError> {
+    let obj = parse(line)?;
+    match field(&obj, "t")? {
+        Value::Str(t) if t == "stats" => {}
+        _ => return Err(CodecError::new("expected a stats frame")),
+    }
+    check_stats_version(&obj)?;
+    match field(&obj, "fmt")? {
+        Value::Str(f) if f == "json" => Ok(StatsFormat::Json),
+        Value::Str(f) if f == "prom" => Ok(StatsFormat::Prom),
+        Value::Str(f) => Err(CodecError::new(format!("unknown stats format '{f}'"))),
+        _ => Err(CodecError::new("field 'fmt' must be a string")),
+    }
+}
+
+/// Encodes a stats reply — one [`TelemetrySnapshot`] per node — as a
+/// single JSON line (no newline). Histograms travel in sparse form
+/// (`[name, count, sum, min, max, [[bucket, n], …]]`), so the reply
+/// stays small no matter how long the node has been up.
+pub fn encode_stats_reply(nodes: &[(ServerId, TelemetrySnapshot)]) -> String {
+    let mut s = String::with_capacity(64 + nodes.len() * 256);
+    let _ = write!(
+        s,
+        "{{\"t\":\"stats-reply\",\"v\":{STATS_VERSION},\"nodes\":["
+    );
+    for (i, (id, snap)) in nodes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "[{},{{\"counters\":[", id.0);
+        for (j, (name, v)) in snap.counters.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            push_json_str(&mut s, name);
+            let _ = write!(s, ",{v}]");
+        }
+        s.push_str("],\"hists\":[");
+        for (j, h) in snap.hists.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            push_json_str(&mut s, &h.name);
+            let _ = write!(s, ",{},", h.count);
+            push_f64(&mut s, h.sum);
+            s.push(',');
+            push_f64(&mut s, h.min);
+            s.push(',');
+            push_f64(&mut s, h.max);
+            s.push_str(",[");
+            for (k, (idx, n)) in h.buckets.iter().enumerate() {
+                if k > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "[{idx},{n}]");
+            }
+            s.push_str("]]");
+        }
+        let _ = write!(
+            s,
+            "],\"dropped\":{},\"seen\":{}}}]",
+            snap.events_dropped, snap.events_seen
+        );
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Decodes one stats-reply JSON line.
+///
+/// # Errors
+///
+/// [`CodecError`] when the frame is malformed or carries an unsupported
+/// format version.
+pub fn decode_stats_reply(line: &str) -> Result<Vec<(ServerId, TelemetrySnapshot)>, CodecError> {
+    let obj = parse(line)?;
+    match field(&obj, "t")? {
+        Value::Str(t) if t == "stats-reply" => {}
+        _ => return Err(CodecError::new("expected a stats-reply frame")),
+    }
+    check_stats_version(&obj)?;
+    let mut nodes = Vec::new();
+    for entry in arr_field(&obj, "nodes")? {
+        let Value::Arr(fields) = entry else {
+            return Err(CodecError::new("node entry must be an array"));
+        };
+        let (Some(id), Some(Value::Obj(body)), 2) = (
+            fields.first().and_then(Value::as_num),
+            fields.get(1),
+            fields.len(),
+        ) else {
+            return Err(CodecError::new("node entry must be [id, {snapshot}]"));
+        };
+        let mut snap = TelemetrySnapshot::new();
+        for c in arr_field(body, "counters")? {
+            let Value::Arr(f) = c else {
+                return Err(CodecError::new("counter must be an array"));
+            };
+            let (Some(Value::Str(name)), Some(v), 2) =
+                (f.first(), f.get(1).and_then(Value::as_num), f.len())
+            else {
+                return Err(CodecError::new("counter must be [name, value]"));
+            };
+            snap.counters.push((name.clone(), v as u64));
+        }
+        for hv in arr_field(body, "hists")? {
+            let Value::Arr(f) = hv else {
+                return Err(CodecError::new("hist must be an array"));
+            };
+            let (Some(Value::Str(name)), 6) = (f.first(), f.len()) else {
+                return Err(CodecError::new(
+                    "hist must be [name, count, sum, min, max, [buckets]]",
+                ));
+            };
+            let moment = |i: usize| {
+                f[i].as_num()
+                    .ok_or_else(|| CodecError::new("hist moments must be numbers"))
+            };
+            let Value::Arr(entries) = &f[5] else {
+                return Err(CodecError::new("hist buckets must be an array"));
+            };
+            let mut buckets = Vec::with_capacity(entries.len());
+            for b in entries {
+                let Value::Arr(pair) = b else {
+                    return Err(CodecError::new("bucket must be an array"));
+                };
+                let p = nums(pair, "bucket")?;
+                if p.len() != 2 {
+                    return Err(CodecError::new("bucket must be [index, count]"));
+                }
+                buckets.push((p[0] as u32, p[1] as u64));
+            }
+            snap.hists.push(HistSnapshot {
+                name: name.clone(),
+                count: moment(1)? as u64,
+                sum: moment(2)?,
+                min: moment(3)?,
+                max: moment(4)?,
+                buckets,
+            });
+        }
+        snap.events_dropped = uint(body, "dropped")?;
+        snap.events_seen = uint(body, "seen")?;
+        nodes.push((ServerId(id as u32), snap));
+    }
+    Ok(nodes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1469,6 +1691,47 @@ mod tests {
         let mut line = encode_replica_ack(1, false);
         line = line.replace("\"v\":1", "\"v\":999");
         assert!(decode_replica_ack(&line).is_err());
+    }
+
+    #[test]
+    fn stats_query_round_trips_and_rejects_bad_versions() {
+        for fmt in [StatsFormat::Json, StatsFormat::Prom] {
+            let line = encode_stats_query(fmt);
+            assert_eq!(decode_stats_query(&line).unwrap(), fmt, "{line}");
+        }
+        let bad = encode_stats_query(StatsFormat::Json).replace("\"v\":1", "\"v\":7");
+        let err = decode_stats_query(&bad).unwrap_err();
+        assert!(err.reason.contains("version"), "{err}");
+        assert!(decode_stats_query("{\"t\":\"stats\",\"v\":1,\"fmt\":\"xml\"}").is_err());
+        assert!(decode_stats_query("{\"t\":\"join\",\"x\":1.0,\"y\":2.0,\"state\":0}").is_err());
+    }
+
+    #[test]
+    fn stats_reply_round_trips() {
+        let mut a = TelemetrySnapshot::new();
+        a.counter("joins", 5);
+        a.counter("batch_bytes", u64::MAX >> 12);
+        let mut h = matrix_telemetry::Histogram::new();
+        for v in [1.0, 7.5, 900.25, -3.5] {
+            h.record(v);
+        }
+        a.hist("flush_us", &h);
+        a.events_seen = 9;
+        a.events_dropped = 2;
+        let b = TelemetrySnapshot::new();
+        let nodes = vec![(ServerId(3), a), (ServerId(11), b)];
+        let line = encode_stats_reply(&nodes);
+        assert_eq!(decode_stats_reply(&line).unwrap(), nodes, "{line}");
+        // Quantiles survive the sparse form.
+        let decoded = decode_stats_reply(&line).unwrap();
+        let back = decoded[0].1.get_hist("flush_us").unwrap().to_histogram();
+        assert_eq!(back, h);
+        // Empty reply too.
+        let line = encode_stats_reply(&[]);
+        assert_eq!(decode_stats_reply(&line).unwrap(), vec![]);
+        // Version mismatches fail loudly.
+        let bad = encode_stats_reply(&[]).replace("\"v\":1", "\"v\":2");
+        assert!(decode_stats_reply(&bad).is_err());
     }
 
     #[test]

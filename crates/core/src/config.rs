@@ -202,6 +202,18 @@ pub struct GameServerConfig {
     /// `replica_interval` (`0` = interval-only). Caps standby staleness
     /// under bursty load without shrinking the steady-state interval.
     pub replica_lag_cap: u32,
+    /// Master telemetry switch: per-stage pipeline span timers, tick and
+    /// flush latency histograms, the per-node flight recorder, and the
+    /// telemetry snapshot attached to load reports (which then rides the
+    /// heartbeat to the coordinator — snapshot cadence is therefore
+    /// `report_every_ticks`). Off (the default), every instrumentation
+    /// point is a branch-only no-op: no clock reads, no recording.
+    pub telemetry: bool,
+    /// Capacity of the per-node flight recorder ring, in events; older
+    /// events are evicted (and counted) once it fills. Only meaningful
+    /// with `telemetry` on. The coordinator's own recorder is always on
+    /// and sized independently.
+    pub telemetry_events: u32,
 }
 
 impl Default for GameServerConfig {
@@ -231,6 +243,8 @@ impl Default for GameServerConfig {
             origin_quantum: 1.0 / 256.0,
             replica_interval: SimDuration::from_millis(200),
             replica_lag_cap: 256,
+            telemetry: false,
+            telemetry_events: 256,
         }
     }
 }

@@ -12,6 +12,7 @@ use crate::config::CoordinatorConfig;
 use crate::messages::{CoordMsg, CoordReply};
 use matrix_geometry::{build_overlap, consistency_set, OverlapMap, PartitionMap, Rect, ServerId};
 use matrix_sim::SimTime;
+use matrix_telemetry::{EventKind, FlightRecorder, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -104,6 +105,12 @@ pub struct Coordinator {
     standbys: BTreeMap<ServerId, ServerId>,
     log: CoordLog,
     stats: CoordinatorStats,
+    /// Structured topology events (splits, reclaims, failovers, …).
+    /// Always on: the coordinator is off the hot path, and the cluster's
+    /// failure timeline must exist even when node telemetry is off.
+    recorder: FlightRecorder,
+    /// Latest telemetry snapshot per node, delivered on heartbeats.
+    telemetry: BTreeMap<ServerId, TelemetrySnapshot>,
 }
 
 impl Coordinator {
@@ -123,6 +130,8 @@ impl Coordinator {
             standbys: BTreeMap::new(),
             log: CoordLog::default(),
             stats: CoordinatorStats::default(),
+            recorder: FlightRecorder::new(1024),
+            telemetry: BTreeMap::new(),
         }
     }
 
@@ -135,8 +144,9 @@ impl Coordinator {
 
     /// Records a directory divergence: counted, and reported through
     /// the log hook when one is installed.
-    fn note_divergence(&mut self, msg: impl FnOnce() -> String) {
+    fn note_divergence(&mut self, now: SimTime, msg: impl FnOnce() -> String) {
         self.stats.divergences += 1;
+        self.recorder.record(now, EventKind::Divergence);
         self.log.emit(msg);
     }
 
@@ -168,6 +178,26 @@ impl Coordinator {
     /// Counters for experiments.
     pub fn stats(&self) -> &CoordinatorStats {
         &self.stats
+    }
+
+    /// The cluster-wide flight recorder of structured topology events.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The latest telemetry snapshot each node shipped on a heartbeat,
+    /// id-ascending. Empty until nodes run with telemetry on.
+    pub fn node_telemetry(&self) -> impl Iterator<Item = (ServerId, &TelemetrySnapshot)> {
+        self.telemetry.iter().map(|(s, t)| (*s, t))
+    }
+
+    /// All node snapshots folded into one cluster aggregate.
+    pub fn merged_telemetry(&self) -> TelemetrySnapshot {
+        let mut merged = TelemetrySnapshot::new();
+        for snap in self.telemetry.values() {
+            merged.merge(snap);
+        }
+        merged
     }
 
     /// Number of live servers in the directory.
@@ -208,6 +238,8 @@ impl Coordinator {
                 child_range,
             } => {
                 self.stats.splits_seen += 1;
+                self.recorder
+                    .record(now, EventKind::Split { parent, child });
                 self.heartbeats.insert(child, now);
                 self.parents.insert(child, parent);
                 if let Some(map) = &mut self.map {
@@ -219,7 +251,7 @@ impl Coordinator {
                         let ok = Self::apply_split(map, parent, child, parent_range, child_range);
                         if !ok {
                             let dir = map.range_of(parent);
-                            self.note_divergence(|| {
+                            self.note_divergence(now, || {
                                 format!(
                                     "split {parent}->{child}: dir={dir:?} report \
                                      par={parent_range:?} child={child_range:?}"
@@ -228,7 +260,7 @@ impl Coordinator {
                         }
                     } else {
                         let (p, c) = (map.contains_server(parent), map.contains_server(child));
-                        self.note_divergence(|| {
+                        self.note_divergence(now, || {
                             format!(
                                 "split skipped {parent}->{child}: parent in dir={p} \
                                  child in dir={c}"
@@ -239,6 +271,8 @@ impl Coordinator {
                 self.recompute()
             }
             CoordMsg::StandbyAssigned { primary, standby } => {
+                self.recorder
+                    .record(now, EventKind::StandbyAssign { primary, standby });
                 self.standbys.insert(primary, standby);
                 // Watch the standby's liveness from the moment of the
                 // pairing (its own heartbeats refresh this). A plain
@@ -255,6 +289,8 @@ impl Coordinator {
                 merged_range,
             } => {
                 self.stats.reclaims_seen += 1;
+                self.recorder
+                    .record(now, EventKind::Reclaim { parent, child });
                 self.heartbeats.remove(&child);
                 self.parents.remove(&child);
                 self.standbys.remove(&child);
@@ -262,7 +298,7 @@ impl Coordinator {
                     if map.contains_server(child) {
                         if let Err(e) = map.reclaim(parent, child) {
                             let (p, c) = (map.range_of(parent), map.range_of(child));
-                            self.note_divergence(|| {
+                            self.note_divergence(now, || {
                                 format!(
                                     "reclaim {parent}<-{child}: {e}; dir parent={p:?} \
                                      child={c:?} reported merged={merged_range:?}"
@@ -270,13 +306,15 @@ impl Coordinator {
                             });
                         }
                     } else {
-                        self.note_divergence(|| format!("reclaim: child {child} not in directory"));
+                        self.note_divergence(now, || {
+                            format!("reclaim: child {child} not in directory")
+                        });
                     }
                     let merged = self.map.as_ref().and_then(|m| m.range_of(parent));
                     if merged != Some(merged_range) {
                         // Tolerated, like every divergence: the directory
                         // resynchronises on the next topology report.
-                        self.note_divergence(|| {
+                        self.note_divergence(now, || {
                             format!(
                                 "reclaim {parent}<-{child}: dir merged={merged:?} \
                                  reported={merged_range:?}"
@@ -286,8 +324,16 @@ impl Coordinator {
                 }
                 self.recompute()
             }
-            CoordMsg::Heartbeat { server, epoch } => {
+            CoordMsg::Heartbeat {
+                server,
+                epoch,
+                telemetry,
+            } => {
                 self.heartbeats.insert(server, now);
+                if let Some(snap) = telemetry {
+                    // Snapshots are cumulative; latest wins.
+                    self.telemetry.insert(server, *snap);
+                }
                 // Anti-entropy: a server routing with stale tables (a lost
                 // or delayed push) gets a targeted refresh instead of
                 // waiting for the next topology change.
@@ -307,6 +353,7 @@ impl Coordinator {
                 // The retired child's range needs a mergeable owner. Reuse
                 // the failure-absorption machinery: pick an heir among the
                 // child's mergeable neighbours and instruct it to absorb.
+                self.recorder.record(now, EventKind::Orphan { child });
                 self.heartbeats.remove(&child);
                 self.parents.remove(&child);
                 self.standbys.remove(&child);
@@ -532,6 +579,13 @@ impl Coordinator {
                 self.standbys.remove(&primary);
                 self.heartbeats.remove(&failed);
                 self.stats.standbys_lost += 1;
+                self.recorder.record(
+                    now,
+                    EventKind::StandbyLost {
+                        primary,
+                        standby: failed,
+                    },
+                );
                 self.log
                     .emit(|| format!("standby {failed} of {primary} dead at {now}"));
                 actions.push(CoordAction::Send(
@@ -552,6 +606,13 @@ impl Coordinator {
                     self.standbys.remove(&failed);
                     self.heartbeats.remove(&standby);
                     self.stats.standbys_lost += 1;
+                    self.recorder.record(
+                        now,
+                        EventKind::StandbyLost {
+                            primary: failed,
+                            standby,
+                        },
+                    );
                     self.log.emit(|| {
                         format!("standby {standby} died with its primary {failed} at {now}")
                     });
@@ -602,6 +663,15 @@ impl Coordinator {
             }
         }
         self.standbys.remove(&failed);
+        self.recorder.record(
+            now,
+            EventKind::FailureDeclared {
+                failed,
+                heir: standby,
+            },
+        );
+        self.recorder
+            .record(now, EventKind::Failover { failed, standby });
         self.log
             .emit(|| format!("failover {failed} -> {standby} at {now}"));
         let mut actions = vec![CoordAction::Send(
@@ -646,6 +716,8 @@ impl Coordinator {
         self.heartbeats.remove(&failed);
         self.parents.remove(&failed);
         self.standbys.remove(&failed);
+        self.recorder
+            .record(now, EventKind::FailureDeclared { failed, heir });
         self.log
             .emit(|| format!("declare dead {failed} heir {heir} at {now}"));
         let mut actions = vec![CoordAction::Send(
@@ -824,6 +896,7 @@ mod tests {
                 CoordMsg::Heartbeat {
                     server: ServerId(1),
                     epoch: 99,
+                    telemetry: None,
                 },
             );
         }
@@ -875,6 +948,7 @@ mod tests {
             CoordMsg::Heartbeat {
                 server: ServerId(1),
                 epoch: 1,
+                telemetry: None,
             },
         );
         assert!(none.is_empty());
@@ -885,6 +959,7 @@ mod tests {
             CoordMsg::Heartbeat {
                 server: ServerId(1),
                 epoch: 0,
+                telemetry: None,
             },
         );
         assert!(matches!(
@@ -902,6 +977,7 @@ mod tests {
             CoordMsg::Heartbeat {
                 server: ServerId(42),
                 epoch: 0,
+                telemetry: None,
             },
         );
         assert!(actions.is_empty(), "retired/unknown servers get no tables");
@@ -951,7 +1027,11 @@ mod tests {
         for s in 1..=until_secs {
             c.handle(
                 SimTime::from_secs(s),
-                CoordMsg::Heartbeat { server, epoch: 99 },
+                CoordMsg::Heartbeat {
+                    server,
+                    epoch: 99,
+                    telemetry: None,
+                },
             );
         }
     }
@@ -1155,6 +1235,7 @@ mod tests {
             CoordMsg::Heartbeat {
                 server: ServerId(9),
                 epoch: 0,
+                telemetry: None,
             },
         );
         keep_alive(&mut c, ServerId(1), 30);

@@ -25,6 +25,7 @@ use matrix_replication::{
     PendingUpdate, PredictBasis, ReplicaLog, ReplicaReceiver, SessionState, StreamBase, TunerState,
 };
 use matrix_sim::SimTime;
+use matrix_telemetry::{EventKind, FlightRecorder, Histogram, Stage, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -172,6 +173,12 @@ pub struct GameServerNode {
     ticks: u64,
     seq: u64,
     stats: GameStats,
+    /// Structured event ring (joins, handovers, promotions, retunes);
+    /// zero-capacity (a no-op) unless `cfg.telemetry` is on.
+    recorder: FlightRecorder,
+    /// Wall-clock latency of `flush_updates` (µs); empty with telemetry
+    /// off.
+    flush_hist: Histogram,
 }
 
 impl GameServerNode {
@@ -192,6 +199,12 @@ impl GameServerNode {
             ticks: 0,
             seq: 0,
             stats: GameStats::default(),
+            recorder: FlightRecorder::new(if cfg.telemetry {
+                cfg.telemetry_events as usize
+            } else {
+                0
+            }),
+            flush_hist: Histogram::new(),
             cfg,
         }
     }
@@ -238,6 +251,7 @@ impl GameServerNode {
                     PredictorConfig::default()
                 },
                 position_only_ring: cfg.position_only_ring,
+                telemetry: cfg.telemetry,
             },
         )
     }
@@ -324,6 +338,44 @@ impl GameServerNode {
         &self.stats
     }
 
+    /// The structured-event flight recorder (empty ring unless
+    /// [`GameServerConfig::telemetry`] is on).
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Assembles this node's telemetry snapshot: hot-path counters,
+    /// per-stage span histograms, flush latency and flight-recorder
+    /// occupancy. `None` with telemetry off — reports stay exactly as
+    /// cheap as before the telemetry plane existed.
+    pub fn telemetry_snapshot(&self) -> Option<TelemetrySnapshot> {
+        if !self.cfg.telemetry {
+            return None;
+        }
+        let mut snap = TelemetrySnapshot::new();
+        snap.counter("joins", self.stats.joins);
+        snap.counter("moves", self.stats.moves);
+        snap.counter("actions", self.stats.actions);
+        snap.counter("updates_fanned", self.stats.updates_fanned);
+        snap.counter("batches_flushed", self.stats.batches_flushed);
+        snap.counter("updates_batched", self.stats.updates_batched);
+        snap.counter("batch_bytes", self.stats.batch_bytes);
+        snap.counter("updates_suppressed", self.stats.updates_suppressed);
+        snap.counter("updates_sampled_out", self.stats.updates_sampled_out);
+        snap.counter("grid_retunes", self.stats.grid_retunes);
+        snap.counter("promotions", self.stats.promotions);
+        for stage in Stage::ALL {
+            snap.hist(
+                format!("stage_{}_us", stage.name()),
+                self.pipeline.spans().histogram(stage),
+            );
+        }
+        snap.hist("flush_us", &self.flush_hist);
+        snap.events_dropped = self.recorder.dropped();
+        snap.events_seen = self.recorder.next_seq();
+        Some(snap)
+    }
+
     /// Positions of all connected clients (for tests and load-aware
     /// experiments).
     pub fn client_positions(&self) -> Vec<Point> {
@@ -356,6 +408,13 @@ impl GameServerNode {
                 if !self.ready {
                     self.stats.joins_before_ready += 1;
                 }
+                self.recorder.record(
+                    now,
+                    EventKind::Join {
+                        client: client.0,
+                        server: self.id,
+                    },
+                );
                 self.clients.insert(
                     client,
                     ClientRecord {
@@ -544,6 +603,7 @@ impl GameServerNode {
         if !self.pipeline.has_pending() {
             return Vec::new();
         }
+        let t0 = self.cfg.telemetry.then(std::time::Instant::now);
         // A client may have switched away between queueing and flush:
         // the pipeline orphans its items instead of delivering them.
         let clients = &self.clients;
@@ -588,6 +648,9 @@ impl GameServerNode {
                 batch.receiver,
                 GameToClient::UpdateBatch { updates: items },
             ));
+        }
+        if let Some(t0) = t0 {
+            self.flush_hist.record(t0.elapsed().as_secs_f64() * 1e6);
         }
         out
     }
@@ -718,7 +781,7 @@ impl GameServerNode {
                 }
                 match owner {
                     Some(o) if o != self.id && self.clients.contains_key(&client) => {
-                        self.switch_client(client, o)
+                        self.switch_client(now, client, o)
                     }
                     _ => Vec::new(),
                 }
@@ -766,7 +829,7 @@ impl GameServerNode {
                 self.replica.ack(seq, resync);
                 Vec::new()
             }
-            MatrixToGame::Promote { range, radius } => self.promote(range, radius),
+            MatrixToGame::Promote { range, radius } => self.promote(now, range, radius),
         }
     }
 
@@ -776,7 +839,7 @@ impl GameServerNode {
     /// through the ordinary keyframe-on-handover machinery (the
     /// snapshot's encoder bases may trail what the clients last
     /// reconstructed, so every stream restarts with a keyframe).
-    fn promote(&mut self, range: Rect, radius: f64) -> Vec<GameAction> {
+    fn promote(&mut self, now: SimTime, range: Rect, radius: f64) -> Vec<GameAction> {
         if let Some(snapshot) = self.receiver.take() {
             self.stats.clients_restored += snapshot.client_count() as u64;
             self.restore(snapshot);
@@ -805,6 +868,8 @@ impl GameServerNode {
         self.pipeline.clear_streams();
         self.pipeline.clear_pending();
         self.stats.promotions += 1;
+        self.recorder
+            .record(now, EventKind::Promotion { server: self.id });
         let clients: Vec<ClientId> = self.clients.keys().copied().collect();
         clients
             .into_iter()
@@ -1013,10 +1078,18 @@ impl GameServerNode {
         out
     }
 
-    fn switch_client(&mut self, client: ClientId, to: ServerId) -> Vec<GameAction> {
+    fn switch_client(&mut self, now: SimTime, client: ClientId, to: ServerId) -> Vec<GameAction> {
         let Some(rec) = self.clients.remove(&client) else {
             return Vec::new();
         };
+        self.recorder.record(
+            now,
+            EventKind::Handover {
+                client: client.0,
+                from: self.id,
+                to,
+            },
+        );
         self.stats.updates_dropped += self.pipeline.unsubscribe(client) as u64;
         self.pipeline.forget_entity(client.0);
         self.replicate(ReplicaOp::Leave { client });
@@ -1044,8 +1117,15 @@ impl GameServerNode {
         let mut out = self.flush_if_due(now);
         // Density-driven grid auto-tuning: one observation per tick;
         // the pipeline rebuilds its grid when the tuner decides.
-        if self.pipeline.maybe_retune().is_some() {
+        if let Some(cells) = self.pipeline.maybe_retune() {
             self.stats.grid_retunes += 1;
+            self.recorder.record(
+                now,
+                EventKind::Retune {
+                    server: self.id,
+                    cells,
+                },
+            );
         }
         out.extend(self.ship_replica(now));
         if self
@@ -1061,6 +1141,7 @@ impl GameServerNode {
                 clients: self.clients.len() as u32,
                 queue_backlog,
                 positions,
+                telemetry: self.telemetry_snapshot().map(Box::new),
             })));
         }
         out

@@ -128,5 +128,13 @@ pub use matrix_replication::{
     ReplicaReceiver, SessionState, StreamBase,
 };
 
+// Re-export the telemetry plane: drivers assemble and merge
+// `TelemetrySnapshot`s, read the coordinator's flight recorder, and
+// render Prometheus text from the same types the wire codec carries.
+pub use matrix_telemetry::{
+    diag_line, emit_diag, render_prometheus, EventKind, FlightRecorder, HistSnapshot, Histogram,
+    Stage, StageSpans, TelemetryEvent, TelemetrySnapshot,
+};
+
 // Re-export the spatial vocabulary users need at the API boundary.
 pub use matrix_geometry::{Metric, Point, Rect, ServerId, SplitStrategy};

@@ -129,6 +129,7 @@ mod tests {
             clients,
             queue_backlog: 0.0,
             positions: Vec::new(),
+            telemetry: None,
         }
     }
 
@@ -163,6 +164,7 @@ mod tests {
                     clients: 10,
                     queue_backlog: 10_000.0,
                     positions: Vec::new(),
+                    telemetry: None,
                 },
             );
         }
@@ -242,6 +244,7 @@ mod tests {
                 clients: 2,
                 queue_backlog: 0.0,
                 positions: vec![Point::new(1.0, 1.0), Point::new(2.0, 2.0)],
+                telemetry: None,
             },
         );
         assert_eq!(t.positions().len(), 2);

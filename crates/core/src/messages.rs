@@ -9,6 +9,7 @@
 use crate::packet::{ClientId, GamePacket};
 use matrix_geometry::{OverlapTable, PartitionMap, Point, Rect, ServerId};
 use matrix_sim::SimTime;
+use matrix_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 
 /// The replication batch type the protocol ships, instantiated with the
@@ -343,6 +344,11 @@ pub struct LoadReport {
     /// Client positions, if `GameServerConfig::report_positions` — enables
     /// the load-aware split strategy.
     pub positions: Vec<Point>,
+    /// Telemetry snapshot, if `GameServerConfig::telemetry` — rides the
+    /// load report to the local Matrix server, which forwards it on its
+    /// next heartbeat so the coordinator holds a live per-node view.
+    /// Boxed: reports are frequent, the snapshot occasional and bulky.
+    pub telemetry: Option<Box<TelemetrySnapshot>>,
 }
 
 /// Messages from the game server to its co-located Matrix server.
@@ -663,6 +669,10 @@ pub enum CoordMsg {
         server: ServerId,
         /// The table epoch the server currently routes with.
         epoch: u64,
+        /// The co-located game server's latest telemetry snapshot, if one
+        /// arrived since the previous heartbeat (None with telemetry off —
+        /// the legacy wire shape is unchanged).
+        telemetry: Option<Box<TelemetrySnapshot>>,
     },
     /// A reclaim grant arrived but the returned range no longer tiles with
     /// the parent's (the child's range changed through crash absorption).

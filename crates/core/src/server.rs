@@ -22,6 +22,7 @@ use matrix_geometry::{
     consistency_set_from_rects, OverlapTable, PartitionIndex, PartitionMap, Point, Rect, ServerId,
 };
 use matrix_sim::SimTime;
+use matrix_telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -131,6 +132,10 @@ pub struct MatrixServer {
     /// The primary this idle server stands by for (standby role) —
     /// standbys heartbeat so the coordinator can detect their death.
     standby_for: Option<ServerId>,
+    /// The co-located game server's latest telemetry snapshot, peeled off
+    /// an incoming load report and held until the next heartbeat carries
+    /// it to the coordinator.
+    pending_telemetry: Option<Box<TelemetrySnapshot>>,
     stats: ServerStats,
 }
 
@@ -164,6 +169,7 @@ impl MatrixServer {
             pending_standby: false,
             standby_retry_at: None,
             standby_for: None,
+            pending_telemetry: None,
             stats: ServerStats::default(),
         }
     }
@@ -310,8 +316,17 @@ impl MatrixServer {
         }
     }
 
-    fn handle_load(&mut self, now: SimTime, report: crate::messages::LoadReport) -> Vec<Action> {
+    fn handle_load(
+        &mut self,
+        now: SimTime,
+        mut report: crate::messages::LoadReport,
+    ) -> Vec<Action> {
         let mut out = Vec::new();
+        if let Some(snap) = report.telemetry.take() {
+            // Latest wins: heartbeats are sparser than load reports, and
+            // the snapshot is cumulative, so skipped ones lose nothing.
+            self.pending_telemetry = Some(snap);
+        }
         self.load.observe(&self.cfg, report);
         if let Some(parent) = self.parent {
             out.push(Action::ToPeer(
@@ -582,6 +597,7 @@ impl MatrixServer {
                     Action::ToCoord(CoordMsg::Heartbeat {
                         server: self.id,
                         epoch: self.epoch,
+                        telemetry: None,
                     }),
                 ]
             }
@@ -669,6 +685,7 @@ impl MatrixServer {
             Action::ToCoord(CoordMsg::Heartbeat {
                 server: self.id,
                 epoch: self.epoch,
+                telemetry: None,
             }),
         ]
     }
@@ -815,6 +832,7 @@ impl MatrixServer {
             Action::ToCoord(CoordMsg::Heartbeat {
                 server: self.id,
                 epoch: self.epoch,
+                telemetry: None,
             }),
         ]
     }
@@ -1003,6 +1021,7 @@ impl MatrixServer {
                     return vec![Action::ToCoord(CoordMsg::Heartbeat {
                         server: self.id,
                         epoch: self.epoch,
+                        telemetry: None,
                     })];
                 }
             }
@@ -1017,6 +1036,7 @@ impl MatrixServer {
             out.push(Action::ToCoord(CoordMsg::Heartbeat {
                 server: self.id,
                 epoch: self.epoch,
+                telemetry: self.pending_telemetry.take(),
             }));
             if let Some(parent) = self.parent {
                 out.push(Action::ToPeer(
@@ -1065,6 +1085,7 @@ mod tests {
             clients: 400,
             queue_backlog: 0.0,
             positions: Vec::new(),
+            telemetry: None,
         })
     }
 
@@ -1325,6 +1346,7 @@ mod tests {
                 clients: 20,
                 queue_backlog: 0.0,
                 positions: vec![],
+                telemetry: None,
             })
         };
         s1.on_game(t1, low());
@@ -1386,6 +1408,7 @@ mod tests {
             clients: 500,
             queue_backlog: 0.0,
             positions: vec![],
+            telemetry: None,
         };
         child.on_game(SimTime::ZERO, GameToMatrix::Load(over.clone()));
         child.on_game(SimTime::ZERO, GameToMatrix::Load(over));

@@ -252,7 +252,6 @@ struct FailureProbe {
     victim: ServerId,
     crashed_at: SimTime,
     affected: Vec<ClientId>,
-    promoted_at: Option<SimTime>,
     first_delivery: Option<SimTime>,
 }
 
@@ -370,8 +369,14 @@ pub struct ClusterReport {
     pub pool: matrix_core::PoolStats,
     /// Total simulated events processed.
     pub events: u64,
-    /// Time-ordered adaptation timeline (splits, reclaims, failures).
+    /// Time-ordered adaptation timeline (splits, reclaims, failures),
+    /// read back from the coordinator's flight recorder.
     pub timeline: Vec<(SimTime, TopologyEvent)>,
+    /// Cluster-wide telemetry: every node's heartbeat-carried snapshot
+    /// merged, plus the driver's own tick-latency histogram
+    /// (`sim_tick_us`). Empty unless `GameServerConfig::telemetry` is
+    /// on.
+    pub telemetry: matrix_core::TelemetrySnapshot,
 }
 
 impl ClusterReport {
@@ -415,8 +420,11 @@ pub struct Cluster {
     batched_updates: u64,
     late_threshold: SimDuration,
     bootstrap: ServerId,
-    timeline: Vec<(SimTime, TopologyEvent)>,
     probes: Vec<FailureProbe>,
+    /// Driver-side tick latency (µs), sampled only with
+    /// `GameServerConfig::telemetry` on — the clock reads are the cost
+    /// being measured.
+    tick_hist: Histogram,
 }
 
 impl Cluster {
@@ -451,8 +459,8 @@ impl Cluster {
             batched_updates: 0,
             late_threshold: SimDuration::from_millis(150),
             bootstrap: ServerId(1),
-            timeline: Vec::new(),
             probes: Vec::new(),
+            tick_hist: Histogram::new(),
             cfg,
         };
         cluster.bootstrap();
@@ -582,29 +590,10 @@ impl Cluster {
                 }
             }
             Event::Coord(msg) => {
-                match &msg {
-                    CoordMsg::SplitOccurred { parent, child, .. } => self.timeline.push((
-                        self.now,
-                        TopologyEvent::Split {
-                            parent: *parent,
-                            child: *child,
-                        },
-                    )),
-                    CoordMsg::ReclaimOccurred { parent, child, .. } => self.timeline.push((
-                        self.now,
-                        TopologyEvent::Reclaim {
-                            parent: *parent,
-                            child: *child,
-                        },
-                    )),
-                    CoordMsg::OrphanRange { child, .. } => self
-                        .timeline
-                        .push((self.now, TopologyEvent::Failure { victim: *child })),
-                    _ => {}
-                }
-                let failures_before = self.coordinator.stats().failures_declared;
+                // Splits, reclaims and orphaned ranges land in the
+                // coordinator's flight recorder; the run timeline is
+                // derived from it in `report`, not tracked here.
                 let actions = self.coordinator.handle(self.now, msg);
-                let _ = failures_before;
                 self.process_coord_actions(actions);
             }
             Event::CoordReply(to, reply) => {
@@ -632,34 +621,11 @@ impl Cluster {
             }
             Event::NodeTick(id) => self.node_tick(id),
             Event::CoordSweep => {
-                let before = self.coordinator.stats().failures_declared;
+                // Failure declarations, failovers and promotions are
+                // structured events in the coordinator's flight recorder
+                // now; `report` reads them back, so the sweep needs no
+                // side-channel probing of replies.
                 let actions = self.coordinator.check_liveness(self.now);
-                if self.coordinator.stats().failures_declared > before {
-                    for action in &actions {
-                        let CoordAction::Send(to, reply) = action;
-                        match reply {
-                            CoordReply::AbsorbFailed { failed, .. } => {
-                                self.timeline
-                                    .push((self.now, TopologyEvent::Failure { victim: *failed }));
-                            }
-                            CoordReply::Promote { failed, .. } => {
-                                self.timeline.push((
-                                    self.now,
-                                    TopologyEvent::Failover {
-                                        failed: *failed,
-                                        standby: *to,
-                                    },
-                                ));
-                                for probe in &mut self.probes {
-                                    if probe.victim == *failed && probe.promoted_at.is_none() {
-                                        probe.promoted_at = Some(self.now);
-                                    }
-                                }
-                            }
-                            _ => {}
-                        }
-                    }
-                }
                 self.process_coord_actions(actions);
                 self.queue
                     .schedule(self.now + SimDuration::from_secs(1), Event::CoordSweep);
@@ -674,7 +640,6 @@ impl Cluster {
                         victim,
                         crashed_at: self.now,
                         affected: node.game.client_ids(),
-                        promoted_at: None,
                         first_delivery: None,
                     });
                 }
@@ -877,9 +842,13 @@ impl Cluster {
         // resume load reports and heartbeats immediately. Idle nodes tick
         // their Matrix side too — warm standbys heartbeat while idle.
         if node.matrix.lifecycle() == matrix_core::Lifecycle::Active {
+            let t0 = self.cfg.game.telemetry.then(std::time::Instant::now);
             let backlog = node.queue.backlog_at(self.now);
             let game_actions = node.game.on_tick(self.now, backlog);
             self.process_game_actions(id, game_actions);
+            if let Some(t0) = t0 {
+                self.tick_hist.record(t0.elapsed().as_secs_f64() * 1e6);
+            }
         }
         if let Some(node) = self.nodes.get_mut(&id) {
             let matrix_actions = node.matrix.on_tick(self.now);
@@ -1180,6 +1149,46 @@ impl Cluster {
         } else {
             self.late as f64 / self.samples as f64
         };
+        // Derive the adaptation timeline — and each victim's promotion
+        // instant — from the coordinator's flight recorder instead of
+        // probing protocol messages in flight.
+        let mut timeline = Vec::new();
+        let mut promoted_at: BTreeMap<ServerId, SimTime> = BTreeMap::new();
+        let events: Vec<&matrix_core::TelemetryEvent> =
+            self.coordinator.recorder().events().collect();
+        for (i, ev) in events.iter().enumerate() {
+            match ev.kind {
+                matrix_core::EventKind::Split { parent, child } => {
+                    timeline.push((ev.at, TopologyEvent::Split { parent, child }));
+                }
+                matrix_core::EventKind::Reclaim { parent, child } => {
+                    timeline.push((ev.at, TopologyEvent::Reclaim { parent, child }));
+                }
+                matrix_core::EventKind::Orphan { child } => {
+                    timeline.push((ev.at, TopologyEvent::Failure { victim: child }));
+                }
+                matrix_core::EventKind::FailureDeclared { failed, .. } => {
+                    // A declaration resolved by a standby promotion shows
+                    // up as the Failover entry recorded right after it;
+                    // only absorb-and-reassign recoveries appear as bare
+                    // failures.
+                    let resolved_by_failover = matches!(
+                        events.get(i + 1).map(|e| &e.kind),
+                        Some(matrix_core::EventKind::Failover { failed: f, .. }) if *f == failed
+                    );
+                    if !resolved_by_failover {
+                        timeline.push((ev.at, TopologyEvent::Failure { victim: failed }));
+                    }
+                }
+                matrix_core::EventKind::Failover { failed, standby } => {
+                    timeline.push((ev.at, TopologyEvent::Failover { failed, standby }));
+                    promoted_at.entry(failed).or_insert(ev.at);
+                }
+                _ => {}
+            }
+        }
+        let mut telemetry = self.coordinator.merged_telemetry();
+        telemetry.hist("sim_tick_us", &self.tick_hist);
         ClusterReport {
             clients_per_server,
             queue_per_server,
@@ -1215,7 +1224,7 @@ impl Cluster {
                     p.first_delivery.map(|t| Recovery {
                         victim: p.victim,
                         dark: t.since(p.crashed_at),
-                        post_promotion: p.promoted_at.map(|at| t.since(at)),
+                        post_promotion: promoted_at.get(&p.victim).map(|at| t.since(*at)),
                     })
                 })
                 .collect(),
@@ -1228,7 +1237,8 @@ impl Cluster {
             coordinator: *self.coordinator.stats(),
             pool: *self.pool.stats(),
             events: self.queue.delivered(),
-            timeline: self.timeline,
+            timeline,
+            telemetry,
         }
     }
 }

@@ -105,8 +105,24 @@ fn save(name: &str, content: &str) {
     let path = format!("results/{name}");
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(content.as_bytes())) {
         Ok(()) => println!("[saved {path}]"),
-        Err(e) => eprintln!("could not save {path}: {e}"),
+        Err(e) => matrix_core::emit_diag(
+            "experiments",
+            "save_failed",
+            &[("path", &path), ("err", &e.to_string())],
+        ),
     }
+}
+
+/// Reports one experiment's acceptance failure as a structured
+/// diagnostic and exits non-zero (the CI contract: exit code 1 means
+/// "ran fine, verdict failed").
+fn acceptance_failed(experiment: &str, why: &str) -> ! {
+    matrix_core::emit_diag(
+        "experiments",
+        "acceptance_failed",
+        &[("experiment", experiment), ("why", why)],
+    );
+    std::process::exit(1)
 }
 
 fn run_fig2(seed: u64, a: bool, b: bool) {
@@ -184,10 +200,7 @@ fn run_failover(seed: u64, smoke: bool) {
     let game = failover::config(matrix_games::GameSpec::bzflag(), true, seed, scale).game;
     match failover::verdict(&rows, &game) {
         Ok(line) => println!("{line}"),
-        Err(why) => {
-            eprintln!("FAILOVER ACCEPTANCE FAILED: {why}");
-            std::process::exit(1);
-        }
+        Err(why) => acceptance_failed("failover", &why),
     }
     save("failover.csv", &failover::to_csv(&rows));
 }
@@ -202,10 +215,7 @@ fn run_rings(seed: u64, smoke: bool) {
     println!("{}", rings::table(&rows).render());
     match rings::verdict(&rows) {
         Ok(line) => println!("{line}"),
-        Err(why) => {
-            eprintln!("RINGS ACCEPTANCE FAILED: {why}");
-            std::process::exit(1);
-        }
+        Err(why) => acceptance_failed("rings", &why),
     }
     save("rings.csv", &rings::to_csv(&rows));
 }
@@ -220,10 +230,7 @@ fn run_predict(seed: u64, smoke: bool) {
     println!("{}", predict::table(&rows).render());
     match predict::verdict(&rows, &matrix_games::GameSpec::racer()) {
         Ok(line) => println!("{line}"),
-        Err(why) => {
-            eprintln!("PREDICT ACCEPTANCE FAILED: {why}");
-            std::process::exit(1);
-        }
+        Err(why) => acceptance_failed("predict", &why),
     }
     save("predict.csv", &predict::to_csv(&rows));
 }

@@ -49,6 +49,7 @@ use crate::tuner::{AutoTuner, AutoTunerConfig};
 use crate::UpdateBatcher;
 use matrix_geometry::{Metric, Point, Rect};
 use matrix_predict::{quantize_velocity, Admission, Basis, MotionModel, PredictedStream};
+use matrix_telemetry::{Stage, StageSpans};
 use std::hash::Hash;
 
 /// What the pipeline needs to know about a payload to rank, merge,
@@ -164,6 +165,11 @@ pub struct PipelineConfig {
     /// ([`Disseminated::strip_payload`]); `0` disables payload
     /// degradation (the near ring always ships in full).
     pub position_only_ring: u8,
+    /// Enables the per-stage span timers
+    /// ([`DisseminationPipeline::spans`]): each stage's time per flush
+    /// cycle lands in a latency histogram. Off (the default), every
+    /// timing call is a branch-only no-op — no clock reads.
+    pub telemetry: bool,
 }
 
 /// One receiver's flushed batch. `items` and `origins` are parallel —
@@ -233,6 +239,10 @@ pub struct DisseminationPipeline<K: Ord + Copy + Eq + Hash, U> {
     quantum: f64,
     motion: MotionModel,
     predicted: PredictedStream<K>,
+    spans: StageSpans,
+    /// Reused per-dissemination candidate buffer `(key, pos, ring)` —
+    /// stage 1 fills it, stages 2–3 compact and drain it in place.
+    scratch: Vec<(K, Point, u8)>,
 }
 
 impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
@@ -259,6 +269,8 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
             quantum: cfg.origin_quantum,
             motion: MotionModel::new(cfg.predict.motion_window),
             predicted: PredictedStream::new(),
+            spans: StageSpans::new(cfg.telemetry),
+            scratch: Vec::new(),
         }
     }
 
@@ -336,6 +348,12 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
         self.grid.cells_per_axis()
     }
 
+    /// The per-stage span timers (a no-op sink unless the pipeline was
+    /// built with [`PipelineConfig::telemetry`] on).
+    pub fn spans(&self) -> &StageSpans {
+        &self.spans
+    }
+
     // -- stages 1–3: query, tier, sample, predict, queue ---------------------
 
     /// Disseminates one event: queries the grid within the outermost
@@ -388,66 +406,88 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
         } else {
             (0.0, 0.0)
         };
-        let predict = &self.predict;
-        let position_only_ring = self.position_only_ring;
-        let sampler = &mut self.sampler;
-        let batcher = &mut self.batcher;
-        let predicted = &mut self.predicted;
+        self.spans.begin();
+        // Stage 1: the grid answers "who can see this point". Candidates
+        // land in a reusable scratch buffer so the later stages run as
+        // plain loops the span timer can bracket; iteration order is the
+        // grid's, exactly as when the stages were fused in one closure.
+        let mut candidates = std::mem::take(&mut self.scratch);
+        candidates.clear();
         self.grid
             .query(origin, rings.outer_radius(), metric, |key, pos| {
-                if Some(key) == exclude {
-                    return;
-                }
-                let ring = if tiered {
-                    // The grid's Euclidean filter compares squared
-                    // distances while `ring_of` compares the rooted
-                    // one; at the outer boundary the two can disagree
-                    // by an ulp, so a receiver the query admitted is
-                    // clamped into the outermost ring rather than
-                    // silently dropped.
-                    let ring = rings
-                        .ring_of(pos.distance_by(origin, metric))
-                        .unwrap_or((rings.len() - 1) as u8);
-                    if !sampler.admit(&rings, key, ring) {
-                        stats.sampled_out += 1;
-                        return;
-                    }
-                    ring
-                } else {
-                    0
-                };
-                if predicting {
-                    // Non-suppressible events admit with budget 0:
-                    // always transmitted, and the transmission rebases
-                    // the receiver's prediction like any other.
-                    let budget = if suppressible {
-                        predict.budget_for(ring)
-                    } else {
-                        0.0
-                    };
-                    match predicted.admit(key, entity, wire_origin, vel, now_secs, budget) {
-                        Admission::Suppress { error } => {
-                            stats.suppressed += 1;
-                            stats.pred_error_sum += error;
-                            stats.pred_error_max = stats.pred_error_max.max(error);
-                            return;
-                        }
-                        Admission::Send => {}
-                    }
-                }
-                stats.delivered += 1;
-                let strip = position_only_ring > 0 && ring >= position_only_ring;
-                if strip {
-                    stats.stripped += 1;
-                }
-                if emit {
-                    let mut item = make(ring, vel);
-                    if strip {
-                        item.strip_payload();
-                    }
-                    batcher.push(key, item);
+                if Some(key) != exclude {
+                    candidates.push((key, pos, 0u8));
                 }
             });
+        self.spans.lap(Stage::Query);
+        // Stage 2: grade each candidate's ring by distance and let the
+        // sampler thin the periphery, compacting survivors in place.
+        let mut kept = 0;
+        for i in 0..candidates.len() {
+            let (key, pos, _) = candidates[i];
+            let ring = if tiered {
+                // The grid's Euclidean filter compares squared
+                // distances while `ring_of` compares the rooted
+                // one; at the outer boundary the two can disagree
+                // by an ulp, so a receiver the query admitted is
+                // clamped into the outermost ring rather than
+                // silently dropped.
+                let ring = rings
+                    .ring_of(pos.distance_by(origin, metric))
+                    .unwrap_or((rings.len() - 1) as u8);
+                if !self.sampler.admit(&rings, key, ring) {
+                    stats.sampled_out += 1;
+                    continue;
+                }
+                ring
+            } else {
+                0
+            };
+            candidates[kept] = (key, pos, ring);
+            kept += 1;
+        }
+        candidates.truncate(kept);
+        self.spans.lap(Stage::Tier);
+        // Stage 3: dead-reckoning admission, payload stripping, queueing.
+        for &(key, _, ring) in &candidates {
+            if predicting {
+                // Non-suppressible events admit with budget 0:
+                // always transmitted, and the transmission rebases
+                // the receiver's prediction like any other.
+                let budget = if suppressible {
+                    self.predict.budget_for(ring)
+                } else {
+                    0.0
+                };
+                match self
+                    .predicted
+                    .admit(key, entity, wire_origin, vel, now_secs, budget)
+                {
+                    Admission::Suppress { error } => {
+                        stats.suppressed += 1;
+                        stats.pred_error_sum += error;
+                        stats.pred_error_max = stats.pred_error_max.max(error);
+                        continue;
+                    }
+                    Admission::Send => {}
+                }
+            }
+            stats.delivered += 1;
+            let strip = self.position_only_ring > 0 && ring >= self.position_only_ring;
+            if strip {
+                stats.stripped += 1;
+            }
+            if emit {
+                let mut item = make(ring, vel);
+                if strip {
+                    item.strip_payload();
+                }
+                self.batcher.push(key, item);
+            }
+        }
+        self.spans.lap(Stage::Predict);
+        candidates.clear();
+        self.scratch = candidates;
         stats
     }
 
@@ -486,6 +526,7 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
             batches: Vec::new(),
             orphaned: 0,
         };
+        self.spans.begin();
         for (receiver, queued) in self.batcher.drain() {
             let Some(viewer) = viewer_of(receiver) else {
                 outcome.orphaned += queued.len() as u64;
@@ -504,6 +545,7 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
                 |u: &U| u.wire_bytes(),
                 queued,
             );
+            self.spans.lap(Stage::Policy);
             let kept_origins: Vec<Point> = selection.kept.iter().map(|u| u.origin()).collect();
             let origins = self.encoder.encode_flush(receiver, &kept_origins);
             outcome.batches.push(FlushBatch {
@@ -512,7 +554,12 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
                 origins,
                 rate_limited: selection.dropped as u64,
             });
+            self.spans.lap(Stage::Delta);
         }
+        // One flush cycle ends here: the spans fold the time the laps
+        // attributed to each stage (across every dissemination since the
+        // last flush, plus this drain) into one histogram sample each.
+        self.spans.end_flush();
         outcome
     }
 
@@ -658,6 +705,7 @@ mod tests {
             autotune: AutoTunerConfig::default(),
             predict: PredictorConfig::default(),
             position_only_ring: 0,
+            telemetry: false,
         }
     }
 

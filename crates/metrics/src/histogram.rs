@@ -77,6 +77,11 @@ impl Histogram {
         self.total == 0
     }
 
+    /// Exact sum of recorded values (0 when empty).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     /// Arithmetic mean of recorded values.
     pub fn mean(&self) -> Option<f64> {
         if self.total == 0 {
@@ -136,6 +141,11 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile.
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
@@ -145,6 +155,39 @@ impl Histogram {
         self.sum += other.sum;
         self.max = self.max.max(other.max);
         self.min = self.min.min(other.min);
+    }
+
+    /// Occupied buckets as `(index, count)` pairs, index-ascending — the
+    /// sparse form telemetry snapshots ship on the wire (a latency
+    /// distribution rarely occupies more than a few dozen of the 576
+    /// buckets).
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from its sparse form plus the exact summary
+    /// moments ([`Histogram::nonzero_buckets`] round-trips through this).
+    /// Out-of-range bucket indices are clamped into the last bucket; an
+    /// empty bucket list yields an empty histogram regardless of the
+    /// moments passed.
+    pub fn from_sparse(buckets: &[(u32, u64)], sum: f64, min: f64, max: f64) -> Histogram {
+        let mut h = Histogram::new();
+        for &(idx, c) in buckets {
+            let idx = (idx as usize).min(SUB_BUCKETS * POWERS - 1);
+            h.counts[idx] += c;
+            h.total += c;
+        }
+        if h.total > 0 {
+            h.sum = sum;
+            h.min = min.min(max);
+            h.max = max.max(min);
+        }
+        h
     }
 }
 
@@ -234,5 +277,39 @@ mod tests {
         h.record(1e18);
         assert_eq!(h.count(), 1);
         assert!(h.quantile(0.5).is_some());
+    }
+
+    #[test]
+    fn quantiles_are_monotone_through_p999() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000 {
+            h.record(v as f64);
+        }
+        let (p50, p95, p99, p999) = (
+            h.p50().unwrap(),
+            h.p95().unwrap(),
+            h.p99().unwrap(),
+            h.p999().unwrap(),
+        );
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= p999);
+        assert!((p999 - 99_900.0).abs() / 99_900.0 < 0.08, "p999 {p999}");
+    }
+
+    #[test]
+    fn sparse_export_round_trips() {
+        let mut h = Histogram::new();
+        for v in [1.0, 7.0, 7.0, 513.0, 1e9] {
+            h.record(v);
+        }
+        let back = Histogram::from_sparse(
+            &h.nonzero_buckets(),
+            h.sum(),
+            h.min().unwrap(),
+            h.max().unwrap(),
+        );
+        assert_eq!(back, h);
+
+        let empty = Histogram::from_sparse(&[], 0.0, 0.0, 0.0);
+        assert_eq!(empty, Histogram::new());
     }
 }

@@ -144,6 +144,20 @@ impl RtCluster {
             .count()
     }
 
+    /// Binds a live stats endpoint over every node in the cluster (see
+    /// [`crate::wire::spawn_stats_endpoint`]); returns the bound
+    /// address. Query it with [`crate::wire::TcpStatsClient`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any bind error from the operating system.
+    pub async fn serve_stats(
+        &self,
+        addr: impl tokio::net::ToSocketAddrs,
+    ) -> Result<std::net::SocketAddr, crate::wire::WireError> {
+        crate::wire::spawn_stats_endpoint(addr, self.nodes.clone()).await
+    }
+
     /// Stops every node task.
     pub async fn shutdown(self) {
         for node in &self.nodes {

@@ -7,6 +7,11 @@
 //! Because the protocol logic is shared with the discrete-event harness,
 //! behaviour validated in simulation deploys unchanged.
 //!
+//! With `GameServerConfig::telemetry` on, every node snapshot carries a
+//! `TelemetrySnapshot` (stage/flush/tick latency histograms plus the
+//! counters), and [`RtCluster::serve_stats`] exposes them live over TCP
+//! as versioned JSON or Prometheus-style text ([`wire::TcpStatsClient`]).
+//!
 //! # Example
 //!
 //! ```no_run

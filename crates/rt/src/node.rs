@@ -8,7 +8,8 @@
 use crate::router::Router;
 use matrix_core::{
     Action, ClientId, ClientToGame, CoordReply, GameAction, GameServerConfig, GameServerNode,
-    GameStats, Lifecycle, MatrixConfig, MatrixServer, PeerMsg, PoolReply, ServerStats,
+    GameStats, Histogram, Lifecycle, MatrixConfig, MatrixServer, PeerMsg, PoolReply, ServerStats,
+    TelemetrySnapshot,
 };
 use matrix_geometry::{Rect, ServerId};
 use std::collections::VecDeque;
@@ -62,6 +63,9 @@ pub struct NodeSnapshot {
     pub matrix_stats: ServerStats,
     /// Game-side counters.
     pub game_stats: GameStats,
+    /// Live telemetry (counters, stage/flush/tick histograms), present
+    /// only when [`GameServerConfig::telemetry`] is on.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 /// Handle for sending to a node task.
@@ -109,6 +113,11 @@ async fn run_node(
     let mut matrix = MatrixServer::new(id, mcfg);
     // Real clients hang off this runtime, so fan-out is emitted for real.
     let mut game = GameServerNode::new(id, gcfg).with_fanout();
+    // Driver-side tick latency: how long a whole active game tick takes
+    // (flush included) on the real runtime. The clock reads are the very
+    // cost being measured, so they are gated on the telemetry switch.
+    let telemetry_on = gcfg.telemetry;
+    let mut tick_hist = Histogram::new();
     let tick = std::time::Duration::from_micros(gcfg.tick.as_micros());
     let mut ticker = tokio::time::interval(tick.max(std::time::Duration::from_millis(10)));
     ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
@@ -140,6 +149,10 @@ async fn run_node(
                         dispatch_game(&router, id, &mut matrix, &mut game, actions);
                     }
                     NodeMsg::Snapshot(reply) => {
+                        let telemetry = game.telemetry_snapshot().map(|mut snap| {
+                            snap.hist("rt_tick_us", &tick_hist);
+                            snap
+                        });
                         let _ = reply.send(NodeSnapshot {
                             id,
                             lifecycle: matrix.lifecycle(),
@@ -147,6 +160,7 @@ async fn run_node(
                             clients: game.client_count(),
                             matrix_stats: *matrix.stats(),
                             game_stats: *game.stats(),
+                            telemetry,
                         });
                     }
                     NodeMsg::Shutdown => {
@@ -165,10 +179,14 @@ async fn run_node(
             _ = ticker.tick() => {
                 let now = router.now();
                 if matrix.lifecycle() == Lifecycle::Active {
+                    let t0 = telemetry_on.then(std::time::Instant::now);
                     // The runtime has no fluid queue model; the inbox is
                     // the real queue and client counts drive adaptation.
                     let game_actions = game.on_tick(now, 0.0);
                     dispatch_game(&router, id, &mut matrix, &mut game, game_actions);
+                    if let Some(t0) = t0 {
+                        tick_hist.record(t0.elapsed().as_secs_f64() * 1e6);
+                    }
                 }
                 // The Matrix side ticks in every lifecycle: idle warm
                 // standbys heartbeat so the coordinator can tell a live

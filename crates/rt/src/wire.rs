@@ -14,10 +14,10 @@
 //! every (re)join exactly as [`TcpGameClient`]'s in-process counterpart
 //! (`RtClient`) does.
 
-use crate::node::NodeMsg;
+use crate::node::{NodeHandle, NodeMsg};
 use crate::router::Router;
-use matrix_core::codec::{self, CodecError};
-use matrix_core::{ClientToGame, GameToClient};
+use matrix_core::codec::{self, CodecError, StatsFormat};
+use matrix_core::{render_prometheus, ClientToGame, GameToClient, TelemetrySnapshot};
 use matrix_geometry::ServerId;
 use tokio::io::{AsyncBufReadExt, AsyncWriteExt, BufReader};
 use tokio::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -175,6 +175,113 @@ async fn serve_connection(stream: TcpStream, router: Router, entry: ServerId) {
         }
     }
     router.unregister_client(client_id);
+}
+
+/// Binds the live stats endpoint in front of a set of node handles.
+/// Returns the local address; the accept loop runs until the listener
+/// task is dropped.
+///
+/// Protocol: one stats-query line per connection
+/// (`matrix_core::codec::encode_stats_query`), answered with either a
+/// single JSON stats-reply line ([`StatsFormat::Json`]) or
+/// Prometheus-style text exposition ([`StatsFormat::Prom`]), then the
+/// server closes the connection. Nodes with telemetry off contribute
+/// nothing, so the reply is empty — not an error — on a dark cluster.
+///
+/// # Errors
+///
+/// Returns any bind error from the operating system.
+pub async fn spawn_stats_endpoint(
+    addr: impl ToSocketAddrs,
+    nodes: Vec<NodeHandle>,
+) -> Result<std::net::SocketAddr, WireError> {
+    let listener = TcpListener::bind(addr).await?;
+    let local = listener.local_addr()?;
+    tokio::spawn(async move {
+        loop {
+            let Ok((stream, _)) = listener.accept().await else {
+                break;
+            };
+            tokio::spawn(serve_stats(stream, nodes.clone()));
+        }
+    });
+    Ok(local)
+}
+
+async fn serve_stats(stream: TcpStream, nodes: Vec<NodeHandle>) {
+    let (read_half, mut write_half) = stream.into_split();
+    let mut lines = BufReader::new(read_half).lines();
+    let Ok(Some(line)) = lines.next_line().await else {
+        return;
+    };
+    let Ok(fmt) = codec::decode_stats_query(&line) else {
+        return; // malformed or wrong-version query: drop the session
+    };
+    let mut snaps: Vec<(ServerId, TelemetrySnapshot)> = Vec::new();
+    for node in &nodes {
+        if let Some(snap) = node.snapshot().await {
+            if let Some(telemetry) = snap.telemetry {
+                snaps.push((snap.id, telemetry));
+            }
+        }
+    }
+    let mut reply = match fmt {
+        StatsFormat::Json => codec::encode_stats_reply(&snaps),
+        StatsFormat::Prom => render_prometheus(&snaps),
+    };
+    if !reply.ends_with('\n') {
+        reply.push('\n');
+    }
+    let _ = write_half.write_all(reply.as_bytes()).await;
+    // Both halves drop here, closing the socket: the client reads to
+    // EOF, which is what ends a multi-line Prometheus response.
+}
+
+/// A remote consumer of the live stats endpoint: one query per
+/// connection, like `curl` against a metrics port.
+pub struct TcpStatsClient;
+
+impl TcpStatsClient {
+    /// Fetches the cluster's per-node telemetry snapshots as structured
+    /// data (the JSON stats reply, decoded).
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Closed`] if the endpoint hangs up without replying,
+    /// socket errors, or [`WireError::BadFrame`] for a malformed reply.
+    pub async fn fetch_json(
+        addr: impl ToSocketAddrs,
+    ) -> Result<Vec<(ServerId, TelemetrySnapshot)>, WireError> {
+        let stream = TcpStream::connect(addr).await?;
+        let (read_half, mut write_half) = stream.into_split();
+        let mut framed = codec::encode_stats_query(StatsFormat::Json);
+        framed.push('\n');
+        write_half.write_all(framed.as_bytes()).await?;
+        let mut lines = BufReader::new(read_half).lines();
+        let line = lines.next_line().await?.ok_or(WireError::Closed)?;
+        Ok(codec::decode_stats_reply(&line)?)
+    }
+
+    /// Fetches the Prometheus-style text exposition (reads to EOF).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from connecting, writing the query or reading the
+    /// response.
+    pub async fn fetch_text(addr: impl ToSocketAddrs) -> Result<String, WireError> {
+        let stream = TcpStream::connect(addr).await?;
+        let (read_half, mut write_half) = stream.into_split();
+        let mut framed = codec::encode_stats_query(StatsFormat::Prom);
+        framed.push('\n');
+        write_half.write_all(framed.as_bytes()).await?;
+        let mut lines = BufReader::new(read_half).lines();
+        let mut out = String::new();
+        while let Some(line) = lines.next_line().await? {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        Ok(out)
+    }
 }
 
 /// A replication stream over a real TCP socket: newline-delimited,

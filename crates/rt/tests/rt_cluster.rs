@@ -496,3 +496,97 @@ async fn ring_tagged_updates_cross_the_real_wire() {
     assert_eq!(updates[0].ring(), 1, "mid-ring tag survives the codec");
     cluster.shutdown().await;
 }
+
+#[tokio::test]
+async fn stats_endpoint_serves_live_telemetry_over_tcp() {
+    // E2E observability: with telemetry on, the cluster's stats endpoint
+    // answers both wire formats over a real socket — structured JSON
+    // (per-node counters + sparse histograms) and Prometheus-style text.
+    let mut cfg = fast_config();
+    cfg.game.telemetry = true;
+    cfg.game.emit_updates = true;
+    let cluster = RtCluster::start(cfg).await;
+    let addr = cluster.serve_stats("127.0.0.1:0").await.expect("bind");
+
+    let mut alice = cluster.client(Point::new(100.0, 100.0));
+    let mut bob = cluster.client(Point::new(120.0, 100.0));
+    let _ = tokio::time::timeout(Duration::from_secs(2), alice.recv())
+        .await
+        .unwrap();
+    let _ = tokio::time::timeout(Duration::from_secs(2), bob.recv())
+        .await
+        .unwrap();
+    // An action near bob forces fan-out, so the next flush has work.
+    alice.action(64);
+    let _ = tokio::time::timeout(Duration::from_secs(2), bob.recv())
+        .await
+        .expect("update delivered")
+        .expect("channel open");
+
+    let nodes = tokio::time::timeout(
+        Duration::from_secs(2),
+        wire::TcpStatsClient::fetch_json(addr),
+    )
+    .await
+    .expect("stats reply within deadline")
+    .expect("decoded stats reply");
+    assert!(
+        !nodes.is_empty(),
+        "telemetry-on nodes must expose snapshots"
+    );
+    let merged = nodes.iter().fold(
+        matrix_core::TelemetrySnapshot::new(),
+        |mut acc, (_, snap)| {
+            acc.merge(snap);
+            acc
+        },
+    );
+    assert!(
+        merged.get_counter("joins").unwrap_or(0) >= 2,
+        "both joins must be counted: {:?}",
+        merged.counters
+    );
+    assert!(
+        merged.get_hist("rt_tick_us").is_some(),
+        "the runtime's tick histogram must ride the snapshot"
+    );
+    assert!(
+        merged.get_hist("flush_us").is_some(),
+        "a flush with pending work must be timed"
+    );
+
+    let text = tokio::time::timeout(
+        Duration::from_secs(2),
+        wire::TcpStatsClient::fetch_text(addr),
+    )
+    .await
+    .expect("prometheus text within deadline")
+    .expect("read to EOF");
+    assert!(text.contains("# TYPE matrix_joins counter"), "{text}");
+    assert!(text.contains("matrix_rt_tick_us_count"), "{text}");
+    cluster.shutdown().await;
+}
+
+#[tokio::test]
+async fn stats_endpoint_is_empty_with_telemetry_off() {
+    // Telemetry off is the default, and it must mean *zero* exposure:
+    // the endpoint still answers, with no node snapshots.
+    let cluster = RtCluster::start(fast_config()).await;
+    let addr = cluster.serve_stats("127.0.0.1:0").await.expect("bind");
+    let mut client = cluster.client(Point::new(100.0, 100.0));
+    let _ = tokio::time::timeout(Duration::from_secs(2), client.recv())
+        .await
+        .unwrap();
+    let nodes = tokio::time::timeout(
+        Duration::from_secs(2),
+        wire::TcpStatsClient::fetch_json(addr),
+    )
+    .await
+    .expect("stats reply within deadline")
+    .expect("decoded stats reply");
+    assert!(
+        nodes.is_empty(),
+        "dark cluster must expose nothing: {nodes:?}"
+    );
+    cluster.shutdown().await;
+}

@@ -1,0 +1,47 @@
+//! The runtime telemetry plane: what a *running* Matrix cluster looks
+//! like from the inside.
+//!
+//! The paper evaluates Matrix offline, and so did this repo until now —
+//! counter structs summed after the run, diagnostics as bare strings.
+//! This crate adds the live instrumentation layer everything else plugs
+//! into:
+//!
+//! * [`StageSpans`] — a lap-timer over the dissemination pipeline's five
+//!   stages ([`Stage`]), accumulating per-flush stage latencies into
+//!   log-bucketed [`Histogram`]s. Disabled spans cost one branch and
+//!   **zero** clock reads, which is what keeps the telemetry-off build a
+//!   true no-op (enforced by `benches/telemetry.rs`: on vs off ≤ 2%
+//!   flush CPU).
+//! * [`FlightRecorder`] — a fixed-capacity ring buffer of structured
+//!   [`TelemetryEvent`]s (joins, handovers, splits, standby churn,
+//!   failovers, promotions, retunes). The coordinator keeps one always
+//!   on; failover timelines are read out of it instead of being
+//!   hand-rolled by harness probes.
+//! * [`TelemetrySnapshot`] — the wire-friendly aggregate (named counters
+//!   plus sparse-bucket [`HistSnapshot`]s) that rides load reports and
+//!   heartbeats to the coordinator and answers the `matrix-rt` stats
+//!   query. Snapshots [`merge`](TelemetrySnapshot::merge) by name, so
+//!   per-node histograms aggregate into cluster-wide distributions.
+//! * [`render_prometheus`] — Prometheus-style text exposition of a set
+//!   of node snapshots, and [`diag_line`]/[`emit_diag`] — the structured
+//!   `key=value` stderr log line that replaces ad-hoc `eprintln!`
+//!   diagnostics.
+//!
+//! The crate sits *below* `matrix-core` in the dependency DAG (it knows
+//! geometry ids, histograms and simulated time, nothing else), so every
+//! layer from the interest pipeline to the async runtime can record into
+//! it without cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expose;
+mod recorder;
+mod snapshot;
+mod span;
+
+pub use expose::{diag_line, emit_diag, render_prometheus};
+pub use matrix_metrics::Histogram;
+pub use recorder::{EventKind, FlightRecorder, TelemetryEvent};
+pub use snapshot::{HistSnapshot, TelemetrySnapshot};
+pub use span::{Stage, StageSpans, STAGE_COUNT};

@@ -26,6 +26,18 @@
 //! (`[x,y,bytes,entity,ring,vx,vy]`) and straight-line movement is
 //! suppressed on the wire while their extrapolation stays within the
 //! ring's budget.
+//!
+//! Pass `--telemetry` to turn the telemetry plane on
+//! (`docs/OBSERVABILITY.md`); a live stats endpoint then answers
+//! versioned queries on a second port:
+//!
+//! ```text
+//! $ nc 127.0.0.1 <stats port>
+//! {"t":"stats","v":1,"fmt":"prom"}
+//! # TYPE matrix_joins counter
+//! matrix_joins{server="1"} 2
+//! ...
+//! ```
 
 use matrix_middleware::rt::{wire, RtCluster, RtConfig};
 use matrix_middleware::sim::SimDuration;
@@ -35,13 +47,16 @@ use std::time::Duration;
 async fn main() {
     let mut port: u16 = 0;
     let mut predict = false;
+    let mut telemetry = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--predict" => predict = true,
-            p => port = p.parse().expect("args: [port] [--predict]"),
+            "--telemetry" => telemetry = true,
+            p => port = p.parse().expect("args: [port] [--predict] [--telemetry]"),
         }
     }
     let mut cfg = RtConfig::default();
+    cfg.game.telemetry = telemetry;
     if predict {
         cfg.game.batch_interval = SimDuration::from_millis(0);
         cfg.game.predict = true;
@@ -59,6 +74,13 @@ async fn main() {
     .expect("bind gateway");
     println!("gateway listening on {addr}");
     println!("speak JSON lines, e.g.: {{\"t\":\"join\",\"x\":100.0,\"y\":100.0,\"state\":64}}");
+    if telemetry {
+        let stats = cluster
+            .serve_stats(("127.0.0.1", 0))
+            .await
+            .expect("bind stats endpoint");
+        println!("stats endpoint on {stats} (query: {{\"t\":\"stats\",\"v\":1,\"fmt\":\"prom\"}})");
+    }
 
     // Serve until interrupted.
     loop {

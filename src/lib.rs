@@ -19,6 +19,9 @@
 //!   suppression and receiver-side extrapolation.
 //! * [`replication`] — fault tolerance: region snapshots, the
 //!   warm-standby replica log and the failover receiver.
+//! * [`telemetry`] — the observability plane: counters, log-bucketed
+//!   latency histograms, per-stage flush spans and the flight recorder
+//!   (see `docs/OBSERVABILITY.md`).
 //! * [`rt`] — the tokio runtime (in-process cluster + TCP gateway).
 //! * [`experiments`] — drivers that regenerate every table and figure of
 //!   the paper's evaluation.
@@ -53,3 +56,4 @@ pub use matrix_predict as predict;
 pub use matrix_replication as replication;
 pub use matrix_rt as rt;
 pub use matrix_sim as sim;
+pub use matrix_telemetry as telemetry;

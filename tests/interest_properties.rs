@@ -950,6 +950,7 @@ fn ring_membership_and_sampling_are_exact() {
                 autotune: AutoTunerConfig::default(),
                 predict: matrix_middleware::core::PredictorConfig::default(),
                 position_only_ring: 0,
+                telemetry: false,
             },
         );
 

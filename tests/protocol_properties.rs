@@ -153,6 +153,7 @@ fn split_reports_consistent_geometry() {
             clients: 100,
             queue_backlog: 0.0,
             positions,
+            telemetry: None,
         };
         let t = SimTime::from_secs(1);
         let actions = server.on_game(t, GameToMatrix::Load(report));
@@ -220,6 +221,7 @@ fn adaptation_state_stays_consistent() {
                     clients,
                     queue_backlog: 0.0,
                     positions: vec![],
+                    telemetry: None,
                 }),
             );
             for action in actions {
