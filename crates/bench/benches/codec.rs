@@ -1,0 +1,176 @@
+//! Wire-codec gate (PR 7): for a dense-crowd `UpdateBatch` stream, the
+//! v2 binary codec must cut encode CPU by at least 40% and
+//! bytes-on-wire by at least 25% against the v1 JSON codec.
+//!
+//! The workload is the dissemination hot path's output shape: per-flush
+//! batches of mostly delta items (lattice-snapped sub-unit moves, ~1/8
+//! keyframes, entity + ring tags, some velocity tags), framed exactly
+//! as each codec puts them on a socket — v2 with header + CRC trailer,
+//! v1 as a JSON line + `'\n'`. Both arms encode the identical batches;
+//! rounds alternate so drift (thermal, cache, scheduler) hits both, the
+//! best round of each arm is compared (the usual min-of-N noise
+//! filter), and the process **exits non-zero** when either reduction
+//! misses its floor — so CI fails the build on a codec regression, not
+//! a human reading a report.
+//!
+//! Not a criterion bench on purpose: the verdict needs a process exit
+//! code, and the two arms must interleave in one process.
+
+use matrix_core::codec::encode_game_to_client;
+use matrix_core::codec_v2::{self, FrameMeta};
+use matrix_core::{BatchItem, DeltaItem, GameToClient, UpdateItem};
+use matrix_geometry::Point;
+use matrix_sim::SimRng;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Flushed batches per round — one per client per tick in a crowd.
+const BATCHES: usize = 2000;
+/// Visible neighbours per client in the dense hotspot.
+const ITEMS_PER_BATCH: usize = 48;
+const MIN_ROUNDS: usize = 4;
+const MAX_ROUNDS: usize = 12;
+/// Floors from the PR acceptance bar.
+const CPU_FLOOR: f64 = 0.40;
+const BYTES_FLOOR: f64 = 0.25;
+
+/// Lattice-snapped value with 1/256 granularity, like every coordinate
+/// the pipeline emits after `quantize`.
+fn lattice(rng: &mut SimRng, lo: f64, hi: f64) -> f64 {
+    (rng.uniform(lo, hi) * 256.0).round() / 256.0
+}
+
+/// One flush's worth of updates, shaped like the delta encoder's
+/// output for a dense crowd: mostly sub-unit deltas, a keyframe every
+/// ~8 items (the stream resync cadence), outer-ring items velocity
+/// tagged as the predictor would.
+fn dense_batches() -> Vec<GameToClient> {
+    let mut rng = SimRng::seed_from_u64(0xBA7C);
+    (0..BATCHES)
+        .map(|_| {
+            let updates = (0..ITEMS_PER_BATCH)
+                .map(|i| {
+                    let entity = rng.uniform_u64(1, 4000);
+                    let ring = rng.uniform_u64(0, 3) as u8;
+                    let (vx, vy) = if ring > 0 && rng.chance(0.3) {
+                        (lattice(&mut rng, -8.0, 8.0), lattice(&mut rng, -8.0, 8.0))
+                    } else {
+                        (0.0, 0.0)
+                    };
+                    if i % 8 == 0 {
+                        BatchItem::Absolute(UpdateItem {
+                            origin: Point::new(
+                                lattice(&mut rng, 0.0, 800.0),
+                                lattice(&mut rng, 0.0, 800.0),
+                            ),
+                            payload_bytes: 64,
+                            entity,
+                            ring,
+                            vx,
+                            vy,
+                        })
+                    } else {
+                        BatchItem::Delta(DeltaItem {
+                            dx: lattice(&mut rng, -2.0, 2.0),
+                            dy: lattice(&mut rng, -2.0, 2.0),
+                            payload_bytes: 64,
+                            entity,
+                            ring,
+                            vx,
+                            vy,
+                        })
+                    }
+                })
+                .collect();
+            GameToClient::UpdateBatch { updates }
+        })
+        .collect()
+}
+
+/// Encodes the whole stream once; returns (elapsed, bytes on the wire).
+fn run_round(binary: bool, batches: &[GameToClient]) -> (Duration, usize) {
+    let t0 = Instant::now();
+    let mut bytes = 0usize;
+    if binary {
+        let mut meta = FrameMeta::default();
+        for msg in batches {
+            let frame = codec_v2::encode_server_frame(msg, meta, true);
+            bytes += frame.len();
+            black_box(&frame);
+            meta.seq += 1;
+        }
+    } else {
+        for msg in batches {
+            let line = encode_game_to_client(msg);
+            bytes += line.len() + 1; // the '\n' terminator ships too
+            black_box(&line);
+        }
+    }
+    (t0.elapsed(), bytes)
+}
+
+fn main() {
+    let batches = dense_batches();
+    let mut best_json = Duration::MAX;
+    let mut best_bin = Duration::MAX;
+    let mut json_bytes = 0;
+    let mut bin_bytes = 0;
+    let mut cpu_cut = f64::NEG_INFINITY;
+    for round in 0..MAX_ROUNDS {
+        let (json_t, jb) = run_round(false, &batches);
+        let (bin_t, bb) = run_round(true, &batches);
+        best_json = best_json.min(json_t);
+        best_bin = best_bin.min(bin_t);
+        json_bytes = jb;
+        bin_bytes = bb;
+        println!(
+            "round {round}: json {:>8.3} ms   binary {:>8.3} ms",
+            json_t.as_secs_f64() * 1e3,
+            bin_t.as_secs_f64() * 1e3
+        );
+        cpu_cut = 1.0 - best_bin.as_secs_f64() / best_json.as_secs_f64();
+        if round + 1 >= MIN_ROUNDS && cpu_cut >= CPU_FLOOR {
+            break;
+        }
+    }
+    let bytes_cut = 1.0 - bin_bytes as f64 / json_bytes as f64;
+    println!(
+        "encode CPU: json {:.3} ms, binary {:.3} ms => -{:.1}% (floor -{:.0}%)",
+        best_json.as_secs_f64() * 1e3,
+        best_bin.as_secs_f64() * 1e3,
+        cpu_cut * 100.0,
+        CPU_FLOOR * 100.0
+    );
+    println!(
+        "bytes on wire: json {json_bytes}, binary {bin_bytes} => -{:.1}% (floor -{:.0}%)",
+        bytes_cut * 100.0,
+        BYTES_FLOOR * 100.0
+    );
+    let mut failed = false;
+    if cpu_cut < CPU_FLOOR {
+        matrix_core::emit_diag(
+            "bench",
+            "codec_cpu_floor_missed",
+            &[
+                ("cut", &format!("{cpu_cut:.4}")),
+                ("floor", &format!("{CPU_FLOOR:.4}")),
+            ],
+        );
+        failed = true;
+    }
+    if bytes_cut < BYTES_FLOOR {
+        matrix_core::emit_diag(
+            "bench",
+            "codec_bytes_floor_missed",
+            &[
+                ("cut", &format!("{bytes_cut:.4}")),
+                ("floor", &format!("{BYTES_FLOOR:.4}")),
+            ],
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("binary codec clears both floors");
+}

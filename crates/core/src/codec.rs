@@ -66,8 +66,8 @@
 //! decode(encode(m)) == m exactly.
 
 use crate::messages::{
-    BatchItem, ClientToGame, DeltaItem, GameToClient, RegionSnapshot, ReplicaBatch, ReplicaOp,
-    UpdateItem,
+    BatchItem, ClientToGame, DeltaItem, GameToClient, LoadReport, RegionSnapshot, ReplicaBatch,
+    ReplicaOp, UpdateItem,
 };
 use crate::packet::ClientId;
 use matrix_geometry::{Point, Rect, ServerId};
@@ -87,7 +87,7 @@ pub struct CodecError {
 }
 
 impl CodecError {
-    fn new(reason: impl Into<String>) -> CodecError {
+    pub(crate) fn new(reason: impl Into<String>) -> CodecError {
         CodecError {
             reason: reason.into(),
         }
@@ -332,8 +332,17 @@ fn point(obj: &BTreeMap<String, Value>) -> Result<Point, CodecError> {
 }
 
 fn push_f64(out: &mut String, v: f64) {
-    // `{:?}` gives the shortest representation that round-trips.
-    let _ = write!(out, "{v:?}");
+    // An integral value needs no fraction marker in JSON: `84` parses
+    // back to the same f64 as `84.0`, two bytes shorter — and snapped
+    // wire values (origin/velocity lattices) are integral often enough
+    // for this to matter on the hot batch path. `{:.0}` keeps the sign
+    // of `-0.0` so even that round-trips. Everything else takes `{:?}`,
+    // the shortest representation that round-trips.
+    if v.is_finite() && v.fract() == 0.0 {
+        let _ = write!(out, "{v:.0}");
+    } else {
+        let _ = write!(out, "{v:?}");
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1158,45 +1167,53 @@ pub fn encode_stats_reply(nodes: &[(ServerId, TelemetrySnapshot)]) -> String {
         if i > 0 {
             s.push(',');
         }
-        let _ = write!(s, "[{},{{\"counters\":[", id.0);
-        for (j, (name, v)) in snap.counters.iter().enumerate() {
-            if j > 0 {
-                s.push(',');
-            }
-            s.push('[');
-            push_json_str(&mut s, name);
-            let _ = write!(s, ",{v}]");
-        }
-        s.push_str("],\"hists\":[");
-        for (j, h) in snap.hists.iter().enumerate() {
-            if j > 0 {
-                s.push(',');
-            }
-            s.push('[');
-            push_json_str(&mut s, &h.name);
-            let _ = write!(s, ",{},", h.count);
-            push_f64(&mut s, h.sum);
-            s.push(',');
-            push_f64(&mut s, h.min);
-            s.push(',');
-            push_f64(&mut s, h.max);
-            s.push_str(",[");
-            for (k, (idx, n)) in h.buckets.iter().enumerate() {
-                if k > 0 {
-                    s.push(',');
-                }
-                let _ = write!(s, "[{idx},{n}]");
-            }
-            s.push_str("]]");
-        }
-        let _ = write!(
-            s,
-            "],\"dropped\":{},\"seen\":{}}}]",
-            snap.events_dropped, snap.events_seen
-        );
+        let _ = write!(s, "[{},", id.0);
+        push_telemetry_body(&mut s, snap);
+        s.push(']');
     }
     s.push_str("]}");
     s
+}
+
+/// Appends one telemetry snapshot as a JSON object (shared by the
+/// stats reply and the load-report heartbeat).
+fn push_telemetry_body(s: &mut String, snap: &TelemetrySnapshot) {
+    s.push_str("{\"counters\":[");
+    for (j, (name, v)) in snap.counters.iter().enumerate() {
+        if j > 0 {
+            s.push(',');
+        }
+        s.push('[');
+        push_json_str(s, name);
+        let _ = write!(s, ",{v}]");
+    }
+    s.push_str("],\"hists\":[");
+    for (j, h) in snap.hists.iter().enumerate() {
+        if j > 0 {
+            s.push(',');
+        }
+        s.push('[');
+        push_json_str(s, &h.name);
+        let _ = write!(s, ",{},", h.count);
+        push_f64(s, h.sum);
+        s.push(',');
+        push_f64(s, h.min);
+        s.push(',');
+        push_f64(s, h.max);
+        s.push_str(",[");
+        for (k, (idx, n)) in h.buckets.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{idx},{n}]");
+        }
+        s.push_str("]]");
+    }
+    let _ = write!(
+        s,
+        "],\"dropped\":{},\"seen\":{}}}",
+        snap.events_dropped, snap.events_seen
+    );
 }
 
 /// Decodes one stats-reply JSON line.
@@ -1224,59 +1241,136 @@ pub fn decode_stats_reply(line: &str) -> Result<Vec<(ServerId, TelemetrySnapshot
         ) else {
             return Err(CodecError::new("node entry must be [id, {snapshot}]"));
         };
-        let mut snap = TelemetrySnapshot::new();
-        for c in arr_field(body, "counters")? {
-            let Value::Arr(f) = c else {
-                return Err(CodecError::new("counter must be an array"));
-            };
-            let (Some(Value::Str(name)), Some(v), 2) =
-                (f.first(), f.get(1).and_then(Value::as_num), f.len())
-            else {
-                return Err(CodecError::new("counter must be [name, value]"));
-            };
-            snap.counters.push((name.clone(), v as u64));
-        }
-        for hv in arr_field(body, "hists")? {
-            let Value::Arr(f) = hv else {
-                return Err(CodecError::new("hist must be an array"));
-            };
-            let (Some(Value::Str(name)), 6) = (f.first(), f.len()) else {
-                return Err(CodecError::new(
-                    "hist must be [name, count, sum, min, max, [buckets]]",
-                ));
-            };
-            let moment = |i: usize| {
-                f[i].as_num()
-                    .ok_or_else(|| CodecError::new("hist moments must be numbers"))
-            };
-            let Value::Arr(entries) = &f[5] else {
-                return Err(CodecError::new("hist buckets must be an array"));
-            };
-            let mut buckets = Vec::with_capacity(entries.len());
-            for b in entries {
-                let Value::Arr(pair) = b else {
-                    return Err(CodecError::new("bucket must be an array"));
-                };
-                let p = nums(pair, "bucket")?;
-                if p.len() != 2 {
-                    return Err(CodecError::new("bucket must be [index, count]"));
-                }
-                buckets.push((p[0] as u32, p[1] as u64));
-            }
-            snap.hists.push(HistSnapshot {
-                name: name.clone(),
-                count: moment(1)? as u64,
-                sum: moment(2)?,
-                min: moment(3)?,
-                max: moment(4)?,
-                buckets,
-            });
-        }
-        snap.events_dropped = uint(body, "dropped")?;
-        snap.events_seen = uint(body, "seen")?;
-        nodes.push((ServerId(id as u32), snap));
+        nodes.push((ServerId(id as u32), telemetry_from_obj(body)?));
     }
     Ok(nodes)
+}
+
+/// Rebuilds one telemetry snapshot from its JSON-object form (shared
+/// by the stats reply and the load-report heartbeat).
+fn telemetry_from_obj(body: &BTreeMap<String, Value>) -> Result<TelemetrySnapshot, CodecError> {
+    let mut snap = TelemetrySnapshot::new();
+    for c in arr_field(body, "counters")? {
+        let Value::Arr(f) = c else {
+            return Err(CodecError::new("counter must be an array"));
+        };
+        let (Some(Value::Str(name)), Some(v), 2) =
+            (f.first(), f.get(1).and_then(Value::as_num), f.len())
+        else {
+            return Err(CodecError::new("counter must be [name, value]"));
+        };
+        snap.counters.push((name.clone(), v as u64));
+    }
+    for hv in arr_field(body, "hists")? {
+        let Value::Arr(f) = hv else {
+            return Err(CodecError::new("hist must be an array"));
+        };
+        let (Some(Value::Str(name)), 6) = (f.first(), f.len()) else {
+            return Err(CodecError::new(
+                "hist must be [name, count, sum, min, max, [buckets]]",
+            ));
+        };
+        let moment = |i: usize| {
+            f[i].as_num()
+                .ok_or_else(|| CodecError::new("hist moments must be numbers"))
+        };
+        let Value::Arr(entries) = &f[5] else {
+            return Err(CodecError::new("hist buckets must be an array"));
+        };
+        let mut buckets = Vec::with_capacity(entries.len());
+        for b in entries {
+            let Value::Arr(pair) = b else {
+                return Err(CodecError::new("bucket must be an array"));
+            };
+            let p = nums(pair, "bucket")?;
+            if p.len() != 2 {
+                return Err(CodecError::new("bucket must be [index, count]"));
+            }
+            buckets.push((p[0] as u32, p[1] as u64));
+        }
+        snap.hists.push(HistSnapshot {
+            name: name.clone(),
+            count: moment(1)? as u64,
+            sum: moment(2)?,
+            min: moment(3)?,
+            max: moment(4)?,
+            buckets,
+        });
+    }
+    snap.events_dropped = uint(body, "dropped")?;
+    snap.events_seen = uint(body, "seen")?;
+    Ok(snap)
+}
+
+/// Encodes a load-report heartbeat as a single JSON line (no newline):
+/// `{"t":"load","v":1,"clients":3,"backlog":0.5,"pos":[[x,y],…]}`, with
+/// an optional `"telemetry"` object in the stats-reply snapshot shape.
+/// The JSON form exists for interop/debugging parity with the binary
+/// [`crate::codec_v2::Frame::Load`]; in-process load reports never
+/// touch a codec.
+pub fn encode_load_report(report: &LoadReport) -> String {
+    let mut s = String::with_capacity(64 + report.positions.len() * 16);
+    let _ = write!(
+        s,
+        "{{\"t\":\"load\",\"v\":{STATS_VERSION},\"clients\":{},\"backlog\":",
+        report.clients
+    );
+    push_f64(&mut s, report.queue_backlog);
+    s.push_str(",\"pos\":[");
+    for (i, p) in report.positions.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('[');
+        push_f64(&mut s, p.x);
+        s.push(',');
+        push_f64(&mut s, p.y);
+        s.push(']');
+    }
+    s.push(']');
+    if let Some(snap) = &report.telemetry {
+        s.push_str(",\"telemetry\":");
+        push_telemetry_body(&mut s, snap);
+    }
+    s.push('}');
+    s
+}
+
+/// Decodes one load-report JSON line.
+///
+/// # Errors
+///
+/// [`CodecError`] when the frame is malformed or carries an unsupported
+/// format version.
+pub fn decode_load_report(line: &str) -> Result<LoadReport, CodecError> {
+    let obj = parse(line)?;
+    match field(&obj, "t")? {
+        Value::Str(t) if t == "load" => {}
+        _ => return Err(CodecError::new("expected a load frame")),
+    }
+    check_stats_version(&obj)?;
+    let mut positions = Vec::new();
+    for entry in arr_field(&obj, "pos")? {
+        let Value::Arr(pair) = entry else {
+            return Err(CodecError::new("position must be an array"));
+        };
+        let p = nums(pair, "position")?;
+        if p.len() != 2 {
+            return Err(CodecError::new("position must be [x, y]"));
+        }
+        positions.push(Point::new(p[0], p[1]));
+    }
+    let telemetry = match obj.get("telemetry") {
+        Some(Value::Obj(body)) => Some(Box::new(telemetry_from_obj(body)?)),
+        Some(_) => return Err(CodecError::new("field 'telemetry' must be an object")),
+        None => None,
+    };
+    Ok(LoadReport {
+        clients: uint(&obj, "clients")? as u32,
+        queue_backlog: num(&obj, "backlog")?,
+        positions,
+        telemetry,
+    })
 }
 
 #[cfg(test)]
@@ -1441,7 +1535,7 @@ mod tests {
             ],
         };
         let line = encode_game_to_client(&far);
-        assert!(line.contains("[1.0,2.0,8,0,2]"), "{line}");
+        assert!(line.contains("[1,2,8,0,2]"), "{line}");
         assert!(line.contains("[\"d\",0.5,-0.5,4,9,1]"), "{line}");
         assert_eq!(decode_game_to_client(&line).unwrap(), far);
 
@@ -1456,7 +1550,7 @@ mod tests {
             })],
         };
         let line = encode_game_to_client(&near);
-        assert!(line.contains("[1.0,2.0,8,7]"), "ring 0 omitted: {line}");
+        assert!(line.contains("[1,2,8,7]"), "ring 0 omitted: {line}");
         assert_eq!(decode_game_to_client(&line).unwrap(), near);
     }
 
@@ -1504,8 +1598,8 @@ mod tests {
             ],
         };
         let line = encode_game_to_client(&msg);
-        assert!(line.contains("[1.0,2.0,8,0,0,12.5,-3.25]"), "{line}");
-        assert!(line.contains("[\"d\",0.5,-0.5,4,9,2,-0.25,1.0]"), "{line}");
+        assert!(line.contains("[1,2,8,0,0,12.5,-3.25]"), "{line}");
+        assert!(line.contains("[\"d\",0.5,-0.5,4,9,2,-0.25,1]"), "{line}");
         assert_eq!(decode_game_to_client(&line).unwrap(), msg);
 
         let still = GameToClient::UpdateBatch {
@@ -1520,7 +1614,7 @@ mod tests {
         };
         let line = encode_game_to_client(&still);
         assert!(
-            line.contains("[1.0,2.0,8,7]"),
+            line.contains("[1,2,8,7]"),
             "zero velocity stays off the wire: {line}"
         );
         assert_eq!(decode_game_to_client(&line).unwrap(), still);
@@ -1574,11 +1668,11 @@ mod tests {
         );
         let line = encode_region_snapshot(&snap);
         assert!(
-            line.contains("\"bases\":[[7,[[9,10.5,-3.0,12.5,-3.25,4.2]"),
+            line.contains("\"bases\":[[7,[[9,10.5,-3,12.5,-3.25,4.2]"),
             "{line}"
         );
         assert!(
-            line.contains("[1.0,2.0,8,9,1,2.5,-1.5]"),
+            line.contains("[1,2,8,9,1,2.5,-1.5]"),
             "pending items carry their velocity: {line}"
         );
         assert_eq!(decode_region_snapshot(&line).unwrap(), snap);

@@ -4,6 +4,25 @@ use matrix_geometry::{Metric, SplitStrategy};
 use matrix_sim::SimDuration;
 use serde::{Deserialize, Serialize};
 
+/// Which wire codec frames client-visible traffic.
+///
+/// Both codecs serialize the same messages; they differ in format and
+/// cost. The runtime negotiates per connection (a binary `Hello` opens
+/// v2; a JSON opener falls back to v1), so the knob chooses what a
+/// node *speaks by preference* and which codec the simulation's byte
+/// accounting measures frame sizes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum WireCodec {
+    /// Wire protocol v2: length-prefixed binary frames
+    /// (`matrix_core::codec_v2`). The canonical codec.
+    #[default]
+    BinaryV2,
+    /// Wire protocol v1: newline-delimited JSON (`matrix_core::codec`).
+    /// The debug/interop codec — any language can speak it with no
+    /// binary tooling.
+    Json,
+}
+
 /// Configuration of a Matrix server's adaptive behaviour.
 ///
 /// Defaults reproduce the paper's Figure-2 deployment: overload at 300
@@ -155,6 +174,15 @@ pub struct GameServerConfig {
     /// Sliding-window length (observations) of the per-entity velocity
     /// estimator feeding prediction; clamped to ≥ 2.
     pub motion_window: u32,
+    /// Fixed-point lattice shipped dead-reckoning velocities snap to,
+    /// in world units per second (`0.0` = the origin lattice).
+    /// Velocities tolerate a far coarser lattice than origins — the
+    /// quantization drift over a basis lifetime stays well inside any
+    /// usable ring budget — and every halving of the resolution
+    /// shortens the tag on the JSON codec. Keep it a power-of-two
+    /// multiple of `origin_quantum` so the binary codec's fixed-point
+    /// velocity field carries the snapped value exactly.
+    pub velocity_quantum: f64,
     /// Ring index from which batch items ship position-only (payload
     /// stripped, origin and velocity kept); `0` disables payload
     /// degradation. A far-ring entity's whereabouts matter for
@@ -214,6 +242,15 @@ pub struct GameServerConfig {
     /// with `telemetry` on. The coordinator's own recorder is always on
     /// and sized independently.
     pub telemetry_events: u32,
+    /// Which wire codec frames the client-facing protocol — and, in the
+    /// simulation, which codec the byte accounting measures frame sizes
+    /// from (`docs/WIRE.md`).
+    pub codec: WireCodec,
+    /// Whether binary frames carry the CRC32 trailer (4 bytes per
+    /// frame). On by default: corrupted frames are then rejected and
+    /// the stream resynchronizes at the next magic boundary. Ignored by
+    /// the JSON codec.
+    pub frame_crc: bool,
 }
 
 impl Default for GameServerConfig {
@@ -235,6 +272,7 @@ impl Default for GameServerConfig {
             predict: false,
             error_budgets: [0.0; matrix_interest::MAX_RINGS],
             motion_window: 4,
+            velocity_quantum: 0.125,
             position_only_ring: 0,
             emit_updates: false,
             max_updates_per_flush: 128,
@@ -245,6 +283,8 @@ impl Default for GameServerConfig {
             replica_lag_cap: 256,
             telemetry: false,
             telemetry_events: 256,
+            codec: WireCodec::BinaryV2,
+            frame_crc: true,
         }
     }
 }

@@ -9,7 +9,9 @@
 //! mirroring how Matrix "supports the distributed operation of various
 //! MMOGs without actually needing to understand the game logic".
 
-use crate::config::GameServerConfig;
+use crate::codec;
+use crate::codec_v2;
+use crate::config::{GameServerConfig, WireCodec};
 use crate::messages::{
     BatchItem, ClientToGame, DeltaItem, GameToClient, GameToMatrix, LoadReport, MatrixToGame,
     RegionSnapshot, ReplicaOp, UpdateItem,
@@ -28,10 +30,6 @@ use matrix_sim::SimTime;
 use matrix_telemetry::{EventKind, FlightRecorder, Histogram, Stage, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-
-/// Per-batch wire overhead (framing + type tag) beyond the items,
-/// used for bandwidth accounting.
-const BATCH_HEADER_BYTES: u64 = 24;
 
 /// An effect the game server asks its driver to carry out.
 #[derive(Debug, Clone, PartialEq)]
@@ -245,6 +243,7 @@ impl GameServerNode {
                 predict: if cfg.predict {
                     PredictorConfig {
                         motion_window: cfg.motion_window,
+                        velocity_quantum: cfg.velocity_quantum,
                         ..PredictorConfig::with_budgets(&cfg.error_budgets)
                     }
                 } else {
@@ -632,7 +631,6 @@ impl GameServerNode {
                         vy: u.vy,
                     }),
                 };
-                self.stats.batch_bytes += item.wire_bytes() as u64;
                 self.stats.ring_items[(u.ring as usize).min(MAX_RINGS - 1)] += 1;
                 if item.is_keyframe() {
                     self.stats.keyframe_items += 1;
@@ -643,7 +641,26 @@ impl GameServerNode {
                 }
                 items.push(item);
             }
-            self.stats.batch_bytes += BATCH_HEADER_BYTES;
+            // Bytes-on-wire accounting is *measured* against the active
+            // codec, not modelled: the binary frame length comes from
+            // the codec's arithmetic mirror of its encoder (pinned
+            // equal by the property suite), the JSON length from
+            // actually encoding the line. Declared payload sizes ride
+            // on top in both — the sim ships sizes, not state.
+            let payload: usize = items.iter().map(|i| i.payload_bytes()).sum();
+            let frame = match self.cfg.codec {
+                WireCodec::BinaryV2 => codec_v2::update_batch_frame_len(&items, self.cfg.frame_crc),
+                WireCodec::Json => {
+                    let msg = GameToClient::UpdateBatch { updates: items };
+                    let len = codec::encode_game_to_client(&msg).len() + 1;
+                    let GameToClient::UpdateBatch { updates } = msg else {
+                        unreachable!("constructed an UpdateBatch above");
+                    };
+                    items = updates;
+                    len
+                }
+            };
+            self.stats.batch_bytes += (frame + payload) as u64;
             out.push(GameAction::ToClient(
                 batch.receiver,
                 GameToClient::UpdateBatch { updates: items },

@@ -81,6 +81,7 @@
 pub mod analysis;
 pub mod baseline;
 pub mod codec;
+pub mod codec_v2;
 mod config;
 mod coordinator;
 mod gameserver;
@@ -90,7 +91,7 @@ mod packet;
 mod pool;
 mod server;
 
-pub use config::{CoordinatorConfig, GameServerConfig, MatrixConfig};
+pub use config::{CoordinatorConfig, GameServerConfig, MatrixConfig, WireCodec};
 pub use coordinator::{CoordAction, CoordLog, Coordinator, CoordinatorStats};
 pub use gameserver::{GameAction, GameServerNode, GameStats};
 pub use load::{Cooldown, LoadTracker};

@@ -84,11 +84,15 @@ pub struct UpdateItem {
 }
 
 impl UpdateItem {
-    /// Per-item overhead on the wire beyond the payload itself
-    /// (coordinates + length + entity tag), used for bandwidth
-    /// accounting. The ring tier rides in two spare bits of the entity
-    /// tag's header byte, so it costs no extra wire bytes.
-    pub const WIRE_BYTES: usize = 24;
+    /// Per-item overhead on the wire beyond the payload itself, used
+    /// for bandwidth accounting: full 8-byte coordinates (2×f64), a
+    /// 2-byte length and a 4-byte entity tag (a header byte plus a
+    /// 3-byte id) — exactly what the v2 binary codec emits for a
+    /// canonical keyframe (`matrix_core::codec_v2`; the wire-bytes
+    /// audit pins the equality). The ring tier rides in two spare bits
+    /// of the entity tag's header byte, so it costs no extra wire
+    /// bytes.
+    pub const WIRE_BYTES: usize = 22;
 
     /// Extra wire cost of a velocity-carrying item: two 3-byte signed
     /// fixed-point components on the same 1/256 lattice as delta
@@ -141,14 +145,15 @@ impl DeltaItem {
         self.vx != 0.0 || self.vy != 0.0
     }
     /// Per-item overhead on the wire beyond the payload, used for
-    /// bandwidth accounting. The compact binary framing this models
-    /// carries two 3-byte signed fixed-point offsets, a 2-byte length
-    /// and a 4-byte entity tag instead of the keyframe's full
-    /// coordinates — attainable because the encoder only emits deltas
-    /// that are exact multiples of the 1/256 wire quantum within the
-    /// ±4096 threshold (21 bits per axis); anything else ships as an
-    /// absolute keyframe. The ring tier rides in two spare bits of the
-    /// entity tag's header byte, so it costs no extra wire bytes.
+    /// bandwidth accounting. The v2 binary framing
+    /// (`matrix_core::codec_v2`) carries two 3-byte signed fixed-point
+    /// offsets, a 2-byte length and a 4-byte entity tag (a header byte
+    /// plus a 3-byte id) instead of the keyframe's full coordinates —
+    /// attainable because the encoder only emits deltas that are exact
+    /// multiples of the 1/256 wire quantum within the ±4096 threshold
+    /// (21 bits per axis); anything else ships as an absolute keyframe.
+    /// The ring tier rides in two spare bits of the entity tag's header
+    /// byte, so it costs no extra wire bytes.
     pub const WIRE_BYTES: usize = 12;
 }
 

@@ -23,6 +23,7 @@
 //! working end to end under the full protocol.
 
 use crate::harness::{Cluster, ClusterConfig, ClusterReport};
+use matrix_core::WireCodec;
 use matrix_games::{GameSpec, Placement, PopulationEvent, WorkloadSchedule};
 use matrix_metrics::Table;
 use matrix_sim::SimTime;
@@ -42,7 +43,7 @@ pub struct DenseCrowdRow {
 ///
 /// Adaptation is disabled (one static server) so the crowd cannot be
 /// split away — the interest layer has to absorb the full fan-out.
-pub fn config(spec: GameSpec, seed: u64) -> ClusterConfig {
+pub fn config(spec: GameSpec, seed: u64, codec: WireCodec) -> ClusterConfig {
     let mut cfg = ClusterConfig::static_partition(spec, 1);
     cfg.seed = seed;
     // The point of the experiment is delivered batches, not queue drops:
@@ -51,12 +52,21 @@ pub fn config(spec: GameSpec, seed: u64) -> ClusterConfig {
     // to end.
     cfg.queue_capacity = None;
     cfg.game.emit_updates = true;
+    // The bytes columns are measured on whichever wire codec is active
+    // (v2 binary frames by default; `--codec json` re-measures on v1).
+    cfg.game.codec = codec;
     cfg
 }
 
 /// Runs the dense-crowd scenario for one crowd size and per-client
 /// downlink budget (`0` = keep the game preset's own budget).
-pub fn run_one(spec: &GameSpec, clients: u32, budget_bytes: u32, seed: u64) -> DenseCrowdRow {
+pub fn run_one(
+    spec: &GameSpec,
+    clients: u32,
+    budget_bytes: u32,
+    seed: u64,
+    codec: WireCodec,
+) -> DenseCrowdRow {
     let mut spec = spec.clone();
     // Keep event volume tractable while still dense: moderate update rate.
     spec.update_rate_hz = spec.update_rate_hz.min(2.0);
@@ -74,7 +84,7 @@ pub fn run_one(spec: &GameSpec, clients: u32, budget_bytes: u32, seed: u64) -> D
             },
         },
     );
-    let report = Cluster::new(config(spec, seed), schedule).run();
+    let report = Cluster::new(config(spec, seed, codec), schedule).run();
     DenseCrowdRow {
         clients,
         budget_bytes,
@@ -85,14 +95,14 @@ pub fn run_one(spec: &GameSpec, clients: u32, budget_bytes: u32, seed: u64) -> D
 /// Runs the scenario across crowd sizes (2k+ exercises the acceptance
 /// target), plus a tight-downlink variant of the largest crowd showing
 /// the rate limiter degrading gracefully.
-pub fn run(seed: u64) -> Vec<DenseCrowdRow> {
+pub fn run(seed: u64, codec: WireCodec) -> Vec<DenseCrowdRow> {
     let spec = GameSpec::bzflag();
     let mut rows: Vec<DenseCrowdRow> = [500, 1000, 2000]
         .into_iter()
-        .map(|n| run_one(&spec, n, 0, seed))
+        .map(|n| run_one(&spec, n, 0, seed, codec))
         .collect();
     // Same 2000-client crowd on a 2 KiB-per-flush client downlink.
-    rows.push(run_one(&spec, 2000, 2048, seed));
+    rows.push(run_one(&spec, 2000, 2048, seed, codec));
     rows
 }
 
@@ -161,7 +171,7 @@ mod tests {
     #[test]
     fn dense_crowd_delivers_batched_updates_end_to_end() {
         let spec = GameSpec::bzflag();
-        let row = run_one(&spec, 300, 0, 7);
+        let row = run_one(&spec, 300, 0, 7, WireCodec::BinaryV2);
         let r = &row.report;
         assert!(r.update_batches_delivered > 0, "batches must reach clients");
         assert!(r.batched_updates_delivered >= r.update_batches_delivered);
@@ -179,8 +189,12 @@ mod tests {
     #[test]
     fn bigger_crowds_fan_out_more() {
         let spec = GameSpec::bzflag();
-        let small = run_one(&spec, 100, 0, 11).report.updates_fanned;
-        let large = run_one(&spec, 400, 0, 11).report.updates_fanned;
+        let small = run_one(&spec, 100, 0, 11, WireCodec::BinaryV2)
+            .report
+            .updates_fanned;
+        let large = run_one(&spec, 400, 0, 11, WireCodec::BinaryV2)
+            .report
+            .updates_fanned;
         assert!(
             large > 4 * small,
             "fan-out grows superlinearly with crowd density: {small} -> {large}"
@@ -190,8 +204,8 @@ mod tests {
     #[test]
     fn tight_downlink_budget_rate_limits_instead_of_queueing() {
         let spec = GameSpec::bzflag();
-        let free = run_one(&spec, 300, 0, 13).report;
-        let tight = run_one(&spec, 300, 512, 13).report;
+        let free = run_one(&spec, 300, 0, 13, WireCodec::BinaryV2).report;
+        let tight = run_one(&spec, 300, 512, 13, WireCodec::BinaryV2).report;
         assert!(
             tight.updates_rate_limited > free.updates_rate_limited,
             "a 512-byte downlink must defer updates: {} vs {}",

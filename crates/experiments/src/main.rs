@@ -11,7 +11,7 @@ use std::io::Write;
 const HELP: &str = "\
 matrix-experiments — regenerate the Matrix paper's evaluation
 
-USAGE: matrix-experiments [--seed N] [--smoke] <command>
+USAGE: matrix-experiments [--seed N] [--smoke] [--codec binary|json] <command>
 
 COMMANDS:
   fig2                 E1/E2: Figure 2a (clients/server) + 2b (queue length)
@@ -31,12 +31,17 @@ COMMANDS:
   ablation-split       A1: split-strategy ablation
   ablation-hysteresis  A2: oscillation-prevention ablation
   all                  run everything in order
+
+`--codec` picks the wire codec the byte columns of E12/E14/E15 are
+measured on (v2 binary frames by default; `json` re-measures on the v1
+JSON codec). The verdicts must hold on either.
 ";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 42u64;
     let mut smoke = false;
+    let mut codec = matrix_core::WireCodec::BinaryV2;
     let mut command = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -48,6 +53,13 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
             "--smoke" => smoke = true,
+            "--codec" => {
+                codec = match it.next().map(|s| s.as_str()) {
+                    Some("binary") => matrix_core::WireCodec::BinaryV2,
+                    Some("json") => matrix_core::WireCodec::Json,
+                    _ => die("--codec needs 'binary' or 'json'"),
+                };
+            }
             "--help" | "-h" => {
                 println!("{HELP}");
                 return;
@@ -70,10 +82,10 @@ fn main() {
         "userstudy" => run_userstudy(seed),
         "scale" => run_scale(),
         "sweep" => run_sweep(seed),
-        "dense" => run_dense(seed),
+        "dense" => run_dense(seed, codec),
         "failover" => run_failover(seed, smoke),
-        "rings" => run_rings(seed, smoke),
-        "predict" => run_predict(seed, smoke),
+        "rings" => run_rings(seed, smoke, codec),
+        "predict" => run_predict(seed, smoke, codec),
         "ablation-split" => run_ablation_split(seed),
         "ablation-hysteresis" => run_ablation_hysteresis(seed),
         "all" => {
@@ -85,10 +97,10 @@ fn main() {
             run_userstudy(seed);
             run_scale();
             run_sweep(seed);
-            run_dense(seed);
+            run_dense(seed, codec);
             run_failover(seed, false);
-            run_rings(seed, false);
-            run_predict(seed, false);
+            run_rings(seed, false, codec);
+            run_predict(seed, false, codec);
             run_ablation_split(seed);
             run_ablation_hysteresis(seed);
         }
@@ -182,8 +194,8 @@ fn run_sweep(seed: u64) {
     save("sweep.csv", &table.to_csv());
 }
 
-fn run_dense(seed: u64) {
-    let rows = densecrowd::run(seed);
+fn run_dense(seed: u64, codec: matrix_core::WireCodec) {
+    let rows = densecrowd::run(seed, codec);
     let table = densecrowd::table(&rows);
     println!("{}", table.render());
     save("densecrowd.csv", &table.to_csv());
@@ -205,13 +217,13 @@ fn run_failover(seed: u64, smoke: bool) {
     save("failover.csv", &failover::to_csv(&rows));
 }
 
-fn run_rings(seed: u64, smoke: bool) {
+fn run_rings(seed: u64, smoke: bool, codec: matrix_core::WireCodec) {
     let scale = if smoke {
         rings::Scale::smoke()
     } else {
         rings::Scale::full()
     };
-    let rows = rings::run(seed, scale);
+    let rows = rings::run(seed, scale, codec);
     println!("{}", rings::table(&rows).render());
     match rings::verdict(&rows) {
         Ok(line) => println!("{line}"),
@@ -220,13 +232,13 @@ fn run_rings(seed: u64, smoke: bool) {
     save("rings.csv", &rings::to_csv(&rows));
 }
 
-fn run_predict(seed: u64, smoke: bool) {
+fn run_predict(seed: u64, smoke: bool, codec: matrix_core::WireCodec) {
     let scale = if smoke {
         predict::Scale::smoke()
     } else {
         predict::Scale::full()
     };
-    let rows = predict::run(seed, scale);
+    let rows = predict::run(seed, scale, codec);
     println!("{}", predict::table(&rows).render());
     match predict::verdict(&rows, &matrix_games::GameSpec::racer()) {
         Ok(line) => println!("{line}"),

@@ -265,6 +265,29 @@ impl GameSpec {
         self
     }
 
+    /// The recommended wire lattice for dead-reckoning velocities:
+    /// the largest power of two at or below ~1.5% of the game's
+    /// nominal movement speed (floored at the default origin lattice,
+    /// `1/256`). Relative precision is what matters — a racer at
+    /// 120 u/s is served by a 1 u/s lattice exactly as a walker at
+    /// 1.5 u/s is by 1/64 — and the coarser the lattice, the shorter
+    /// the velocity tag prints on the JSON codec. The quantization
+    /// drift this admits (`q/√2` per second) stays a small fraction of
+    /// [`GameSpec::recommended_error_budgets`] over any realistic
+    /// basis lifetime, and the sender's receiver model admits the
+    /// snapped value, so the per-ring budgets remain hard bounds
+    /// regardless.
+    pub fn velocity_quantum(&self) -> f64 {
+        let target: f64 = self.move_speed / 64.0;
+        let floor = 1.0 / 256.0;
+        if !target.is_finite() || target <= floor {
+            return floor;
+        }
+        // Largest power of two ≤ target: exact in f64 for any
+        // representable magnitude.
+        f64::powi(2.0, target.log2().floor() as i32).max(floor)
+    }
+
     /// The recommended per-ring error budgets for this game's ring
     /// tiers: 0 for the near ring (every event), and 5% of each outer
     /// ring's radius beyond it — an error far below what that ring's

@@ -107,6 +107,16 @@ pub struct PredictorConfig {
     /// Sliding-window length of the per-entity velocity estimator
     /// (observations; clamped to ≥ 2).
     pub motion_window: u32,
+    /// Fixed-point lattice shipped velocities are snapped to, in world
+    /// units per second (`0.0` = fall back to the origin lattice).
+    /// Velocities tolerate a much coarser lattice than origins: a
+    /// quantization error of `q/2` per axis drifts the receiver by at
+    /// most `q/√2 · t` over a basis lifetime `t`, far inside any usable
+    /// ring budget — while every halving of the resolution shortens the
+    /// tag on the text codec. Keep it a power-of-two multiple of the
+    /// origin quantum so the binary codec's fixed-point field carries
+    /// the snapped value exactly.
+    pub velocity_quantum: f64,
 }
 
 impl Default for PredictorConfig {
@@ -115,6 +125,7 @@ impl Default for PredictorConfig {
             enabled: false,
             error_budgets: [0.0; MAX_RINGS],
             motion_window: 4,
+            velocity_quantum: 0.125,
         }
     }
 }
@@ -154,8 +165,9 @@ pub struct PipelineConfig {
     /// Delta keyframe interval (stage 4; `0` = absolute-only).
     pub keyframe_every: u32,
     /// Fixed-point lattice the delta encoder verifies offsets against
-    /// (`0.0` = no lattice requirement). Shipped velocities are snapped
-    /// to the same lattice.
+    /// (`0.0` = no lattice requirement). Shipped velocities snap to
+    /// their own, coarser lattice —
+    /// [`PredictorConfig::velocity_quantum`].
     pub origin_quantum: f64,
     /// Grid resolution auto-tuning (stage 1's knob).
     pub autotune: AutoTunerConfig,
@@ -236,7 +248,7 @@ pub struct DisseminationPipeline<K: Ord + Copy + Eq + Hash, U> {
     tuner: AutoTuner,
     predict: PredictorConfig,
     position_only_ring: u8,
-    quantum: f64,
+    vel_quantum: f64,
     motion: MotionModel,
     predicted: PredictedStream<K>,
     spans: StageSpans,
@@ -266,7 +278,11 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
             tuner: AutoTuner::new(cfg.autotune, cells),
             predict: cfg.predict,
             position_only_ring: cfg.position_only_ring,
-            quantum: cfg.origin_quantum,
+            vel_quantum: if cfg.predict.velocity_quantum > 0.0 {
+                cfg.predict.velocity_quantum
+            } else {
+                cfg.origin_quantum
+            },
             motion: MotionModel::new(cfg.predict.motion_window),
             predicted: PredictedStream::new(),
             spans: StageSpans::new(cfg.telemetry),
@@ -400,9 +416,10 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
         let vel = if predicting {
             // The model observes every event — suppressed or not — so
             // the velocity estimate tracks the true trajectory. The
-            // shipped velocity sits on the wire lattice like origins do.
+            // shipped velocity sits on its own (coarser) wire lattice;
+            // see [`PredictorConfig::velocity_quantum`].
             self.motion.observe(entity, wire_origin, now_secs);
-            quantize_velocity(self.motion.velocity(entity), self.quantum)
+            quantize_velocity(self.motion.velocity(entity), self.vel_quantum)
         } else {
             (0.0, 0.0)
         };

@@ -590,3 +590,249 @@ async fn stats_endpoint_is_empty_with_telemetry_off() {
     );
     cluster.shutdown().await;
 }
+
+#[tokio::test]
+async fn gateway_negotiates_the_binary_protocol_by_default() {
+    // A default gateway answers the client's binary Hello, so the whole
+    // session — join, ack, updates — runs over wire protocol v2.
+    let cluster = RtCluster::start(RtConfig::default()).await;
+    let addr = wire::spawn_gateway(
+        "127.0.0.1:0",
+        cluster.router().clone(),
+        cluster.bootstrap_id(),
+    )
+    .await
+    .expect("bind gateway");
+
+    let mut remote = wire::TcpGameClient::connect(addr).await.expect("connect");
+    assert_eq!(
+        remote.codec(),
+        matrix_core::WireCodec::BinaryV2,
+        "a v2 gateway answers Hello, pinning the session to binary"
+    );
+    remote
+        .send(&ClientToGame::Join {
+            pos: Point::new(60.0, 60.0),
+            state_bytes: 64,
+        })
+        .await
+        .expect("send join");
+    let msg = tokio::time::timeout(Duration::from_secs(2), remote.recv())
+        .await
+        .expect("join reply")
+        .expect("valid frame");
+    assert!(matches!(msg, GameToClient::Joined { .. }), "{msg:?}");
+    cluster.shutdown().await;
+}
+
+#[tokio::test]
+async fn client_falls_back_to_json_against_a_legacy_gateway() {
+    // accept_binary = false simulates a v1-only gateway: it drops the
+    // binary opener exactly as a JSON line parser would. The client's
+    // negotiation must survive the hangup and reconnect speaking v1 —
+    // and the session must still work end to end.
+    let cluster = RtCluster::start(RtConfig::default()).await;
+    let addr = wire::spawn_gateway_with(
+        "127.0.0.1:0",
+        cluster.router().clone(),
+        cluster.bootstrap_id(),
+        wire::GatewayOptions {
+            accept_binary: false,
+            frame_crc: false,
+        },
+    )
+    .await
+    .expect("bind gateway");
+
+    let mut remote = wire::TcpGameClient::connect(addr).await.expect("connect");
+    assert_eq!(
+        remote.codec(),
+        matrix_core::WireCodec::Json,
+        "the legacy gateway hangs up on Hello; the client falls back"
+    );
+    remote
+        .send(&ClientToGame::Join {
+            pos: Point::new(60.0, 60.0),
+            state_bytes: 64,
+        })
+        .await
+        .expect("send join");
+    let msg = tokio::time::timeout(Duration::from_secs(2), remote.recv())
+        .await
+        .expect("join reply")
+        .expect("valid frame");
+    assert!(matches!(msg, GameToClient::Joined { .. }), "{msg:?}");
+    cluster.shutdown().await;
+}
+
+#[tokio::test]
+async fn mixed_codec_clients_share_one_gateway() {
+    // One gateway, one binary client and one JSON-pinned client, both
+    // observing the same in-process actor: codec choice is strictly
+    // per-connection, not per-gateway.
+    let cluster = RtCluster::start(RtConfig::default()).await;
+    let addr = wire::spawn_gateway(
+        "127.0.0.1:0",
+        cluster.router().clone(),
+        cluster.bootstrap_id(),
+    )
+    .await
+    .expect("bind gateway");
+
+    let mut binary = wire::TcpGameClient::connect(addr)
+        .await
+        .expect("connect v2");
+    let mut json = wire::TcpGameClient::connect_with(addr, matrix_core::WireCodec::Json)
+        .await
+        .expect("connect v1");
+    assert_eq!(binary.codec(), matrix_core::WireCodec::BinaryV2);
+    assert_eq!(json.codec(), matrix_core::WireCodec::Json);
+
+    for remote in [&mut binary, &mut json] {
+        remote
+            .send(&ClientToGame::Join {
+                pos: Point::new(100.0, 100.0),
+                state_bytes: 64,
+            })
+            .await
+            .expect("send join");
+        let msg = tokio::time::timeout(Duration::from_secs(2), remote.recv())
+            .await
+            .expect("join reply")
+            .expect("valid frame");
+        assert!(matches!(msg, GameToClient::Joined { .. }), "{msg:?}");
+    }
+
+    // An actor both observe; each codec must deliver the same batch.
+    let mut alice = cluster.client(Point::new(110.0, 100.0));
+    let _ = tokio::time::timeout(Duration::from_secs(2), alice.recv())
+        .await
+        .unwrap();
+    alice.action(64);
+    for (remote, codec) in [(&mut binary, "binary"), (&mut json, "json")] {
+        let deadline = std::time::Instant::now() + Duration::from_secs(3);
+        let mut saw_update = false;
+        while std::time::Instant::now() < deadline {
+            match tokio::time::timeout(Duration::from_millis(500), remote.recv()).await {
+                Ok(Ok(GameToClient::UpdateBatch { .. })) => {
+                    saw_update = true;
+                    break;
+                }
+                Ok(Ok(_)) => {}
+                _ => break,
+            }
+        }
+        assert!(saw_update, "the {codec} client must see alice's action");
+    }
+    cluster.shutdown().await;
+}
+
+#[tokio::test]
+async fn replica_batches_cross_the_socket_in_binary() {
+    use matrix_core::{ReplicaPayload, ReplicaReceiver, WireCodec};
+
+    // Same primary/standby exchange as the JSON test above, but over v2
+    // binary frames with CRC trailers.
+    let listener = tokio::net::TcpListener::bind("127.0.0.1:0")
+        .await
+        .expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    let standby = tokio::spawn(async move {
+        let (stream, _) = listener.accept().await.expect("accept");
+        let mut link = wire::ReplicaStream::new_with(stream, WireCodec::BinaryV2, true);
+        let mut receiver: ReplicaReceiver<matrix_core::ClientId> = ReplicaReceiver::new();
+        for _ in 0..2 {
+            let batch = link.recv_batch().await.expect("batch");
+            let ack = receiver.apply(batch);
+            link.send_ack(ack.seq, ack.resync).await.expect("ack");
+        }
+        receiver
+    });
+
+    let mut link = wire::ReplicaStream::connect_with(addr, WireCodec::BinaryV2, true)
+        .await
+        .expect("connect");
+    let mut snapshot = matrix_core::RegionSnapshot {
+        range: Some(matrix_geometry::Rect::from_coords(0.0, 0.0, 800.0, 800.0)),
+        radius: 100.0,
+        ready: true,
+        ..matrix_core::RegionSnapshot::default()
+    };
+    snapshot.clients.insert(
+        matrix_core::ClientId(7),
+        matrix_core::SessionState {
+            pos: Point::new(10.0, 20.0),
+            state_bytes: 512,
+        },
+    );
+    link.send_batch(&matrix_core::ReplicaBatch {
+        seq: 1,
+        payload: ReplicaPayload::Full(snapshot),
+    })
+    .await
+    .expect("send snapshot");
+    assert_eq!(link.recv_ack().await.expect("ack"), (1, false));
+
+    link.send_batch(&matrix_core::ReplicaBatch {
+        seq: 2,
+        payload: ReplicaPayload::Ops(vec![matrix_core::ReplicaOp::Move {
+            client: matrix_core::ClientId(7),
+            pos: Point::new(11.0, 20.0),
+        }]),
+    })
+    .await
+    .expect("send ops");
+    assert_eq!(link.recv_ack().await.expect("ack"), (2, false));
+
+    let receiver = standby.await.expect("standby task");
+    let snap = receiver.snapshot().expect("warm");
+    assert_eq!(
+        snap.clients[&matrix_core::ClientId(7)].pos,
+        Point::new(11.0, 20.0),
+        "the op applied on the far side of the binary socket"
+    );
+}
+
+#[tokio::test]
+async fn stats_endpoint_answers_binary_queries() {
+    // The stats endpoint sniffs like the gateway: the same snapshots
+    // come back whether the query is a v1 JSON line or a v2 frame.
+    let mut cfg = fast_config();
+    cfg.game.telemetry = true;
+    let cluster = RtCluster::start(cfg).await;
+    let addr = cluster.serve_stats("127.0.0.1:0").await.expect("bind");
+    let mut alice = cluster.client(Point::new(100.0, 100.0));
+    let _ = tokio::time::timeout(Duration::from_secs(2), alice.recv())
+        .await
+        .unwrap();
+
+    let v2 = tokio::time::timeout(
+        Duration::from_secs(2),
+        wire::TcpStatsClient::fetch_json_v2(addr),
+    )
+    .await
+    .expect("binary stats reply within deadline")
+    .expect("decoded stats frame");
+    let v1 = tokio::time::timeout(
+        Duration::from_secs(2),
+        wire::TcpStatsClient::fetch_json(addr),
+    )
+    .await
+    .expect("json stats reply within deadline")
+    .expect("decoded stats reply");
+    assert_eq!(
+        v2.len(),
+        v1.len(),
+        "both codecs expose the same set of nodes"
+    );
+    let joins = |nodes: &[(matrix_geometry::ServerId, matrix_core::TelemetrySnapshot)]| {
+        nodes
+            .iter()
+            .map(|(_, s)| s.get_counter("joins").unwrap_or(0))
+            .sum::<u64>()
+    };
+    assert!(joins(&v2) >= 1, "the join is visible through the v2 query");
+    assert_eq!(joins(&v2), joins(&v1));
+    cluster.shutdown().await;
+}

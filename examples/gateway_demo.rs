@@ -1,9 +1,12 @@
 //! TCP gateway demo: expose an in-process Matrix cluster on a real
-//! socket and serve remote game clients speaking newline-delimited JSON.
+//! socket and serve remote game clients speaking either wire protocol
+//! v2 (length-prefixed binary frames, `docs/WIRE.md`) or v1
+//! newline-delimited JSON — sniffed per connection.
 //!
 //! ```sh
 //! cargo run --release --example gateway_demo            # random port
 //! cargo run --release --example gateway_demo -- 4177    # fixed port
+//! cargo run --release --example gateway_demo -- --codec json   # v1-only
 //! ```
 //!
 //! Then, from any language, e.g.:
@@ -39,6 +42,7 @@
 //! ...
 //! ```
 
+use matrix_middleware::core::WireCodec;
 use matrix_middleware::rt::{wire, RtCluster, RtConfig};
 use matrix_middleware::sim::SimDuration;
 use std::time::Duration;
@@ -48,15 +52,29 @@ async fn main() {
     let mut port: u16 = 0;
     let mut predict = false;
     let mut telemetry = false;
-    for arg in std::env::args().skip(1) {
+    let mut codec = WireCodec::BinaryV2;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--predict" => predict = true,
             "--telemetry" => telemetry = true,
-            p => port = p.parse().expect("args: [port] [--predict] [--telemetry]"),
+            "--codec" => {
+                codec = match args.next().as_deref() {
+                    Some("binary") => WireCodec::BinaryV2,
+                    Some("json") => WireCodec::Json,
+                    other => panic!("--codec binary|json, got {other:?}"),
+                }
+            }
+            p => {
+                port = p
+                    .parse()
+                    .expect("args: [port] [--predict] [--telemetry] [--codec binary|json]")
+            }
         }
     }
     let mut cfg = RtConfig::default();
     cfg.game.telemetry = telemetry;
+    cfg.game.codec = codec;
     if predict {
         cfg.game.batch_interval = SimDuration::from_millis(0);
         cfg.game.predict = true;
@@ -64,16 +82,26 @@ async fn main() {
         cfg.game.set_error_budgets(&[0.0, 5.0]);
         println!("dead reckoning ON: rings 30/150, outer error budget 5.0");
     }
+    let opts = wire::GatewayOptions::from_config(&cfg.game);
     let cluster = RtCluster::start(cfg).await;
-    let addr = wire::spawn_gateway(
+    let addr = wire::spawn_gateway_with(
         ("127.0.0.1", port),
         cluster.router().clone(),
         cluster.bootstrap_id(),
+        opts,
     )
     .await
     .expect("bind gateway");
     println!("gateway listening on {addr}");
-    println!("speak JSON lines, e.g.: {{\"t\":\"join\",\"x\":100.0,\"y\":100.0,\"state\":64}}");
+    match codec {
+        WireCodec::BinaryV2 => println!(
+            "binary v2 accepted (open with a Hello frame); JSON lines also work, \
+             e.g.: {{\"t\":\"join\",\"x\":100.0,\"y\":100.0,\"state\":64}}"
+        ),
+        WireCodec::Json => {
+            println!("v1 JSON only, e.g.: {{\"t\":\"join\",\"x\":100.0,\"y\":100.0,\"state\":64}}")
+        }
+    }
     if telemetry {
         let stats = cluster
             .serve_stats(("127.0.0.1", 0))

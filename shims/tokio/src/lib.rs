@@ -760,6 +760,62 @@ pub mod io {
         }
     }
 
+    /// Raw byte-chunk stream over a reader (see
+    /// [`AsyncChunkReadExt::into_chunks`]). Chunk boundaries are
+    /// arbitrary — whatever one socket read returned — so consumers
+    /// must delimit their own frames (length prefixes, magic bytes).
+    #[derive(Debug)]
+    pub struct Chunks {
+        rx: mpsc::UnboundedReceiver<io::Result<Vec<u8>>>,
+    }
+
+    impl Chunks {
+        /// The next chunk of received bytes; `Ok(None)` at EOF.
+        pub async fn next_chunk(&mut self) -> io::Result<Option<Vec<u8>>> {
+            match self.rx.recv().await {
+                Some(Ok(chunk)) => Ok(Some(chunk)),
+                Some(Err(e)) => Err(e),
+                None => Ok(None),
+            }
+        }
+    }
+
+    /// Byte-chunk streaming for framing-agnostic protocols (the binary
+    /// wire codec delimits its own frames), mirroring the [`Lines`]
+    /// pump-thread pattern.
+    pub trait AsyncChunkReadExt {
+        /// Converts the reader into a chunk stream.
+        fn into_chunks(self) -> Chunks;
+    }
+
+    impl AsyncChunkReadExt for OwnedReadHalf {
+        fn into_chunks(self) -> Chunks {
+            let (tx, rx) = mpsc::unbounded_channel();
+            let mut stream = self.0;
+            std::thread::Builder::new()
+                .name("tokio-shim-chunk-reader".into())
+                .spawn(move || {
+                    let mut buf = [0u8; 16 * 1024];
+                    loop {
+                        match io::Read::read(&mut stream, &mut buf) {
+                            Ok(0) => break,
+                            Ok(n) => {
+                                if tx.send(Ok(buf[..n].to_vec())).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(e) => {
+                                let _ = tx.send(Err(e));
+                                break;
+                            }
+                        }
+                    }
+                })
+                .expect("failed to spawn chunk-reader thread");
+            Chunks { rx }
+        }
+    }
+
     /// Subset of tokio's `AsyncWriteExt`: whole-buffer writes.
     pub trait AsyncWriteExt {
         /// Writes the entire buffer (performed eagerly; the returned
