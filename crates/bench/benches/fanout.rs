@@ -42,13 +42,24 @@
 //! coarsens a sparse grid, cutting empty-cell walks ~1.7×), converging
 //! with the static resolution once the crowd justifies 32+ cells
 //! (735 → 674 at 2000, parity at 8000).
+//!
+//! PR 9 appends the **flush-workers scaling gate**: the sharded flush
+//! engine's throughput at 1/2/4/8 workers on a dense hotspot crowd,
+//! with a CI floor of ≥2.5× at 4 workers on hosts that have ≥ 4 cores
+//! (bounded-overhead fallback below that), plus a free byte-identity
+//! check that every worker count flushes the same item count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use matrix_core::UpdateItem;
 use matrix_geometry::{Metric, Point, Rect};
-use matrix_interest::{AutoTunerConfig, InterestGrid};
+use matrix_interest::{
+    AutoTunerConfig, DisseminationPipeline, FlushPolicy, InterestGrid, PipelineConfig,
+    PredictorConfig, RingSet,
+};
 use matrix_sim::SimRng;
 use std::collections::BTreeMap;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 const WORLD: f64 = 800.0;
 /// The per-client AOI (vision) radius queried on fan-out. Narrower than
@@ -217,5 +228,176 @@ fn bench_fanout(c: &mut Criterion) {
     }
 }
 
+// --- flush-workers scaling gate (ISSUE 9) --------------------------------
+//
+// The sharded flush engine claims near-linear multi-core scaling of the
+// per-receiver stages (policy ranking + delta encoding). This section
+// measures flush throughput on a dense hotspot crowd at 1/2/4/8 workers
+// and **exits non-zero** when 4 workers deliver less than 2.5× the
+// single-worker throughput — but only on hosts that actually have ≥ 4
+// cores. On smaller hosts the speedup is physically unobservable, so
+// the gate degrades to a bounded-overhead check: sharding plus real
+// threads must not cost more than `OVERHEAD_CEIL`× sequential time.
+// Either way the byte-identity invariant is asserted for free: every
+// worker count must flush the exact same item count.
+
+/// Dense-crowd population for the scaling rows.
+const FLUSH_CLIENTS: usize = 2000;
+/// Events disseminated (untimed) between timed flushes.
+const EVENTS_PER_CYCLE: usize = 256;
+/// Timed flush cycles per round.
+const CYCLES: usize = 24;
+/// Min-of-N rounds per worker count (noise filter).
+const SCALE_ROUNDS: usize = 4;
+/// The CI floor: 4-worker flush throughput ≥ 2.5× single-worker.
+const SCALE_FLOOR_AT_4: f64 = 2.5;
+/// Fallback ceiling on hosts with < 4 cores: parallel flush at 4
+/// workers may not take more than 3× the sequential wall time (thread
+/// spawn/join overhead bounded, no pathological contention).
+const OVERHEAD_CEIL: f64 = 3.0;
+
+/// One round: disseminate a burst (untimed, stages 1–3 are sequential
+/// by design), then time `flush` — the sharded stages 4–5. Returns the
+/// accumulated flush wall time and the total items flushed.
+fn run_flush_round(workers: u32, positions: &[Point]) -> (Duration, u64) {
+    let rings = RingSet::from_tiers(&[40.0, 80.0, 150.0], &[1, 2, 4]);
+    let cfg = PipelineConfig {
+        metric: Metric::Euclidean,
+        policy: FlushPolicy {
+            max_items: 32,
+            ..FlushPolicy::unlimited()
+        },
+        keyframe_every: 8,
+        origin_quantum: 0.0,
+        autotune: AutoTunerConfig::default(),
+        predict: PredictorConfig::default(),
+        position_only_ring: 2,
+        telemetry: false,
+    };
+    let mut p: DisseminationPipeline<u64, UpdateItem> =
+        DisseminationPipeline::new(world(), CELLS_PER_AXIS, rings, cfg).with_shards(workers);
+    p.set_parallel_flush(workers > 1);
+    for (k, pos) in positions.iter().enumerate() {
+        p.subscribe(k as u64, *pos);
+    }
+    let mut flush_time = Duration::ZERO;
+    let mut items = 0u64;
+    let mut now = 0.0f64;
+    for cycle in 0..CYCLES {
+        for e in 0..EVENTS_PER_CYCLE {
+            let k = (cycle * EVENTS_PER_CYCLE + e * 7) % FLUSH_CLIENTS;
+            let origin = positions[k];
+            p.disseminate(
+                origin,
+                origin,
+                k as u64,
+                now,
+                true,
+                Some(k as u64),
+                true,
+                |ring, (vx, vy)| UpdateItem {
+                    origin,
+                    payload_bytes: 24,
+                    entity: k as u64,
+                    ring,
+                    vx,
+                    vy,
+                },
+            );
+            now += 0.001;
+        }
+        let t0 = Instant::now();
+        let outcome = p.flush(|k: u64| Some(positions[k as usize]));
+        flush_time += t0.elapsed();
+        items += outcome
+            .batches
+            .iter()
+            .map(|b| b.items.len() as u64)
+            .sum::<u64>();
+        black_box(&outcome);
+    }
+    (flush_time, items)
+}
+
+fn flush_scaling_gate() {
+    let mut rng = SimRng::seed_from_u64(0xF1005);
+    let positions = hotspot_positions(FLUSH_CLIENTS, &mut rng);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("flush-workers scaling: dense crowd, {FLUSH_CLIENTS} clients, {cores} core(s)");
+
+    let mut best: BTreeMap<u32, Duration> = BTreeMap::new();
+    let mut flushed: BTreeMap<u32, u64> = BTreeMap::new();
+    for _ in 0..SCALE_ROUNDS {
+        for &w in &[1u32, 2, 4, 8] {
+            let (t, items) = run_flush_round(w, &positions);
+            let slot = best.entry(w).or_insert(Duration::MAX);
+            *slot = (*slot).min(t);
+            if let Some(prev) = flushed.insert(w, items) {
+                assert_eq!(prev, items, "flush output drifted between rounds");
+            }
+        }
+    }
+    // Byte-identity side check: any worker count flushes the same items.
+    let base_items = flushed[&1];
+    for (&w, &items) in &flushed {
+        assert_eq!(
+            items, base_items,
+            "{w} workers flushed {items} items, sequential flushed {base_items}"
+        );
+    }
+
+    let t1 = best[&1].as_secs_f64();
+    for (&w, t) in &best {
+        let secs = t.as_secs_f64();
+        println!(
+            "  workers {w}: flush {:>8.3} ms   {:>12.0} items/s   {:.2}x vs 1",
+            secs * 1e3,
+            base_items as f64 / secs,
+            t1 / secs
+        );
+    }
+    let speedup4 = t1 / best[&4].as_secs_f64();
+    if cores >= 4 {
+        if speedup4 < SCALE_FLOOR_AT_4 {
+            matrix_core::emit_diag(
+                "bench",
+                "flush_scaling_floor_missed",
+                &[
+                    ("speedup_at_4", &format!("{speedup4:.3}")),
+                    ("floor", &format!("{SCALE_FLOOR_AT_4:.1}")),
+                ],
+            );
+            std::process::exit(1);
+        }
+        println!("flush scaling at 4 workers: {speedup4:.2}x >= {SCALE_FLOOR_AT_4:.1}x floor");
+    } else {
+        println!(
+            "flush scaling floor skipped: {cores} core(s) < 4 — \
+             checking bounded overhead instead"
+        );
+        let ratio = best[&4].as_secs_f64() / t1;
+        if ratio > OVERHEAD_CEIL {
+            matrix_core::emit_diag(
+                "bench",
+                "flush_parallel_overhead_exceeded",
+                &[
+                    ("ratio", &format!("{ratio:.3}")),
+                    ("ceil", &format!("{OVERHEAD_CEIL:.1}")),
+                ],
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "parallel flush overhead at 4 workers: {ratio:.2}x <= {OVERHEAD_CEIL:.1}x ceiling"
+        );
+    }
+}
+
 criterion_group!(benches, bench_fanout);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    flush_scaling_gate();
+}

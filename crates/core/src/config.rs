@@ -251,6 +251,15 @@ pub struct GameServerConfig {
     /// the stream resynchronizes at the next magic boundary. Ignored by
     /// the JSON codec.
     pub frame_crc: bool,
+    /// Number of shards the dissemination flush is partitioned into
+    /// (clamped to ≥ 1). Per-client send-path state (delta streams,
+    /// sampling phase, prediction mirrors, queued batches) lives in
+    /// `flush_workers` independent shards keyed by a stable client-id
+    /// hash; under the async runtime each shard flushes on its own
+    /// worker thread. The flush output is byte-identical for any value
+    /// — this is purely a throughput knob. `1` (the default) is the
+    /// sequential single-shard path.
+    pub flush_workers: u32,
 }
 
 impl Default for GameServerConfig {
@@ -285,6 +294,7 @@ impl Default for GameServerConfig {
             telemetry_events: 256,
             codec: WireCodec::BinaryV2,
             frame_crc: true,
+            flush_workers: 1,
         }
     }
 }

@@ -132,6 +132,42 @@ pub struct GameStats {
     pub pred_error_max: f64,
 }
 
+/// The stat deltas one flush produces. Batches arrive from
+/// `flush_workers` shards (possibly real worker threads); their
+/// contributions accumulate here — plain local arithmetic, no shared
+/// counters — and merge into [`GameStats`] exactly once per flush, so
+/// the totals are independent of how many shards produced them (pinned
+/// by a unit test below).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct FlushStatsDelta {
+    batches_flushed: u64,
+    updates_batched: u64,
+    batch_bytes: u64,
+    updates_dropped: u64,
+    updates_rate_limited: u64,
+    keyframe_items: u64,
+    delta_items: u64,
+    delta_bytes_saved: u64,
+    ring_items: [u64; MAX_RINGS],
+}
+
+impl FlushStatsDelta {
+    /// Folds this flush's deltas into the node totals.
+    fn merge_into(&self, stats: &mut GameStats) {
+        stats.batches_flushed += self.batches_flushed;
+        stats.updates_batched += self.updates_batched;
+        stats.batch_bytes += self.batch_bytes;
+        stats.updates_dropped += self.updates_dropped;
+        stats.updates_rate_limited += self.updates_rate_limited;
+        stats.keyframe_items += self.keyframe_items;
+        stats.delta_items += self.delta_items;
+        stats.delta_bytes_saved += self.delta_bytes_saved;
+        for (total, d) in stats.ring_items.iter_mut().zip(self.ring_items) {
+            *total += d;
+        }
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct ClientRecord {
     pos: Point,
@@ -214,6 +250,15 @@ impl GameServerNode {
         self
     }
 
+    /// Runs flushes on one real worker thread per shard (used by the
+    /// async runtime when `flush_workers > 1`; the discrete-event
+    /// harness keeps the deterministic sequential interleaving, whose
+    /// output is byte-identical anyway).
+    pub fn with_parallel_flush(mut self) -> GameServerNode {
+        self.pipeline.set_parallel_flush(true);
+        self
+    }
+
     fn make_pipeline(
         bounds: Rect,
         cfg: &GameServerConfig,
@@ -253,6 +298,7 @@ impl GameServerNode {
                 telemetry: cfg.telemetry,
             },
         )
+        .with_shards(cfg.flush_workers)
     }
 
     /// The AOI tiers for a config: the configured concentric rings, or
@@ -364,10 +410,10 @@ impl GameServerNode {
         snap.counter("grid_retunes", self.stats.grid_retunes);
         snap.counter("promotions", self.stats.promotions);
         for stage in Stage::ALL {
-            snap.hist(
-                format!("stage_{}_us", stage.name()),
-                self.pipeline.spans().histogram(stage),
-            );
+            // Stages 1–3 time on the driver thread, stages 4–5 in the
+            // per-shard spans; `stage_histogram` is the merged view.
+            let h = self.pipeline.stage_histogram(stage);
+            snap.hist(format!("stage_{}_us", stage.name()), &h);
         }
         snap.hist("flush_us", &self.flush_hist);
         snap.events_dropped = self.recorder.dropped();
@@ -609,12 +655,19 @@ impl GameServerNode {
         let outcome = self
             .pipeline
             .flush(|cid| clients.get(&cid).map(|rec| rec.pos));
-        self.stats.updates_dropped += outcome.orphaned;
+        // Accumulate this flush's stat contributions locally and merge
+        // them into the node totals exactly once at the end — batches
+        // from concurrent shards never interleave `+=` on the shared
+        // counters.
+        let mut delta = FlushStatsDelta {
+            updates_dropped: outcome.orphaned,
+            ..FlushStatsDelta::default()
+        };
         let mut out = Vec::with_capacity(outcome.batches.len());
         for batch in outcome.batches {
-            self.stats.updates_rate_limited += batch.rate_limited;
-            self.stats.batches_flushed += 1;
-            self.stats.updates_batched += batch.items.len() as u64;
+            delta.updates_rate_limited += batch.rate_limited;
+            delta.batches_flushed += 1;
+            delta.updates_batched += batch.items.len() as u64;
             let mut items = Vec::with_capacity(batch.items.len());
             for (u, encoded) in batch.items.into_iter().zip(batch.origins) {
                 let item = match encoded {
@@ -631,12 +684,12 @@ impl GameServerNode {
                         vy: u.vy,
                     }),
                 };
-                self.stats.ring_items[(u.ring as usize).min(MAX_RINGS - 1)] += 1;
+                delta.ring_items[(u.ring as usize).min(MAX_RINGS - 1)] += 1;
                 if item.is_keyframe() {
-                    self.stats.keyframe_items += 1;
+                    delta.keyframe_items += 1;
                 } else {
-                    self.stats.delta_items += 1;
-                    self.stats.delta_bytes_saved +=
+                    delta.delta_items += 1;
+                    delta.delta_bytes_saved +=
                         (UpdateItem::WIRE_BYTES - DeltaItem::WIRE_BYTES) as u64;
                 }
                 items.push(item);
@@ -660,12 +713,13 @@ impl GameServerNode {
                     len
                 }
             };
-            self.stats.batch_bytes += (frame + payload) as u64;
+            delta.batch_bytes += (frame + payload) as u64;
             out.push(GameAction::ToClient(
                 batch.receiver,
                 GameToClient::UpdateBatch { updates: items },
             ));
         }
+        delta.merge_into(&mut self.stats);
         if let Some(t0) = t0 {
             self.flush_hist.record(t0.elapsed().as_secs_f64() * 1e6);
         }
@@ -2282,5 +2336,129 @@ mod tests {
         );
         assert!(actions.is_empty());
         assert_eq!(g.stats().moves, 1, "counted but not processed");
+    }
+
+    /// Drives a mixed workload — joins, a crowd of moves/actions, a
+    /// leave, tick flushes — and returns the node's final actions.
+    fn drive_sharded_workload(g: &mut GameServerNode) -> Vec<GameAction> {
+        for i in 0..24u64 {
+            join(
+                g,
+                i,
+                Point::new(80.0 + (i % 8) as f64 * 10.0, 100.0 + (i / 8) as f64 * 15.0),
+            );
+        }
+        let mut out = Vec::new();
+        for step in 0..6u64 {
+            for i in 0..24u64 {
+                let t = SimTime::from_millis(step * 100 + i);
+                let pos = Point::new(
+                    80.0 + ((i + step) % 8) as f64 * 10.0,
+                    100.0 + (i / 8) as f64 * 15.0 + step as f64,
+                );
+                let msg = if i % 5 == 0 {
+                    ClientToGame::Action {
+                        pos,
+                        payload_bytes: 16 + (i as usize % 3) * 8,
+                    }
+                } else {
+                    ClientToGame::Move { pos }
+                };
+                out.extend(g.on_client(t, ClientId(i), msg));
+            }
+            if step == 3 {
+                out.extend(g.on_client(
+                    SimTime::from_millis(step * 100 + 50),
+                    ClientId(7),
+                    ClientToGame::Leave,
+                ));
+            }
+            out.extend(g.on_tick(SimTime::from_millis((step + 1) * 100), 0.0));
+        }
+        out
+    }
+
+    #[test]
+    fn flush_workers_leave_stats_and_output_identical() {
+        // Same workload under 1, 4 (parallel) and 8 shards: the emitted
+        // actions and every GameStats counter must be byte-identical —
+        // flush_workers is purely a throughput knob, and the per-flush
+        // stat-delta merge keeps totals independent of the shard count.
+        let make = |workers: u32, parallel: bool| {
+            let mut cfg = GameServerConfig {
+                emit_updates: true,
+                flush_workers: workers,
+                max_updates_per_flush: 4,
+                client_budget_bytes: 256,
+                ..GameServerConfig::default()
+            };
+            cfg.set_rings(&[30.0, 120.0], &[1, 2]);
+            let mut g = GameServerNode::new(ServerId(1), cfg).with_fanout();
+            if parallel {
+                g = g.with_parallel_flush();
+            }
+            g.register(world(), 120.0);
+            g
+        };
+        let mut reference = make(1, false);
+        let base_actions = drive_sharded_workload(&mut reference);
+        let base_stats = *reference.stats();
+        assert!(base_stats.batches_flushed > 0, "workload must flush");
+        assert!(base_stats.updates_rate_limited > 0, "caps must engage");
+        for (workers, parallel) in [(4, false), (4, true), (8, false)] {
+            let mut g = make(workers, parallel);
+            let actions = drive_sharded_workload(&mut g);
+            assert_eq!(
+                actions, base_actions,
+                "{workers}-shard (parallel={parallel}) output diverged"
+            );
+            assert_eq!(
+                g.stats(),
+                &base_stats,
+                "{workers}-shard (parallel={parallel}) stats diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restores_across_differing_flush_workers() {
+        // A standby running a different flush_workers than the primary
+        // must promote to an equivalent region: the snapshot's
+        // per-client state re-routes to the local shards on import.
+        let make = |workers: u32| {
+            let cfg = GameServerConfig {
+                emit_updates: true,
+                flush_workers: workers,
+                predict: true,
+                ..GameServerConfig::default()
+            };
+            let mut g = GameServerNode::new(ServerId(1), cfg).with_fanout();
+            g.register(world(), 50.0);
+            g
+        };
+        let mut primary = make(4);
+        for i in 0..12u64 {
+            join(&mut primary, i, Point::new(100.0 + i as f64 * 4.0, 100.0));
+        }
+        for step in 0..4u64 {
+            for i in 0..12u64 {
+                primary.on_client(
+                    SimTime::from_millis(step * 100 + i),
+                    ClientId(i),
+                    ClientToGame::Move {
+                        pos: Point::new(100.0 + i as f64 * 4.0 + step as f64, 100.0),
+                    },
+                );
+            }
+            primary.on_tick(SimTime::from_millis((step + 1) * 100), 0.0);
+        }
+        let snapshot = primary.snapshot();
+        let mut standby = make(2);
+        standby.restore(snapshot);
+        // Same pending state, same streams, same flush output.
+        assert_eq!(standby.delta_streams(), primary.delta_streams());
+        let a = primary.flush_updates(SimTime::from_millis(1000));
+        let b = standby.flush_updates(SimTime::from_millis(1000));
+        assert_eq!(a, b, "restored node must flush identically");
     }
 }

@@ -39,6 +39,34 @@ pub struct DenseCrowdRow {
     pub report: ClusterReport,
 }
 
+/// Run scale: full regenerates the paper-grade table, smoke is the CI
+/// variant (`matrix-experiments dense --smoke`).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// The largest crowd; the table also runs half and a quarter of it.
+    pub max_crowd: u32,
+    /// Run horizon in seconds.
+    pub horizon_secs: u64,
+}
+
+impl Scale {
+    /// The full experiment.
+    pub fn full() -> Scale {
+        Scale {
+            max_crowd: 2000,
+            horizon_secs: 20,
+        }
+    }
+
+    /// A fast variant for CI.
+    pub fn smoke() -> Scale {
+        Scale {
+            max_crowd: 300,
+            horizon_secs: 10,
+        }
+    }
+}
+
 /// Builds the single-server dense-crowd configuration.
 ///
 /// Adaptation is disabled (one static server) so the crowd cannot be
@@ -64,6 +92,7 @@ pub fn run_one(
     spec: &GameSpec,
     clients: u32,
     budget_bytes: u32,
+    horizon_secs: u64,
     seed: u64,
     codec: WireCodec,
 ) -> DenseCrowdRow {
@@ -73,7 +102,7 @@ pub fn run_one(
     if budget_bytes != 0 {
         spec.client_budget_bytes = budget_bytes;
     }
-    let horizon = SimTime::from_secs(20);
+    let horizon = SimTime::from_secs(horizon_secs);
     let schedule = WorkloadSchedule::new(horizon).at(
         SimTime::from_secs(0),
         PopulationEvent::Join {
@@ -93,17 +122,56 @@ pub fn run_one(
 }
 
 /// Runs the scenario across crowd sizes (2k+ exercises the acceptance
-/// target), plus a tight-downlink variant of the largest crowd showing
-/// the rate limiter degrading gracefully.
-pub fn run(seed: u64, codec: WireCodec) -> Vec<DenseCrowdRow> {
-    let spec = GameSpec::bzflag();
-    let mut rows: Vec<DenseCrowdRow> = [500, 1000, 2000]
+/// target at full scale), plus a tight-downlink variant of the largest
+/// crowd showing the rate limiter degrading gracefully. `flush_workers`
+/// shards the lone server's flush; by the shard-count invariance
+/// property the table must come out identical for any value — which is
+/// exactly what the CI smoke run at 4 workers pins.
+pub fn run(seed: u64, codec: WireCodec, scale: Scale, flush_workers: u32) -> Vec<DenseCrowdRow> {
+    let spec = GameSpec::bzflag().with_flush_workers(flush_workers);
+    let max = scale.max_crowd;
+    let mut rows: Vec<DenseCrowdRow> = [max / 4, max / 2, max]
         .into_iter()
-        .map(|n| run_one(&spec, n, 0, seed, codec))
+        .map(|n| run_one(&spec, n, 0, scale.horizon_secs, seed, codec))
         .collect();
-    // Same 2000-client crowd on a 2 KiB-per-flush client downlink.
-    rows.push(run_one(&spec, 2000, 2048, seed, codec));
+    // The same largest crowd on a 2 KiB-per-flush client downlink.
+    rows.push(run_one(&spec, max, 2048, scale.horizon_secs, seed, codec));
     rows
+}
+
+/// E12's acceptance verdict: batched updates actually reach clients,
+/// the steady stream is delta-dominated with accounted savings, and the
+/// static single server never split. Checked over every row, so the
+/// verdict holds at any crowd size and under the budgeted downlink.
+pub fn verdict(rows: &[DenseCrowdRow]) -> Result<String, String> {
+    if rows.is_empty() {
+        return Err("no rows".into());
+    }
+    for row in rows {
+        let r = &row.report;
+        let label = format!("{} clients, budget {}B", row.clients, row.budget_bytes);
+        if r.update_batches_delivered == 0 {
+            return Err(format!("{label}: no update batches delivered"));
+        }
+        if r.delta_items <= r.keyframe_items {
+            return Err(format!(
+                "{label}: stream not delta-dominated ({} deltas vs {} keyframes)",
+                r.delta_items, r.keyframe_items
+            ));
+        }
+        if r.delta_bytes_saved == 0 {
+            return Err(format!("{label}: no delta savings accounted"));
+        }
+        if r.splits != 0 {
+            return Err(format!("{label}: static server split {} times", r.splits));
+        }
+    }
+    let largest = &rows[rows.len() - 2].report;
+    Ok(format!(
+        "E12 verdict: PASS — {} batches / {} updates delivered at the largest crowd, \
+         delta-dominated on every row, zero splits",
+        largest.update_batches_delivered, largest.batched_updates_delivered
+    ))
 }
 
 /// Renders the results table.
@@ -171,7 +239,7 @@ mod tests {
     #[test]
     fn dense_crowd_delivers_batched_updates_end_to_end() {
         let spec = GameSpec::bzflag();
-        let row = run_one(&spec, 300, 0, 7, WireCodec::BinaryV2);
+        let row = run_one(&spec, 300, 0, 20, 7, WireCodec::BinaryV2);
         let r = &row.report;
         assert!(r.update_batches_delivered > 0, "batches must reach clients");
         assert!(r.batched_updates_delivered >= r.update_batches_delivered);
@@ -189,10 +257,10 @@ mod tests {
     #[test]
     fn bigger_crowds_fan_out_more() {
         let spec = GameSpec::bzflag();
-        let small = run_one(&spec, 100, 0, 11, WireCodec::BinaryV2)
+        let small = run_one(&spec, 100, 0, 20, 11, WireCodec::BinaryV2)
             .report
             .updates_fanned;
-        let large = run_one(&spec, 400, 0, 11, WireCodec::BinaryV2)
+        let large = run_one(&spec, 400, 0, 20, 11, WireCodec::BinaryV2)
             .report
             .updates_fanned;
         assert!(
@@ -204,8 +272,8 @@ mod tests {
     #[test]
     fn tight_downlink_budget_rate_limits_instead_of_queueing() {
         let spec = GameSpec::bzflag();
-        let free = run_one(&spec, 300, 0, 13, WireCodec::BinaryV2).report;
-        let tight = run_one(&spec, 300, 512, 13, WireCodec::BinaryV2).report;
+        let free = run_one(&spec, 300, 0, 20, 13, WireCodec::BinaryV2).report;
+        let tight = run_one(&spec, 300, 512, 20, 13, WireCodec::BinaryV2).report;
         assert!(
             tight.updates_rate_limited > free.updates_rate_limited,
             "a 512-byte downlink must defer updates: {} vs {}",

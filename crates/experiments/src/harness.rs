@@ -109,6 +109,7 @@ impl ClusterConfig {
             predict: spec.predict,
             motion_window: spec.motion_window,
             position_only_ring: spec.position_only_ring,
+            flush_workers: spec.flush_workers,
             ..GameServerConfig::default()
         };
         game.set_rings(&spec.ring_radii, &spec.ring_sample_rates);

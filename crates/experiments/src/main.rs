@@ -11,7 +11,7 @@ use std::io::Write;
 const HELP: &str = "\
 matrix-experiments — regenerate the Matrix paper's evaluation
 
-USAGE: matrix-experiments [--seed N] [--smoke] [--codec binary|json] <command>
+USAGE: matrix-experiments [--seed N] [--smoke] [--codec binary|json] [--flush-workers N] <command>
 
 COMMANDS:
   fig2                 E1/E2: Figure 2a (clients/server) + 2b (queue length)
@@ -24,7 +24,7 @@ COMMANDS:
   userstudy            E7: latency-perception proxy for the user study
   scale                E8: asymptotic scalability analysis
   sweep                E11: adaptivity scaling vs crowd size
-  dense                E12: dense-crowd interest management (2k clients, one server)
+  dense [--smoke]      E12: dense-crowd interest management (2k clients, one server)
   failover [--smoke]   E13: warm-standby failover (kill a region server mid-run)
   rings [--smoke]      E14: multi-ring AOI + grid auto-tuning vs the binary radius
   predict [--smoke]    E15: dead-reckoning suppression vs the sampled-rings pipeline
@@ -35,6 +35,11 @@ COMMANDS:
 `--codec` picks the wire codec the byte columns of E12/E14/E15 are
 measured on (v2 binary frames by default; `json` re-measures on the v1
 JSON codec). The verdicts must hold on either.
+
+`--flush-workers N` shards the dissemination flush across N workers
+(E12's knob; default 1 = the sequential path). Sharding is
+byte-invariant on the wire, so every verdict must hold unchanged at
+any worker count.
 ";
 
 fn main() {
@@ -42,6 +47,7 @@ fn main() {
     let mut seed = 42u64;
     let mut smoke = false;
     let mut codec = matrix_core::WireCodec::BinaryV2;
+    let mut flush_workers = 1u32;
     let mut command = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -53,6 +59,12 @@ fn main() {
                     .unwrap_or_else(|| die("--seed needs an integer"));
             }
             "--smoke" => smoke = true,
+            "--flush-workers" => {
+                flush_workers = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--flush-workers needs an integer"));
+            }
             "--codec" => {
                 codec = match it.next().map(|s| s.as_str()) {
                     Some("binary") => matrix_core::WireCodec::BinaryV2,
@@ -82,7 +94,7 @@ fn main() {
         "userstudy" => run_userstudy(seed),
         "scale" => run_scale(),
         "sweep" => run_sweep(seed),
-        "dense" => run_dense(seed, codec),
+        "dense" => run_dense(seed, smoke, codec, flush_workers),
         "failover" => run_failover(seed, smoke),
         "rings" => run_rings(seed, smoke, codec),
         "predict" => run_predict(seed, smoke, codec),
@@ -97,7 +109,7 @@ fn main() {
             run_userstudy(seed);
             run_scale();
             run_sweep(seed);
-            run_dense(seed, codec);
+            run_dense(seed, false, codec, flush_workers);
             run_failover(seed, false);
             run_rings(seed, false, codec);
             run_predict(seed, false, codec);
@@ -194,10 +206,19 @@ fn run_sweep(seed: u64) {
     save("sweep.csv", &table.to_csv());
 }
 
-fn run_dense(seed: u64, codec: matrix_core::WireCodec) {
-    let rows = densecrowd::run(seed, codec);
+fn run_dense(seed: u64, smoke: bool, codec: matrix_core::WireCodec, flush_workers: u32) {
+    let scale = if smoke {
+        densecrowd::Scale::smoke()
+    } else {
+        densecrowd::Scale::full()
+    };
+    let rows = densecrowd::run(seed, codec, scale, flush_workers);
     let table = densecrowd::table(&rows);
     println!("{}", table.render());
+    match densecrowd::verdict(&rows) {
+        Ok(line) => println!("{line}"),
+        Err(why) => acceptance_failed("dense", &why),
+    }
     save("densecrowd.csv", &table.to_csv());
 }
 

@@ -47,6 +47,10 @@ pub struct GameSpec {
     /// Ring index from which updates ship position-only (`0` = full
     /// payloads everywhere).
     pub position_only_ring: u8,
+    /// Number of shards the dissemination flush is partitioned into
+    /// (1 = the sequential path). Purely a throughput knob — the flush
+    /// output is byte-identical for any value.
+    pub flush_workers: u32,
     /// In-game distance metric.
     pub metric: Metric,
     /// Player movement speed, world units per second.
@@ -99,6 +103,7 @@ impl GameSpec {
             error_budgets: Vec::new(),
             motion_window: 4,
             position_only_ring: 0,
+            flush_workers: 1,
             metric: Metric::Euclidean,
             move_speed: 25.0,
             update_rate_hz: 5.0,
@@ -131,6 +136,7 @@ impl GameSpec {
             error_budgets: Vec::new(),
             motion_window: 4,
             position_only_ring: 0,
+            flush_workers: 1,
             metric: Metric::Euclidean,
             move_speed: 300.0,
             update_rate_hz: 10.0,
@@ -163,6 +169,7 @@ impl GameSpec {
             error_budgets: Vec::new(),
             motion_window: 4,
             position_only_ring: 0,
+            flush_workers: 1,
             metric: Metric::Chebyshev, // tile-based visibility
             move_speed: 40.0,
             update_rate_hz: 2.0,
@@ -200,6 +207,7 @@ impl GameSpec {
             error_budgets: Vec::new(),
             motion_window: 4,
             position_only_ring: 0,
+            flush_workers: 1,
             metric: Metric::Euclidean,
             move_speed: 120.0,
             update_rate_hz: 10.0,
@@ -262,6 +270,15 @@ impl GameSpec {
     /// This spec with density-driven grid auto-tuning enabled.
     pub fn with_grid_autotune(mut self) -> GameSpec {
         self.grid_autotune = true;
+        self
+    }
+
+    /// This spec with the dissemination flush sharded across `workers`
+    /// shards (clamped to ≥ 1). Output is byte-identical for any
+    /// value — this only changes how the flush work is partitioned
+    /// (and, under the async runtime, parallelised).
+    pub fn with_flush_workers(mut self, workers: u32) -> GameSpec {
+        self.flush_workers = workers.max(1);
         self
     }
 
@@ -428,7 +445,14 @@ mod tests {
             assert!(spec.ring_radii.is_empty(), "{}", spec.name);
             assert!(!spec.grid_autotune, "{}", spec.name);
             assert!(!spec.predict, "{}: prediction is opt-in", spec.name);
+            assert_eq!(spec.flush_workers, 1, "{}: sharding is opt-in", spec.name);
         }
+        assert_eq!(
+            GameSpec::bzflag().with_flush_workers(0).flush_workers,
+            1,
+            "worker counts clamp to at least one shard"
+        );
+        assert_eq!(GameSpec::bzflag().with_flush_workers(4).flush_workers, 4);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The incremental spatial-hash client grid.
 
+use crate::rings::RingSet;
 use matrix_geometry::{Metric, Point, Rect};
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -233,7 +234,7 @@ impl<K: Copy + Eq + Hash> InterestGrid<K> {
         }
         let r2 = radius * radius;
         match metric {
-            Metric::Euclidean => self.for_each_query_cell(origin, radius, metric, |bucket| {
+            Metric::Euclidean => self.for_each_query_cell(origin, radius, metric, |_, bucket| {
                 for (i, pos) in bucket.positions.iter().enumerate() {
                     let dx = pos.x - origin.x;
                     let dy = pos.y - origin.y;
@@ -242,7 +243,7 @@ impl<K: Copy + Eq + Hash> InterestGrid<K> {
                     }
                 }
             }),
-            _ => self.for_each_query_cell(origin, radius, metric, |bucket| {
+            _ => self.for_each_query_cell(origin, radius, metric, |_, bucket| {
                 for (i, pos) in bucket.positions.iter().enumerate() {
                     if pos.distance_by(origin, metric) <= radius {
                         visit(bucket.keys[i], *pos);
@@ -250,6 +251,130 @@ impl<K: Copy + Eq + Hash> InterestGrid<K> {
                 }
             }),
         }
+    }
+
+    /// Visits every subscriber within `radius` of `origin` and grades
+    /// each one's vision ring in the same pass, amortizing the work per
+    /// occupied cell: a cell whose conservative distance bounds fall
+    /// entirely outside the radius is skipped whole, one entirely
+    /// inside admits its whole bucket without per-subscriber distance
+    /// tests, and one whose bounds land inside a single ring annulus
+    /// classifies the whole bucket at once. The visited `(key, pos,
+    /// ring)` set — and its order — is **identical** to running
+    /// [`InterestGrid::query`] and grading each match with
+    /// [`RingSet::ring_of`] individually: the cell bounds are inflated
+    /// by the hysteresis slack (a held subscriber may sit outside its
+    /// bucket's rectangle) plus a relative epsilon that dominates
+    /// floating-point rounding, so the fast paths only fire where the
+    /// exact per-subscriber tests provably agree. Edge cells always
+    /// take the exact path — out-of-bounds positions clamp into them,
+    /// so their rectangles bound nothing.
+    ///
+    /// `radius` is normally [`RingSet::outer_radius`]; matches beyond
+    /// the outermost ring boundary (possible only by a float ulp when
+    /// the caller passes a different radius) grade as the last ring.
+    pub fn query_tiered(
+        &self,
+        origin: Point,
+        radius: f64,
+        metric: Metric,
+        rings: &RingSet,
+        mut visit: impl FnMut(K, Point, u8),
+    ) {
+        if radius < 0.0 {
+            return;
+        }
+        let r2 = radius * radius;
+        let last_ring = (rings.len().saturating_sub(1)) as u8;
+        let last = self.cells_per_axis - 1;
+        // A subscriber held by hysteresis sits within `hysteresis` of
+        // its cell rectangle in *Euclidean* distance; under Manhattan
+        // that displacement measures up to √2 times more.
+        let slack = match metric {
+            Metric::Manhattan => self.hysteresis * std::f64::consts::SQRT_2,
+            _ => self.hysteresis,
+        };
+        self.for_each_query_cell(origin, radius, metric, |cell, bucket| {
+            if bucket.keys.is_empty() {
+                return;
+            }
+            let cx = cell % self.cells_per_axis;
+            let cy = cell / self.cells_per_axis;
+            // Interior cells only: edge buckets hold clamped
+            // out-of-bounds subscribers arbitrarily far from the cell.
+            if last > 0 && cx > 0 && cx < last && cy > 0 && cy < last {
+                let rect = self.cell_rect(cell);
+                let dmin = rect.distance_to(origin, metric);
+                // All three metrics are convex, so the farthest point
+                // of the rectangle is a corner.
+                let (lo_c, hi_c) = (rect.min(), rect.max());
+                let dmax = [
+                    lo_c,
+                    hi_c,
+                    Point::new(lo_c.x, hi_c.y),
+                    Point::new(hi_c.x, lo_c.y),
+                ]
+                .into_iter()
+                .map(|c| c.distance_by(origin, metric))
+                .fold(0.0f64, f64::max);
+                // Conservative bounds on any bucket member's distance:
+                // widen by the hysteresis slack, then by a relative
+                // epsilon that dwarfs the rounding of the exact
+                // per-subscriber tests (so fast-path decisions never
+                // disagree with them).
+                let lo = (dmin - slack).max(0.0) * (1.0 - 1e-9);
+                let hi = (dmax + slack) * (1.0 + 1e-9);
+                if lo > radius {
+                    return; // whole bucket provably out of range
+                }
+                if hi <= radius {
+                    // Whole bucket provably in range: no admission
+                    // tests. If the bounds land in one ring annulus the
+                    // whole bucket shares that ring too — no distances
+                    // at all.
+                    match (rings.ring_of(lo), rings.ring_of(hi)) {
+                        (Some(a), Some(b)) if a == b => {
+                            for (i, pos) in bucket.positions.iter().enumerate() {
+                                visit(bucket.keys[i], *pos, a);
+                            }
+                        }
+                        _ => {
+                            for (i, pos) in bucket.positions.iter().enumerate() {
+                                let ring = rings
+                                    .ring_of(pos.distance_by(origin, metric))
+                                    .unwrap_or(last_ring);
+                                visit(bucket.keys[i], *pos, ring);
+                            }
+                        }
+                    }
+                    return;
+                }
+            }
+            // Exact per-subscriber fallback — bit-identical to `query`
+            // followed by `ring_of` on the match.
+            match metric {
+                Metric::Euclidean => {
+                    for (i, pos) in bucket.positions.iter().enumerate() {
+                        let dx = pos.x - origin.x;
+                        let dy = pos.y - origin.y;
+                        if dx * dx + dy * dy <= r2 {
+                            let ring = rings
+                                .ring_of(pos.distance_by(origin, metric))
+                                .unwrap_or(last_ring);
+                            visit(bucket.keys[i], *pos, ring);
+                        }
+                    }
+                }
+                _ => {
+                    for (i, pos) in bucket.positions.iter().enumerate() {
+                        let d = pos.distance_by(origin, metric);
+                        if d <= radius {
+                            visit(bucket.keys[i], *pos, rings.ring_of(d).unwrap_or(last_ring));
+                        }
+                    }
+                }
+            }
+        });
     }
 
     /// Enumerates the buckets that can hold matches for a query ball,
@@ -260,7 +385,7 @@ impl<K: Copy + Eq + Hash> InterestGrid<K> {
         origin: Point,
         radius: f64,
         metric: Metric,
-        mut scan: impl FnMut(&CellBucket<K>),
+        mut scan: impl FnMut(u32, &CellBucket<K>),
     ) {
         // A subscriber held in a non-natural cell by hysteresis sits
         // within `hysteresis` of that cell *in Euclidean distance*; under
@@ -318,16 +443,19 @@ impl<K: Copy + Eq + Hash> InterestGrid<K> {
             };
             if rx0 <= rx1 {
                 for cx in rx0..=rx1 {
-                    scan(&self.cells[self.cell_id(cx, cy) as usize]);
+                    let id = self.cell_id(cx, cy);
+                    scan(id, &self.cells[id as usize]);
                 }
             }
             // Edge columns inside the AABB but outside the rasterized
             // span (clamped out-of-bounds subscribers).
             if x0 == 0 && (rx0 > rx1 || rx0 > 0) {
-                scan(&self.cells[self.cell_id(0, cy) as usize]);
+                let id = self.cell_id(0, cy);
+                scan(id, &self.cells[id as usize]);
             }
             if x1 == last && (rx0 > rx1 || rx1 < last) && !(x0 == 0 && last == 0) {
-                scan(&self.cells[self.cell_id(last, cy) as usize]);
+                let id = self.cell_id(last, cy);
+                scan(id, &self.cells[id as usize]);
             }
         }
     }
@@ -464,6 +592,60 @@ mod tests {
         let mut all = g.query_collect(Point::new(50.0, 50.0), 100.0, Metric::Chebyshev);
         all.sort_unstable();
         assert_eq!(all, vec![1, 2]);
+    }
+
+    #[test]
+    fn query_tiered_matches_query_plus_ring_of() {
+        // Pseudo-random crowd with out-of-bounds stragglers and
+        // hysteresis on, across all metrics and several ring shapes:
+        // the amortized cell fast paths must agree with grading each
+        // `query` match individually — same set, same order, same ring.
+        let mut rng: u64 = 0xD1CE;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for metric in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            for rings in [
+                RingSet::single(35.0),
+                RingSet::from_tiers(&[12.0, 30.0, 55.0], &[1, 2, 4]),
+                RingSet::from_tiers(&[5.0, 90.0], &[1, 3]),
+            ] {
+                let mut g: InterestGrid<u32> = InterestGrid::new(world(), 8).with_hysteresis(1.5);
+                for k in 0..300u32 {
+                    // Mostly in bounds; some clamp into edge cells.
+                    let x = (next() % 140) as f64 - 20.0;
+                    let y = (next() % 140) as f64 - 20.0;
+                    g.insert(k, Point::new(x, y));
+                }
+                // Jitter a third of them so hysteresis holds some
+                // subscribers outside their bucket's rectangle.
+                for k in 0..100u32 {
+                    if let Some(p) = g.position_of(k) {
+                        g.update(k, Point::new(p.x + 1.0, p.y - 1.0));
+                    }
+                }
+                for _ in 0..40 {
+                    let origin =
+                        Point::new((next() % 120) as f64 - 10.0, (next() % 120) as f64 - 10.0);
+                    let radius = rings.outer_radius();
+                    let mut expect: Vec<(u32, u8)> = Vec::new();
+                    g.query(origin, radius, metric, |k, pos| {
+                        let ring = rings
+                            .ring_of(pos.distance_by(origin, metric))
+                            .unwrap_or((rings.len() - 1) as u8);
+                        expect.push((k, ring));
+                    });
+                    let mut got: Vec<(u32, u8)> = Vec::new();
+                    g.query_tiered(origin, radius, metric, &rings, |k, _, ring| {
+                        got.push((k, ring));
+                    });
+                    assert_eq!(got, expect, "metric {metric:?} origin {origin:?}");
+                }
+            }
+        }
     }
 
     #[test]

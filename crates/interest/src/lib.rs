@@ -66,6 +66,7 @@ mod grid;
 mod pipeline;
 mod policy;
 mod rings;
+mod shard;
 mod tuner;
 
 pub use batch::UpdateBatcher;
@@ -80,4 +81,5 @@ pub use pipeline::{
 };
 pub use policy::{FlushPolicy, Selection, ANON_ENTITY};
 pub use rings::{RingSampler, RingSet, MAX_RINGS};
+pub use shard::{shard_of, ShardKey};
 pub use tuner::{AutoTuner, AutoTunerConfig};

@@ -8,9 +8,13 @@
 //! the stages an explicit, reusable component with one seam per stage:
 //!
 //! 1. **interest query** — the [`InterestGrid`](crate::InterestGrid)
-//!    answers "who can see this point" within the outermost ring;
-//! 2. **ring tiering** — [`RingSet`](crate::RingSet) grades each
-//!    receiver by distance and [`RingSampler`](crate::RingSampler)
+//!    answers "who can see this point" within the outermost ring, and
+//!    grades each receiver's vision ring while it is at it: one query
+//!    serves every subscriber of an occupied cell, and cells whose
+//!    conservative distance bounds fall inside a single ring annulus
+//!    classify their whole bucket at once
+//!    ([`InterestGrid::query_tiered`]);
+//! 2. **ring tiering** — [`RingSampler`](crate::RingSampler)
 //!    deterministically samples the outer tiers (near = every event);
 //! 3. **prediction** — a [`MotionModel`](matrix_predict::MotionModel)
 //!    estimates each entity's velocity and a
@@ -32,6 +36,25 @@
 //! resolution as the subscriber count drifts (stage 1's only tunable),
 //! rebuilding the index in place.
 //!
+//! # Sharding
+//!
+//! All per-*receiver* state — queued batches, sampling phase, delta
+//! streams, prediction mirrors, the stage-4/5 span timers — lives in N
+//! independent **shards** keyed by a stable hash of the receiver
+//! ([`ShardKey`](crate::ShardKey)). Stages 4–5 touch nothing but one
+//! receiver's own state, so a flush can process every shard
+//! independently: sequentially in shard-index order (the default, and
+//! the only mode the discrete-event harness uses), or on real
+//! `std::thread` workers behind [`with_parallel_flush`]
+//! (`matrix-rt`). Because receivers partition across shards and each
+//! shard drains in receiver order, merging the per-shard batch lists by
+//! receiver reconstructs the exact global order — the flush output is
+//! **byte-identical for any shard count**, parallel or not, which is
+//! what lets `flush_workers` be a pure performance knob
+//! (property-pinned in `tests/interest_properties.rs`).
+//!
+//! [`with_parallel_flush`]: DisseminationPipeline::with_parallel_flush
+//!
 //! The pipeline is deliberately payload-agnostic: anything implementing
 //! [`Disseminated`] flows through, so the middleware's update items, the
 //! property suites' synthetic payloads and the benches all drive the
@@ -45,11 +68,12 @@ use crate::delta::{DeltaEncoder, EncodedOrigin};
 use crate::grid::InterestGrid;
 use crate::policy::{FlushPolicy, ANON_ENTITY};
 use crate::rings::{RingSampler, RingSet, MAX_RINGS};
+use crate::shard::{shard_of, ShardKey};
 use crate::tuner::{AutoTuner, AutoTunerConfig};
 use crate::UpdateBatcher;
 use matrix_geometry::{Metric, Point, Rect};
 use matrix_predict::{quantize_velocity, Admission, Basis, MotionModel, PredictedStream};
-use matrix_telemetry::{Stage, StageSpans};
+use matrix_telemetry::{Histogram, Stage, StageSpans};
 use std::hash::Hash;
 
 /// What the pipeline needs to know about a payload to rank, merge,
@@ -188,7 +212,7 @@ pub struct PipelineConfig {
 /// handing back the two vectors the policy and encoder stages already
 /// produced keeps the flush hot path free of intermediate copies (the
 /// caller zips them while assembling its wire messages).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlushBatch<K, U> {
     /// The receiving subscriber.
     pub receiver: K,
@@ -203,7 +227,7 @@ pub struct FlushBatch<K, U> {
 }
 
 /// Everything one flush produced.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FlushOutcome<K, U> {
     /// Per-receiver batches, in receiver order.
     pub batches: Vec<FlushBatch<K, U>>,
@@ -234,6 +258,21 @@ pub struct DisseminateStats {
     pub pred_error_max: f64,
 }
 
+/// One shard of per-receiver state. Every structure in here is keyed by
+/// the receiver and every flush-time access touches exactly one
+/// receiver's entry, so shards are fully independent during a flush —
+/// the invariant the parallel path rests on.
+#[derive(Debug, Clone)]
+struct Shard<K: Ord, U> {
+    sampler: RingSampler<K>,
+    batcher: UpdateBatcher<K, U>,
+    encoder: DeltaEncoder<K>,
+    predicted: PredictedStream<K>,
+    /// Stage-4/5 lap timers; stages 1–3 run on the driver thread and
+    /// time into the pipeline-level spans.
+    spans: StageSpans,
+}
+
 /// The composed dissemination pipeline (see the module docs for the
 /// stage walk-through).
 #[derive(Debug, Clone)]
@@ -242,24 +281,33 @@ pub struct DisseminationPipeline<K: Ord + Copy + Eq + Hash, U> {
     policy: FlushPolicy,
     rings: RingSet,
     grid: InterestGrid<K>,
-    sampler: RingSampler<K>,
-    batcher: UpdateBatcher<K, U>,
-    encoder: DeltaEncoder<K>,
     tuner: AutoTuner,
     predict: PredictorConfig,
     position_only_ring: u8,
     vel_quantum: f64,
+    keyframe_every: u32,
+    origin_quantum: f64,
+    telemetry: bool,
     motion: MotionModel,
-    predicted: PredictedStream<K>,
+    /// Driver-thread spans: stages 1–3 (Query, Tier, Predict). The
+    /// per-shard spans cover stages 4–5 (Policy, Delta);
+    /// [`DisseminationPipeline::stage_histogram`] merges the two views.
     spans: StageSpans,
+    /// Per-receiver state, partitioned by stable receiver hash. Always
+    /// at least one shard; the single-shard default is exactly the
+    /// pre-sharding pipeline.
+    shards: Vec<Shard<K, U>>,
+    /// Whether `flush` runs the shards on real `std::thread` workers
+    /// (one per shard) instead of in index order on the caller.
+    parallel: bool,
     /// Reused per-dissemination candidate buffer `(key, pos, ring)` —
     /// stage 1 fills it, stages 2–3 compact and drain it in place.
     scratch: Vec<(K, Point, u8)>,
 }
 
-impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
+impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipeline<K, U> {
     /// Builds a pipeline over `bounds` at `cells_per_axis`, with the
-    /// given ring tiers.
+    /// given ring tiers and a single shard (the sequential path).
     pub fn new(
         bounds: Rect,
         cells_per_axis: u32,
@@ -267,14 +315,11 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
         cfg: PipelineConfig,
     ) -> DisseminationPipeline<K, U> {
         let cells = cells_per_axis.max(1);
-        DisseminationPipeline {
+        let mut p = DisseminationPipeline {
             metric: cfg.metric,
             policy: cfg.policy,
             rings,
             grid: Self::make_grid(bounds, cells),
-            sampler: RingSampler::new(),
-            batcher: UpdateBatcher::new(),
-            encoder: DeltaEncoder::new(cfg.keyframe_every).with_quantum(cfg.origin_quantum),
             tuner: AutoTuner::new(cfg.autotune, cells),
             predict: cfg.predict,
             position_only_ring: cfg.position_only_ring,
@@ -283,10 +328,72 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
             } else {
                 cfg.origin_quantum
             },
+            keyframe_every: cfg.keyframe_every,
+            origin_quantum: cfg.origin_quantum,
+            telemetry: cfg.telemetry,
             motion: MotionModel::new(cfg.predict.motion_window),
-            predicted: PredictedStream::new(),
             spans: StageSpans::new(cfg.telemetry),
+            shards: Vec::new(),
+            parallel: false,
             scratch: Vec::new(),
+        };
+        p.shards = vec![p.make_shard()];
+        p
+    }
+
+    /// Re-partitions per-receiver state across `shards` shards (clamped
+    /// to ≥ 1). Intended at construction, before any state accumulates:
+    /// existing queued batches, streams and bases are discarded, not
+    /// re-routed.
+    pub fn with_shards(mut self, shards: u32) -> DisseminationPipeline<K, U> {
+        let n = (shards as usize).max(1);
+        self.shards = (0..n).map(|_| self.make_shard()).collect();
+        self
+    }
+
+    /// Runs future flushes on one real `std::thread` worker per shard
+    /// (no effect with a single shard). The output stays byte-identical
+    /// to the sequential path — see the module docs.
+    pub fn with_parallel_flush(mut self) -> DisseminationPipeline<K, U> {
+        self.set_parallel_flush(true);
+        self
+    }
+
+    /// In-place form of [`DisseminationPipeline::with_parallel_flush`]
+    /// for drivers that configure an already-constructed pipeline.
+    pub fn set_parallel_flush(&mut self, on: bool) {
+        self.parallel = on;
+    }
+
+    /// The number of shards per-receiver state is partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether flushes run the shards on real worker threads.
+    pub fn parallel_flush(&self) -> bool {
+        self.parallel
+    }
+
+    fn make_shard(&self) -> Shard<K, U> {
+        Shard {
+            sampler: RingSampler::new(),
+            batcher: UpdateBatcher::new(),
+            encoder: DeltaEncoder::new(self.keyframe_every).with_quantum(self.origin_quantum),
+            predicted: PredictedStream::new(),
+            spans: StageSpans::new(self.telemetry),
+        }
+    }
+
+    /// The shard a receiver's state lives in. The single-shard default
+    /// skips the hash entirely — the sequential path pays nothing for
+    /// the sharding seam.
+    #[inline]
+    fn shard_ix(&self, key: K) -> usize {
+        if self.shards.len() == 1 {
+            0
+        } else {
+            shard_of(key.shard_hash(), self.shards.len())
         }
     }
 
@@ -305,8 +412,10 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
     /// nothing, so the sender's mirror must be empty too).
     pub fn subscribe(&mut self, key: K, pos: Point) {
         self.grid.insert(key, pos);
-        self.encoder.reset(key);
-        self.predicted.forget_receiver(key);
+        let si = self.shard_ix(key);
+        let shard = &mut self.shards[si];
+        shard.encoder.reset(key);
+        shard.predicted.forget_receiver(key);
     }
 
     /// Repositions a subscriber.
@@ -319,10 +428,12 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
     /// died with it.
     pub fn unsubscribe(&mut self, key: K) -> usize {
         self.grid.remove(key);
-        self.encoder.forget(key);
-        self.sampler.forget(key);
-        self.predicted.forget_receiver(key);
-        self.batcher.forget(key)
+        let si = self.shard_ix(key);
+        let shard = &mut self.shards[si];
+        shard.encoder.forget(key);
+        shard.sampler.forget(key);
+        shard.predicted.forget_receiver(key);
+        shard.batcher.forget(key)
     }
 
     /// Drops every trace of a departed *entity* (motion track and every
@@ -331,7 +442,9 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
     /// *receiver*: a client is usually both.
     pub fn forget_entity(&mut self, entity: u64) {
         self.motion.forget(entity);
-        self.predicted.forget_entity(entity);
+        for shard in &mut self.shards {
+            shard.predicted.forget_entity(entity);
+        }
     }
 
     /// Re-anchors the grid to a new range with the given subscriber set
@@ -364,27 +477,48 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
         self.grid.cells_per_axis()
     }
 
-    /// The per-stage span timers (a no-op sink unless the pipeline was
-    /// built with [`PipelineConfig::telemetry`] on).
+    /// The driver-thread span timers — stages 1–3 (a no-op sink unless
+    /// the pipeline was built with [`PipelineConfig::telemetry`] on).
+    /// Stage 4–5 time lands in per-shard spans;
+    /// [`DisseminationPipeline::stage_histogram`] is the merged view.
     pub fn spans(&self) -> &StageSpans {
         &self.spans
+    }
+
+    /// The per-flush latency histogram of one stage (µs), merged across
+    /// the driver-thread spans (stages 1–3) and every shard's spans
+    /// (stages 4–5). With one shard this is exactly the pre-sharding
+    /// histogram; with N shards the Policy/Delta histograms carry one
+    /// sample per shard per flush.
+    pub fn stage_histogram(&self, stage: Stage) -> Histogram {
+        match stage {
+            Stage::Query | Stage::Tier | Stage::Predict => self.spans.histogram(stage).clone(),
+            Stage::Policy | Stage::Delta => {
+                let mut merged = Histogram::new();
+                for shard in &self.shards {
+                    merged.merge(shard.spans.histogram(stage));
+                }
+                merged
+            }
+        }
     }
 
     // -- stages 1–3: query, tier, sample, predict, queue ---------------------
 
     /// Disseminates one event: queries the grid within the outermost
-    /// ring, grades each receiver's ring by distance, samples the outer
-    /// tiers, runs dead-reckoning suppression against each receiver's
-    /// prediction basis, and (when `emit`) queues one item per admitted
-    /// receiver. `origin` is the true event position (AOI distances);
-    /// `wire_origin` is the lattice-snapped position receivers
-    /// reconstruct — prediction bases are kept in wire coordinates so
-    /// the sender's error simulation matches the receiver bit-for-bit.
-    /// `make` produces the payload per admitted receiver, embedding the
-    /// ring it was admitted under and the velocity shipped with the
-    /// item (`(0.0, 0.0)` whenever prediction is off). An untiered ring
-    /// set with prediction off costs exactly what the binary-radius
-    /// fan-out did.
+    /// ring — grading each receiver's ring in the same pass, whole
+    /// cells at a time where the cell's distance bounds allow — then
+    /// samples the outer tiers, runs dead-reckoning suppression against
+    /// each receiver's prediction basis, and (when `emit`) queues one
+    /// item per admitted receiver. `origin` is the true event position
+    /// (AOI distances); `wire_origin` is the lattice-snapped position
+    /// receivers reconstruct — prediction bases are kept in wire
+    /// coordinates so the sender's error simulation matches the
+    /// receiver bit-for-bit. `make` produces the payload per admitted
+    /// receiver, embedding the ring it was admitted under and the
+    /// velocity shipped with the item (`(0.0, 0.0)` whenever prediction
+    /// is off). An untiered ring set with prediction off costs exactly
+    /// what the binary-radius fan-out did.
     ///
     /// `suppressible` marks events whose content a receiver can
     /// reconstruct by extrapolation — pure position updates. Events
@@ -407,9 +541,7 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
         mut make: impl FnMut(u8, (f64, f64)) -> U,
     ) -> DisseminateStats {
         let mut stats = DisseminateStats::default();
-        let metric = self.metric;
         let rings = self.rings;
-        let tiered = rings.is_tiered();
         // Anonymous events carry no entity identity to model or to
         // extrapolate, so they bypass the prediction stage entirely.
         let predicting = self.predict.enabled && entity != ANON_ENTITY;
@@ -424,42 +556,37 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
             (0.0, 0.0)
         };
         self.spans.begin();
-        // Stage 1: the grid answers "who can see this point". Candidates
-        // land in a reusable scratch buffer so the later stages run as
-        // plain loops the span timer can bracket; iteration order is the
-        // grid's, exactly as when the stages were fused in one closure.
+        // Stage 1: the grid answers "who can see this point" and grades
+        // each receiver's ring in the same pass (amortized per cell).
+        // Candidates land in a reusable scratch buffer so the later
+        // stages run as plain loops the span timer can bracket;
+        // iteration order is the grid's, exactly as when the stages
+        // were fused in one closure.
         let mut candidates = std::mem::take(&mut self.scratch);
         candidates.clear();
-        self.grid
-            .query(origin, rings.outer_radius(), metric, |key, pos| {
+        self.grid.query_tiered(
+            origin,
+            rings.outer_radius(),
+            self.metric,
+            &rings,
+            |key, pos, ring| {
                 if Some(key) != exclude {
-                    candidates.push((key, pos, 0u8));
+                    candidates.push((key, pos, ring));
                 }
-            });
+            },
+        );
         self.spans.lap(Stage::Query);
-        // Stage 2: grade each candidate's ring by distance and let the
-        // sampler thin the periphery, compacting survivors in place.
+        // Stage 2: let the sampler thin the periphery, compacting
+        // survivors in place (inner-ring admission is stateless, so the
+        // untiered path touches no sampler state).
         let mut kept = 0;
         for i in 0..candidates.len() {
-            let (key, pos, _) = candidates[i];
-            let ring = if tiered {
-                // The grid's Euclidean filter compares squared
-                // distances while `ring_of` compares the rooted
-                // one; at the outer boundary the two can disagree
-                // by an ulp, so a receiver the query admitted is
-                // clamped into the outermost ring rather than
-                // silently dropped.
-                let ring = rings
-                    .ring_of(pos.distance_by(origin, metric))
-                    .unwrap_or((rings.len() - 1) as u8);
-                if !self.sampler.admit(&rings, key, ring) {
-                    stats.sampled_out += 1;
-                    continue;
-                }
-                ring
-            } else {
-                0
-            };
+            let (key, pos, ring) = candidates[i];
+            let si = self.shard_ix(key);
+            if !self.shards[si].sampler.admit(&rings, key, ring) {
+                stats.sampled_out += 1;
+                continue;
+            }
             candidates[kept] = (key, pos, ring);
             kept += 1;
         }
@@ -467,6 +594,7 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
         self.spans.lap(Stage::Tier);
         // Stage 3: dead-reckoning admission, payload stripping, queueing.
         for &(key, _, ring) in &candidates {
+            let si = self.shard_ix(key);
             if predicting {
                 // Non-suppressible events admit with budget 0:
                 // always transmitted, and the transmission rebases
@@ -476,10 +604,14 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
                 } else {
                     0.0
                 };
-                match self
-                    .predicted
-                    .admit(key, entity, wire_origin, vel, now_secs, budget)
-                {
+                match self.shards[si].predicted.admit(
+                    key,
+                    entity,
+                    wire_origin,
+                    vel,
+                    now_secs,
+                    budget,
+                ) {
                     Admission::Suppress { error } => {
                         stats.suppressed += 1;
                         stats.pred_error_sum += error;
@@ -499,7 +631,7 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
                 if strip {
                     item.strip_payload();
                 }
-                self.batcher.push(key, item);
+                self.shards[si].batcher.push(key, item);
             }
         }
         self.spans.lap(Stage::Predict);
@@ -511,131 +643,230 @@ impl<K: Ord + Copy + Eq + Hash, U: Disseminated> DisseminationPipeline<K, U> {
     /// Queues one already-admitted item directly (snapshot restore: the
     /// item passed sampling on the primary; it must not be re-sampled).
     pub fn enqueue(&mut self, key: K, item: U) {
-        self.batcher.push(key, item);
+        let si = self.shard_ix(key);
+        self.shards[si].batcher.push(key, item);
     }
 
     /// Whether any updates are queued.
     pub fn has_pending(&self) -> bool {
-        !self.batcher.is_empty()
+        self.shards.iter().any(|s| !s.batcher.is_empty())
     }
 
-    /// Visits every queued batch without consuming it (snapshots).
+    /// Visits every queued batch without consuming it (snapshots), in
+    /// global receiver order regardless of the shard count.
     pub fn pending(&self) -> impl Iterator<Item = (&K, &[U])> {
-        self.batcher.peek()
+        let mut all: Vec<(&K, &[U])> = self.shards.iter().flat_map(|s| s.batcher.peek()).collect();
+        all.sort_by(|a, b| a.0.cmp(b.0));
+        all.into_iter()
     }
 
     /// Drops every queued update and all sampling phase (promotions:
     /// the captured pending set describes the pairing moment, not the
     /// crash).
     pub fn clear_pending(&mut self) {
-        self.batcher = UpdateBatcher::new();
-        self.sampler.clear();
+        for shard in &mut self.shards {
+            shard.batcher = UpdateBatcher::new();
+            shard.sampler.clear();
+        }
     }
 
-    // -- stages 3+4: merge, budget, encode -----------------------------------
+    // -- stages 4+5: merge, budget, encode -----------------------------------
 
-    /// Flushes every queued batch through the policy and the encoder.
-    /// `viewer_of` resolves a receiver's current position; `None` means
-    /// the receiver vanished between enqueue and flush (its items are
-    /// discarded and counted in [`FlushOutcome::orphaned`]).
-    pub fn flush(&mut self, viewer_of: impl Fn(K) -> Option<Point>) -> FlushOutcome<K, U> {
+    /// Flushes every queued batch through the policy and the encoder,
+    /// shard by shard. `viewer_of` resolves a receiver's current
+    /// position; `None` means the receiver vanished between enqueue and
+    /// flush (its items are discarded and counted in
+    /// [`FlushOutcome::orphaned`]). Sequential by default; behind
+    /// [`DisseminationPipeline::with_parallel_flush`] each shard runs
+    /// on its own scoped worker thread. Either way the batches come
+    /// back in global receiver order and the outcome is byte-identical
+    /// for any shard count.
+    pub fn flush(&mut self, viewer_of: impl Fn(K) -> Option<Point> + Sync) -> FlushOutcome<K, U>
+    where
+        K: Send + Sync,
+        U: Send,
+    {
+        let metric = self.metric;
+        let policy = self.policy;
         let mut outcome = FlushOutcome {
             batches: Vec::new(),
             orphaned: 0,
         };
-        self.spans.begin();
-        for (receiver, queued) in self.batcher.drain() {
+        if self.parallel && self.shards.len() > 1 {
+            let viewer_of = &viewer_of;
+            let results: Vec<(Vec<FlushBatch<K, U>>, u64)> = std::thread::scope(|s| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .map(|shard| {
+                        s.spawn(move || Self::flush_shard(shard, metric, policy, viewer_of))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("flush worker panicked"))
+                    .collect()
+            });
+            for (batches, orphaned) in results {
+                outcome.batches.extend(batches);
+                outcome.orphaned += orphaned;
+            }
+        } else {
+            for shard in &mut self.shards {
+                let (batches, orphaned) = Self::flush_shard(shard, metric, policy, &viewer_of);
+                outcome.batches.extend(batches);
+                outcome.orphaned += orphaned;
+            }
+        }
+        // Receivers partition across shards and each shard drains in
+        // receiver order, so one sort by receiver reconstructs the
+        // exact global order the single-shard drain produces.
+        if self.shards.len() > 1 {
+            outcome.batches.sort_by_key(|b| b.receiver);
+        }
+        // One flush cycle ends here: the driver spans fold the time the
+        // disseminations attributed to stages 1–3 into one histogram
+        // sample each (the shard spans did the same for stages 4–5).
+        self.spans.end_flush();
+        outcome
+    }
+
+    /// Stages 4–5 over one shard. Touches nothing outside the shard, so
+    /// concurrent calls on distinct shards are race-free by
+    /// construction.
+    fn flush_shard(
+        shard: &mut Shard<K, U>,
+        metric: Metric,
+        policy: FlushPolicy,
+        viewer_of: &(impl Fn(K) -> Option<Point> + Sync),
+    ) -> (Vec<FlushBatch<K, U>>, u64) {
+        let mut batches = Vec::new();
+        let mut orphaned = 0u64;
+        shard.spans.begin();
+        for (receiver, queued) in shard.batcher.drain() {
             let Some(viewer) = viewer_of(receiver) else {
-                outcome.orphaned += queued.len() as u64;
-                self.encoder.forget(receiver);
+                orphaned += queued.len() as u64;
+                shard.encoder.forget(receiver);
                 // The prediction mirror dies with the stream: these
                 // queued rebases never reached the receiver, so bases
                 // recorded for them describe state nobody holds.
-                self.predicted.forget_receiver(receiver);
+                shard.predicted.forget_receiver(receiver);
                 continue;
             };
-            let selection = self.policy.select(
+            let selection = policy.select(
                 viewer,
-                self.metric,
+                metric,
                 |u: &U| u.origin(),
                 |u: &U| u.entity(),
                 |u: &U| u.wire_bytes(),
                 queued,
             );
-            self.spans.lap(Stage::Policy);
+            shard.spans.lap(Stage::Policy);
             let kept_origins: Vec<Point> = selection.kept.iter().map(|u| u.origin()).collect();
-            let origins = self.encoder.encode_flush(receiver, &kept_origins);
-            outcome.batches.push(FlushBatch {
+            let origins = shard.encoder.encode_flush(receiver, &kept_origins);
+            batches.push(FlushBatch {
                 receiver,
                 items: selection.kept,
                 origins,
                 rate_limited: selection.dropped as u64,
             });
-            self.spans.lap(Stage::Delta);
+            shard.spans.lap(Stage::Delta);
         }
-        // One flush cycle ends here: the spans fold the time the laps
-        // attributed to each stage (across every dissemination since the
-        // last flush, plus this drain) into one histogram sample each.
-        self.spans.end_flush();
-        outcome
+        shard.spans.end_flush();
+        (batches, orphaned)
     }
 
     // -- delta-stream bookkeeping --------------------------------------------
 
     /// Marks a receiver's delta stream dirty (next flush keyframes).
     pub fn reset_stream(&mut self, key: K) {
-        self.encoder.reset(key);
+        let si = self.shard_ix(key);
+        self.shards[si].encoder.reset(key);
     }
 
     /// Wipes every delta stream (driver shutdown, promotions).
     pub fn clear_streams(&mut self) {
-        self.encoder.clear();
+        for shard in &mut self.shards {
+            shard.encoder.clear();
+        }
     }
 
     /// Number of receivers currently holding a delta base.
     pub fn streams(&self) -> usize {
-        self.encoder.streams()
+        self.shards.iter().map(|s| s.encoder.streams()).sum()
     }
 
-    /// Exports every delta stream as `(key, base, countdown)` (region
-    /// snapshots).
+    /// Exports every delta stream as `(key, base, countdown)` in global
+    /// key order (region snapshots) — canonical regardless of the shard
+    /// count, so a standby with a different `flush_workers` imports the
+    /// same bytes.
     pub fn export_streams(&self) -> Vec<(K, Point, u32)> {
-        self.encoder.export_streams()
+        let mut out: Vec<(K, Point, u32)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.encoder.export_streams())
+            .collect();
+        out.sort_by_key(|(k, _, _)| *k);
+        out
     }
 
-    /// Replaces the delta-stream table with exported state.
+    /// Replaces the delta-stream table with exported state, re-routing
+    /// each entry to its shard under the *local* shard count.
     pub fn import_streams(&mut self, streams: impl IntoIterator<Item = (K, Point, u32)>) {
-        self.encoder.import_streams(streams);
+        let mut per_shard: Vec<Vec<(K, Point, u32)>> = vec![Vec::new(); self.shards.len()];
+        for entry in streams {
+            per_shard[self.shard_ix(entry.0)].push(entry);
+        }
+        for (shard, entries) in self.shards.iter_mut().zip(per_shard) {
+            shard.encoder.import_streams(entries);
+        }
     }
 
     // -- prediction bases ----------------------------------------------------
 
     /// Exports every prediction basis as `(receiver, [(entity, basis)])`
-    /// in key order (region snapshots): what each receiver currently
-    /// extrapolates each entity from.
+    /// in global key order (region snapshots): what each receiver
+    /// currently extrapolates each entity from.
     pub fn export_bases(&self) -> Vec<(K, Vec<(u64, Basis)>)> {
-        self.predicted.export()
+        let mut out: Vec<(K, Vec<(u64, Basis)>)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.predicted.export())
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
     }
 
-    /// Replaces the prediction-basis table with exported state. A
-    /// promoted standby importing the primary's bases keeps suppressing
-    /// consistently with what the receivers actually hold, instead of
-    /// rebasing (and retransmitting) every entity at failover.
+    /// Replaces the prediction-basis table with exported state,
+    /// re-routing each receiver to its shard under the *local* shard
+    /// count. A promoted standby importing the primary's bases keeps
+    /// suppressing consistently with what the receivers actually hold,
+    /// instead of rebasing (and retransmitting) every entity at
+    /// failover — even when its `flush_workers` differs from the
+    /// primary's.
     pub fn import_bases(&mut self, bases: impl IntoIterator<Item = (K, Vec<(u64, Basis)>)>) {
-        self.predicted.import(bases);
+        let mut per_shard = vec![Vec::new(); self.shards.len()];
+        for entry in bases {
+            per_shard[self.shard_ix(entry.0)].push(entry);
+        }
+        for (shard, entries) in self.shards.iter_mut().zip(per_shard) {
+            shard.predicted.import(entries);
+        }
     }
 
     /// Wipes every prediction basis and motion track (driver shutdown:
     /// reconnecting receivers start extrapolating from nothing).
     pub fn clear_bases(&mut self) {
-        self.predicted.clear();
+        for shard in &mut self.shards {
+            shard.predicted.clear();
+        }
         self.motion.clear();
     }
 
     /// Number of receivers currently holding at least one prediction
     /// basis (observability for drivers and tests).
     pub fn prediction_receivers(&self) -> usize {
-        self.predicted.receivers()
+        self.shards.iter().map(|s| s.predicted.receivers()).sum()
     }
 
     // -- auto-tuning ---------------------------------------------------------
@@ -1009,5 +1240,179 @@ mod tests {
         let far = out.batches.iter().find(|b| b.receiver == 2).unwrap();
         assert_eq!(near.items[0].bytes, 8, "near ships the full payload");
         assert_eq!(far.items[0].bytes, 0, "far ships position-only");
+    }
+
+    // -- sharding ------------------------------------------------------------
+
+    /// Drives a moderately messy workload — joins, moves, tiered
+    /// disseminations, an unsubscribe, a vanished receiver — and
+    /// returns every flush outcome.
+    fn drive_workload(p: &mut DisseminationPipeline<u32, Ev>) -> Vec<FlushOutcome<u32, Ev>> {
+        let mut rng: u64 = 0x5eed;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for k in 0..40u32 {
+            let x = (next() % 400) as f64;
+            let y = (next() % 400) as f64;
+            p.subscribe(k, Point::new(x, y));
+        }
+        let mut outs = Vec::new();
+        for round in 0..6u32 {
+            for i in 0..25u32 {
+                let at = Point::new((next() % 400) as f64, (next() % 400) as f64);
+                let entity = next() % 8 + 1;
+                let t = (round * 25 + i) as f64 * 0.05;
+                p.disseminate(
+                    at,
+                    at,
+                    entity,
+                    t,
+                    i % 3 != 0,
+                    Some(i % 40),
+                    true,
+                    |ring, _| Ev {
+                        at,
+                        entity,
+                        bytes: 8 + (entity as usize % 4) * 16,
+                        ring,
+                    },
+                );
+            }
+            if round == 2 {
+                p.unsubscribe(7);
+            }
+            let gone = 5 + round; // receiver vanished between enqueue and flush
+            outs.push(p.flush(move |k| {
+                if k == gone {
+                    None
+                } else {
+                    Some(Point::new((k % 20) as f64 * 20.0, (k / 20) as f64 * 20.0))
+                }
+            }));
+        }
+        outs
+    }
+
+    #[test]
+    fn flush_output_is_byte_identical_for_any_shard_count() {
+        let rings = RingSet::from_tiers(&[40.0, 90.0, 150.0], &[1, 2, 4]);
+        let make = |shards: u32| {
+            let cfg = PipelineConfig {
+                policy: FlushPolicy {
+                    max_items: 6,
+                    budget_bytes: 200,
+                },
+                predict: PredictorConfig::with_budgets(&[0.0, 1.5, 3.0]),
+                position_only_ring: 2,
+                ..cfg()
+            };
+            DisseminationPipeline::<u32, Ev>::new(world(), 16, rings, cfg).with_shards(shards)
+        };
+        let mut reference = make(1);
+        let baseline = drive_workload(&mut reference);
+        for shards in 2..=8u32 {
+            let mut p = make(shards);
+            assert_eq!(p.shard_count(), shards as usize);
+            let outs = drive_workload(&mut p);
+            assert_eq!(
+                outs, baseline,
+                "{shards}-shard flush output diverged from the sequential path"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_flush_matches_the_sequential_path() {
+        let rings = RingSet::from_tiers(&[40.0, 150.0], &[1, 2]);
+        let mut seq =
+            DisseminationPipeline::<u32, Ev>::new(world(), 16, rings, cfg()).with_shards(4);
+        let mut par = DisseminationPipeline::<u32, Ev>::new(world(), 16, rings, cfg())
+            .with_shards(4)
+            .with_parallel_flush();
+        assert!(par.parallel_flush());
+        assert_eq!(drive_workload(&mut par), drive_workload(&mut seq));
+    }
+
+    #[test]
+    fn exports_reroute_across_differing_shard_counts() {
+        let rings = RingSet::from_tiers(&[20.0, 200.0], &[1, 1]);
+        let make = |shards: u32| {
+            DisseminationPipeline::<u32, Ev>::new(
+                world(),
+                16,
+                rings,
+                PipelineConfig {
+                    predict: PredictorConfig::with_budgets(&[0.0, 2.0]),
+                    ..cfg()
+                },
+            )
+            .with_shards(shards)
+        };
+        let mut primary = make(4);
+        for k in 0..12u32 {
+            primary.subscribe(k, Point::new(100.0 + k as f64 * 5.0, 300.0));
+        }
+        for i in 0..10u32 {
+            let at = Point::new(100.0 + i as f64, 200.0);
+            primary.disseminate(at, at, 9, i as f64 * 0.1, true, None, true, |ring, _| {
+                ev(at, ring)
+            });
+        }
+        primary.flush(|_| Some(Point::new(100.0, 300.0)));
+        // Promote onto a standby running a different worker count (the
+        // gameserver restore flow: re-anchor the grid, then import).
+        let mut standby = make(2);
+        let subs: Vec<(u32, Point)> = primary.grid().subscribers().collect();
+        standby.reset(world(), subs);
+        standby.import_streams(primary.export_streams());
+        standby.import_bases(primary.export_bases());
+        assert_eq!(standby.streams(), primary.streams());
+        assert_eq!(standby.export_streams(), primary.export_streams());
+        assert_eq!(standby.export_bases(), primary.export_bases());
+        // Both make identical decisions on the next event and encode the
+        // next flush identically.
+        let at = Point::new(111.0, 200.0);
+        let sp = primary.disseminate(at, at, 9, 1.1, true, None, true, |ring, _| ev(at, ring));
+        let sq = standby.disseminate(at, at, 9, 1.1, true, None, true, |ring, _| ev(at, ring));
+        assert_eq!(sp, sq);
+        let fp = primary.flush(|_| Some(Point::new(100.0, 300.0)));
+        let fq = standby.flush(|_| Some(Point::new(100.0, 300.0)));
+        assert_eq!(fp, fq);
+    }
+
+    #[test]
+    fn stage_histograms_merge_across_shards() {
+        let rings = RingSet::single(150.0);
+        let mut p = DisseminationPipeline::<u32, Ev>::new(
+            world(),
+            16,
+            rings,
+            PipelineConfig {
+                telemetry: true,
+                ..cfg()
+            },
+        )
+        .with_shards(4);
+        for k in 0..16u32 {
+            p.subscribe(k, Point::new(100.0 + k as f64, 100.0));
+        }
+        let origin = Point::new(100.0, 100.0);
+        for _ in 0..3 {
+            p.disseminate(origin, origin, 1, 0.0, true, None, true, |ring, _| {
+                ev(origin, ring)
+            });
+            p.flush(|_| Some(origin));
+        }
+        // Driver-thread stages: one sample per flush.
+        assert_eq!(p.stage_histogram(Stage::Query).count(), 3);
+        assert_eq!(p.stage_histogram(Stage::Tier).count(), 3);
+        assert_eq!(p.stage_histogram(Stage::Predict).count(), 3);
+        // Sharded stages: one sample per shard per flush.
+        assert_eq!(p.stage_histogram(Stage::Policy).count(), 12);
+        assert_eq!(p.stage_histogram(Stage::Delta).count(), 12);
     }
 }

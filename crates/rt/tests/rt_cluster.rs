@@ -164,6 +164,107 @@ async fn overload_splits_the_cluster_live() {
     cluster.shutdown().await;
 }
 
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn parallel_flush_loses_and_duplicates_nothing_under_churn() {
+    // The race smoke for the sharded flush engine: a node running 4
+    // real flush workers is hammered with joins, moves, actions and
+    // leaves for many ticks. Every action carries a unique payload
+    // size, so per-receiver delivery is exactly countable: each
+    // observer must see each action exactly once — a lost batch shows
+    // up as a missing payload, a duplicated batch as a repeated one.
+    // The final actions are still queued when the cluster stops, so
+    // `shutdown_flush` itself runs the parallel path and must deliver
+    // what the batcher holds.
+    let mut cfg = RtConfig::default();
+    cfg.game.flush_workers = 4;
+    cfg.game.tick = SimDuration::from_millis(20);
+    // Unlimited per-flush budgets: rate limiting would merge or defer
+    // items and break exact accounting.
+    cfg.game.max_updates_per_flush = 0;
+    cfg.game.client_budget_bytes = 0;
+    let cluster = RtCluster::start(cfg).await;
+
+    // A mutually visible crowd: everyone within the 100-unit radius.
+    const CORE: usize = 12;
+    let mut clients = Vec::new();
+    for i in 0..CORE {
+        let angle = i as f64 / CORE as f64 * std::f64::consts::TAU;
+        let pos = Point::new(200.0 + 30.0 * angle.cos(), 200.0 + 30.0 * angle.sin());
+        clients.push(cluster.client(pos));
+    }
+    for c in clients.iter_mut() {
+        let msg = tokio::time::timeout(Duration::from_secs(2), c.recv())
+            .await
+            .expect("join must be answered")
+            .expect("channel open");
+        assert!(matches!(msg, GameToClient::Joined { .. }), "{msg:?}");
+    }
+
+    // Hammer: every round everyone jitters, every third client fires a
+    // uniquely sized action, and churn clients join/move/leave
+    // concurrently with the flush workers.
+    let mut sent_by: Vec<Vec<usize>> = vec![Vec::new(); CORE];
+    let mut next_payload = 300usize;
+    for round in 0..30u64 {
+        for (i, c) in clients.iter_mut().enumerate() {
+            let jitter = ((round + i as u64) % 5) as f64 - 2.0;
+            let p = c.pos();
+            c.move_to(Point::new(p.x + jitter, p.y - jitter));
+            if (i as u64 + round) % 3 == 0 {
+                c.action(next_payload);
+                sent_by[i].push(next_payload);
+                next_payload += 1;
+            }
+        }
+        if round % 3 == 0 {
+            // Churn rider: joins inside the crowd, moves, leaves. Its
+            // own deliveries are not asserted — it exists to race the
+            // shard map against subscribe/unsubscribe.
+            let mut rider = cluster.client(Point::new(210.0, 190.0));
+            let _ = tokio::time::timeout(Duration::from_secs(2), rider.recv()).await;
+            rider.move_to(Point::new(195.0, 205.0));
+            rider.leave();
+        }
+        tokio::time::sleep(Duration::from_millis(5)).await;
+    }
+    // Let the last scheduled flushes drain, then stop the cluster: the
+    // shutdown flush delivers whatever the batcher still holds.
+    tokio::time::sleep(Duration::from_millis(300)).await;
+    cluster.shutdown().await;
+    tokio::time::sleep(Duration::from_millis(100)).await;
+
+    let all_payloads: Vec<usize> = sent_by.iter().flatten().copied().collect();
+    for (i, c) in clients.iter_mut().enumerate() {
+        let msgs = c.drain();
+        assert_eq!(
+            c.counters().acks,
+            sent_by[i].len() as u64,
+            "client {i}: every action is acked exactly once"
+        );
+        // Count how often each action payload reached this observer
+        // (move updates carry payload 0, so they never collide with
+        // the 300+ action payloads).
+        let mut seen: std::collections::HashMap<usize, u64> = std::collections::HashMap::new();
+        for m in &msgs {
+            if let GameToClient::UpdateBatch { updates } = m {
+                for u in updates {
+                    if u.payload_bytes() >= 300 {
+                        *seen.entry(u.payload_bytes()).or_default() += 1;
+                    }
+                }
+            }
+        }
+        for &p in &all_payloads {
+            let expected = if sent_by[i].contains(&p) { 0 } else { 1 };
+            assert_eq!(
+                seen.get(&p).copied().unwrap_or(0),
+                expected,
+                "client {i}, action payload {p}: lost or duplicated"
+            );
+        }
+    }
+}
+
 #[tokio::test]
 async fn snapshots_expose_topology() {
     let cluster = RtCluster::start(RtConfig::default()).await;

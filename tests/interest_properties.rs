@@ -23,6 +23,12 @@
 //! and ticks — the refactor is a pure re-seaming, not a behaviour
 //! change.
 //!
+//! **Shard-count invariance**: a node flushing through any
+//! `flush_workers` in 1..=8 — shards walked sequentially or on real
+//! threads — must emit byte-identical wire frames in the same order;
+//! the sharded flush engine is a throughput knob, never a behaviour
+//! knob.
+//!
 //! **Ring membership / sampling**: every delivered item carries the
 //! ring its receiver's enqueue-time distance falls in, nothing outside
 //! the outermost ring is delivered, the near ring is never sampled,
@@ -909,6 +915,165 @@ fn pipeline_is_byte_identical_to_the_hand_wired_flush_path() {
                     "case {case} step {step} {nc:?}: wire bytes diverged"
                 );
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard-count invariance (the parallel-flush pin)
+// ---------------------------------------------------------------------------
+
+/// The sharded flush engine must be invisible on the wire: for every
+/// random script of joins, moves, actions, leaves and ticks — with
+/// tiered rings, prediction, payload degradation and budgets all in
+/// play — a node flushing through any `flush_workers` in 2..=8 (odd
+/// counts on the sequential shard walk, even counts on real threads)
+/// emits **byte-identical** frames, in the same order, to the
+/// single-worker node. Sharding is a throughput knob, never a
+/// behaviour knob.
+#[test]
+fn flush_worker_count_is_wire_invariant() {
+    use matrix_middleware::core::{
+        codec, ClientId, ClientToGame, GameAction, GameServerConfig, GameServerNode, GameToClient,
+        ServerId,
+    };
+    use matrix_middleware::sim::{SimDuration, SimTime};
+
+    #[derive(Clone)]
+    enum Step {
+        Client(u64, ClientId, ClientToGame),
+        Tick(u64),
+    }
+
+    /// Replays the script and returns every wire frame sent to any
+    /// client, in emission order.
+    fn replay(
+        cfg: GameServerConfig,
+        parallel: bool,
+        world: Rect,
+        radius: f64,
+        script: &[Step],
+    ) -> Vec<(ClientId, String)> {
+        let mut node = GameServerNode::new(ServerId(1), cfg).with_fanout();
+        if parallel {
+            node = node.with_parallel_flush();
+        }
+        node.register(world, radius);
+        let mut frames = Vec::new();
+        let mut collect = |actions: Vec<GameAction>| {
+            for a in actions {
+                if let GameAction::ToClient(cid, msg @ GameToClient::UpdateBatch { .. }) = a {
+                    frames.push((cid, codec::encode_game_to_client(&msg)));
+                }
+            }
+        };
+        for step in script {
+            match step {
+                Step::Client(t, cid, msg) => {
+                    collect(node.on_client(SimTime::from_millis(*t), *cid, msg.clone()))
+                }
+                Step::Tick(t) => collect(node.on_tick(SimTime::from_millis(*t), 0.0)),
+            }
+        }
+        frames
+    }
+
+    let mut rng = SimRng::seed_from_u64(0x5AAD_C0DE);
+    for case in 0..8 {
+        let world = Rect::from_coords(0.0, 0.0, 800.0, 800.0);
+        let radius = rng.uniform(60.0, 200.0);
+        let mut cfg = GameServerConfig {
+            emit_updates: true,
+            batch_interval: SimDuration::from_millis(50),
+            keyframe_every: rng.uniform_u64(0, 7) as u32,
+            max_updates_per_flush: rng.uniform_u64(0, 5) as u32,
+            client_budget_bytes: if rng.chance(0.4) { 256 } else { 0 },
+            predict: rng.chance(0.5),
+            position_only_ring: rng.uniform_u64(0, 3) as u8,
+            metric: metric_of(rng.uniform_u64(0, 3)),
+            ..GameServerConfig::default()
+        };
+        if rng.chance(0.7) {
+            cfg.set_rings(&[radius * 0.3, radius * 0.6, radius], &[1, 2, 4]);
+        }
+        if cfg.predict {
+            cfg.set_error_budgets(&[0.0, 1.5, 3.0, 6.0]);
+        }
+
+        let clients = rng.uniform_u64(6, 20);
+        let mut pos: Vec<Point> = Vec::new();
+        let mut script = Vec::new();
+        for id in 0..clients {
+            let p = Point::new(rng.uniform(200.0, 600.0), rng.uniform(200.0, 600.0));
+            pos.push(p);
+            script.push(Step::Client(
+                0,
+                ClientId(id),
+                ClientToGame::Join {
+                    pos: p,
+                    state_bytes: 0,
+                },
+            ));
+        }
+        let mut t = 0u64;
+        for _ in 0..150 {
+            t += rng.uniform_u64(5, 30);
+            let id = rng.uniform_u64(0, clients);
+            match rng.uniform_u64(0, 10) {
+                0..=5 => {
+                    let p = Point::new(
+                        (pos[id as usize].x + rng.uniform(-10.0, 10.0)).clamp(0.0, 800.0),
+                        (pos[id as usize].y + rng.uniform(-10.0, 10.0)).clamp(0.0, 800.0),
+                    );
+                    pos[id as usize] = p;
+                    script.push(Step::Client(t, ClientId(id), ClientToGame::Move { pos: p }));
+                }
+                6..=7 => script.push(Step::Client(
+                    t,
+                    ClientId(id),
+                    ClientToGame::Action {
+                        pos: pos[id as usize],
+                        payload_bytes: rng.uniform_u64(0, 120) as usize,
+                    },
+                )),
+                8 => script.push(Step::Tick(t)),
+                _ => {
+                    script.push(Step::Client(t, ClientId(id), ClientToGame::Leave));
+                    let p = Point::new(rng.uniform(200.0, 600.0), rng.uniform(200.0, 600.0));
+                    pos[id as usize] = p;
+                    script.push(Step::Client(
+                        t,
+                        ClientId(id),
+                        ClientToGame::Join {
+                            pos: p,
+                            state_bytes: 0,
+                        },
+                    ));
+                }
+            }
+        }
+        script.push(Step::Tick(t + 100));
+
+        let reference = replay(cfg, false, world, radius, &script);
+        assert!(
+            !reference.is_empty(),
+            "case {case}: the script must actually emit frames"
+        );
+        for workers in 2..=8u32 {
+            let sharded = replay(
+                GameServerConfig {
+                    flush_workers: workers,
+                    ..cfg
+                },
+                workers % 2 == 0, // even counts exercise the real threads
+                world,
+                radius,
+                &script,
+            );
+            assert_eq!(
+                sharded, reference,
+                "case {case}: {workers} flush workers diverged from 1 on the wire"
+            );
         }
     }
 }
