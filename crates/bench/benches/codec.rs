@@ -68,6 +68,7 @@ fn dense_batches() -> Vec<GameToClient> {
                             ring,
                             vx,
                             vy,
+                            trace: None,
                         })
                     } else {
                         BatchItem::Delta(DeltaItem {
@@ -78,6 +79,7 @@ fn dense_batches() -> Vec<GameToClient> {
                             ring,
                             vx,
                             vy,
+                            trace: None,
                         })
                     }
                 })

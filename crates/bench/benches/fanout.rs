@@ -302,6 +302,7 @@ fn run_flush_round(workers: u32, positions: &[Point]) -> (Duration, u64) {
                     ring,
                     vx,
                     vy,
+                    trace: None,
                 },
             );
             now += 0.001;

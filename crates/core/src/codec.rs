@@ -12,6 +12,7 @@
 //!                 {"t":"move","x":1.0,"y":2.0}
 //!                 {"t":"action","x":1.0,"y":2.0,"bytes":90}
 //!                 {"t":"leave"}
+//!                 {"t":"trace-ack","ring":0,"lat":1500,"stale":2500}
 //! game → client   {"t":"joined","server":3}
 //!                 {"t":"ack","seq":17}
 //!                 {"t":"update","x":1.0,"y":2.0,"bytes":90}
@@ -33,6 +34,13 @@
 //! trailing *pair* — both present or both absent — and forces the
 //! entity and ring placeholders; a zero velocity is omitted, keeping
 //! prediction-off frames byte-identical to pre-prediction ones.
+//!
+//! Sampled causal traces ride a batch as a separate optional `"tr"`
+//! field — `[[item_index, origin, seq, ingest_us, stale_us], …]`, one
+//! entry per traced item — so the item arrays themselves never change
+//! shape and untraced batches stay byte-identical to pre-trace frames.
+//! The client echoes a traced item's measured latency back as the
+//! `trace-ack` frame above.
 //!
 //! The replication layer adds three frames, all carrying an explicit
 //! format version (`"v"`) so incompatible peers fail loudly instead of
@@ -375,6 +383,16 @@ pub fn encode_client_to_game(msg: &ClientToGame) -> String {
             let _ = write!(s, ",\"bytes\":{payload_bytes}}}");
         }
         ClientToGame::Leave => s.push_str("{\"t\":\"leave\"}"),
+        ClientToGame::TraceAck {
+            ring,
+            latency_us,
+            staleness_us,
+        } => {
+            let _ = write!(
+                s,
+                "{{\"t\":\"trace-ack\",\"ring\":{ring},\"lat\":{latency_us},\"stale\":{staleness_us}}}"
+            );
+        }
     }
     s
 }
@@ -401,6 +419,11 @@ pub fn decode_client_to_game(line: &str) -> Result<ClientToGame, CodecError> {
             payload_bytes: uint(&obj, "bytes")? as usize,
         }),
         "leave" => Ok(ClientToGame::Leave),
+        "trace-ack" => Ok(ClientToGame::TraceAck {
+            ring: uint(&obj, "ring")? as u8,
+            latency_us: uint(&obj, "lat")?,
+            staleness_us: uint(&obj, "stale")?,
+        }),
         other => Err(CodecError::new(format!("unknown client message '{other}'"))),
     }
 }
@@ -476,7 +499,29 @@ pub fn encode_game_to_client(msg: &GameToClient) -> String {
                     }
                 }
             }
-            s.push_str("]}");
+            s.push(']');
+            // Sampled causal traces, keyed by item index so the item
+            // arrays stay untouched (untraced batches are byte-identical
+            // to pre-trace frames).
+            if updates.iter().any(|u| u.trace().is_some()) {
+                s.push_str(",\"tr\":[");
+                let mut first = true;
+                for (i, item) in updates.iter().enumerate() {
+                    if let Some(tag) = item.trace() {
+                        if !first {
+                            s.push(',');
+                        }
+                        first = false;
+                        let _ = write!(
+                            s,
+                            "[{i},{},{},{},{}]",
+                            tag.origin, tag.seq, tag.ingest_us, tag.stale_us
+                        );
+                    }
+                }
+                s.push(']');
+            }
+            s.push('}');
         }
         GameToClient::SwitchServer { to } => {
             let _ = write!(s, "{{\"t\":\"switch\",\"to\":{}}}", to.0);
@@ -557,6 +602,7 @@ pub fn decode_game_to_client(line: &str) -> Result<GameToClient, CodecError> {
                             ring,
                             vx,
                             vy,
+                            trace: None,
                         }));
                     }
                     Some(Value::Str(_)) => {
@@ -592,7 +638,39 @@ pub fn decode_game_to_client(line: &str) -> Result<GameToClient, CodecError> {
                             ring,
                             vx,
                             vy,
+                            trace: None,
                         }));
+                    }
+                }
+            }
+            // Optional sampled trace tags, keyed by item index.
+            if let Some(value) = obj.get("tr") {
+                let Value::Arr(entries) = value else {
+                    return Err(CodecError::new("field 'tr' must be an array"));
+                };
+                for entry in entries {
+                    let Value::Arr(fields) = entry else {
+                        return Err(CodecError::new("trace entry must be an array"));
+                    };
+                    let f = nums(fields, "trace entry")?;
+                    if f.len() != 5 {
+                        return Err(CodecError::new(
+                            "trace entry must be [index, origin, seq, ingest_us, stale_us]",
+                        ));
+                    }
+                    let idx = f[0] as usize;
+                    let tag = matrix_telemetry::TraceTag {
+                        origin: f[1] as u32,
+                        seq: f[2] as u32,
+                        ingest_us: f[3] as u64,
+                        stale_us: f[4] as u64,
+                    };
+                    match updates.get_mut(idx) {
+                        Some(BatchItem::Absolute(u)) => u.trace = Some(tag),
+                        Some(BatchItem::Delta(d)) => d.trace = Some(tag),
+                        None => {
+                            return Err(CodecError::new("trace entry index out of range"));
+                        }
                     }
                 }
             }
@@ -719,19 +797,30 @@ fn push_snapshot_body(s: &mut String, snap: &RegionSnapshot) {
                 s.push(',');
             }
             let vel = u.vx != 0.0 || u.vy != 0.0;
+            let traced = u.trace.is_some();
             s.push('[');
             push_f64(s, u.origin.x);
             s.push(',');
             push_f64(s, u.origin.y);
             let _ = write!(s, ",{},{}", u.payload_bytes, u.entity);
-            if u.ring != 0 || vel {
+            if u.ring != 0 || vel || traced {
                 let _ = write!(s, ",{}", u.ring);
             }
-            if vel {
+            if vel || traced {
                 s.push(',');
                 push_f64(s, u.vx);
                 s.push(',');
                 push_f64(s, u.vy);
+            }
+            // A trace tag extends the item to 11 positional numbers,
+            // forcing the ring and velocity placeholders; untraced items
+            // stay byte-identical to pre-trace frames.
+            if let Some(tag) = u.trace {
+                let _ = write!(
+                    s,
+                    ",{},{},{},{}",
+                    tag.origin, tag.seq, tag.ingest_us, tag.stale_us
+                );
             }
             s.push(']');
         }
@@ -853,12 +942,19 @@ fn snapshot_from_obj(obj: &BTreeMap<String, Value>) -> Result<RegionSnapshot, Co
                 return Err(CodecError::new("pending item must be an array"));
             };
             let f = nums(fields, "pending item")?;
-            // 4–5 numbers, or 7 with the trailing velocity pair.
-            if f.len() != 4 && f.len() != 5 && f.len() != 7 {
+            // 4–5 numbers, 7 with the trailing velocity pair, or 11 with
+            // a trace tag (which forces the ring/velocity placeholders).
+            if f.len() != 4 && f.len() != 5 && f.len() != 7 && f.len() != 11 {
                 return Err(CodecError::new(
-                    "pending item must be [x, y, bytes, entity, ring?, vx?, vy?]",
+                    "pending item must be [x, y, bytes, entity, ring?, vx?, vy?, trace…?]",
                 ));
             }
+            let trace = (f.len() == 11).then(|| matrix_telemetry::TraceTag {
+                origin: f[7] as u32,
+                seq: f[8] as u32,
+                ingest_us: f[9] as u64,
+                stale_us: f[10] as u64,
+            });
             updates.push(PendingUpdate {
                 origin: Point::new(f[0], f[1]),
                 payload_bytes: f[2] as usize,
@@ -866,6 +962,7 @@ fn snapshot_from_obj(obj: &BTreeMap<String, Value>) -> Result<RegionSnapshot, Co
                 ring: f.get(4).copied().unwrap_or(0.0) as u8,
                 vx: f.get(5).copied().unwrap_or(0.0),
                 vy: f.get(6).copied().unwrap_or(0.0),
+                trace,
             });
         }
         snap.pending.insert(ClientId(id as u64), updates);
@@ -1427,6 +1524,7 @@ mod tests {
                     ring: 0,
                     vx: 0.0,
                     vy: 0.0,
+                    trace: None,
                 }),
                 BatchItem::Absolute(UpdateItem {
                     origin: Point::new(0.0, 0.0),
@@ -1435,6 +1533,7 @@ mod tests {
                     ring: 0,
                     vx: 0.0,
                     vy: 0.0,
+                    trace: None,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: -1.25,
@@ -1444,6 +1543,7 @@ mod tests {
                     ring: 0,
                     vx: 0.0,
                     vy: 0.0,
+                    trace: None,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 0.0,
@@ -1453,6 +1553,7 @@ mod tests {
                     ring: 0,
                     vx: 0.0,
                     vy: 0.0,
+                    trace: None,
                 }),
             ],
         });
@@ -1522,6 +1623,7 @@ mod tests {
                     ring: 2,
                     vx: 0.0,
                     vy: 0.0,
+                    trace: None,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 0.5,
@@ -1531,6 +1633,7 @@ mod tests {
                     ring: 1,
                     vx: 0.0,
                     vy: 0.0,
+                    trace: None,
                 }),
             ],
         };
@@ -1547,6 +1650,7 @@ mod tests {
                 ring: 0,
                 vx: 0.0,
                 vy: 0.0,
+                trace: None,
             })],
         };
         let line = encode_game_to_client(&near);
@@ -1585,6 +1689,7 @@ mod tests {
                     ring: 0,
                     vx: 12.5,
                     vy: -3.25,
+                    trace: None,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 0.5,
@@ -1594,6 +1699,7 @@ mod tests {
                     ring: 2,
                     vx: -0.25,
                     vy: 1.0,
+                    trace: None,
                 }),
             ],
         };
@@ -1610,6 +1716,7 @@ mod tests {
                 ring: 0,
                 vx: 0.0,
                 vy: 0.0,
+                trace: None,
             })],
         };
         let line = encode_game_to_client(&still);
@@ -1664,6 +1771,7 @@ mod tests {
                 ring: 1,
                 vx: 2.5,
                 vy: -1.5,
+                trace: None,
             }],
         );
         let line = encode_region_snapshot(&snap);
@@ -1723,6 +1831,7 @@ mod tests {
                 ring: 0,
                 vx: 0.0,
                 vy: 0.0,
+                trace: None,
             }],
         );
         snap
@@ -1898,6 +2007,7 @@ mod tests {
                             ring: (next() % 4) as u8,
                             vx: 0.0,
                             vy: 0.0,
+                            trace: None,
                         })
                         .collect();
                     snap.pending.insert(id, items);

@@ -105,8 +105,14 @@ pub const MAX_BODY_BYTES: u32 = 1 << 24;
 
 /// Flag bit in the type byte: frame carries a CRC32 trailer.
 const FLAG_CRC: u8 = 0x80;
+/// Flag bit in the type byte: a `T_BATCH` body opens with a sampled
+/// trace section (`u16` entry count, then per entry: `u16` item index,
+/// `u32` origin node, `u32` event seq, `u64` ingest µs, `u64` charged
+/// staleness µs). Only valid on `T_BATCH`; untraced batches never set
+/// it, so their frames stay byte-identical to pre-trace ones.
+const FLAG_TRACE: u8 = 0x40;
 /// Reserved flag bits — must be zero in v2.
-const FLAG_RESERVED: u8 = 0x60;
+const FLAG_RESERVED: u8 = 0x20;
 /// Frame-type mask in the type byte.
 const TYPE_MASK: u8 = 0x1F;
 
@@ -126,6 +132,12 @@ const T_REPLICA_ACK: u8 = 11;
 const T_STATS_QUERY: u8 = 12;
 const T_STATS_REPLY: u8 = 13;
 const T_LOAD: u8 = 14;
+const T_TRACE_ACK: u8 = 15;
+
+/// Wire size of one trace-section entry (item index + origin + seq +
+/// ingest + staleness). Public so byte-accounting mirrors (tests, the
+/// sim's bandwidth model) can compose frame lengths without encoding.
+pub const TRACE_ENTRY_BYTES: usize = 2 + 4 + 4 + 8 + 8;
 
 // Batch-item header-byte bits (module docs above).
 const ITEM_DELTA: u8 = 0x01;
@@ -378,6 +390,11 @@ impl<'a> Reader<'a> {
         Ok(((raw << 8) as i32) >> 8)
     }
 
+    fn u32(&mut self, what: &str) -> Result<u32, CodecError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
     fn u64(&mut self, what: &str) -> Result<u64, CodecError> {
         let b = self.take(8, what)?;
         Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
@@ -578,6 +595,16 @@ fn encode_client_body(msg: &ClientToGame, out: &mut Vec<u8>) -> u8 {
             T_ACTION
         }
         ClientToGame::Leave => T_LEAVE,
+        ClientToGame::TraceAck {
+            ring,
+            latency_us,
+            staleness_us,
+        } => {
+            out.push(*ring);
+            put_varint(out, *latency_us);
+            put_varint(out, *staleness_us);
+            T_TRACE_ACK
+        }
     }
 }
 
@@ -600,10 +627,35 @@ fn encode_server_body(msg: &GameToClient, out: &mut Vec<u8>) -> u8 {
             T_UPDATE
         }
         GameToClient::UpdateBatch { updates } => {
+            // Sampled trace section, present only when at least one item
+            // is traced (the frame then carries `FLAG_TRACE` in its type
+            // byte); untraced batches encode byte-identically to
+            // pre-trace frames.
+            let traced = updates.iter().filter(|u| u.trace().is_some()).count();
+            debug_assert!(
+                updates.len() <= u16::MAX as usize,
+                "batch exceeds the u16 trace index space"
+            );
+            if traced > 0 {
+                put_u16(out, traced as u16);
+                for (i, item) in updates.iter().enumerate() {
+                    if let Some(tag) = item.trace() {
+                        put_u16(out, i as u16);
+                        put_u32(out, tag.origin);
+                        put_u32(out, tag.seq);
+                        put_u64(out, tag.ingest_us);
+                        put_u64(out, tag.stale_us);
+                    }
+                }
+            }
             for item in updates {
                 encode_batch_item(out, item);
             }
-            T_BATCH
+            if traced > 0 {
+                T_BATCH | FLAG_TRACE
+            } else {
+                T_BATCH
+            }
         }
         GameToClient::SwitchServer { to } => {
             put_varint(out, to.0 as u64);
@@ -801,8 +853,19 @@ fn encode_snapshot_body(snap: &RegionSnapshot, out: &mut Vec<u8>) {
         put_varint(out, id.0);
         put_varint(out, items.len() as u64);
         for u in items {
+            // The leading byte is a bitflag set (bit 0: velocity pair,
+            // bit 1: trace tag). Pre-trace encoders only ever wrote 0
+            // or 1 here, so old frames decode unchanged and old decoders
+            // reject traced frames loudly (strict 0..=1 check).
             let vel = u.vx != 0.0 || u.vy != 0.0;
-            out.push(u8::from(vel));
+            let mut flags = 0u8;
+            if vel {
+                flags |= 0x01;
+            }
+            if u.trace.is_some() {
+                flags |= 0x02;
+            }
+            out.push(flags);
             out.push(u.ring);
             put_point(out, u.origin);
             put_varint(out, u.payload_bytes as u64);
@@ -810,6 +873,12 @@ fn encode_snapshot_body(snap: &RegionSnapshot, out: &mut Vec<u8>) {
             if vel {
                 put_f64(out, u.vx);
                 put_f64(out, u.vy);
+            }
+            if let Some(tag) = u.trace {
+                put_varint(out, tag.origin as u64);
+                put_varint(out, tag.seq as u64);
+                put_varint(out, tag.ingest_us);
+                put_varint(out, tag.stale_us);
             }
         }
     }
@@ -871,8 +940,12 @@ pub fn decode_frame(buf: &[u8]) -> Result<FrameStatus, CodecError> {
         return Err(CodecError::new("reserved frame flags set"));
     }
     let ty = ty_flags & TYPE_MASK;
-    if ty > T_LOAD {
+    if ty > T_TRACE_ACK {
         return Err(CodecError::new(format!("unknown frame type {ty}")));
+    }
+    let traced = ty_flags & FLAG_TRACE != 0;
+    if traced && ty != T_BATCH {
+        return Err(CodecError::new("trace flag on a non-batch frame"));
     }
     if buf.len() < 8 {
         return Ok(FrameStatus::Incomplete);
@@ -902,7 +975,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<FrameStatus, CodecError> {
             )));
         }
     }
-    let frame = decode_body(ty, &buf[HEADER_BYTES..body_end])?;
+    let frame = decode_body(ty, traced, &buf[HEADER_BYTES..body_end])?;
     Ok(FrameStatus::Complete {
         frame,
         meta,
@@ -910,7 +983,7 @@ pub fn decode_frame(buf: &[u8]) -> Result<FrameStatus, CodecError> {
     })
 }
 
-fn decode_body(ty: u8, body: &[u8]) -> Result<Frame, CodecError> {
+fn decode_body(ty: u8, traced: bool, body: &[u8]) -> Result<Frame, CodecError> {
     let mut r = Reader::new(body);
     let frame = match ty {
         T_HELLO => Frame::Hello {
@@ -928,6 +1001,11 @@ fn decode_body(ty: u8, body: &[u8]) -> Result<Frame, CodecError> {
             payload_bytes: r.varint("action payload size")? as usize,
         }),
         T_LEAVE => Frame::Client(ClientToGame::Leave),
+        T_TRACE_ACK => Frame::Client(ClientToGame::TraceAck {
+            ring: r.u8("trace-ack ring")?,
+            latency_us: r.varint("trace-ack latency")?,
+            staleness_us: r.varint("trace-ack staleness")?,
+        }),
         T_JOINED => Frame::Server(GameToClient::Joined {
             server: ServerId(r.varu32("joined server id")?),
         }),
@@ -939,9 +1017,41 @@ fn decode_body(ty: u8, body: &[u8]) -> Result<Frame, CodecError> {
             payload_bytes: r.varint("update payload size")? as usize,
         }),
         T_BATCH => {
+            // Trace section first (present only under FLAG_TRACE), so
+            // untraced bodies parse exactly as before the flag existed.
+            let mut tags = Vec::new();
+            if traced {
+                let n = r.u16("trace entry count")? as usize;
+                if n * TRACE_ENTRY_BYTES > r.remaining() {
+                    return Err(CodecError::new("trace section exceeds frame size"));
+                }
+                for _ in 0..n {
+                    let idx = r.u16("trace item index")? as usize;
+                    let origin = r.u32("trace origin")?;
+                    let seq = r.u32("trace seq")?;
+                    let ingest_us = r.u64("trace ingest time")?;
+                    let stale_us = r.u64("trace staleness")?;
+                    tags.push((
+                        idx,
+                        matrix_telemetry::TraceTag {
+                            origin,
+                            seq,
+                            ingest_us,
+                            stale_us,
+                        },
+                    ));
+                }
+            }
             let mut updates = Vec::new();
             while r.remaining() > 0 {
                 updates.push(decode_batch_item(&mut r)?);
+            }
+            for (idx, tag) in tags {
+                match updates.get_mut(idx) {
+                    Some(BatchItem::Absolute(u)) => u.trace = Some(tag),
+                    Some(BatchItem::Delta(d)) => d.trace = Some(tag),
+                    None => return Err(CodecError::new("trace entry index out of range")),
+                }
             }
             Frame::Server(GameToClient::UpdateBatch { updates })
         }
@@ -1015,6 +1125,7 @@ fn frame_name(ty: u8) -> &'static str {
         T_STATS_QUERY => "stats",
         T_STATS_REPLY => "stats-reply",
         T_LOAD => "load",
+        T_TRACE_ACK => "trace-ack",
         _ => "unknown",
     }
 }
@@ -1068,6 +1179,7 @@ fn decode_batch_item(r: &mut Reader<'_>) -> Result<BatchItem, CodecError> {
             ring,
             vx,
             vy,
+            trace: None,
         })
     } else {
         let origin = r.point("item origin")?;
@@ -1079,6 +1191,7 @@ fn decode_batch_item(r: &mut Reader<'_>) -> Result<BatchItem, CodecError> {
             ring,
             vx,
             vy,
+            trace: None,
         })
     };
     Ok(item)
@@ -1223,7 +1336,11 @@ fn decode_snapshot_body(r: &mut Reader<'_>) -> Result<RegionSnapshot, CodecError
         let k = r.count("pending item count")?;
         let mut items = Vec::with_capacity(k);
         for _ in 0..k {
-            let vel = r.bool("pending velocity flag")?;
+            let flags = r.u8("pending item flags")?;
+            if flags & !0x03 != 0 {
+                return Err(CodecError::new("reserved pending item flags set"));
+            }
+            let vel = flags & 0x01 != 0;
             let ring = r.u8("pending ring")?;
             let origin = r.point("pending origin")?;
             let payload_bytes = r.varint("pending payload size")? as usize;
@@ -1233,6 +1350,16 @@ fn decode_snapshot_body(r: &mut Reader<'_>) -> Result<RegionSnapshot, CodecError
             } else {
                 (0.0, 0.0)
             };
+            let trace = if flags & 0x02 != 0 {
+                Some(matrix_telemetry::TraceTag {
+                    origin: r.varu32("pending trace origin")?,
+                    seq: r.varu32("pending trace seq")?,
+                    ingest_us: r.varint("pending trace ingest")?,
+                    stale_us: r.varint("pending trace staleness")?,
+                })
+            } else {
+                None
+            };
             items.push(PendingUpdate {
                 origin,
                 payload_bytes,
@@ -1240,6 +1367,7 @@ fn decode_snapshot_body(r: &mut Reader<'_>) -> Result<RegionSnapshot, CodecError
                 ring,
                 vx,
                 vy,
+                trace,
             });
         }
         snap.pending.insert(id, items);
@@ -1308,9 +1436,17 @@ pub fn batch_item_wire_len(item: &BatchItem) -> usize {
 /// Wire size of a whole `UpdateBatch` frame holding `items`, computed
 /// arithmetically (no allocation, no encoding). Payload *content* is
 /// not included — the items declare payload sizes, they do not carry
-/// the bytes.
+/// the bytes. A sampled trace section (present when any item carries a
+/// tag) adds its count prefix plus one fixed-width entry per traced
+/// item.
 pub fn update_batch_frame_len(items: &[BatchItem], crc: bool) -> usize {
-    frame_overhead(crc) + items.iter().map(batch_item_wire_len).sum::<usize>()
+    let traced = items.iter().filter(|u| u.trace().is_some()).count();
+    let trace_section = if traced > 0 {
+        2 + traced * TRACE_ENTRY_BYTES
+    } else {
+        0
+    };
+    frame_overhead(crc) + trace_section + items.iter().map(batch_item_wire_len).sum::<usize>()
 }
 
 // ---------------------------------------------------------------------------
@@ -1474,6 +1610,7 @@ mod tests {
             ring: 1,
             vx: 0.0,
             vy: 0.0,
+            trace: None,
         });
         let delta = BatchItem::Delta(DeltaItem {
             dx: 0.5,
@@ -1483,6 +1620,7 @@ mod tests {
             ring: 0,
             vx: 1.5,
             vy: -2.0,
+            trace: None,
         });
         assert_eq!(batch_item_wire_len(&abs), UpdateItem::WIRE_BYTES);
         assert_eq!(
@@ -1513,6 +1651,7 @@ mod tests {
             ring: 3,
             vx: 0.3,
             vy: 0.0,
+            trace: None,
         });
         assert_eq!(batch_item_wire_len(&item), 1 + 8 + 8 + 16 + 16);
         round_trip(Frame::Server(GameToClient::UpdateBatch {
@@ -1571,6 +1710,36 @@ mod tests {
         );
         assert!(errors >= 1, "the corrupt frame must surface as an error");
         assert_eq!(acc.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn trace_flag_is_rejected_on_non_batch_frames() {
+        // Only `T_BATCH` carries a trace section; the flag on any other
+        // type means a corrupt or hostile stream, and the decoder must
+        // refuse before trying to read a section that is not there.
+        let frames = [
+            Frame::Hello { version: 2 },
+            Frame::Client(ClientToGame::Move {
+                pos: Point::new(5.0, 6.0),
+            }),
+            Frame::Client(ClientToGame::TraceAck {
+                ring: 0,
+                latency_us: 10,
+                staleness_us: 20,
+            }),
+            Frame::Server(GameToClient::Ack { seq: 9 }),
+        ];
+        for frame in frames {
+            // No CRC, so the flipped flag is the only defect on trial.
+            let mut bytes = encode_frame(&frame, FrameMeta::default(), false);
+            assert_eq!(bytes[3] & FLAG_TRACE, 0, "{frame:?} must encode untraced");
+            bytes[3] |= FLAG_TRACE;
+            let err = decode_frame(&bytes).expect_err("trace flag must be rejected");
+            assert!(
+                err.to_string().contains("non-batch"),
+                "unexpected error for {frame:?}: {err}"
+            );
+        }
     }
 
     #[test]

@@ -260,6 +260,23 @@ pub struct GameServerConfig {
     /// — this is purely a throughput knob. `1` (the default) is the
     /// sequential single-shard path.
     pub flush_workers: u32,
+    /// Causal trace sampling: every `trace_sample_rate`-th ingested
+    /// event (by the node's event sequence number, deterministically) is
+    /// stamped with a [`matrix_telemetry::TraceTag`] that rides the
+    /// pipeline and the wire; receiving clients echo per-item delivery
+    /// latency and staleness-at-apply back as trace acks. `0` (the
+    /// default) disables the trace plane entirely — no stamping, no
+    /// suppression charging, untagged wire frames stay byte-identical.
+    /// Independent of the `telemetry` master switch so traced runs can
+    /// skip span clocks, but the ack histograms only surface through
+    /// telemetry snapshots, so end-to-end runs enable both.
+    pub trace_sample_rate: u32,
+    /// Slow-flush capture threshold in µs (`0` = off): when a whole
+    /// flush takes longer than this, that flush's per-stage, per-shard
+    /// span breakdown is dumped into the node's flight recorder as
+    /// [`matrix_telemetry::EventKind::SlowFlush`] events (one per
+    /// shard). Needs `telemetry` on — the spans are the data source.
+    pub slow_flush_threshold_us: u64,
 }
 
 impl Default for GameServerConfig {
@@ -295,6 +312,8 @@ impl Default for GameServerConfig {
             codec: WireCodec::BinaryV2,
             frame_crc: true,
             flush_workers: 1,
+            trace_sample_rate: 0,
+            slow_flush_threshold_us: 0,
         }
     }
 }
@@ -343,6 +362,13 @@ pub struct CoordinatorConfig {
     pub failover: bool,
     /// Distance metric used when building overlap tables.
     pub metric: Metric,
+    /// Per-ring freshness SLO targets and error budget
+    /// ([`matrix_telemetry::SloTargets`]). Fed by the per-ring
+    /// staleness histograms riding node heartbeats (which exist only
+    /// when nodes run with `telemetry` on and a non-zero
+    /// `trace_sample_rate`); all-zero targets (the default) disable the
+    /// tracker.
+    pub slo: matrix_telemetry::SloTargets,
 }
 
 impl Default for CoordinatorConfig {
@@ -351,6 +377,7 @@ impl Default for CoordinatorConfig {
             heartbeat_timeout: SimDuration::from_secs(5),
             failover: true,
             metric: Metric::Euclidean,
+            slo: matrix_telemetry::SloTargets::default(),
         }
     }
 }

@@ -12,7 +12,7 @@ use crate::config::CoordinatorConfig;
 use crate::messages::{CoordMsg, CoordReply};
 use matrix_geometry::{build_overlap, consistency_set, OverlapMap, PartitionMap, Rect, ServerId};
 use matrix_sim::SimTime;
-use matrix_telemetry::{EventKind, FlightRecorder, TelemetrySnapshot};
+use matrix_telemetry::{EventKind, FlightRecorder, SloTracker, TelemetrySnapshot, SLO_RINGS};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -52,6 +52,9 @@ pub struct CoordinatorStats {
     pub divergences: u64,
     /// Targeted table re-pushes triggered by stale-epoch heartbeats.
     pub table_refreshes: u64,
+    /// Freshness-SLO breach edges recorded: a ring's error-budget burn
+    /// rate crossed 1.0 (each also lands in the flight recorder).
+    pub slo_breaches: u64,
 }
 
 /// The shared function type behind a [`CoordLog`] hook.
@@ -111,11 +114,19 @@ pub struct Coordinator {
     recorder: FlightRecorder,
     /// Latest telemetry snapshot per node, delivered on heartbeats.
     telemetry: BTreeMap<ServerId, TelemetrySnapshot>,
+    /// Cluster-wide freshness SLO accounting over the per-ring staleness
+    /// histograms the trace plane ships on heartbeats. Inert (every
+    /// observation is a no-op) unless `cfg.slo` names a target.
+    slo: SloTracker,
+    /// Last cumulative `(samples, over-target)` seen per server per ring
+    /// — heartbeat snapshots are cumulative, the tracker wants deltas.
+    slo_last: BTreeMap<ServerId, [(u64, u64); SLO_RINGS]>,
 }
 
 impl Coordinator {
     /// Creates an empty coordinator awaiting the first registration.
     pub fn new(cfg: CoordinatorConfig) -> Coordinator {
+        let slo = SloTracker::new(cfg.slo);
         Coordinator {
             cfg,
             world: None,
@@ -132,6 +143,8 @@ impl Coordinator {
             stats: CoordinatorStats::default(),
             recorder: FlightRecorder::new(1024),
             telemetry: BTreeMap::new(),
+            slo,
+            slo_last: BTreeMap::new(),
         }
     }
 
@@ -183,6 +196,70 @@ impl Coordinator {
     /// The cluster-wide flight recorder of structured topology events.
     pub fn recorder(&self) -> &FlightRecorder {
         &self.recorder
+    }
+
+    /// Feeds one node's freshly-arrived staleness histograms into the
+    /// freshness SLO tracker. Heartbeat telemetry is cumulative, so the
+    /// tracker is fed the *delta* against the last observation for this
+    /// server — per ring: traced samples applied since then, and how
+    /// many were over the ring's target (bucket precision). A breach
+    /// edge (burn rate crossing 1.0) lands in the flight recorder.
+    fn observe_slo(&mut self, now: SimTime, server: ServerId) {
+        if !self.slo.enabled() {
+            return;
+        }
+        let Some(snap) = self.telemetry.get(&server) else {
+            return;
+        };
+        let mut cumulative = [(0u64, 0u64); SLO_RINGS];
+        for (ring, slot) in cumulative.iter_mut().enumerate() {
+            let target = self.slo.target_us(ring as u8);
+            if target == 0 {
+                continue;
+            }
+            if let Some(h) = snap.get_hist(&format!("staleness_r{ring}_us")) {
+                *slot = (h.count, h.to_histogram().count_over(target as f64));
+            }
+        }
+        let last = self.slo_last.entry(server).or_default();
+        for ring in 0..SLO_RINGS {
+            let (total, over) = cumulative[ring];
+            let (last_total, last_over) = last[ring];
+            // A promoted/restarted node restarts its histograms; the
+            // saturating delta treats the shrunk totals as "no news"
+            // instead of wrapping.
+            let d_samples = total.saturating_sub(last_total);
+            let d_over = over.saturating_sub(last_over);
+            last[ring] = (total, over);
+            if d_samples == 0 {
+                continue;
+            }
+            if let Some(burn_bp) = self.slo.observe(ring as u8, d_samples, d_over) {
+                self.stats.slo_breaches += 1;
+                self.recorder.record(
+                    now,
+                    EventKind::SloBreach {
+                        ring: ring as u8,
+                        burn_bp,
+                    },
+                );
+                self.log.emit(|| {
+                    format!("slo breach: ring {ring} burning at {burn_bp}bp (10000bp = budget)")
+                });
+            }
+        }
+    }
+
+    /// The cluster-wide freshness SLO tracker (inert unless
+    /// [`crate::config::CoordinatorConfig::slo`] names a target).
+    pub fn slo(&self) -> &SloTracker {
+        &self.slo
+    }
+
+    /// The SLO plane's stats-endpoint face: `slo_*` counters per tracked
+    /// ring (empty when the tracker is disabled or has no samples).
+    pub fn slo_snapshot(&self) -> TelemetrySnapshot {
+        self.slo.snapshot()
     }
 
     /// The latest telemetry snapshot each node shipped on a heartbeat,
@@ -333,6 +410,7 @@ impl Coordinator {
                 if let Some(snap) = telemetry {
                     // Snapshots are cumulative; latest wins.
                     self.telemetry.insert(server, *snap);
+                    self.observe_slo(now, server);
                 }
                 // Anti-entropy: a server routing with stale tables (a lost
                 // or delayed push) gets a targeted refresh instead of

@@ -206,6 +206,20 @@ pub struct GameServerNode {
     ready: bool,
     ticks: u64,
     seq: u64,
+    /// Ingested-event counter driving the deterministic trace sampling
+    /// decision (`trace_sample_rate`). Counts *every* fan-out source —
+    /// local moves/actions and remote deliveries — so a 1-in-N rate
+    /// means 1-in-N of the events this node disseminates.
+    ingest_seq: u64,
+    /// Traced events stamped at ingest (0 with tracing off).
+    trace_events: u64,
+    /// Trace acks folded back from receivers.
+    trace_acks: u64,
+    /// Per-ring end-to-end delivery latency from echoed trace acks (µs).
+    trace_latency: [Histogram; MAX_RINGS],
+    /// Per-ring staleness-at-apply from echoed trace acks (µs): latency
+    /// plus the charged age of suppressed/dropped predecessors.
+    trace_staleness: [Histogram; MAX_RINGS],
     stats: GameStats,
     /// Structured event ring (joins, handovers, promotions, retunes);
     /// zero-capacity (a no-op) unless `cfg.telemetry` is on.
@@ -232,6 +246,11 @@ impl GameServerNode {
             ready: false,
             ticks: 0,
             seq: 0,
+            ingest_seq: 0,
+            trace_events: 0,
+            trace_acks: 0,
+            trace_latency: std::array::from_fn(|_| Histogram::new()),
+            trace_staleness: std::array::from_fn(|_| Histogram::new()),
             stats: GameStats::default(),
             recorder: FlightRecorder::new(if cfg.telemetry {
                 cfg.telemetry_events as usize
@@ -264,7 +283,7 @@ impl GameServerNode {
         cfg: &GameServerConfig,
         registered_radius: f64,
     ) -> DisseminationPipeline<ClientId, UpdateItem> {
-        DisseminationPipeline::new(
+        let mut pipeline = DisseminationPipeline::new(
             bounds,
             cfg.cells_per_axis.max(1),
             Self::ring_set_for(cfg, registered_radius),
@@ -298,7 +317,13 @@ impl GameServerNode {
                 telemetry: cfg.telemetry,
             },
         )
-        .with_shards(cfg.flush_workers)
+        .with_shards(cfg.flush_workers);
+        // Staleness charging (suppressed/dropped event ages charged to
+        // the next delivered rebase) only runs when events can actually
+        // carry tags — with sampling off the charge maps stay untouched
+        // and the flush path is branch-for-branch what it was.
+        pipeline.set_trace_charging(cfg.trace_sample_rate > 0);
+        pipeline
     }
 
     /// The AOI tiers for a config: the configured concentric rings, or
@@ -416,9 +441,53 @@ impl GameServerNode {
             snap.hist(format!("stage_{}_us", stage.name()), &h);
         }
         snap.hist("flush_us", &self.flush_hist);
+        // Shard balance of the sharded flush (PR 9): max/mean of the
+        // per-shard stage-5 (delta/encode) time, in basis points.
+        // 10 000 = perfectly even; 2× the mean on the worst shard reads
+        // as 20 000. Only meaningful once something actually flushed.
+        let sums = self.pipeline.shard_stage_sums(Stage::Delta);
+        let mean = sums.iter().sum::<f64>() / sums.len().max(1) as f64;
+        if mean > 0.0 {
+            let max = sums.iter().cloned().fold(0.0_f64, f64::max);
+            snap.counter("flush_shard_imbalance_bp", (max / mean * 10_000.0) as u64);
+        }
+        // The causal trace plane: stamped/acked volumes and the per-ring
+        // end-to-end freshness histograms the coordinator's SLO tracker
+        // consumes. Omitted entirely while tracing never ran, keeping
+        // tracing-off snapshots identical to pre-trace ones.
+        if self.trace_events > 0 || self.trace_acks > 0 {
+            snap.counter("trace_events", self.trace_events);
+            snap.counter("trace_acks", self.trace_acks);
+            for ring in 0..MAX_RINGS {
+                snap.hist(
+                    format!("delivery_latency_r{ring}_us"),
+                    &self.trace_latency[ring],
+                );
+                snap.hist(format!("staleness_r{ring}_us"), &self.trace_staleness[ring]);
+            }
+        }
+        snap.counter("recorder_capacity", self.recorder.capacity() as u64);
         snap.events_dropped = self.recorder.dropped();
         snap.events_seen = self.recorder.next_seq();
         Some(snap)
+    }
+
+    /// Per-ring end-to-end freshness measured from echoed trace acks:
+    /// `(delivery latency, staleness at apply)` histograms in µs, index
+    /// = vision ring. Empty histograms until traced items were applied
+    /// and acked.
+    pub fn trace_histograms(&self) -> (&[Histogram; MAX_RINGS], &[Histogram; MAX_RINGS]) {
+        (&self.trace_latency, &self.trace_staleness)
+    }
+
+    /// Traced events stamped at ingest so far (`0` with tracing off).
+    pub fn trace_events(&self) -> u64 {
+        self.trace_events
+    }
+
+    /// Trace acks received back from clients so far.
+    pub fn trace_acks(&self) -> u64 {
+        self.trace_acks
     }
 
     /// Positions of all connected clients (for tests and load-aware
@@ -529,6 +598,21 @@ impl GameServerNode {
                 out.extend(self.check_roaming(client));
                 out
             }
+            ClientToGame::TraceAck {
+                ring,
+                latency_us,
+                staleness_us,
+            } => {
+                // Close the causal loop: the receiver measured one
+                // sampled item end-to-end and echoed the numbers; fold
+                // them into the per-ring freshness histograms the
+                // heartbeat ships to the coordinator's SLO tracker.
+                self.trace_acks += 1;
+                let r = (ring as usize).min(MAX_RINGS - 1);
+                self.trace_latency[r].record(latency_us as f64);
+                self.trace_staleness[r].record(staleness_us as f64);
+                Vec::new()
+            }
             ClientToGame::Leave => {
                 if self.clients.remove(&client).is_some() {
                     self.stats.leaves += 1;
@@ -592,6 +676,22 @@ impl GameServerNode {
         // what makes the sender's error simulation equal the receiver's
         // real extrapolation error.
         let wire_origin = matrix_interest::quantize(origin, self.cfg.origin_quantum);
+        // Trace stamping: a deterministic 1-in-`trace_sample_rate`
+        // subset of ingested events carries a causal tag from here to
+        // the receiving client's apply. Sim time, never wall clock, so
+        // the sampled subset and every measured latency replay exactly.
+        let ingest_seq = self.ingest_seq;
+        self.ingest_seq += 1;
+        let trace = if matrix_telemetry::TraceTag::sampled(ingest_seq, self.cfg.trace_sample_rate) {
+            self.trace_events += 1;
+            Some(matrix_telemetry::TraceTag::new(
+                self.id.0,
+                ingest_seq as u32,
+                now.as_micros(),
+            ))
+        } else {
+            None
+        };
         let stats = self.pipeline.disseminate(
             origin,
             wire_origin,
@@ -607,6 +707,7 @@ impl GameServerNode {
                 ring,
                 vx,
                 vy,
+                trace,
             },
         );
         self.stats.updates_fanned += stats.delivered;
@@ -682,6 +783,7 @@ impl GameServerNode {
                         ring: u.ring,
                         vx: u.vx,
                         vy: u.vy,
+                        trace: u.trace,
                     }),
                 };
                 delta.ring_items[(u.ring as usize).min(MAX_RINGS - 1)] += 1;
@@ -721,7 +823,26 @@ impl GameServerNode {
         }
         delta.merge_into(&mut self.stats);
         if let Some(t0) = t0 {
-            self.flush_hist.record(t0.elapsed().as_secs_f64() * 1e6);
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            self.flush_hist.record(us);
+            // Slow-flush capture: when one flush blows the configured
+            // threshold, dump its per-stage, per-shard span breakdown
+            // into the flight recorder — the post-mortem answers "which
+            // stage, which shard" without re-running the workload.
+            let threshold = self.cfg.slow_flush_threshold_us;
+            if threshold > 0 && us as u64 >= threshold {
+                for (shard, spans) in self.pipeline.last_flush_spans().into_iter().enumerate() {
+                    self.recorder.record(
+                        now,
+                        EventKind::SlowFlush {
+                            server: self.id,
+                            shard: shard as u32,
+                            total_us: us as u64,
+                            stages: spans.map(|s| s as u64),
+                        },
+                    );
+                }
+            }
         }
         out
     }
@@ -988,6 +1109,7 @@ impl GameServerNode {
                         ring: u.ring,
                         vx: u.vx,
                         vy: u.vy,
+                        trace: u.trace,
                     })
                     .collect(),
             );
@@ -1101,6 +1223,7 @@ impl GameServerNode {
                         ring: u.ring,
                         vx: u.vx,
                         vy: u.vy,
+                        trace: u.trace,
                     },
                 );
             }

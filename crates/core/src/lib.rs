@@ -134,7 +134,8 @@ pub use matrix_replication::{
 // render Prometheus text from the same types the wire codec carries.
 pub use matrix_telemetry::{
     diag_line, emit_diag, render_prometheus, EventKind, FlightRecorder, HistSnapshot, Histogram,
-    Stage, StageSpans, TelemetryEvent, TelemetrySnapshot,
+    SloTargets, SloTracker, Stage, StageSpans, TelemetryEvent, TelemetrySnapshot, TraceTag,
+    BURN_ONE_BP, SLO_RINGS,
 };
 
 // Re-export the spatial vocabulary users need at the API boundary.

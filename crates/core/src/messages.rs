@@ -54,6 +54,23 @@ pub enum ClientToGame {
     },
     /// Leave the game.
     Leave,
+    /// Echo of a sampled causal trace: the client applied a traced item
+    /// and reports its end-to-end delivery latency and staleness-at-apply
+    /// (both in µs, computed from the item's
+    /// [`TraceTag`](matrix_telemetry::TraceTag)). The server folds these
+    /// into its per-ring `delivery_latency_r{N}_us` / `staleness_r{N}_us`
+    /// histograms — the raw material of the coordinator's freshness SLO
+    /// tracker. Sent only for traced items (`trace_sample_rate`), so the
+    /// upstream cost scales with the sample rate, not the update rate.
+    TraceAck {
+        /// The vision ring the traced item was delivered through.
+        ring: u8,
+        /// Ingest-to-apply latency of the traced item itself (µs).
+        latency_us: u64,
+        /// Staleness at apply: latency plus the charged age of suppressed
+        /// or policy-dropped predecessors (µs).
+        staleness_us: u64,
+    },
 }
 
 /// One visible event inside a [`GameToClient::UpdateBatch`].
@@ -81,6 +98,12 @@ pub struct UpdateItem {
     pub vx: f64,
     /// Estimated velocity, y axis (see [`UpdateItem::vx`]).
     pub vy: f64,
+    /// Causal trace tag, present on the sampled subset of events
+    /// (`trace_sample_rate`) and absent otherwise. Untraced items encode
+    /// byte-identically to the pre-trace wire (both codecs omit the
+    /// field/section entirely), so tracing-off frames are pinned
+    /// unchanged.
+    pub trace: Option<matrix_telemetry::TraceTag>,
 }
 
 impl UpdateItem {
@@ -136,6 +159,10 @@ pub struct DeltaItem {
     pub vx: f64,
     /// Dead-reckoning velocity, y axis, same as [`UpdateItem::vy`].
     pub vy: f64,
+    /// Causal trace tag, same as [`UpdateItem::trace`]. Delta encoding
+    /// preserves the tag: a traced event stays traced whether it ships
+    /// as a keyframe or a delta.
+    pub trace: Option<matrix_telemetry::TraceTag>,
 }
 
 impl DeltaItem {
@@ -225,6 +252,14 @@ impl BatchItem {
     pub fn has_velocity(&self) -> bool {
         self.velocity() != (0.0, 0.0)
     }
+
+    /// The causal trace tag carried by this item, if sampled.
+    pub fn trace(&self) -> Option<matrix_telemetry::TraceTag> {
+        match self {
+            BatchItem::Absolute(u) => u.trace,
+            BatchItem::Delta(d) => d.trace,
+        }
+    }
 }
 
 /// Reconstructs the absolute [`UpdateItem`]s of one batch, threading the
@@ -255,6 +290,7 @@ pub fn reconstruct_updates(
             ring: item.ring(),
             vx,
             vy,
+            trace: item.trace(),
         });
     }
     Some(out)
@@ -287,6 +323,16 @@ impl matrix_interest::Disseminated for UpdateItem {
 
     fn strip_payload(&mut self) {
         self.payload_bytes = 0;
+    }
+
+    fn trace(&self) -> Option<matrix_telemetry::TraceTag> {
+        self.trace
+    }
+
+    fn trace_charge(&mut self, age_us: u64) {
+        if let Some(tag) = &mut self.trace {
+            tag.charge(age_us);
+        }
     }
 }
 
@@ -860,6 +906,7 @@ mod tests {
                     ring: 0,
                     vx: 0.0,
                     vy: 0.0,
+                    trace: None,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 2.9,
@@ -869,6 +916,7 @@ mod tests {
                     ring: 0,
                     vx: 0.0,
                     vy: 0.0,
+                    trace: None,
                 }),
             ],
         };
@@ -889,6 +937,7 @@ mod tests {
                     ring: 0,
                     vx: 0.0,
                     vy: 0.0,
+                    trace: None,
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 1.5,
@@ -898,6 +947,7 @@ mod tests {
                     ring: 0,
                     vx: 0.0,
                     vy: 0.0,
+                    trace: None,
                 }),
             ],
         )
@@ -914,6 +964,7 @@ mod tests {
                 ring: 0,
                 vx: 0.0,
                 vy: 0.0,
+                trace: None,
             })],
         )
         .unwrap();
@@ -930,6 +981,7 @@ mod tests {
                     ring: 0,
                     vx: 0.0,
                     vy: 0.0,
+                    trace: None,
                 })]
             ),
             None

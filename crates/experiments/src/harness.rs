@@ -356,6 +356,19 @@ pub struct ClusterReport {
     pub update_batches_delivered: u64,
     /// Individual updates carried inside those batches.
     pub batched_updates_delivered: u64,
+    /// Batched items that carried a causal trace tag; each one was
+    /// measured at apply and echoed back as a `TraceAck` (only non-zero
+    /// when `GameServerConfig::trace_sample_rate` is on).
+    pub traced_deliveries: u64,
+    /// Per-ring freshness measured by the trace plane, merged across
+    /// every node that was alive at the end of the run:
+    /// `(delivery latency, staleness at apply)` histograms in µs,
+    /// index = vision ring.
+    pub trace_freshness: Vec<(Histogram, Histogram)>,
+    /// Trace acks folded per server (non-zero entries only). A promoted
+    /// standby appearing here proves traces kept flowing — and being
+    /// measured — after a failover, not just before the crash.
+    pub trace_acks_by_server: Vec<(ServerId, u64)>,
     /// Splits performed across the run.
     pub splits: u64,
     /// Reclaims performed across the run.
@@ -419,6 +432,7 @@ pub struct Cluster {
     replica_bytes: u64,
     update_batches: u64,
     batched_updates: u64,
+    traced_deliveries: u64,
     late_threshold: SimDuration,
     bootstrap: ServerId,
     probes: Vec<FailureProbe>,
@@ -458,6 +472,7 @@ impl Cluster {
             replica_bytes: 0,
             update_batches: 0,
             batched_updates: 0,
+            traced_deliveries: 0,
             late_threshold: SimDuration::from_millis(150),
             bootstrap: ServerId(1),
             probes: Vec::new(),
@@ -1020,7 +1035,7 @@ impl Cluster {
     }
 
     /// Interprets a server-to-client message on the client driver.
-    fn client_message(&mut self, _from: ServerId, client: ClientId, msg: GameToClient) {
+    fn client_message(&mut self, from: ServerId, client: ClientId, msg: GameToClient) {
         match msg {
             GameToClient::Joined { server } => {
                 self.pop.set_server(client, server);
@@ -1035,6 +1050,30 @@ impl Cluster {
                 // end-to-end and measure coalescing rates.
                 self.update_batches += 1;
                 self.batched_updates += updates.len() as u64;
+                // Close the causal trace loop exactly as a real client
+                // does: each traced item is measured against the apply
+                // instant (now — batches deliver on the driver's own
+                // timeline) and echoed to the serving node, which folds
+                // the numbers into its per-ring freshness histograms.
+                let apply_us = self.now.as_micros();
+                for item in &updates {
+                    if let Some(tag) = item.trace() {
+                        self.traced_deliveries += 1;
+                        if let Some(node) = self.nodes.get_mut(&from) {
+                            // TraceAck produces no actions, so the
+                            // result needs no dispatch.
+                            let _ = node.game.on_client(
+                                self.now,
+                                client,
+                                ClientToGame::TraceAck {
+                                    ring: item.ring(),
+                                    latency_us: tag.latency_us(apply_us),
+                                    staleness_us: tag.staleness_us(apply_us),
+                                },
+                            );
+                        }
+                    }
+                }
                 // Failure probes: the first delivery to a crashed
                 // server's client marks the end of its dark window.
                 for probe in &mut self.probes {
@@ -1119,7 +1158,19 @@ impl Cluster {
         let mut splits = 0;
         let mut reclaims = 0;
         let mut peak_queue: f64 = 0.0;
+        let mut trace_freshness: Vec<(Histogram, Histogram)> = (0..matrix_core::MAX_RINGS)
+            .map(|_| (Histogram::new(), Histogram::new()))
+            .collect();
+        let mut trace_acks_by_server = Vec::new();
         for node in self.nodes.values_mut() {
+            let (latency, staleness) = node.game.trace_histograms();
+            for (ring, slot) in trace_freshness.iter_mut().enumerate() {
+                slot.0.merge(&latency[ring]);
+                slot.1.merge(&staleness[ring]);
+            }
+            if node.game.trace_acks() > 0 {
+                trace_acks_by_server.push((node.game.id(), node.game.trace_acks()));
+            }
             inter_server_bytes += node.matrix.stats().bytes_to_peers;
             updates_processed += node.game.stats().moves + node.game.stats().actions;
             updates_fanned += node.game.stats().updates_fanned;
@@ -1231,6 +1282,9 @@ impl Cluster {
                 .collect(),
             update_batches_delivered: self.update_batches,
             batched_updates_delivered: self.batched_updates,
+            traced_deliveries: self.traced_deliveries,
+            trace_freshness,
+            trace_acks_by_server,
             splits,
             reclaims,
             peak_servers,

@@ -20,6 +20,7 @@
 //! matrix-experiments failover    # E13    warm-standby failover
 //! matrix-experiments rings       # E14    multi-ring AOI + grid auto-tuning
 //! matrix-experiments predict     # E15    dead-reckoning suppression
+//! matrix-experiments trace       # E16    causal tracing + freshness SLOs
 //! matrix-experiments all         # everything, in order
 //! ```
 
@@ -36,6 +37,7 @@ pub mod predict;
 pub mod rings;
 pub mod scale;
 pub mod sweep;
+pub mod trace;
 pub mod userstudy;
 pub mod versus;
 

@@ -4,7 +4,8 @@
 //! tables, and CSV artefacts land in `./results/`.
 
 use matrix_experiments::{
-    ablation, densecrowd, failover, fig2, micro, predict, rings, scale, sweep, userstudy, versus,
+    ablation, densecrowd, failover, fig2, micro, predict, rings, scale, sweep, trace, userstudy,
+    versus,
 };
 use std::io::Write;
 
@@ -28,6 +29,7 @@ COMMANDS:
   failover [--smoke]   E13: warm-standby failover (kill a region server mid-run)
   rings [--smoke]      E14: multi-ring AOI + grid auto-tuning vs the binary radius
   predict [--smoke]    E15: dead-reckoning suppression vs the sampled-rings pipeline
+  trace [--smoke]      E16: end-to-end causal tracing + freshness SLO plane
   ablation-split       A1: split-strategy ablation
   ablation-hysteresis  A2: oscillation-prevention ablation
   all                  run everything in order
@@ -98,6 +100,7 @@ fn main() {
         "failover" => run_failover(seed, smoke),
         "rings" => run_rings(seed, smoke, codec),
         "predict" => run_predict(seed, smoke, codec),
+        "trace" => run_trace(seed, smoke),
         "ablation-split" => run_ablation_split(seed),
         "ablation-hysteresis" => run_ablation_hysteresis(seed),
         "all" => {
@@ -113,6 +116,7 @@ fn main() {
             run_failover(seed, false);
             run_rings(seed, false, codec);
             run_predict(seed, false, codec);
+            run_trace(seed, false);
             run_ablation_split(seed);
             run_ablation_hysteresis(seed);
         }
@@ -266,6 +270,23 @@ fn run_predict(seed: u64, smoke: bool, codec: matrix_core::WireCodec) {
         Err(why) => acceptance_failed("predict", &why),
     }
     save("predict.csv", &predict::to_csv(&rows));
+}
+
+fn run_trace(seed: u64, smoke: bool) {
+    let scale = if smoke {
+        trace::Scale::smoke()
+    } else {
+        trace::Scale::full()
+    };
+    let (dense, failover, rt) = trace::run(seed, scale);
+    println!("{}", trace::table(&dense).render());
+    println!("{}", trace::table(&failover).render());
+    println!("{}", trace::rt_table(&rt).render());
+    match trace::verdict(&dense, &failover, &rt) {
+        Ok(line) => println!("{line}"),
+        Err(why) => acceptance_failed("trace", &why),
+    }
+    save("trace.csv", &trace::to_csv(&dense, &failover, &rt));
 }
 
 fn run_scale() {

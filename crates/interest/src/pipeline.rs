@@ -101,6 +101,19 @@ pub trait Disseminated {
     /// whereabouts matter for rendering, its full state rarely does.
     /// The default is a no-op for payloads with nothing to strip.
     fn strip_payload(&mut self) {}
+    /// The causal trace tag riding this item, if the producer sampled
+    /// it ([`matrix_telemetry::TraceTag`]). Untraced payloads (the
+    /// default, and every payload when `trace_sample_rate` is 0) return
+    /// `None` and cost the pipeline nothing.
+    fn trace(&self) -> Option<matrix_telemetry::TraceTag> {
+        None
+    }
+    /// Charges the age of an undelivered predecessor (µs before this
+    /// item's ingest) to the item's trace tag, so the suppressed or
+    /// policy-dropped event's latency surfaces as staleness on the next
+    /// delivered rebase instead of vanishing. A no-op for untraced
+    /// payloads.
+    fn trace_charge(&mut self, _age_us: u64) {}
 }
 
 /// Configuration of the pipeline's dead-reckoning stage.
@@ -271,6 +284,16 @@ struct Shard<K: Ord, U> {
     /// Stage-4/5 lap timers; stages 1–3 run on the driver thread and
     /// time into the pipeline-level spans.
     spans: StageSpans,
+    /// Trace-plane staleness charges: entity → receiver → earliest
+    /// undelivered event time (µs). Populated when a suppressed or
+    /// policy-dropped item leaves a gap in the receiver's view; drained
+    /// onto the next emitted item for that pair
+    /// ([`Disseminated::trace_charge`]). Keyed entity-first so the
+    /// fan-out hot loop pays one lookup per *event* (the entity is
+    /// fixed across its whole receiver set), not one per delivered
+    /// item. Empty — and never touched — unless trace charging is
+    /// armed.
+    charges: std::collections::HashMap<u64, std::collections::HashMap<K, u64>>,
 }
 
 /// The composed dissemination pipeline (see the module docs for the
@@ -300,9 +323,20 @@ pub struct DisseminationPipeline<K: Ord + Copy + Eq + Hash, U> {
     /// Whether `flush` runs the shards on real `std::thread` workers
     /// (one per shard) instead of in index order on the caller.
     parallel: bool,
+    /// Whether the trace plane's staleness charging is armed (the
+    /// producer stamps trace tags): suppressed and policy-dropped
+    /// events then charge their age to the next delivered rebase. Off
+    /// (the default), the charge maps stay empty and every charging
+    /// site is a single branch.
+    trace_charging: bool,
     /// Reused per-dissemination candidate buffer `(key, pos, ring)` —
     /// stage 1 fills it, stages 2–3 compact and drain it in place.
     scratch: Vec<(K, Point, u8)>,
+    /// Reused per-dissemination "shard holds charges for this entity"
+    /// flags, one per shard: probed once per event so the delivery loop
+    /// skips the charge-map lookup for the (overwhelmingly common)
+    /// uncharged entities.
+    charged: Vec<bool>,
 }
 
 impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipeline<K, U> {
@@ -335,7 +369,9 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
             spans: StageSpans::new(cfg.telemetry),
             shards: Vec::new(),
             parallel: false,
+            trace_charging: false,
             scratch: Vec::new(),
+            charged: Vec::new(),
         };
         p.shards = vec![p.make_shard()];
         p
@@ -365,6 +401,28 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
         self.parallel = on;
     }
 
+    /// Arms the trace plane's staleness charging (producers stamp
+    /// [`matrix_telemetry::TraceTag`]s on sampled items): suppressed
+    /// and policy-dropped events record the gap they leave, and the
+    /// next emitted rebase of the same `(receiver, entity)` pair picks
+    /// the charge up via [`Disseminated::trace_charge`]. Off (the
+    /// default), every charging site is a single branch and no map is
+    /// touched.
+    pub fn with_trace_charging(mut self) -> DisseminationPipeline<K, U> {
+        self.set_trace_charging(true);
+        self
+    }
+
+    /// In-place form of [`DisseminationPipeline::with_trace_charging`].
+    pub fn set_trace_charging(&mut self, on: bool) {
+        self.trace_charging = on;
+    }
+
+    /// Whether trace charging is armed.
+    pub fn trace_charging(&self) -> bool {
+        self.trace_charging
+    }
+
     /// The number of shards per-receiver state is partitioned into.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -382,6 +440,7 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
             encoder: DeltaEncoder::new(self.keyframe_every).with_quantum(self.origin_quantum),
             predicted: PredictedStream::new(),
             spans: StageSpans::new(self.telemetry),
+            charges: std::collections::HashMap::new(),
         }
     }
 
@@ -433,6 +492,12 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
         shard.encoder.forget(key);
         shard.sampler.forget(key);
         shard.predicted.forget_receiver(key);
+        if !shard.charges.is_empty() {
+            shard.charges.retain(|_, owed| {
+                owed.remove(&key);
+                !owed.is_empty()
+            });
+        }
         shard.batcher.forget(key)
     }
 
@@ -444,6 +509,10 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
         self.motion.forget(entity);
         for shard in &mut self.shards {
             shard.predicted.forget_entity(entity);
+            // A departed entity never rebases again; its staleness
+            // charges are undeliverable and would otherwise pin the
+            // charge map non-empty forever.
+            shard.charges.remove(&entity);
         }
     }
 
@@ -503,6 +572,44 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
         }
     }
 
+    /// Per-shard, per-stage breakdown (µs) of the most recent completed
+    /// flush — the slow-flush capture's raw material. One entry per
+    /// shard: stages 1–3 are the driver-thread spans (identical in
+    /// every entry — disseminations are not sharded), stages 4–5 that
+    /// shard's own. All zeros before the first flush or with telemetry
+    /// off.
+    pub fn last_flush_spans(&self) -> Vec<[f64; matrix_telemetry::STAGE_COUNT]> {
+        let driver = self.spans.last_flush_us();
+        self.shards
+            .iter()
+            .map(|shard| {
+                let own = shard.spans.last_flush_us();
+                let mut row = driver;
+                row[Stage::Policy as usize] = own[Stage::Policy as usize];
+                row[Stage::Delta as usize] = own[Stage::Delta as usize];
+                row
+            })
+            .collect()
+    }
+
+    /// Cumulative per-shard time (µs) spent in one of the sharded
+    /// stages (Policy or Delta) — the flush-imbalance gauge's raw
+    /// material: `max / mean` over this vector says how unevenly the
+    /// receiver hash spread the stage-5 work. Stages 1–3 run unsharded
+    /// on the driver thread, so they yield a single-element vector.
+    pub fn shard_stage_sums(&self, stage: Stage) -> Vec<f64> {
+        match stage {
+            Stage::Query | Stage::Tier | Stage::Predict => {
+                vec![self.spans.histogram(stage).sum()]
+            }
+            Stage::Policy | Stage::Delta => self
+                .shards
+                .iter()
+                .map(|shard| shard.spans.histogram(stage).sum())
+                .collect(),
+        }
+    }
+
     // -- stages 1–3: query, tier, sample, predict, queue ---------------------
 
     /// Disseminates one event: queries the grid within the outermost
@@ -542,6 +649,11 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
     ) -> DisseminateStats {
         let mut stats = DisseminateStats::default();
         let rings = self.rings;
+        // Trace-plane charging works in whole microseconds of the same
+        // clock the producer stamps tags with; only armed — and only
+        // when items actually queue — does it cost anything.
+        let charging = self.trace_charging && emit;
+        let now_us = if charging { (now_secs * 1e6) as u64 } else { 0 };
         // Anonymous events carry no entity identity to model or to
         // extrapolate, so they bypass the prediction stage entirely.
         let predicting = self.predict.enabled && entity != ANON_ENTITY;
@@ -592,6 +704,17 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
         }
         candidates.truncate(kept);
         self.spans.lap(Stage::Tier);
+        // One charge-map probe per shard for the whole event: the
+        // entity is fixed across its receiver set, so these flags tell
+        // the delivery loop below whether any receiver can possibly owe
+        // a charge. Suppressions during this loop only insert charges
+        // for receivers that were *not* delivered, so a pre-loop
+        // snapshot cannot miss a drainable charge.
+        if charging {
+            self.charged.clear();
+            self.charged
+                .extend(self.shards.iter().map(|s| s.charges.contains_key(&entity)));
+        }
         // Stage 3: dead-reckoning admission, payload stripping, queueing.
         for &(key, _, ring) in &candidates {
             let si = self.shard_ix(key);
@@ -616,6 +739,20 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
                         stats.suppressed += 1;
                         stats.pred_error_sum += error;
                         stats.pred_error_max = stats.pred_error_max.max(error);
+                        if charging {
+                            // The receiver extrapolates instead of
+                            // hearing this event; remember the earliest
+                            // uncovered event time so the next delivered
+                            // rebase carries the staleness it papered
+                            // over.
+                            self.shards[si]
+                                .charges
+                                .entry(entity)
+                                .or_default()
+                                .entry(key)
+                                .and_modify(|t| *t = (*t).min(now_us))
+                                .or_insert(now_us);
+                        }
                         continue;
                     }
                     Admission::Send => {}
@@ -630,6 +767,19 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
                 let mut item = make(ring, vel);
                 if strip {
                     item.strip_payload();
+                }
+                if charging && self.charged[si] {
+                    // A delivered rebase closes the gap: pick up the
+                    // pending charge (observed only if this item is
+                    // traced — sampled observability) and clear it.
+                    if let Some(owed) = self.shards[si].charges.get_mut(&entity) {
+                        if let Some(first_us) = owed.remove(&key) {
+                            item.trace_charge(now_us.saturating_sub(first_us));
+                            if owed.is_empty() {
+                                self.shards[si].charges.remove(&entity);
+                            }
+                        }
+                    }
                 }
                 self.shards[si].batcher.push(key, item);
             }
@@ -667,6 +817,7 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
         for shard in &mut self.shards {
             shard.batcher = UpdateBatcher::new();
             shard.sampler.clear();
+            shard.charges.clear();
         }
     }
 
@@ -688,6 +839,7 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
     {
         let metric = self.metric;
         let policy = self.policy;
+        let charging = self.trace_charging;
         let mut outcome = FlushOutcome {
             batches: Vec::new(),
             orphaned: 0,
@@ -699,7 +851,9 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
                     .shards
                     .iter_mut()
                     .map(|shard| {
-                        s.spawn(move || Self::flush_shard(shard, metric, policy, viewer_of))
+                        s.spawn(move || {
+                            Self::flush_shard(shard, metric, policy, charging, viewer_of)
+                        })
                     })
                     .collect();
                 handles
@@ -713,7 +867,8 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
             }
         } else {
             for shard in &mut self.shards {
-                let (batches, orphaned) = Self::flush_shard(shard, metric, policy, &viewer_of);
+                let (batches, orphaned) =
+                    Self::flush_shard(shard, metric, policy, charging, &viewer_of);
                 outcome.batches.extend(batches);
                 outcome.orphaned += orphaned;
             }
@@ -738,6 +893,7 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
         shard: &mut Shard<K, U>,
         metric: Metric,
         policy: FlushPolicy,
+        charging: bool,
         viewer_of: &(impl Fn(K) -> Option<Point> + Sync),
     ) -> (Vec<FlushBatch<K, U>>, u64) {
         let mut batches = Vec::new();
@@ -751,7 +907,27 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
                 // queued rebases never reached the receiver, so bases
                 // recorded for them describe state nobody holds.
                 shard.predicted.forget_receiver(receiver);
+                // And so do its staleness charges: nobody is left to
+                // deliver them to.
+                if !shard.charges.is_empty() {
+                    shard.charges.retain(|_, owed| {
+                        owed.remove(&receiver);
+                        !owed.is_empty()
+                    });
+                }
                 continue;
+            };
+            // Traced items the policy is about to judge: remember each
+            // one's identity and earliest vouched-for event time so a
+            // drop can re-charge it below.
+            let queued_len = queued.len();
+            let queued_traced: Vec<(u64, u32, u64)> = if charging {
+                queued
+                    .iter()
+                    .filter_map(|u| u.trace().map(|t| (u.entity(), t.seq, t.charge_origin_us())))
+                    .collect()
+            } else {
+                Vec::new()
             };
             let selection = policy.select(
                 viewer,
@@ -761,6 +937,37 @@ impl<K: Ord + Copy + Eq + Hash + ShardKey, U: Disseminated> DisseminationPipelin
                 |u: &U| u.wire_bytes(),
                 queued,
             );
+            // When the policy kept everything verbatim (no cap, under
+            // budget), every traced item survived by construction —
+            // skip the survivor matching entirely.
+            if charging
+                && !queued_traced.is_empty()
+                && (selection.dropped > 0 || selection.kept.len() != queued_len)
+            {
+                // A traced item the policy merged or dropped leaves the
+                // same gap a suppression does: re-charge it so the next
+                // delivered rebase of its entity carries the full age
+                // (chained drops keep compounding via charge_origin).
+                // One pass collects the surviving trace identities so
+                // the per-item check is against the (tiny) traced
+                // subset, not the whole kept list.
+                let kept_traced: Vec<(u64, u32)> = selection
+                    .kept
+                    .iter()
+                    .filter_map(|u| u.trace().map(|t| (u.entity(), t.seq)))
+                    .collect();
+                for (entity, seq, first_us) in queued_traced {
+                    if !kept_traced.contains(&(entity, seq)) {
+                        shard
+                            .charges
+                            .entry(entity)
+                            .or_default()
+                            .entry(receiver)
+                            .and_modify(|t| *t = (*t).min(first_us))
+                            .or_insert(first_us);
+                    }
+                }
+            }
             shard.spans.lap(Stage::Policy);
             let kept_origins: Vec<Point> = selection.kept.iter().map(|u| u.origin()).collect();
             let origins = shard.encoder.encode_flush(receiver, &kept_origins);
@@ -1414,5 +1621,145 @@ mod tests {
         // Sharded stages: one sample per shard per flush.
         assert_eq!(p.stage_histogram(Stage::Policy).count(), 12);
         assert_eq!(p.stage_histogram(Stage::Delta).count(), 12);
+        // The retained last-flush breakdown mirrors the shard layout.
+        let spans = p.last_flush_spans();
+        assert_eq!(spans.len(), 4, "one breakdown row per shard");
+        assert_eq!(p.shard_stage_sums(Stage::Delta).len(), 4);
+        assert_eq!(p.shard_stage_sums(Stage::Query).len(), 1);
+    }
+
+    // -- trace charging ------------------------------------------------------
+
+    use matrix_telemetry::TraceTag;
+
+    /// A traced payload for the charging tests.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    struct Tr {
+        at: Point,
+        entity: u64,
+        tag: Option<TraceTag>,
+    }
+
+    impl Disseminated for Tr {
+        fn origin(&self) -> Point {
+            self.at
+        }
+        fn entity(&self) -> u64 {
+            self.entity
+        }
+        fn wire_bytes(&self) -> usize {
+            8
+        }
+        fn trace(&self) -> Option<TraceTag> {
+            self.tag
+        }
+        fn trace_charge(&mut self, age_us: u64) {
+            if let Some(tag) = &mut self.tag {
+                tag.charge(age_us);
+            }
+        }
+    }
+
+    #[test]
+    fn suppressed_events_charge_the_next_delivered_rebase() {
+        let rings = RingSet::from_tiers(&[20.0, 200.0], &[1, 1]);
+        let mut p: DisseminationPipeline<u32, Tr> = DisseminationPipeline::new(
+            world(),
+            16,
+            rings,
+            PipelineConfig {
+                predict: PredictorConfig::with_budgets(&[0.0, 2.0]),
+                ..cfg()
+            },
+        )
+        .with_trace_charging();
+        assert!(p.trace_charging());
+        p.subscribe(1, Point::new(100.0, 300.0)); // far ring
+        let mut first_gap_us: Option<u64> = None;
+        let mut expected: Vec<(u32, u64)> = Vec::new(); // (seq, stale_us)
+        for i in 0..20u32 {
+            let at = Point::new(100.0 + i as f64, 200.0);
+            let ingest_us = i as u64 * 100_000;
+            let tag = TraceTag::new(7, i, ingest_us);
+            let s = p.disseminate(at, at, 9, i as f64 * 0.1, true, None, true, |_, _| Tr {
+                at,
+                entity: 9,
+                tag: Some(tag),
+            });
+            if s.suppressed > 0 {
+                first_gap_us.get_or_insert(ingest_us);
+            } else {
+                assert_eq!(s.delivered, 1);
+                let stale = first_gap_us
+                    .take()
+                    .map_or(0, |gap| ingest_us.saturating_sub(gap));
+                expected.push((i, stale));
+            }
+        }
+        assert!(
+            expected.iter().any(|&(_, stale)| stale > 0),
+            "the drive must produce at least one charged rebase: {expected:?}"
+        );
+        let out = p.flush(|_| Some(Point::new(100.0, 300.0)));
+        let items = &out.batches[0].items;
+        assert_eq!(items.len(), expected.len());
+        for (item, (seq, stale)) in items.iter().zip(expected) {
+            let tag = item.tag.expect("every delivered item stays traced");
+            assert_eq!(tag.seq, seq);
+            assert_eq!(
+                tag.stale_us, stale,
+                "seq {seq} must carry the suppressed gap's age"
+            );
+        }
+    }
+
+    #[test]
+    fn policy_dropped_traces_recharge_a_later_flush() {
+        let mut p: DisseminationPipeline<u32, Tr> = DisseminationPipeline::new(
+            world(),
+            16,
+            RingSet::single(150.0),
+            PipelineConfig {
+                policy: FlushPolicy {
+                    max_items: 1,
+                    budget_bytes: 0,
+                },
+                ..cfg()
+            },
+        )
+        .with_trace_charging();
+        p.subscribe(1, Point::new(100.0, 100.0));
+        let send = |p: &mut DisseminationPipeline<u32, Tr>, entity, x, seq, ingest_us| {
+            let at = Point::new(x, 100.0);
+            p.disseminate(
+                at,
+                at,
+                entity,
+                ingest_us as f64 / 1e6,
+                true,
+                None,
+                true,
+                |_, _| Tr {
+                    at,
+                    entity,
+                    tag: Some(TraceTag::new(7, seq, ingest_us)),
+                },
+            );
+        };
+        // Entity 8 queues first but sits farther from the viewer than
+        // entity 9, so the 1-item budget drops it.
+        send(&mut p, 8, 120.0, 0, 0);
+        send(&mut p, 9, 105.0, 1, 100_000);
+        let out = p.flush(|_| Some(Point::new(100.0, 100.0)));
+        assert_eq!(out.batches[0].items.len(), 1);
+        assert_eq!(out.batches[0].items[0].entity, 9);
+        assert_eq!(out.batches[0].rate_limited, 1);
+        // The next rebase of entity 8 carries the dropped event's age.
+        send(&mut p, 8, 121.0, 2, 300_000);
+        let out = p.flush(|_| Some(Point::new(100.0, 100.0)));
+        let tag = out.batches[0].items[0].tag.unwrap();
+        assert_eq!(tag.seq, 2);
+        assert_eq!(tag.stale_us, 300_000, "charged from the dropped seq 0");
+        assert_eq!(tag.staleness_us(450_000), 150_000 + 300_000);
     }
 }

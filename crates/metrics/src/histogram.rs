@@ -157,6 +157,23 @@ impl Histogram {
         self.min = self.min.min(other.min);
     }
 
+    /// Number of recorded values at or above `threshold`, to bucket
+    /// precision: a bucket counts as over when its lower-bound
+    /// representative value is ≥ `threshold`. This is the SLO-violation
+    /// counter — "how many samples exceeded the target" — and inherits
+    /// the histogram's ≤6% relative bucket error.
+    pub fn count_over(&self, threshold: f64) -> u64 {
+        if self.total == 0 || threshold <= 0.0 {
+            return self.total;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| Self::bucket_value(*idx) >= threshold)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
     /// Occupied buckets as `(index, count)` pairs, index-ascending — the
     /// sparse form telemetry snapshots ship on the wire (a latency
     /// distribution rarely occupies more than a few dozen of the 576
@@ -293,6 +310,23 @@ mod tests {
         );
         assert!(p50 <= p95 && p95 <= p99 && p99 <= p999);
         assert!((p999 - 99_900.0).abs() / 99_900.0 < 0.08, "p999 {p999}");
+    }
+
+    #[test]
+    fn count_over_splits_at_bucket_precision() {
+        let mut h = Histogram::new();
+        for v in 1..=1_000 {
+            h.record(v as f64);
+        }
+        assert_eq!(h.count_over(0.0), 1_000, "zero threshold counts all");
+        assert_eq!(h.count_over(1e12), 0, "nothing beyond the max");
+        let over = h.count_over(500.0);
+        let exact = 501; // values 500..=1000
+        assert!(
+            (over as f64 - exact as f64).abs() / exact as f64 <= 0.08,
+            "over {over} vs exact {exact}"
+        );
+        assert_eq!(Histogram::new().count_over(10.0), 0);
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub struct PendingUpdate {
     pub vx: f64,
     /// Dead-reckoning velocity, y axis.
     pub vy: f64,
+    /// Causal trace tag carried by the queued event, if sampled.
+    /// Replicated so a promoted standby delivers the traced item with
+    /// its original ingest time intact — the end-to-end latency a client
+    /// measures across a failover includes the failover itself.
+    pub trace: Option<matrix_telemetry::TraceTag>,
 }
 
 /// One dead-reckoning basis: what a receiver extrapolates one entity
@@ -311,6 +316,7 @@ mod tests {
                 ring: 0,
                 vx: 0.0,
                 vy: 0.0,
+                trace: None,
             }],
         );
         s.streams.insert(

@@ -45,6 +45,10 @@ pub struct ClientCounters {
     /// Items that carried a dead-reckoning velocity — each one rebased
     /// this client's extrapolation for its entity.
     pub velocity_items: u64,
+    /// Items that carried a causal trace tag — for each one the client
+    /// measured delivery latency and staleness-at-apply and echoed a
+    /// `TraceAck` upstream.
+    pub traced_items: u64,
     /// Server switches performed.
     pub switches: u64,
 }
@@ -223,13 +227,26 @@ impl RtClient {
                         // position (an entity that stopped must stop on
                         // screen too — its zero velocity is *information*,
                         // it just travels as the omitted default).
-                        let now = self.router.now().as_secs_f64();
+                        let at = self.router.now();
+                        let now = at.as_secs_f64();
                         for u in items {
                             if u.has_velocity() {
                                 self.counters.velocity_items += 1;
                             }
                             if u.entity != 0 {
                                 self.extrap.update(u.entity, u.origin, (u.vx, u.vy), now);
+                            }
+                            // Close the causal trace: measure this item
+                            // end-to-end on the receiver's clock and echo
+                            // the numbers to the serving node, which folds
+                            // them into its per-ring freshness histograms.
+                            if let Some(tag) = u.trace {
+                                self.counters.traced_items += 1;
+                                self.send(ClientToGame::TraceAck {
+                                    ring: u.ring,
+                                    latency_us: tag.latency_us(at.as_micros()),
+                                    staleness_us: tag.staleness_us(at.as_micros()),
+                                });
                             }
                         }
                     }

@@ -5,10 +5,32 @@ use crate::node::{spawn_node, NodeHandle, NodeMsg, NodeSnapshot};
 use crate::router::Router;
 use matrix_core::{
     CoordAction, CoordMsg, Coordinator, CoordinatorConfig, GameServerConfig, MatrixConfig, PoolMsg,
-    ResourcePool,
+    ResourcePool, TelemetrySnapshot,
 };
 use matrix_geometry::{Point, Rect, ServerId};
-use tokio::sync::mpsc;
+use tokio::sync::{mpsc, oneshot};
+
+/// A live handle onto the coordinator task's freshness-SLO tracker.
+///
+/// The coordinator owns the [`matrix_core::Coordinator`] exclusively
+/// inside its task, so the probe round-trips a oneshot through the
+/// task's mailbox select loop rather than sharing state. Cloneable:
+/// the stats endpoint keeps one per listener.
+#[derive(Clone)]
+pub struct SloProbe {
+    tx: mpsc::UnboundedSender<oneshot::Sender<TelemetrySnapshot>>,
+}
+
+impl SloProbe {
+    /// Fetches the coordinator's current SLO gauges (`slo_*`), or
+    /// `None` if the coordinator task has exited. Empty when no ring
+    /// carries a staleness target.
+    pub async fn snapshot(&self) -> Option<TelemetrySnapshot> {
+        let (tx, rx) = oneshot::channel();
+        self.tx.send(tx).ok()?;
+        rx.await.ok()
+    }
+}
 
 /// Configuration of an in-process Matrix cluster.
 #[derive(Debug, Clone)]
@@ -63,6 +85,7 @@ pub struct RtCluster {
     router: Router,
     bootstrap: NodeHandle,
     nodes: Vec<NodeHandle>,
+    slo: SloProbe,
 }
 
 impl RtCluster {
@@ -74,7 +97,15 @@ impl RtCluster {
         // Coordinator task.
         let (coord_tx, coord_rx) = mpsc::unbounded_channel();
         router.register_coordinator(coord_tx);
-        tokio::spawn(run_coordinator(cfg.coordinator, router.clone(), coord_rx));
+        let (slo_tx, slo_rx) = mpsc::unbounded_channel();
+        let slo = SloProbe { tx: slo_tx };
+        tokio::spawn(run_coordinator(
+            cfg.coordinator,
+            router.clone(),
+            coord_rx,
+            slo.clone(),
+            slo_rx,
+        ));
 
         // Pool task.
         let (pool_tx, pool_rx) = mpsc::unbounded_channel();
@@ -105,6 +136,7 @@ impl RtCluster {
             router,
             bootstrap,
             nodes,
+            slo,
         }
     }
 
@@ -144,9 +176,17 @@ impl RtCluster {
             .count()
     }
 
+    /// A probe onto the coordinator's freshness-SLO tracker (the same
+    /// gauges the stats endpoint exposes, as structured data).
+    pub fn slo_probe(&self) -> SloProbe {
+        self.slo.clone()
+    }
+
     /// Binds a live stats endpoint over every node in the cluster (see
     /// [`crate::wire::spawn_stats_endpoint`]); returns the bound
-    /// address. Query it with [`crate::wire::TcpStatsClient`].
+    /// address. Query it with [`crate::wire::TcpStatsClient`]. The
+    /// coordinator's freshness-SLO gauges ride along as pseudo-node
+    /// `ServerId(0)` whenever any ring carries a staleness target.
     ///
     /// # Errors
     ///
@@ -155,7 +195,7 @@ impl RtCluster {
         &self,
         addr: impl tokio::net::ToSocketAddrs,
     ) -> Result<std::net::SocketAddr, crate::wire::WireError> {
-        crate::wire::spawn_stats_endpoint(addr, self.nodes.clone()).await
+        crate::wire::spawn_stats_endpoint(addr, self.nodes.clone(), Some(self.slo.clone())).await
     }
 
     /// Stops every node task.
@@ -178,6 +218,12 @@ async fn run_coordinator(
     cfg: CoordinatorConfig,
     router: Router,
     mut rx: mpsc::UnboundedReceiver<CoordMsg>,
+    // Keepalive clone of the probe sender: the probe channel therefore
+    // never closes, so the select arm below stays pending (instead of
+    // spinning on `None`) once external probes are gone. The task still
+    // exits through the coordinator mailbox closing.
+    _slo_keepalive: SloProbe,
+    mut slo_rx: mpsc::UnboundedReceiver<oneshot::Sender<TelemetrySnapshot>>,
 ) {
     let mut coordinator = Coordinator::new(cfg);
     // Sweep at half the heartbeat timeout (bounded to [100ms, 1s]) so a
@@ -191,6 +237,11 @@ async fn run_coordinator(
                 let Some(msg) = maybe else { break };
                 let actions = coordinator.handle(router.now(), msg);
                 deliver(&router, actions);
+            }
+            maybe = slo_rx.recv() => {
+                if let Some(reply) = maybe {
+                    let _ = reply.send(coordinator.slo_snapshot());
+                }
             }
             _ = sweep.tick() => {
                 let actions = coordinator.check_liveness(router.now());

@@ -38,6 +38,6 @@ mod router;
 pub mod wire;
 
 pub use client::{ClientCounters, RtClient};
-pub use cluster::{RtCluster, RtConfig};
+pub use cluster::{RtCluster, RtConfig, SloProbe};
 pub use node::{NodeHandle, NodeMsg, NodeSnapshot};
 pub use router::Router;

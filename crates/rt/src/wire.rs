@@ -242,7 +242,7 @@ impl RemoteSession {
                 self.state_bytes = *state_bytes;
             }
             ClientToGame::Move { pos } | ClientToGame::Action { pos, .. } => self.pos = *pos,
-            ClientToGame::Leave => {}
+            ClientToGame::TraceAck { .. } | ClientToGame::Leave => {}
         }
     }
 
@@ -389,12 +389,20 @@ async fn serve_connection(
 /// connection. Nodes with telemetry off contribute nothing, so the
 /// reply is empty — not an error — on a dark cluster.
 ///
+/// When an `slo` probe is supplied, the coordinator's freshness-SLO
+/// gauges (`slo_*`) are appended as pseudo-node `ServerId(0)` — the
+/// coordinator is not a game server, but its tracker is cluster state
+/// an operator scrapes from the same port. A dark tracker (no ring
+/// targets configured) contributes nothing, keeping pre-SLO replies
+/// byte-identical.
+///
 /// # Errors
 ///
 /// Returns any bind error from the operating system.
 pub async fn spawn_stats_endpoint(
     addr: impl ToSocketAddrs,
     nodes: Vec<NodeHandle>,
+    slo: Option<crate::cluster::SloProbe>,
 ) -> Result<std::net::SocketAddr, WireError> {
     let listener = TcpListener::bind(addr).await?;
     let local = listener.local_addr()?;
@@ -403,7 +411,7 @@ pub async fn spawn_stats_endpoint(
             let Ok((stream, _)) = listener.accept().await else {
                 break;
             };
-            tokio::spawn(serve_stats(stream, nodes.clone()));
+            tokio::spawn(serve_stats(stream, nodes.clone(), slo.clone()));
         }
     });
     Ok(local)
@@ -456,13 +464,24 @@ impl LineAssembler {
     }
 }
 
-async fn serve_stats(stream: TcpStream, nodes: Vec<NodeHandle>) {
+async fn serve_stats(
+    stream: TcpStream,
+    nodes: Vec<NodeHandle>,
+    slo: Option<crate::cluster::SloProbe>,
+) {
     let (read_half, mut write_half) = stream.into_split();
     let mut chunks = read_half.into_chunks();
     let Some((fmt, binary)) = read_stats_query(&mut chunks).await else {
         return; // malformed or wrong-version query: drop the session
     };
     let mut snaps: Vec<(ServerId, TelemetrySnapshot)> = Vec::new();
+    if let Some(probe) = &slo {
+        if let Some(snap) = probe.snapshot().await {
+            if !snap.is_empty() {
+                snaps.push((ServerId(0), snap));
+            }
+        }
+    }
     for node in &nodes {
         if let Some(snap) = node.snapshot().await {
             if let Some(telemetry) = snap.telemetry {

@@ -4,9 +4,51 @@
 use crate::snapshot::TelemetrySnapshot;
 use matrix_geometry::ServerId;
 
+/// Metric kind by name: point-in-time metrics (recorder occupancy, SLO
+/// burn state, shard imbalance) are gauges, everything else counted by
+/// the nodes is a monotone counter.
+fn metric_kind(name: &str) -> &'static str {
+    if name.starts_with("slo_")
+        || name.starts_with("recorder_")
+        || name == "flush_shard_imbalance_bp"
+    {
+        "gauge"
+    } else {
+        "counter"
+    }
+}
+
+/// One-line `# HELP` text per metric name (a stable generic line for
+/// names without a curated description — Prometheus requires the line,
+/// not prose quality).
+fn metric_help(name: &str) -> &'static str {
+    match name {
+        "recorder_capacity" => "Flight-recorder ring capacity in events (0 = disabled)",
+        "recorder_dropped" => "Flight-recorder events evicted before being read",
+        "events_seen" => "Flight-recorder events ever recorded",
+        "events_dropped" => "Flight-recorder events evicted before being read",
+        "flush_shard_imbalance_bp" => {
+            "Max/mean per-shard stage-5 (delta) flush time, basis points (10000 = balanced)"
+        }
+        n if n.starts_with("slo_burn_bp_") => {
+            "Freshness SLO error-budget burn rate, basis points (10000 = 1.0)"
+        }
+        n if n.starts_with("slo_target_us_") => "Freshness SLO staleness target (us)",
+        n if n.starts_with("slo_samples_") => "Traced samples in the SLO window",
+        n if n.starts_with("slo_over_") => "Traced samples over target in the SLO window",
+        n if n.starts_with("slo_breached_") => "Whether the ring is currently in breach (0/1)",
+        n if n.starts_with("delivery_latency_") => {
+            "End-to-end delivery latency of traced items (us)"
+        }
+        n if n.starts_with("staleness_") => "Staleness-at-apply of traced items (us)",
+        _ => "Matrix telemetry metric",
+    }
+}
+
 /// Renders a set of per-node snapshots as Prometheus-style text
 /// exposition: counters as `matrix_<name>{server="N"}`, histograms as
-/// summaries (`_count`, `_sum` and `quantile`-labelled samples).
+/// summaries (`_count`, `_sum` and `quantile`-labelled samples), each
+/// metric preceded (once) by its `# HELP` and `# TYPE` lines.
 /// Deterministic: output order follows the input order, quantiles
 /// ascend.
 pub fn render_prometheus(nodes: &[(ServerId, TelemetrySnapshot)]) -> String {
@@ -15,6 +57,7 @@ pub fn render_prometheus(nodes: &[(ServerId, TelemetrySnapshot)]) -> String {
         use std::fmt::Write as _;
         if !typed.iter().any(|n| n == name) {
             typed.push(name.to_string());
+            let _ = writeln!(out, "# HELP matrix_{name} {}", metric_help(name));
             let _ = writeln!(out, "# TYPE matrix_{name} {kind}");
         }
     }
@@ -23,7 +66,7 @@ pub fn render_prometheus(nodes: &[(ServerId, TelemetrySnapshot)]) -> String {
     for (server, snap) in nodes {
         let sid = server.0;
         for (name, value) in &snap.counters {
-            note_type(&mut typed, &mut out, name, "counter");
+            note_type(&mut typed, &mut out, name, metric_kind(name));
             let _ = writeln!(out, "matrix_{name}{{server=\"{sid}\"}} {value}");
         }
         for hist in &snap.hists {
@@ -60,6 +103,15 @@ pub fn render_prometheus(nodes: &[(ServerId, TelemetrySnapshot)]) -> String {
         let _ = writeln!(
             out,
             "matrix_events_dropped{{server=\"{sid}\"}} {}",
+            snap.events_dropped
+        );
+        // The recorder's health as point-in-time gauges: how many events
+        // the ring has evicted unread (its capacity gauge rides the
+        // name-keyed counters when the node reports one).
+        note_type(&mut typed, &mut out, "recorder_dropped", "gauge");
+        let _ = writeln!(
+            out,
+            "matrix_recorder_dropped{{server=\"{sid}\"}} {}",
             snap.events_dropped
         );
     }
@@ -109,10 +161,31 @@ mod tests {
         snap.hist("flush_us", &h);
         let text = render_prometheus(&[(ServerId(3), snap)]);
         assert!(text.contains("# TYPE matrix_joins counter"));
+        assert!(text.contains("# HELP matrix_joins Matrix telemetry metric"));
         assert!(text.contains("matrix_joins{server=\"3\"} 12"));
         assert!(text.contains("# TYPE matrix_flush_us summary"));
         assert!(text.contains("matrix_flush_us_count{server=\"3\"} 1000"));
         assert!(text.contains("quantile=\"0.999\""));
+    }
+
+    #[test]
+    fn recorder_state_and_slo_metrics_render_as_gauges() {
+        let mut snap = TelemetrySnapshot::new();
+        snap.counter("recorder_capacity", 256);
+        snap.counter("slo_burn_bp_r0", 5_000);
+        snap.events_dropped = 7;
+        let text = render_prometheus(&[(ServerId(1), snap)]);
+        assert!(text.contains("# TYPE matrix_recorder_capacity gauge"));
+        assert!(text.contains(
+            "# HELP matrix_recorder_capacity Flight-recorder ring capacity in events (0 = disabled)"
+        ));
+        assert!(text.contains("matrix_recorder_capacity{server=\"1\"} 256"));
+        assert!(text.contains("# TYPE matrix_slo_burn_bp_r0 gauge"));
+        assert!(text.contains("matrix_slo_burn_bp_r0{server=\"1\"} 5000"));
+        assert!(text.contains("# TYPE matrix_recorder_dropped gauge"));
+        assert!(text.contains("matrix_recorder_dropped{server=\"1\"} 7"));
+        // The legacy counter stays for dashboards that already scrape it.
+        assert!(text.contains("matrix_events_dropped{server=\"1\"} 7"));
     }
 
     #[test]

@@ -22,6 +22,15 @@
 //!   heartbeats to the coordinator and answers the `matrix-rt` stats
 //!   query. Snapshots [`merge`](TelemetrySnapshot::merge) by name, so
 //!   per-node histograms aggregate into cluster-wide distributions.
+//! * [`TraceTag`] — the causal trace plane: a compact tag stamped on a
+//!   sampled subset of ingested events (`trace_sample_rate`), carried
+//!   through every pipeline stage, the sharded flush and the wire, and
+//!   read back on the client to compute end-to-end delivery latency and
+//!   staleness-at-apply — including the charged age of suppressed or
+//!   policy-dropped predecessors.
+//! * [`SloTracker`] — per-ring freshness SLOs over the trace plane's
+//!   staleness histograms: targets, a rolling error budget and its burn
+//!   rate, breaching into an [`EventKind::SloBreach`] recorder event.
 //! * [`render_prometheus`] — Prometheus-style text exposition of a set
 //!   of node snapshots, and [`diag_line`]/[`emit_diag`] — the structured
 //!   `key=value` stderr log line that replaces ad-hoc `eprintln!`
@@ -37,11 +46,15 @@
 
 mod expose;
 mod recorder;
+mod slo;
 mod snapshot;
 mod span;
+mod trace;
 
 pub use expose::{diag_line, emit_diag, render_prometheus};
 pub use matrix_metrics::Histogram;
 pub use recorder::{EventKind, FlightRecorder, TelemetryEvent};
+pub use slo::{SloTargets, SloTracker, BURN_ONE_BP, SLO_RINGS};
 pub use snapshot::{HistSnapshot, TelemetrySnapshot};
 pub use span::{Stage, StageSpans, STAGE_COUNT};
+pub use trace::TraceTag;

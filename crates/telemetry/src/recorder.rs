@@ -1,5 +1,6 @@
 //! The flight recorder: a fixed-capacity ring of structured events.
 
+use crate::span::STAGE_COUNT;
 use matrix_geometry::ServerId;
 use matrix_sim::SimTime;
 use serde::{Deserialize, Serialize};
@@ -87,6 +88,29 @@ pub enum EventKind {
     },
     /// The coordinator tolerated a directory divergence.
     Divergence,
+    /// A ring's freshness SLO started burning its error budget faster
+    /// than it accrues (burn rate ≥ 1.0). Edge-triggered: recorded on
+    /// the transition into breach, not on every burning heartbeat.
+    SloBreach {
+        /// The breaching vision ring.
+        ring: u8,
+        /// Burn rate in basis points (10 000 = 1.0).
+        burn_bp: u64,
+    },
+    /// A flush exceeded the node's `slow_flush_threshold_us`: one event
+    /// per shard, carrying that flush's per-stage span breakdown (µs;
+    /// stages 1–3 are pipeline-wide, 4–5 are this shard's own).
+    SlowFlush {
+        /// The flushing server.
+        server: ServerId,
+        /// Shard index within the flush (0 when unsharded).
+        shard: u32,
+        /// Whole-flush duration (µs) that tripped the threshold.
+        total_us: u64,
+        /// Per-stage time of this flush, [`STAGE_COUNT`] slots in
+        /// pipeline order (query, tier, predict, policy, delta).
+        stages: [u64; STAGE_COUNT],
+    },
 }
 
 impl std::fmt::Display for EventKind {
@@ -114,6 +138,22 @@ impl std::fmt::Display for EventKind {
             EventKind::Promotion { server } => write!(f, "promotion {server}"),
             EventKind::Retune { server, cells } => write!(f, "retune {server} cells {cells}"),
             EventKind::Divergence => write!(f, "divergence"),
+            EventKind::SloBreach { ring, burn_bp } => {
+                write!(f, "slo-breach r{ring} burn {burn_bp}bp")
+            }
+            EventKind::SlowFlush {
+                server,
+                shard,
+                total_us,
+                stages,
+            } => {
+                write!(
+                    f,
+                    "slow-flush {server} shard {shard} total {total_us}us \
+                     stages {}/{}/{}/{}/{}us",
+                    stages[0], stages[1], stages[2], stages[3], stages[4]
+                )
+            }
         }
     }
 }
@@ -189,6 +229,11 @@ impl FlightRecorder {
     /// Events evicted to make room (the ring wrapped this many times).
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Configured ring capacity in events (`0` = disabled).
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// Sequence number the *next* event will get (= total ever recorded).

@@ -1,0 +1,271 @@
+//! Per-ring freshness SLOs: targets, rolling error budgets, burn rate.
+//!
+//! The trace plane ([`crate::TraceTag`]) yields per-ring staleness
+//! histograms at every node. The coordinator folds those into one
+//! [`SloTracker`]: each ring gets a staleness target (µs) and the
+//! cluster an error budget — the fraction of traced samples allowed to
+//! exceed their ring's target. The tracker keeps a rolling window of
+//! observations and reports the **burn rate**: observed violating
+//! fraction divided by the budget. Burn 1.0 means the budget is being
+//! consumed exactly as fast as it accrues; sustained burn above 1.0
+//! means the SLO will be missed — the tracker flags that as a breach
+//! (surfaced as a [`crate::EventKind::SloBreach`] flight-recorder event
+//! and `slo_*` gauges on the stats endpoint).
+//!
+//! Fixed-point throughout (basis points, 1 bp = 0.01%): the tracker
+//! rides `Copy` configs and wire counters, so no floats leak into
+//! frames.
+
+use crate::snapshot::TelemetrySnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Number of rings the SLO plane tracks. Mirrors
+/// `matrix_interest::MAX_RINGS` (this crate sits below `matrix-interest`
+/// in the dependency DAG, so the constant is duplicated, not imported).
+pub const SLO_RINGS: usize = 4;
+
+/// Burn-rate fixed-point scale: 10 000 bp = a burn rate of exactly 1.0.
+pub const BURN_ONE_BP: u64 = 10_000;
+
+/// Per-ring freshness SLO configuration. `Copy` so it can ride
+/// `CoordinatorConfig` unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloTargets {
+    /// Per-ring staleness-at-apply target in µs; `0` disables the SLO
+    /// for that ring (and all zeros disables the tracker entirely).
+    pub staleness_us: [u64; SLO_RINGS],
+    /// Error budget in basis points: the fraction of traced samples
+    /// allowed over target (100 bp = 1%). Clamped to ≥ 1 in use.
+    pub budget_bp: u32,
+    /// Rolling window length in observations (heartbeat deltas); `0`
+    /// means cumulative-forever. Old observations age out, so a burst
+    /// of violations stops burning once it leaves the window.
+    pub window: u32,
+}
+
+impl Default for SloTargets {
+    fn default() -> Self {
+        SloTargets {
+            staleness_us: [0; SLO_RINGS],
+            budget_bp: 100,
+            window: 64,
+        }
+    }
+}
+
+impl SloTargets {
+    /// Whether any ring carries a target.
+    pub fn enabled(&self) -> bool {
+        self.staleness_us.iter().any(|&t| t > 0)
+    }
+}
+
+/// Rolling per-ring accounting.
+#[derive(Debug, Clone, Default)]
+struct RingState {
+    /// Window of `(samples, violations)` observation deltas.
+    window: VecDeque<(u64, u64)>,
+    /// Sum of samples across the window.
+    samples: u64,
+    /// Sum of violations across the window.
+    over: u64,
+    /// Whether the ring is currently in breach (edge-detection state).
+    breached: bool,
+}
+
+/// The cluster-wide freshness SLO tracker.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    targets: SloTargets,
+    rings: [RingState; SLO_RINGS],
+}
+
+impl SloTracker {
+    /// Creates a tracker over `targets`.
+    pub fn new(targets: SloTargets) -> SloTracker {
+        SloTracker {
+            targets,
+            rings: Default::default(),
+        }
+    }
+
+    /// The configured targets.
+    pub fn targets(&self) -> SloTargets {
+        self.targets
+    }
+
+    /// Whether the tracker does anything at all.
+    pub fn enabled(&self) -> bool {
+        self.targets.enabled()
+    }
+
+    /// The staleness target of `ring` (0 = untracked).
+    pub fn target_us(&self, ring: u8) -> u64 {
+        self.targets
+            .staleness_us
+            .get(ring as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Feeds one observation delta for `ring`: `samples` traced items
+    /// applied since the last observation, `over` of them beyond the
+    /// ring's target. Returns `Some(burn_bp)` exactly when this
+    /// observation *newly* pushed the ring into breach (burn ≥ 1.0) —
+    /// the edge the caller turns into a flight-recorder event.
+    pub fn observe(&mut self, ring: u8, samples: u64, over: u64) -> Option<u64> {
+        if self.target_us(ring) == 0 || ring as usize >= SLO_RINGS {
+            return None;
+        }
+        let window = self.targets.window;
+        let state = &mut self.rings[ring as usize];
+        state.window.push_back((samples, over.min(samples)));
+        state.samples += samples;
+        state.over += over.min(samples);
+        if window > 0 {
+            while state.window.len() > window as usize {
+                let (s, o) = state.window.pop_front().expect("non-empty window");
+                state.samples -= s;
+                state.over -= o;
+            }
+        }
+        let burn = self.burn_bp(ring).unwrap_or(0);
+        let state = &mut self.rings[ring as usize];
+        let newly = burn >= BURN_ONE_BP && !state.breached;
+        state.breached = burn >= BURN_ONE_BP;
+        newly.then_some(burn)
+    }
+
+    /// The ring's burn rate in basis points ([`BURN_ONE_BP`] = 1.0), or
+    /// `None` when the ring is untracked or has no samples in window.
+    pub fn burn_bp(&self, ring: u8) -> Option<u64> {
+        if self.target_us(ring) == 0 {
+            return None;
+        }
+        let state = &self.rings[ring as usize];
+        if state.samples == 0 {
+            return None;
+        }
+        let budget = self.targets.budget_bp.max(1) as u128;
+        let burn =
+            (state.over as u128 * 10_000 * BURN_ONE_BP as u128) / (state.samples as u128 * budget);
+        Some(burn.min(u64::MAX as u128) as u64)
+    }
+
+    /// Whether the ring is currently in breach.
+    pub fn breached(&self, ring: u8) -> bool {
+        (ring as usize) < SLO_RINGS && self.rings[ring as usize].breached
+    }
+
+    /// Traced samples currently in the ring's window.
+    pub fn samples(&self, ring: u8) -> u64 {
+        self.rings
+            .get(ring as usize)
+            .map(|s| s.samples)
+            .unwrap_or(0)
+    }
+
+    /// Violations currently in the ring's window.
+    pub fn violations(&self, ring: u8) -> u64 {
+        self.rings.get(ring as usize).map(|s| s.over).unwrap_or(0)
+    }
+
+    /// The tracker's state as named counters (`slo_*`, rendered as
+    /// gauges by [`crate::render_prometheus`]), one set per tracked
+    /// ring — the stats-endpoint face of the SLO plane.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new();
+        for ring in 0..SLO_RINGS as u8 {
+            let target = self.target_us(ring);
+            if target == 0 {
+                continue;
+            }
+            snap.counter(format!("slo_target_us_r{ring}"), target);
+            snap.counter(format!("slo_samples_r{ring}"), self.samples(ring));
+            snap.counter(format!("slo_over_r{ring}"), self.violations(ring));
+            snap.counter(
+                format!("slo_burn_bp_r{ring}"),
+                self.burn_bp(ring).unwrap_or(0),
+            );
+            snap.counter(
+                format!("slo_breached_r{ring}"),
+                u64::from(self.breached(ring)),
+            );
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets(near_us: u64) -> SloTargets {
+        SloTargets {
+            staleness_us: [near_us, 0, 0, 0],
+            budget_bp: 100, // 1%
+            window: 4,
+        }
+    }
+
+    #[test]
+    fn untracked_rings_observe_nothing() {
+        let mut t = SloTracker::new(SloTargets::default());
+        assert!(!t.enabled());
+        assert_eq!(t.observe(0, 100, 100), None);
+        assert_eq!(t.burn_bp(0), None);
+        assert!(!t.breached(0));
+    }
+
+    #[test]
+    fn burn_rate_is_violating_fraction_over_budget() {
+        let mut t = SloTracker::new(targets(50_000));
+        // 1% budget, 0.5% observed -> burn 0.5.
+        assert_eq!(t.observe(0, 1_000, 5), None);
+        assert_eq!(t.burn_bp(0), Some(BURN_ONE_BP / 2));
+        assert!(!t.breached(0));
+        // Another 1.5% slab tips the window to 1% observed -> burn 1.0,
+        // reported exactly once as a fresh breach.
+        let burn = t.observe(0, 1_000, 15).expect("newly breached");
+        assert_eq!(burn, BURN_ONE_BP);
+        assert!(t.breached(0));
+        assert_eq!(t.observe(0, 1_000, 30), None, "already breached: no edge");
+    }
+
+    #[test]
+    fn violations_age_out_of_the_window_and_rearm_the_edge() {
+        let mut t = SloTracker::new(targets(50_000));
+        assert!(t.observe(0, 100, 100).is_some(), "instant breach");
+        // Four clean observations push the violating one out (window 4).
+        for _ in 0..4 {
+            t.observe(0, 100, 0);
+        }
+        assert_eq!(t.burn_bp(0), Some(0));
+        assert!(!t.breached(0), "clean window clears the breach");
+        assert!(t.observe(0, 100, 100).is_some(), "edge re-arms");
+        // Window 4: three clean observations survive plus the new one.
+        assert_eq!(t.samples(0), 400);
+        assert_eq!(t.violations(0), 100);
+    }
+
+    #[test]
+    fn snapshot_exposes_tracked_rings_only() {
+        let mut t = SloTracker::new(targets(50_000));
+        t.observe(0, 200, 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.get_counter("slo_target_us_r0"), Some(50_000));
+        assert_eq!(snap.get_counter("slo_samples_r0"), Some(200));
+        assert_eq!(snap.get_counter("slo_over_r0"), Some(1));
+        assert_eq!(snap.get_counter("slo_burn_bp_r0"), Some(5_000));
+        assert_eq!(snap.get_counter("slo_breached_r0"), Some(0));
+        assert_eq!(snap.get_counter("slo_target_us_r1"), None);
+    }
+
+    #[test]
+    fn overcounted_violations_clamp_to_samples() {
+        let mut t = SloTracker::new(targets(1));
+        t.observe(0, 10, 99);
+        assert_eq!(t.violations(0), 10);
+    }
+}

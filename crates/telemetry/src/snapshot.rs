@@ -181,4 +181,63 @@ mod tests {
         assert_eq!(a.events_dropped, 1);
         assert_eq!(a.events_seen, 7);
     }
+
+    #[test]
+    fn merge_treats_missing_and_zero_filled_shard_hists_as_zero() {
+        // A 4-shard node where only shard 1 saw traffic: `hist()` skips
+        // the empty shards, so the snapshot carries one per-shard
+        // histogram, not four zero-filled ones.
+        let mut busy = TelemetrySnapshot::new();
+        for shard in 0..4 {
+            let h = if shard == 1 {
+                ramp(10, 20)
+            } else {
+                Histogram::new()
+            };
+            busy.hist(format!("flush_shard{shard}_us"), &h);
+        }
+        assert_eq!(busy.hists.len(), 1, "empty shard hists are skipped");
+
+        // A peer that saw no flushes at all contributes nothing…
+        let idle = TelemetrySnapshot::new();
+        let mut merged = busy.clone();
+        merged.merge(&idle);
+        assert_eq!(merged, busy, "merging an idle node is a no-op");
+
+        // …and an explicitly zero-filled snapshot (count 0, as a
+        // foreign encoder might ship instead of omitting the metric)
+        // must not disturb the moments of the receiving side.
+        let zero = HistSnapshot {
+            name: "flush_shard1_us".into(),
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: Vec::new(),
+        };
+        let mut zeroed = TelemetrySnapshot::new();
+        zeroed.hists.push(zero);
+        merged.merge(&zeroed);
+        let shard1 = merged.get_hist("flush_shard1_us").unwrap();
+        assert_eq!(shard1.count, 11);
+        assert_eq!(shard1.min, 10.0, "zero-filled merge must not drag min to 0");
+        assert_eq!(shard1.max, 20.0);
+
+        // Symmetric direction: merging real data *into* the zero-filled
+        // snapshot adopts the real moments.
+        let mut from_zero = TelemetrySnapshot::new();
+        from_zero.hists.push(HistSnapshot {
+            name: "flush_shard1_us".into(),
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            buckets: Vec::new(),
+        });
+        from_zero.merge(&busy);
+        let shard1 = from_zero.get_hist("flush_shard1_us").unwrap();
+        assert_eq!(shard1.count, 11);
+        assert_eq!(shard1.min, 10.0);
+        assert_eq!(shard1.max, 20.0);
+    }
 }

@@ -44,6 +44,15 @@ fn small_frame(rng: &mut SimRng) -> Frame {
                     ring: rng.uniform_u64(0, 4) as u8,
                     vx: 0.0,
                     vy: 0.0,
+                    // Sometimes traced, so the mutation sweep also chews
+                    // on frames carrying the trace section.
+                    trace: (rng.uniform_u64(0, 3) == 0).then(|| {
+                        matrix_middleware::telemetry::TraceTag::new(
+                            rng.uniform_u64(1, 100) as u32,
+                            rng.uniform_u64(0, 1 << 20) as u32,
+                            rng.uniform_u64(0, 1 << 40),
+                        )
+                    }),
                 }),
                 BatchItem::Delta(DeltaItem {
                     dx: 1.5,
@@ -53,6 +62,7 @@ fn small_frame(rng: &mut SimRng) -> Frame {
                     ring: 0,
                     vx: 2.0,
                     vy: -1.5,
+                    trace: None,
                 }),
             ],
         }),

@@ -90,6 +90,25 @@ fn ring(rng: &mut SimRng) -> u8 {
     rng.uniform_u64(0, MAX_RINGS as u64) as u8
 }
 
+/// A causal trace tag — absent most of the time (sampling is sparse by
+/// design), charged (`stale_us > 0`) sometimes, so both the plain and
+/// the suppression-charged shapes round-trip through both codecs.
+fn trace(rng: &mut SimRng) -> Option<matrix_middleware::telemetry::TraceTag> {
+    if rng.chance(0.7) {
+        return None;
+    }
+    Some(matrix_middleware::telemetry::TraceTag {
+        origin: rng.uniform_u64(0, 1 << 20) as u32,
+        seq: rng.uniform_u64(0, u32::MAX as u64) as u32,
+        ingest_us: rng.uniform_u64(0, 1 << 50),
+        stale_us: if rng.chance(0.5) {
+            rng.uniform_u64(0, 1 << 30)
+        } else {
+            0
+        },
+    })
+}
+
 /// One batch item hitting a random cell of the optional-field matrix:
 /// absolute/delta × entity present/absent × ring × velocity × narrow/
 /// wide encodings.
@@ -103,6 +122,7 @@ fn batch_item(rng: &mut SimRng) -> BatchItem {
             ring: ring(rng),
             vx,
             vy,
+            trace: trace(rng),
         })
     } else {
         BatchItem::Delta(DeltaItem {
@@ -113,12 +133,13 @@ fn batch_item(rng: &mut SimRng) -> BatchItem {
             ring: ring(rng),
             vx,
             vy,
+            trace: trace(rng),
         })
     }
 }
 
 fn client_msg(rng: &mut SimRng) -> ClientToGame {
-    match rng.uniform_u64(0, 4) {
+    match rng.uniform_u64(0, 5) {
         0 => ClientToGame::Join {
             pos: any_point(rng),
             state_bytes: rng.uniform_u64(0, 1 << 32),
@@ -129,6 +150,11 @@ fn client_msg(rng: &mut SimRng) -> ClientToGame {
         2 => ClientToGame::Action {
             pos: any_point(rng),
             payload_bytes: payload(rng),
+        },
+        3 => ClientToGame::TraceAck {
+            ring: ring(rng),
+            latency_us: rng.uniform_u64(0, 1 << 40),
+            staleness_us: rng.uniform_u64(0, 1 << 40),
         },
         _ => ClientToGame::Leave,
     }
@@ -237,6 +263,7 @@ fn snapshot(rng: &mut SimRng) -> RegionSnapshot {
                         ring: ring(rng),
                         vx,
                         vy,
+                        trace: trace(rng),
                     })
                     .collect(),
             );
@@ -485,9 +512,17 @@ fn frame_len_predicts_the_encoder_exactly() {
             assert_eq!(predicted, actual, "case {case} crc={crc}: {updates:?}");
         }
         let item_sum: usize = updates.iter().map(codec_v2::batch_item_wire_len).sum();
+        // Trace tags ride in a frame-level section (u16 count + fixed
+        // entries), not in per-item framing — compose it explicitly.
+        let traced = updates.iter().filter(|u| u.trace().is_some()).count();
+        let trace_section = if traced > 0 {
+            2 + traced * codec_v2::TRACE_ENTRY_BYTES
+        } else {
+            0
+        };
         assert_eq!(
             codec_v2::update_batch_frame_len(&updates, true),
-            codec_v2::frame_overhead(true) + item_sum,
+            codec_v2::frame_overhead(true) + item_sum + trace_section,
             "case {case}: per-item lengths must compose"
         );
     }
@@ -505,6 +540,7 @@ fn wire_bytes_constants_match_measured_frames() {
         ring: 1,
         vx: 0.0,
         vy: 0.0,
+        trace: None,
     });
     assert_eq!(
         codec_v2::batch_item_wire_len(&keyframe),
@@ -520,6 +556,7 @@ fn wire_bytes_constants_match_measured_frames() {
         ring: 1,
         vx: 0.0,
         vy: 0.0,
+        trace: None,
     });
     assert_eq!(
         codec_v2::batch_item_wire_len(&delta),
@@ -535,6 +572,7 @@ fn wire_bytes_constants_match_measured_frames() {
         ring: 1,
         vx: 3.5,
         vy: -2.25,
+        trace: None,
     });
     assert_eq!(
         codec_v2::batch_item_wire_len(&with_velocity) - codec_v2::batch_item_wire_len(&delta),
@@ -586,6 +624,7 @@ fn full_u64_values_survive_the_binary_codec() {
                 ring: 3,
                 vx: 1.0,
                 vy: -1.0,
+                trace: None,
             })],
         }),
         Frame::Replica(Box::new(ReplicaBatch {

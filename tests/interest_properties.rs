@@ -718,6 +718,7 @@ fn pipeline_is_byte_identical_to_the_hand_wired_flush_path() {
                         ring: 0,
                         vx: 0.0,
                         vy: 0.0,
+                        trace: None,
                     },
                 );
             });
@@ -766,6 +767,7 @@ fn pipeline_is_byte_identical_to_the_hand_wired_flush_path() {
                                 ring: 0,
                                 vx: 0.0,
                                 vy: 0.0,
+                                trace: None,
                             })
                         }
                         matrix_middleware::core::EncodedOrigin::Offset { dx, dy } => {
@@ -777,6 +779,7 @@ fn pipeline_is_byte_identical_to_the_hand_wired_flush_path() {
                                 ring: 0,
                                 vx: 0.0,
                                 vy: 0.0,
+                                trace: None,
                             })
                         }
                     })
@@ -1146,6 +1149,7 @@ fn ring_membership_and_sampling_are_exact() {
                     ring,
                     vx: 0.0,
                     vy: 0.0,
+                    trace: None,
                 }
             });
             for (k, p) in positions.iter().enumerate() {

@@ -258,6 +258,7 @@ fn velocity_fields_round_trip_and_legacy_frames_decode() {
                     ring: rng.uniform_u64(0, 4) as u8,
                     vx: vel.0,
                     vy: vel.1,
+                    trace: None,
                 })
             } else {
                 BatchItem::Delta(DeltaItem {
@@ -268,6 +269,7 @@ fn velocity_fields_round_trip_and_legacy_frames_decode() {
                     ring: rng.uniform_u64(0, 4) as u8,
                     vx: vel.0,
                     vy: vel.1,
+                    trace: None,
                 })
             };
             updates.push(item);
